@@ -1,0 +1,92 @@
+// A5 ablation: concurrent flow scaling. The paper notes Globus services allow
+// parallel flow execution ("start new flows even when previous ones are still
+// running") and that the software stack scales with data velocity "as
+// supported by the available networking infrastructure". Sweeps the start
+// period downward until the 1 Gbps switch saturates, and shows warm-node
+// reuse (first-flow penalty) at each load.
+#include <cstdio>
+
+#include "core/campaign.hpp"
+
+using namespace pico;
+
+namespace {
+
+struct PeriodResult {
+  core::CampaignResult campaign;
+  double switch_utilization = 0;
+};
+
+PeriodResult run_period(double period_s, int polaris_nodes) {
+  core::FacilityConfig fc;
+  fc.artifact_dir = "bench-artifacts/concurrency";
+  fc.seed = 20230408;
+  fc.polaris_nodes = polaris_nodes;
+  fc.compute_max_blocks = polaris_nodes;
+  fc.cost.provision_delay_s = 35.0;
+  // Instrument-side staging must not serialize drops for this sweep: assume
+  // an NVMe staging path (fast local copy, short debounce) so the network is
+  // the binding constraint being measured.
+  fc.cost.staging_rate_Bps = 400e6;
+  fc.cost.watcher_debounce_s = 3.0;
+  core::Facility facility(fc);
+  core::CampaignConfig cfg;
+  cfg.use_case = core::UseCase::Spatiotemporal;
+  cfg.start_period_s = period_s;
+  cfg.duration_s = 1800;
+  cfg.file_bytes = 1200 * 1000 * 1000;
+  cfg.label_prefix = "cc";
+  PeriodResult out;
+  out.campaign = core::run_campaign(facility, cfg);
+  out.switch_utilization =
+      facility.network().average_utilization(facility.user_switch_link());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A5 ablation: flow concurrency vs the 1 Gbps site network "
+              "(spatiotemporal, 1200 MB files)\n\n");
+  std::printf("%6s | %6s | %10s | %10s | %10s | %10s | %8s\n", "period",
+              "flows", "xfer med", "xfer max", "runtime", "first-flow",
+              "switch");
+  std::printf("%s\n", std::string(79, '-').c_str());
+
+  for (double period : {240.0, 120.0, 60.0, 20.0, 8.0, 3.0}) {
+    PeriodResult pr = run_period(period, 8);
+    const core::CampaignResult& r = pr.campaign;
+    if (r.in_window.empty()) {
+      std::printf("%5.0fs | %6zu | (no flows completed in window)\n", period,
+                  r.in_window.size());
+      continue;
+    }
+    double first_total = r.in_window.front().timing.total_s();
+    std::printf("%5.0fs | %6zu | %9.1fs | %9.1fs | %9.1fs | %9.1fs | %6.1f%%\n",
+                period, r.in_window.size() + r.late.size(),
+                r.step_active_stats("Transfer").median(),
+                r.step_active_stats("Transfer").max(),
+                r.runtime_stats().median(), first_total,
+                100 * pr.switch_utilization);
+  }
+
+  std::printf("\nreading: transfer medians grow as concurrent 1200 MB "
+              "transfers contend for the shared 1 Gbps uplink; once the "
+              "offered load (file size / start period) exceeds the switch "
+              "capacity (~3 s period here), the queue becomes unstable and "
+              "runtimes grow without bound — the paper's stated scaling "
+              "limit ('as supported by the available networking "
+              "infrastructure').\n");
+
+  // Warm-pool effect: the same load with 1 vs 8 Polaris blocks.
+  std::printf("\nwarm-pool sizing at period 60 s:\n");
+  for (int nodes : {1, 2, 8}) {
+    core::CampaignResult r = run_period(60.0, nodes).campaign;
+    std::printf("  %d block(s): %zu flows in-window, analysis median %.1fs, "
+                "runtime median %.1fs\n",
+                nodes, r.in_window.size(),
+                r.step_active_stats("Analyze").median(),
+                r.runtime_stats().median());
+  }
+  return 0;
+}

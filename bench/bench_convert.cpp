@@ -1,0 +1,90 @@
+// A4 ablation: "the majority of time is spent on converting raw EMD files to
+// MP4 format, which involves a slow data type casting operation from fp64 to
+// uint8". Measures the real naive vs optimized conversion paths on real
+// stacks (wall clock), and the virtual campaign effect of fixing the
+// conversion (the paper's "more efficient integration ... would lead to a
+// substantial improvement in time-to-solution").
+#include <chrono>
+#include <cstdio>
+
+#include "core/campaign.hpp"
+#include "instrument/spatiotemporal_gen.hpp"
+#include "video/convert.hpp"
+
+using namespace pico;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+core::CampaignResult run_campaign_with(bool naive) {
+  core::FacilityConfig fc;
+  fc.artifact_dir = "bench-artifacts/convert";
+  fc.seed = 20230408;
+  fc.cost.provision_delay_s = 35.0;
+  core::Facility facility(fc);
+  core::CampaignConfig cfg;
+  cfg.use_case = core::UseCase::Spatiotemporal;
+  cfg.start_period_s = 120;
+  cfg.duration_s = 1800;
+  cfg.file_bytes = 1200 * 1000 * 1000;
+  cfg.naive_convert = naive;
+  cfg.label_prefix = naive ? "cv-naive" : "cv-fast";
+  return core::run_campaign(facility, cfg);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A4 ablation: fp64 -> uint8 conversion cost\n\n");
+
+  // Real wall-clock measurement over growing stacks.
+  std::printf("real conversion (wall clock):\n");
+  std::printf("%10s | %12s | %12s | %8s\n", "stack", "naive", "fast",
+              "speedup");
+  for (size_t frames : {20UL, 60UL, 120UL}) {
+    instrument::SpatiotemporalConfig cfg;
+    cfg.frames = frames;
+    cfg.height = 128;
+    cfg.width = 128;
+    auto sample = instrument::generate_spatiotemporal(cfg);
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto naive = video::convert_naive(sample.stack);
+    double naive_s = seconds_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    auto fast = video::convert_fast(sample.stack);
+    double fast_s = seconds_since(t0);
+
+    // Outputs must be identical (the optimization changes nothing visible).
+    bool identical = naive.storage() == fast.storage();
+    std::printf("%7zu fr | %9.1f ms | %9.1f ms | %6.1fx %s\n", frames,
+                naive_s * 1000, fast_s * 1000,
+                fast_s > 0 ? naive_s / fast_s : 0.0,
+                identical ? "" : "OUTPUT MISMATCH!");
+  }
+
+  // Campaign effect: the paper's pipeline (naive conversion) vs the fix.
+  std::printf("\ncampaign effect (1200 MB spatiotemporal files, virtual "
+              "time):\n");
+  core::CampaignResult naive = run_campaign_with(true);
+  core::CampaignResult fast = run_campaign_with(false);
+  std::printf("%-18s | %10s | %10s | %8s\n", "pipeline", "analysis", "runtime",
+              "in-window");
+  std::printf("%-18s | %9.1fs | %9.1fs | %8zu\n", "naive conversion",
+              naive.step_active_stats("Analyze").median(),
+              naive.runtime_stats().median(), naive.in_window.size());
+  std::printf("%-18s | %9.1fs | %9.1fs | %8zu\n", "optimized",
+              fast.step_active_stats("Analyze").median(),
+              fast.runtime_stats().median(), fast.in_window.size());
+  double saved = naive.runtime_stats().median() - fast.runtime_stats().median();
+  std::printf("\nreading: fixing the cast removes ~%.0f s from the median "
+              "spatiotemporal flow (%.0f%% of its runtime) — the paper's "
+              "predicted 'substantial improvement in time-to-solution'.\n",
+              saved, 100.0 * saved / naive.runtime_stats().median());
+  return 0;
+}

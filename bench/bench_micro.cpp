@@ -1,0 +1,207 @@
+// A6: google-benchmark microbenchmarks of the data-plane kernels every flow
+// executes — tensor reductions (Fig. 2 math), fp64->u8 conversion, codecs,
+// EMD encode/parse, JSON, CRC-64, search ingest/query, blob detection.
+#include <benchmark/benchmark.h>
+
+#include "analysis/hyperspectral.hpp"
+#include "compress/codec.hpp"
+#include "emd/file.hpp"
+#include "instrument/hyperspectral_gen.hpp"
+#include "instrument/spatiotemporal_gen.hpp"
+#include "search/index.hpp"
+#include "tensor/ops.hpp"
+#include "util/crc64.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "video/convert.hpp"
+#include "vision/detect.hpp"
+
+using namespace pico;
+
+namespace {
+
+tensor::Tensor<double> make_cube(size_t h, size_t w, size_t e) {
+  util::Rng rng(42);
+  tensor::Tensor<double> cube(tensor::Shape{h, w, e});
+  for (size_t i = 0; i < cube.size(); ++i) cube[i] = rng.uniform(0, 50);
+  return cube;
+}
+
+void BM_SumSpectralAxis(benchmark::State& state) {
+  auto cube = make_cube(64, 64, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::sum_axis3(cube, 2));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(cube.size() * 8));
+}
+BENCHMARK(BM_SumSpectralAxis)->Arg(256)->Arg(1024);
+
+void BM_SumSpectrum(benchmark::State& state) {
+  auto cube = make_cube(64, 64, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::sum_keep_axis3(cube, 2));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(cube.size() * 8));
+}
+BENCHMARK(BM_SumSpectrum)->Arg(256)->Arg(1024);
+
+void BM_ConvertFast(benchmark::State& state) {
+  auto stack = make_cube(static_cast<size_t>(state.range(0)), 128, 128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(video::convert_fast(stack));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stack.size() * 8));
+}
+BENCHMARK(BM_ConvertFast)->Arg(16)->Arg(64);
+
+void BM_ConvertNaive(benchmark::State& state) {
+  auto stack = make_cube(static_cast<size_t>(state.range(0)), 128, 128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(video::convert_naive(stack));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stack.size() * 8));
+}
+BENCHMARK(BM_ConvertNaive)->Arg(16);
+
+void BM_Codec(benchmark::State& state, const char* name) {
+  instrument::SpatiotemporalConfig cfg;
+  cfg.frames = 8;
+  cfg.height = 128;
+  cfg.width = 128;
+  auto frames = video::convert_fast(
+      instrument::generate_spatiotemporal(cfg).stack);
+  compress::Bytes input(frames.data().begin(), frames.data().end());
+  const auto* codec = compress::CodecRegistry::standard().find(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->compress(input));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(input.size()));
+}
+BENCHMARK_CAPTURE(BM_Codec, rle, "rle");
+BENCHMARK_CAPTURE(BM_Codec, delta, "delta");
+BENCHMARK_CAPTURE(BM_Codec, lz, "lz");
+
+void BM_Crc64(benchmark::State& state) {
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)));
+  util::Rng rng(7);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.uniform_int(0, 255));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::crc64(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc64)->Arg(64 * 1024)->Arg(4 * 1024 * 1024);
+
+void BM_EmdRoundTrip(benchmark::State& state) {
+  instrument::HyperspectralConfig cfg;
+  cfg.height = 32;
+  cfg.width = 32;
+  cfg.channels = static_cast<size_t>(state.range(0));
+  cfg.background = {{"C", 1.0}};
+  auto sample = instrument::generate_hyperspectral(cfg);
+  emd::MicroscopeSettings scope;
+  auto file = instrument::to_emd(sample, cfg, scope, "2023-04-07T10:00:00Z",
+                                 "s", "o");
+  for (auto _ : state) {
+    auto bytes = file.to_bytes();
+    auto parsed = emd::File::from_bytes(bytes);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_EmdRoundTrip)->Arg(128)->Arg(512);
+
+void BM_EmdHeaderOnlyParse(benchmark::State& state) {
+  instrument::HyperspectralConfig cfg;
+  cfg.height = 32;
+  cfg.width = 32;
+  cfg.channels = 512;
+  cfg.background = {{"C", 1.0}};
+  auto sample = instrument::generate_hyperspectral(cfg);
+  emd::MicroscopeSettings scope;
+  auto bytes = instrument::to_emd(sample, cfg, scope, "2023-04-07T10:00:00Z",
+                                  "s", "o")
+                   .to_bytes();
+  for (auto _ : state) {
+    auto parsed = emd::File::from_bytes(bytes, /*with_payload=*/false);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_EmdHeaderOnlyParse);
+
+void BM_JsonParse(benchmark::State& state) {
+  util::Json doc = util::Json::object();
+  for (int i = 0; i < 50; ++i) {
+    doc["key" + std::to_string(i)] = util::Json::object({
+        {"value", i},
+        {"name", "entry-" + std::to_string(i)},
+        {"tags", util::Json::array({"a", "b", "c"})},
+    });
+  }
+  std::string text = doc.dump();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::Json::parse(text));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonParse);
+
+void BM_SearchIngestAndQuery(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    search::Index index("bench");
+    state.ResumeTiming();
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+      search::Document d;
+      d.id = "doc" + std::to_string(i);
+      d.content = util::Json::object({
+          {"title", "hyperspectral acquisition number " + std::to_string(i)},
+          {"subjects", util::Json::array({"Au", "Pb", "carbon"})},
+      });
+      index.ingest(std::move(d));
+    }
+    search::Query q;
+    q.text = "hyperspectral acquisition";
+    benchmark::DoNotOptimize(index.search(q));
+  }
+}
+BENCHMARK(BM_SearchIngestAndQuery)->Arg(100)->Arg(1000);
+
+void BM_BlobDetect(benchmark::State& state) {
+  instrument::SpatiotemporalConfig cfg;
+  cfg.frames = 1;
+  cfg.height = static_cast<size_t>(state.range(0));
+  cfg.width = static_cast<size_t>(state.range(0));
+  auto sample = instrument::generate_spatiotemporal(cfg);
+  auto frame = sample.stack.slice0(0);
+  vision::BlobDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.detect(frame));
+  }
+}
+BENCHMARK(BM_BlobDetect)->Arg(128)->Arg(256);
+
+void BM_PeakFind(benchmark::State& state) {
+  instrument::HyperspectralConfig cfg;
+  cfg.height = 48;
+  cfg.width = 48;
+  cfg.channels = 1024;
+  cfg.background = {{"C", 0.6}, {"Fe", 0.4}};
+  auto sample = instrument::generate_hyperspectral(cfg);
+  auto spectrum = analysis::sum_spectrum(sample.cube);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::find_peaks(spectrum, sample.energy_axis));
+  }
+}
+BENCHMARK(BM_PeakFind);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Quickstart: the full PicoProbe -> supercomputer loop in ~80 lines.
+//
+//   1. Generate a small hyperspectral acquisition (synthetic instrument).
+//   2. Stage it on the user workstation's transfer directory.
+//   3. Run the hyperspectral flow: Transfer -> Analyze (Polaris) -> Publish.
+//   4. Query the search index and render the data portal.
+//
+// Everything runs in virtual time; analysis operates on real bytes and the
+// portal HTML + plots land in ./quickstart-output/.
+#include <cstdio>
+
+#include "core/facility.hpp"
+#include "core/flows.hpp"
+#include "instrument/hyperspectral_gen.hpp"
+#include "portal/portal.hpp"
+
+using namespace pico;
+
+int main() {
+  // -- facility -------------------------------------------------------------
+  core::FacilityConfig config;
+  config.artifact_dir = "quickstart-output/artifacts";
+  config.seed = 7;
+  core::Facility facility(config);
+
+  // -- 1. acquire -----------------------------------------------------------
+  instrument::HyperspectralConfig gen = instrument::HyperspectralConfig::fig2_sample();
+  gen.height = 64;
+  gen.width = 64;
+  gen.channels = 512;
+  auto sample = instrument::generate_hyperspectral(gen);
+  emd::MicroscopeSettings scope;  // 300 kV, XPAD detector defaults
+  emd::File emd_file = instrument::to_emd(
+      sample, gen, scope, "2023-04-07T10:15:00Z",
+      "polyamide film treated to capture heavy metals", "operator@anl.gov");
+  std::printf("acquired: %zux%zux%zu cube, %.1f MB EMD file\n", gen.height,
+              gen.width, gen.channels,
+              static_cast<double>(emd_file.payload_bytes()) / 1e6);
+
+  // -- 2. stage on the user workstation --------------------------------------
+  auto staged = facility.stage_real_file("staging/quickstart.emd",
+                                         emd_file.to_bytes());
+  if (!staged) {
+    std::fprintf(stderr, "staging failed: %s\n", staged.error().message.c_str());
+    return 1;
+  }
+
+  // -- 3. run the flow --------------------------------------------------------
+  core::FlowInput input;
+  input.file = "staging/quickstart.emd";
+  input.dest = "eagle/quickstart.emd";
+  input.artifact_prefix = "quickstart";
+  input.title = "Quickstart hyperspectral acquisition";
+  input.subject = "quickstart-0001";
+  input.owner = facility.user_identity();
+  auto run = facility.flows().start(core::hyperspectral_flow(facility),
+                                    input.to_json(), facility.user_token(),
+                                    "quickstart");
+  if (!run) {
+    std::fprintf(stderr, "flow start failed: %s\n", run.error().message.c_str());
+    return 1;
+  }
+  facility.engine().run();  // drain virtual time
+
+  const flow::RunInfo& info = facility.flows().info(run.value());
+  const flow::RunTiming& timing = facility.flows().timing(run.value());
+  std::printf("flow %s: %s\n", run.value().c_str(),
+              flow::run_state_name(info.state).c_str());
+  for (const auto& step : timing.steps) {
+    std::printf("  %-10s active %6.1fs, discovery lag %5.1fs, %d polls\n",
+                step.name.c_str(), step.active_s(), step.discovery_lag_s(),
+                step.polls);
+  }
+  std::printf("  total %.1fs = active %.1fs + overhead %.1fs (%.0f%%)\n",
+              timing.total_s(), timing.active_s(), timing.overhead_s(),
+              100.0 * timing.overhead_s() / timing.total_s());
+
+  // -- 4. search + portal ------------------------------------------------------
+  search::Query query;
+  query.text = "heavy metals";
+  auto hits = facility.index().search(query, facility.user_identity());
+  std::printf("search for \"heavy metals\": %zu hit(s)\n", hits.size());
+  for (const auto& hit : hits) {
+    auto doc = facility.index().get(hit.id, facility.user_identity());
+    if (!doc) continue;
+    std::printf("  %s: elements = %s\n", hit.id.c_str(),
+                doc.value()->content.at("subjects").dump().c_str());
+  }
+
+  portal::Portal site(portal::PortalConfig{"Dynamic PicoProbe Data Portal",
+                                           "quickstart-output/portal"});
+  auto generated = site.generate(facility.index(), facility.user_identity());
+  if (generated) {
+    std::printf("portal: open %s\n", generated.value().index_path.c_str());
+  }
+  return info.state == flow::RunState::Succeeded ? 0 : 1;
+}

@@ -1,0 +1,160 @@
+#include "analysis/calibration.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/strings.hpp"
+
+namespace pico::analysis {
+namespace {
+
+/// Normalized cross-correlation between `a` and `b` shifted by (dx, dy),
+/// over their overlapping region.
+double shifted_ncc(const tensor::Tensor<double>& a,
+                   const tensor::Tensor<double>& b, int dx, int dy) {
+  const long h = static_cast<long>(a.dim(0));
+  const long w = static_cast<long>(a.dim(1));
+  long y_lo = std::max(0l, static_cast<long>(dy));
+  long y_hi = std::min(h, h + static_cast<long>(dy));
+  long x_lo = std::max(0l, static_cast<long>(dx));
+  long x_hi = std::min(w, w + static_cast<long>(dx));
+  if (y_hi - y_lo < 4 || x_hi - x_lo < 4) return -1;
+
+  double sa = 0, sb = 0, n = 0;
+  for (long y = y_lo; y < y_hi; ++y) {
+    for (long x = x_lo; x < x_hi; ++x) {
+      sa += a(static_cast<size_t>(y), static_cast<size_t>(x));
+      sb += b(static_cast<size_t>(y - dy), static_cast<size_t>(x - dx));
+      n += 1;
+    }
+  }
+  double ma = sa / n, mb = sb / n;
+  double cov = 0, va = 0, vb = 0;
+  for (long y = y_lo; y < y_hi; ++y) {
+    for (long x = x_lo; x < x_hi; ++x) {
+      double da = a(static_cast<size_t>(y), static_cast<size_t>(x)) - ma;
+      double db =
+          b(static_cast<size_t>(y - dy), static_cast<size_t>(x - dx)) - mb;
+      cov += da * db;
+      va += da * da;
+      vb += db * db;
+    }
+  }
+  double denom = std::sqrt(va * vb);
+  return denom <= 0 ? 0 : cov / denom;
+}
+
+}  // namespace
+
+DriftEstimate estimate_drift(const tensor::Tensor<double>& reference,
+                             const tensor::Tensor<double>& image,
+                             int max_shift) {
+  assert(reference.rank() == 2 && reference.shape() == image.shape());
+  DriftEstimate best;
+  best.score = -2;
+  for (int dy = -max_shift; dy <= max_shift; ++dy) {
+    for (int dx = -max_shift; dx <= max_shift; ++dx) {
+      // Correlate the reference against the image pulled back by (dx, dy):
+      // a peak at (dx, dy) means the image moved by that much.
+      double score = shifted_ncc(image, reference, dx, dy);
+      if (score > best.score) {
+        best.score = score;
+        best.dx = dx;
+        best.dy = dy;
+      }
+    }
+  }
+  return best;
+}
+
+double sharpness(const tensor::Tensor<double>& image) {
+  assert(image.rank() == 2);
+  const size_t h = image.dim(0), w = image.dim(1);
+  if (h < 3 || w < 3) return 0;
+  double acc = 0;
+  for (size_t y = 1; y + 1 < h; ++y) {
+    for (size_t x = 1; x + 1 < w; ++x) {
+      double gx = image(y - 1, x + 1) + 2 * image(y, x + 1) + image(y + 1, x + 1) -
+                  image(y - 1, x - 1) - 2 * image(y, x - 1) - image(y + 1, x - 1);
+      double gy = image(y + 1, x - 1) + 2 * image(y + 1, x) + image(y + 1, x + 1) -
+                  image(y - 1, x - 1) - 2 * image(y - 1, x) - image(y - 1, x + 1);
+      acc += gx * gx + gy * gy;
+    }
+  }
+  return acc / static_cast<double>((h - 2) * (w - 2));
+}
+
+std::string alert_kind_name(AlertKind k) {
+  switch (k) {
+    case AlertKind::Drift: return "drift";
+    case AlertKind::FocusLoss: return "focus-loss";
+    case AlertKind::IntensityDrop: return "intensity-drop";
+  }
+  return "?";
+}
+
+std::vector<CalibrationAlert> CalibrationMonitor::observe(
+    const tensor::Tensor<double>& image) {
+  std::vector<CalibrationAlert> alerts;
+  ++observations_;
+  if (!reference_.has_value()) {
+    reference_ = image;
+    reference_sharpness_ = sharpness(image);
+    reference_mean_ = tensor::mean_value(image);
+    return alerts;
+  }
+  if (image.shape() != reference_->shape()) {
+    // Shape change = new acquisition mode; silently re-baseline.
+    reference_ = image;
+    reference_sharpness_ = sharpness(image);
+    reference_mean_ = tensor::mean_value(image);
+    return alerts;
+  }
+
+  DriftEstimate drift = estimate_drift(*reference_, image, config_.max_shift_px);
+  double magnitude = std::hypot(drift.dx, drift.dy);
+  if (magnitude > config_.drift_threshold_px) {
+    alerts.push_back(CalibrationAlert{
+        AlertKind::Drift,
+        magnitude / config_.drift_threshold_px,
+        util::format("stage drift %.1f px (dx=%+.0f, dy=%+.0f)", magnitude,
+                     drift.dx, drift.dy),
+        util::Json::object({{"dx", drift.dx},
+                            {"dy", drift.dy},
+                            {"score", drift.score}}),
+    });
+  }
+
+  double sharp = sharpness(image);
+  if (reference_sharpness_ > 0 &&
+      sharp < config_.sharpness_floor_frac * reference_sharpness_) {
+    double frac = sharp / reference_sharpness_;
+    alerts.push_back(CalibrationAlert{
+        AlertKind::FocusLoss,
+        config_.sharpness_floor_frac / std::max(frac, 1e-9),
+        util::format("sharpness at %.0f%% of reference (defocus?)",
+                     100 * frac),
+        util::Json::object({{"sharpness", sharp},
+                            {"reference", reference_sharpness_}}),
+    });
+  }
+
+  double mean = tensor::mean_value(image);
+  if (reference_mean_ > 0 &&
+      mean < config_.intensity_floor_frac * reference_mean_) {
+    double frac = mean / reference_mean_;
+    alerts.push_back(CalibrationAlert{
+        AlertKind::IntensityDrop,
+        config_.intensity_floor_frac / std::max(frac, 1e-9),
+        util::format("mean intensity at %.0f%% of reference (beam decay?)",
+                     100 * frac),
+        util::Json::object({{"mean", mean}, {"reference", reference_mean_}}),
+    });
+  }
+  return alerts;
+}
+
+void CalibrationMonitor::rebaseline() { reference_.reset(); }
+
+}  // namespace pico::analysis

@@ -1,0 +1,87 @@
+#pragma once
+// Calibration monitoring — the paper's Fig. 1 step 3(iv): ML/AI approaches
+// that "perform error correction by alerting the Dynamic PicoProbe operator
+// to calibration problems". Watches a stream of acquisitions (intensity maps
+// or frames) for three instrument pathologies:
+//
+//   - stage/sample DRIFT: integer-pixel cross-correlation shift between the
+//     current image and the reference;
+//   - FOCUS loss: drop in gradient-energy sharpness (Tenengrad);
+//   - INTENSITY drop: falling mean signal (beam current/alignment decay).
+//
+// Alerts feed the "actionable summary" loop of Fig. 1 step 4 (see the
+// steering example).
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/json.hpp"
+
+namespace pico::analysis {
+
+/// Integer-pixel image shift estimate via windowed cross-correlation search.
+struct DriftEstimate {
+  double dx = 0, dy = 0;  ///< shift of `image` relative to `reference`
+  double score = 0;       ///< normalized correlation at the best shift, [-1, 1]
+};
+
+/// Estimate the translation between two same-shape images by maximizing the
+/// normalized cross-correlation over shifts in [-max_shift, +max_shift]².
+DriftEstimate estimate_drift(const tensor::Tensor<double>& reference,
+                             const tensor::Tensor<double>& image,
+                             int max_shift = 8);
+
+/// Tenengrad sharpness: mean squared Sobel gradient magnitude. Defocus blurs
+/// edges and drives this down.
+double sharpness(const tensor::Tensor<double>& image);
+
+enum class AlertKind { Drift, FocusLoss, IntensityDrop };
+
+std::string alert_kind_name(AlertKind k);
+
+struct CalibrationAlert {
+  AlertKind kind;
+  double severity = 0;    ///< 1.0 = exactly at threshold, >1 worse
+  std::string message;
+  util::Json details;
+};
+
+struct CalibrationConfig {
+  /// Alert when accumulated drift from the reference exceeds this.
+  double drift_threshold_px = 4.0;
+  /// Alert when sharpness falls below this fraction of the reference's.
+  double sharpness_floor_frac = 0.6;
+  /// Alert when mean intensity falls below this fraction of the reference's.
+  double intensity_floor_frac = 0.7;
+  /// Drift search window per observation.
+  int max_shift_px = 8;
+};
+
+/// Stateful monitor: the first observation becomes the reference; later
+/// observations are compared against it. `rebaseline()` adopts the next
+/// observation as the new reference (the operator "corrected" the scope).
+class CalibrationMonitor {
+ public:
+  explicit CalibrationMonitor(CalibrationConfig config = {})
+      : config_(config) {}
+
+  /// Observe one acquisition (rank-2 image). Returns any alerts it raises.
+  std::vector<CalibrationAlert> observe(const tensor::Tensor<double>& image);
+
+  /// Drop the reference; the next observation re-baselines the monitor.
+  void rebaseline();
+
+  bool has_reference() const { return reference_.has_value(); }
+  size_t observations() const { return observations_; }
+
+ private:
+  CalibrationConfig config_;
+  std::optional<tensor::Tensor<double>> reference_;
+  double reference_sharpness_ = 0;
+  double reference_mean_ = 0;
+  size_t observations_ = 0;
+};
+
+}  // namespace pico::analysis

@@ -1,0 +1,80 @@
+#include "analysis/metadata.hpp"
+
+#include "emd/schema.hpp"
+
+namespace pico::analysis {
+
+using util::Json;
+
+Json dataset_inventory(const emd::File& file) {
+  Json signals = Json::array();
+  const emd::Group* data = file.root.find_group(emd::Paths::kData);
+  if (data) {
+    for (const auto& [name, group] : data->groups) {
+      auto ds_it = group.datasets.find("data");
+      if (ds_it == group.datasets.end()) continue;
+      const emd::Dataset& ds = ds_it->second;
+      Json shape = Json::array();
+      for (size_t d : ds.shape()) shape.push_back(static_cast<int64_t>(d));
+      Json axes = Json::array();
+      auto axes_it = group.attrs.find("axes");
+      if (axes_it != group.attrs.end()) axes = axes_it->second;
+      auto kind_it = group.attrs.find("signal_kind");
+      signals.push_back(Json::object({
+          {"name", name},
+          {"kind", kind_it != group.attrs.end() ? kind_it->second : Json()},
+          {"dtype", std::string(tensor::dtype_name(ds.dtype()))},
+          {"shape", shape},
+          {"axes", axes},
+          {"nbytes", static_cast<int64_t>(ds.nbytes())},
+      }));
+    }
+  }
+  return signals;
+}
+
+util::Result<Json> extract_metadata(const emd::File& file) {
+  using R = util::Result<Json>;
+  const emd::Group* data = file.root.find_group(emd::Paths::kData);
+  if (!data || data->groups.empty()) {
+    return R::err("EMD file has no data signals", "schema");
+  }
+
+  Json out = Json::object();
+
+  auto acquired = file.root.attrs.find("acquired");
+  out["acquired"] = acquired != file.root.attrs.end() ? acquired->second : Json();
+
+  const emd::Group* mic = file.root.find_group(emd::Paths::kMicroscope);
+  if (mic) {
+    auto settings = mic->attrs.find("settings");
+    out["microscope"] = settings != mic->attrs.end() ? settings->second : Json();
+  } else {
+    out["microscope"] = Json();
+  }
+
+  const emd::Group* sample = file.root.find_group(emd::Paths::kSample);
+  if (sample) {
+    auto desc = sample->attrs.find("description");
+    out["sample"] = desc != sample->attrs.end() ? desc->second : Json();
+  }
+
+  const emd::Group* user = file.root.find_group(emd::Paths::kUser);
+  if (user) {
+    auto op = user->attrs.find("operator");
+    out["operator"] = op != user->attrs.end() ? op->second : Json();
+  }
+
+  // Software block (versioning travels in the microscope settings).
+  const Json& settings = out["microscope"];
+  out["software"] = Json::object({
+      {"name", settings.at("software")},
+      {"version", settings.at("software_version")},
+  });
+
+  out["signals"] = dataset_inventory(file);
+  out["payload_bytes"] = static_cast<int64_t>(file.payload_bytes());
+  return R::ok(std::move(out));
+}
+
+}  // namespace pico::analysis

@@ -1,0 +1,21 @@
+#pragma once
+// HyperSpy-style metadata extraction (paper Sec. 2.2.2): walk an EMD file and
+// produce the JSON block the flows publish — sample collection date/time,
+// acquisition instrument details (stage and detector positions, beam energy,
+// magnification), and software versioning. Designed to work on header-only
+// (metadata-only) reads so cataloging never touches dataset payloads.
+#include "emd/file.hpp"
+#include "util/json.hpp"
+#include "util/result.hpp"
+
+namespace pico::analysis {
+
+/// Extract the standard PicoProbe metadata block from an EMD-lite file.
+/// Missing optional groups yield nulls rather than errors; a file with no
+/// data group at all is an error.
+util::Result<util::Json> extract_metadata(const emd::File& file);
+
+/// Dataset inventory: per signal, its kind, dtype, shape and byte size.
+util::Json dataset_inventory(const emd::File& file);
+
+}  // namespace pico::analysis

@@ -1,0 +1,193 @@
+#include "analysis/plot.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/bytes.hpp"
+#include "util/strings.hpp"
+
+namespace pico::analysis {
+namespace {
+
+// Choose a tick step of the form {1,2,5}x10^k covering span/target ticks.
+double nice_step(double span, int target_ticks) {
+  if (span <= 0) return 1;
+  double raw = span / std::max(1, target_ticks);
+  double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  double norm = raw / mag;
+  double step = norm < 1.5 ? 1 : norm < 3.5 ? 2 : norm < 7.5 ? 5 : 10;
+  return step * mag;
+}
+
+}  // namespace
+
+std::string render_line_svg(const std::vector<double>& x,
+                            const std::vector<double>& y,
+                            const LinePlotConfig& cfg) {
+  assert(x.size() == y.size());
+  const double W = cfg.width_px, H = cfg.height_px;
+  const double ml = 64, mr = 16, mt = 36, mb = 48;  // margins
+  const double pw = W - ml - mr, ph = H - mt - mb;  // plot area
+
+  double x_min = 0, x_max = 1, y_min = 0, y_max = 1;
+  if (!x.empty()) {
+    x_min = *std::min_element(x.begin(), x.end());
+    x_max = *std::max_element(x.begin(), x.end());
+    y_min = *std::min_element(y.begin(), y.end());
+    y_max = *std::max_element(y.begin(), y.end());
+    if (x_max == x_min) x_max = x_min + 1;
+    if (y_max == y_min) y_max = y_min + 1;
+    y_min = std::min(y_min, 0.0);  // anchor count axes at zero
+  }
+  auto sx = [&](double v) { return ml + (v - x_min) / (x_max - x_min) * pw; };
+  auto sy = [&](double v) { return mt + ph - (v - y_min) / (y_max - y_min) * ph; };
+
+  std::string svg = util::format(
+      "<svg xmlns='http://www.w3.org/2000/svg' width='%d' height='%d' "
+      "viewBox='0 0 %d %d' font-family='sans-serif'>\n",
+      cfg.width_px, cfg.height_px, cfg.width_px, cfg.height_px);
+  svg += "<rect width='100%' height='100%' fill='white'/>\n";
+
+  // Axes frame.
+  svg += util::format(
+      "<rect x='%.1f' y='%.1f' width='%.1f' height='%.1f' fill='none' "
+      "stroke='#444'/>\n",
+      ml, mt, pw, ph);
+
+  // Ticks + grid.
+  double xs = nice_step(x_max - x_min, 8);
+  for (double t = std::ceil(x_min / xs) * xs; t <= x_max + 1e-9; t += xs) {
+    svg += util::format(
+        "<line x1='%.1f' y1='%.1f' x2='%.1f' y2='%.1f' stroke='#ddd'/>\n",
+        sx(t), mt, sx(t), mt + ph);
+    svg += util::format(
+        "<text x='%.1f' y='%.1f' font-size='11' text-anchor='middle' "
+        "fill='#333'>%g</text>\n",
+        sx(t), mt + ph + 16, t);
+  }
+  double ys = nice_step(y_max - y_min, 6);
+  for (double t = std::ceil(y_min / ys) * ys; t <= y_max + 1e-9; t += ys) {
+    svg += util::format(
+        "<line x1='%.1f' y1='%.1f' x2='%.1f' y2='%.1f' stroke='#ddd'/>\n",
+        ml, sy(t), ml + pw, sy(t));
+    svg += util::format(
+        "<text x='%.1f' y='%.1f' font-size='11' text-anchor='end' "
+        "fill='#333'>%g</text>\n",
+        ml - 6, sy(t) + 4, t);
+  }
+
+  // Data polyline.
+  if (!x.empty()) {
+    std::string points;
+    for (size_t i = 0; i < x.size(); ++i) {
+      points += util::format("%.1f,%.1f ", sx(x[i]), sy(y[i]));
+    }
+    svg += "<polyline fill='none' stroke='#1a5276' stroke-width='1.4' points='" +
+           points + "'/>\n";
+  }
+
+  // Annotations (element line markers).
+  for (const auto& [pos, label] : cfg.annotations) {
+    if (pos < x_min || pos > x_max) continue;
+    svg += util::format(
+        "<line x1='%.1f' y1='%.1f' x2='%.1f' y2='%.1f' stroke='#c0392b' "
+        "stroke-dasharray='4 3'/>\n",
+        sx(pos), mt, sx(pos), mt + ph);
+    svg += util::format(
+        "<text x='%.1f' y='%.1f' font-size='11' fill='#c0392b' "
+        "text-anchor='middle'>%s</text>\n",
+        sx(pos), mt - 4, util::html_escape(label).c_str());
+  }
+
+  // Labels.
+  svg += util::format(
+      "<text x='%.1f' y='20' font-size='14' text-anchor='middle' "
+      "fill='#111'>%s</text>\n",
+      ml + pw / 2, util::html_escape(cfg.title).c_str());
+  svg += util::format(
+      "<text x='%.1f' y='%.1f' font-size='12' text-anchor='middle' "
+      "fill='#333'>%s</text>\n",
+      ml + pw / 2, H - 10, util::html_escape(cfg.x_label).c_str());
+  svg += util::format(
+      "<text x='14' y='%.1f' font-size='12' text-anchor='middle' "
+      "fill='#333' transform='rotate(-90 14 %.1f)'>%s</text>\n",
+      mt + ph / 2, mt + ph / 2, util::html_escape(cfg.y_label).c_str());
+
+  svg += "</svg>\n";
+  return svg;
+}
+
+util::Status write_pgm(const std::string& path,
+                       const tensor::Tensor<double>& image) {
+  if (image.rank() != 2) {
+    return util::Status::err("write_pgm expects a rank-2 tensor", "invalid");
+  }
+  return write_pgm_u8(path, tensor::to_u8_normalized(image));
+}
+
+util::Status write_pgm_u8(const std::string& path,
+                          const tensor::Tensor<uint8_t>& image) {
+  if (image.rank() != 2) {
+    return util::Status::err("write_pgm_u8 expects a rank-2 tensor", "invalid");
+  }
+  std::string header = util::format("P5\n%zu %zu\n255\n", image.dim(1), image.dim(0));
+  std::vector<uint8_t> out;
+  out.reserve(header.size() + image.size());
+  out.insert(out.end(), header.begin(), header.end());
+  out.insert(out.end(), image.data().begin(), image.data().end());
+  return util::write_file(path, out);
+}
+
+util::Status write_ppm(const std::string& path,
+                       const tensor::Tensor<uint8_t>& rgb) {
+  if (rgb.rank() != 3 || rgb.dim(2) != 3) {
+    return util::Status::err("write_ppm expects [H, W, 3]", "invalid");
+  }
+  std::string header = util::format("P6\n%zu %zu\n255\n", rgb.dim(1), rgb.dim(0));
+  std::vector<uint8_t> out;
+  out.reserve(header.size() + rgb.size());
+  out.insert(out.end(), header.begin(), header.end());
+  out.insert(out.end(), rgb.data().begin(), rgb.data().end());
+  return util::write_file(path, out);
+}
+
+tensor::Tensor<uint8_t> gray_to_rgb_with_boxes(
+    const tensor::Tensor<uint8_t>& gray, const std::vector<util::Box>& boxes,
+    uint8_t r, uint8_t g, uint8_t b) {
+  assert(gray.rank() == 2);
+  const size_t h = gray.dim(0), w = gray.dim(1);
+  tensor::Tensor<uint8_t> rgb(tensor::Shape{h, w, 3});
+  for (size_t i = 0; i < h; ++i) {
+    for (size_t j = 0; j < w; ++j) {
+      uint8_t v = gray(i, j);
+      rgb(i, j, 0) = v;
+      rgb(i, j, 1) = v;
+      rgb(i, j, 2) = v;
+    }
+  }
+  auto put = [&](long yy, long xx) {
+    if (yy < 0 || xx < 0 || yy >= static_cast<long>(h) || xx >= static_cast<long>(w)) return;
+    rgb(static_cast<size_t>(yy), static_cast<size_t>(xx), 0) = r;
+    rgb(static_cast<size_t>(yy), static_cast<size_t>(xx), 1) = g;
+    rgb(static_cast<size_t>(yy), static_cast<size_t>(xx), 2) = b;
+  };
+  for (const auto& box : boxes) {
+    long x1 = static_cast<long>(std::lround(box.x));
+    long y1 = static_cast<long>(std::lround(box.y));
+    long x2 = static_cast<long>(std::lround(box.x2()));
+    long y2 = static_cast<long>(std::lround(box.y2()));
+    for (long xx = x1; xx <= x2; ++xx) {
+      put(y1, xx);
+      put(y2, xx);
+    }
+    for (long yy = y1; yy <= y2; ++yy) {
+      put(yy, x1);
+      put(yy, x2);
+    }
+  }
+  return rgb;
+}
+
+}  // namespace pico::analysis

@@ -1,0 +1,46 @@
+#pragma once
+// Plot artifact writers for the portal: SVG line charts (spectra, time
+// series) and PGM/PPM raster images (intensity maps, annotated frames).
+// Self-contained text formats keep the portal pages dependency-free.
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/geometry.hpp"
+#include "util/result.hpp"
+
+namespace pico::analysis {
+
+struct LinePlotConfig {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  int width_px = 720;
+  int height_px = 360;
+  /// Mark these x positions with labeled vertical ticks (e.g. element lines).
+  std::vector<std::pair<double, std::string>> annotations;
+};
+
+/// Render y(x) as an SVG document string.
+std::string render_line_svg(const std::vector<double>& x,
+                            const std::vector<double>& y,
+                            const LinePlotConfig& config);
+
+/// Write a grayscale image (min-max normalized) as binary PGM (P5).
+util::Status write_pgm(const std::string& path,
+                       const tensor::Tensor<double>& image);
+
+/// Write an 8-bit grayscale image as PGM without rescaling.
+util::Status write_pgm_u8(const std::string& path,
+                          const tensor::Tensor<uint8_t>& image);
+
+/// Write an RGB image as binary PPM (P6). `rgb` is [H, W, 3] u8.
+util::Status write_ppm(const std::string& path,
+                       const tensor::Tensor<uint8_t>& rgb);
+
+/// Grayscale -> RGB with boxes burned in (annotated detection frames).
+tensor::Tensor<uint8_t> gray_to_rgb_with_boxes(
+    const tensor::Tensor<uint8_t>& gray, const std::vector<util::Box>& boxes,
+    uint8_t r = 255, uint8_t g = 140, uint8_t b = 0);
+
+}  // namespace pico::analysis

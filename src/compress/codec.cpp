@@ -1,0 +1,90 @@
+#include "compress/codec.hpp"
+
+#include <cstring>
+
+#include "util/bytes.hpp"
+#include "util/crc64.hpp"
+
+namespace pico::compress {
+
+namespace {
+constexpr char kFrameMagic[4] = {'P', 'C', 'Z', '1'};
+}
+
+const CodecRegistry& CodecRegistry::standard() {
+  static const CodecRegistry* kRegistry = [] {
+    auto* r = new CodecRegistry();
+    r->add(std::make_unique<NullCodec>());
+    r->add(std::make_unique<RleCodec>());
+    r->add(std::make_unique<DeltaCodec>());
+    r->add(std::make_unique<LzCodec>());
+    r->add(std::make_unique<ShuffleLzCodec>());
+    return r;
+  }();
+  return *kRegistry;
+}
+
+const Codec* CodecRegistry::find(const std::string& name) const {
+  for (const auto& c : codecs_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> CodecRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(codecs_.size());
+  for (const auto& c : codecs_) out.push_back(c->name());
+  return out;
+}
+
+void CodecRegistry::add(std::unique_ptr<Codec> codec) {
+  codecs_.push_back(std::move(codec));
+}
+
+Bytes encode_frame(const Codec& codec, const Bytes& input) {
+  Bytes body = codec.compress(input);
+  Bytes out;
+  out.reserve(body.size() + 32);
+  util::ByteWriter w(&out);
+  w.bytes(kFrameMagic, 4);
+  w.str(codec.name());
+  w.varint(input.size());
+  w.u64(util::crc64(input));
+  w.varint(body.size());
+  w.bytes(body.data(), body.size());
+  return out;
+}
+
+util::Result<Bytes> decode_frame(const CodecRegistry& registry,
+                                 const Bytes& frame) {
+  using R = util::Result<Bytes>;
+  util::ByteReader r(frame);
+  const uint8_t* magic = nullptr;
+  if (!r.view(&magic, 4) || std::memcmp(magic, kFrameMagic, 4) != 0) {
+    return R::err("bad compression frame magic", "parse");
+  }
+  std::string codec_name;
+  uint64_t original_size = 0, body_size = 0, crc = 0;
+  if (!r.str(&codec_name) || !r.varint(&original_size) || !r.u64(&crc) ||
+      !r.varint(&body_size)) {
+    return R::err("truncated compression frame header", "parse");
+  }
+  const Codec* codec = registry.find(codec_name);
+  if (!codec) return R::err("unknown codec: " + codec_name, "not_found");
+  Bytes body;
+  if (!r.bytes(&body, body_size)) {
+    return R::err("truncated compression frame body", "parse");
+  }
+  auto decoded = codec->decompress(body);
+  if (!decoded) return decoded;
+  if (decoded.value().size() != original_size) {
+    return R::err("decompressed size mismatch", "corrupt");
+  }
+  if (util::crc64(decoded.value()) != crc) {
+    return R::err("decompressed CRC mismatch", "corrupt");
+  }
+  return decoded;
+}
+
+}  // namespace pico::compress

@@ -1,0 +1,106 @@
+#pragma once
+// Compression codecs. The paper lists "data compression algorithms" as future
+// work to relieve the transfer bottleneck; the A3 ablation bench uses these
+// codecs on real EMD payloads to quantify the trade. Frames are
+// self-describing (codec name, original size, CRC-64), so a transfer can
+// negotiate per-file compression and verify integrity after decode.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace pico::compress {
+
+using Bytes = std::vector<uint8_t>;
+
+/// Stateless codec interface. Implementations must be inverse pairs:
+/// decompress(compress(x)) == x for every byte string x.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+  virtual std::string name() const = 0;
+  virtual Bytes compress(const Bytes& input) const = 0;
+  /// Fails on malformed streams (fuzz-safe: never reads out of bounds).
+  virtual util::Result<Bytes> decompress(const Bytes& input) const = 0;
+};
+
+/// Identity codec (baseline for the ablation).
+class NullCodec final : public Codec {
+ public:
+  std::string name() const override { return "null"; }
+  Bytes compress(const Bytes& input) const override { return input; }
+  util::Result<Bytes> decompress(const Bytes& input) const override {
+    return util::Result<Bytes>::ok(input);
+  }
+};
+
+/// Byte-level run-length encoding; wins on sparse detector frames.
+class RleCodec final : public Codec {
+ public:
+  std::string name() const override { return "rle"; }
+  Bytes compress(const Bytes& input) const override;
+  util::Result<Bytes> decompress(const Bytes& input) const override;
+};
+
+/// Per-byte delta + RLE of the deltas; wins on smooth image rows.
+class DeltaCodec final : public Codec {
+ public:
+  std::string name() const override { return "delta"; }
+  Bytes compress(const Bytes& input) const override;
+  util::Result<Bytes> decompress(const Bytes& input) const override;
+};
+
+/// LZ77 with a 64 KiB window and hash-chain matching ("lz-lite").
+class LzCodec final : public Codec {
+ public:
+  std::string name() const override { return "lz"; }
+  Bytes compress(const Bytes& input) const override;
+  util::Result<Bytes> decompress(const Bytes& input) const override;
+};
+
+/// Byte-shuffle (HDF5-style filter for f64 words) + LZ: the right codec for
+/// the floating-point detector counts EMD files carry.
+class ShuffleLzCodec final : public Codec {
+ public:
+  std::string name() const override { return "shuffle-lz"; }
+  Bytes compress(const Bytes& input) const override;
+  util::Result<Bytes> decompress(const Bytes& input) const override;
+};
+
+/// Registry of known codecs by name.
+class CodecRegistry {
+ public:
+  /// The default registry with null/rle/delta/lz registered.
+  static const CodecRegistry& standard();
+
+  const Codec* find(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  void add(std::unique_ptr<Codec> codec);
+
+ private:
+  std::vector<std::unique_ptr<Codec>> codecs_;
+};
+
+/// Self-describing frame: "PCZ1" | codec name | original size | crc64 | body.
+Bytes encode_frame(const Codec& codec, const Bytes& input);
+
+/// Decode a frame, looking up the codec in `registry`; validates size + CRC.
+util::Result<Bytes> decode_frame(const CodecRegistry& registry,
+                                 const Bytes& frame);
+
+/// Convenience stats for benches.
+struct CompressionStats {
+  std::string codec;
+  size_t input_bytes = 0;
+  size_t output_bytes = 0;
+  double ratio() const {
+    return output_bytes == 0 ? 0.0
+                             : static_cast<double>(input_bytes) /
+                                   static_cast<double>(output_bytes);
+  }
+};
+
+}  // namespace pico::compress

@@ -1,0 +1,29 @@
+#include "compress/codec.hpp"
+
+namespace pico::compress {
+
+// Byte-delta transform followed by RLE. Smooth detector images have slowly
+// varying intensities, so deltas cluster near zero and RLE collapses them.
+Bytes DeltaCodec::compress(const Bytes& input) const {
+  Bytes deltas(input.size());
+  uint8_t prev = 0;
+  for (size_t i = 0; i < input.size(); ++i) {
+    deltas[i] = static_cast<uint8_t>(input[i] - prev);
+    prev = input[i];
+  }
+  return RleCodec{}.compress(deltas);
+}
+
+util::Result<Bytes> DeltaCodec::decompress(const Bytes& input) const {
+  auto deltas = RleCodec{}.decompress(input);
+  if (!deltas) return deltas;
+  Bytes out = std::move(deltas).value();
+  uint8_t prev = 0;
+  for (auto& b : out) {
+    b = static_cast<uint8_t>(b + prev);
+    prev = b;
+  }
+  return util::Result<Bytes>::ok(std::move(out));
+}
+
+}  // namespace pico::compress

@@ -1,0 +1,135 @@
+#include "compress/codec.hpp"
+
+#include <array>
+
+#include "util/bytes.hpp"
+
+namespace pico::compress {
+namespace {
+
+// LZ77 with a 64 KiB window. Token stream:
+//   0x00 len  <len+1 literal bytes>            (len 0..254 -> 1..255 bytes)
+//   0x01 dist(varint) len(varint)              (match: copy len from dist back)
+// Matching uses a 3-byte hash chained through a head/prev table (greedy, with
+// a bounded chain walk). ~gzip-class behaviour without the bit packing.
+constexpr size_t kWindow = 64 * 1024;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxChain = 64;
+constexpr size_t kHashBits = 15;
+constexpr size_t kHashSize = 1u << kHashBits;
+
+inline uint32_t hash3(const uint8_t* p) {
+  uint32_t v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+               (static_cast<uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void flush_literals(Bytes& out, const Bytes& input, size_t start, size_t end) {
+  while (start < end) {
+    size_t n = std::min<size_t>(end - start, 255);
+    out.push_back(0x00);
+    out.push_back(static_cast<uint8_t>(n - 1));
+    out.insert(out.end(), input.begin() + static_cast<ptrdiff_t>(start),
+               input.begin() + static_cast<ptrdiff_t>(start + n));
+    start += n;
+  }
+}
+
+}  // namespace
+
+Bytes LzCodec::compress(const Bytes& input) const {
+  Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  const size_t n = input.size();
+  if (n < kMinMatch) {
+    flush_literals(out, input, 0, n);
+    return out;
+  }
+
+  std::vector<int64_t> head(kHashSize, -1);
+  std::vector<int64_t> prev(n, -1);
+
+  size_t lit_start = 0;
+  size_t i = 0;
+  while (i + kMinMatch <= n) {
+    uint32_t h = hash3(&input[i]);
+    int64_t candidate = head[h];
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    size_t chain = 0;
+    while (candidate >= 0 && chain < kMaxChain) {
+      size_t dist = i - static_cast<size_t>(candidate);
+      if (dist > kWindow) break;
+      size_t len = 0;
+      size_t max_len = n - i;
+      const uint8_t* a = &input[static_cast<size_t>(candidate)];
+      const uint8_t* b = &input[i];
+      while (len < max_len && a[len] == b[len]) ++len;
+      if (len > best_len) {
+        best_len = len;
+        best_dist = dist;
+      }
+      candidate = prev[static_cast<size_t>(candidate)];
+      ++chain;
+    }
+
+    if (best_len >= kMinMatch) {
+      flush_literals(out, input, lit_start, i);
+      out.push_back(0x01);
+      util::ByteWriter w(&out);
+      w.varint(best_dist);
+      w.varint(best_len);
+      // Insert hash entries for every position the match covers so later
+      // matches can anchor inside it.
+      size_t stop = std::min(i + best_len, n - kMinMatch + 1);
+      for (size_t j = i; j < stop; ++j) {
+        uint32_t hj = hash3(&input[j]);
+        prev[j] = head[hj];
+        head[hj] = static_cast<int64_t>(j);
+      }
+      i += best_len;
+      lit_start = i;
+    } else {
+      prev[i] = head[h];
+      head[h] = static_cast<int64_t>(i);
+      ++i;
+    }
+  }
+  flush_literals(out, input, lit_start, n);
+  return out;
+}
+
+util::Result<Bytes> LzCodec::decompress(const Bytes& input) const {
+  using R = util::Result<Bytes>;
+  Bytes out;
+  util::ByteReader r(input);
+  while (!r.exhausted()) {
+    uint8_t tag = 0;
+    if (!r.u8(&tag)) return R::err("LZ truncated tag", "corrupt");
+    if (tag == 0x00) {
+      uint8_t len_m1 = 0;
+      if (!r.u8(&len_m1)) return R::err("LZ truncated literal length", "corrupt");
+      size_t len = static_cast<size_t>(len_m1) + 1;
+      const uint8_t* p = nullptr;
+      if (!r.view(&p, len)) return R::err("LZ literal overruns input", "corrupt");
+      out.insert(out.end(), p, p + len);
+    } else if (tag == 0x01) {
+      uint64_t dist = 0, len = 0;
+      if (!r.varint(&dist) || !r.varint(&len)) {
+        return R::err("LZ truncated match", "corrupt");
+      }
+      if (dist == 0 || dist > out.size()) {
+        return R::err("LZ match distance out of range", "corrupt");
+      }
+      if (len > (1ull << 32)) return R::err("LZ match length absurd", "corrupt");
+      size_t src = out.size() - dist;
+      // Byte-by-byte copy: matches may overlap their own output.
+      for (uint64_t k = 0; k < len; ++k) out.push_back(out[src + k]);
+    } else {
+      return R::err("LZ unknown tag", "corrupt");
+    }
+  }
+  return R::ok(std::move(out));
+}
+
+}  // namespace pico::compress

@@ -1,0 +1,66 @@
+#include "compress/codec.hpp"
+
+namespace pico::compress {
+
+// Format: sequence of (control, payload) records.
+//   control 0x00..0x7F: literal run of (control+1) bytes follows
+//   control 0x80..0xFF: repeat next byte (control-0x7F+1) times, i.e. runs of
+//                       2..129 identical bytes
+Bytes RleCodec::compress(const Bytes& input) const {
+  Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    // Measure the run starting at i (cap 129: control byte is 0x7F + run-1).
+    size_t run = 1;
+    while (i + run < n && input[i + run] == input[i] && run < 129) ++run;
+    if (run >= 2) {
+      out.push_back(static_cast<uint8_t>(0x7F + run - 1));
+      out.push_back(input[i]);
+      i += run;
+      continue;
+    }
+    // Collect a literal stretch until the next run of >= 3 (short runs of 2
+    // are cheaper as literals than breaking the literal record).
+    size_t lit_start = i;
+    while (i < n && (i - lit_start) < 128) {
+      size_t r = 1;
+      while (i + r < n && input[i + r] == input[i] && r < 3) ++r;
+      if (r >= 3) break;
+      ++i;
+    }
+    size_t lit_len = i - lit_start;
+    if (lit_len == 0) {  // ended exactly on a run boundary
+      continue;
+    }
+    out.push_back(static_cast<uint8_t>(lit_len - 1));
+    out.insert(out.end(), input.begin() + static_cast<ptrdiff_t>(lit_start),
+               input.begin() + static_cast<ptrdiff_t>(i));
+  }
+  return out;
+}
+
+util::Result<Bytes> RleCodec::decompress(const Bytes& input) const {
+  using R = util::Result<Bytes>;
+  Bytes out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    uint8_t control = input[i++];
+    if (control < 0x80) {
+      size_t lit_len = static_cast<size_t>(control) + 1;
+      if (i + lit_len > n) return R::err("RLE literal overruns input", "corrupt");
+      out.insert(out.end(), input.begin() + static_cast<ptrdiff_t>(i),
+                 input.begin() + static_cast<ptrdiff_t>(i + lit_len));
+      i += lit_len;
+    } else {
+      if (i >= n) return R::err("RLE run missing byte", "corrupt");
+      size_t run = static_cast<size_t>(control) - 0x7F + 1;
+      out.insert(out.end(), run, input[i++]);
+    }
+  }
+  return R::ok(std::move(out));
+}
+
+}  // namespace pico::compress

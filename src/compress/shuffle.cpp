@@ -1,0 +1,72 @@
+#include "compress/codec.hpp"
+
+#include "util/bytes.hpp"
+
+namespace pico::compress {
+
+// Byte-shuffle preconditioning + LZ. Scientific floats (f64 detector counts)
+// have highly redundant exponent/high-mantissa bytes; transposing the stream
+// so byte k of every 8-byte word is contiguous turns that redundancy into
+// long runs the LZ stage collapses. This is the "shuffle" filter HDF5
+// deploys in front of its compressors — exactly the data the paper's EMD
+// files carry.
+//
+// Stream layout: varint original_size | varint stride | LZ(transposed).
+Bytes ShuffleLzCodec::compress(const Bytes& input) const {
+  const size_t stride = 8;  // f64-oriented; stride survives in the header
+  const size_t n = input.size();
+  const size_t words = n / stride;
+
+  Bytes transposed(n);
+  // Full words transpose; the tail (n % stride bytes) is appended raw.
+  for (size_t w = 0; w < words; ++w) {
+    for (size_t k = 0; k < stride; ++k) {
+      transposed[k * words + w] = input[w * stride + k];
+    }
+  }
+  std::copy(input.begin() + static_cast<ptrdiff_t>(words * stride), input.end(),
+            transposed.begin() + static_cast<ptrdiff_t>(words * stride));
+
+  Bytes packed = LzCodec{}.compress(transposed);
+  Bytes out;
+  util::ByteWriter writer(&out);
+  writer.varint(n);
+  writer.varint(stride);
+  writer.bytes(packed.data(), packed.size());
+  return out;
+}
+
+util::Result<Bytes> ShuffleLzCodec::decompress(const Bytes& input) const {
+  using R = util::Result<Bytes>;
+  util::ByteReader reader(input);
+  uint64_t n = 0, stride = 0;
+  if (!reader.varint(&n) || !reader.varint(&stride)) {
+    return R::err("shuffle: truncated header", "corrupt");
+  }
+  if (stride == 0 || stride > 64) {
+    return R::err("shuffle: implausible stride", "corrupt");
+  }
+  Bytes packed;
+  if (!reader.bytes(&packed, reader.remaining())) {
+    return R::err("shuffle: truncated body", "corrupt");
+  }
+  auto transposed = LzCodec{}.decompress(packed);
+  if (!transposed) return transposed;
+  if (transposed.value().size() != n) {
+    return R::err("shuffle: size mismatch after LZ", "corrupt");
+  }
+
+  const Bytes& t = transposed.value();
+  Bytes out(n);
+  const size_t words = n / stride;
+  for (size_t w = 0; w < words; ++w) {
+    for (size_t k = 0; k < stride; ++k) {
+      out[w * stride + k] = t[k * words + w];
+    }
+  }
+  std::copy(t.begin() + static_cast<ptrdiff_t>(words * stride), t.end(),
+            out.begin() + static_cast<ptrdiff_t>(words * stride));
+  return R::ok(std::move(out));
+}
+
+}  // namespace pico::compress

@@ -1,0 +1,180 @@
+#include "core/campaign.hpp"
+
+#include <memory>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/timefmt.hpp"
+
+namespace pico::core {
+namespace {
+util::Logger& logger() {
+  static util::Logger kLogger("campaign");
+  return kLogger;
+}
+}  // namespace
+
+std::string use_case_name(UseCase u) {
+  switch (u) {
+    case UseCase::Hyperspectral: return "hyperspectral";
+    case UseCase::Spatiotemporal: return "spatiotemporal";
+  }
+  return "?";
+}
+
+util::SampleStats CampaignResult::runtime_stats() const {
+  util::SampleStats s;
+  for (const auto& f : in_window) s.add(f.timing.total_s());
+  return s;
+}
+
+util::SampleStats CampaignResult::overhead_stats() const {
+  util::SampleStats s;
+  for (const auto& f : in_window) s.add(f.timing.overhead_s());
+  return s;
+}
+
+util::SampleStats CampaignResult::overhead_pct_stats() const {
+  util::SampleStats s;
+  for (const auto& f : in_window) {
+    double total = f.timing.total_s();
+    if (total > 0) s.add(100.0 * f.timing.overhead_s() / total);
+  }
+  return s;
+}
+
+util::SampleStats CampaignResult::step_active_stats(
+    const std::string& step_name) const {
+  util::SampleStats s;
+  for (const auto& f : in_window) {
+    for (const auto& step : f.timing.steps) {
+      if (step.name == step_name) s.add(step.active_s());
+    }
+  }
+  return s;
+}
+
+util::SampleStats CampaignResult::step_lag_stats(
+    const std::string& step_name) const {
+  util::SampleStats s;
+  for (const auto& f : in_window) {
+    for (const auto& step : f.timing.steps) {
+      if (step.name == step_name) s.add(step.discovery_lag_s());
+    }
+  }
+  return s;
+}
+
+namespace {
+
+/// Drives the drop -> watch -> launch -> sleep loop in virtual time.
+struct Driver : std::enable_shared_from_this<Driver> {
+  Facility* facility;
+  CampaignConfig config;
+  flow::FlowDefinition definition;
+  CampaignResult* result;
+  int sequence = 0;
+
+  void start_cycle() {
+    sim::SimTime now = facility->engine().now();
+    if (now.seconds() >= config.duration_s) return;  // experiment window over
+
+    int index = sequence++;
+    std::string filename = util::format(
+        "%s/%s-%04d.emd", "staging", config.label_prefix.c_str(), index);
+
+    // 1. Local staging copy (file materialization at staging_rate).
+    double staging_s = static_cast<double>(config.file_bytes) /
+                       facility->cost().staging_rate_Bps;
+    auto self = shared_from_this();
+    facility->engine().schedule_after(
+        sim::Duration::from_seconds(staging_s), [self, filename, index] {
+          auto st = self->facility->stage_virtual_file(filename,
+                                                       self->config.file_bytes);
+          if (!st) {
+            logger().error("stage failed: %s", st.error().message.c_str());
+            return;
+          }
+          // 2. Watcher stability debounce before the flow triggers.
+          self->facility->engine().schedule_after(
+              sim::Duration::from_seconds(
+                  self->facility->cost().watcher_debounce_s),
+              [self, filename, index] { self->trigger_flow(filename, index); });
+        });
+  }
+
+  void trigger_flow(const std::string& filename, int index) {
+    FlowInput input;
+    input.file = filename;
+    input.dest = util::format("eagle/%s/%04d.emd",
+                              config.label_prefix.c_str(), index);
+    input.artifact_prefix = util::format("%s-%04d", config.label_prefix.c_str(), index);
+    input.title = util::format("%s acquisition #%d",
+                               use_case_name(config.use_case).c_str(), index);
+    input.subject = util::format("%s-%04d", config.label_prefix.c_str(), index);
+    input.owner = facility->user_identity();
+    // Stamp acquisition time from virtual clock anchored at the campaign
+    // epoch (2023-04-07T09:00Z) so portal date facets work.
+    int64_t epoch = 0;
+    util::parse_iso8601("2023-04-07T09:00:00Z", &epoch);
+    input.acquired = util::format_iso8601(
+        epoch + static_cast<int64_t>(facility->engine().now().seconds()));
+    input.codec = config.codec;
+    input.frames = config.frames;
+    input.naive_convert = config.naive_convert;
+
+    auto self = shared_from_this();
+    auto run = facility->flows().start(definition, input.to_json(),
+                                       facility->user_token(), input.subject);
+    if (!run) {
+      logger().error("flow start failed: %s", run.error().message.c_str());
+    } else {
+      flow::RunId id = run.value();
+      facility->flows().on_finished(
+          id, [self, id](const flow::RunId&, const flow::RunInfo& info) {
+            CompletedFlow done;
+            done.id = id;
+            done.label = info.label;
+            done.success = info.state == flow::RunState::Succeeded;
+            done.timing = self->facility->flows().timing(id);
+            if (!done.success) self->result->failed += 1;
+            if (done.timing.finished.seconds() <= self->config.duration_s) {
+              self->result->in_window.push_back(std::move(done));
+            } else {
+              self->result->late.push_back(std::move(done));
+            }
+          });
+    }
+
+    // 3. Sleep the configured start period, then begin the next cycle.
+    facility->engine().schedule_after(
+        sim::Duration::from_seconds(config.start_period_s),
+        [self] { self->start_cycle(); });
+  }
+};
+
+}  // namespace
+
+CampaignResult run_campaign(Facility& facility, const CampaignConfig& config) {
+  CampaignResult result;
+  result.config = config;
+
+  auto driver = std::make_shared<Driver>();
+  driver->facility = &facility;
+  driver->config = config;
+  driver->definition = config.use_case == UseCase::Hyperspectral
+                           ? hyperspectral_flow(facility)
+                           : spatiotemporal_flow(facility);
+  driver->result = &result;
+
+  facility.engine().schedule_at(sim::SimTime::zero(),
+                                [driver] { driver->start_cycle(); });
+  facility.engine().run();
+
+  logger().info("%s campaign: %zu in-window flows, %zu late, %zu failed",
+                use_case_name(config.use_case).c_str(),
+                result.in_window.size(), result.late.size(), result.failed);
+  return result;
+}
+
+}  // namespace pico::core

@@ -1,0 +1,65 @@
+#pragma once
+// The paper's controlled 1-hour evaluation (Sec. 3.3): an application
+// periodically copies a file into the transfer directory of the PicoProbe
+// user computer to simulate data generation; each new file triggers a flow;
+// flows execute concurrently. The driver reproduces that loop in virtual
+// time: local staging copy -> watcher stability debounce -> flow launch ->
+// sleep(start period) -> next copy.
+#include <string>
+#include <vector>
+
+#include "core/facility.hpp"
+#include "core/flows.hpp"
+#include "flow/service.hpp"
+#include "util/stats.hpp"
+
+namespace pico::core {
+
+enum class UseCase { Hyperspectral, Spatiotemporal };
+
+std::string use_case_name(UseCase u);
+
+struct CampaignConfig {
+  UseCase use_case = UseCase::Hyperspectral;
+  double start_period_s = 30;     ///< paper: 30 (hyper) / 120 (spatio)
+  double duration_s = 3600;       ///< 1-hour experiment
+  int64_t file_bytes = 91 * 1000 * 1000;  ///< paper: 91 MB / 1200 MB
+  int64_t frames = 600;           ///< spatiotemporal frame count hint
+  bool naive_convert = false;
+  std::string codec;              ///< optional transfer compression (A3)
+  std::string label_prefix = "campaign";
+};
+
+struct CompletedFlow {
+  flow::RunId id;
+  std::string label;
+  bool success = false;
+  flow::RunTiming timing;
+};
+
+struct CampaignResult {
+  CampaignConfig config;
+  /// Flows that completed within the experiment window (the paper's "total
+  /// flow runs").
+  std::vector<CompletedFlow> in_window;
+  /// Flows that started in the window but finished after it.
+  std::vector<CompletedFlow> late;
+  size_t failed = 0;
+
+  double total_data_gb() const {
+    return static_cast<double>(config.file_bytes) *
+           static_cast<double>(in_window.size()) / 1e9;
+  }
+  util::SampleStats runtime_stats() const;
+  util::SampleStats overhead_stats() const;
+  util::SampleStats overhead_pct_stats() const;
+  /// Active seconds of the named step across in-window flows.
+  util::SampleStats step_active_stats(const std::string& step_name) const;
+  /// Poll-discovery lag of the named step (diagnostics).
+  util::SampleStats step_lag_stats(const std::string& step_name) const;
+};
+
+/// Run one campaign on a facility. Runs the engine to completion.
+CampaignResult run_campaign(Facility& facility, const CampaignConfig& config);
+
+}  // namespace pico::core

@@ -1,0 +1,24 @@
+#include "core/cost_model.hpp"
+
+namespace pico::core {
+
+util::Json CostModel::to_json() const {
+  return util::Json::object({
+      {"transfer_setup_mean_s", transfer_setup_mean_s},
+      {"transfer_per_file_s", transfer_per_file_s},
+      {"per_flow_rate_cap_bps", per_flow_rate_cap_bps},
+      {"hyper_analysis_base_s", hyper_analysis_base_s},
+      {"hyper_analysis_s_per_mb", hyper_analysis_s_per_mb},
+      {"convert_s_per_mb", convert_s_per_mb},
+      {"convert_naive_multiplier", convert_naive_multiplier},
+      {"inference_s_per_frame", inference_s_per_frame},
+      {"annotate_base_s", annotate_base_s},
+      {"publication_s", publication_s},
+      {"provision_delay_s", provision_delay_s},
+      {"env_warmup_s", env_warmup_s},
+      {"staging_rate_Bps", staging_rate_Bps},
+      {"watcher_debounce_s", watcher_debounce_s},
+  });
+}
+
+}  // namespace pico::core

@@ -1,0 +1,121 @@
+#pragma once
+// The simulated facility: everything between the Dynamic PicoProbe user
+// workstation and the ALCF portal, wired together. Owns the discrete-event
+// engine, the site network (user PC -> 1 Gbps switch -> 200 Gbps backbone ->
+// Eagle), the stores, Globus-like auth/transfer/compute/search services, the
+// Polaris PBS cluster, the flow orchestrator, and the registered analysis
+// functions that do real data-plane work.
+#include <memory>
+#include <string>
+
+#include "auth/auth.hpp"
+#include "compute/service.hpp"
+#include "core/cost_model.hpp"
+#include "core/providers.hpp"
+#include "flow/service.hpp"
+#include "hpcsim/pbs.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "portal/portal.hpp"
+#include "search/index.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "storage/store.hpp"
+#include "transfer/service.hpp"
+
+namespace pico::core {
+
+struct FacilityConfig {
+  CostModel cost;
+  double user_switch_bps = 1e9;     ///< the paper's 1 Gbps user switch
+  double backbone_bps = 200e9;      ///< ANL backbone
+  int polaris_nodes = 16;
+  int compute_max_blocks = 4;
+  flow::FlowServiceConfig flow;     ///< backoff defaults to the paper policy
+  double transfer_fault_prob = 0.0;
+  int transfer_max_retries = 3;
+  /// Fault injection: probability a Polaris node dies mid-task (flows
+  /// recover via their Analyze retry budget).
+  double compute_node_failure_prob = 0.0;
+  /// Real-filesystem directory where analysis functions write plot artifacts.
+  std::string artifact_dir = "picoflow-artifacts";
+  int64_t user_store_capacity = static_cast<int64_t>(10e12);   // 10 TB
+  int64_t eagle_capacity = static_cast<int64_t>(100e15);       // O(100 PB)
+  uint64_t seed = 42;
+};
+
+class Facility {
+ public:
+  explicit Facility(FacilityConfig config);
+
+  // Well-known endpoint names.
+  static constexpr const char* kUserEndpoint = "picoprobe-user";
+  static constexpr const char* kEagleEndpoint = "alcf-eagle";
+
+  sim::Engine& engine() { return engine_; }
+  sim::Trace& trace() { return trace_; }
+  net::Topology& topology() { return topo_; }
+  net::Network& network() { return *network_; }
+  storage::Store& user_store() { return user_store_; }
+  storage::Store& eagle() { return eagle_; }
+  auth::AuthService& auth() { return auth_; }
+  transfer::TransferService& transfer() { return *transfer_; }
+  hpcsim::PbsScheduler& pbs() { return *pbs_; }
+  compute::ComputeService& compute() { return *compute_; }
+  search::Index& index() { return index_; }
+  flow::FlowService& flows() { return *flows_; }
+  const FacilityConfig& config() const { return config_; }
+  const CostModel& cost() const { return config_.cost; }
+
+  /// Token of the experiment operator (all required scopes).
+  const auth::Token& user_token() const { return user_token_; }
+  const auth::Identity& user_identity() const { return user_identity_; }
+
+  /// Registered compute function / endpoint ids.
+  const compute::EndpointId& polaris_endpoint() const { return polaris_ep_; }
+  const compute::FunctionId& hyperspectral_fn() const { return hyper_fn_; }
+  const compute::FunctionId& spatiotemporal_fn() const { return spatio_fn_; }
+
+  /// Network link ids for experiments that vary capacities (A2 bench).
+  net::LinkId user_switch_link() const { return user_switch_link_; }
+  net::LinkId backbone_link() const { return backbone_link_; }
+
+  /// Put a size-only file on the user workstation (campaign drops).
+  util::Status stage_virtual_file(const std::string& path, int64_t bytes);
+  /// Put a real EMD payload on the user workstation.
+  util::Status stage_real_file(const std::string& path,
+                               std::vector<uint8_t> bytes);
+
+ private:
+  void build_topology();
+  void register_functions();
+  util::Result<util::Json> run_hyperspectral_analysis(const util::Json& args);
+  util::Result<util::Json> run_spatiotemporal_analysis(const util::Json& args);
+
+  FacilityConfig config_;
+  sim::Engine engine_;
+  sim::Trace trace_;
+  net::Topology topo_;
+  net::NodeId user_node_ = 0, eagle_node_ = 0;
+  net::LinkId user_switch_link_ = 0, backbone_link_ = 0;
+  std::unique_ptr<net::Network> network_;
+  storage::Store user_store_;
+  storage::Store eagle_;
+  auth::AuthService auth_;
+  std::unique_ptr<transfer::TransferService> transfer_;
+  std::unique_ptr<hpcsim::PbsScheduler> pbs_;
+  std::unique_ptr<compute::ComputeService> compute_;
+  search::Index index_;
+  std::unique_ptr<flow::FlowService> flows_;
+  std::unique_ptr<TransferProvider> transfer_provider_;
+  std::unique_ptr<ComputeProvider> compute_provider_;
+  std::unique_ptr<SearchIngestProvider> search_provider_;
+  auth::Identity user_identity_;
+  auth::Token user_token_;
+  compute::EndpointId polaris_ep_;
+  compute::FunctionId hyper_fn_;
+  compute::FunctionId spatio_fn_;
+  util::Rng cost_rng_;  ///< run-to-run analysis cost variability (seeded)
+};
+
+}  // namespace pico::core

@@ -1,0 +1,106 @@
+#include "core/flows.hpp"
+
+namespace pico::core {
+
+using util::Json;
+
+Json FlowInput::to_json() const {
+  return Json::object({
+      {"file", file},
+      {"dest", dest},
+      {"artifact_prefix", artifact_prefix},
+      {"title", title},
+      {"subject", subject},
+      {"owner", owner},
+      {"acquired", acquired},
+      {"codec", codec},
+      {"frames", frames},
+      {"naive_convert", naive_convert},
+  });
+}
+
+namespace {
+
+flow::ActionState transfer_step() {
+  flow::ActionState step;
+  step.name = "Transfer";
+  step.provider = "transfer";
+  step.max_retries = 2;
+  step.params = Json::object({
+      {"src_endpoint", Facility::kUserEndpoint},
+      {"dst_endpoint", Facility::kEagleEndpoint},
+      {"files", Json::array({Json::object({
+                    {"src", "$.input.file"},
+                    {"dst", "$.input.dest"},
+                })})},
+      {"codec", "$.input.codec"},
+  });
+  return step;
+}
+
+flow::ActionState publish_step() {
+  flow::ActionState step;
+  step.name = "Publish";
+  step.provider = "search-ingest";
+  step.max_retries = 1;
+  step.params = Json::object({
+      {"record", "$.steps.Analyze.record"},
+      {"subject", "$.input.subject"},
+      {"visible_to", "$.input.owner"},
+  });
+  return step;
+}
+
+}  // namespace
+
+flow::FlowDefinition hyperspectral_flow(const Facility& facility) {
+  flow::FlowDefinition def;
+  def.name = "picoprobe-hyperspectral";
+  def.steps.push_back(transfer_step());
+
+  flow::ActionState analyze;
+  analyze.name = "Analyze";
+  analyze.provider = "compute";
+  analyze.max_retries = 1;
+  analyze.params = Json::object({
+      {"endpoint", facility.polaris_endpoint()},
+      {"function", facility.hyperspectral_fn()},
+      {"args", Json::object({
+           {"path", "$.input.dest"},
+           {"artifact_prefix", "$.input.artifact_prefix"},
+           {"title", "$.input.title"},
+           {"acquired", "$.input.acquired"},
+       })},
+  });
+  def.steps.push_back(std::move(analyze));
+  def.steps.push_back(publish_step());
+  return def;
+}
+
+flow::FlowDefinition spatiotemporal_flow(const Facility& facility) {
+  flow::FlowDefinition def;
+  def.name = "picoprobe-spatiotemporal";
+  def.steps.push_back(transfer_step());
+
+  flow::ActionState analyze;
+  analyze.name = "Analyze";
+  analyze.provider = "compute";
+  analyze.max_retries = 1;
+  analyze.params = Json::object({
+      {"endpoint", facility.polaris_endpoint()},
+      {"function", facility.spatiotemporal_fn()},
+      {"args", Json::object({
+           {"path", "$.input.dest"},
+           {"artifact_prefix", "$.input.artifact_prefix"},
+           {"title", "$.input.title"},
+           {"acquired", "$.input.acquired"},
+           {"frames", "$.input.frames"},
+           {"naive_convert", "$.input.naive_convert"},
+       })},
+  });
+  def.steps.push_back(std::move(analyze));
+  def.steps.push_back(publish_step());
+  return def;
+}
+
+}  // namespace pico::core

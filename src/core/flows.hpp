@@ -1,0 +1,43 @@
+#pragma once
+// The paper's two science flows (Sec. 3.1 / 3.2), expressed as flow
+// definitions over the facility's providers:
+//
+//   Transfer (user PC -> Eagle)  ->  Analyze (Globus Compute on Polaris)
+//                                ->  Publish (Globus Search ingest)
+//
+// Flow input schema (all strings unless noted):
+//   file            source path on the user endpoint
+//   dest            destination path on Eagle
+//   artifact_prefix prefix for plot artifacts written by analysis
+//   title           record title
+//   subject         search document id
+//   owner           identity granted record visibility (optional -> public)
+//   acquired        ISO-8601 fallback acquisition time for virtual files
+//   codec           transfer compression codec name (optional)
+//   frames          (spatiotemporal, int) frame-count hint for virtual files
+//   naive_convert   (spatiotemporal, bool) use the pessimal fp64->u8 path
+#include "core/facility.hpp"
+#include "flow/service.hpp"
+
+namespace pico::core {
+
+flow::FlowDefinition hyperspectral_flow(const Facility& facility);
+flow::FlowDefinition spatiotemporal_flow(const Facility& facility);
+
+/// Convenience builder for the standard flow input object.
+struct FlowInput {
+  std::string file;
+  std::string dest;
+  std::string artifact_prefix;
+  std::string title;
+  std::string subject;
+  std::string owner;
+  std::string acquired = "2023-04-07T12:00:00Z";
+  std::string codec;
+  int64_t frames = 600;
+  bool naive_convert = false;
+
+  util::Json to_json() const;
+};
+
+}  // namespace pico::core

@@ -1,0 +1,83 @@
+#pragma once
+// Action providers: adapters that let the flow engine drive the facility
+// services (Gladier's Transfer/Compute/Search tool wrappers).
+#include <map>
+#include <string>
+
+#include "compute/service.hpp"
+#include "flow/service.hpp"
+#include "search/index.hpp"
+#include "transfer/service.hpp"
+
+namespace pico::core {
+
+/// Wraps TransferService. Params:
+///   { "src_endpoint": str, "dst_endpoint": str,
+///     "files": [{"src": str, "dst": str}, ...],
+///     "codec": str (optional), "assumed_virtual_ratio": num (optional) }
+/// Output: { "bytes": int, "wire_bytes": int, "files": int }
+class TransferProvider final : public flow::ActionProvider {
+ public:
+  explicit TransferProvider(transfer::TransferService* service)
+      : service_(service) {}
+  std::string name() const override { return "transfer"; }
+  util::Result<flow::ActionHandle> start(const util::Json& params,
+                                         const auth::Token& token) override;
+  flow::ActionPollResult poll(const flow::ActionHandle& handle) override;
+
+ private:
+  transfer::TransferService* service_;
+};
+
+/// Wraps ComputeService. Params:
+///   { "endpoint": str, "function": str, "args": any }
+/// Output: the function's JSON result.
+class ComputeProvider final : public flow::ActionProvider {
+ public:
+  explicit ComputeProvider(compute::ComputeService* service)
+      : service_(service) {}
+  std::string name() const override { return "compute"; }
+  util::Result<flow::ActionHandle> start(const util::Json& params,
+                                         const auth::Token& token) override;
+  flow::ActionPollResult poll(const flow::ActionHandle& handle) override;
+
+ private:
+  compute::ComputeService* service_;
+};
+
+/// Publishes a record into a Globus-Search-like index after a small virtual
+/// latency (login-node JSON POST). Params:
+///   { "record": object, "subject": str, "visible_to": str (optional) }
+/// The record is schema-validated before ingest.
+class SearchIngestProvider final : public flow::ActionProvider {
+ public:
+  SearchIngestProvider(sim::Engine* engine, auth::AuthService* auth,
+                       search::Index* index, double latency_s,
+                       double jitter_s, uint64_t seed = 0x1D8ull)
+      : engine_(engine),
+        auth_(auth),
+        index_(index),
+        latency_s_(latency_s),
+        jitter_s_(jitter_s),
+        rng_(seed) {}
+  std::string name() const override { return "search-ingest"; }
+  util::Result<flow::ActionHandle> start(const util::Json& params,
+                                         const auth::Token& token) override;
+  flow::ActionPollResult poll(const flow::ActionHandle& handle) override;
+
+ private:
+  struct Pending {
+    flow::ActionPollResult result;
+    bool done = false;
+  };
+  sim::Engine* engine_;
+  auth::AuthService* auth_;
+  search::Index* index_;
+  double latency_s_;
+  double jitter_s_;
+  util::Rng rng_;
+  std::map<std::string, Pending> pending_;
+  uint64_t next_ = 1;
+};
+
+}  // namespace pico::core

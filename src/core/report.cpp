@@ -1,0 +1,122 @@
+#include "core/report.hpp"
+
+#include "util/strings.hpp"
+
+namespace pico::core {
+
+using util::format;
+
+PaperTable1 PaperTable1::hyperspectral() {
+  return PaperTable1{30, 91, 6.42, 29, 47, 181, 19.5, 49.2, 72};
+}
+
+PaperTable1 PaperTable1::spatiotemporal() {
+  return PaperTable1{120, 1200, 21.72, 195, 224, 274, 45.2, 21.1, 18};
+}
+
+namespace {
+
+std::string row(const char* metric, double h_meas, double h_paper,
+                double s_meas, double s_paper, const char* fmt = "%.1f") {
+  auto cell = [&](double v) { return format(fmt, v); };
+  return format("%-26s | %10s | %10s | %10s | %10s\n", metric,
+                cell(h_meas).c_str(), cell(h_paper).c_str(),
+                cell(s_meas).c_str(), cell(s_paper).c_str());
+}
+
+}  // namespace
+
+std::string render_table1(const CampaignResult& hyper,
+                          const CampaignResult& spatio) {
+  PaperTable1 ph = PaperTable1::hyperspectral();
+  PaperTable1 ps = PaperTable1::spatiotemporal();
+
+  auto hr = hyper.runtime_stats();
+  auto sr = spatio.runtime_stats();
+  auto ho = hyper.overhead_stats();
+  auto so = spatio.overhead_stats();
+
+  // Median overhead % as the paper reports it: median overhead over median
+  // total runtime.
+  double h_pct = hr.median() > 0 ? 100.0 * ho.median() / hr.median() : 0;
+  double s_pct = sr.median() > 0 ? 100.0 * so.median() / sr.median() : 0;
+
+  std::string out;
+  out += "Table 1: campaign performance, measured vs paper\n";
+  out += format("%-26s | %-23s | %-23s\n", "", "Hyperspectral", "Spatiotemporal");
+  out += format("%-26s | %10s | %10s | %10s | %10s\n", "Metric", "measured",
+                "paper", "measured", "paper");
+  out += std::string(26 + 3 + 23 + 3 + 23, '-') + "\n";
+  out += row("Start period (s)", hyper.config.start_period_s, ph.start_period_s,
+             spatio.config.start_period_s, ps.start_period_s, "%.0f");
+  out += row("Transfer volume (MB)",
+             static_cast<double>(hyper.config.file_bytes) / 1e6, ph.transfer_mb,
+             static_cast<double>(spatio.config.file_bytes) / 1e6,
+             ps.transfer_mb, "%.0f");
+  out += row("Total data transfer (GB)", hyper.total_data_gb(), ph.total_gb,
+             spatio.total_data_gb(), ps.total_gb, "%.2f");
+  out += row("Min flow runtime (s)", hr.min(), ph.min_runtime_s, sr.min(),
+             ps.min_runtime_s, "%.0f");
+  out += row("Mean flow runtime (s)", hr.mean(), ph.mean_runtime_s, sr.mean(),
+             ps.mean_runtime_s, "%.0f");
+  out += row("Max flow runtime (s)", hr.max(), ph.max_runtime_s, sr.max(),
+             ps.max_runtime_s, "%.0f");
+  out += row("Median overhead (s)", ho.median(), ph.median_overhead_s,
+             so.median(), ps.median_overhead_s, "%.1f");
+  out += row("Median overhead (%)", h_pct, ph.median_overhead_pct, s_pct,
+             ps.median_overhead_pct, "%.1f");
+  out += row("Total flow runs", static_cast<double>(hyper.in_window.size()),
+             ph.total_runs, static_cast<double>(spatio.in_window.size()),
+             ps.total_runs, "%.0f");
+  return out;
+}
+
+std::string render_fig4(const CampaignResult& result) {
+  std::string out;
+  out += format("Fig. 4 (%s): itemized runtime statistics (s), n=%zu flows\n",
+                use_case_name(result.config.use_case).c_str(),
+                result.in_window.size());
+  out += format("%-14s | %8s %8s %8s %8s %8s\n", "Component", "min", "q1",
+                "median", "q3", "max");
+  out += std::string(14 + 3 + 5 * 9, '-') + "\n";
+
+  auto print_box = [&](const std::string& label, const util::SampleStats& s) {
+    auto b = util::BoxStats::from(s);
+    out += format("%-14s | %8.1f %8.1f %8.1f %8.1f %8.1f\n", label.c_str(),
+                  b.min, b.q1, b.median, b.q3, b.max);
+  };
+
+  print_box("Transfer", result.step_active_stats("Transfer"));
+  print_box("Analysis", result.step_active_stats("Analyze"));
+  print_box("Publication", result.step_active_stats("Publish"));
+  print_box("Overhead", result.overhead_stats());
+  print_box("Total", result.runtime_stats());
+
+  auto pct = result.overhead_pct_stats();
+  out += format("Overhead share of runtime: median %.1f%% (mean %.1f%%)\n",
+                pct.median(), pct.mean());
+  return out;
+}
+
+std::string flows_csv(const CampaignResult& result) {
+  std::string out =
+      "flow,success,total_s,active_s,overhead_s,transfer_s,analysis_s,"
+      "publish_s,transfer_lag_s,analysis_lag_s,publish_lag_s\n";
+  for (const auto& f : result.in_window) {
+    double step_active[3] = {0, 0, 0};
+    double step_lag[3] = {0, 0, 0};
+    for (const auto& s : f.timing.steps) {
+      int idx = s.name == "Transfer" ? 0 : s.name == "Analyze" ? 1 : 2;
+      step_active[idx] = s.active_s();
+      step_lag[idx] = s.discovery_lag_s();
+    }
+    out += format("%s,%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n",
+                  f.label.c_str(), f.success ? 1 : 0, f.timing.total_s(),
+                  f.timing.active_s(), f.timing.overhead_s(), step_active[0],
+                  step_active[1], step_active[2], step_lag[0], step_lag[1],
+                  step_lag[2]);
+  }
+  return out;
+}
+
+}  // namespace pico::core

@@ -1,0 +1,34 @@
+#pragma once
+// Renderers for the paper's evaluation outputs: Table 1 (aggregate campaign
+// metrics, measured vs paper) and Fig. 4 (itemized per-step runtime
+// statistics). Output is monospace text suitable for bench logs plus CSV for
+// downstream plotting.
+#include <string>
+
+#include "core/campaign.hpp"
+
+namespace pico::core {
+
+/// Reference values transcribed from the paper for side-by-side comparison.
+struct PaperTable1 {
+  double start_period_s, transfer_mb, total_gb;
+  double min_runtime_s, mean_runtime_s, max_runtime_s;
+  double median_overhead_s, median_overhead_pct;
+  int total_runs;
+
+  static PaperTable1 hyperspectral();
+  static PaperTable1 spatiotemporal();
+};
+
+/// Render Table 1 with measured and paper columns for both use cases.
+std::string render_table1(const CampaignResult& hyper,
+                          const CampaignResult& spatio);
+
+/// Render the Fig. 4 decomposition (box stats per step + overhead) for one
+/// campaign.
+std::string render_fig4(const CampaignResult& result);
+
+/// CSV of per-flow timings (one row per flow, per-step actives + overhead).
+std::string flows_csv(const CampaignResult& result);
+
+}  // namespace pico::core

@@ -1,0 +1,33 @@
+#pragma once
+// HMSA interchange support. The paper: "Provisions are also incorporated to
+// use other cross-platform formats such as the proposed ISO standard HMSA
+// format". HMSA (Microscopy Society of America, Torpy et al. 2019) is a
+// two-part container: an XML metadata document plus a flat binary blob the
+// XML's dataset entries reference by offset. This module converts between
+// EMD-lite files and an HMSA pair, preserving signals, shapes, dtypes and
+// the canonical PicoProbe metadata blocks.
+#include <string>
+#include <vector>
+
+#include "emd/file.hpp"
+
+namespace pico::emd {
+
+/// The two HMSA artifacts (conventionally <name>.xml and <name>.hmsa).
+struct HmsaPair {
+  std::string xml;
+  std::vector<uint8_t> binary;
+};
+
+/// Convert an EMD-lite file (payloads loaded) to an HMSA pair.
+util::Result<HmsaPair> to_hmsa(const File& file);
+
+/// Reconstruct an EMD-lite file from an HMSA pair. Dataset checksums are
+/// verified against the XML's per-array CRC-64 entries.
+util::Result<File> from_hmsa(const HmsaPair& pair);
+
+/// Convenience: write/read the <base>.xml / <base>.hmsa pair on disk.
+util::Status save_hmsa(const File& file, const std::string& base_path);
+util::Result<File> load_hmsa(const std::string& base_path);
+
+}  // namespace pico::emd

@@ -1,0 +1,117 @@
+#include "emd/schema.hpp"
+
+namespace pico::emd {
+
+using util::Json;
+
+Json MicroscopeSettings::to_json() const {
+  return Json::object({
+      {"instrument", instrument},
+      {"beam_energy_kv", beam_energy_kv},
+      {"magnification", magnification},
+      {"probe_size_pm", probe_size_pm},
+      {"energy_resolution_mev", energy_resolution_mev},
+      {"stage",
+       Json::object({
+           {"x_um", stage_x_um},
+           {"y_um", stage_y_um},
+           {"z_um", stage_z_um},
+           {"tilt_alpha_deg", stage_tilt_alpha_deg},
+           {"tilt_beta_deg", stage_tilt_beta_deg},
+       })},
+      {"detector", detector},
+      {"detector_solid_angle_sr", detector_solid_angle_sr},
+      {"environment", environment},
+      {"software", software},
+      {"software_version", software_version},
+  });
+}
+
+MicroscopeSettings MicroscopeSettings::from_json(const Json& j) {
+  MicroscopeSettings s;
+  s.instrument = j.at("instrument").as_string(s.instrument);
+  s.beam_energy_kv = j.at("beam_energy_kv").as_double(s.beam_energy_kv);
+  s.magnification = j.at("magnification").as_double(s.magnification);
+  s.probe_size_pm = j.at("probe_size_pm").as_double(s.probe_size_pm);
+  s.energy_resolution_mev =
+      j.at("energy_resolution_mev").as_double(s.energy_resolution_mev);
+  const Json& stage = j.at("stage");
+  s.stage_x_um = stage.at("x_um").as_double();
+  s.stage_y_um = stage.at("y_um").as_double();
+  s.stage_z_um = stage.at("z_um").as_double();
+  s.stage_tilt_alpha_deg = stage.at("tilt_alpha_deg").as_double();
+  s.stage_tilt_beta_deg = stage.at("tilt_beta_deg").as_double();
+  s.detector = j.at("detector").as_string(s.detector);
+  s.detector_solid_angle_sr =
+      j.at("detector_solid_angle_sr").as_double(s.detector_solid_angle_sr);
+  s.environment = j.at("environment").as_string(s.environment);
+  s.software = j.at("software").as_string(s.software);
+  s.software_version = j.at("software_version").as_string(s.software_version);
+  return s;
+}
+
+void write_standard_metadata(File& file, const MicroscopeSettings& scope,
+                             const std::string& acquired_iso8601,
+                             const std::string& sample_description,
+                             const std::string& operator_name) {
+  file.root.attrs["format"] = "EMD-lite";
+  file.root.attrs["acquired"] = acquired_iso8601;
+
+  Group& mic = file.root.ensure_group(Paths::kMicroscope);
+  mic.attrs["settings"] = scope.to_json();
+
+  Group& sample = file.root.ensure_group(Paths::kSample);
+  sample.attrs["description"] = sample_description;
+
+  Group& user = file.root.ensure_group(Paths::kUser);
+  user.attrs["operator"] = operator_name;
+}
+
+std::string signal_kind_name(SignalKind k) {
+  switch (k) {
+    case SignalKind::Hyperspectral: return "hyperspectral";
+    case SignalKind::Spatiotemporal: return "spatiotemporal";
+  }
+  return "?";
+}
+
+void add_signal(File& file, const std::string& name, SignalKind kind,
+                Dataset dataset, const std::vector<std::string>& axes,
+                const util::Json& extra_attrs) {
+  Group& data = file.root.ensure_group(Paths::kData);
+  Group& sig = data.groups[name];
+  sig.attrs["signal_kind"] = signal_kind_name(kind);
+  Json axes_json = Json::array();
+  for (const auto& a : axes) axes_json.push_back(a);
+  sig.attrs["axes"] = axes_json;
+  for (const auto& [k, v] : extra_attrs.as_object()) sig.attrs[k] = v;
+  sig.datasets.emplace("data", std::move(dataset));
+}
+
+util::Result<std::string> first_signal_name(const File& file) {
+  using R = util::Result<std::string>;
+  const Group* data = file.root.find_group(Paths::kData);
+  if (!data || data->groups.empty()) {
+    return R::err("file has no data/<signal> group", "not_found");
+  }
+  return R::ok(data->groups.begin()->first);
+}
+
+util::Result<SignalKind> signal_kind(const File& file,
+                                     const std::string& name) {
+  using R = util::Result<SignalKind>;
+  const Group* data = file.root.find_group(Paths::kData);
+  if (!data) return R::err("no data group", "not_found");
+  auto it = data->groups.find(name);
+  if (it == data->groups.end()) return R::err("no signal " + name, "not_found");
+  auto kind_it = it->second.attrs.find("signal_kind");
+  if (kind_it == it->second.attrs.end()) {
+    return R::err("signal " + name + " missing signal_kind", "parse");
+  }
+  const std::string& kind = kind_it->second.as_string();
+  if (kind == "hyperspectral") return R::ok(SignalKind::Hyperspectral);
+  if (kind == "spatiotemporal") return R::ok(SignalKind::Spatiotemporal);
+  return R::err("unknown signal kind: " + kind, "parse");
+}
+
+}  // namespace pico::emd

@@ -1,0 +1,66 @@
+#pragma once
+// EMD-lite conventions used by the PicoProbe flows: canonical group paths and
+// builders for the instrument metadata block. The fields mirror what the
+// paper extracts with HyperSpy: acquisition date/time, microscope details
+// (stage and detector positions, beam energy, magnification), and software
+// versioning.
+#include <string>
+
+#include "emd/file.hpp"
+#include "util/json.hpp"
+
+namespace pico::emd {
+
+/// Canonical group paths inside a PicoProbe EMD-lite file.
+struct Paths {
+  static constexpr const char* kData = "data";              // data/<signal>/data
+  static constexpr const char* kMicroscope = "microscope";  // instrument block
+  static constexpr const char* kSample = "sample";
+  static constexpr const char* kUser = "user";
+};
+
+/// Instrument settings recorded at acquisition time.
+struct MicroscopeSettings {
+  std::string instrument = "Dynamic PicoProbe";
+  double beam_energy_kv = 300.0;        ///< 30-300 kV monochromated probe
+  double magnification = 1.2e6;
+  double probe_size_pm = 50.0;          ///< ~50 pm aberration-corrected probe
+  double energy_resolution_mev = 30.0;  ///< spectroscopy resolution < 30 meV
+  double stage_x_um = 0, stage_y_um = 0, stage_z_um = 0;
+  double stage_tilt_alpha_deg = 0, stage_tilt_beta_deg = 0;
+  std::string detector = "XPAD hyperspectral x-ray array";
+  double detector_solid_angle_sr = 4.5;
+  std::string environment = "high-vacuum";  ///< or cryogenic/liquid/gaseous
+  std::string software = "picoflow";
+  std::string software_version = "1.0.0";
+
+  util::Json to_json() const;
+  static MicroscopeSettings from_json(const util::Json& j);
+};
+
+/// Populate the canonical metadata groups of `file`.
+/// `acquired_iso8601` is the sample collection timestamp.
+void write_standard_metadata(File& file, const MicroscopeSettings& scope,
+                             const std::string& acquired_iso8601,
+                             const std::string& sample_description,
+                             const std::string& operator_name);
+
+/// Signal kinds a data group can declare.
+enum class SignalKind { Hyperspectral, Spatiotemporal };
+
+std::string signal_kind_name(SignalKind k);
+
+/// Add a signal dataset under data/<name>/ with its kind attribute and axis
+/// labels (e.g. {"height","width","energy"} or {"time","height","width"}).
+void add_signal(File& file, const std::string& name, SignalKind kind,
+                Dataset dataset, const std::vector<std::string>& axes,
+                const util::Json& extra_attrs = util::Json::object());
+
+/// Locate the first signal group in the file; returns its name or error.
+util::Result<std::string> first_signal_name(const File& file);
+
+/// Read a signal's kind attribute.
+util::Result<SignalKind> signal_kind(const File& file,
+                                     const std::string& name);
+
+}  // namespace pico::emd

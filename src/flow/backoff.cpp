@@ -1,0 +1,80 @@
+#include "flow/backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace pico::flow {
+
+double BackoffPolicy::interval_s(int attempt, util::Rng& rng) const {
+  double base;
+  switch (kind) {
+    case Kind::Fixed:
+      base = initial_s;
+      break;
+    case Kind::Linear:
+      base = initial_s + increment_s * attempt;
+      break;
+    case Kind::Exponential:
+    case Kind::JitteredExponential:
+      base = initial_s * std::pow(factor, attempt);
+      break;
+    default:
+      base = initial_s;
+  }
+  base = std::min(base, cap_s);
+  if (kind == Kind::JitteredExponential) {
+    base *= rng.uniform(1.0 - jitter_frac, 1.0 + jitter_frac);
+  }
+  return std::max(base, 0.01);
+}
+
+std::string BackoffPolicy::describe() const {
+  switch (kind) {
+    case Kind::Exponential:
+      return util::format("exponential(%.1fs x%.1f cap %.0fs)", initial_s,
+                          factor, cap_s);
+    case Kind::Fixed:
+      return util::format("fixed(%.1fs)", initial_s);
+    case Kind::Linear:
+      return util::format("linear(%.1fs +%.1fs cap %.0fs)", initial_s,
+                          increment_s, cap_s);
+    case Kind::JitteredExponential:
+      return util::format("jittered-exp(%.1fs x%.1f cap %.0fs +/-%.0f%%)",
+                          initial_s, factor, cap_s, jitter_frac * 100);
+  }
+  return "?";
+}
+
+BackoffPolicy BackoffPolicy::paper_default() { return BackoffPolicy{}; }
+
+BackoffPolicy BackoffPolicy::fixed(double interval_s) {
+  BackoffPolicy p;
+  p.kind = Kind::Fixed;
+  p.initial_s = interval_s;
+  return p;
+}
+
+BackoffPolicy BackoffPolicy::linear(double initial_s, double increment_s,
+                                    double cap_s) {
+  BackoffPolicy p;
+  p.kind = Kind::Linear;
+  p.initial_s = initial_s;
+  p.increment_s = increment_s;
+  p.cap_s = cap_s;
+  return p;
+}
+
+BackoffPolicy BackoffPolicy::jittered(double initial_s, double factor,
+                                      double cap_s, double jitter_frac) {
+  BackoffPolicy p;
+  p.kind = Kind::JitteredExponential;
+  p.initial_s = initial_s;
+  p.factor = factor;
+  p.cap_s = cap_s;
+  p.jitter_frac = jitter_frac;
+  return p;
+}
+
+}  // namespace pico::flow

@@ -1,0 +1,37 @@
+#pragma once
+// Polling backoff policies. The paper attributes its large orchestration
+// overhead (49.2% of median hyperspectral flow runtime) to "an exponential
+// polling backoff policy that starts at 1 second and doubles up to 10
+// minutes" — implemented here as the default. Alternative policies feed the
+// A1 ablation bench ("which we are working to improve").
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace pico::flow {
+
+struct BackoffPolicy {
+  enum class Kind { Exponential, Fixed, Linear, JitteredExponential };
+
+  Kind kind = Kind::Exponential;
+  double initial_s = 1.0;   ///< first poll interval
+  double factor = 2.0;      ///< exponential multiplier
+  double cap_s = 600.0;     ///< 10-minute ceiling (paper)
+  double increment_s = 2.0; ///< linear policy step
+  double jitter_frac = 0.25;///< +/- fraction for the jittered policy
+
+  /// Interval before poll number `attempt` (0-based). Jittered draws from rng.
+  double interval_s(int attempt, util::Rng& rng) const;
+
+  std::string describe() const;
+
+  /// The paper's production policy: 1 s start, doubling, 600 s cap.
+  static BackoffPolicy paper_default();
+  static BackoffPolicy fixed(double interval_s);
+  static BackoffPolicy linear(double initial_s, double increment_s,
+                              double cap_s);
+  static BackoffPolicy jittered(double initial_s, double factor, double cap_s,
+                                double jitter_frac);
+};
+
+}  // namespace pico::flow

@@ -1,0 +1,68 @@
+#include "flow/definition_io.hpp"
+
+#include <set>
+
+namespace pico::flow {
+
+using util::Json;
+
+Json definition_to_json(const FlowDefinition& definition) {
+  Json steps = Json::array();
+  for (const auto& step : definition.steps) {
+    steps.push_back(Json::object({
+        {"name", step.name},
+        {"provider", step.provider},
+        {"max_retries", static_cast<int64_t>(step.max_retries)},
+        {"params", step.params},
+    }));
+  }
+  return Json::object({
+      {"name", definition.name},
+      {"steps", steps},
+  });
+}
+
+util::Result<FlowDefinition> definition_from_json(const Json& doc) {
+  using R = util::Result<FlowDefinition>;
+  if (!doc.is_object()) return R::err("definition must be an object", "schema");
+
+  FlowDefinition def;
+  def.name = doc.at("name").as_string();
+  if (def.name.empty()) return R::err("definition missing name", "schema");
+
+  const Json& steps = doc.at("steps");
+  if (!steps.is_array() || steps.size() == 0) {
+    return R::err("definition needs a non-empty steps array", "schema");
+  }
+
+  std::set<std::string> seen;
+  for (const auto& s : steps.as_array()) {
+    ActionState step;
+    step.name = s.at("name").as_string();
+    if (step.name.empty()) return R::err("step missing name", "schema");
+    if (!seen.insert(step.name).second) {
+      return R::err("duplicate step name: " + step.name, "schema");
+    }
+    step.provider = s.at("provider").as_string();
+    if (step.provider.empty()) {
+      return R::err("step " + step.name + " missing provider", "schema");
+    }
+    int64_t retries = s.at("max_retries").as_int(0);
+    if (retries < 0 || retries > 100) {
+      return R::err("step " + step.name + " has implausible max_retries",
+                    "schema");
+    }
+    step.max_retries = static_cast<int>(retries);
+    step.params = s.at("params");
+    def.steps.push_back(std::move(step));
+  }
+  return R::ok(std::move(def));
+}
+
+util::Result<FlowDefinition> definition_from_text(const std::string& text) {
+  auto doc = Json::parse(text);
+  if (!doc) return util::Result<FlowDefinition>::err(doc.error());
+  return definition_from_json(doc.value());
+}
+
+}  // namespace pico::flow

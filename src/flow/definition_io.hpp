@@ -1,0 +1,33 @@
+#pragma once
+// Flow definition (de)serialization. Globus Flows definitions are JSON
+// documents users author, upload and share; this gives PicoFlow the same
+// property — the CLI and tests can load flow definitions from .json files
+// instead of hard-coding them.
+//
+// Document shape:
+//   {
+//     "name": "picoprobe-hyperspectral",
+//     "steps": [
+//       {"name": "Transfer", "provider": "transfer", "max_retries": 2,
+//        "params": { ... may contain "$.input.x" / "$.steps.S.y" ... }},
+//       ...
+//     ]
+//   }
+#include "flow/service.hpp"
+#include "util/json.hpp"
+#include "util/result.hpp"
+
+namespace pico::flow {
+
+/// Serialize a definition to its JSON document.
+util::Json definition_to_json(const FlowDefinition& definition);
+
+/// Parse and validate a definition document. Rejects documents with no
+/// steps, unnamed steps, duplicate step names (step outputs are keyed by
+/// name), or missing providers.
+util::Result<FlowDefinition> definition_from_json(const util::Json& doc);
+
+/// Convenience: parse from JSON text.
+util::Result<FlowDefinition> definition_from_text(const std::string& text);
+
+}  // namespace pico::flow

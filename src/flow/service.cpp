@@ -1,0 +1,334 @@
+#include "flow/service.hpp"
+
+#include <cassert>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace pico::flow {
+namespace {
+util::Logger& logger() {
+  static util::Logger kLogger("flow");
+  return kLogger;
+}
+}  // namespace
+
+std::string run_state_name(RunState s) {
+  switch (s) {
+    case RunState::Pending: return "PENDING";
+    case RunState::Active: return "ACTIVE";
+    case RunState::Succeeded: return "SUCCEEDED";
+    case RunState::Failed: return "FAILED";
+  }
+  return "?";
+}
+
+FlowService::FlowService(sim::Engine* engine, auth::AuthService* auth,
+                         FlowServiceConfig config, uint64_t seed,
+                         sim::Trace* trace)
+    : engine_(engine),
+      auth_(auth),
+      config_(config),
+      rng_(seed),
+      trace_(trace) {}
+
+void FlowService::register_provider(ActionProvider* provider) {
+  providers_[provider->name()] = provider;
+}
+
+double FlowService::jittered(double base) {
+  double f = config_.latency_jitter_frac;
+  return std::max(0.05, base * rng_.uniform(1.0 - f, 1.0 + f));
+}
+
+util::Result<RunId> FlowService::start(const FlowDefinition& definition,
+                                       util::Json input,
+                                       const auth::Token& token,
+                                       const std::string& label) {
+  using R = util::Result<RunId>;
+  auto who = auth_->validate(token, "flows");
+  if (!who) return R::err(who.error());
+  if (definition.steps.empty()) return R::err("flow has no steps", "invalid");
+  for (const auto& step : definition.steps) {
+    if (!providers_.count(step.provider)) {
+      return R::err("unknown provider: " + step.provider, "not_found");
+    }
+  }
+
+  RunId id = util::format("run-%06llu", static_cast<unsigned long long>(next_run_++));
+  Run run;
+  run.definition = definition;
+  run.info.label = label.empty() ? id : label;
+  run.info.input = std::move(input);
+  run.timing.submitted = engine_->now();
+  run.token = token;
+  runs_[id] = std::move(run);
+
+  engine_->schedule_after(
+      sim::Duration::from_seconds(jittered(config_.start_latency_s)),
+      [this, id] {
+        auto it = runs_.find(id);
+        if (it == runs_.end() || it->second.info.state != RunState::Pending) {
+          return;  // cancelled before the service picked it up
+        }
+        it->second.info.state = RunState::Active;
+        dispatch_step(id);
+      });
+  logger().debug("%s started (%s, %zu steps)", id.c_str(),
+                 definition.name.c_str(), definition.steps.size());
+  return R::ok(id);
+}
+
+util::Json FlowService::resolve_params(
+    const util::Json& params, const util::Json& input,
+    const std::map<std::string, util::Json>& steps) {
+  using util::Json;
+  switch (params.type()) {
+    case Json::Type::String: {
+      const std::string& s = params.as_string();
+      if (s == "$.input") return input;
+      if (util::starts_with(s, "$.input.")) {
+        return input.at_path(s.substr(8));
+      }
+      if (util::starts_with(s, "$.steps.")) {
+        std::string rest = s.substr(8);
+        size_t dot = rest.find('.');
+        std::string step = dot == std::string::npos ? rest : rest.substr(0, dot);
+        auto it = steps.find(step);
+        if (it == steps.end()) return Json();
+        if (dot == std::string::npos) return it->second;
+        return it->second.at_path(rest.substr(dot + 1));
+      }
+      return params;
+    }
+    case Json::Type::Array: {
+      Json out = Json::array();
+      for (const auto& v : params.as_array()) {
+        out.push_back(resolve_params(v, input, steps));
+      }
+      return out;
+    }
+    case Json::Type::Object: {
+      Json out = Json::object();
+      for (const auto& [k, v] : params.as_object()) {
+        out[k] = resolve_params(v, input, steps);
+      }
+      return out;
+    }
+    default:
+      return params;
+  }
+}
+
+void FlowService::dispatch_step(const RunId& id) {
+  auto it = runs_.find(id);
+  if (it == runs_.end()) return;
+  Run& run = it->second;
+  if (run.info.state != RunState::Active) return;  // cancelled/settled
+  if (run.info.current_step >= run.definition.steps.size()) {
+    finish_run(id);
+    return;
+  }
+  const ActionState& step = run.definition.steps[run.info.current_step];
+  ActionProvider* provider = providers_.at(step.provider);
+
+  util::Json resolved =
+      resolve_params(step.params, run.info.input, run.info.step_outputs);
+
+  StepTiming timing;
+  timing.name = step.name;
+  timing.dispatched = engine_->now();
+  timing.retries = run.retries_this_step;
+  if (run.timing.steps.size() <= run.info.current_step) {
+    run.timing.steps.push_back(timing);
+  } else {
+    // Retry: keep the original dispatch time, bump the retry counter.
+    run.timing.steps[run.info.current_step].retries = run.retries_this_step;
+  }
+
+  auto handle = provider->start(resolved, run.token);
+  if (!handle) {
+    fail_run(id, "step " + step.name + " failed to start: " +
+                     handle.error().message);
+    return;
+  }
+  run.current_handle = handle.value();
+  run.poll_attempt = 0;
+  run.last_progress_token.clear();
+
+  // First poll after the initial backoff interval.
+  double wait = config_.backoff.interval_s(0, rng_);
+  engine_->schedule_after(sim::Duration::from_seconds(wait),
+                          [this, id] { poll_step(id); });
+}
+
+void FlowService::poll_step(const RunId& id) {
+  auto it = runs_.find(id);
+  if (it == runs_.end()) return;
+  Run& run = it->second;
+  if (run.info.state != RunState::Active) return;
+
+  const ActionState& step = run.definition.steps[run.info.current_step];
+  ActionProvider* provider = providers_.at(step.provider);
+  StepTiming& timing = run.timing.steps[run.info.current_step];
+  ++timing.polls;
+
+  ActionPollResult poll = provider->poll(run.current_handle);
+  switch (poll.status) {
+    case ActionStatus::Active: {
+      if (!poll.progress_token.empty() &&
+          poll.progress_token != run.last_progress_token) {
+        // Observed a service-side status transition: restart the backoff.
+        run.last_progress_token = poll.progress_token;
+        run.poll_attempt = 0;
+      } else {
+        ++run.poll_attempt;
+      }
+      double wait = config_.backoff.interval_s(run.poll_attempt, rng_);
+      engine_->schedule_after(sim::Duration::from_seconds(wait),
+                              [this, id] { poll_step(id); });
+      return;
+    }
+    case ActionStatus::Failed: {
+      if (run.retries_this_step < step.max_retries) {
+        ++run.retries_this_step;
+        logger().debug("%s: step %s failed (%s), retry %d", id.c_str(),
+                       step.name.c_str(), poll.error.c_str(),
+                       run.retries_this_step);
+        dispatch_step(id);
+      } else {
+        fail_run(id, "step " + step.name + " failed: " + poll.error);
+      }
+      return;
+    }
+    case ActionStatus::Succeeded: {
+      complete_step(id, poll);
+      return;
+    }
+  }
+}
+
+void FlowService::complete_step(const RunId& id, const ActionPollResult& poll) {
+  auto it = runs_.find(id);
+  if (it == runs_.end()) return;
+  Run& run = it->second;
+  const ActionState& step = run.definition.steps[run.info.current_step];
+  StepTiming& timing = run.timing.steps[run.info.current_step];
+  timing.service_started = poll.service_started;
+  timing.service_completed = poll.service_completed;
+  timing.discovered = engine_->now();
+  run.info.step_outputs[step.name] = poll.output;
+  if (trace_) {
+    trace_->add(sim::Span{"flow", "step", id + "/" + step.name,
+                          timing.dispatched, timing.discovered,
+                          util::Json::object({
+                              {"active_s", timing.active_s()},
+                              {"lag_s", timing.discovery_lag_s()},
+                              {"polls", timing.polls},
+                          })});
+  }
+
+  run.info.current_step += 1;
+  run.retries_this_step = 0;
+  if (run.info.current_step >= run.definition.steps.size()) {
+    finish_run(id);
+  } else {
+    engine_->schedule_after(
+        sim::Duration::from_seconds(jittered(config_.inter_step_latency_s)),
+        [this, id] { dispatch_step(id); });
+  }
+}
+
+util::Status FlowService::cancel(const RunId& id) {
+  auto it = runs_.find(id);
+  if (it == runs_.end()) return util::Status::err("unknown run " + id, "not_found");
+  RunState state = it->second.info.state;
+  if (state == RunState::Succeeded || state == RunState::Failed) {
+    return util::Status::err("run " + id + " already settled", "state");
+  }
+  // Poll/dispatch callbacks check info.state and bail once it leaves Active,
+  // so flipping the state here is sufficient to quiesce the run.
+  fail_run(id, "cancelled by user");
+  return util::Status::ok();
+}
+
+void FlowService::fail_run(const RunId& id, const std::string& error) {
+  auto it = runs_.find(id);
+  if (it == runs_.end()) return;
+  Run& run = it->second;
+  run.info.state = RunState::Failed;
+  run.info.error = error;
+  run.timing.finished = engine_->now();
+  logger().warn("%s failed: %s", id.c_str(), error.c_str());
+  if (run.finished_cb) run.finished_cb(id, run.info);
+}
+
+void FlowService::finish_run(const RunId& id) {
+  auto it = runs_.find(id);
+  if (it == runs_.end()) return;
+  Run& run = it->second;
+  run.info.state = RunState::Succeeded;
+  run.timing.finished = engine_->now();
+  logger().debug("%s succeeded: total %.1fs active %.1fs overhead %.1fs",
+                 id.c_str(), run.timing.total_s(), run.timing.active_s(),
+                 run.timing.overhead_s());
+  if (trace_) {
+    trace_->add(sim::Span{"flow", "run", id, run.timing.submitted,
+                          run.timing.finished,
+                          util::Json::object({
+                              {"active_s", run.timing.active_s()},
+                              {"overhead_s", run.timing.overhead_s()},
+                              {"label", run.info.label},
+                          })});
+  }
+  if (run.finished_cb) run.finished_cb(id, run.info);
+}
+
+const RunInfo& FlowService::info(const RunId& id) const {
+  static const RunInfo kMissing = [] {
+    RunInfo r;
+    r.state = RunState::Failed;
+    r.error = "unknown run";
+    return r;
+  }();
+  auto it = runs_.find(id);
+  return it == runs_.end() ? kMissing : it->second.info;
+}
+
+const RunTiming& FlowService::timing(const RunId& id) const {
+  static const RunTiming kMissing;
+  auto it = runs_.find(id);
+  return it == runs_.end() ? kMissing : it->second.timing;
+}
+
+void FlowService::on_finished(
+    const RunId& id, std::function<void(const RunId&, const RunInfo&)> cb) {
+  auto it = runs_.find(id);
+  if (it == runs_.end()) return;
+  if (it->second.info.state == RunState::Succeeded ||
+      it->second.info.state == RunState::Failed) {
+    cb(id, it->second.info);
+  } else {
+    it->second.finished_cb = std::move(cb);
+  }
+}
+
+size_t FlowService::active_runs() const {
+  size_t n = 0;
+  for (const auto& [id, run] : runs_) {
+    if (run.info.state == RunState::Pending ||
+        run.info.state == RunState::Active) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<RunId> FlowService::all_runs() const {
+  std::vector<RunId> out;
+  out.reserve(runs_.size());
+  for (const auto& [id, run] : runs_) out.push_back(id);
+  return out;
+}
+
+}  // namespace pico::flow

@@ -1,0 +1,195 @@
+#pragma once
+// Gladier/Globus-Flows-like orchestration. A flow is a serial list of action
+// states executed across heterogeneous services (Transfer -> Compute ->
+// Search ingest). The orchestrator starts each action through its provider,
+// then *polls* for completion with a backoff policy — the cloud service
+// cannot push events — and records per-step timing so the campaign reporter
+// can decompose runtimes into "active" vs "overhead" exactly as the paper's
+// Fig. 4 does.
+//
+// Parameter templating mirrors Globus Flows' state references: string values
+// of the form "$.input.<path>" and "$.steps.<StepName>.<path>" are resolved
+// against the flow input and prior step outputs at dispatch time.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "auth/auth.hpp"
+#include "flow/backoff.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace pico::flow {
+
+using RunId = std::string;
+using ActionHandle = std::string;
+
+enum class ActionStatus { Active, Succeeded, Failed };
+
+struct ActionPollResult {
+  ActionStatus status = ActionStatus::Active;
+  std::string error;
+  util::Json output;                 ///< available once Succeeded
+  /// Service-reported activity interval, for active-time accounting.
+  sim::SimTime service_started;
+  sim::SimTime service_completed;
+  /// Coarse service sub-state ("PENDING", "ACTIVE", "RUNNING", ...). The
+  /// orchestrator resets its polling backoff when this changes between
+  /// polls, mirroring Globus Flows' behaviour of restarting the backoff on
+  /// observed action status transitions — without this, a single long step
+  /// would suffer unbounded discovery lag.
+  std::string progress_token;
+};
+
+/// Adapter between the flow engine and a backing service (transfer, compute,
+/// search ingest). Implementations live next to the services they wrap.
+class ActionProvider {
+ public:
+  virtual ~ActionProvider() = default;
+  virtual std::string name() const = 0;
+  /// Begin the action; returns an opaque handle for polling.
+  virtual util::Result<ActionHandle> start(const util::Json& params,
+                                           const auth::Token& token) = 0;
+  virtual ActionPollResult poll(const ActionHandle& handle) = 0;
+};
+
+struct ActionState {
+  std::string name;        ///< e.g. "Transfer", "Analyze", "Publish"
+  std::string provider;    ///< registered provider name
+  util::Json params;       ///< may contain "$." references
+  int max_retries = 0;     ///< re-dispatch attempts after action failure
+};
+
+struct FlowDefinition {
+  std::string name;
+  std::vector<ActionState> steps;
+};
+
+enum class RunState { Pending, Active, Succeeded, Failed };
+
+std::string run_state_name(RunState s);
+
+struct StepTiming {
+  std::string name;
+  sim::SimTime dispatched;       ///< orchestrator sent the start request
+  sim::SimTime service_started;  ///< service began processing
+  sim::SimTime service_completed;///< service finished (actual, virtual time)
+  sim::SimTime discovered;       ///< orchestrator's poll observed completion
+  int polls = 0;
+  int retries = 0;
+
+  double active_s() const {
+    return (service_completed - service_started).seconds();
+  }
+  /// Poll-discovery lag: the paper's dominant overhead component.
+  double discovery_lag_s() const {
+    return (discovered - service_completed).seconds();
+  }
+};
+
+struct RunTiming {
+  sim::SimTime submitted;
+  sim::SimTime finished;
+  std::vector<StepTiming> steps;
+
+  double total_s() const { return (finished - submitted).seconds(); }
+  double active_s() const {
+    double a = 0;
+    for (const auto& s : steps) a += s.active_s();
+    return a;
+  }
+  /// total - active: the paper's definition of flow orchestration overhead.
+  double overhead_s() const { return total_s() - active_s(); }
+};
+
+struct RunInfo {
+  RunState state = RunState::Pending;
+  std::string label;       ///< caller-supplied tag (e.g. source file)
+  std::string error;
+  size_t current_step = 0;
+  util::Json input;
+  std::map<std::string, util::Json> step_outputs;
+};
+
+struct FlowServiceConfig {
+  /// Cloud processing before the first step dispatches.
+  double start_latency_s = 1.5;
+  /// Orchestration hop between a discovered completion and the next dispatch.
+  double inter_step_latency_s = 1.2;
+  double latency_jitter_frac = 0.3;
+  BackoffPolicy backoff = BackoffPolicy::paper_default();
+};
+
+class FlowService {
+ public:
+  FlowService(sim::Engine* engine, auth::AuthService* auth,
+              FlowServiceConfig config, uint64_t seed = 0xF10Dull,
+              sim::Trace* trace = nullptr);
+
+  /// Register an action provider under its name().
+  void register_provider(ActionProvider* provider);
+
+  /// Launch a flow run. Requires scope "flows". Runs execute concurrently —
+  /// the paper starts new flows while previous ones are still running.
+  util::Result<RunId> start(const FlowDefinition& definition, util::Json input,
+                            const auth::Token& token,
+                            const std::string& label = "");
+
+  const RunInfo& info(const RunId& id) const;
+  const RunTiming& timing(const RunId& id) const;
+
+  /// Cancel an active run: no further steps dispatch, pending polls are
+  /// abandoned, and the run settles as Failed with a "cancelled" error.
+  /// In-flight service work (a running transfer/compute task) is not
+  /// recalled — as with the real cloud services, the action simply completes
+  /// unobserved. No-op for already-settled runs.
+  util::Status cancel(const RunId& id);
+
+  /// Fired (in virtual time) when the run settles. For campaign drivers.
+  void on_finished(const RunId& id,
+                   std::function<void(const RunId&, const RunInfo&)> cb);
+
+  size_t active_runs() const;
+  std::vector<RunId> all_runs() const;
+
+  /// Resolve "$." references in params against input + step outputs
+  /// (exposed for tests).
+  static util::Json resolve_params(const util::Json& params,
+                                   const util::Json& input,
+                                   const std::map<std::string, util::Json>& steps);
+
+ private:
+  struct Run {
+    FlowDefinition definition;
+    RunInfo info;
+    RunTiming timing;
+    auth::Token token;
+    ActionHandle current_handle;
+    int poll_attempt = 0;
+    int retries_this_step = 0;
+    std::string last_progress_token;
+    std::function<void(const RunId&, const RunInfo&)> finished_cb;
+  };
+
+  void dispatch_step(const RunId& id);
+  void poll_step(const RunId& id);
+  void complete_step(const RunId& id, const ActionPollResult& poll);
+  void fail_run(const RunId& id, const std::string& error);
+  void finish_run(const RunId& id);
+  double jittered(double base);
+
+  sim::Engine* engine_;
+  auth::AuthService* auth_;
+  FlowServiceConfig config_;
+  util::Rng rng_;
+  sim::Trace* trace_;
+  std::map<std::string, ActionProvider*> providers_;
+  std::map<RunId, Run> runs_;
+  uint64_t next_run_ = 1;
+};
+
+}  // namespace pico::flow

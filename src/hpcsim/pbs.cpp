@@ -1,0 +1,129 @@
+#include "hpcsim/pbs.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace pico::hpcsim {
+namespace {
+util::Logger& logger() {
+  static util::Logger kLogger("pbs");
+  return kLogger;
+}
+}  // namespace
+
+std::string job_state_name(JobState s) {
+  switch (s) {
+    case JobState::Queued: return "Q";
+    case JobState::Provisioning: return "P";
+    case JobState::Running: return "R";
+    case JobState::Completed: return "C";
+    case JobState::Cancelled: return "X";
+  }
+  return "?";
+}
+
+PbsScheduler::PbsScheduler(sim::Engine* engine, ClusterConfig config,
+                           uint64_t seed)
+    : engine_(engine),
+      config_(std::move(config)),
+      rng_(seed),
+      free_(config_.node_count) {}
+
+JobId PbsScheduler::submit(JobRequest request) {
+  JobId id = util::format("%s-job-%llu", config_.name.c_str(),
+                          static_cast<unsigned long long>(next_job_++));
+  Job job;
+  job.request = std::move(request);
+  jobs_[id] = std::move(job);
+  queue_.push_back(id);
+  pump();
+  return id;
+}
+
+void PbsScheduler::pump() {
+  // FIFO: the head job blocks later jobs even if they'd fit (conservative,
+  // matches a no-backfill queue).
+  while (!queue_.empty()) {
+    const JobId id = queue_.front();
+    auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second.state != JobState::Queued) {
+      queue_.pop_front();
+      continue;
+    }
+    Job& job = it->second;
+    if (job.request.nodes > free_) break;
+
+    queue_.pop_front();
+    free_ -= job.request.nodes;
+    job.state = JobState::Provisioning;
+    job.nodes.clear();
+    for (int i = 0; i < job.request.nodes; ++i) {
+      job.nodes.push_back(next_node_tag_++);
+    }
+
+    double delay = std::max(
+        1.0, rng_.normal(config_.provision_delay_s, config_.provision_jitter_s));
+    engine_->schedule_after(sim::Duration::from_seconds(delay), [this, id] {
+      auto it2 = jobs_.find(id);
+      if (it2 == jobs_.end() || it2->second.state != JobState::Provisioning) {
+        return;
+      }
+      Job& j = it2->second;
+      j.state = JobState::Running;
+      ++jobs_started_;
+      logger().debug("%s running on %d node(s)", id.c_str(),
+                     static_cast<int>(j.nodes.size()));
+
+      double walltime = j.request.walltime_s > 0 ? j.request.walltime_s
+                                                 : config_.default_walltime_s;
+      j.walltime_event = engine_->schedule_after(
+          sim::Duration::from_seconds(walltime), [this, id] {
+            auto it3 = jobs_.find(id);
+            if (it3 == jobs_.end() || it3->second.state != JobState::Running) {
+              return;
+            }
+            logger().debug("%s walltime expired", id.c_str());
+            Job& jj = it3->second;
+            jj.state = JobState::Completed;
+            free_ += static_cast<int>(jj.nodes.size());
+            auto on_expire = jj.request.on_expire;
+            pump();
+            if (on_expire) on_expire(id);
+          });
+      if (j.request.on_start) j.request.on_start(id, j.nodes);
+    });
+  }
+}
+
+util::Status PbsScheduler::release(const JobId& id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return util::Status::err("unknown job " + id, "not_found");
+  Job& job = it->second;
+  if (job.state != JobState::Running && job.state != JobState::Provisioning) {
+    return util::Status::err("job " + id + " not active", "state");
+  }
+  job.walltime_event.cancel();
+  job.state = JobState::Completed;
+  free_ += static_cast<int>(job.nodes.size());
+  pump();
+  return util::Status::ok();
+}
+
+util::Status PbsScheduler::cancel(const JobId& id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return util::Status::err("unknown job " + id, "not_found");
+  if (it->second.state != JobState::Queued) {
+    return util::Status::err("job " + id + " already started", "state");
+  }
+  it->second.state = JobState::Cancelled;
+  return util::Status::ok();
+}
+
+JobState PbsScheduler::state(const JobId& id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? JobState::Cancelled : it->second.state;
+}
+
+}  // namespace pico::hpcsim

@@ -1,0 +1,158 @@
+#include "instrument/hyperspectral_gen.hpp"
+
+#include <cmath>
+#include <set>
+
+namespace pico::instrument {
+namespace {
+
+/// Expected spectrum (per unit dose) for a composition: characteristic peaks
+/// plus continuum, normalized to sum to 1 over the channels.
+std::vector<double> material_template(const HyperspectralConfig& cfg,
+                                      const Composition& comp,
+                                      const std::vector<double>& energy_axis) {
+  const auto& lib = XRayLineLibrary::standard();
+  std::vector<double> spec(cfg.channels, 0.0);
+
+  double total_weight = 0;
+  for (const auto& [sym, w] : comp) total_weight += w;
+  if (total_weight <= 0) total_weight = 1;
+
+  const double inv_two_sigma2 =
+      1.0 / (2.0 * cfg.peak_sigma_kev * cfg.peak_sigma_kev);
+
+  for (const auto& [sym, w] : comp) {
+    auto el = lib.element(sym);
+    if (!el) continue;  // unknown symbols contribute nothing
+    for (const auto& line : el.value()->lines) {
+      double amp = (w / total_weight) * line.relative_weight;
+      for (size_t k = 0; k < cfg.channels; ++k) {
+        double d = energy_axis[k] - line.energy_kev;
+        spec[k] += amp * std::exp(-d * d * inv_two_sigma2);
+      }
+    }
+  }
+
+  // Bremsstrahlung continuum: falls roughly as (E0 - E)/E (Kramers), here a
+  // simple decaying profile over the window, excluding the zero channel.
+  double continuum_total = 0;
+  std::vector<double> continuum(cfg.channels, 0.0);
+  for (size_t k = 0; k < cfg.channels; ++k) {
+    double e = energy_axis[k];
+    if (e <= 0.05) continue;
+    continuum[k] = (cfg.energy_max_kev - e) / (e + 0.5);
+    continuum_total += continuum[k];
+  }
+
+  double peak_total = 0;
+  for (double v : spec) peak_total += v;
+
+  std::vector<double> out(cfg.channels, 0.0);
+  for (size_t k = 0; k < cfg.channels; ++k) {
+    double peak_part =
+        peak_total > 0 ? spec[k] / peak_total * (1.0 - cfg.continuum_fraction)
+                       : 0.0;
+    double cont_part = continuum_total > 0
+                           ? continuum[k] / continuum_total * cfg.continuum_fraction
+                           : 0.0;
+    out[k] = peak_part + cont_part;
+  }
+  return out;
+}
+
+}  // namespace
+
+HyperspectralConfig HyperspectralConfig::fig2_sample() {
+  HyperspectralConfig cfg;
+  cfg.height = 128;
+  cfg.width = 128;
+  cfg.channels = 512;
+  cfg.dose = 60.0;
+  // Polyamide organic film: carbon-dominated with nitrogen/oxygen.
+  cfg.background = {{"C", 0.70}, {"N", 0.15}, {"O", 0.15}};
+  // Captured heavy metals: gold and lead particles of varying size.
+  cfg.particles = {
+      {32, 40, 9, {{"Au", 0.8}, {"C", 0.2}}},
+      {84, 30, 6, {{"Au", 0.7}, {"C", 0.3}}},
+      {64, 86, 11, {{"Pb", 0.75}, {"C", 0.25}}},
+      {100, 100, 5, {{"Pb", 0.6}, {"C", 0.4}}},
+      {20, 104, 7, {{"Au", 0.5}, {"Pb", 0.3}, {"C", 0.2}}},
+  };
+  cfg.seed = 20230407;
+  return cfg;
+}
+
+HyperspectralSample generate_hyperspectral(const HyperspectralConfig& cfg) {
+  HyperspectralSample out;
+  out.energy_axis.resize(cfg.channels);
+  for (size_t k = 0; k < cfg.channels; ++k) {
+    out.energy_axis[k] =
+        cfg.energy_min_kev + (cfg.energy_max_kev - cfg.energy_min_kev) *
+                                 (static_cast<double>(k) + 0.5) /
+                                 static_cast<double>(cfg.channels);
+  }
+
+  // Template per material: index 0 = background, i+1 = particle i.
+  std::vector<std::vector<double>> templates;
+  templates.push_back(material_template(cfg, cfg.background, out.energy_axis));
+  for (const auto& p : cfg.particles) {
+    templates.push_back(material_template(cfg, p.composition, out.energy_axis));
+  }
+
+  std::set<std::string> elements;
+  for (const auto& [sym, w] : cfg.background) elements.insert(sym);
+  for (const auto& p : cfg.particles) {
+    for (const auto& [sym, w] : p.composition) elements.insert(sym);
+  }
+  out.true_elements.assign(elements.begin(), elements.end());
+
+  util::Rng rng(cfg.seed);
+  out.cube = tensor::Tensor<double>(tensor::Shape{cfg.height, cfg.width, cfg.channels});
+
+  for (size_t i = 0; i < cfg.height; ++i) {
+    for (size_t j = 0; j < cfg.width; ++j) {
+      // Innermost particle wins (later entries overlay earlier ones).
+      size_t material = 0;
+      for (size_t p = 0; p < cfg.particles.size(); ++p) {
+        double dx = static_cast<double>(j) - cfg.particles[p].cx;
+        double dy = static_cast<double>(i) - cfg.particles[p].cy;
+        if (dx * dx + dy * dy <= cfg.particles[p].radius * cfg.particles[p].radius) {
+          material = p + 1;
+        }
+      }
+      const auto& tmpl = templates[material];
+      // Heavier particles scatter more: boost dose slightly inside particles.
+      double dose = cfg.dose * (material == 0 ? 1.0 : 1.6);
+      double* voxel = &out.cube(i, j, 0);
+      for (size_t k = 0; k < cfg.channels; ++k) {
+        double lambda = tmpl[k] * dose;
+        voxel[k] = lambda > 0 ? static_cast<double>(rng.poisson(lambda)) : 0.0;
+      }
+    }
+  }
+  return out;
+}
+
+emd::File to_emd(const HyperspectralSample& sample,
+                 const HyperspectralConfig& cfg,
+                 const emd::MicroscopeSettings& scope,
+                 const std::string& acquired_iso8601,
+                 const std::string& sample_description,
+                 const std::string& operator_name) {
+  emd::File file;
+  emd::write_standard_metadata(file, scope, acquired_iso8601,
+                               sample_description, operator_name);
+
+  util::Json extra = util::Json::object({
+      {"energy_min_kev", cfg.energy_min_kev},
+      {"energy_max_kev", cfg.energy_max_kev},
+      {"dose", cfg.dose},
+  });
+  emd::add_signal(file, "hyperspectral",
+                  emd::SignalKind::Hyperspectral,
+                  emd::Dataset::from_tensor(sample.cube),
+                  {"height", "width", "energy"}, extra);
+  return file;
+}
+
+}  // namespace pico::instrument

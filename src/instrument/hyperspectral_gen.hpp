@@ -1,0 +1,63 @@
+#pragma once
+// Synthetic hyperspectral acquisition. Models the Fig. 2 sample: a matrix
+// film (e.g. polyamide: C/N/O) with embedded heavy-metal particles (Au, Pb),
+// producing an [H, W, E] cube of X-ray counts. Each material's spectrum is a
+// sum of Gaussian peaks at its elements' characteristic lines over a falling
+// bremsstrahlung continuum; per-voxel counts are Poisson-sampled.
+#include <map>
+#include <string>
+#include <vector>
+
+#include "emd/file.hpp"
+#include "emd/schema.hpp"
+#include "instrument/xray_lines.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace pico::instrument {
+
+/// Element symbol -> relative abundance (weights need not sum to 1).
+using Composition = std::map<std::string, double>;
+
+/// A disk-shaped inclusion of a different material in the film.
+struct ParticleRegion {
+  double cx, cy, radius;  ///< pixels
+  Composition composition;
+};
+
+struct HyperspectralConfig {
+  size_t height = 64;
+  size_t width = 64;
+  size_t channels = 256;
+  double energy_min_kev = 0.0;
+  double energy_max_kev = 20.0;
+  double peak_sigma_kev = 0.06;     ///< detector energy resolution (Gaussian)
+  double dose = 40.0;               ///< expected counts per pixel (scales SNR)
+  double continuum_fraction = 0.15; ///< bremsstrahlung share of the dose
+  Composition background;           ///< film material
+  std::vector<ParticleRegion> particles;
+  uint64_t seed = 1234;
+
+  /// Polyamide film treated to capture heavy metals (paper Fig. 2 sample).
+  static HyperspectralConfig fig2_sample();
+};
+
+struct HyperspectralSample {
+  tensor::Tensor<double> cube;       ///< [H, W, E] X-ray counts
+  std::vector<double> energy_axis;   ///< channel -> keV (bin centers)
+  std::vector<std::string> true_elements;  ///< every element present
+};
+
+/// Generate a sample cube from the configuration.
+HyperspectralSample generate_hyperspectral(const HyperspectralConfig& config);
+
+/// Package a generated sample as a PicoProbe EMD-lite file (data + canonical
+/// microscope/sample/user metadata). `acquired_iso8601` stamps the record.
+emd::File to_emd(const HyperspectralSample& sample,
+                 const HyperspectralConfig& config,
+                 const emd::MicroscopeSettings& scope,
+                 const std::string& acquired_iso8601,
+                 const std::string& sample_description,
+                 const std::string& operator_name);
+
+}  // namespace pico::instrument

@@ -1,0 +1,63 @@
+#include "instrument/xray_lines.hpp"
+
+namespace pico::instrument {
+
+const XRayLineLibrary& XRayLineLibrary::standard() {
+  static const XRayLineLibrary* kLibrary = [] {
+    auto* lib = new XRayLineLibrary();
+    // Energies in keV from standard EDS references (Ka/Kb/La/Ma as relevant
+    // below 20 keV, the XPAD acquisition window we simulate).
+    lib->elements_ = {
+        {"C", 6, {{"Ka", 0.277, 1.0}}},
+        {"N", 7, {{"Ka", 0.392, 1.0}}},
+        {"O", 8, {{"Ka", 0.525, 1.0}}},
+        {"Na", 11, {{"Ka", 1.041, 1.0}}},
+        {"Al", 13, {{"Ka", 1.486, 1.0}}},
+        {"Si", 14, {{"Ka", 1.740, 1.0}}},
+        {"P", 15, {{"Ka", 2.013, 1.0}}},
+        {"S", 16, {{"Ka", 2.307, 1.0}}},
+        {"Cl", 17, {{"Ka", 2.621, 1.0}}},
+        {"K", 19, {{"Ka", 3.312, 1.0}}},
+        {"Ca", 20, {{"Ka", 3.690, 1.0}, {"Kb", 4.012, 0.13}}},
+        {"Ti", 22, {{"Ka", 4.508, 1.0}, {"Kb", 4.931, 0.15}}},
+        {"Cr", 24, {{"Ka", 5.411, 1.0}, {"Kb", 5.946, 0.15}}},
+        {"Mn", 25, {{"Ka", 5.894, 1.0}, {"Kb", 6.489, 0.15}}},
+        {"Fe", 26, {{"Ka", 6.398, 1.0}, {"Kb", 7.057, 0.15}}},
+        {"Ni", 28, {{"Ka", 7.471, 1.0}, {"Kb", 8.264, 0.15}}},
+        {"Cu", 29, {{"Ka", 8.040, 1.0}, {"Kb", 8.904, 0.15}}},
+        {"Zn", 30, {{"Ka", 8.630, 1.0}, {"Kb", 9.570, 0.15}}},
+        {"Pt", 78, {{"Ma", 2.048, 0.8}, {"La", 9.441, 1.0}, {"Lb", 11.070, 0.7}}},
+        {"Au", 79, {{"Ma", 2.123, 0.8}, {"La", 9.711, 1.0}, {"Lb", 11.442, 0.7}}},
+        {"Pb", 82, {{"Ma", 2.342, 0.8}, {"La", 10.549, 1.0}, {"Lb", 12.611, 0.7}}},
+        {"U", 92, {{"Ma", 3.165, 0.9}, {"La", 13.613, 1.0}}},
+    };
+    return lib;
+  }();
+  return *kLibrary;
+}
+
+util::Result<const Element*> XRayLineLibrary::element(
+    const std::string& symbol) const {
+  for (const auto& e : elements_) {
+    if (e.symbol == symbol) {
+      return util::Result<const Element*>::ok(&e);
+    }
+  }
+  return util::Result<const Element*>::err("unknown element: " + symbol,
+                                           "not_found");
+}
+
+std::vector<std::pair<const Element*, const XRayLine*>>
+XRayLineLibrary::lines_in_range(double lo_kev, double hi_kev) const {
+  std::vector<std::pair<const Element*, const XRayLine*>> out;
+  for (const auto& e : elements_) {
+    for (const auto& l : e.lines) {
+      if (l.energy_kev >= lo_kev && l.energy_kev <= hi_kev) {
+        out.emplace_back(&e, &l);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pico::instrument

@@ -1,0 +1,42 @@
+#pragma once
+// Characteristic X-ray emission line library. The XPAD hyperspectral detector
+// in the paper records energy-dispersive spectra; the synthetic generator
+// places Gaussian peaks at these line energies and the analysis pipeline
+// inverts the process to identify elemental composition (Fig. 2C metadata).
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace pico::instrument {
+
+struct XRayLine {
+  std::string name;      ///< "Ka", "Kb", "La", "Ma"
+  double energy_kev;     ///< line energy
+  double relative_weight;  ///< intensity relative to the element's strongest line
+};
+
+struct Element {
+  std::string symbol;
+  int atomic_number;
+  std::vector<XRayLine> lines;
+};
+
+/// The built-in library: light matrix elements through heavy metals, covering
+/// the polyamide-film + heavy-metal-capture samples in the paper's Fig. 2.
+class XRayLineLibrary {
+ public:
+  static const XRayLineLibrary& standard();
+
+  util::Result<const Element*> element(const std::string& symbol) const;
+  const std::vector<Element>& elements() const { return elements_; }
+
+  /// All lines (element, line) whose energy lies within [lo, hi] keV.
+  std::vector<std::pair<const Element*, const XRayLine*>> lines_in_range(
+      double lo_kev, double hi_kev) const;
+
+ private:
+  std::vector<Element> elements_;
+};
+
+}  // namespace pico::instrument

@@ -1,0 +1,242 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace pico::net {
+namespace {
+
+// Completion slack: a flow is done when remaining bytes < half a byte, which
+// absorbs floating-point drift from repeated rate changes. The slack must
+// also cover what the flow moves in one engine tick (1 ns) — otherwise a
+// very fast flow's ETA truncates to zero nanoseconds and the completion
+// event would spin at a fixed timestamp without progress.
+constexpr double kEpsilonBytes = 0.5;
+
+double completion_slack(double rate_Bps) {
+  return std::max(kEpsilonBytes, rate_Bps * 2e-9);
+}
+
+}  // namespace
+
+util::Result<FlowId> Network::start_flow(
+    NodeId src, NodeId dst, int64_t bytes,
+    std::function<void(FlowId)> on_complete, double rate_cap_bps) {
+  auto route = topo_->route(src, dst);
+  if (!route) return util::Result<FlowId>::err(route.error());
+
+  FlowId id = next_id_++;
+  ActiveFlow flow;
+  flow.id = id;
+  flow.route = std::move(route).value();
+  flow.rate_cap_Bps = rate_cap_bps > 0 ? rate_cap_bps / 8.0 : 0;
+  flow.total_bytes = static_cast<double>(std::max<int64_t>(bytes, 0));
+  flow.transferred = 0;
+  flow.rate_Bps = 0;
+  flow.last_update = engine_->now();
+  flow.started = false;
+  flow.on_complete = std::move(on_complete);
+
+  sim::Duration latency = topo_->route_latency(flow.route);
+  flows_.emplace(id, std::move(flow));
+
+  // The latency phase models connection setup / propagation; the flow only
+  // competes for bandwidth once it elapses.
+  engine_->schedule_after(latency, [this, id] {
+    auto it = flows_.find(id);
+    if (it == flows_.end()) return;  // cancelled during latency phase
+    advance_progress();
+    it->second.started = true;
+    it->second.last_update = engine_->now();
+    recompute_rates();
+    reschedule_completion();
+  });
+  return util::Result<FlowId>::ok(id);
+}
+
+void Network::cancel_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  advance_progress();
+  flows_.erase(it);
+  recompute_rates();
+  reschedule_completion();
+}
+
+FlowStatus Network::status(FlowId id) const {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return FlowStatus{};
+  const auto& f = it->second;
+  double elapsed = (engine_->now() - f.last_update).seconds();
+  double transferred =
+      std::min(f.total_bytes, f.transferred + f.rate_Bps * elapsed);
+  return FlowStatus{static_cast<int64_t>(f.total_bytes),
+                    static_cast<int64_t>(transferred), f.rate_Bps * 8.0, true};
+}
+
+void Network::rates_changed() {
+  advance_progress();
+  recompute_rates();
+  reschedule_completion();
+}
+
+void Network::advance_progress() {
+  sim::SimTime now = engine_->now();
+  for (auto& [id, f] : flows_) {
+    if (!f.started) continue;
+    double elapsed = (now - f.last_update).seconds();
+    if (elapsed > 0) {
+      double before = f.transferred;
+      f.transferred = std::min(f.total_bytes, f.transferred + f.rate_Bps * elapsed);
+      double delta = f.transferred - before;
+      if (delta > 0) {
+        for (LinkId lid : f.route) bytes_carried_[lid] += delta;
+      }
+    }
+    f.last_update = now;
+  }
+}
+
+double Network::bytes_carried(LinkId id) const {
+  auto it = bytes_carried_.find(id);
+  return it == bytes_carried_.end() ? 0.0 : it->second;
+}
+
+double Network::average_utilization(LinkId id) const {
+  double elapsed = engine_->now().seconds();
+  if (elapsed <= 0) return 0.0;
+  double capacity_bps = topo_->link(id).capacity_bps;
+  if (capacity_bps <= 0) return 0.0;
+  return bytes_carried(id) * 8.0 / (capacity_bps * elapsed);
+}
+
+void Network::recompute_rates() {
+  // Max-min fair allocation: repeatedly saturate the most-constrained
+  // resource. Resources are real links (capacity shared by all flows
+  // traversing them — a switch backplane / duplex uplink abstraction) plus a
+  // private per-flow "virtual link" when the flow has an end-host rate cap.
+  using ResourceId = uint64_t;
+  constexpr ResourceId kVirtualBase = 1ull << 40;
+  auto virtual_id = [](FlowId fid) { return kVirtualBase + fid; };
+
+  std::map<ResourceId, double> residual;      // remaining capacity (bytes/s)
+  std::map<ResourceId, int> unfixed_on_res;   // flows not yet fixed
+
+  struct Entry {
+    ActiveFlow* flow;
+    std::vector<ResourceId> resources;
+  };
+  std::vector<Entry> unfixed;
+  for (auto& [id, f] : flows_) {
+    if (!f.started) continue;
+    f.rate_Bps = 0;
+    if (f.route.empty() && f.rate_cap_Bps <= 0) {
+      // Same-node transfer: modeled as an effectively instantaneous local
+      // copy (finite but huge rate keeps the completion math uniform).
+      f.rate_Bps = 1e15;
+      continue;
+    }
+    Entry e;
+    e.flow = &f;
+    for (LinkId lid : f.route) {
+      residual.emplace(lid, topo_->link(lid).capacity_bps / 8.0);
+      unfixed_on_res[lid] += 1;
+      e.resources.push_back(lid);
+    }
+    if (f.rate_cap_Bps > 0) {
+      ResourceId vid = virtual_id(f.id);
+      residual.emplace(vid, f.rate_cap_Bps);
+      unfixed_on_res[vid] += 1;
+      e.resources.push_back(vid);
+    }
+    unfixed.push_back(std::move(e));
+  }
+
+  while (!unfixed.empty()) {
+    // Find the bottleneck resource: minimal fair share among those in use.
+    double best_share = std::numeric_limits<double>::infinity();
+    ResourceId best_res = 0;
+    bool found = false;
+    for (const auto& [rid, count] : unfixed_on_res) {
+      if (count <= 0) continue;
+      // Floating-point drift can leave residuals a hair below zero after
+      // repeated subtraction; clamp so shares (and thus rates) stay >= 0.
+      double share = std::max(0.0, residual[rid]) / count;
+      if (share < best_share) {
+        best_share = share;
+        best_res = rid;
+        found = true;
+      }
+    }
+    if (!found) break;
+
+    // Fix every unfixed flow using the bottleneck at the fair share.
+    std::vector<Entry> still_unfixed;
+    still_unfixed.reserve(unfixed.size());
+    for (Entry& e : unfixed) {
+      bool crosses = std::find(e.resources.begin(), e.resources.end(),
+                               best_res) != e.resources.end();
+      if (!crosses) {
+        still_unfixed.push_back(std::move(e));
+        continue;
+      }
+      // Floor at 1 B/s: only reachable via floating-point drift (exact
+      // max-min always yields positive shares), and it guarantees every
+      // flow terminates in bounded virtual time instead of stalling.
+      e.flow->rate_Bps = std::max(best_share, 1.0);
+      for (ResourceId rid : e.resources) {
+        residual[rid] -= best_share;
+        unfixed_on_res[rid] -= 1;
+      }
+    }
+    unfixed.swap(still_unfixed);
+  }
+}
+
+void Network::reschedule_completion() {
+  completion_event_.cancel();
+  double soonest = std::numeric_limits<double>::infinity();
+  for (const auto& [id, f] : flows_) {
+    if (!f.started) continue;
+    double remaining = f.total_bytes - f.transferred;
+    double eta;
+    if (remaining <= completion_slack(f.rate_Bps)) {
+      eta = 0;
+    } else if (f.rate_Bps <= 0) {
+      continue;  // stalled (should not happen with positive capacities)
+    } else {
+      eta = std::max(0.0, remaining / f.rate_Bps);
+    }
+    soonest = std::min(soonest, eta);
+  }
+  if (!std::isfinite(soonest)) return;
+  sim::Duration delay = sim::Duration::from_seconds(soonest);
+  if (soonest > 0 && delay.ns < 1) delay.ns = 1;  // never re-fire at "now"
+  completion_event_ =
+      engine_->schedule_after(delay, [this] { on_completion_event(); });
+}
+
+void Network::on_completion_event() {
+  advance_progress();
+  // Collect completions first; callbacks may start new flows re-entrantly.
+  std::vector<ActiveFlow> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.started &&
+        it->second.total_bytes - it->second.transferred <=
+            completion_slack(it->second.rate_Bps)) {
+      done.push_back(std::move(it->second));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  recompute_rates();
+  reschedule_completion();
+  for (auto& f : done) {
+    if (f.on_complete) f.on_complete(f.id);
+  }
+}
+
+}  // namespace pico::net

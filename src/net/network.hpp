@@ -1,0 +1,86 @@
+#pragma once
+// Fluid-flow network simulation with max-min fair bandwidth sharing.
+//
+// Concurrent Globus transfers in the paper contend on the 1 Gbps user switch;
+// this model reproduces that contention: each active flow gets its max-min
+// fair share of every link on its route, rates are recomputed whenever a flow
+// starts or finishes, and completion events fire in virtual time.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+#include "util/result.hpp"
+
+namespace pico::net {
+
+using FlowId = uint64_t;
+
+/// Progress snapshot for an active flow.
+struct FlowStatus {
+  int64_t total_bytes = 0;
+  int64_t transferred_bytes = 0;
+  double current_rate_bps = 0;
+  bool active = false;
+};
+
+class Network {
+ public:
+  Network(sim::Engine* engine, Topology* topology)
+      : engine_(engine), topo_(topology) {}
+
+  /// Begin moving `bytes` from src to dst. `on_complete` fires (in virtual
+  /// time) when the last byte arrives; route latency is charged up front.
+  /// `rate_cap_bps` (0 = unlimited) bounds this flow's rate regardless of
+  /// link capacity — it models end-host limits (single-stream TCP, source
+  /// disk) that keep real Globus transfers well below a 1 Gbps line rate.
+  /// Fails if no route exists.
+  util::Result<FlowId> start_flow(NodeId src, NodeId dst, int64_t bytes,
+                                  std::function<void(FlowId)> on_complete,
+                                  double rate_cap_bps = 0);
+
+  /// Abort an active flow; its completion callback never fires.
+  void cancel_flow(FlowId id);
+
+  FlowStatus status(FlowId id) const;
+  size_t active_flow_count() const { return flows_.size(); }
+
+  /// Force a rate recomputation (call after mutating link capacities mid-run).
+  void rates_changed();
+
+  /// Total bytes carried over a link so far (both directions).
+  double bytes_carried(LinkId id) const;
+
+  /// Average utilization of a link over [0, now]: carried bits divided by
+  /// capacity x elapsed time. In (0, 1]; 0 before any traffic.
+  double average_utilization(LinkId id) const;
+
+ private:
+  struct ActiveFlow {
+    FlowId id;
+    std::vector<LinkId> route;
+    double rate_cap_Bps = 0;  ///< 0 = uncapped
+    double total_bytes;
+    double transferred;     ///< bytes delivered as of `last_update`
+    double rate_Bps;        ///< current fair-share rate, bytes/sec
+    sim::SimTime last_update;
+    bool started;           ///< false while the latency phase is pending
+    std::function<void(FlowId)> on_complete;
+  };
+
+  void advance_progress();
+  void recompute_rates();
+  void reschedule_completion();
+  void on_completion_event();
+
+  sim::Engine* engine_;
+  Topology* topo_;
+  std::map<FlowId, ActiveFlow> flows_;
+  std::map<LinkId, double> bytes_carried_;
+  FlowId next_id_ = 1;
+  sim::EventHandle completion_event_;
+};
+
+}  // namespace pico::net

@@ -1,0 +1,105 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace pico::net {
+
+NodeId Topology::add_node(const std::string& name) {
+  assert(!node_ids_.count(name) && "duplicate node name");
+  NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(name);
+  node_ids_[name] = id;
+  adjacency_.emplace_back();
+  return id;
+}
+
+LinkId Topology::add_link(NodeId a, NodeId b, double capacity_bps,
+                          sim::Duration latency, const std::string& name) {
+  assert(a < node_names_.size() && b < node_names_.size());
+  assert(capacity_bps > 0);
+  LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{id, a, b, capacity_bps, latency,
+                        name.empty() ? node_names_[a] + "<->" + node_names_[b]
+                                     : name});
+  adjacency_[a].push_back(id);
+  adjacency_[b].push_back(id);
+  return id;
+}
+
+LinkId Topology::add_link(const std::string& a, const std::string& b,
+                          double capacity_bps, sim::Duration latency,
+                          const std::string& name) {
+  auto na = node(a);
+  auto nb = node(b);
+  assert(na && nb && "unknown node name");
+  return add_link(na.value(), nb.value(), capacity_bps, latency, name);
+}
+
+util::Result<NodeId> Topology::node(const std::string& name) const {
+  auto it = node_ids_.find(name);
+  if (it == node_ids_.end()) {
+    return util::Result<NodeId>::err("unknown node: " + name, "not_found");
+  }
+  return util::Result<NodeId>::ok(it->second);
+}
+
+const std::string& Topology::node_name(NodeId id) const {
+  return node_names_.at(id);
+}
+
+const Link& Topology::link(LinkId id) const { return links_.at(id); }
+
+Link& Topology::mutable_link(LinkId id) { return links_.at(id); }
+
+util::Result<std::vector<LinkId>> Topology::route(NodeId src,
+                                                  NodeId dst) const {
+  using R = util::Result<std::vector<LinkId>>;
+  if (src >= node_names_.size() || dst >= node_names_.size()) {
+    return R::err("route endpoints out of range", "not_found");
+  }
+  if (src == dst) return R::ok({});
+
+  // BFS; parent_link records the link used to reach each node.
+  constexpr LinkId kNone = static_cast<LinkId>(-1);
+  std::vector<LinkId> parent_link(node_names_.size(), kNone);
+  std::vector<bool> visited(node_names_.size(), false);
+  std::deque<NodeId> frontier{src};
+  visited[src] = true;
+  while (!frontier.empty()) {
+    NodeId cur = frontier.front();
+    frontier.pop_front();
+    for (LinkId lid : adjacency_[cur]) {
+      const Link& l = links_[lid];
+      NodeId next = l.a == cur ? l.b : l.a;
+      if (visited[next]) continue;
+      visited[next] = true;
+      parent_link[next] = lid;
+      if (next == dst) {
+        std::vector<LinkId> path;
+        NodeId walk = dst;
+        while (walk != src) {
+          LinkId plid = parent_link[walk];
+          path.push_back(plid);
+          const Link& pl = links_[plid];
+          walk = pl.a == walk ? pl.b : pl.a;
+        }
+        std::reverse(path.begin(), path.end());
+        return R::ok(std::move(path));
+      }
+      frontier.push_back(next);
+    }
+  }
+  return R::err("no route from " + node_names_[src] + " to " +
+                    node_names_[dst],
+                "not_found");
+}
+
+sim::Duration Topology::route_latency(const std::vector<LinkId>& links) const {
+  sim::Duration total = sim::Duration::zero();
+  for (LinkId id : links) total = total + link(id).latency;
+  return total;
+}
+
+}  // namespace pico::net

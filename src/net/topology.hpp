@@ -1,0 +1,62 @@
+#pragma once
+// Network topology: named nodes joined by capacity-limited links. Routes are
+// shortest paths by hop count (deterministic tie-break), which is adequate
+// for the facility graph in the paper: user workstations -> 1 Gbps switch ->
+// 200 Gbps ANL backbone -> ALCF (Eagle/Polaris).
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/result.hpp"
+
+namespace pico::net {
+
+using NodeId = uint32_t;
+using LinkId = uint32_t;
+
+struct Link {
+  LinkId id = 0;
+  NodeId a = 0, b = 0;
+  double capacity_bps = 0;   ///< shared by all flows traversing the link
+  sim::Duration latency;     ///< one-way propagation + switching delay
+  std::string name;
+};
+
+class Topology {
+ public:
+  /// Add a node; returns its id. Names must be unique.
+  NodeId add_node(const std::string& name);
+
+  /// Join two nodes with a link of the given capacity (bits/second).
+  LinkId add_link(NodeId a, NodeId b, double capacity_bps,
+                  sim::Duration latency = sim::Duration::zero(),
+                  const std::string& name = "");
+  LinkId add_link(const std::string& a, const std::string& b,
+                  double capacity_bps,
+                  sim::Duration latency = sim::Duration::zero(),
+                  const std::string& name = "");
+
+  util::Result<NodeId> node(const std::string& name) const;
+  const std::string& node_name(NodeId id) const;
+  const Link& link(LinkId id) const;
+  Link& mutable_link(LinkId id);  ///< for bandwidth-sweep experiments
+  size_t node_count() const { return node_names_.size(); }
+  size_t link_count() const { return links_.size(); }
+
+  /// Shortest path (by hops) from src to dst as a list of link ids.
+  /// Error if unreachable.
+  util::Result<std::vector<LinkId>> route(NodeId src, NodeId dst) const;
+
+  /// Sum of one-way latencies along a route.
+  sim::Duration route_latency(const std::vector<LinkId>& links) const;
+
+ private:
+  std::vector<std::string> node_names_;
+  std::map<std::string, NodeId> node_ids_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> adjacency_;  ///< per node, incident links
+};
+
+}  // namespace pico::net

@@ -1,0 +1,168 @@
+#include "portal/portal.hpp"
+
+#include <filesystem>
+
+#include "util/bytes.hpp"
+#include "util/strings.hpp"
+#include "util/timefmt.hpp"
+
+namespace pico::portal {
+namespace {
+
+using util::html_escape;
+
+const char* kStyle = R"(
+<style>
+  body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 60rem; color: #222; }
+  h1 { border-bottom: 2px solid #1a5276; padding-bottom: .3rem; }
+  table { border-collapse: collapse; margin: 1rem 0; }
+  td, th { border: 1px solid #ccc; padding: .3rem .6rem; text-align: left; vertical-align: top; }
+  th { background: #eef3f7; }
+  .facet { display: inline-block; background: #eef3f7; border-radius: .4rem;
+           padding: .1rem .5rem; margin: .1rem; font-size: .9rem; }
+  .record { margin: .4rem 0; }
+  .artifact { margin: 1rem 0; }
+  pre { background: #f6f6f6; padding: .6rem; overflow-x: auto; }
+</style>
+)";
+
+std::string json_table(const util::Json& j) {
+  if (!j.is_object()) {
+    return "<pre>" + html_escape(j.dump(2)) + "</pre>";
+  }
+  std::string out = "<table>";
+  for (const auto& [k, v] : j.as_object()) {
+    out += "<tr><th>" + html_escape(k) + "</th><td>";
+    if (v.is_object() || v.is_array()) {
+      out += "<pre>" + html_escape(v.dump(2)) + "</pre>";
+    } else {
+      out += html_escape(v.dump());
+    }
+    out += "</td></tr>";
+  }
+  out += "</table>";
+  return out;
+}
+
+std::string record_filename(const search::DocId& id) {
+  std::string safe;
+  for (char c : id) safe.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  return "record_" + safe + ".html";
+}
+
+}  // namespace
+
+std::string Portal::render_record_html(const search::Document& doc) const {
+  const util::Json& r = doc.content;
+  std::string out = "<!doctype html><html><head><meta charset='utf-8'><title>";
+  out += html_escape(r.at("title").as_string("(untitled)"));
+  out += "</title>";
+  out += kStyle;
+  out += "</head><body>";
+  out += "<p><a href='index.html'>&larr; back to portal</a></p>";
+  out += "<h1>" + html_escape(r.at("title").as_string("(untitled)")) + "</h1>";
+  out += "<p><b>Acquired:</b> " +
+         html_escape(r.at_path("dates.created").as_string("?")) +
+         " &middot; <b>Type:</b> " +
+         html_escape(r.at("resource_type").as_string("?")) + "</p>";
+
+  // Subjects (e.g. detected elements) as chips.
+  if (r.at("subjects").size() > 0) {
+    out += "<p>";
+    for (const auto& s : r.at("subjects").as_array()) {
+      out += "<span class='facet'>" + html_escape(s.as_string()) + "</span>";
+    }
+    out += "</p>";
+  }
+
+  // Artifacts: SVG plots inlined (self-contained page), other files linked.
+  for (const auto& a : r.at("artifacts").as_array()) {
+    const std::string& path = a.as_string();
+    out += "<div class='artifact'>";
+    if (util::ends_with(path, ".svg")) {
+      auto data = util::read_file(path);
+      if (data) {
+        out += std::string(reinterpret_cast<const char*>(data.value().data()),
+                           data.value().size());
+      } else {
+        out += "<p>(missing artifact " + html_escape(path) + ")</p>";
+      }
+    } else {
+      out += "<p><a href='" + html_escape(path) + "'>" + html_escape(path) +
+             "</a></p>";
+    }
+    out += "</div>";
+  }
+
+  out += "<h2>Instrument metadata</h2>";
+  out += json_table(r.at("instrument"));
+  out += "<h2>Analysis</h2>";
+  out += json_table(r.at("analysis"));
+  out += "</body></html>";
+  return out;
+}
+
+std::string Portal::render_index_html(const search::Index& index,
+                                      const auth::Identity& viewer) const {
+  std::string out = "<!doctype html><html><head><meta charset='utf-8'><title>";
+  out += html_escape(config_.title);
+  out += "</title>";
+  out += kStyle;
+  out += "</head><body><h1>" + html_escape(config_.title) + "</h1>";
+
+  // Facets: resource type and acquisition date (the paper's portal lets
+  // researchers browse experiments by time and date).
+  out += "<h2>Facets</h2><p>";
+  for (const auto& [value, count] : index.facet("resource_type", viewer)) {
+    out += "<span class='facet'>" + html_escape(value) + " (" +
+           std::to_string(count) + ")</span>";
+  }
+  std::map<std::string, size_t> by_date;
+  for (const auto& [value, count] : index.facet("dates.created", viewer)) {
+    by_date[util::iso_date_prefix(value)] += count;
+  }
+  for (const auto& [day, count] : by_date) {
+    out += "<span class='facet'>" + html_escape(day) + " (" +
+           std::to_string(count) + ")</span>";
+  }
+  out += "</p><h2>Experiments (" + std::to_string(index.all_ids(viewer).size()) +
+         ")</h2>";
+
+  for (const auto& id : index.all_ids(viewer)) {
+    auto doc = index.get(id, viewer);
+    if (!doc) continue;
+    const util::Json& r = doc.value()->content;
+    out += "<div class='record'><a href='" + record_filename(id) + "'>" +
+           html_escape(r.at("title").as_string(id)) + "</a> &middot; " +
+           html_escape(r.at_path("dates.created").as_string("?")) +
+           " &middot; " + html_escape(r.at("resource_type").as_string("?")) +
+           "</div>";
+  }
+  out += "</body></html>";
+  return out;
+}
+
+util::Result<GeneratedSite> Portal::generate(
+    const search::Index& index, const auth::Identity& viewer) const {
+  using R = util::Result<GeneratedSite>;
+  std::error_code ec;
+  std::filesystem::create_directories(config_.output_dir, ec);
+
+  GeneratedSite site;
+  site.index_path = config_.output_dir + "/index.html";
+  auto st = util::write_file(site.index_path,
+                             render_index_html(index, viewer));
+  if (!st) return R::err(st.error());
+
+  for (const auto& id : index.all_ids(viewer)) {
+    auto doc = index.get(id, viewer);
+    if (!doc) continue;
+    std::string path = config_.output_dir + "/" + record_filename(id);
+    auto wst = util::write_file(path, render_record_html(*doc.value()));
+    if (!wst) return R::err(wst.error());
+    site.record_paths.push_back(std::move(path));
+  }
+  return R::ok(std::move(site));
+}
+
+}  // namespace pico::portal

@@ -1,0 +1,46 @@
+#pragma once
+// DGPF-like data portal: renders a Globus-Search-backed index as a static
+// HTML site — a record listing with date/type facets and a detail page per
+// experiment embedding its plots (Fig. 2's portal view). Static generation
+// stands in for the Django request cycle; the data path (search index ->
+// rendered record with metadata + artifacts) is the same.
+#include <string>
+#include <vector>
+
+#include "auth/auth.hpp"
+#include "search/index.hpp"
+#include "util/result.hpp"
+
+namespace pico::portal {
+
+struct PortalConfig {
+  std::string title = "Dynamic PicoProbe Data Portal";
+  std::string output_dir;  ///< directory for generated HTML
+};
+
+struct GeneratedSite {
+  std::string index_path;
+  std::vector<std::string> record_paths;
+};
+
+class Portal {
+ public:
+  explicit Portal(PortalConfig config) : config_(std::move(config)) {}
+
+  /// Render everything `viewer` may see. Artifact paths in records that point
+  /// at .svg files are inlined; others are linked.
+  util::Result<GeneratedSite> generate(const search::Index& index,
+                                       const auth::Identity& viewer = "") const;
+
+  /// Render one record page to a string (testable without the filesystem).
+  std::string render_record_html(const search::Document& doc) const;
+
+  /// Render the listing page to a string.
+  std::string render_index_html(const search::Index& index,
+                                const auth::Identity& viewer) const;
+
+ private:
+  PortalConfig config_;
+};
+
+}  // namespace pico::portal

@@ -1,0 +1,229 @@
+#include "search/index.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "util/timefmt.hpp"
+
+namespace pico::search {
+
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      cur.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!cur.empty()) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+namespace {
+void tokenize_json_rec(const util::Json& j, std::vector<std::string>* out) {
+  switch (j.type()) {
+    case util::Json::Type::String: {
+      auto toks = tokenize(j.as_string());
+      out->insert(out->end(), toks.begin(), toks.end());
+      break;
+    }
+    case util::Json::Type::Int:
+      out->push_back(std::to_string(j.as_int()));
+      break;
+    case util::Json::Type::Array:
+      for (const auto& v : j.as_array()) tokenize_json_rec(v, out);
+      break;
+    case util::Json::Type::Object:
+      for (const auto& [k, v] : j.as_object()) tokenize_json_rec(v, out);
+      break;
+    default:
+      break;  // bool/double/null don't contribute search terms
+  }
+}
+
+/// Render a JSON leaf as the comparison string used by field filters.
+std::string leaf_to_string(const util::Json& j) {
+  switch (j.type()) {
+    case util::Json::Type::String: return j.as_string();
+    case util::Json::Type::Int: return std::to_string(j.as_int());
+    case util::Json::Type::Bool: return j.as_bool() ? "true" : "false";
+    case util::Json::Type::Double: return j.dump();
+    default: return j.dump();
+  }
+}
+}  // namespace
+
+std::vector<std::string> tokenize_json(const util::Json& doc) {
+  std::vector<std::string> out;
+  tokenize_json_rec(doc, &out);
+  return out;
+}
+
+void Index::ingest(Document doc) {
+  auto it = docs_.find(doc.id);
+  if (it != docs_.end()) {
+    unindex_document(it->second);
+    it->second = std::move(doc);
+    index_document(it->second);
+    return;
+  }
+  ingest_order_.push_back(doc.id);
+  auto [inserted, ok] = docs_.emplace(doc.id, std::move(doc));
+  index_document(inserted->second);
+}
+
+util::Status Index::remove(const DocId& id) {
+  auto it = docs_.find(id);
+  if (it == docs_.end()) return util::Status::err("no document " + id, "not_found");
+  unindex_document(it->second);
+  docs_.erase(it);
+  ingest_order_.erase(
+      std::remove(ingest_order_.begin(), ingest_order_.end(), id),
+      ingest_order_.end());
+  return util::Status::ok();
+}
+
+void Index::index_document(const Document& doc) {
+  for (const auto& term : tokenize_json(doc.content)) {
+    inverted_[term][doc.id] += 1;
+  }
+}
+
+void Index::unindex_document(const Document& doc) {
+  for (const auto& term : tokenize_json(doc.content)) {
+    auto it = inverted_.find(term);
+    if (it == inverted_.end()) continue;
+    auto dit = it->second.find(doc.id);
+    if (dit == it->second.end()) continue;
+    if (--dit->second == 0) it->second.erase(dit);
+    if (it->second.empty()) inverted_.erase(it);
+  }
+}
+
+bool Index::visible(const Document& doc, const auth::Identity& caller) const {
+  if (doc.visible_to.empty()) return true;  // public record
+  return !caller.empty() && doc.visible_to.count(caller) > 0;
+}
+
+std::vector<Hit> Index::search(const Query& query,
+                               const auth::Identity& caller) const {
+  // Candidate scoring: TF-IDF over the free-text terms; documents must match
+  // every term (AND). With no text, every visible document is a candidate.
+  std::map<DocId, double> scores;
+  auto terms = tokenize(query.text);
+  if (terms.empty()) {
+    for (const auto& [id, doc] : docs_) scores[id] = 1.0;
+  } else {
+    bool first = true;
+    const double n_docs = static_cast<double>(std::max<size_t>(docs_.size(), 1));
+    for (const auto& term : terms) {
+      auto it = inverted_.find(term);
+      if (it == inverted_.end()) return {};  // AND semantics: no match at all
+      double idf = std::log(1.0 + n_docs / static_cast<double>(it->second.size()));
+      std::map<DocId, double> next;
+      for (const auto& [doc_id, tf] : it->second) {
+        double contrib = (1.0 + std::log(static_cast<double>(tf))) * idf;
+        if (first) {
+          next[doc_id] = contrib;
+        } else {
+          auto sit = scores.find(doc_id);
+          if (sit != scores.end()) next[doc_id] = sit->second + contrib;
+        }
+      }
+      scores.swap(next);
+      first = false;
+      if (scores.empty()) return {};
+    }
+  }
+
+  std::vector<Hit> hits;
+  for (const auto& [id, score] : scores) {
+    const Document& doc = docs_.at(id);
+    if (!visible(doc, caller)) continue;
+
+    bool keep = true;
+    for (const auto& [path, want] : query.field_filters) {
+      const util::Json& v = doc.content.at_path(path);
+      if (v.is_array()) {
+        // Arrays match if any element equals the wanted value.
+        bool any = false;
+        for (const auto& el : v.as_array()) {
+          if (leaf_to_string(el) == want) {
+            any = true;
+            break;
+          }
+        }
+        keep = any;
+      } else {
+        keep = leaf_to_string(v) == want;
+      }
+      if (!keep) break;
+    }
+    if (!keep) continue;
+
+    if (!query.date_field.empty()) {
+      const util::Json& v = doc.content.at_path(query.date_field);
+      int64_t when = 0;
+      if (!v.is_string() || !util::parse_iso8601(v.as_string(), &when)) continue;
+      if (query.date_from_unix && when < *query.date_from_unix) continue;
+      if (query.date_to_unix && when > *query.date_to_unix) continue;
+    }
+
+    hits.push_back(Hit{id, score});
+  }
+
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  });
+  if (hits.size() > query.limit) hits.resize(query.limit);
+  return hits;
+}
+
+util::Result<const Document*> Index::get(const DocId& id,
+                                         const auth::Identity& caller) const {
+  using R = util::Result<const Document*>;
+  auto it = docs_.find(id);
+  if (it == docs_.end()) return R::err("no document " + id, "not_found");
+  if (!visible(it->second, caller)) {
+    return R::err("document " + id + " not visible to caller", "denied");
+  }
+  return R::ok(&it->second);
+}
+
+std::map<std::string, size_t> Index::facet(const std::string& dotted_path,
+                                           const auth::Identity& caller) const {
+  std::map<std::string, size_t> out;
+  for (const auto& [id, doc] : docs_) {
+    if (!visible(doc, caller)) continue;
+    const util::Json& v = doc.content.at_path(dotted_path);
+    if (v.is_null()) continue;
+    out[leaf_to_string(v)] += 1;
+  }
+  return out;
+}
+
+std::vector<const Document*> Index::snapshot() const {
+  std::vector<const Document*> out;
+  out.reserve(ingest_order_.size());
+  for (const auto& id : ingest_order_) {
+    auto it = docs_.find(id);
+    if (it != docs_.end()) out.push_back(&it->second);
+  }
+  return out;
+}
+
+std::vector<DocId> Index::all_ids(const auth::Identity& caller) const {
+  std::vector<DocId> out;
+  for (const auto& id : ingest_order_) {
+    auto it = docs_.find(id);
+    if (it != docs_.end() && visible(it->second, caller)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace pico::search

@@ -1,0 +1,97 @@
+#pragma once
+// Globus-Search-like metadata index: an inverted index over JSON documents
+// with free-text queries, field filters, date ranges, TF-IDF ranking, and
+// visibility ACLs (results are filtered to what the caller may discover).
+// This is the publication target of every flow (Sec. 2.2.3) and the backing
+// store of the DGPF portal.
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "auth/auth.hpp"
+#include "util/json.hpp"
+#include "util/result.hpp"
+
+namespace pico::search {
+
+using DocId = std::string;
+
+struct Document {
+  DocId id;
+  util::Json content;
+  /// Identities allowed to see this record; empty = public.
+  std::set<auth::Identity> visible_to;
+  int64_t ingested_unix = 0;
+};
+
+struct Query {
+  /// Free text; all terms must match (AND semantics).
+  std::string text;
+  /// Exact-match filters on dotted JSON paths (value compared as string).
+  std::vector<std::pair<std::string, std::string>> field_filters;
+  /// Inclusive range filter on a dotted path holding ISO-8601 timestamps.
+  std::string date_field;  ///< e.g. "dates.created"; empty = no date filter
+  std::optional<int64_t> date_from_unix;
+  std::optional<int64_t> date_to_unix;
+  size_t limit = 50;
+};
+
+struct Hit {
+  DocId id;
+  double score = 0;
+};
+
+class Index {
+ public:
+  explicit Index(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Insert or replace a document (re-ingest updates the index).
+  void ingest(Document doc);
+
+  util::Status remove(const DocId& id);
+
+  /// Ranked search, visibility-filtered for `caller` (empty = anonymous: only
+  /// public records).
+  std::vector<Hit> search(const Query& query,
+                          const auth::Identity& caller = "") const;
+
+  util::Result<const Document*> get(const DocId& id,
+                                    const auth::Identity& caller = "") const;
+
+  size_t size() const { return docs_.size(); }
+
+  /// Distinct values of a dotted string field among visible docs (facets).
+  std::map<std::string, size_t> facet(const std::string& dotted_path,
+                                      const auth::Identity& caller = "") const;
+
+  /// All visible document ids (portal listing order: ingest order).
+  std::vector<DocId> all_ids(const auth::Identity& caller = "") const;
+
+  /// Administrative snapshot: every document in ingest order, bypassing
+  /// visibility filtering. For persistence/backup tooling only.
+  std::vector<const Document*> snapshot() const;
+
+ private:
+  bool visible(const Document& doc, const auth::Identity& caller) const;
+  void index_document(const Document& doc);
+  void unindex_document(const Document& doc);
+
+  std::string name_;
+  std::map<DocId, Document> docs_;
+  std::vector<DocId> ingest_order_;
+  /// term -> (doc -> term frequency)
+  std::map<std::string, std::map<DocId, uint32_t>> inverted_;
+};
+
+/// Lowercased alphanumeric tokens of a string.
+std::vector<std::string> tokenize(const std::string& text);
+
+/// All text tokens of a JSON document (keys excluded, values included).
+std::vector<std::string> tokenize_json(const util::Json& doc);
+
+}  // namespace pico::search

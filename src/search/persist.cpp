@@ -1,0 +1,65 @@
+#include "search/persist.hpp"
+
+#include "util/bytes.hpp"
+
+namespace pico::search {
+
+using util::Json;
+
+std::string index_to_json(const Index& index) {
+  Json docs = Json::array();
+  for (const Document* doc : index.snapshot()) {
+    Json visible = Json::array();
+    for (const auto& who : doc->visible_to) visible.push_back(who);
+    docs.push_back(Json::object({
+        {"id", doc->id},
+        {"content", doc->content},
+        {"visible_to", visible},
+        {"ingested_unix", doc->ingested_unix},
+    }));
+  }
+  return Json::object({
+             {"index", index.name()},
+             {"format", "picoflow-search-snapshot-1"},
+             {"documents", docs},
+         })
+      .dump(2);
+}
+
+util::Result<Index> index_from_json(const std::string& text) {
+  using R = util::Result<Index>;
+  auto doc = Json::parse(text);
+  if (!doc) return R::err("snapshot: " + doc.error().message, "parse");
+  const Json& root = doc.value();
+  if (root.at("format").as_string() != "picoflow-search-snapshot-1") {
+    return R::err("not a search snapshot (bad format field)", "schema");
+  }
+  std::string name = root.at("index").as_string();
+  if (name.empty()) return R::err("snapshot missing index name", "schema");
+
+  Index index(name);
+  for (const auto& entry : root.at("documents").as_array()) {
+    Document d;
+    d.id = entry.at("id").as_string();
+    if (d.id.empty()) return R::err("snapshot document missing id", "schema");
+    d.content = entry.at("content");
+    for (const auto& who : entry.at("visible_to").as_array()) {
+      d.visible_to.insert(who.as_string());
+    }
+    d.ingested_unix = entry.at("ingested_unix").as_int(0);
+    index.ingest(std::move(d));
+  }
+  return R::ok(std::move(index));
+}
+
+util::Status save_index(const Index& index, const std::string& path) {
+  return util::write_file(path, index_to_json(index));
+}
+
+util::Result<Index> load_index(const std::string& path) {
+  auto data = util::read_file(path);
+  if (!data) return util::Result<Index>::err(data.error());
+  return index_from_json(std::string(data.value().begin(), data.value().end()));
+}
+
+}  // namespace pico::search

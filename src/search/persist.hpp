@@ -1,0 +1,23 @@
+#pragma once
+// Search index persistence: snapshot the full document set (content, ACLs,
+// ingest order) to a JSON file and restore it. The real Globus Search index
+// is durable cloud state; this lets a PicoFlow portal be regenerated across
+// process restarts and lets campaigns hand their catalog to later tooling.
+#include <string>
+
+#include "search/index.hpp"
+#include "util/result.hpp"
+
+namespace pico::search {
+
+/// Serialize every document (bypassing visibility: a snapshot is an
+/// administrative operation) to a JSON document string.
+std::string index_to_json(const Index& index);
+
+/// Rebuild an index from a snapshot. The index name comes from the snapshot.
+util::Result<Index> index_from_json(const std::string& text);
+
+util::Status save_index(const Index& index, const std::string& path);
+util::Result<Index> load_index(const std::string& path);
+
+}  // namespace pico::search

@@ -1,0 +1,63 @@
+#include "search/schema.hpp"
+
+#include "util/timefmt.hpp"
+
+namespace pico::search {
+
+using util::Json;
+
+util::Status validate_record(const Json& record) {
+  if (!record.is_object()) {
+    return util::Status::err("record must be an object", "schema");
+  }
+  if (!record.at("title").is_string() || record.at("title").as_string().empty()) {
+    return util::Status::err("record missing title", "schema");
+  }
+  const Json& creators = record.at("creators");
+  if (!creators.is_array() || creators.size() == 0) {
+    return util::Status::err("record missing creators", "schema");
+  }
+  for (const auto& c : creators.as_array()) {
+    if (!c.at("name").is_string() || c.at("name").as_string().empty()) {
+      return util::Status::err("creator entry missing name", "schema");
+    }
+  }
+  const Json& created = record.at_path("dates.created");
+  int64_t unused = 0;
+  if (!created.is_string() || !util::parse_iso8601(created.as_string(), &unused)) {
+    return util::Status::err("record missing valid dates.created", "schema");
+  }
+  if (!record.at("resource_type").is_string() ||
+      record.at("resource_type").as_string().empty()) {
+    return util::Status::err("record missing resource_type", "schema");
+  }
+  if (!record.at("subjects").is_array()) {
+    return util::Status::err("record missing subjects array", "schema");
+  }
+  return util::Status::ok();
+}
+
+Json build_record(const RecordInputs& in) {
+  Json creators = Json::array();
+  for (const auto& name : in.creators) {
+    creators.push_back(Json::object({{"name", name}}));
+  }
+  Json subjects = Json::array();
+  for (const auto& s : in.subjects) subjects.push_back(s);
+  Json artifacts = Json::array();
+  for (const auto& p : in.artifact_paths) artifacts.push_back(p);
+
+  return Json::object({
+      {"title", in.title},
+      {"creators", creators},
+      {"dates", Json::object({{"created", in.created_iso8601}})},
+      {"resource_type", in.resource_type},
+      {"subjects", subjects},
+      {"instrument", in.instrument_metadata},
+      {"analysis", in.analysis},
+      {"artifacts", artifacts},
+      {"schema", "picoflow-datacite-1.0"},
+  });
+}
+
+}  // namespace pico::search

@@ -1,0 +1,35 @@
+#pragma once
+// DataCite-style metadata schema for experiment records (the paper publishes
+// records "defined by using an extensible schema based on DataCite"). The
+// flows build records with build_record(); ingestion validates them so the
+// portal can rely on the fields being present.
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/result.hpp"
+
+namespace pico::search {
+
+/// Validate the required DataCite-ish fields:
+///   title (string), creators (non-empty array of {name}),
+///   dates.created (ISO-8601 string), resource_type (string),
+///   subjects (array of strings).
+util::Status validate_record(const util::Json& record);
+
+/// Inputs for a standard PicoProbe experiment record.
+struct RecordInputs {
+  std::string title;
+  std::vector<std::string> creators;
+  std::string created_iso8601;
+  std::string resource_type;          ///< "hyperspectral" / "spatiotemporal"
+  std::vector<std::string> subjects;  ///< e.g. detected elements
+  util::Json instrument_metadata;     ///< HyperSpy-style extraction output
+  util::Json analysis;                ///< analysis products summary
+  std::vector<std::string> artifact_paths;  ///< plots, annotated videos
+};
+
+/// Build a schema-valid record.
+util::Json build_record(const RecordInputs& inputs);
+
+}  // namespace pico::search

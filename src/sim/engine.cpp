@@ -1,0 +1,53 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+
+#include "util/timefmt.hpp"
+
+namespace pico::sim {
+
+std::string to_string(SimTime t) {
+  return util::format_duration(t.seconds());
+}
+
+void EventHandle::cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+EventHandle Engine::schedule_at(SimTime at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Entry{at, next_seq_++, std::move(fn), state});
+  return EventHandle(state);
+}
+
+EventHandle Engine::schedule_after(Duration delay, std::function<void()> fn) {
+  assert(delay.ns >= 0);
+  if (delay.ns < 0) delay.ns = 0;  // never schedule into the past
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Engine::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.top().at <= until) {
+    Entry e = queue_.top();
+    queue_.pop();
+    now_ = e.at;
+    if (e.state->cancelled) continue;
+    ++events_processed_;
+    e.fn();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    now_ = e.at;
+    if (e.state->cancelled) continue;
+    ++events_processed_;
+    e.fn();
+  }
+}
+
+}  // namespace pico::sim

@@ -1,0 +1,80 @@
+#pragma once
+// Discrete-event simulation engine. All facility services (network, PBS
+// scheduler, transfer/compute/search services, flow orchestrator) are actors
+// that schedule callbacks here. Event order is (time, sequence), so identical
+// seeds yield byte-identical campaign reports.
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pico::sim {
+
+/// Handle for a scheduled event; allows cancellation.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  /// Cancel the event if it has not fired yet. Safe to call repeatedly.
+  void cancel();
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class Engine;
+  struct State {
+    bool cancelled = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (must be >= now).
+  EventHandle schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedule `fn` to run `delay` from now.
+  EventHandle schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Run until the event queue drains or `until` is reached (events scheduled
+  /// beyond `until` stay queued; now() advances to at most `until`).
+  void run_until(SimTime until);
+
+  /// Run until the queue is empty.
+  void run();
+
+  /// True if no events remain.
+  bool idle() const { return queue_.empty(); }
+
+  /// Number of events processed so far (diagnostics/tests).
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = SimTime::zero();
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace pico::sim

@@ -1,0 +1,64 @@
+#pragma once
+// Virtual time for the facility simulation. Integer nanoseconds keep event
+// ordering exact and deterministic (no floating-point tie ambiguity).
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace pico::sim {
+
+/// A point in virtual time, in nanoseconds since campaign epoch.
+struct SimTime {
+  int64_t ns = 0;
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime{static_cast<int64_t>(s * 1e9)};
+  }
+  static constexpr SimTime from_millis(double ms) {
+    return SimTime{static_cast<int64_t>(ms * 1e6)};
+  }
+  constexpr double seconds() const { return static_cast<double>(ns) * 1e-9; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.ns + b.ns};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.ns - b.ns};
+  }
+};
+
+/// A span of virtual time. Distinct type to keep signatures self-documenting.
+struct Duration {
+  int64_t ns = 0;
+
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration from_seconds(double s) {
+    return Duration{static_cast<int64_t>(s * 1e9)};
+  }
+  static constexpr Duration from_millis(double ms) {
+    return Duration{static_cast<int64_t>(ms * 1e6)};
+  }
+  constexpr double seconds() const { return static_cast<double>(ns) * 1e-9; }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.ns + b.ns};
+  }
+  friend constexpr Duration operator*(Duration a, double k) {
+    return Duration{static_cast<int64_t>(static_cast<double>(a.ns) * k)};
+  }
+};
+
+inline constexpr SimTime operator+(SimTime t, Duration d) {
+  return SimTime{t.ns + d.ns};
+}
+inline constexpr Duration time_between(SimTime earlier, SimTime later) {
+  return Duration{later.ns - earlier.ns};
+}
+
+/// "HH:MM:SS.mmm" rendering for logs.
+std::string to_string(SimTime t);
+
+}  // namespace pico::sim

@@ -1,0 +1,33 @@
+#include "sim/trace.hpp"
+
+namespace pico::sim {
+
+std::vector<const Span*> Trace::select(const std::string& component,
+                                       const std::string& category) const {
+  std::vector<const Span*> out;
+  for (const auto& s : spans_) {
+    if (!component.empty() && s.component != component) continue;
+    if (!category.empty() && s.category != category) continue;
+    out.push_back(&s);
+  }
+  return out;
+}
+
+std::string Trace::to_jsonl() const {
+  std::string out;
+  for (const auto& s : spans_) {
+    util::Json j = util::Json::object({
+        {"component", s.component},
+        {"category", s.category},
+        {"label", s.label},
+        {"start_s", s.start.seconds()},
+        {"end_s", s.end.seconds()},
+        {"attrs", s.attrs},
+    });
+    out += j.dump();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace pico::sim

@@ -1,0 +1,44 @@
+#pragma once
+// Event trace recorder: services append structured spans ("transfer task X
+// active 12.3s") that the campaign reporter aggregates into Table 1 / Fig 4
+// statistics and that tests assert on.
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/json.hpp"
+
+namespace pico::sim {
+
+/// A completed interval attributed to a component and category.
+struct Span {
+  std::string component;  ///< e.g. "transfer", "compute", "flow"
+  std::string category;   ///< e.g. "active", "overhead", "queue"
+  std::string label;      ///< free-form: task/flow id
+  SimTime start;
+  SimTime end;
+  util::Json attrs;       ///< extra structured attributes
+
+  double duration_seconds() const { return (end - start).seconds(); }
+};
+
+/// Append-only trace. Not thread-safe (the sim engine is single-threaded).
+class Trace {
+ public:
+  void add(Span span) { spans_.push_back(std::move(span)); }
+  void clear() { spans_.clear(); }
+
+  const std::vector<Span>& spans() const { return spans_; }
+
+  /// All spans matching component (empty = any) and category (empty = any).
+  std::vector<const Span*> select(const std::string& component,
+                                  const std::string& category = "") const;
+
+  /// Serialize to JSON lines for offline inspection.
+  std::string to_jsonl() const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace pico::sim

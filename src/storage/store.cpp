@@ -1,0 +1,79 @@
+#include "storage/store.hpp"
+
+#include "util/crc64.hpp"
+#include "util/strings.hpp"
+
+namespace pico::storage {
+
+util::Status Store::put(const std::string& path, std::vector<uint8_t> bytes,
+                        sim::SimTime now) {
+  int64_t size = static_cast<int64_t>(bytes.size());
+  int64_t delta = size;
+  auto it = objects_.find(path);
+  if (it != objects_.end()) delta -= it->second.size;
+  if (used_ + delta > capacity_) {
+    return util::Status::err(
+        util::format("store %s full: need %lld over capacity %lld",
+                     name_.c_str(), static_cast<long long>(used_ + delta),
+                     static_cast<long long>(capacity_)),
+        "capacity");
+  }
+  Object obj;
+  obj.size = size;
+  obj.crc64 = util::crc64(bytes);
+  obj.created = now;
+  obj.content = std::move(bytes);
+  objects_[path] = std::move(obj);
+  used_ += delta;
+  return util::Status::ok();
+}
+
+util::Status Store::put_virtual(const std::string& path, int64_t size,
+                                uint64_t crc64, sim::SimTime now) {
+  int64_t delta = size;
+  auto it = objects_.find(path);
+  if (it != objects_.end()) delta -= it->second.size;
+  if (used_ + delta > capacity_) {
+    return util::Status::err("store " + name_ + " full", "capacity");
+  }
+  Object obj;
+  obj.size = size;
+  obj.crc64 = crc64;
+  obj.created = now;
+  objects_[path] = std::move(obj);
+  used_ += delta;
+  return util::Status::ok();
+}
+
+bool Store::exists(const std::string& path) const {
+  return objects_.count(path) > 0;
+}
+
+util::Result<const Object*> Store::get(const std::string& path) const {
+  auto it = objects_.find(path);
+  if (it == objects_.end()) {
+    return util::Result<const Object*>::err(
+        "no object " + path + " in store " + name_, "not_found");
+  }
+  return util::Result<const Object*>::ok(&it->second);
+}
+
+util::Status Store::remove(const std::string& path) {
+  auto it = objects_.find(path);
+  if (it == objects_.end()) {
+    return util::Status::err("no object " + path, "not_found");
+  }
+  used_ -= it->second.size;
+  objects_.erase(it);
+  return util::Status::ok();
+}
+
+std::vector<std::string> Store::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, obj] : objects_) {
+    if (util::starts_with(path, prefix)) out.push_back(path);
+  }
+  return out;
+}
+
+}  // namespace pico::storage

@@ -1,0 +1,62 @@
+#pragma once
+// Simulated storage systems. `Store` models both the on-site staging disk of
+// the PicoProbe user workstation and ALCF's Eagle Lustre file system
+// (O(100 PB)): named objects with sizes, checksums and timestamps, plus
+// capacity accounting. Objects can carry real bytes (data-plane payloads the
+// analysis actually reads) or be size-only (the 1200 MB campaign files whose
+// contents are irrelevant to control-plane timing).
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/result.hpp"
+
+namespace pico::storage {
+
+struct Object {
+  int64_t size = 0;
+  uint64_t crc64 = 0;
+  sim::SimTime created;
+  /// Real payload; absent for size-only simulation objects.
+  std::optional<std::vector<uint8_t>> content;
+
+  bool has_content() const { return content.has_value(); }
+};
+
+class Store {
+ public:
+  Store(std::string name, int64_t capacity_bytes)
+      : name_(std::move(name)), capacity_(capacity_bytes) {}
+
+  const std::string& name() const { return name_; }
+  int64_t capacity() const { return capacity_; }
+  int64_t used_bytes() const { return used_; }
+
+  /// Store real bytes at `path` (overwrites). Fails when capacity exceeded.
+  util::Status put(const std::string& path, std::vector<uint8_t> bytes,
+                   sim::SimTime now);
+
+  /// Store a size-only object with a precomputed checksum.
+  util::Status put_virtual(const std::string& path, int64_t size,
+                           uint64_t crc64, sim::SimTime now);
+
+  bool exists(const std::string& path) const;
+  util::Result<const Object*> get(const std::string& path) const;
+  util::Status remove(const std::string& path);
+
+  /// Paths with the given prefix, sorted.
+  std::vector<std::string> list(const std::string& prefix = "") const;
+
+  size_t object_count() const { return objects_.size(); }
+
+ private:
+  std::string name_;
+  int64_t capacity_;
+  int64_t used_ = 0;
+  std::map<std::string, Object> objects_;
+};
+
+}  // namespace pico::storage

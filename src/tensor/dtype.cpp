@@ -1,0 +1,52 @@
+#include "tensor/dtype.hpp"
+
+namespace pico::tensor {
+
+size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::U8:
+    case DType::I8: return 1;
+    case DType::U16:
+    case DType::I16: return 2;
+    case DType::U32:
+    case DType::I32:
+    case DType::F32: return 4;
+    case DType::U64:
+    case DType::I64:
+    case DType::F64: return 8;
+  }
+  return 0;
+}
+
+std::string_view dtype_name(DType t) {
+  switch (t) {
+    case DType::U8: return "u8";
+    case DType::I8: return "i8";
+    case DType::U16: return "u16";
+    case DType::I16: return "i16";
+    case DType::U32: return "u32";
+    case DType::I32: return "i32";
+    case DType::U64: return "u64";
+    case DType::I64: return "i64";
+    case DType::F32: return "f32";
+    case DType::F64: return "f64";
+  }
+  return "?";
+}
+
+util::Result<DType> dtype_from_name(std::string_view name) {
+  using R = util::Result<DType>;
+  if (name == "u8") return R::ok(DType::U8);
+  if (name == "i8") return R::ok(DType::I8);
+  if (name == "u16") return R::ok(DType::U16);
+  if (name == "i16") return R::ok(DType::I16);
+  if (name == "u32") return R::ok(DType::U32);
+  if (name == "i32") return R::ok(DType::I32);
+  if (name == "u64") return R::ok(DType::U64);
+  if (name == "i64") return R::ok(DType::I64);
+  if (name == "f32") return R::ok(DType::F32);
+  if (name == "f64") return R::ok(DType::F64);
+  return R::err("unknown dtype: " + std::string(name), "parse");
+}
+
+}  // namespace pico::tensor

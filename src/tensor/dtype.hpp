@@ -1,0 +1,51 @@
+#pragma once
+// Element types for N-D datasets, mirroring the numeric types HDF5/EMD files
+// carry (the paper's spatiotemporal data arrives as fp64 and is downcast to
+// uint8 for video encoding — both ends of that conversion live here).
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.hpp"
+
+namespace pico::tensor {
+
+enum class DType : uint8_t {
+  U8 = 0,
+  I8 = 1,
+  U16 = 2,
+  I16 = 3,
+  U32 = 4,
+  I32 = 5,
+  U64 = 6,
+  I64 = 7,
+  F32 = 8,
+  F64 = 9,
+};
+
+/// Size in bytes of one element.
+size_t dtype_size(DType t);
+
+/// Canonical name ("u8", "f64", ...).
+std::string_view dtype_name(DType t);
+
+/// Parse a canonical name back to a DType.
+util::Result<DType> dtype_from_name(std::string_view name);
+
+/// Map a C++ arithmetic type to its DType tag at compile time.
+template <typename T>
+constexpr DType dtype_of();
+
+template <> constexpr DType dtype_of<uint8_t>() { return DType::U8; }
+template <> constexpr DType dtype_of<int8_t>() { return DType::I8; }
+template <> constexpr DType dtype_of<uint16_t>() { return DType::U16; }
+template <> constexpr DType dtype_of<int16_t>() { return DType::I16; }
+template <> constexpr DType dtype_of<uint32_t>() { return DType::U32; }
+template <> constexpr DType dtype_of<int32_t>() { return DType::I32; }
+template <> constexpr DType dtype_of<uint64_t>() { return DType::U64; }
+template <> constexpr DType dtype_of<int64_t>() { return DType::I64; }
+template <> constexpr DType dtype_of<float>() { return DType::F32; }
+template <> constexpr DType dtype_of<double>() { return DType::F64; }
+
+}  // namespace pico::tensor

@@ -1,0 +1,149 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace pico::tensor {
+
+Tensor<double> sum_axis3(const Tensor<double>& t, size_t axis) {
+  assert(t.rank() == 3 && axis < 3);
+  const size_t d0 = t.dim(0), d1 = t.dim(1), d2 = t.dim(2);
+  Shape out_shape;
+  if (axis == 0) out_shape = {d1, d2};
+  else if (axis == 1) out_shape = {d0, d2};
+  else out_shape = {d0, d1};
+  Tensor<double> out(out_shape);
+
+  // Specialized loops keep the innermost stride unit-length where possible.
+  if (axis == 2) {
+    for (size_t i = 0; i < d0; ++i) {
+      for (size_t j = 0; j < d1; ++j) {
+        double acc = 0;
+        const double* p = &t(i, j, 0);
+        for (size_t k = 0; k < d2; ++k) acc += p[k];
+        out(i, j) = acc;
+      }
+    }
+  } else if (axis == 1) {
+    for (size_t i = 0; i < d0; ++i) {
+      double* o = &out(i, 0);
+      std::fill(o, o + d2, 0.0);
+      for (size_t j = 0; j < d1; ++j) {
+        const double* p = &t(i, j, 0);
+        for (size_t k = 0; k < d2; ++k) o[k] += p[k];
+      }
+    }
+  } else {
+    for (size_t j = 0; j < d1; ++j) {
+      double* o = &out(j, 0);
+      std::fill(o, o + d2, 0.0);
+    }
+    for (size_t i = 0; i < d0; ++i) {
+      for (size_t j = 0; j < d1; ++j) {
+        const double* p = &t(i, j, 0);
+        double* o = &out(j, 0);
+        for (size_t k = 0; k < d2; ++k) o[k] += p[k];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor<double> sum_keep_axis3(const Tensor<double>& t, size_t keep) {
+  assert(t.rank() == 3 && keep < 3);
+  const size_t d0 = t.dim(0), d1 = t.dim(1), d2 = t.dim(2);
+  Tensor<double> out(Shape{t.dim(keep)});
+  if (keep == 2) {
+    for (size_t i = 0; i < d0; ++i) {
+      for (size_t j = 0; j < d1; ++j) {
+        const double* p = &t(i, j, 0);
+        for (size_t k = 0; k < d2; ++k) out(k) += p[k];
+      }
+    }
+  } else if (keep == 0) {
+    for (size_t i = 0; i < d0; ++i) {
+      double acc = 0;
+      for (size_t j = 0; j < d1; ++j) {
+        const double* p = &t(i, j, 0);
+        for (size_t k = 0; k < d2; ++k) acc += p[k];
+      }
+      out(i) = acc;
+    }
+  } else {
+    for (size_t i = 0; i < d0; ++i) {
+      for (size_t j = 0; j < d1; ++j) {
+        const double* p = &t(i, j, 0);
+        double acc = 0;
+        for (size_t k = 0; k < d2; ++k) acc += p[k];
+        out(j) += acc;
+      }
+    }
+  }
+  return out;
+}
+
+double min_value(const Tensor<double>& t) {
+  double m = std::numeric_limits<double>::infinity();
+  for (double v : t.data()) m = std::min(m, v);
+  return m;
+}
+
+double max_value(const Tensor<double>& t) {
+  double m = -std::numeric_limits<double>::infinity();
+  for (double v : t.data()) m = std::max(m, v);
+  return m;
+}
+
+double sum_value(const Tensor<double>& t) {
+  double s = 0;
+  for (double v : t.data()) s += v;
+  return s;
+}
+
+double mean_value(const Tensor<double>& t) {
+  return t.size() == 0 ? 0.0 : sum_value(t) / static_cast<double>(t.size());
+}
+
+Tensor<uint8_t> to_u8_normalized(const Tensor<double>& t) {
+  Tensor<uint8_t> out(t.shape());
+  if (t.size() == 0) return out;
+  double lo = min_value(t), hi = max_value(t);
+  double scale = hi > lo ? 255.0 / (hi - lo) : 0.0;
+  auto src = t.data();
+  auto dst = out.data();
+  for (size_t i = 0; i < src.size(); ++i) {
+    dst[i] = static_cast<uint8_t>((src[i] - lo) * scale + 0.5);
+  }
+  return out;
+}
+
+namespace {
+template <typename From, typename To>
+Tensor<To> convert(const Tensor<From>& t) {
+  Tensor<To> out(t.shape());
+  auto src = t.data();
+  auto dst = out.data();
+  for (size_t i = 0; i < src.size(); ++i) dst[i] = static_cast<To>(src[i]);
+  return out;
+}
+}  // namespace
+
+Tensor<double> to_f64(const Tensor<uint8_t>& t) { return convert<uint8_t, double>(t); }
+Tensor<double> to_f64(const Tensor<uint16_t>& t) { return convert<uint16_t, double>(t); }
+Tensor<double> to_f64(const Tensor<uint32_t>& t) { return convert<uint32_t, double>(t); }
+Tensor<float> to_f32(const Tensor<double>& t) { return convert<double, float>(t); }
+Tensor<double> from_f32(const Tensor<float>& t) { return convert<float, double>(t); }
+
+void add_inplace(Tensor<double>& a, const Tensor<double>& b) {
+  assert(a.shape() == b.shape());
+  auto pa = a.data();
+  auto pb = b.data();
+  for (size_t i = 0; i < pa.size(); ++i) pa[i] += pb[i];
+}
+
+void scale_inplace(Tensor<double>& a, double k) {
+  for (double& v : a.data()) v *= k;
+}
+
+}  // namespace pico::tensor

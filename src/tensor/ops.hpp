@@ -1,0 +1,41 @@
+#pragma once
+// Tensor reductions and conversions backing the paper's analyses:
+//  - sum along the spectral axis -> per-pixel intensity image (Fig. 2A)
+//  - sum over both pixel axes    -> aggregate spectrum        (Fig. 2B)
+//  - fp64 -> uint8 normalization -> video conversion          (Sec. 3.3)
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pico::tensor {
+
+/// Sum a rank-3 tensor along one axis, producing the remaining rank-2 tensor
+/// in f64. axis must be < 3.
+Tensor<double> sum_axis3(const Tensor<double>& t, size_t axis);
+
+/// Sum a rank-3 tensor over two axes, producing a rank-1 f64 tensor over the
+/// remaining axis. keep < 3; the other two axes are reduced.
+Tensor<double> sum_keep_axis3(const Tensor<double>& t, size_t keep);
+
+double min_value(const Tensor<double>& t);
+double max_value(const Tensor<double>& t);
+double sum_value(const Tensor<double>& t);
+double mean_value(const Tensor<double>& t);
+
+/// Linear rescale of arbitrary range to [0, 255]; constant input maps to 0.
+Tensor<uint8_t> to_u8_normalized(const Tensor<double>& t);
+
+/// Elementwise conversion helpers.
+Tensor<double> to_f64(const Tensor<uint8_t>& t);
+Tensor<double> to_f64(const Tensor<uint16_t>& t);
+Tensor<double> to_f64(const Tensor<uint32_t>& t);
+Tensor<float> to_f32(const Tensor<double>& t);
+Tensor<double> from_f32(const Tensor<float>& t);
+
+/// a += b (shapes must match).
+void add_inplace(Tensor<double>& a, const Tensor<double>& b);
+
+/// a *= k.
+void scale_inplace(Tensor<double>& a, double k);
+
+}  // namespace pico::tensor

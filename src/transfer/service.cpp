@@ -1,0 +1,319 @@
+#include "transfer/service.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace pico::transfer {
+namespace {
+
+util::Logger& logger() {
+  static util::Logger kLogger("transfer");
+  return kLogger;
+}
+
+}  // namespace
+
+std::string task_state_name(TaskState s) {
+  switch (s) {
+    case TaskState::Pending: return "PENDING";
+    case TaskState::Active: return "ACTIVE";
+    case TaskState::Succeeded: return "SUCCEEDED";
+    case TaskState::Failed: return "FAILED";
+  }
+  return "?";
+}
+
+TransferService::TransferService(sim::Engine* engine, net::Network* network,
+                                 auth::AuthService* auth,
+                                 TransferConfig config, uint64_t seed,
+                                 sim::Trace* trace)
+    : engine_(engine),
+      network_(network),
+      auth_(auth),
+      config_(config),
+      rng_(seed),
+      trace_(trace) {}
+
+void TransferService::register_endpoint(const std::string& name,
+                                        net::NodeId node,
+                                        storage::Store* store) {
+  endpoints_[name] = Endpoint{node, store};
+}
+
+util::Result<TaskId> TransferService::submit(const TransferRequest& request,
+                                             const auth::Token& token) {
+  using R = util::Result<TaskId>;
+  auto who = auth_->validate(token, "transfer");
+  if (!who) return R::err(who.error());
+
+  auto src_it = endpoints_.find(request.src_endpoint);
+  if (src_it == endpoints_.end()) {
+    return R::err("unknown source endpoint: " + request.src_endpoint,
+                  "not_found");
+  }
+  auto dst_it = endpoints_.find(request.dst_endpoint);
+  if (dst_it == endpoints_.end()) {
+    return R::err("unknown destination endpoint: " + request.dst_endpoint,
+                  "not_found");
+  }
+  if (request.files.empty()) return R::err("empty file list", "invalid");
+  if (!request.codec.empty() &&
+      !compress::CodecRegistry::standard().find(request.codec)) {
+    return R::err("unknown codec: " + request.codec, "invalid");
+  }
+
+  // Validate every source object exists before accepting the task.
+  int64_t total = 0;
+  for (const auto& f : request.files) {
+    auto obj = src_it->second.store->get(f.src_path);
+    if (!obj) return R::err(obj.error());
+    total += obj.value()->size;
+  }
+
+  TaskId id = util::format("xfer-%06llu", static_cast<unsigned long long>(next_task_++));
+  ActiveTask task;
+  task.request = request;
+  task.info.state = TaskState::Pending;
+  task.info.bytes_total = total;
+  task.info.files_total = static_cast<int>(request.files.size());
+  task.info.submitted = engine_->now();
+  if (config_.per_flow_rate_cap_bps > 0) {
+    task.effective_cap_bps =
+        std::max(config_.per_flow_rate_cap_bps * 0.2,
+                 rng_.normal(config_.per_flow_rate_cap_bps,
+                             config_.per_flow_rate_cap_bps * config_.cap_jitter_frac));
+  }
+  tasks_[id] = std::move(task);
+
+  // Task setup latency: auth handshake, endpoint activation, task routing.
+  double setup = std::max(
+      0.2, rng_.normal(config_.setup_mean_s, config_.setup_jitter_s));
+  engine_->schedule_after(sim::Duration::from_seconds(setup), [this, id] {
+    auto it = tasks_.find(id);
+    if (it == tasks_.end()) return;
+    it->second.info.state = TaskState::Active;
+    it->second.info.started = engine_->now();
+    begin_next_file(id);
+  });
+  logger().debug("submitted %s: %d files, %lld bytes", id.c_str(),
+                 static_cast<int>(request.files.size()),
+                 static_cast<long long>(total));
+  return R::ok(id);
+}
+
+util::Result<int64_t> TransferService::wire_size_for(
+    const TransferRequest& request, const storage::Object& obj) const {
+  using R = util::Result<int64_t>;
+  if (request.codec.empty()) return R::ok(obj.size);
+  const auto* codec = compress::CodecRegistry::standard().find(request.codec);
+  assert(codec);
+  if (obj.has_content()) {
+    compress::Bytes framed = compress::encode_frame(*codec, *obj.content);
+    return R::ok(static_cast<int64_t>(framed.size()));
+  }
+  double ratio = std::max(1e-6, request.assumed_virtual_ratio);
+  return R::ok(static_cast<int64_t>(static_cast<double>(obj.size) / ratio));
+}
+
+void TransferService::begin_next_file(const TaskId& id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  ActiveTask& task = it->second;
+  if (task.next_file >= task.request.files.size()) {
+    // Data movement done: record the activity end now, then settle (checksum
+    // verification + status sync) before SUCCEEDED becomes pollable.
+    task.info.completed = engine_->now();
+    double settle_s =
+        config_.settle_base_s +
+        config_.settle_per_gb_s * static_cast<double>(task.info.bytes_total) / 1e9;
+    engine_->schedule_after(sim::Duration::from_seconds(settle_s),
+                            [this, id] { settle(id); });
+    return;
+  }
+
+  const FileSpec spec = task.request.files[task.next_file];
+  const Endpoint& src = endpoints_.at(task.request.src_endpoint);
+  const Endpoint& dst = endpoints_.at(task.request.dst_endpoint);
+
+  auto obj = src.store->get(spec.src_path);
+  if (!obj) {
+    fail_task(id, obj.error().message);
+    return;
+  }
+  auto wire = wire_size_for(task.request, *obj.value());
+  if (!wire) {
+    fail_task(id, wire.error().message);
+    return;
+  }
+  int64_t wire_bytes = wire.value();
+
+  // Per-file bookkeeping delay, then the network flow.
+  int64_t logical_bytes = obj.value()->size;
+  engine_->schedule_after(
+      sim::Duration::from_seconds(config_.per_file_overhead_s),
+      [this, id, spec, wire_bytes, logical_bytes] {
+        auto it2 = tasks_.find(id);
+        if (it2 == tasks_.end()) return;
+        auto flow = network_->start_flow(
+            endpoints_.at(it2->second.request.src_endpoint).node,
+            endpoints_.at(it2->second.request.dst_endpoint).node, wire_bytes,
+            [this, id, spec, wire_bytes](net::FlowId) {
+              finish_file(id, spec, wire_bytes);
+            },
+            it2->second.effective_cap_bps);
+        if (!flow) {
+          fail_task(id, flow.error().message);
+          return;
+        }
+        it2->second.current_flow = flow.value();
+        it2->second.current_file_bytes = logical_bytes;
+      });
+  (void)dst;
+}
+
+void TransferService::finish_file(const TaskId& id, const FileSpec& spec,
+                                  int64_t wire_bytes) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  ActiveTask& task = it->second;
+  task.current_flow = 0;
+  task.current_file_bytes = 0;
+
+  // Fault injection: the file arrived corrupt / the stream broke. Retry the
+  // whole file after a backoff, as Globus does.
+  if (config_.fault_prob > 0 && rng_.chance(config_.fault_prob)) {
+    ++task.info.faults;
+    ++task.attempts_this_file;
+    if (task.attempts_this_file > config_.max_retries) {
+      fail_task(id, "file " + spec.src_path + " exceeded retry limit");
+      return;
+    }
+    logger().debug("%s: fault on %s (attempt %d), retrying", id.c_str(),
+                   spec.src_path.c_str(), task.attempts_this_file);
+    engine_->schedule_after(
+        sim::Duration::from_seconds(config_.retry_backoff_s),
+        [this, id] { begin_next_file(id); });
+    return;
+  }
+
+  const Endpoint& src = endpoints_.at(task.request.src_endpoint);
+  const Endpoint& dst = endpoints_.at(task.request.dst_endpoint);
+  auto obj = src.store->get(spec.src_path);
+  if (!obj) {
+    fail_task(id, obj.error().message);
+    return;
+  }
+
+  // Deliver to the destination store. Real content rides along (and survives
+  // a compression round-trip bit-exactly); virtual objects carry size + crc.
+  util::Status put = util::Status::ok();
+  if (obj.value()->has_content()) {
+    std::vector<uint8_t> content = *obj.value()->content;
+    if (!task.request.codec.empty()) {
+      const auto* codec =
+          compress::CodecRegistry::standard().find(task.request.codec);
+      auto round_trip = compress::decode_frame(
+          compress::CodecRegistry::standard(),
+          compress::encode_frame(*codec, content));
+      if (!round_trip) {
+        fail_task(id, "codec round-trip failed: " + round_trip.error().message);
+        return;
+      }
+      content = std::move(round_trip).value();
+    }
+    put = dst.store->put(spec.dst_path, std::move(content), engine_->now());
+  } else {
+    put = dst.store->put_virtual(spec.dst_path, obj.value()->size,
+                                 obj.value()->crc64, engine_->now());
+  }
+  if (!put) {
+    fail_task(id, put.error().message);
+    return;
+  }
+
+  // Integrity verification: destination checksum must match the source.
+  auto delivered = dst.store->get(spec.dst_path);
+  if (!delivered || delivered.value()->crc64 != obj.value()->crc64) {
+    fail_task(id, "checksum mismatch after transfer of " + spec.src_path);
+    return;
+  }
+
+  task.info.bytes_done += obj.value()->size;
+  task.info.wire_bytes += wire_bytes;
+  task.info.files_done += 1;
+  task.next_file += 1;
+  task.attempts_this_file = 0;
+  begin_next_file(id);
+}
+
+void TransferService::fail_task(const TaskId& id, const std::string& error) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  it->second.info.state = TaskState::Failed;
+  it->second.info.error = error;
+  it->second.info.completed = engine_->now();
+  logger().warn("%s failed: %s", id.c_str(), error.c_str());
+  if (trace_) {
+    trace_->add(sim::Span{"transfer", "failed", id, it->second.info.submitted,
+                          engine_->now(), util::Json::object({{"error", error}})});
+  }
+  if (it->second.settled_cb) it->second.settled_cb(it->second.info);
+}
+
+void TransferService::settle(const TaskId& id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  it->second.info.state = TaskState::Succeeded;
+  // info.completed was stamped when the last byte landed (activity end).
+  if (trace_) {
+    trace_->add(sim::Span{
+        "transfer", "active", id, it->second.info.submitted, engine_->now(),
+        util::Json::object(
+            {{"bytes", it->second.info.bytes_total},
+             {"wire_bytes", it->second.info.wire_bytes},
+             {"files", it->second.info.files_total}})});
+  }
+  logger().debug("%s succeeded (%lld bytes)", id.c_str(),
+                 static_cast<long long>(it->second.info.bytes_total));
+  if (it->second.settled_cb) it->second.settled_cb(it->second.info);
+}
+
+TaskInfo TransferService::status(const TaskId& id) const {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) {
+    TaskInfo info;
+    info.state = TaskState::Failed;
+    info.error = "unknown task";
+    return info;
+  }
+  TaskInfo info = it->second.info;
+  // Live in-flight progress, as the real service exposes bytes_transferred
+  // while a task runs (clients observe it changing between polls).
+  if (it->second.current_flow != 0) {
+    net::FlowStatus fs = network_->status(it->second.current_flow);
+    if (fs.active && fs.total_bytes > 0) {
+      double frac = static_cast<double>(fs.transferred_bytes) /
+                    static_cast<double>(fs.total_bytes);
+      info.bytes_done += static_cast<int64_t>(
+          frac * static_cast<double>(it->second.current_file_bytes));
+    }
+  }
+  return info;
+}
+
+void TransferService::on_settled(const TaskId& id,
+                                 std::function<void(const TaskInfo&)> cb) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  if (it->second.info.state == TaskState::Succeeded ||
+      it->second.info.state == TaskState::Failed) {
+    cb(it->second.info);
+  } else {
+    it->second.settled_cb = std::move(cb);
+  }
+}
+
+}  // namespace pico::transfer

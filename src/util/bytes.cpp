@@ -1,0 +1,132 @@
+#include "util/bytes.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace pico::util {
+
+void ByteWriter::varint(uint64_t v) {
+  while (v >= 0x80) {
+    out_->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out_->push_back(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::svarint(int64_t v) {
+  varint((static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63));
+}
+
+void ByteWriter::str(std::string_view s) {
+  varint(s.size());
+  bytes(s.data(), s.size());
+}
+
+void ByteWriter::bytes(const void* data, size_t n) {
+  const auto* b = static_cast<const uint8_t*>(data);
+  out_->insert(out_->end(), b, b + n);
+}
+
+void ByteWriter::patch_u64(size_t offset, uint64_t v) {
+  if (offset + 8 > out_->size()) return;
+  std::memcpy(out_->data() + offset, &v, 8);
+}
+
+bool ByteReader::varint(uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= size_ || shift > 63) return false;
+    uint8_t b = data_[pos_++];
+    result |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if (!(b & 0x80)) break;
+    shift += 7;
+  }
+  *v = result;
+  return true;
+}
+
+bool ByteReader::svarint(int64_t* v) {
+  uint64_t raw;
+  if (!varint(&raw)) return false;
+  *v = static_cast<int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+  return true;
+}
+
+bool ByteReader::str(std::string* s) {
+  uint64_t n;
+  if (!varint(&n)) return false;
+  if (size_ - pos_ < n) return false;
+  s->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::bytes(std::vector<uint8_t>* out, size_t n) {
+  if (size_ - pos_ < n) return false;
+  out->assign(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::view(const uint8_t** p, size_t n) {
+  if (size_ - pos_ < n) return false;
+  *p = data_ + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::skip(size_t n) {
+  if (size_ - pos_ < n) return false;
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::seek(size_t abs_offset) {
+  if (abs_offset > size_) return false;
+  pos_ = abs_offset;
+  return true;
+}
+
+Result<std::vector<uint8_t>> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    return Result<std::vector<uint8_t>>::err("cannot open " + path, "io");
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> data(size > 0 ? static_cast<size_t>(size) : 0);
+  if (!data.empty() && std::fread(data.data(), 1, data.size(), f) != data.size()) {
+    std::fclose(f);
+    return Result<std::vector<uint8_t>>::err("short read on " + path, "io");
+  }
+  std::fclose(f);
+  return Result<std::vector<uint8_t>>::ok(std::move(data));
+}
+
+Status write_file(const std::string& path, const void* data, size_t n) {
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::err("cannot open " + path + " for write", "io");
+  if (n > 0 && std::fwrite(data, 1, n, f) != n) {
+    std::fclose(f);
+    return Status::err("short write on " + path, "io");
+  }
+  std::fclose(f);
+  return Status::ok();
+}
+
+Status write_file(const std::string& path, const std::vector<uint8_t>& data) {
+  return write_file(path, data.data(), data.size());
+}
+
+Status write_file(const std::string& path, std::string_view text) {
+  return write_file(path, text.data(), text.size());
+}
+
+}  // namespace pico::util

@@ -1,0 +1,96 @@
+#pragma once
+// Binary (de)serialization helpers: little-endian fixed-width primitives,
+// LEB128-style varints, and length-prefixed strings. Shared by the EMD-lite
+// file format, compression codec framing, and checkpoint journals.
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace pico::util {
+
+/// Append-only little-endian byte sink.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void u8(uint8_t v) { out_->push_back(v); }
+  void u16(uint16_t v) { fixed(&v, 2); }
+  void u32(uint32_t v) { fixed(&v, 4); }
+  void u64(uint64_t v) { fixed(&v, 8); }
+  void i64(int64_t v) { fixed(&v, 8); }
+  void f32(float v) { fixed(&v, 4); }
+  void f64(double v) { fixed(&v, 8); }
+
+  /// Unsigned LEB128 varint.
+  void varint(uint64_t v);
+  /// Zig-zag signed varint.
+  void svarint(int64_t v);
+
+  /// varint length + raw bytes.
+  void str(std::string_view s);
+  void bytes(const void* data, size_t n);
+
+  size_t size() const { return out_->size(); }
+  /// Direct write at an absolute offset (for patching length/offset fields).
+  void patch_u64(size_t offset, uint64_t v);
+
+ private:
+  void fixed(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    out_->insert(out_->end(), b, b + n);
+  }
+  std::vector<uint8_t>* out_;
+};
+
+/// Bounds-checked little-endian byte source. All reads return false / error
+/// results on truncation instead of reading out of bounds.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t n) : data_(data), size_(n) {}
+  explicit ByteReader(const std::vector<uint8_t>& v)
+      : ByteReader(v.data(), v.size()) {}
+
+  bool u8(uint8_t* v) { return fixed(v, 1); }
+  bool u16(uint16_t* v) { return fixed(v, 2); }
+  bool u32(uint32_t* v) { return fixed(v, 4); }
+  bool u64(uint64_t* v) { return fixed(v, 8); }
+  bool i64(int64_t* v) { return fixed(v, 8); }
+  bool f32(float* v) { return fixed(v, 4); }
+  bool f64(double* v) { return fixed(v, 8); }
+  bool varint(uint64_t* v);
+  bool svarint(int64_t* v);
+  bool str(std::string* s);
+  /// Read exactly n bytes into out (resized).
+  bool bytes(std::vector<uint8_t>* out, size_t n);
+  /// View n bytes without copying; advances the cursor.
+  bool view(const uint8_t** p, size_t n);
+  bool skip(size_t n);
+  bool seek(size_t abs_offset);
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+  bool exhausted() const { return pos_ >= size_; }
+
+ private:
+  bool fixed(void* p, size_t n) {
+    if (size_ - pos_ < n) return false;
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Whole-file helpers (real filesystem).
+Result<std::vector<uint8_t>> read_file(const std::string& path);
+Status write_file(const std::string& path, const void* data, size_t n);
+Status write_file(const std::string& path, const std::vector<uint8_t>& data);
+Status write_file(const std::string& path, std::string_view text);
+
+}  // namespace pico::util

@@ -1,0 +1,52 @@
+#include "util/crc64.hpp"
+
+#include <array>
+
+namespace pico::util {
+namespace {
+
+// ECMA-182 polynomial, reflected form.
+constexpr uint64_t kPoly = 0xC96C5795D7870F42ull;
+
+std::array<uint64_t, 256> build_table() {
+  std::array<uint64_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint64_t, 256>& table() {
+  static const auto kTable = build_table();
+  return kTable;
+}
+
+}  // namespace
+
+void Crc64::update(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  const auto& t = table();
+  uint64_t crc = state_;
+  for (size_t i = 0; i < n; ++i) {
+    crc = t[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  state_ = crc;
+}
+
+uint64_t crc64(const void* data, size_t n) {
+  Crc64 c;
+  c.update(data, n);
+  return c.value();
+}
+
+uint64_t crc64(std::string_view s) { return crc64(s.data(), s.size()); }
+
+uint64_t crc64(const std::vector<uint8_t>& v) {
+  return crc64(v.data(), v.size());
+}
+
+}  // namespace pico::util

@@ -1,0 +1,27 @@
+#pragma once
+// CRC-64 (ECMA-182 polynomial) used as the integrity checksum for EMD-lite
+// dataset payloads and simulated Globus transfers ("checksum verification").
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace pico::util {
+
+/// One-shot CRC-64/ECMA of a byte buffer.
+uint64_t crc64(const void* data, size_t n);
+uint64_t crc64(std::string_view s);
+uint64_t crc64(const std::vector<uint8_t>& v);
+
+/// Incremental CRC-64 for streaming (chunked transfer) use.
+class Crc64 {
+ public:
+  void update(const void* data, size_t n);
+  uint64_t value() const { return ~state_; }
+  void reset() { state_ = ~0ull; }
+
+ private:
+  uint64_t state_ = ~0ull;
+};
+
+}  // namespace pico::util

@@ -1,0 +1,51 @@
+#pragma once
+// Axis-aligned boxes shared by the instrument simulator (ground-truth
+// nanoparticle positions) and the vision pipeline (detections, IoU matching,
+// mAP evaluation).
+#include <algorithm>
+#include <cmath>
+
+namespace pico::util {
+
+/// Axis-aligned box: top-left origin (x, y), extent (w, h), pixel units.
+struct Box {
+  double x = 0, y = 0, w = 0, h = 0;
+
+  double area() const { return std::max(0.0, w) * std::max(0.0, h); }
+  double cx() const { return x + w / 2; }
+  double cy() const { return y + h / 2; }
+  double x2() const { return x + w; }
+  double y2() const { return y + h; }
+
+  bool contains(double px, double py) const {
+    return px >= x && px < x2() && py >= y && py < y2();
+  }
+
+  friend bool operator==(const Box& a, const Box& b) {
+    return a.x == b.x && a.y == b.y && a.w == b.w && a.h == b.h;
+  }
+};
+
+/// Intersection-over-union of two boxes, in [0, 1].
+inline double iou(const Box& a, const Box& b) {
+  double ix = std::max(a.x, b.x);
+  double iy = std::max(a.y, b.y);
+  double ix2 = std::min(a.x2(), b.x2());
+  double iy2 = std::min(a.y2(), b.y2());
+  double iw = std::max(0.0, ix2 - ix);
+  double ih = std::max(0.0, iy2 - iy);
+  double inter = iw * ih;
+  double uni = a.area() + b.area() - inter;
+  return uni <= 0 ? 0.0 : inter / uni;
+}
+
+/// Clip a box to the [0,0,width,height] viewport.
+inline Box clip(const Box& b, double width, double height) {
+  double x1 = std::clamp(b.x, 0.0, width);
+  double y1 = std::clamp(b.y, 0.0, height);
+  double x2 = std::clamp(b.x2(), 0.0, width);
+  double y2 = std::clamp(b.y2(), 0.0, height);
+  return Box{x1, y1, x2 - x1, y2 - y1};
+}
+
+}  // namespace pico::util

@@ -1,0 +1,30 @@
+#include "util/id.hpp"
+
+#include "util/strings.hpp"
+
+namespace pico::util {
+namespace {
+
+uint64_t mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+IdGen::IdGen(uint64_t seed) : stream_(mix(seed)) {}
+
+std::string IdGen::next(const std::string& prefix) {
+  uint64_t tag = mix(stream_ ^ ++counter_);
+  return format("%s-%08llx-%llu", prefix.c_str(),
+                static_cast<unsigned long long>(tag & 0xFFFFFFFFull),
+                static_cast<unsigned long long>(counter_));
+}
+
+uint64_t IdGen::next_numeric() { return mix(stream_ ^ ++counter_); }
+
+}  // namespace pico::util

@@ -1,0 +1,22 @@
+#pragma once
+// Opaque identifier generation for tasks, flows, documents. IDs are derived
+// from a deterministic per-process counter plus a seedable stream so that
+// simulated campaigns produce stable IDs run-to-run.
+#include <cstdint>
+#include <string>
+
+namespace pico::util {
+
+/// Deterministic ID factory: "<prefix>-<8 hex chars>-<counter>".
+class IdGen {
+ public:
+  explicit IdGen(uint64_t seed = 0xA11CE5ull);
+  std::string next(const std::string& prefix);
+  uint64_t next_numeric();
+
+ private:
+  uint64_t stream_;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace pico::util

@@ -1,0 +1,103 @@
+#include "util/log.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+
+namespace pico::util {
+namespace {
+
+struct GlobalLogState {
+  std::mutex mu;
+  LogLevel level = LogLevel::Warn;  // quiet by default; benches/examples raise it
+  std::function<void(LogLevel, std::string_view, std::string_view)> sink;
+  std::function<std::string()> clock;
+};
+
+GlobalLogState& state() {
+  static GlobalLogState s;
+  return s;
+}
+
+}  // namespace
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+void LogConfig::set_level(LogLevel level) {
+  std::lock_guard lock(state().mu);
+  state().level = level;
+}
+
+LogLevel LogConfig::level() {
+  std::lock_guard lock(state().mu);
+  return state().level;
+}
+
+void LogConfig::set_sink(
+    std::function<void(LogLevel, std::string_view, std::string_view)> sink) {
+  std::lock_guard lock(state().mu);
+  state().sink = std::move(sink);
+}
+
+void LogConfig::set_clock(std::function<std::string()> clock) {
+  std::lock_guard lock(state().mu);
+  state().clock = std::move(clock);
+}
+
+void Logger::emit(LogLevel level, const char* fmt, va_list args) const {
+  std::string msg;
+  {
+    va_list copy;
+    va_copy(copy, args);
+    int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (n > 0) {
+      msg.resize(static_cast<size_t>(n));
+      std::vsnprintf(msg.data(), msg.size() + 1, fmt, args);
+    }
+  }
+  std::function<void(LogLevel, std::string_view, std::string_view)> sink;
+  std::string stamp;
+  {
+    std::lock_guard lock(state().mu);
+    sink = state().sink;
+    if (state().clock) stamp = state().clock();
+  }
+  if (sink) {
+    sink(level, component_, msg);
+  } else {
+    std::fprintf(stderr, "[%s]%s%s [%s] %s\n",
+                 std::string(log_level_name(level)).c_str(),
+                 stamp.empty() ? "" : " ", stamp.c_str(), component_.c_str(),
+                 msg.c_str());
+  }
+}
+
+#define PICO_LOG_IMPL(method, level_enum)                      \
+  void Logger::method(const char* fmt, ...) const {           \
+    if (LogConfig::level() > level_enum) return;               \
+    va_list args;                                              \
+    va_start(args, fmt);                                       \
+    emit(level_enum, fmt, args);                               \
+    va_end(args);                                              \
+  }
+
+PICO_LOG_IMPL(trace, LogLevel::Trace)
+PICO_LOG_IMPL(debug, LogLevel::Debug)
+PICO_LOG_IMPL(info, LogLevel::Info)
+PICO_LOG_IMPL(warn, LogLevel::Warn)
+PICO_LOG_IMPL(error, LogLevel::Error)
+
+#undef PICO_LOG_IMPL
+
+}  // namespace pico::util

@@ -1,0 +1,45 @@
+#pragma once
+// Leveled logger. Components log through a named Logger; the global sink can
+// be silenced (tests), redirected, or stamped with simulation time.
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace pico::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+std::string_view log_level_name(LogLevel level);
+
+/// Global log configuration.
+struct LogConfig {
+  /// Messages below this level are dropped.
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  /// Replace the sink (default writes to stderr). Pass nullptr to restore.
+  static void set_sink(std::function<void(LogLevel, std::string_view component,
+                                          std::string_view message)>
+                           sink);
+  /// Optional clock rendered in front of each message (e.g. sim time).
+  static void set_clock(std::function<std::string()> clock);
+};
+
+/// Named logging facade: Logger("transfer").info("task %s done", id).
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  void trace(const char* fmt, ...) const __attribute__((format(printf, 2, 3)));
+  void debug(const char* fmt, ...) const __attribute__((format(printf, 2, 3)));
+  void info(const char* fmt, ...) const __attribute__((format(printf, 2, 3)));
+  void warn(const char* fmt, ...) const __attribute__((format(printf, 2, 3)));
+  void error(const char* fmt, ...) const __attribute__((format(printf, 2, 3)));
+
+  const std::string& component() const { return component_; }
+
+ private:
+  void emit(LogLevel level, const char* fmt, va_list args) const;
+  std::string component_;
+};
+
+}  // namespace pico::util

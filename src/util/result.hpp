@@ -1,0 +1,99 @@
+#pragma once
+// Result<T>: a lightweight expected-like type (std::expected is C++23; this
+// project targets C++20). Carries either a value or an error message.
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace pico::util {
+
+/// Error payload for Result. A message plus an optional machine-readable code.
+struct Error {
+  std::string message;
+  std::string code;  ///< e.g. "not_found", "io", "parse", "denied"
+
+  static Error make(std::string msg, std::string code = "error") {
+    return Error{std::move(msg), std::move(code)};
+  }
+};
+
+/// Either a T or an Error. Use ok()/error() factories; check before access.
+template <typename T>
+class Result {
+ public:
+  static Result ok(T value) {
+    Result r;
+    r.value_ = std::move(value);
+    return r;
+  }
+  static Result err(std::string message, std::string code = "error") {
+    Result r;
+    r.error_ = Error{std::move(message), std::move(code)};
+    return r;
+  }
+  static Result err(Error e) {
+    Result r;
+    r.error_ = std::move(e);
+    return r;
+  }
+
+  bool has_value() const { return value_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+
+  /// Value access. Precondition: has_value().
+  T& value() & {
+    assert(has_value());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(has_value());
+    return *value_;
+  }
+  T&& value() && {
+    assert(has_value());
+    return std::move(*value_);
+  }
+  T value_or(T fallback) const {
+    return has_value() ? *value_ : std::move(fallback);
+  }
+
+  /// Error access. Precondition: !has_value().
+  const Error& error() const {
+    assert(!has_value());
+    return *error_;
+  }
+
+ private:
+  Result() = default;
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+/// Result specialization for operations with no payload.
+class Status {
+ public:
+  static Status ok() { return Status{}; }
+  static Status err(std::string message, std::string code = "error") {
+    Status s;
+    s.error_ = Error{std::move(message), std::move(code)};
+    return s;
+  }
+  static Status err(Error e) {
+    Status s;
+    s.error_ = std::move(e);
+    return s;
+  }
+
+  bool is_ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+  const Error& error() const {
+    assert(!is_ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace pico::util

@@ -1,0 +1,127 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace pico::util {
+namespace {
+
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64: seeds the xoshiro state from a single 64-bit value.
+uint64_t splitmix64(uint64_t& x) {
+  uint64_t z = (x += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+int64_t Rng::uniform_int(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(next_u64());  // full range
+  // Rejection sampling to remove modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % span);
+}
+
+double Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  u2 = uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double rate) {
+  assert(rate > 0);
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 1e-300);
+  return -std::log(u) / rate;
+}
+
+int64_t Rng::poisson(double lambda) {
+  assert(lambda >= 0);
+  if (lambda <= 0) return 0;
+  if (lambda < 30.0) {
+    double l = std::exp(-lambda);
+    int64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > l);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction, clamped at zero.
+  double v = normal(lambda, std::sqrt(lambda));
+  return v < 0.0 ? 0 : static_cast<int64_t>(v + 0.5);
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  if (total <= 0 || weights.empty()) return 0;
+  double target = uniform() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace pico::util

@@ -1,0 +1,58 @@
+#pragma once
+// Deterministic, seedable pseudo-random number generation (xoshiro256**).
+// Every stochastic component of the facility simulation draws from an Rng so
+// that campaigns are exactly reproducible from a seed — a requirement for the
+// determinism tests and for calibrating against the paper's Table 1.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pico::util {
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, 256-bit state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t uniform_int(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box–Muller (cached second value).
+  double normal();
+  double normal(double mean, double stddev);
+
+  /// Log-normal: exp(normal(mu, sigma)). Used for heavy-tailed service times.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Poisson-distributed count. Knuth's method for small lambda, normal
+  /// approximation (clamped at 0) for large lambda.
+  int64_t poisson(double lambda);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  size_t weighted_index(const std::vector<double>& weights);
+
+  /// Derive an independent child generator (for per-actor streams).
+  Rng fork();
+
+ private:
+  uint64_t state_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace pico::util

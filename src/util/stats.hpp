@@ -1,0 +1,65 @@
+#pragma once
+// Descriptive statistics used by the campaign reporter (Table 1, Fig. 4):
+// min / mean / max / median / percentiles / quartile box stats.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pico::util {
+
+/// Accumulates samples and answers order statistics. Samples are kept (the
+/// campaign scales are small: tens to thousands of flows), so exact
+/// percentiles are available.
+class SampleStats {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double sum() const;
+  double stddev() const;  ///< sample standard deviation (n-1)
+  double median() const;
+  /// Exact percentile via linear interpolation, p in [0, 100].
+  double percentile(double p) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Five-number summary for box plots (Fig. 4 style).
+struct BoxStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+  size_t count = 0;
+  static BoxStats from(const SampleStats& s);
+  std::string to_string() const;  ///< "min/q1/med/q3/max (n=..)"
+};
+
+/// Fixed-width histogram for distribution summaries in bench output.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+  void add(double x);
+  size_t bin_count() const { return counts_.size(); }
+  size_t count_in_bin(size_t i) const { return counts_.at(i); }
+  double bin_lo(size_t i) const;
+  double bin_hi(size_t i) const;
+  size_t total() const { return total_; }
+  /// Render as ASCII bars, `width` characters at the widest bin.
+  std::string render(size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace pico::util

@@ -1,0 +1,46 @@
+#pragma once
+// Small string helpers shared across modules.
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pico::util {
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split on any whitespace run, dropping empty fields.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Join items with `sep`.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Lowercase hex of a byte span.
+std::string to_hex(const uint8_t* data, size_t n);
+std::string to_hex_u64(uint64_t v);
+
+/// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable byte count ("91.0 MB", "1.17 GB"). Decimal units (SI),
+/// matching how the paper reports file sizes.
+std::string human_bytes(double bytes);
+
+/// Replace all occurrences of `from` with `to`.
+std::string replace_all(std::string s, std::string_view from,
+                        std::string_view to);
+
+/// Escape text for embedding in HTML.
+std::string html_escape(std::string_view s);
+
+}  // namespace pico::util

@@ -1,0 +1,44 @@
+#pragma once
+// Fixed-size thread pool. Used by the real-time (non-simulated) paths: the
+// live directory watcher example and parallel data-plane analysis (per-frame
+// detection fan-out), mirroring how the paper's compute functions exploit a
+// whole Polaris node.
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pico::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  void parallel_for(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace pico::util

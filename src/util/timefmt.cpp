@@ -1,0 +1,99 @@
+#include "util/timefmt.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace pico::util {
+namespace {
+
+constexpr int64_t kSecPerDay = 86400;
+
+bool is_leap(int64_t y) {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+int days_in_month(int64_t y, int m) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (m == 2 && is_leap(y)) return 29;
+  return kDays[m - 1];
+}
+
+// Civil-from-days (Howard Hinnant's algorithm), avoids timezone machinery.
+void civil_from_days(int64_t z, int64_t* y, int* m, int* d) {
+  z += 719468;
+  int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  int64_t doe = z - era * 146097;
+  int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  int64_t yy = yoe + era * 400;
+  int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  int64_t mp = (5 * doy + 2) / 153;
+  int64_t dd = doy - (153 * mp + 2) / 5 + 1;
+  int64_t mm = mp < 10 ? mp + 3 : mp - 9;
+  *y = yy + (mm <= 2 ? 1 : 0);
+  *m = static_cast<int>(mm);
+  *d = static_cast<int>(dd);
+}
+
+int64_t days_from_civil(int64_t y, int m, int d) {
+  y -= m <= 2;
+  int64_t era = (y >= 0 ? y : y - 399) / 400;
+  int64_t yoe = y - era * 400;
+  int64_t doy = (153 * (m > 2 ? m - 3 : m + 9) + 2) / 5 + d - 1;
+  int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + doe - 719468;
+}
+
+}  // namespace
+
+std::string format_duration(double seconds) {
+  bool neg = seconds < 0;
+  if (neg) seconds = -seconds;
+  int64_t total_ms = static_cast<int64_t>(std::llround(seconds * 1000.0));
+  int64_t ms = total_ms % 1000;
+  int64_t s = (total_ms / 1000) % 60;
+  int64_t m = (total_ms / 60000) % 60;
+  int64_t h = total_ms / 3600000;
+  return format("%s%02lld:%02lld:%02lld.%03lld", neg ? "-" : "",
+                static_cast<long long>(h), static_cast<long long>(m),
+                static_cast<long long>(s), static_cast<long long>(ms));
+}
+
+std::string format_iso8601(int64_t unix_seconds) {
+  int64_t days = unix_seconds / kSecPerDay;
+  int64_t rem = unix_seconds % kSecPerDay;
+  if (rem < 0) {
+    rem += kSecPerDay;
+    days -= 1;
+  }
+  int64_t y;
+  int mo, d;
+  civil_from_days(days, &y, &mo, &d);
+  int h = static_cast<int>(rem / 3600);
+  int mi = static_cast<int>((rem / 60) % 60);
+  int s = static_cast<int>(rem % 60);
+  return format("%04lld-%02d-%02dT%02d:%02d:%02dZ", static_cast<long long>(y),
+                mo, d, h, mi, s);
+}
+
+bool parse_iso8601(const std::string& text, int64_t* unix_seconds) {
+  int y, mo, d, h, mi, s;
+  int n = std::sscanf(text.c_str(), "%d-%d-%dT%d:%d:%d", &y, &mo, &d, &h, &mi, &s);
+  if (n != 6) {
+    // Date-only form.
+    n = std::sscanf(text.c_str(), "%d-%d-%d", &y, &mo, &d);
+    if (n != 3) return false;
+    h = mi = s = 0;
+  }
+  if (mo < 1 || mo > 12 || d < 1 || d > days_in_month(y, mo)) return false;
+  if (h < 0 || h > 23 || mi < 0 || mi > 59 || s < 0 || s > 60) return false;
+  *unix_seconds = days_from_civil(y, mo, d) * kSecPerDay + h * 3600 + mi * 60 + s;
+  return true;
+}
+
+std::string iso_date_prefix(const std::string& iso) {
+  return iso.size() >= 10 ? iso.substr(0, 10) : iso;
+}
+
+}  // namespace pico::util

@@ -1,0 +1,24 @@
+#pragma once
+// Time formatting for simulation timestamps. The campaign reports render
+// virtual times as ISO-8601 strings anchored at a configurable epoch so the
+// search index and portal can facet experiments "by time and date" exactly as
+// the paper's DGPF deployment does.
+#include <cstdint>
+#include <string>
+
+namespace pico::util {
+
+/// Seconds→"HH:MM:SS.mmm" (durations).
+std::string format_duration(double seconds);
+
+/// Unix epoch seconds → "YYYY-MM-DDTHH:MM:SSZ" (UTC, ISO-8601).
+std::string format_iso8601(int64_t unix_seconds);
+
+/// Parse "YYYY-MM-DDTHH:MM:SSZ" (or without Z) into Unix seconds.
+/// Returns false on malformed input.
+bool parse_iso8601(const std::string& text, int64_t* unix_seconds);
+
+/// Extract the date prefix "YYYY-MM-DD" from an ISO-8601 string.
+std::string iso_date_prefix(const std::string& iso);
+
+}  // namespace pico::util

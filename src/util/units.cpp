@@ -1,0 +1,65 @@
+#include "util/units.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "util/strings.hpp"
+
+namespace pico::util {
+namespace {
+
+// Splits "1.5 GB" into value and unit token (lowercased, spaces stripped).
+bool split_value_unit(std::string_view text, double* value, std::string* unit) {
+  std::string s(trim(text));
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str()) return false;
+  *value = v;
+  std::string u(trim(std::string_view(end)));
+  *unit = to_lower(u);
+  return true;
+}
+
+}  // namespace
+
+Result<int64_t> parse_bytes(std::string_view text) {
+  double v;
+  std::string unit;
+  if (!split_value_unit(text, &v, &unit)) {
+    return Result<int64_t>::err("cannot parse size: " + std::string(text),
+                                "parse");
+  }
+  double mult = 1;
+  if (unit.empty() || unit == "b") mult = 1;
+  else if (unit == "kb") mult = static_cast<double>(kKB);
+  else if (unit == "mb") mult = static_cast<double>(kMB);
+  else if (unit == "gb") mult = static_cast<double>(kGB);
+  else if (unit == "tb") mult = static_cast<double>(kTB);
+  else if (unit == "pb") mult = static_cast<double>(kPB);
+  else {
+    return Result<int64_t>::err("unknown size unit: " + unit, "parse");
+  }
+  return Result<int64_t>::ok(static_cast<int64_t>(v * mult));
+}
+
+Result<double> parse_rate_bps(std::string_view text) {
+  double v;
+  std::string unit;
+  if (!split_value_unit(text, &v, &unit)) {
+    return Result<double>::err("cannot parse rate: " + std::string(text),
+                               "parse");
+  }
+  if (unit == "bps") return Result<double>::ok(v);
+  if (unit == "kbps") return Result<double>::ok(v * kKbps);
+  if (unit == "mbps") return Result<double>::ok(v * kMbps);
+  if (unit == "gbps") return Result<double>::ok(v * kGbps);
+  if (unit == "b/s") return Result<double>::ok(v * 8);
+  if (unit == "kb/s") return Result<double>::ok(v * 8e3);
+  if (unit == "mb/s") return Result<double>::ok(v * 8e6);
+  if (unit == "gb/s") return Result<double>::ok(v * 8e9);
+  if (unit == "tb/s") return Result<double>::ok(v * 8e12);
+  return Result<double>::err("unknown rate unit: " + unit, "parse");
+}
+
+}  // namespace pico::util

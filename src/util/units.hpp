@@ -1,0 +1,31 @@
+#pragma once
+// Byte, rate and time unit constants + parsing. Decimal (SI) units, matching
+// how the paper reports sizes (MB) and link speeds (Gbps).
+#include <cstdint>
+#include <string_view>
+
+#include "util/result.hpp"
+
+namespace pico::util {
+
+inline constexpr int64_t kKB = 1000;
+inline constexpr int64_t kMB = 1000 * kKB;
+inline constexpr int64_t kGB = 1000 * kMB;
+inline constexpr int64_t kTB = 1000 * kGB;
+inline constexpr int64_t kPB = 1000 * kTB;
+
+/// Bits-per-second helpers for link capacities.
+inline constexpr double kKbps = 1e3;
+inline constexpr double kMbps = 1e6;
+inline constexpr double kGbps = 1e9;
+
+/// Convert a bits-per-second rate to bytes-per-second.
+inline constexpr double bps_to_Bps(double bps) { return bps / 8.0; }
+
+/// Parse sizes like "91MB", "1.2 GB", "64KB", "123" (bytes).
+Result<int64_t> parse_bytes(std::string_view text);
+
+/// Parse rates like "1Gbps", "200 Gbps", "65GB/s" into bits per second.
+Result<double> parse_rate_bps(std::string_view text);
+
+}  // namespace pico::util

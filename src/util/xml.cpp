@@ -1,0 +1,261 @@
+#include "util/xml.hpp"
+
+#include <cctype>
+
+namespace pico::util {
+
+const XmlNode* XmlNode::child(const std::string& want) const {
+  for (const auto& c : children) {
+    if (c.name == want) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(
+    const std::string& want) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children) {
+    if (c.name == want) out.push_back(&c);
+  }
+  return out;
+}
+
+std::string XmlNode::attr(const std::string& key,
+                          const std::string& fallback) const {
+  auto it = attrs.find(key);
+  return it == attrs.end() ? fallback : it->second;
+}
+
+std::string XmlNode::child_text(const std::string& want,
+                                const std::string& fallback) const {
+  const XmlNode* c = child(want);
+  return c ? c->text : fallback;
+}
+
+XmlNode& XmlNode::ensure_child(const std::string& want) {
+  for (auto& c : children) {
+    if (c.name == want) return c;
+  }
+  children.push_back(XmlNode{want, {}, "", {}});
+  return children.back();
+}
+
+XmlNode& XmlNode::add_child(const std::string& want, const std::string& body) {
+  children.push_back(XmlNode{want, {}, body, {}});
+  return children.back();
+}
+
+std::string xml_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void serialize_node(const XmlNode& node, std::string& out, int depth) {
+  out.append(static_cast<size_t>(depth * 2), ' ');
+  out.push_back('<');
+  out += node.name;
+  for (const auto& [k, v] : node.attrs) {
+    out += " " + k + "=\"" + xml_escape(v) + "\"";
+  }
+  if (node.text.empty() && node.children.empty()) {
+    out += "/>\n";
+    return;
+  }
+  out.push_back('>');
+  if (!node.text.empty()) out += xml_escape(node.text);
+  if (!node.children.empty()) {
+    out.push_back('\n');
+    for (const auto& c : node.children) serialize_node(c, out, depth + 1);
+    out.append(static_cast<size_t>(depth * 2), ' ');
+  }
+  out += "</" + node.name + ">\n";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<XmlNode> parse() {
+    skip_prolog_and_ws();
+    auto root = parse_element();
+    if (!root) return root;
+    skip_ws_and_comments();
+    if (pos_ != text_.size()) {
+      return fail("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  Result<XmlNode> fail(const std::string& what) {
+    return Result<XmlNode>::err(
+        what + " at offset " + std::to_string(pos_), "parse");
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  bool consume(char c) {
+    if (!eof() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool consume_str(std::string_view s) {
+    if (text_.substr(pos_, s.size()) == s) {
+      pos_ += s.size();
+      return true;
+    }
+    return false;
+  }
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+  bool skip_comment() {
+    if (!consume_str("<!--")) return false;
+    size_t end = text_.find("-->", pos_);
+    pos_ = end == std::string_view::npos ? text_.size() : end + 3;
+    return true;
+  }
+  void skip_ws_and_comments() {
+    while (true) {
+      skip_ws();
+      if (!skip_comment()) break;
+    }
+  }
+  void skip_prolog_and_ws() {
+    skip_ws();
+    if (consume_str("<?")) {
+      size_t end = text_.find("?>", pos_);
+      pos_ = end == std::string_view::npos ? text_.size() : end + 2;
+    }
+    skip_ws_and_comments();
+  }
+
+  static bool name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == ':' || c == '.';
+  }
+
+  std::string parse_name() {
+    std::string out;
+    while (!eof() && name_char(peek())) out.push_back(text_[pos_++]);
+    return out;
+  }
+
+  std::string decode_entities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] == '&') {
+        auto try_entity = [&](std::string_view name, char repl) {
+          if (raw.substr(i, name.size()) == name) {
+            out.push_back(repl);
+            i += name.size();
+            return true;
+          }
+          return false;
+        };
+        if (try_entity("&amp;", '&') || try_entity("&lt;", '<') ||
+            try_entity("&gt;", '>') || try_entity("&quot;", '"') ||
+            try_entity("&apos;", '\'')) {
+          continue;
+        }
+      }
+      out.push_back(raw[i++]);
+    }
+    return out;
+  }
+
+  Result<XmlNode> parse_element() {
+    if (!consume('<')) return fail("expected '<'");
+    XmlNode node;
+    node.name = parse_name();
+    if (node.name.empty()) return fail("expected element name");
+
+    // Attributes.
+    while (true) {
+      skip_ws();
+      if (eof()) return fail("unterminated start tag");
+      if (consume_str("/>")) return Result<XmlNode>::ok(std::move(node));
+      if (consume('>')) break;
+      std::string key = parse_name();
+      if (key.empty()) return fail("expected attribute name");
+      skip_ws();
+      if (!consume('=')) return fail("expected '=' after attribute name");
+      skip_ws();
+      char quote = eof() ? 0 : peek();
+      if (quote != '"' && quote != '\'') return fail("expected quoted value");
+      ++pos_;
+      size_t start = pos_;
+      while (!eof() && peek() != quote) ++pos_;
+      if (eof()) return fail("unterminated attribute value");
+      node.attrs[key] = decode_entities(text_.substr(start, pos_ - start));
+      ++pos_;
+    }
+
+    // Content: text, children, comments, until the matching end tag.
+    while (true) {
+      if (eof()) return fail("unterminated element <" + node.name + ">");
+      if (text_[pos_] == '<') {
+        if (skip_comment()) continue;
+        if (text_.substr(pos_, 2) == "</") {
+          pos_ += 2;
+          std::string end_name = parse_name();
+          skip_ws();
+          if (!consume('>')) return fail("malformed end tag");
+          if (end_name != node.name) {
+            return fail("mismatched end tag </" + end_name + ">");
+          }
+          return Result<XmlNode>::ok(std::move(node));
+        }
+        auto childnode = parse_element();
+        if (!childnode) return childnode;
+        node.children.push_back(std::move(childnode).value());
+      } else {
+        size_t start = pos_;
+        while (!eof() && peek() != '<') ++pos_;
+        std::string chunk = decode_entities(text_.substr(start, pos_ - start));
+        // Trim pure-whitespace runs between children; keep meaningful text.
+        bool all_ws = true;
+        for (char c : chunk) {
+          if (!std::isspace(static_cast<unsigned char>(c))) {
+            all_ws = false;
+            break;
+          }
+        }
+        if (!all_ws) node.text += chunk;
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string xml_serialize(const XmlNode& root) {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  serialize_node(root, out, 0);
+  return out;
+}
+
+Result<XmlNode> xml_parse(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace pico::util

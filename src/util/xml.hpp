@@ -1,0 +1,47 @@
+#pragma once
+// Minimal XML document model + parser/serializer: elements, attributes,
+// text content, comments (skipped). Enough for the HMSA interchange format
+// (an XML metadata file + binary blob pair) the paper lists as a supported
+// alternative to EMD. Not a general XML implementation: no namespaces,
+// DTDs, CDATA, or processing-instruction handling beyond the prolog.
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace pico::util {
+
+struct XmlNode {
+  std::string name;
+  std::map<std::string, std::string> attrs;
+  std::string text;  ///< concatenated character data directly inside this node
+  std::vector<XmlNode> children;
+
+  /// First child with the given element name; nullptr when absent.
+  const XmlNode* child(const std::string& name) const;
+  /// All children with the given element name.
+  std::vector<const XmlNode*> children_named(const std::string& name) const;
+  /// Attribute value or fallback.
+  std::string attr(const std::string& key, const std::string& fallback = "") const;
+  /// Text of a named child, or fallback.
+  std::string child_text(const std::string& name,
+                         const std::string& fallback = "") const;
+
+  /// Get-or-create a child element (builder convenience).
+  XmlNode& ensure_child(const std::string& name);
+  /// Append a child with text content (builder convenience).
+  XmlNode& add_child(const std::string& name, const std::string& text = "");
+};
+
+/// Serialize with a standard prolog and 2-space indentation.
+std::string xml_serialize(const XmlNode& root);
+
+/// Parse a document; returns the root element. Errors carry byte offsets.
+Result<XmlNode> xml_parse(std::string_view text);
+
+/// Escape character data / attribute values.
+std::string xml_escape(std::string_view s);
+
+}  // namespace pico::util

@@ -1,0 +1,62 @@
+#include "video/convert.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pico::video {
+
+tensor::Tensor<uint8_t> convert_naive(const tensor::Tensor<double>& stack) {
+  assert(stack.rank() == 3);
+  const size_t frames = stack.dim(0);
+  const size_t frame_px = stack.dim(1) * stack.dim(2);
+  tensor::Tensor<uint8_t> out(stack.shape());
+  auto src = stack.data();
+  auto dst = out.data();
+
+  for (size_t t = 0; t < frames; ++t) {
+    // Pessimal: recompute the global range for every frame.
+    double lo = src.empty() ? 0.0 : src[0];
+    double hi = lo;
+    for (size_t i = 0; i < src.size(); ++i) {
+      if (src[i] < lo) lo = src[i];
+      if (src[i] > hi) hi = src[i];
+    }
+    double span = hi - lo;
+    for (size_t i = t * frame_px; i < (t + 1) * frame_px; ++i) {
+      double v = src[i];
+      double scaled;
+      if (span <= 0) {
+        scaled = 0;
+      } else {
+        scaled = (v - lo) / span * 255.0;
+      }
+      if (scaled < 0) scaled = 0;
+      if (scaled > 255) scaled = 255;
+      dst[i] = static_cast<uint8_t>(std::lround(scaled));
+    }
+  }
+  return out;
+}
+
+tensor::Tensor<uint8_t> convert_fast(const tensor::Tensor<double>& stack) {
+  assert(stack.rank() == 3);
+  tensor::Tensor<uint8_t> out(stack.shape());
+  auto src = stack.data();
+  auto dst = out.data();
+  if (src.empty()) return out;
+
+  double lo = src[0], hi = src[0];
+  for (double v : src) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  double scale = hi > lo ? 255.0 / (hi - lo) : 0.0;
+  for (size_t i = 0; i < src.size(); ++i) {
+    double scaled = (src[i] - lo) * scale;
+    dst[i] = static_cast<uint8_t>(scaled + 0.5);  // already within [0, 255]
+  }
+  return out;
+}
+
+}  // namespace pico::video

@@ -1,0 +1,23 @@
+#pragma once
+// EMD -> video conversion. The paper identifies "a slow data type casting
+// operation from fp64 to uint8" during EMD->MP4 conversion as the dominant
+// cost of the spatiotemporal compute phase. Both the naive path (per-frame
+// range rescan + branchy per-element conversion, what the Python pipeline
+// effectively does) and an optimized single-pass path are implemented so the
+// A4 ablation can quantify the difference.
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace pico::video {
+
+/// Naive conversion: for every frame, rescan the *entire stack* for min/max
+/// (the pessimal global-normalization-per-frame behaviour of a naive
+/// implementation), then convert elementwise with bounds checks.
+tensor::Tensor<uint8_t> convert_naive(const tensor::Tensor<double>& stack);
+
+/// Optimized conversion: one min/max pass over the stack, then a fused
+/// scale+clamp loop. Identical output to convert_naive.
+tensor::Tensor<uint8_t> convert_fast(const tensor::Tensor<double>& stack);
+
+}  // namespace pico::video

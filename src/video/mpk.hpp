@@ -1,0 +1,49 @@
+#pragma once
+// MPK ("motion picture package"): the MP4 stand-in — a simple 8-bit grayscale
+// video container with per-frame optional RLE compression and box-annotation
+// burn-in. The spatiotemporal flow converts EMD stacks to MPK, runs the
+// detector, and publishes an annotated MPK (paper Fig. 3's annotated MP4).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/geometry.hpp"
+#include "util/result.hpp"
+#include "vision/detect.hpp"
+
+namespace pico::video {
+
+class MpkVideo {
+ public:
+  MpkVideo() = default;
+  MpkVideo(size_t height, size_t width) : height_(height), width_(width) {}
+
+  /// Build from a [T, H, W] u8 stack.
+  static MpkVideo from_stack(const tensor::Tensor<uint8_t>& stack);
+
+  size_t frame_count() const { return frames_.size(); }
+  size_t height() const { return height_; }
+  size_t width() const { return width_; }
+
+  void append_frame(tensor::Tensor<uint8_t> frame);
+  const tensor::Tensor<uint8_t>& frame(size_t t) const { return frames_.at(t); }
+
+  /// Serialize; compress=true RLE-encodes each frame.
+  std::vector<uint8_t> to_bytes(bool compress = true) const;
+  static util::Result<MpkVideo> from_bytes(const std::vector<uint8_t>& data);
+
+  util::Status save(const std::string& path, bool compress = true) const;
+  static util::Result<MpkVideo> load(const std::string& path);
+
+ private:
+  size_t height_ = 0, width_ = 0;
+  std::vector<tensor::Tensor<uint8_t>> frames_;
+};
+
+/// Burn detection boxes into every frame (white 1-px rectangles; confidence
+/// is encoded as box brightness: 128 + confidence*127).
+MpkVideo annotate(const MpkVideo& video,
+                  const std::vector<std::vector<vision::Detection>>& detections);
+
+}  // namespace pico::video

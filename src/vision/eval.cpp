@@ -1,0 +1,105 @@
+#include "vision/eval.hpp"
+
+#include <algorithm>
+
+namespace pico::vision {
+namespace {
+
+/// Greedy confidence-ordered matching for one image at one IoU threshold.
+/// Returns per-detection TP flags (parallel to detections sorted by
+/// confidence descending) plus that sorted confidence list.
+void match_image(const EvalImage& image, double iou_threshold,
+                 std::vector<std::pair<double, bool>>* scored) {
+  std::vector<size_t> order(image.detections.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return image.detections[a].confidence > image.detections[b].confidence;
+  });
+
+  std::vector<uint8_t> truth_used(image.truths.size(), 0);
+  for (size_t oi : order) {
+    const Detection& det = image.detections[oi];
+    double best_iou = 0;
+    size_t best_t = image.truths.size();
+    for (size_t t = 0; t < image.truths.size(); ++t) {
+      if (truth_used[t]) continue;
+      double v = util::iou(det.box, image.truths[t]);
+      if (v > best_iou) {
+        best_iou = v;
+        best_t = t;
+      }
+    }
+    bool tp = best_iou >= iou_threshold && best_t < image.truths.size();
+    if (tp) truth_used[best_t] = 1;
+    scored->emplace_back(det.confidence, tp);
+  }
+}
+
+}  // namespace
+
+double average_precision(const std::vector<EvalImage>& images,
+                         double iou_threshold) {
+  size_t total_truths = 0;
+  std::vector<std::pair<double, bool>> scored;  // (confidence, is_tp)
+  for (const auto& img : images) {
+    total_truths += img.truths.size();
+    match_image(img, iou_threshold, &scored);
+  }
+  if (total_truths == 0) return 0.0;
+
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  // Cumulative precision/recall along the ranked list.
+  std::vector<double> precisions, recalls;
+  size_t tp = 0, fp = 0;
+  for (const auto& [conf, is_tp] : scored) {
+    if (is_tp) ++tp;
+    else ++fp;
+    precisions.push_back(static_cast<double>(tp) / static_cast<double>(tp + fp));
+    recalls.push_back(static_cast<double>(tp) / static_cast<double>(total_truths));
+  }
+
+  // Monotone non-increasing precision envelope (right-to-left max).
+  for (size_t i = precisions.size(); i-- > 1;) {
+    precisions[i - 1] = std::max(precisions[i - 1], precisions[i]);
+  }
+
+  // COCO 101-point interpolation.
+  double ap = 0;
+  size_t j = 0;
+  for (int r = 0; r <= 100; ++r) {
+    double recall_point = r / 100.0;
+    while (j < recalls.size() && recalls[j] < recall_point) ++j;
+    ap += j < precisions.size() ? precisions[j] : 0.0;
+  }
+  return ap / 101.0;
+}
+
+double map50_95(const std::vector<EvalImage>& images) {
+  double total = 0;
+  int n = 0;
+  for (double thr = 0.50; thr <= 0.951; thr += 0.05) {
+    total += average_precision(images, thr);
+    ++n;
+  }
+  return n == 0 ? 0.0 : total / n;
+}
+
+PrCounts pr_counts(const std::vector<EvalImage>& images, double iou_threshold) {
+  PrCounts out;
+  for (const auto& img : images) {
+    std::vector<std::pair<double, bool>> scored;
+    match_image(img, iou_threshold, &scored);
+    size_t tp = 0;
+    for (const auto& [conf, is_tp] : scored) {
+      if (is_tp) ++tp;
+    }
+    out.true_positives += tp;
+    out.false_positives += scored.size() - tp;
+    out.false_negatives += img.truths.size() - tp;
+  }
+  return out;
+}
+
+}  // namespace pico::vision

@@ -1,0 +1,45 @@
+#pragma once
+// Detection quality evaluation: COCO-style average precision. The paper
+// reports its YOLOv8 model's mAP at IoU 0.50:0.95 (0.791 train / 0.801 val);
+// the Fig. 3 bench computes the same metric for the blob detector against
+// the generator's ground truth.
+#include <vector>
+
+#include "util/geometry.hpp"
+#include "vision/detect.hpp"
+
+namespace pico::vision {
+
+/// Per-image inputs: detections (with confidences) and ground-truth boxes.
+struct EvalImage {
+  std::vector<Detection> detections;
+  std::vector<util::Box> truths;
+};
+
+/// Average precision at a single IoU threshold, 101-point interpolation
+/// (COCO). Returns 0 when there are no ground-truth boxes.
+double average_precision(const std::vector<EvalImage>& images,
+                         double iou_threshold);
+
+/// Mean AP over IoU thresholds 0.50:0.05:0.95 (the paper's mAP50-95).
+double map50_95(const std::vector<EvalImage>& images);
+
+/// Precision/recall of the confidence-unaware detection set at one IoU
+/// threshold (diagnostics).
+struct PrCounts {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+  double precision() const {
+    size_t d = true_positives + false_positives;
+    return d == 0 ? 0.0 : static_cast<double>(true_positives) / static_cast<double>(d);
+  }
+  double recall() const {
+    size_t d = true_positives + false_negatives;
+    return d == 0 ? 0.0 : static_cast<double>(true_positives) / static_cast<double>(d);
+  }
+};
+
+PrCounts pr_counts(const std::vector<EvalImage>& images, double iou_threshold);
+
+}  // namespace pico::vision

@@ -1,0 +1,165 @@
+#include "vision/image.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+#include "tensor/ops.hpp"
+
+namespace pico::vision {
+
+ImageF gaussian_blur(const ImageF& image, double sigma) {
+  assert(image.rank() == 2);
+  if (sigma <= 0) return image;
+  const size_t h = image.dim(0), w = image.dim(1);
+
+  int radius = std::max(1, static_cast<int>(std::ceil(3 * sigma)));
+  std::vector<double> kernel(static_cast<size_t>(2 * radius + 1));
+  double sum = 0;
+  for (int i = -radius; i <= radius; ++i) {
+    double v = std::exp(-(i * i) / (2 * sigma * sigma));
+    kernel[static_cast<size_t>(i + radius)] = v;
+    sum += v;
+  }
+  for (double& v : kernel) v /= sum;
+
+  auto reflect = [](long i, long n) {
+    if (i < 0) i = -i - 1;
+    if (i >= n) i = 2 * n - i - 1;
+    return std::clamp(i, 0l, n - 1);
+  };
+
+  // Horizontal pass.
+  ImageF tmp(tensor::Shape{h, w});
+  for (size_t y = 0; y < h; ++y) {
+    for (size_t x = 0; x < w; ++x) {
+      double acc = 0;
+      for (int k = -radius; k <= radius; ++k) {
+        long xx = reflect(static_cast<long>(x) + k, static_cast<long>(w));
+        acc += kernel[static_cast<size_t>(k + radius)] *
+               image(y, static_cast<size_t>(xx));
+      }
+      tmp(y, x) = acc;
+    }
+  }
+  // Vertical pass.
+  ImageF out(tensor::Shape{h, w});
+  for (size_t y = 0; y < h; ++y) {
+    for (size_t x = 0; x < w; ++x) {
+      double acc = 0;
+      for (int k = -radius; k <= radius; ++k) {
+        long yy = reflect(static_cast<long>(y) + k, static_cast<long>(h));
+        acc += kernel[static_cast<size_t>(k + radius)] *
+               tmp(static_cast<size_t>(yy), x);
+      }
+      out(y, x) = acc;
+    }
+  }
+  return out;
+}
+
+double otsu_threshold(const ImageF& image) {
+  assert(image.rank() == 2 && image.size() > 0);
+  double lo = tensor::min_value(image), hi = tensor::max_value(image);
+  if (hi <= lo) return lo;
+
+  constexpr size_t kBins = 256;
+  std::vector<size_t> hist(kBins, 0);
+  double scale = (kBins - 1) / (hi - lo);
+  for (double v : image.data()) {
+    size_t bin = static_cast<size_t>((v - lo) * scale);
+    hist[std::min(bin, kBins - 1)] += 1;
+  }
+
+  const double total = static_cast<double>(image.size());
+  double sum_all = 0;
+  for (size_t i = 0; i < kBins; ++i) sum_all += static_cast<double>(i) * static_cast<double>(hist[i]);
+
+  double best_between = -1;
+  size_t best_bin = 0;
+  double w0 = 0, sum0 = 0;
+  for (size_t t = 0; t < kBins; ++t) {
+    w0 += static_cast<double>(hist[t]);
+    if (w0 == 0) continue;
+    double w1 = total - w0;
+    if (w1 == 0) break;
+    sum0 += static_cast<double>(t) * static_cast<double>(hist[t]);
+    double mu0 = sum0 / w0;
+    double mu1 = (sum_all - sum0) / w1;
+    double between = w0 * w1 * (mu0 - mu1) * (mu0 - mu1);
+    if (between > best_between) {
+      best_between = between;
+      best_bin = t;
+    }
+  }
+  return lo + (static_cast<double>(best_bin) + 0.5) / scale;
+}
+
+ImageU8 threshold_mask(const ImageF& image, double threshold) {
+  ImageU8 out(image.shape());
+  auto src = image.data();
+  auto dst = out.data();
+  for (size_t i = 0; i < src.size(); ++i) dst[i] = src[i] > threshold ? 1 : 0;
+  return out;
+}
+
+std::vector<Component> connected_components(const ImageU8& mask,
+                                            const ImageF& intensity) {
+  assert(mask.rank() == 2 && mask.shape() == intensity.shape());
+  const long h = static_cast<long>(mask.dim(0));
+  const long w = static_cast<long>(mask.dim(1));
+  std::vector<uint8_t> visited(static_cast<size_t>(h * w), 0);
+  std::vector<Component> out;
+
+  // BFS flood fill, 8-connectivity.
+  std::deque<std::pair<long, long>> frontier;
+  for (long sy = 0; sy < h; ++sy) {
+    for (long sx = 0; sx < w; ++sx) {
+      size_t start = static_cast<size_t>(sy * w + sx);
+      if (!mask[start] || visited[start]) continue;
+
+      Component comp;
+      double min_x = sx, max_x = sx, min_y = sy, max_y = sy;
+      double mx = 0, my = 0;
+      visited[start] = 1;
+      frontier.clear();
+      frontier.emplace_back(sy, sx);
+      while (!frontier.empty()) {
+        auto [y, x] = frontier.front();
+        frontier.pop_front();
+        double val = intensity(static_cast<size_t>(y), static_cast<size_t>(x));
+        comp.area += 1;
+        comp.mass += val;
+        mx += val * static_cast<double>(x);
+        my += val * static_cast<double>(y);
+        min_x = std::min(min_x, static_cast<double>(x));
+        max_x = std::max(max_x, static_cast<double>(x));
+        min_y = std::min(min_y, static_cast<double>(y));
+        max_y = std::max(max_y, static_cast<double>(y));
+        for (long dy = -1; dy <= 1; ++dy) {
+          for (long dx = -1; dx <= 1; ++dx) {
+            if (dy == 0 && dx == 0) continue;
+            long ny = y + dy, nx = x + dx;
+            if (ny < 0 || nx < 0 || ny >= h || nx >= w) continue;
+            size_t ni = static_cast<size_t>(ny * w + nx);
+            if (mask[ni] && !visited[ni]) {
+              visited[ni] = 1;
+              frontier.emplace_back(ny, nx);
+            }
+          }
+        }
+      }
+      if (comp.mass > 0) {
+        comp.centroid_x = mx / comp.mass;
+        comp.centroid_y = my / comp.mass;
+      }
+      // Box spans pixel extents inclusively.
+      comp.box = util::Box{min_x, min_y, max_x - min_x + 1, max_y - min_y + 1};
+      out.push_back(comp);
+    }
+  }
+  return out;
+}
+
+}  // namespace pico::vision

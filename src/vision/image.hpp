@@ -1,0 +1,39 @@
+#pragma once
+// Classical image operations underpinning the nanoparticle detector:
+// separable Gaussian blur, Otsu automatic thresholding, and connected
+// component labeling. All operate on rank-2 tensors.
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/geometry.hpp"
+
+namespace pico::vision {
+
+using ImageF = tensor::Tensor<double>;
+using ImageU8 = tensor::Tensor<uint8_t>;
+
+/// Separable Gaussian blur with reflective borders. sigma <= 0 returns input.
+ImageF gaussian_blur(const ImageF& image, double sigma);
+
+/// Otsu's threshold over a 256-bin histogram of a min-max normalized image.
+/// Returns the threshold in the image's own intensity units.
+double otsu_threshold(const ImageF& image);
+
+/// Binary mask: pixel > threshold.
+ImageU8 threshold_mask(const ImageF& image, double threshold);
+
+struct Component {
+  util::Box box;         ///< tight bounding box (pixel units)
+  size_t area = 0;       ///< member pixel count
+  double mass = 0;       ///< sum of source intensities over members
+  double centroid_x = 0;
+  double centroid_y = 0;
+};
+
+/// 8-connected component labeling of a binary mask; `intensity` (same shape)
+/// provides the mass/centroid weights.
+std::vector<Component> connected_components(const ImageU8& mask,
+                                            const ImageF& intensity);
+
+}  // namespace pico::vision

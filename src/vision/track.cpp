@@ -1,0 +1,64 @@
+#include "vision/track.hpp"
+
+#include <algorithm>
+
+namespace pico::vision {
+
+std::vector<int> GreedyIoUTracker::update(
+    const std::vector<Detection>& detections) {
+  std::vector<int> assignment(detections.size(), -1);
+
+  // All (track, detection) pairs above the IoU floor, best first.
+  struct Pair {
+    double iou;
+    size_t track;
+    size_t det;
+  };
+  std::vector<Pair> pairs;
+  for (size_t t = 0; t < tracks_.size(); ++t) {
+    for (size_t d = 0; d < detections.size(); ++d) {
+      double v = util::iou(tracks_[t].box, detections[d].box);
+      if (v >= config_.min_iou) pairs.push_back(Pair{v, t, d});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair& a, const Pair& b) { return a.iou > b.iou; });
+
+  std::vector<uint8_t> track_used(tracks_.size(), 0);
+  std::vector<uint8_t> det_used(detections.size(), 0);
+  for (const auto& p : pairs) {
+    if (track_used[p.track] || det_used[p.det]) continue;
+    track_used[p.track] = 1;
+    det_used[p.det] = 1;
+    TrackState& tr = tracks_[p.track];
+    tr.box = detections[p.det].box;
+    tr.missed = 0;
+    tr.hits += 1;
+    assignment[p.det] = tr.id;
+  }
+
+  // Unmatched tracks age; overdue ones retire.
+  for (size_t t = 0; t < tracks_.size(); ++t) {
+    tracks_[t].age += 1;
+    if (!track_used[t]) tracks_[t].missed += 1;
+  }
+  tracks_.erase(std::remove_if(tracks_.begin(), tracks_.end(),
+                               [&](const TrackState& tr) {
+                                 return tr.missed > config_.max_missed;
+                               }),
+                tracks_.end());
+
+  // Unmatched detections found new tracks.
+  for (size_t d = 0; d < detections.size(); ++d) {
+    if (det_used[d]) continue;
+    TrackState tr;
+    tr.id = next_id_++;
+    tr.box = detections[d].box;
+    tr.hits = 1;
+    tracks_.push_back(tr);
+    assignment[d] = tr.id;
+  }
+  return assignment;
+}
+
+}  // namespace pico::vision

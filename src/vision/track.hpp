@@ -1,0 +1,44 @@
+#pragma once
+// Greedy IoU tracker: associates detections across frames into persistent
+// tracks (the paper's model "detects and tracks gold nanoparticles as they
+// move"). Matches are made highest-IoU-first; unmatched detections open new
+// tracks; tracks missing for `max_missed` frames are retired.
+#include <cstdint>
+#include <vector>
+
+#include "vision/detect.hpp"
+
+namespace pico::vision {
+
+struct TrackState {
+  int id = 0;
+  util::Box box;          ///< latest position
+  int age = 0;            ///< frames since birth
+  int missed = 0;         ///< consecutive frames without a match
+  size_t hits = 0;        ///< matched detections over lifetime
+};
+
+struct TrackerConfig {
+  double min_iou = 0.2;   ///< association threshold
+  int max_missed = 5;     ///< frames a track survives unmatched
+};
+
+class GreedyIoUTracker {
+ public:
+  explicit GreedyIoUTracker(TrackerConfig config = {}) : config_(config) {}
+
+  /// Advance one frame; returns the detection-to-track-id assignment
+  /// (parallel to `detections`; -1 for none, which cannot happen here since
+  /// unmatched detections spawn tracks).
+  std::vector<int> update(const std::vector<Detection>& detections);
+
+  const std::vector<TrackState>& active_tracks() const { return tracks_; }
+  int total_tracks_created() const { return next_id_; }
+
+ private:
+  TrackerConfig config_;
+  std::vector<TrackState> tracks_;
+  int next_id_ = 0;
+};
+
+}  // namespace pico::vision

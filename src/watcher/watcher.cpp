@@ -1,0 +1,106 @@
+#include "watcher/watcher.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/strings.hpp"
+
+namespace pico::watcher {
+
+namespace fs = std::filesystem;
+
+Checkpoint::Checkpoint(std::string journal_path)
+    : journal_path_(std::move(journal_path)) {}
+
+std::string Checkpoint::key(const std::string& path, int64_t size) {
+  return path + "\t" + std::to_string(size);
+}
+
+util::Status Checkpoint::load() {
+  entries_.clear();
+  std::ifstream in(journal_path_);
+  if (!in.is_open()) return util::Status::ok();  // fresh journal
+  std::string line;
+  while (std::getline(in, line)) {
+    auto trimmed = util::trim(line);
+    if (!trimmed.empty()) entries_.insert(std::string(trimmed));
+  }
+  return util::Status::ok();
+}
+
+bool Checkpoint::processed(const std::string& path, int64_t size) const {
+  return entries_.count(key(path, size)) > 0;
+}
+
+util::Status Checkpoint::mark(const std::string& path, int64_t size) {
+  std::string k = key(path, size);
+  if (!entries_.insert(k).second) return util::Status::ok();
+  fs::path p(journal_path_);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(journal_path_, std::ios::app);
+  if (!out.is_open()) {
+    return util::Status::err("cannot append to journal " + journal_path_, "io");
+  }
+  out << k << "\n";
+  return util::Status::ok();
+}
+
+DirectoryWatcher::DirectoryWatcher(WatcherConfig config, Checkpoint* checkpoint)
+    : config_(std::move(config)), checkpoint_(checkpoint) {}
+
+bool DirectoryWatcher::extension_matches(const std::string& path) const {
+  if (config_.extensions.empty()) return true;
+  for (const auto& ext : config_.extensions) {
+    if (util::ends_with(path, ext)) return true;
+  }
+  return false;
+}
+
+std::vector<FileEvent> DirectoryWatcher::scan_once() {
+  std::vector<FileEvent> events;
+  std::error_code ec;
+  if (!fs::is_directory(config_.directory, ec)) return events;
+
+  std::set<std::string> seen;
+  for (const auto& entry : fs::directory_iterator(config_.directory, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file(ec)) continue;
+    std::string path = entry.path().string();
+    if (!extension_matches(path)) continue;
+    int64_t size = static_cast<int64_t>(entry.file_size(ec));
+    if (ec) continue;
+    seen.insert(path);
+
+    if (checkpoint_ && checkpoint_->processed(path, size)) continue;
+
+    auto it = pending_.find(path);
+    if (it == pending_.end()) {
+      it = pending_.emplace(path, std::make_pair(size, 1)).first;
+    } else if (it->second.first != size) {
+      // Still being written: restart the stability count.
+      it->second = {size, 1};
+    } else {
+      ++it->second.second;
+    }
+    if (it->second.second >= config_.stable_scans) {
+      events.push_back(FileEvent{path, size});
+      if (checkpoint_) checkpoint_->mark(path, size);
+      pending_.erase(it);
+    }
+  }
+
+  // Drop tracking state for files that vanished.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (!seen.count(it->first)) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return events;
+}
+
+}  // namespace pico::watcher

@@ -1,0 +1,79 @@
+#pragma once
+// Real-filesystem directory watcher + checkpoint journal: the on-instrument
+// client application from Sec. 2.2.1. A polling scanner (the portable
+// equivalent of the watchdog package) detects newly created files, waits for
+// them to stabilize (instrument software writes large files incrementally),
+// and fires a callback per new file. The checkpoint journal records processed
+// files so a rebooted client does not re-trigger flows ("avoid undesired
+// flow repeats ... after interruption").
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace pico::watcher {
+
+/// Persistent set of already-processed files, keyed by path + size (a file
+/// rewritten at a different size is treated as new data).
+class Checkpoint {
+ public:
+  explicit Checkpoint(std::string journal_path);
+
+  /// Load existing journal from disk (missing file = empty checkpoint).
+  util::Status load();
+
+  bool processed(const std::string& path, int64_t size) const;
+
+  /// Record and append to the journal file immediately (crash-safe).
+  util::Status mark(const std::string& path, int64_t size);
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  static std::string key(const std::string& path, int64_t size);
+  std::string journal_path_;
+  std::set<std::string> entries_;
+};
+
+struct WatcherConfig {
+  std::string directory;
+  /// Only react to files with one of these extensions (empty = all).
+  std::vector<std::string> extensions = {".emd"};
+  double poll_interval_s = 1.0;
+  /// Consecutive stable size observations required before a file is
+  /// considered complete.
+  int stable_scans = 2;
+};
+
+/// Event describing a newly stable file.
+struct FileEvent {
+  std::string path;
+  int64_t size = 0;
+};
+
+/// Polling watcher over a real directory. Call scan_once() from your own
+/// cadence (examples use a wall-clock loop; tests call it directly).
+class DirectoryWatcher {
+ public:
+  DirectoryWatcher(WatcherConfig config, Checkpoint* checkpoint);
+
+  /// One scan pass: returns files that just became stable and unprocessed.
+  /// Each returned file is marked in the checkpoint.
+  std::vector<FileEvent> scan_once();
+
+  const WatcherConfig& config() const { return config_; }
+
+ private:
+  bool extension_matches(const std::string& path) const;
+
+  WatcherConfig config_;
+  Checkpoint* checkpoint_;
+  /// path -> (last size, consecutive stable count)
+  std::map<std::string, std::pair<int64_t, int>> pending_;
+};
+
+}  // namespace pico::watcher

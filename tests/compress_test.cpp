@@ -1,0 +1,223 @@
+// Codec tests: exact round-trips on structured and adversarial inputs, frame
+// integrity, fuzz safety of decoders.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "compress/codec.hpp"
+#include "util/rng.hpp"
+
+namespace pico::compress {
+namespace {
+
+std::vector<const Codec*> all_codecs() {
+  static NullCodec null_codec;
+  static RleCodec rle;
+  static DeltaCodec delta;
+  static LzCodec lz;
+  static ShuffleLzCodec shuffle;
+  return {&null_codec, &rle, &delta, &lz, &shuffle};
+}
+
+Bytes make_case(int which, util::Rng& rng) {
+  switch (which % 7) {
+    case 0: return {};
+    case 1: return Bytes(1, 0x42);
+    case 2: return Bytes(10'000, 0);  // long run
+    case 3: {  // random noise (incompressible)
+      Bytes b(4096);
+      for (auto& v : b) v = static_cast<uint8_t>(rng.uniform_int(0, 255));
+      return b;
+    }
+    case 4: {  // smooth ramp (delta-friendly)
+      Bytes b(4096);
+      for (size_t i = 0; i < b.size(); ++i) b[i] = static_cast<uint8_t>(i / 16);
+      return b;
+    }
+    case 5: {  // repeated text (LZ-friendly)
+      std::string s;
+      for (int i = 0; i < 200; ++i) s += "the dynamic picoprobe at argonne ";
+      return Bytes(s.begin(), s.end());
+    }
+    default: {  // alternating short runs
+      Bytes b;
+      for (int i = 0; i < 1000; ++i) {
+        b.push_back(static_cast<uint8_t>(i & 1 ? 0xAA : 0x55));
+        if (i % 3 == 0) b.push_back(0x55);
+      }
+      return b;
+    }
+  }
+}
+
+class CodecRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CodecRoundTrip, DecodeEncodeIsIdentity) {
+  auto [codec_idx, case_idx] = GetParam();
+  const Codec* codec = all_codecs()[static_cast<size_t>(codec_idx)];
+  util::Rng rng(static_cast<uint64_t>(case_idx) * 7919 + 17);
+  Bytes input = make_case(case_idx, rng);
+  Bytes packed = codec->compress(input);
+  auto unpacked = codec->decompress(packed);
+  ASSERT_TRUE(unpacked) << codec->name();
+  EXPECT_EQ(unpacked.value(), input) << codec->name() << " case " << case_idx;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecsAllCases, CodecRoundTrip,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Range(0, 14)));
+
+TEST(Codec, RleCompressesRuns) {
+  RleCodec rle;
+  Bytes runs(100'000, 7);
+  Bytes packed = rle.compress(runs);
+  EXPECT_LT(packed.size(), runs.size() / 20);
+}
+
+TEST(Codec, DeltaBeatsRleOnRamps) {
+  // Strictly increasing intensities: no byte-level runs at all, so RLE can
+  // only expand, while the delta transform turns the ramp into all-ones.
+  Bytes ramp(65536);
+  for (size_t i = 0; i < ramp.size(); ++i) ramp[i] = static_cast<uint8_t>(i);
+  size_t rle_size = RleCodec{}.compress(ramp).size();
+  size_t delta_size = DeltaCodec{}.compress(ramp).size();
+  EXPECT_LT(delta_size, rle_size / 10);
+}
+
+TEST(Codec, LzCompressesRepeatedText) {
+  std::string s;
+  for (int i = 0; i < 500; ++i) s += "hyperspectral imaging data flow ";
+  Bytes input(s.begin(), s.end());
+  Bytes packed = LzCodec{}.compress(input);
+  EXPECT_LT(packed.size(), input.size() / 5);
+}
+
+TEST(Codec, RandomDataRoundTripsEvenWhenIncompressible) {
+  util::Rng rng(0xBAD);
+  Bytes noise(100'000);
+  for (auto& v : noise) v = static_cast<uint8_t>(rng.uniform_int(0, 255));
+  for (const Codec* codec : all_codecs()) {
+    auto out = codec->decompress(codec->compress(noise));
+    ASSERT_TRUE(out) << codec->name();
+    EXPECT_EQ(out.value(), noise) << codec->name();
+  }
+}
+
+TEST(Codec, DecodersSurviveFuzzedStreams) {
+  util::Rng rng(0xF22);
+  for (const Codec* codec : all_codecs()) {
+    if (codec->name() == "null") continue;
+    for (int trial = 0; trial < 300; ++trial) {
+      Bytes garbage(static_cast<size_t>(rng.uniform_int(0, 200)));
+      for (auto& v : garbage) v = static_cast<uint8_t>(rng.uniform_int(0, 255));
+      auto out = codec->decompress(garbage);  // must not crash or hang
+      (void)out;
+    }
+  }
+}
+
+TEST(Codec, MutatedValidStreamsDetectedOrDecodedSafely) {
+  util::Rng rng(0x5EED);
+  std::string s;
+  for (int i = 0; i < 50; ++i) s += "pattern pattern pattern ";
+  Bytes input(s.begin(), s.end());
+  for (const Codec* codec : all_codecs()) {
+    Bytes packed = codec->compress(input);
+    if (packed.empty()) continue;
+    for (int trial = 0; trial < 100; ++trial) {
+      Bytes mutated = packed;
+      size_t pos = static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(mutated.size() - 1)));
+      mutated[pos] ^= static_cast<uint8_t>(rng.uniform_int(1, 255));
+      auto out = codec->decompress(mutated);  // either error or some bytes
+      (void)out;
+    }
+  }
+}
+
+TEST(Frame, RoundTripWithIntegrity) {
+  const auto& registry = CodecRegistry::standard();
+  Bytes input;
+  for (int i = 0; i < 3000; ++i) input.push_back(static_cast<uint8_t>(i % 97));
+  for (const auto& name : registry.names()) {
+    const Codec* codec = registry.find(name);
+    Bytes frame = encode_frame(*codec, input);
+    auto out = decode_frame(registry, frame);
+    ASSERT_TRUE(out) << name;
+    EXPECT_EQ(out.value(), input) << name;
+  }
+}
+
+TEST(Frame, DetectsBodyCorruption) {
+  const auto& registry = CodecRegistry::standard();
+  Bytes input(5000, 3);
+  Bytes frame = encode_frame(*registry.find("rle"), input);
+  frame[frame.size() - 1] ^= 0x01;
+  auto out = decode_frame(registry, frame);
+  EXPECT_FALSE(out);
+}
+
+TEST(Frame, DetectsUnknownCodecAndBadMagic) {
+  const auto& registry = CodecRegistry::standard();
+  Bytes input(100, 1);
+  Bytes frame = encode_frame(*registry.find("lz"), input);
+  {
+    auto bad = frame;
+    bad[0] = 'x';
+    EXPECT_FALSE(decode_frame(registry, bad));
+  }
+  {
+    CodecRegistry empty;
+    EXPECT_FALSE(decode_frame(empty, frame));
+  }
+}
+
+TEST(Registry, StandardHasAllCodecs) {
+  const auto& r = CodecRegistry::standard();
+  for (const char* name : {"null", "rle", "delta", "lz", "shuffle-lz"}) {
+    EXPECT_NE(r.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(r.find("zstd"), nullptr);
+  EXPECT_EQ(r.names().size(), 5u);
+}
+
+TEST(Codec, ShuffleLzExcelsOnFloatData) {
+  // f64 Poisson counts: exponents repeat across words; the shuffle filter
+  // exposes that to LZ far better than LZ alone.
+  util::Rng rng(0x5457);
+  std::vector<double> values(16384);
+  for (auto& v : values) v = static_cast<double>(rng.poisson(12.0));
+  Bytes raw(values.size() * sizeof(double));
+  std::memcpy(raw.data(), values.data(), raw.size());
+
+  ShuffleLzCodec shuffle;
+  Bytes packed = shuffle.compress(raw);
+  auto unpacked = shuffle.decompress(packed);
+  ASSERT_TRUE(unpacked);
+  EXPECT_EQ(unpacked.value(), raw);
+  size_t plain_lz = LzCodec{}.compress(raw).size();
+  EXPECT_LT(packed.size(), plain_lz);          // shuffle helps
+  EXPECT_LT(packed.size(), raw.size() / 4);    // and compresses well overall
+}
+
+TEST(Codec, ShuffleHandlesNonMultipleOfStride) {
+  ShuffleLzCodec shuffle;
+  for (size_t n : {0UL, 1UL, 7UL, 9UL, 17UL, 1001UL}) {
+    Bytes input(n);
+    for (size_t i = 0; i < n; ++i) input[i] = static_cast<uint8_t>(i * 37);
+    auto out = shuffle.decompress(shuffle.compress(input));
+    ASSERT_TRUE(out) << n;
+    EXPECT_EQ(out.value(), input) << n;
+  }
+}
+
+TEST(Stats, RatioComputation) {
+  CompressionStats s{"rle", 1000, 250};
+  EXPECT_DOUBLE_EQ(s.ratio(), 4.0);
+  CompressionStats zero{"x", 10, 0};
+  EXPECT_DOUBLE_EQ(zero.ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace pico::compress

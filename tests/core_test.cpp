@@ -1,0 +1,472 @@
+// Core tests: facility wiring, providers, flow definitions with real
+// data-plane payloads, cost model, campaign mechanics, report rendering.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/campaign.hpp"
+#include "core/cost_model.hpp"
+#include "core/facility.hpp"
+#include "core/flows.hpp"
+#include "core/report.hpp"
+#include "instrument/hyperspectral_gen.hpp"
+#include "instrument/spatiotemporal_gen.hpp"
+#include "util/strings.hpp"
+#include "video/mpk.hpp"
+
+namespace pico::core {
+namespace {
+
+using util::Json;
+
+FacilityConfig test_config(const std::string& tag) {
+  FacilityConfig fc;
+  fc.artifact_dir = testing::TempDir() + "/core_test_artifacts_" + tag;
+  fc.seed = 99;
+  // Fast knobs for tests.
+  fc.cost.provision_delay_s = 5.0;
+  fc.cost.provision_jitter_s = 0.0;
+  fc.cost.env_warmup_s = 1.0;
+  fc.cost.env_warmup_jitter_s = 0.0;
+  return fc;
+}
+
+TEST(CostModel, Formulas) {
+  CostModel cm;
+  EXPECT_NEAR(cm.hyper_analysis_cost(91'000'000),
+              cm.hyper_analysis_base_s + 91 * cm.hyper_analysis_s_per_mb, 1e-9);
+  double fast = cm.convert_cost(1'200'000'000, false);
+  double naive = cm.convert_cost(1'200'000'000, true);
+  EXPECT_NEAR(naive / fast, cm.convert_naive_multiplier, 1e-9);
+  double total = cm.spatiotemporal_analysis_cost(1'200'000'000, 600, false);
+  EXPECT_NEAR(total,
+              fast + 600 * cm.inference_s_per_frame + cm.annotate_base_s, 1e-9);
+  // The conversion dominates the spatiotemporal compute phase (paper claim).
+  EXPECT_GT(fast, 600 * cm.inference_s_per_frame);
+  EXPECT_FALSE(cm.to_json().as_object().empty());
+}
+
+TEST(Facility, WiringAndTokens) {
+  Facility facility(test_config("wiring"));
+  EXPECT_EQ(facility.transfer().endpoint_count(), 2u);
+  EXPECT_EQ(facility.pbs().total_nodes(), 16);
+  // Operator token has every scope.
+  for (const char* scope : {"transfer", "compute", "search.ingest", "flows"}) {
+    EXPECT_TRUE(facility.auth().validate(facility.user_token(), scope)) << scope;
+  }
+  // Topology routes user -> eagle.
+  auto user = facility.topology().node("userpc");
+  auto eagle = facility.topology().node("eagle");
+  ASSERT_TRUE(user);
+  ASSERT_TRUE(eagle);
+  EXPECT_TRUE(facility.topology().route(user.value(), eagle.value()));
+}
+
+TEST(Facility, StageFiles) {
+  Facility facility(test_config("stage"));
+  ASSERT_TRUE(facility.stage_virtual_file("staging/a.emd", 1000));
+  EXPECT_TRUE(facility.user_store().exists("staging/a.emd"));
+  ASSERT_TRUE(facility.stage_real_file("staging/b.emd", {1, 2, 3}));
+  auto obj = facility.user_store().get("staging/b.emd");
+  ASSERT_TRUE(obj);
+  EXPECT_TRUE(obj.value()->has_content());
+}
+
+TEST(Flows, HyperspectralEndToEndWithRealPayload) {
+  FacilityConfig fc = test_config("hyper_e2e");
+  Facility facility(fc);
+
+  // Build a small real hyperspectral EMD file with gold inclusions.
+  instrument::HyperspectralConfig gen;
+  gen.height = 32;
+  gen.width = 32;
+  gen.channels = 256;
+  gen.dose = 120;
+  gen.background = {{"C", 0.8}, {"O", 0.2}};
+  gen.particles = {{16, 16, 7, {{"Au", 0.9}, {"C", 0.1}}}};
+  auto sample = instrument::generate_hyperspectral(gen);
+  emd::MicroscopeSettings scope;
+  auto file = instrument::to_emd(sample, gen, scope, "2023-04-07T15:00:00Z",
+                                 "gold on carbon film", "operator@anl.gov");
+  ASSERT_TRUE(facility.stage_real_file("staging/real.emd", file.to_bytes()));
+
+  FlowInput input;
+  input.file = "staging/real.emd";
+  input.dest = "eagle/real.emd";
+  input.artifact_prefix = "real";
+  input.title = "Real hyperspectral run";
+  input.subject = "exp-real-1";
+  input.owner = facility.user_identity();
+  auto run = facility.flows().start(hyperspectral_flow(facility),
+                                    input.to_json(), facility.user_token(),
+                                    "e2e");
+  ASSERT_TRUE(run);
+  facility.engine().run();
+
+  const flow::RunInfo& info = facility.flows().info(run.value());
+  ASSERT_EQ(info.state, flow::RunState::Succeeded) << info.error;
+
+  // Data plane: file landed on Eagle bit-exact.
+  auto delivered = facility.eagle().get("eagle/real.emd");
+  ASSERT_TRUE(delivered);
+  EXPECT_EQ(delivered.value()->crc64,
+            facility.user_store().get("staging/real.emd").value()->crc64);
+
+  // Search: record ingested, gold identified, visible to owner only.
+  auto doc = facility.index().get("exp-real-1", facility.user_identity());
+  ASSERT_TRUE(doc);
+  bool has_au = false;
+  for (const auto& s : doc.value()->content.at("subjects").as_array()) {
+    if (s.as_string() == "Au") has_au = true;
+  }
+  EXPECT_TRUE(has_au) << doc.value()->content.dump(2);
+  EXPECT_FALSE(facility.index().get("exp-real-1"));  // anonymous denied
+
+  // Artifacts written to the real filesystem.
+  const auto& artifacts = doc.value()->content.at("artifacts").as_array();
+  ASSERT_GE(artifacts.size(), 2u);
+  for (const auto& a : artifacts) {
+    EXPECT_TRUE(std::filesystem::exists(a.as_string())) << a.as_string();
+  }
+
+  // Timing decomposition present for all three steps.
+  const flow::RunTiming& timing = facility.flows().timing(run.value());
+  ASSERT_EQ(timing.steps.size(), 3u);
+  EXPECT_GT(timing.active_s(), 0);
+  EXPECT_GT(timing.overhead_s(), 0);
+}
+
+TEST(Flows, SpatiotemporalEndToEndWithRealPayload) {
+  FacilityConfig fc = test_config("spatio_e2e");
+  Facility facility(fc);
+
+  instrument::SpatiotemporalConfig gen;
+  gen.frames = 16;
+  gen.height = 48;
+  gen.width = 48;
+  gen.particle_count = 4;
+  auto sample = instrument::generate_spatiotemporal(gen);
+  emd::MicroscopeSettings scope;
+  auto file = instrument::to_emd(sample, gen, scope, "2023-04-08T09:00:00Z",
+                                 "gold nanoparticles", "operator@anl.gov");
+  ASSERT_TRUE(facility.stage_real_file("staging/movie.emd", file.to_bytes()));
+
+  FlowInput input;
+  input.file = "staging/movie.emd";
+  input.dest = "eagle/movie.emd";
+  input.artifact_prefix = "movie";
+  input.title = "Nanoparticle movie";
+  input.subject = "exp-movie-1";
+  input.frames = 16;
+  auto run = facility.flows().start(spatiotemporal_flow(facility),
+                                    input.to_json(), facility.user_token());
+  ASSERT_TRUE(run);
+  facility.engine().run();
+
+  const flow::RunInfo& info = facility.flows().info(run.value());
+  ASSERT_EQ(info.state, flow::RunState::Succeeded) << info.error;
+
+  auto doc = facility.index().get("exp-movie-1");  // public (no owner set)
+  ASSERT_TRUE(doc);
+  const Json& analysis = doc.value()->content.at("analysis");
+  EXPECT_EQ(analysis.at("frames").as_int(), 16);
+  EXPECT_GT(analysis.at("total_detections").as_int(), 0);
+  EXPECT_GT(analysis.at("tracks").as_int(), 0);
+
+  // The annotated MPK artifact exists and parses.
+  bool found_mpk = false;
+  for (const auto& a : doc.value()->content.at("artifacts").as_array()) {
+    if (util::ends_with(a.as_string(), ".mpk")) {
+      found_mpk = true;
+      auto mpk = video::MpkVideo::load(a.as_string());
+      ASSERT_TRUE(mpk);
+      EXPECT_EQ(mpk.value().frame_count(), 16u);
+    }
+  }
+  EXPECT_TRUE(found_mpk);
+}
+
+TEST(Flows, MissingSourceFileFailsFlow) {
+  Facility facility(test_config("missing"));
+  FlowInput input;
+  input.file = "staging/nope.emd";
+  input.dest = "eagle/nope.emd";
+  input.subject = "exp-missing";
+  auto run = facility.flows().start(hyperspectral_flow(facility),
+                                    input.to_json(), facility.user_token());
+  ASSERT_TRUE(run);
+  facility.engine().run();
+  EXPECT_EQ(facility.flows().info(run.value()).state, flow::RunState::Failed);
+  EXPECT_EQ(facility.index().size(), 0u);
+}
+
+TEST(Flows, VirtualFileProducesSchemaValidRecord) {
+  Facility facility(test_config("virtual"));
+  ASSERT_TRUE(facility.stage_virtual_file("staging/v.emd", 91'000'000));
+  FlowInput input;
+  input.file = "staging/v.emd";
+  input.dest = "eagle/v.emd";
+  input.subject = "exp-virtual";
+  input.title = "Virtual campaign file";
+  auto run = facility.flows().start(hyperspectral_flow(facility),
+                                    input.to_json(), facility.user_token());
+  ASSERT_TRUE(run);
+  facility.engine().run();
+  ASSERT_EQ(facility.flows().info(run.value()).state, flow::RunState::Succeeded)
+      << facility.flows().info(run.value()).error;
+  auto doc = facility.index().get("exp-virtual", facility.user_identity());
+  ASSERT_TRUE(doc);
+  EXPECT_TRUE(doc.value()->content.at_path("instrument.virtual").as_bool());
+}
+
+TEST(Campaign, SmallCampaignProducesConsistentStats) {
+  FacilityConfig fc = test_config("campaign");
+  Facility facility(fc);
+  CampaignConfig cfg;
+  cfg.use_case = UseCase::Hyperspectral;
+  cfg.start_period_s = 30;
+  cfg.duration_s = 600;  // 10 virtual minutes
+  cfg.file_bytes = 91'000'000;
+  cfg.label_prefix = "t1";
+  CampaignResult result = run_campaign(facility, cfg);
+
+  EXPECT_GT(result.in_window.size(), 5u);
+  EXPECT_EQ(result.failed, 0u);
+  for (const auto& f : result.in_window) {
+    EXPECT_TRUE(f.success);
+    EXPECT_GT(f.timing.total_s(), 0);
+    EXPECT_NEAR(f.timing.total_s(),
+                f.timing.active_s() + f.timing.overhead_s(), 1e-9);
+    EXPECT_LE(f.timing.finished.seconds(), cfg.duration_s);
+  }
+  // Search index holds one record per completed flow (late ones may add more).
+  EXPECT_GE(facility.index().size(), result.in_window.size());
+  // Stats helpers agree with the flow list.
+  EXPECT_EQ(result.runtime_stats().count(), result.in_window.size());
+  EXPECT_GT(result.overhead_stats().median(), 0);
+  EXPECT_GT(result.step_active_stats("Transfer").median(), 0);
+  EXPECT_GT(result.step_active_stats("Analyze").median(), 0);
+  EXPECT_GT(result.step_active_stats("Publish").median(), 0);
+  EXPECT_NEAR(result.total_data_gb(),
+              0.091 * static_cast<double>(result.in_window.size()), 1e-6);
+}
+
+TEST(Campaign, DeterministicForSameSeed) {
+  auto run_once = [] {
+    FacilityConfig fc = test_config("det");
+    fc.seed = 777;
+    Facility facility(fc);
+    CampaignConfig cfg;
+    cfg.use_case = UseCase::Hyperspectral;
+    cfg.start_period_s = 30;
+    cfg.duration_s = 400;
+    cfg.file_bytes = 91'000'000;
+    return run_campaign(facility, cfg);
+  };
+  CampaignResult a = run_once();
+  CampaignResult b = run_once();
+  ASSERT_EQ(a.in_window.size(), b.in_window.size());
+  for (size_t i = 0; i < a.in_window.size(); ++i) {
+    EXPECT_EQ(a.in_window[i].timing.total_s(), b.in_window[i].timing.total_s());
+    EXPECT_EQ(a.in_window[i].timing.overhead_s(),
+              b.in_window[i].timing.overhead_s());
+  }
+}
+
+TEST(Campaign, DifferentSeedsDiffer) {
+  auto run_with_seed = [](uint64_t seed) {
+    FacilityConfig fc = test_config("seed" + std::to_string(seed));
+    fc.seed = seed;
+    Facility facility(fc);
+    CampaignConfig cfg;
+    cfg.use_case = UseCase::Hyperspectral;
+    cfg.duration_s = 300;
+    cfg.file_bytes = 91'000'000;
+    return run_campaign(facility, cfg);
+  };
+  CampaignResult a = run_with_seed(1);
+  CampaignResult b = run_with_seed(2);
+  ASSERT_FALSE(a.in_window.empty());
+  ASSERT_FALSE(b.in_window.empty());
+  EXPECT_NE(a.in_window[0].timing.total_s(), b.in_window[0].timing.total_s());
+}
+
+TEST(Report, Table1AndFig4Render) {
+  FacilityConfig fc = test_config("report");
+  Facility f1(fc);
+  CampaignConfig hyper_cfg;
+  hyper_cfg.use_case = UseCase::Hyperspectral;
+  hyper_cfg.duration_s = 300;
+  hyper_cfg.file_bytes = 91'000'000;
+  CampaignResult hyper = run_campaign(f1, hyper_cfg);
+
+  FacilityConfig fc2 = test_config("report2");
+  Facility f2(fc2);
+  CampaignConfig spatio_cfg;
+  spatio_cfg.use_case = UseCase::Spatiotemporal;
+  spatio_cfg.start_period_s = 120;
+  spatio_cfg.duration_s = 900;
+  spatio_cfg.file_bytes = 1'200'000'000;
+  CampaignResult spatio = run_campaign(f2, spatio_cfg);
+
+  std::string table = render_table1(hyper, spatio);
+  EXPECT_NE(table.find("Total flow runs"), std::string::npos);
+  EXPECT_NE(table.find("Median overhead (%)"), std::string::npos);
+  EXPECT_NE(table.find("49.2"), std::string::npos);  // paper reference column
+
+  std::string fig4 = render_fig4(hyper);
+  EXPECT_NE(fig4.find("Transfer"), std::string::npos);
+  EXPECT_NE(fig4.find("Overhead"), std::string::npos);
+
+  std::string csv = flows_csv(hyper);
+  EXPECT_NE(csv.find("transfer_lag_s"), std::string::npos);
+  // Header + one line per flow.
+  size_t lines = static_cast<size_t>(
+      std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, hyper.in_window.size() + 1);
+}
+
+TEST(Report, PaperReferenceValues) {
+  auto h = PaperTable1::hyperspectral();
+  EXPECT_EQ(h.total_runs, 72);
+  EXPECT_DOUBLE_EQ(h.median_overhead_pct, 49.2);
+  auto s = PaperTable1::spatiotemporal();
+  EXPECT_EQ(s.total_runs, 18);
+  EXPECT_DOUBLE_EQ(s.transfer_mb, 1200);
+}
+
+}  // namespace
+}  // namespace pico::core
+
+// ---------------------------------------------------------------- client ----
+#include <fstream>
+
+#include "core/client.hpp"
+#include "util/bytes.hpp"
+#include "instrument/spatiotemporal_gen.hpp"
+
+namespace pico::core {
+namespace {
+
+struct ClientFixture : ::testing::Test {
+  std::string dir;
+
+  void SetUp() override {
+    dir = testing::TempDir() + "/client_" +
+          ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+  }
+
+  void drop_hyper(const std::string& name) {
+    instrument::HyperspectralConfig gen;
+    gen.height = 16;
+    gen.width = 16;
+    gen.channels = 32;
+    gen.background = {{"C", 1.0}};
+    auto sample = instrument::generate_hyperspectral(gen);
+    emd::MicroscopeSettings scope;
+    auto file = instrument::to_emd(sample, gen, scope, "2023-04-07T10:00:00Z",
+                                   "client test", "op@anl.gov");
+    ASSERT_TRUE(util::write_file(dir + "/" + name, file.to_bytes()));
+  }
+
+  void drop_spatio(const std::string& name) {
+    instrument::SpatiotemporalConfig gen;
+    gen.frames = 4;
+    gen.height = 24;
+    gen.width = 24;
+    gen.particle_count = 2;
+    auto sample = instrument::generate_spatiotemporal(gen);
+    emd::MicroscopeSettings scope;
+    auto file = instrument::to_emd(sample, gen, scope, "2023-04-07T11:00:00Z",
+                                   "client test", "op@anl.gov");
+    ASSERT_TRUE(util::write_file(dir + "/" + name, file.to_bytes()));
+  }
+
+  ClientConfig client_config() {
+    ClientConfig cfg;
+    cfg.watch_dir = dir;
+    cfg.stable_scans = 1;
+    return cfg;
+  }
+};
+
+TEST_F(ClientFixture, ClassifiesAndLaunchesBothFlowKinds) {
+  Facility facility(test_config("client_both"));
+  TransferClient client(&facility, client_config());
+  ASSERT_TRUE(client.init());
+
+  drop_hyper("a.emd");
+  drop_spatio("b.emd");
+  auto launched = client.poll_once();
+  ASSERT_EQ(launched.size(), 2u);
+  client.drain();
+
+  int hyper = 0, spatio = 0;
+  for (const auto& l : launched) {
+    EXPECT_EQ(facility.flows().info(l.run).state, flow::RunState::Succeeded)
+        << facility.flows().info(l.run).error;
+    if (l.kind == emd::SignalKind::Hyperspectral) ++hyper;
+    else ++spatio;
+    EXPECT_TRUE(facility.index().get(l.subject));
+  }
+  EXPECT_EQ(hyper, 1);
+  EXPECT_EQ(spatio, 1);
+  EXPECT_TRUE(client.errors().empty());
+}
+
+TEST_F(ClientFixture, CheckpointPreventsDuplicateFlowsAcrossRestart) {
+  Facility facility(test_config("client_ckpt"));
+  {
+    TransferClient client(&facility, client_config());
+    ASSERT_TRUE(client.init());
+    drop_hyper("once.emd");
+    ASSERT_EQ(client.poll_once().size(), 1u);
+    client.drain();
+  }
+  // "Reboot" the client app against the same directory.
+  {
+    TransferClient client(&facility, client_config());
+    ASSERT_TRUE(client.init());
+    EXPECT_EQ(client.processed_count(), 1u);
+    EXPECT_TRUE(client.poll_once().empty());
+  }
+}
+
+TEST_F(ClientFixture, PoisonedFileSkippedWithoutWedging) {
+  Facility facility(test_config("client_poison"));
+  TransferClient client(&facility, client_config());
+  ASSERT_TRUE(client.init());
+
+  ASSERT_TRUE(util::write_file(dir + "/garbage.emd",
+                               std::string("this is not an EMD file")));
+  drop_hyper("good.emd");
+  auto launched = client.poll_once();
+  ASSERT_EQ(launched.size(), 1u);  // the good file still flows
+  client.drain();
+  EXPECT_EQ(facility.flows().info(launched[0].run).state,
+            flow::RunState::Succeeded);
+  ASSERT_EQ(client.errors().size(), 1u);
+  EXPECT_NE(client.errors()[0].find("garbage.emd"), std::string::npos);
+  // The poisoned file stays checkpointed: no retry loop.
+  EXPECT_TRUE(client.poll_once().empty());
+}
+
+TEST_F(ClientFixture, OwnerControlsRecordVisibility) {
+  Facility facility(test_config("client_owner"));
+  auto cfg = client_config();
+  cfg.owner = facility.user_identity();
+  TransferClient client(&facility, cfg);
+  ASSERT_TRUE(client.init());
+  drop_hyper("private.emd");
+  auto launched = client.poll_once();
+  ASSERT_EQ(launched.size(), 1u);
+  client.drain();
+  EXPECT_FALSE(facility.index().get(launched[0].subject));  // anonymous
+  EXPECT_TRUE(
+      facility.index().get(launched[0].subject, facility.user_identity()));
+}
+
+}  // namespace
+}  // namespace pico::core

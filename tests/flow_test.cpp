@@ -1,0 +1,608 @@
+// Flow engine tests with a scriptable fake provider: serial execution,
+// parameter templating, polling backoff behaviour (including the paper's
+// overhead accounting), retries, failures, progress-token resets.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "flow/backoff.hpp"
+#include "flow/service.hpp"
+
+namespace pico::flow {
+namespace {
+
+using util::Json;
+
+/// Scriptable provider: each started action succeeds after a fixed virtual
+/// duration (from params "duration_s"), optionally failing "fail_times"
+/// first. Emits progress tokens per params.
+class FakeProvider final : public ActionProvider {
+ public:
+  explicit FakeProvider(sim::Engine* engine) : engine_(engine) {}
+
+  std::string name() const override { return "fake"; }
+
+  util::Result<ActionHandle> start(const Json& params,
+                                   const auth::Token&) override {
+    if (params.at("refuse_start").as_bool(false)) {
+      return util::Result<ActionHandle>::err("refused", "test");
+    }
+    std::string handle = "act-" + std::to_string(next_++);
+    Action action;
+    action.started = engine_->now();
+    action.duration = params.at("duration_s").as_double(1.0);
+    action.params = params;
+    int key = static_cast<int>(params.at("fail_key").as_int(-1));
+    if (key >= 0 && fail_budget_.count(key) && fail_budget_[key] > 0) {
+      fail_budget_[key] -= 1;
+      action.fail = true;
+    }
+    actions_[handle] = action;
+    starts_ += 1;
+    return util::Result<ActionHandle>::ok(handle);
+  }
+
+  ActionPollResult poll(const ActionHandle& handle) override {
+    polls_ += 1;
+    ActionPollResult out;
+    auto it = actions_.find(handle);
+    if (it == actions_.end()) {
+      out.status = ActionStatus::Failed;
+      out.error = "unknown handle";
+      return out;
+    }
+    const Action& a = it->second;
+    double elapsed = (engine_->now() - a.started).seconds();
+    if (elapsed < a.duration) {
+      out.status = ActionStatus::Active;
+      if (a.params.at("emit_progress").as_bool(false)) {
+        // Token changes at 10% steps of the duration.
+        out.progress_token = "p" + std::to_string(
+            static_cast<int>(10 * elapsed / a.duration));
+      }
+      return out;
+    }
+    if (a.fail) {
+      out.status = ActionStatus::Failed;
+      out.error = "scripted failure";
+      return out;
+    }
+    out.status = ActionStatus::Succeeded;
+    out.service_started = a.started;
+    out.service_completed =
+        a.started + sim::Duration::from_seconds(a.duration);
+    out.output = Json::object({{"echo", a.params.at("tag")}});
+    return out;
+  }
+
+  void set_fail_budget(int key, int times) { fail_budget_[key] = times; }
+  int starts() const { return starts_; }
+  int polls() const { return polls_; }
+
+ private:
+  struct Action {
+    sim::SimTime started;
+    double duration = 0;
+    bool fail = false;
+    Json params;
+  };
+  sim::Engine* engine_;
+  std::map<ActionHandle, Action> actions_;
+  std::map<int, int> fail_budget_;
+  uint64_t next_ = 1;
+  int starts_ = 0;
+  int polls_ = 0;
+};
+
+struct FlowFixture : ::testing::Test {
+  sim::Engine engine;
+  auth::AuthService auth;
+  std::unique_ptr<FakeProvider> provider;
+  std::unique_ptr<FlowService> service;
+  auth::Token token;
+
+  void setup(FlowServiceConfig cfg = {}) {
+    // Deterministic latencies for timing assertions.
+    cfg.latency_jitter_frac = 0.0;
+    service = std::make_unique<FlowService>(&engine, &auth, cfg, 3);
+    provider = std::make_unique<FakeProvider>(&engine);
+    service->register_provider(provider.get());
+    token = auth.issue("user@anl.gov", {"flows"});
+  }
+
+  static ActionState step(const std::string& name, double duration,
+                          Json extra = Json::object()) {
+    ActionState s;
+    s.name = name;
+    s.provider = "fake";
+    Json params = Json::object({
+        {"duration_s", duration},
+        {"tag", name},
+        {"fail_key", -1},
+        {"emit_progress", false},
+        {"refuse_start", false},
+    });
+    for (const auto& [k, v] : extra.as_object()) params[k] = v;
+    s.params = params;
+    return s;
+  }
+};
+
+TEST_F(FlowFixture, RequiresFlowScope) {
+  setup();
+  FlowDefinition def{"f", {step("A", 1)}};
+  EXPECT_FALSE(service->start(def, Json(), "bad"));
+  auth::Token wrong = auth.issue("u", {"transfer"});
+  EXPECT_FALSE(service->start(def, Json(), wrong));
+  EXPECT_TRUE(service->start(def, Json(), token));
+}
+
+TEST_F(FlowFixture, RejectsEmptyAndUnknownProvider) {
+  setup();
+  EXPECT_FALSE(service->start(FlowDefinition{"empty", {}}, Json(), token));
+  ActionState bad;
+  bad.name = "X";
+  bad.provider = "nope";
+  EXPECT_FALSE(
+      service->start(FlowDefinition{"f", {bad}}, Json(), token));
+}
+
+TEST_F(FlowFixture, SerialStepsAllRunInOrder) {
+  setup();
+  FlowDefinition def{"three", {step("A", 1), step("B", 2), step("C", 1)}};
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  engine.run();
+  const RunInfo& info = service->info(run.value());
+  EXPECT_EQ(info.state, RunState::Succeeded);
+  const RunTiming& timing = service->timing(run.value());
+  ASSERT_EQ(timing.steps.size(), 3u);
+  EXPECT_EQ(timing.steps[0].name, "A");
+  EXPECT_EQ(timing.steps[2].name, "C");
+  // Serial: B dispatches after A's discovery.
+  EXPECT_GE(timing.steps[1].dispatched.ns, timing.steps[0].discovered.ns);
+  EXPECT_NEAR(timing.active_s(), 4.0, 1e-6);
+  EXPECT_GT(timing.overhead_s(), 0.0);
+  EXPECT_NEAR(timing.total_s(), timing.active_s() + timing.overhead_s(), 1e-9);
+}
+
+TEST_F(FlowFixture, StepOutputsFeedLaterParams) {
+  setup();
+  FlowDefinition def{"chained", {step("A", 0.5)}};
+  ActionState b = step("B", 0.5);
+  b.params["tag"] = "$.steps.A.echo";  // templating from step A's output
+  def.steps.push_back(b);
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  engine.run();
+  const RunInfo& info = service->info(run.value());
+  EXPECT_EQ(info.state, RunState::Succeeded);
+  // B echoed A's echo: "A".
+  EXPECT_EQ(info.step_outputs.at("B").at("echo").as_string(), "A");
+}
+
+TEST_F(FlowFixture, InputTemplating) {
+  setup();
+  FlowDefinition def{"in", {step("A", 0.1)}};
+  def.steps[0].params["tag"] = "$.input.nested.value";
+  auto run = service->start(
+      def, Json::object({{"nested", Json::object({{"value", "hello"}})}}),
+      token, "labelled");
+  ASSERT_TRUE(run);
+  engine.run();
+  const RunInfo& info = service->info(run.value());
+  EXPECT_EQ(info.step_outputs.at("A").at("echo").as_string(), "hello");
+  EXPECT_EQ(info.label, "labelled");
+}
+
+TEST(ResolveParams, HandlesAllShapes) {
+  Json input = Json::object({{"a", 1}, {"b", Json::object({{"c", "x"}})}});
+  std::map<std::string, Json> steps;
+  steps["S"] = Json::object({{"out", 42}});
+
+  EXPECT_EQ(FlowService::resolve_params(Json("$.input"), input, steps), input);
+  EXPECT_EQ(FlowService::resolve_params(Json("$.input.b.c"), input, steps)
+                .as_string(),
+            "x");
+  EXPECT_EQ(FlowService::resolve_params(Json("$.steps.S.out"), input, steps)
+                .as_int(),
+            42);
+  EXPECT_EQ(FlowService::resolve_params(Json("$.steps.S"), input, steps),
+            steps["S"]);
+  // Unknown references resolve to null rather than erroring.
+  EXPECT_TRUE(FlowService::resolve_params(Json("$.steps.Z.q"), input, steps)
+                  .is_null());
+  // Non-reference strings and scalars pass through.
+  EXPECT_EQ(FlowService::resolve_params(Json("plain"), input, steps)
+                .as_string(),
+            "plain");
+  EXPECT_EQ(FlowService::resolve_params(Json(7), input, steps).as_int(), 7);
+  // Nested containers resolve recursively.
+  Json nested = Json::object(
+      {{"k", Json::array({Json("$.input.a"), Json("$.steps.S.out")})}});
+  Json resolved = FlowService::resolve_params(nested, input, steps);
+  EXPECT_EQ(resolved.at("k")[0].as_int(), 1);
+  EXPECT_EQ(resolved.at("k")[1].as_int(), 42);
+}
+
+TEST_F(FlowFixture, FailedStepFailsRunWithoutRetries) {
+  setup();
+  provider->set_fail_budget(1, 1);
+  FlowDefinition def{"failing", {step("A", 0.5, Json::object({{"fail_key", 1}}))}};
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  engine.run();
+  const RunInfo& info = service->info(run.value());
+  EXPECT_EQ(info.state, RunState::Failed);
+  EXPECT_NE(info.error.find("scripted failure"), std::string::npos);
+}
+
+TEST_F(FlowFixture, RetriesRecoverFromTransientFailures) {
+  setup();
+  provider->set_fail_budget(2, 2);  // fail twice, then succeed
+  ActionState s = step("A", 0.5, Json::object({{"fail_key", 2}}));
+  s.max_retries = 3;
+  FlowDefinition def{"retrying", {s}};
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  engine.run();
+  EXPECT_EQ(service->info(run.value()).state, RunState::Succeeded);
+  EXPECT_EQ(provider->starts(), 3);  // two failures + one success
+  EXPECT_EQ(service->timing(run.value()).steps[0].retries, 2);
+}
+
+TEST_F(FlowFixture, RetryBudgetExhaustedFailsRun) {
+  setup();
+  provider->set_fail_budget(3, 5);
+  ActionState s = step("A", 0.2, Json::object({{"fail_key", 3}}));
+  s.max_retries = 2;
+  FlowDefinition def{"exhausted", {s}};
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  engine.run();
+  EXPECT_EQ(service->info(run.value()).state, RunState::Failed);
+  EXPECT_EQ(provider->starts(), 3);  // initial + 2 retries
+}
+
+TEST_F(FlowFixture, StartRefusalFailsRun) {
+  setup();
+  FlowDefinition def{"refused",
+                     {step("A", 1, Json::object({{"refuse_start", true}}))}};
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  engine.run();
+  EXPECT_EQ(service->info(run.value()).state, RunState::Failed);
+}
+
+TEST_F(FlowFixture, ExponentialBackoffReducesPollCount) {
+  FlowServiceConfig exp_cfg;
+  exp_cfg.backoff = BackoffPolicy::paper_default();
+  setup(exp_cfg);
+  FlowDefinition def{"long", {step("A", 100)}};
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  engine.run();
+  int exp_polls = provider->polls();
+
+  FlowServiceConfig fixed_cfg;
+  fixed_cfg.backoff = BackoffPolicy::fixed(1.0);
+  setup(fixed_cfg);
+  auto run2 = service->start(def, Json(), token);
+  ASSERT_TRUE(run2);
+  engine.run();
+  int fixed_polls = provider->polls();
+
+  EXPECT_LT(exp_polls, 10);
+  EXPECT_GT(fixed_polls, 90);
+}
+
+TEST_F(FlowFixture, ExponentialBackoffInflatesDiscoveryLag) {
+  FlowServiceConfig cfg;
+  cfg.backoff = BackoffPolicy::paper_default();
+  setup(cfg);
+  // 40 s step: polls at 1,3,7,15,31,63 -> discovered at 63 -> lag ~23 s.
+  FlowDefinition def{"lag", {step("A", 40)}};
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  engine.run();
+  double lag = service->timing(run.value()).steps[0].discovery_lag_s();
+  EXPECT_GT(lag, 15.0);
+  EXPECT_LT(lag, 30.0);
+}
+
+TEST_F(FlowFixture, ProgressTokensResetBackoff) {
+  FlowServiceConfig cfg;
+  cfg.backoff = BackoffPolicy::paper_default();
+  setup(cfg);
+  FlowDefinition def{"progress",
+                     {step("A", 40, Json::object({{"emit_progress", true}}))}};
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  engine.run();
+  // With 10% progress updates, discovery lag stays small.
+  double lag = service->timing(run.value()).steps[0].discovery_lag_s();
+  EXPECT_LT(lag, 10.0);
+}
+
+TEST_F(FlowFixture, ConcurrentRunsProgressIndependently) {
+  setup();
+  FlowDefinition def{"conc", {step("A", 5), step("B", 5)}};
+  std::vector<RunId> runs;
+  for (int i = 0; i < 10; ++i) {
+    auto run = service->start(def, Json(), token, "run" + std::to_string(i));
+    ASSERT_TRUE(run);
+    runs.push_back(run.value());
+  }
+  EXPECT_EQ(service->active_runs(), 10u);
+  engine.run();
+  EXPECT_EQ(service->active_runs(), 0u);
+  for (const auto& id : runs) {
+    EXPECT_EQ(service->info(id).state, RunState::Succeeded);
+  }
+  EXPECT_EQ(service->all_runs().size(), 10u);
+}
+
+TEST_F(FlowFixture, OnFinishedFiresOnceImmediateOrDeferred) {
+  setup();
+  FlowDefinition def{"cb", {step("A", 1)}};
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  int calls = 0;
+  service->on_finished(run.value(),
+                       [&](const RunId&, const RunInfo&) { ++calls; });
+  engine.run();
+  EXPECT_EQ(calls, 1);
+  // Registering after completion fires immediately.
+  service->on_finished(run.value(),
+                       [&](const RunId&, const RunInfo&) { ++calls; });
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Backoff, PolicyIntervalSequences) {
+  util::Rng rng(1);
+  auto paper = BackoffPolicy::paper_default();
+  EXPECT_DOUBLE_EQ(paper.interval_s(0, rng), 1.0);
+  EXPECT_DOUBLE_EQ(paper.interval_s(1, rng), 2.0);
+  EXPECT_DOUBLE_EQ(paper.interval_s(5, rng), 32.0);
+  EXPECT_DOUBLE_EQ(paper.interval_s(30, rng), 600.0);  // capped at 10 min
+
+  auto fixed = BackoffPolicy::fixed(5.0);
+  EXPECT_DOUBLE_EQ(fixed.interval_s(0, rng), 5.0);
+  EXPECT_DOUBLE_EQ(fixed.interval_s(99, rng), 5.0);
+
+  auto linear = BackoffPolicy::linear(1.0, 2.0, 9.0);
+  EXPECT_DOUBLE_EQ(linear.interval_s(0, rng), 1.0);
+  EXPECT_DOUBLE_EQ(linear.interval_s(3, rng), 7.0);
+  EXPECT_DOUBLE_EQ(linear.interval_s(10, rng), 9.0);  // capped
+
+  auto jittered = BackoffPolicy::jittered(1.0, 2.0, 600.0, 0.25);
+  for (int i = 0; i < 20; ++i) {
+    double v = jittered.interval_s(2, rng);
+    EXPECT_GE(v, 4.0 * 0.75 - 1e-9);
+    EXPECT_LE(v, 4.0 * 1.25 + 1e-9);
+  }
+  EXPECT_FALSE(paper.describe().empty());
+  EXPECT_FALSE(jittered.describe().empty());
+}
+
+}  // namespace
+}  // namespace pico::flow
+
+// ---------------------------------------------------------- cancellation ----
+namespace pico::flow {
+namespace {
+
+struct CancelFixture : FlowFixture {};
+
+TEST_F(CancelFixture, CancelMidStepStopsRun) {
+  setup();
+  FlowDefinition def{"long", {step("A", 50), step("B", 50)}};
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  engine.run_until(sim::SimTime::from_seconds(10));  // mid step A
+  ASSERT_TRUE(service->cancel(run.value()));
+  engine.run();
+  const RunInfo& info = service->info(run.value());
+  EXPECT_EQ(info.state, RunState::Failed);
+  EXPECT_NE(info.error.find("cancelled"), std::string::npos);
+  // Step B never dispatched.
+  EXPECT_EQ(provider->starts(), 1);
+}
+
+TEST_F(CancelFixture, CancelBeforeStartPreventsDispatch) {
+  setup();
+  FlowDefinition def{"pending", {step("A", 5)}};
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  // Cancel immediately, before the flow-start latency elapses.
+  ASSERT_TRUE(service->cancel(run.value()));
+  engine.run();
+  EXPECT_EQ(service->info(run.value()).state, RunState::Failed);
+  EXPECT_EQ(provider->starts(), 0);
+}
+
+TEST_F(CancelFixture, CancelSettledRunIsError) {
+  setup();
+  FlowDefinition def{"quick", {step("A", 0.5)}};
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  engine.run();
+  ASSERT_EQ(service->info(run.value()).state, RunState::Succeeded);
+  EXPECT_FALSE(service->cancel(run.value()));
+  EXPECT_FALSE(service->cancel("run-999999"));
+}
+
+TEST_F(CancelFixture, CancelFiresFinishedCallbackOnce) {
+  setup();
+  FlowDefinition def{"cb", {step("A", 50)}};
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  int calls = 0;
+  service->on_finished(run.value(),
+                       [&](const RunId&, const RunInfo&) { ++calls; });
+  engine.run_until(sim::SimTime::from_seconds(5));
+  ASSERT_TRUE(service->cancel(run.value()));
+  engine.run();
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace pico::flow
+
+// ------------------------------------------------------- definition JSON ----
+#include "flow/definition_io.hpp"
+
+namespace pico::flow {
+namespace {
+
+TEST(DefinitionIo, RoundTrip) {
+  FlowDefinition def;
+  def.name = "my-flow";
+  ActionState a;
+  a.name = "Transfer";
+  a.provider = "transfer";
+  a.max_retries = 2;
+  a.params = Json::object({
+      {"src", "$.input.file"},
+      {"nested", Json::object({{"deep", Json::array({1, 2})}})},
+  });
+  def.steps.push_back(a);
+  ActionState b;
+  b.name = "Publish";
+  b.provider = "search-ingest";
+  b.params = Json::object({{"record", "$.steps.Transfer.out"}});
+  def.steps.push_back(b);
+
+  Json doc = definition_to_json(def);
+  auto back = definition_from_json(doc);
+  ASSERT_TRUE(back);
+  const FlowDefinition& d = back.value();
+  EXPECT_EQ(d.name, "my-flow");
+  ASSERT_EQ(d.steps.size(), 2u);
+  EXPECT_EQ(d.steps[0].max_retries, 2);
+  EXPECT_EQ(d.steps[0].params.at("src").as_string(), "$.input.file");
+  EXPECT_EQ(d.steps[1].params.at("record").as_string(), "$.steps.Transfer.out");
+  // Text round trip too.
+  auto from_text = definition_from_text(doc.dump());
+  ASSERT_TRUE(from_text);
+  EXPECT_EQ(definition_to_json(from_text.value()).dump(), doc.dump());
+}
+
+TEST(DefinitionIo, ValidationRejectsBadDocuments) {
+  EXPECT_FALSE(definition_from_text("not json"));
+  EXPECT_FALSE(definition_from_text("[]"));
+  EXPECT_FALSE(definition_from_text(R"({"name": "x"})"));                 // no steps
+  EXPECT_FALSE(definition_from_text(R"({"name": "x", "steps": []})"));    // empty
+  EXPECT_FALSE(definition_from_text(
+      R"({"name": "", "steps": [{"name": "A", "provider": "p"}]})"));      // no name
+  EXPECT_FALSE(definition_from_text(
+      R"({"name": "x", "steps": [{"name": "", "provider": "p"}]})"));      // unnamed step
+  EXPECT_FALSE(definition_from_text(
+      R"({"name": "x", "steps": [{"name": "A"}]})"));                      // no provider
+  EXPECT_FALSE(definition_from_text(
+      R"({"name": "x", "steps": [{"name": "A", "provider": "p"},
+                                  {"name": "A", "provider": "p"}]})"));    // dup names
+  EXPECT_FALSE(definition_from_text(
+      R"({"name": "x", "steps": [{"name": "A", "provider": "p",
+                                   "max_retries": -1}]})"));               // bad retries
+}
+
+TEST(DefinitionIo, ParsedDefinitionActuallyRuns) {
+  sim::Engine engine;
+  auth::AuthService auth;
+  FlowServiceConfig cfg;
+  cfg.latency_jitter_frac = 0;
+  FlowService service(&engine, &auth, cfg, 3);
+  FakeProvider provider(&engine);
+  service.register_provider(&provider);
+  auth::Token token = auth.issue("u", {"flows"});
+
+  auto def = definition_from_text(R"({
+    "name": "loaded-from-json",
+    "steps": [
+      {"name": "A", "provider": "fake",
+       "params": {"duration_s": 0.5, "tag": "$.input.greeting",
+                  "fail_key": -1, "emit_progress": false,
+                  "refuse_start": false}}
+    ]
+  })");
+  ASSERT_TRUE(def);
+  auto run = service.start(def.value(),
+                           Json::object({{"greeting", "hello"}}), token);
+  ASSERT_TRUE(run);
+  engine.run();
+  const RunInfo& info = service.info(run.value());
+  EXPECT_EQ(info.state, RunState::Succeeded);
+  EXPECT_EQ(info.step_outputs.at("A").at("echo").as_string(), "hello");
+}
+
+}  // namespace
+}  // namespace pico::flow
+
+// Property: for random flows/policies, the paper's decomposition invariants
+// hold — total = active + overhead, every discovery lag is non-negative, and
+// steps execute strictly in sequence.
+namespace pico::flow {
+namespace {
+
+class TimingInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TimingInvariants, DecompositionAlwaysConsistent) {
+  util::Rng rng(GetParam());
+  sim::Engine engine;
+  auth::AuthService auth;
+  FlowServiceConfig cfg;
+  cfg.start_latency_s = rng.uniform(0.2, 3.0);
+  cfg.inter_step_latency_s = rng.uniform(0.2, 3.0);
+  switch (rng.uniform_int(0, 2)) {
+    case 0: cfg.backoff = BackoffPolicy::paper_default(); break;
+    case 1: cfg.backoff = BackoffPolicy::fixed(rng.uniform(0.5, 5)); break;
+    default:
+      cfg.backoff = BackoffPolicy::jittered(1.0, 1.7, 120, 0.3);
+  }
+  FlowService service(&engine, &auth, cfg, GetParam());
+  FakeProvider provider(&engine);
+  service.register_provider(&provider);
+  auth::Token token = auth.issue("u", {"flows"});
+
+  std::vector<RunId> runs;
+  for (int f = 0; f < 6; ++f) {
+    FlowDefinition def;
+    def.name = "prop";
+    int n_steps = static_cast<int>(rng.uniform_int(1, 4));
+    for (int i = 0; i < n_steps; ++i) {
+      def.steps.push_back(FlowFixture::step(
+          "S" + std::to_string(i), rng.uniform(0.2, 40.0),
+          Json::object({{"emit_progress", rng.chance(0.5)}})));
+    }
+    auto run = service.start(def, Json(), token);
+    ASSERT_TRUE(run);
+    runs.push_back(run.value());
+    engine.run_until(engine.now() + sim::Duration::from_seconds(rng.uniform(0, 20)));
+  }
+  engine.run();
+
+  for (const auto& id : runs) {
+    ASSERT_EQ(service.info(id).state, RunState::Succeeded);
+    const RunTiming& t = service.timing(id);
+    EXPECT_NEAR(t.total_s(), t.active_s() + t.overhead_s(), 1e-9);
+    EXPECT_GT(t.overhead_s(), 0);
+    sim::SimTime prev = t.submitted;
+    for (const auto& s : t.steps) {
+      EXPECT_GE(s.dispatched.ns, prev.ns);
+      EXPECT_GE(s.service_started.ns, s.dispatched.ns);
+      EXPECT_GE(s.service_completed.ns, s.service_started.ns);
+      EXPECT_GE(s.discovered.ns, s.service_completed.ns);
+      EXPECT_GE(s.discovery_lag_s(), 0.0);
+      EXPECT_GT(s.polls, 0);
+      prev = s.discovered;
+    }
+    EXPECT_GE(t.finished.ns, prev.ns);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimingInvariants,
+                         ::testing::Values(11, 23, 47, 89, 173));
+
+}  // namespace
+}  // namespace pico::flow

@@ -1,0 +1,170 @@
+// PBS scheduler tests: FIFO queueing, provisioning delay, release, walltime
+// reclamation, cancellation.
+#include <gtest/gtest.h>
+
+#include "hpcsim/pbs.hpp"
+
+namespace pico::hpcsim {
+namespace {
+
+ClusterConfig quick_cluster(int nodes) {
+  ClusterConfig cfg;
+  cfg.name = "test";
+  cfg.node_count = nodes;
+  cfg.provision_delay_s = 10.0;
+  cfg.provision_jitter_s = 0.0;
+  cfg.default_walltime_s = 1000.0;
+  return cfg;
+}
+
+TEST(Pbs, JobStartsAfterProvisioningDelay) {
+  sim::Engine engine;
+  PbsScheduler pbs(&engine, quick_cluster(4));
+  double started_at = -1;
+  JobRequest req;
+  req.nodes = 2;
+  req.on_start = [&](const JobId&, const std::vector<NodeId>& nodes) {
+    started_at = engine.now().seconds();
+    EXPECT_EQ(nodes.size(), 2u);
+  };
+  JobId id = pbs.submit(std::move(req));
+  EXPECT_EQ(pbs.state(id), JobState::Provisioning);
+  EXPECT_EQ(pbs.free_nodes(), 2);
+  // Stop before the default walltime reclaims the job.
+  engine.run_until(sim::SimTime::from_seconds(50));
+  EXPECT_NEAR(started_at, 10.0, 0.5);
+  EXPECT_EQ(pbs.state(id), JobState::Running);
+  EXPECT_EQ(pbs.jobs_started(), 1u);
+}
+
+TEST(Pbs, FifoQueueBlocksUntilNodesFree) {
+  sim::Engine engine;
+  PbsScheduler pbs(&engine, quick_cluster(2));
+  std::vector<std::pair<int, double>> starts;
+  JobId first_id;
+  for (int i = 0; i < 3; ++i) {
+    JobRequest req;
+    req.nodes = 2;
+    req.on_start = [&starts, i, &engine](const JobId&, const std::vector<NodeId>&) {
+      starts.emplace_back(i, engine.now().seconds());
+    };
+    JobId id = pbs.submit(std::move(req));
+    if (i == 0) first_id = id;
+  }
+  EXPECT_EQ(pbs.queue_depth(), 2u);
+  engine.run_until(sim::SimTime::from_seconds(11));
+  ASSERT_EQ(starts.size(), 1u);  // only the first job fits
+  ASSERT_TRUE(pbs.release(first_id));
+  engine.run_until(sim::SimTime::from_seconds(22));
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[1].first, 1);  // FIFO order
+}
+
+TEST(Pbs, ReleaseReturnsNodes) {
+  sim::Engine engine;
+  PbsScheduler pbs(&engine, quick_cluster(4));
+  JobRequest req;
+  req.nodes = 3;
+  JobId id = pbs.submit(std::move(req));
+  engine.run_until(sim::SimTime::from_seconds(50));
+  EXPECT_EQ(pbs.free_nodes(), 1);
+  ASSERT_TRUE(pbs.release(id));
+  EXPECT_EQ(pbs.free_nodes(), 4);
+  EXPECT_EQ(pbs.state(id), JobState::Completed);
+  EXPECT_FALSE(pbs.release(id));  // double release is an error
+}
+
+TEST(Pbs, WalltimeExpiryReclaimsNodes) {
+  sim::Engine engine;
+  auto cfg = quick_cluster(2);
+  PbsScheduler pbs(&engine, cfg);
+  bool expired = false;
+  JobRequest req;
+  req.nodes = 2;
+  req.walltime_s = 50.0;
+  req.on_expire = [&](const JobId&) { expired = true; };
+  JobId id = pbs.submit(std::move(req));
+  engine.run();
+  EXPECT_TRUE(expired);
+  EXPECT_EQ(pbs.state(id), JobState::Completed);
+  EXPECT_EQ(pbs.free_nodes(), 2);
+  // Expiry fires at provision (10) + walltime (50).
+  EXPECT_NEAR(engine.now().seconds(), 60.0, 0.5);
+}
+
+TEST(Pbs, ReleaseBeforeWalltimeCancelsExpiry) {
+  sim::Engine engine;
+  PbsScheduler pbs(&engine, quick_cluster(1));
+  bool expired = false;
+  JobRequest req;
+  req.walltime_s = 100.0;
+  req.on_expire = [&](const JobId&) { expired = true; };
+  JobId id = pbs.submit(std::move(req));
+  engine.run_until(sim::SimTime::from_seconds(20));
+  ASSERT_TRUE(pbs.release(id));
+  engine.run();
+  EXPECT_FALSE(expired);
+}
+
+TEST(Pbs, CancelQueuedJob) {
+  sim::Engine engine;
+  PbsScheduler pbs(&engine, quick_cluster(1));
+  JobRequest hog;
+  hog.nodes = 1;
+  JobId hog_id = pbs.submit(std::move(hog));
+  JobRequest queued;
+  queued.nodes = 1;
+  bool started = false;
+  queued.on_start = [&](const JobId&, const std::vector<NodeId>&) {
+    started = true;
+  };
+  JobId queued_id = pbs.submit(std::move(queued));
+  EXPECT_EQ(pbs.state(queued_id), JobState::Queued);
+  ASSERT_TRUE(pbs.cancel(queued_id));
+  engine.run();
+  EXPECT_FALSE(started);
+  EXPECT_EQ(pbs.state(queued_id), JobState::Cancelled);
+  // Cannot cancel a job that already started provisioning.
+  EXPECT_FALSE(pbs.cancel(hog_id));
+}
+
+TEST(Pbs, WalltimeExpiryUnblocksQueue) {
+  sim::Engine engine;
+  PbsScheduler pbs(&engine, quick_cluster(1));
+  JobRequest first;
+  first.walltime_s = 30.0;
+  pbs.submit(std::move(first));
+  double second_started = -1;
+  JobRequest second;
+  second.on_start = [&](const JobId&, const std::vector<NodeId>&) {
+    second_started = engine.now().seconds();
+  };
+  pbs.submit(std::move(second));
+  engine.run();
+  // First: provision 10 + walltime 30 = 40; second provisions 10 more.
+  EXPECT_NEAR(second_started, 50.0, 1.0);
+}
+
+TEST(Pbs, UnknownJobOperationsFail) {
+  sim::Engine engine;
+  PbsScheduler pbs(&engine, quick_cluster(1));
+  EXPECT_FALSE(pbs.release("nope"));
+  EXPECT_FALSE(pbs.cancel("nope"));
+  EXPECT_EQ(pbs.state("nope"), JobState::Cancelled);
+}
+
+TEST(Pbs, OversizedJobWaitsForever) {
+  sim::Engine engine;
+  PbsScheduler pbs(&engine, quick_cluster(2));
+  bool started = false;
+  JobRequest req;
+  req.nodes = 5;  // larger than the cluster
+  req.on_start = [&](const JobId&, const std::vector<NodeId>&) { started = true; };
+  JobId id = pbs.submit(std::move(req));
+  engine.run();
+  EXPECT_FALSE(started);
+  EXPECT_EQ(pbs.state(id), JobState::Queued);
+}
+
+}  // namespace
+}  // namespace pico::hpcsim

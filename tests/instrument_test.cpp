@@ -1,0 +1,243 @@
+// Instrument simulator tests: X-ray line library, hyperspectral cubes carry
+// the configured elements' peaks, spatiotemporal truth boxes track particles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "instrument/hyperspectral_gen.hpp"
+#include "instrument/spatiotemporal_gen.hpp"
+#include "instrument/xray_lines.hpp"
+#include "tensor/ops.hpp"
+
+namespace pico::instrument {
+namespace {
+
+TEST(XRayLines, LibraryLookups) {
+  const auto& lib = XRayLineLibrary::standard();
+  auto au = lib.element("Au");
+  ASSERT_TRUE(au);
+  EXPECT_EQ(au.value()->atomic_number, 79);
+  EXPECT_GE(au.value()->lines.size(), 2u);
+  EXPECT_FALSE(lib.element("Xx"));
+}
+
+TEST(XRayLines, LinesInRange) {
+  const auto& lib = XRayLineLibrary::standard();
+  auto low = lib.lines_in_range(0.0, 1.0);  // C, N, O Ka
+  bool has_c = false;
+  for (const auto& [el, line] : low) {
+    EXPECT_GE(line->energy_kev, 0.0);
+    EXPECT_LE(line->energy_kev, 1.0);
+    if (el->symbol == "C") has_c = true;
+  }
+  EXPECT_TRUE(has_c);
+  EXPECT_TRUE(lib.lines_in_range(50, 60).empty());
+}
+
+TEST(XRayLines, EnergiesPhysical) {
+  for (const auto& el : XRayLineLibrary::standard().elements()) {
+    for (const auto& line : el.lines) {
+      EXPECT_GT(line.energy_kev, 0.0) << el.symbol;
+      EXPECT_LT(line.energy_kev, 25.0) << el.symbol;
+      EXPECT_GT(line.relative_weight, 0.0) << el.symbol;
+      EXPECT_LE(line.relative_weight, 1.0) << el.symbol;
+    }
+  }
+}
+
+TEST(HyperspectralGen, CubeShapeAndPositivity) {
+  HyperspectralConfig cfg;
+  cfg.height = 16;
+  cfg.width = 20;
+  cfg.channels = 64;
+  cfg.background = {{"C", 1.0}};
+  HyperspectralSample sample = generate_hyperspectral(cfg);
+  EXPECT_EQ(sample.cube.shape(), (tensor::Shape{16, 20, 64}));
+  EXPECT_EQ(sample.energy_axis.size(), 64u);
+  for (double v : sample.cube.data()) EXPECT_GE(v, 0.0);
+  EXPECT_GT(tensor::sum_value(sample.cube), 0.0);
+  EXPECT_EQ(sample.true_elements, (std::vector<std::string>{"C"}));
+}
+
+TEST(HyperspectralGen, DeterministicPerSeed) {
+  HyperspectralConfig cfg;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.channels = 32;
+  cfg.background = {{"C", 1.0}};
+  cfg.seed = 77;
+  auto a = generate_hyperspectral(cfg);
+  auto b = generate_hyperspectral(cfg);
+  ASSERT_EQ(a.cube.size(), b.cube.size());
+  for (size_t i = 0; i < a.cube.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.cube[i], b.cube[i]);
+  }
+  cfg.seed = 78;
+  auto c = generate_hyperspectral(cfg);
+  bool differs = false;
+  for (size_t i = 0; i < a.cube.size() && !differs; ++i) {
+    if (a.cube[i] != c.cube[i]) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(HyperspectralGen, ElementPeaksAppearInSpectrum) {
+  // Pure iron sample: the spectrum should peak near the Fe Ka line (6.4 keV).
+  HyperspectralConfig cfg;
+  cfg.height = 24;
+  cfg.width = 24;
+  cfg.channels = 400;
+  cfg.dose = 200;
+  cfg.continuum_fraction = 0.05;
+  cfg.background = {{"Fe", 1.0}};
+  auto sample = generate_hyperspectral(cfg);
+  auto spectrum = tensor::sum_keep_axis3(sample.cube, 2);
+  size_t best = 0;
+  for (size_t k = 0; k < spectrum.size(); ++k) {
+    if (spectrum(k) > spectrum(best)) best = k;
+  }
+  EXPECT_NEAR(sample.energy_axis[best], 6.398, 0.2);
+}
+
+TEST(HyperspectralGen, ParticleRegionsBoostDose) {
+  HyperspectralConfig cfg;
+  cfg.height = 32;
+  cfg.width = 32;
+  cfg.channels = 64;
+  cfg.dose = 100;
+  cfg.background = {{"C", 1.0}};
+  cfg.particles = {{16, 16, 6, {{"Au", 1.0}}}};
+  auto sample = generate_hyperspectral(cfg);
+  auto intensity = tensor::sum_axis3(sample.cube, 2);
+  EXPECT_GT(intensity(16, 16), intensity(2, 2) * 1.2);
+  EXPECT_EQ(sample.true_elements, (std::vector<std::string>{"Au", "C"}));
+}
+
+TEST(HyperspectralGen, Fig2SampleHasHeavyMetals) {
+  auto cfg = HyperspectralConfig::fig2_sample();
+  bool has_au = false, has_pb = false;
+  for (const auto& p : cfg.particles) {
+    if (p.composition.count("Au")) has_au = true;
+    if (p.composition.count("Pb")) has_pb = true;
+  }
+  EXPECT_TRUE(has_au);
+  EXPECT_TRUE(has_pb);
+}
+
+TEST(HyperspectralGen, ToEmdRoundTrip) {
+  HyperspectralConfig cfg;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.channels = 16;
+  cfg.background = {{"C", 1.0}};
+  auto sample = generate_hyperspectral(cfg);
+  emd::MicroscopeSettings scope;
+  emd::File file = to_emd(sample, cfg, scope, "2023-04-07T10:00:00Z",
+                          "test sample", "op@anl.gov");
+  auto re = emd::File::from_bytes(file.to_bytes());
+  ASSERT_TRUE(re);
+  auto kind = emd::signal_kind(re.value(), "hyperspectral");
+  ASSERT_TRUE(kind);
+  EXPECT_EQ(kind.value(), emd::SignalKind::Hyperspectral);
+  const emd::Dataset* ds =
+      re.value().root.find_dataset("data/hyperspectral/data");
+  ASSERT_NE(ds, nullptr);
+  EXPECT_EQ(ds->shape(), (tensor::Shape{8, 8, 16}));
+}
+
+TEST(SpatiotemporalGen, ShapesAndTruth) {
+  SpatiotemporalConfig cfg;
+  cfg.frames = 12;
+  cfg.height = 64;
+  cfg.width = 48;
+  cfg.particle_count = 5;
+  auto sample = generate_spatiotemporal(cfg);
+  EXPECT_EQ(sample.stack.shape(), (tensor::Shape{12, 64, 48}));
+  ASSERT_EQ(sample.boxes.size(), 12u);
+  ASSERT_EQ(sample.ids.size(), 12u);
+  for (size_t t = 0; t < 12; ++t) {
+    EXPECT_LE(sample.boxes[t].size(), 5u);
+    EXPECT_EQ(sample.boxes[t].size(), sample.ids[t].size());
+    for (const auto& box : sample.boxes[t]) {
+      EXPECT_GE(box.x, 0);
+      EXPECT_GE(box.y, 0);
+      EXPECT_LE(box.x2(), 48);
+      EXPECT_LE(box.y2(), 64);
+      EXPECT_GT(box.area(), 0);
+    }
+  }
+}
+
+TEST(SpatiotemporalGen, ParticlesBrighterThanBackground) {
+  SpatiotemporalConfig cfg;
+  cfg.frames = 3;
+  cfg.height = 64;
+  cfg.width = 64;
+  cfg.particle_count = 3;
+  cfg.noise_sigma = 0.05;
+  auto sample = generate_spatiotemporal(cfg);
+  for (size_t t = 0; t < cfg.frames; ++t) {
+    for (size_t b = 0; b < sample.boxes[t].size(); ++b) {
+      const auto& box = sample.boxes[t][b];
+      size_t cy = static_cast<size_t>(box.cy());
+      size_t cx = static_cast<size_t>(box.cx());
+      double center = sample.stack(t, cy, cx);
+      EXPECT_GT(center, cfg.background_level + cfg.particle_intensity * 0.5);
+    }
+  }
+}
+
+TEST(SpatiotemporalGen, IdsStableAcrossFrames) {
+  SpatiotemporalConfig cfg;
+  cfg.frames = 30;
+  cfg.particle_count = 4;
+  cfg.step_sigma = 0.5;
+  auto sample = generate_spatiotemporal(cfg);
+  for (const auto& frame_ids : sample.ids) {
+    std::set<int> seen;
+    for (int id : frame_ids) {
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, 4);
+      EXPECT_TRUE(seen.insert(id).second);
+    }
+  }
+}
+
+TEST(SpatiotemporalGen, TruthFollowsMotion) {
+  SpatiotemporalConfig cfg;
+  cfg.frames = 50;
+  cfg.particle_count = 1;
+  cfg.step_sigma = 2.0;
+  auto sample = generate_spatiotemporal(cfg);
+  double max_step = 0;
+  bool moved = false;
+  for (size_t t = 1; t < cfg.frames; ++t) {
+    if (sample.boxes[t].empty() || sample.boxes[t - 1].empty()) continue;
+    double dx = sample.boxes[t][0].cx() - sample.boxes[t - 1][0].cx();
+    double dy = sample.boxes[t][0].cy() - sample.boxes[t - 1][0].cy();
+    double step = std::sqrt(dx * dx + dy * dy);
+    max_step = std::max(max_step, step);
+    if (step > 0) moved = true;
+  }
+  EXPECT_TRUE(moved);
+  EXPECT_LT(max_step, 20.0);  // no teleporting
+}
+
+TEST(SpatiotemporalGen, ToEmdCarriesFrameCount) {
+  SpatiotemporalConfig cfg;
+  cfg.frames = 6;
+  cfg.height = 16;
+  cfg.width = 16;
+  auto sample = generate_spatiotemporal(cfg);
+  emd::MicroscopeSettings scope;
+  auto file = to_emd(sample, cfg, scope, "2023-04-08T10:00:00Z",
+                     "gold nanoparticles on carbon", "op@anl.gov");
+  const emd::Group* sig = file.root.find_group("data/spatiotemporal");
+  ASSERT_NE(sig, nullptr);
+  EXPECT_EQ(sig->attrs.at("frame_count").as_int(), 6);
+  EXPECT_EQ(sig->attrs.at("substrate").as_string(), "carbon");
+}
+
+}  // namespace
+}  // namespace pico::instrument

@@ -1,0 +1,244 @@
+// Tests for topology routing and the max-min fair-share network model,
+// including capacity conservation properties and per-flow rate caps.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace pico::net {
+namespace {
+
+struct NetFixture : ::testing::Test {
+  sim::Engine engine;
+  Topology topo;
+
+  NodeId a, b, c, d;
+  LinkId ab, bc, cd;
+
+  void SetUp() override {
+    a = topo.add_node("a");
+    b = topo.add_node("b");
+    c = topo.add_node("c");
+    d = topo.add_node("d");
+    ab = topo.add_link(a, b, 8e6);  // 1 MB/s
+    bc = topo.add_link(b, c, 8e6);
+    cd = topo.add_link(c, d, 80e6);  // 10 MB/s
+  }
+};
+
+TEST_F(NetFixture, RouteShortestPath) {
+  auto route = topo.route(a, d);
+  ASSERT_TRUE(route);
+  EXPECT_EQ(route.value(), (std::vector<LinkId>{ab, bc, cd}));
+  auto self_route = topo.route(a, a);
+  ASSERT_TRUE(self_route);
+  EXPECT_TRUE(self_route.value().empty());
+}
+
+TEST_F(NetFixture, UnreachableNodeIsError) {
+  NodeId isolated = topo.add_node("island");
+  EXPECT_FALSE(topo.route(a, isolated));
+}
+
+TEST_F(NetFixture, UnknownNodeNameIsError) {
+  EXPECT_FALSE(topo.node("nope"));
+  EXPECT_TRUE(topo.node("a"));
+}
+
+TEST_F(NetFixture, SingleFlowRunsAtBottleneckRate) {
+  Network network(&engine, &topo);
+  double completed_at = -1;
+  // 10 MB over a 1 MB/s bottleneck -> 10 s (+ negligible latency).
+  auto flow = network.start_flow(a, d, 10'000'000, [&](FlowId) {
+    completed_at = engine.now().seconds();
+  });
+  ASSERT_TRUE(flow);
+  engine.run();
+  EXPECT_NEAR(completed_at, 10.0, 0.01);
+}
+
+TEST_F(NetFixture, TwoFlowsShareBottleneckFairly) {
+  Network network(&engine, &topo);
+  double t1 = -1, t2 = -1;
+  // Both flows cross a-b (1 MB/s): each gets 0.5 MB/s.
+  network.start_flow(a, d, 5'000'000, [&](FlowId) { t1 = engine.now().seconds(); });
+  network.start_flow(a, c, 5'000'000, [&](FlowId) { t2 = engine.now().seconds(); });
+  engine.run();
+  // Both finish ~10s (equal shares, equal sizes).
+  EXPECT_NEAR(t1, 10.0, 0.05);
+  EXPECT_NEAR(t2, 10.0, 0.05);
+}
+
+TEST_F(NetFixture, ShortFlowFinishingFreesBandwidth) {
+  Network network(&engine, &topo);
+  double t_small = -1, t_big = -1;
+  network.start_flow(a, c, 1'000'000, [&](FlowId) { t_small = engine.now().seconds(); });
+  network.start_flow(a, c, 9'000'000, [&](FlowId) { t_big = engine.now().seconds(); });
+  engine.run();
+  // Small: shares 0.5 MB/s -> done at ~2 s. Big: 1 MB transferred by 2 s,
+  // then full 1 MB/s for remaining 8 MB -> ~10 s total.
+  EXPECT_NEAR(t_small, 2.0, 0.05);
+  EXPECT_NEAR(t_big, 10.0, 0.05);
+}
+
+TEST_F(NetFixture, RateCapLimitsThroughput) {
+  Network network(&engine, &topo);
+  double done = -1;
+  // Cap at 0.4 MB/s even though the path allows 1 MB/s.
+  network.start_flow(a, c, 4'000'000,
+                     [&](FlowId) { done = engine.now().seconds(); },
+                     3.2e6);
+  engine.run();
+  EXPECT_NEAR(done, 10.0, 0.05);
+}
+
+TEST_F(NetFixture, CappedFlowLeavesBandwidthForOthers) {
+  Network network(&engine, &topo);
+  double t_capped = -1, t_free = -1;
+  // Capped flow takes 0.25 MB/s; the other gets the remaining 0.75 MB/s.
+  network.start_flow(a, c, 2'500'000,
+                     [&](FlowId) { t_capped = engine.now().seconds(); }, 2e6);
+  network.start_flow(a, c, 7'500'000,
+                     [&](FlowId) { t_free = engine.now().seconds(); });
+  engine.run();
+  EXPECT_NEAR(t_capped, 10.0, 0.1);
+  EXPECT_NEAR(t_free, 10.0, 0.1);
+}
+
+TEST_F(NetFixture, CancelStopsFlow) {
+  Network network(&engine, &topo);
+  bool fired = false;
+  auto flow = network.start_flow(a, d, 1'000'000, [&](FlowId) { fired = true; });
+  ASSERT_TRUE(flow);
+  engine.run_until(sim::SimTime::from_seconds(0.5));
+  network.cancel_flow(flow.value());
+  engine.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(network.active_flow_count(), 0u);
+}
+
+TEST_F(NetFixture, StatusReportsProgress) {
+  Network network(&engine, &topo);
+  auto flow = network.start_flow(a, c, 10'000'000, [](FlowId) {});
+  ASSERT_TRUE(flow);
+  engine.run_until(sim::SimTime::from_seconds(5.0));
+  FlowStatus status = network.status(flow.value());
+  EXPECT_TRUE(status.active);
+  EXPECT_NEAR(static_cast<double>(status.transferred_bytes), 5e6, 1e5);
+  engine.run();
+  EXPECT_FALSE(network.status(flow.value()).active);
+}
+
+TEST_F(NetFixture, ZeroByteFlowCompletesAfterLatency) {
+  Network network(&engine, &topo);
+  bool fired = false;
+  network.start_flow(a, c, 0, [&](FlowId) { fired = true; });
+  engine.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(NetFixture, LatencyDelaysStart) {
+  Topology lt;
+  NodeId x = lt.add_node("x");
+  NodeId y = lt.add_node("y");
+  lt.add_link(x, y, 8e6, sim::Duration::from_seconds(2.0));
+  Network network(&engine, &lt);
+  double done = -1;
+  network.start_flow(x, y, 1'000'000, [&](FlowId) { done = engine.now().seconds(); });
+  engine.run();
+  EXPECT_NEAR(done, 3.0, 0.01);  // 2 s latency + 1 s at 1 MB/s
+}
+
+TEST_F(NetFixture, MutableLinkCapacityAffectsNewRates) {
+  Network network(&engine, &topo);
+  double done = -1;
+  network.start_flow(a, b, 10'000'000, [&](FlowId) { done = engine.now().seconds(); });
+  engine.run_until(sim::SimTime::from_seconds(5.0));  // 5 MB moved
+  topo.mutable_link(ab).capacity_bps = 16e6;          // double to 2 MB/s
+  network.rates_changed();
+  engine.run();
+  EXPECT_NEAR(done, 7.5, 0.05);  // remaining 5 MB at 2 MB/s
+}
+
+// Property: max-min allocation never oversubscribes any link.
+class FairShareProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FairShareProperty, CapacityConservation) {
+  sim::Engine engine;
+  Topology topo;
+  util::Rng rng(GetParam());
+
+  const int n_nodes = 6;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < n_nodes; ++i) {
+    nodes.push_back(topo.add_node("n" + std::to_string(i)));
+  }
+  // Ring + chords for route diversity.
+  for (int i = 0; i < n_nodes; ++i) {
+    topo.add_link(nodes[static_cast<size_t>(i)],
+                  nodes[static_cast<size_t>((i + 1) % n_nodes)],
+                  rng.uniform(1e6, 1e8));
+  }
+  topo.add_link(nodes[0], nodes[3], rng.uniform(1e6, 1e8));
+
+  Network network(&engine, &topo);
+  int completions = 0;
+  int started = 0;
+  for (int i = 0; i < 12; ++i) {
+    NodeId src = nodes[static_cast<size_t>(rng.uniform_int(0, n_nodes - 1))];
+    NodeId dst = nodes[static_cast<size_t>(rng.uniform_int(0, n_nodes - 1))];
+    auto f = network.start_flow(src, dst,
+                                rng.uniform_int(1000, 50'000'000),
+                                [&](FlowId) { ++completions; });
+    if (f) ++started;
+  }
+  // Every flow eventually completes (no starvation under max-min fairness).
+  engine.run();
+  EXPECT_EQ(completions, started);
+  EXPECT_EQ(network.active_flow_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FairShareProperty,
+                         ::testing::Values(1, 7, 42, 99, 1234, 31337));
+
+}  // namespace
+}  // namespace pico::net
+
+// ------------------------------------------------------- link utilization ----
+namespace pico::net {
+namespace {
+
+TEST_F(NetFixture, LinkUtilizationAccounting) {
+  Network network(&engine, &topo);
+  // 10 MB across a-b (1 MB/s): the link is 100% busy for 10 s.
+  network.start_flow(a, b, 10'000'000, [](FlowId) {});
+  engine.run();
+  EXPECT_NEAR(network.bytes_carried(ab), 10e6, 1e4);
+  EXPECT_NEAR(network.average_utilization(ab), 1.0, 0.01);
+  EXPECT_DOUBLE_EQ(network.bytes_carried(cd), 0.0);
+  EXPECT_DOUBLE_EQ(network.average_utilization(cd), 0.0);
+}
+
+TEST_F(NetFixture, UtilizationHalvesWithIdleTime) {
+  Network network(&engine, &topo);
+  network.start_flow(a, b, 5'000'000, [](FlowId) {});  // busy 5 s
+  engine.run();
+  engine.run_until(sim::SimTime::from_seconds(10));     // idle 5 more
+  EXPECT_NEAR(network.average_utilization(ab), 0.5, 0.01);
+}
+
+TEST_F(NetFixture, MultiHopFlowCountsOnEveryLink) {
+  Network network(&engine, &topo);
+  network.start_flow(a, d, 2'000'000, [](FlowId) {});
+  engine.run();
+  EXPECT_NEAR(network.bytes_carried(ab), 2e6, 1e4);
+  EXPECT_NEAR(network.bytes_carried(bc), 2e6, 1e4);
+  EXPECT_NEAR(network.bytes_carried(cd), 2e6, 1e4);
+  // The 10 MB/s link carried the same bytes at lower relative utilization.
+  EXPECT_LT(network.average_utilization(cd),
+            network.average_utilization(ab));
+}
+
+}  // namespace
+}  // namespace pico::net

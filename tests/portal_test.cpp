@@ -1,0 +1,121 @@
+// Portal tests: record rendering, listing facets, visibility, site output.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "portal/portal.hpp"
+#include "search/schema.hpp"
+#include "util/bytes.hpp"
+
+namespace pico::portal {
+namespace {
+
+using util::Json;
+
+search::Document record_doc(const std::string& id, const std::string& title,
+                            const std::string& created,
+                            std::vector<std::string> artifacts = {}) {
+  search::RecordInputs in;
+  in.title = title;
+  in.creators = {"Dynamic PicoProbe"};
+  in.created_iso8601 = created;
+  in.resource_type = "hyperspectral";
+  in.subjects = {"Au"};
+  in.instrument_metadata = Json::object({{"beam_energy_kv", 300.0}});
+  in.analysis = Json::object({{"total_counts", 12345}});
+  in.artifact_paths = artifacts;
+  search::Document d;
+  d.id = id;
+  d.content = search::build_record(in);
+  return d;
+}
+
+TEST(Portal, RecordHtmlContainsMetadata) {
+  Portal portal(PortalConfig{"Test Portal", ""});
+  auto doc = record_doc("r1", "Gold film <scan>", "2023-04-07T10:00:00Z");
+  std::string html = portal.render_record_html(doc);
+  // Title is escaped.
+  EXPECT_NE(html.find("Gold film &lt;scan&gt;"), std::string::npos);
+  EXPECT_EQ(html.find("<scan>"), std::string::npos);
+  EXPECT_NE(html.find("2023-04-07T10:00:00Z"), std::string::npos);
+  EXPECT_NE(html.find("beam_energy_kv"), std::string::npos);
+  EXPECT_NE(html.find("total_counts"), std::string::npos);
+  EXPECT_NE(html.find("Au"), std::string::npos);
+}
+
+TEST(Portal, RecordInlinesSvgArtifacts) {
+  std::string dir = testing::TempDir() + "/portal_svg_test";
+  std::filesystem::create_directories(dir);
+  std::string svg_path = dir + "/plot.svg";
+  ASSERT_TRUE(util::write_file(svg_path,
+                               std::string("<svg><text>SPECTRUM-MARK</text></svg>")));
+  Portal portal(PortalConfig{"P", dir});
+  auto doc = record_doc("r1", "t", "2023-04-07T10:00:00Z", {svg_path});
+  std::string html = portal.render_record_html(doc);
+  EXPECT_NE(html.find("SPECTRUM-MARK"), std::string::npos);
+}
+
+TEST(Portal, RecordLinksNonSvgArtifacts) {
+  Portal portal(PortalConfig{"P", ""});
+  auto doc = record_doc("r1", "t", "2023-04-07T10:00:00Z", {"video.mpk"});
+  std::string html = portal.render_record_html(doc);
+  EXPECT_NE(html.find("href='video.mpk'"), std::string::npos);
+}
+
+TEST(Portal, MissingSvgArtifactDegrades) {
+  Portal portal(PortalConfig{"P", ""});
+  auto doc = record_doc("r1", "t", "2023-04-07T10:00:00Z", {"/nope/x.svg"});
+  std::string html = portal.render_record_html(doc);
+  EXPECT_NE(html.find("missing artifact"), std::string::npos);
+}
+
+TEST(Portal, IndexHtmlListsRecordsAndFacets) {
+  search::Index index("exp");
+  index.ingest(record_doc("r1", "First scan", "2023-04-07T10:00:00Z"));
+  index.ingest(record_doc("r2", "Second scan", "2023-04-08T09:00:00Z"));
+  Portal portal(PortalConfig{"PicoProbe Portal", ""});
+  std::string html = portal.render_index_html(index, "");
+  EXPECT_NE(html.find("PicoProbe Portal"), std::string::npos);
+  EXPECT_NE(html.find("First scan"), std::string::npos);
+  EXPECT_NE(html.find("Second scan"), std::string::npos);
+  // Date facets aggregated per day.
+  EXPECT_NE(html.find("2023-04-07 (1)"), std::string::npos);
+  EXPECT_NE(html.find("2023-04-08 (1)"), std::string::npos);
+  EXPECT_NE(html.find("hyperspectral (2)"), std::string::npos);
+  EXPECT_NE(html.find("Experiments (2)"), std::string::npos);
+}
+
+TEST(Portal, VisibilityRespectedInListing) {
+  search::Index index("exp");
+  auto restricted = record_doc("priv", "Hidden scan", "2023-04-07T10:00:00Z");
+  restricted.visible_to = {"alice@anl.gov"};
+  index.ingest(std::move(restricted));
+  Portal portal(PortalConfig{"P", ""});
+  EXPECT_EQ(portal.render_index_html(index, "").find("Hidden scan"),
+            std::string::npos);
+  EXPECT_NE(portal.render_index_html(index, "alice@anl.gov").find("Hidden scan"),
+            std::string::npos);
+}
+
+TEST(Portal, GenerateWritesSite) {
+  std::string dir = testing::TempDir() + "/portal_site_test";
+  std::filesystem::remove_all(dir);
+  search::Index index("exp");
+  index.ingest(record_doc("r1", "Scan one", "2023-04-07T10:00:00Z"));
+  index.ingest(record_doc("r2", "Scan two", "2023-04-07T11:00:00Z"));
+  Portal portal(PortalConfig{"P", dir});
+  auto site = portal.generate(index);
+  ASSERT_TRUE(site);
+  EXPECT_TRUE(std::filesystem::exists(site.value().index_path));
+  ASSERT_EQ(site.value().record_paths.size(), 2u);
+  for (const auto& p : site.value().record_paths) {
+    EXPECT_TRUE(std::filesystem::exists(p));
+  }
+  auto index_html = util::read_file(site.value().index_path);
+  ASSERT_TRUE(index_html);
+  std::string text(index_html.value().begin(), index_html.value().end());
+  EXPECT_NE(text.find("record_r1.html"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pico::portal

@@ -1,0 +1,322 @@
+// Search index tests: tokenization, TF-IDF ranking, AND semantics, field and
+// date filters, ACL visibility, facets, re-ingest; DataCite schema checks.
+#include <gtest/gtest.h>
+
+#include "search/index.hpp"
+#include "search/schema.hpp"
+#include "util/timefmt.hpp"
+
+namespace pico::search {
+namespace {
+
+using util::Json;
+
+Document make_doc(const std::string& id, const std::string& title,
+                  const std::string& created,
+                  const std::string& type = "hyperspectral") {
+  Document d;
+  d.id = id;
+  d.content = Json::object({
+      {"title", title},
+      {"dates", Json::object({{"created", created}})},
+      {"resource_type", type},
+      {"subjects", Json::array({"Au", "Pb"})},
+  });
+  return d;
+}
+
+TEST(Tokenize, SplitsOnNonAlnumAndLowercases) {
+  auto toks = tokenize("Gold-Nanoparticle Tracking, #42!");
+  EXPECT_EQ(toks, (std::vector<std::string>{"gold", "nanoparticle", "tracking",
+                                            "42"}));
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("---").empty());
+}
+
+TEST(TokenizeJson, WalksValuesNotKeys) {
+  Json j = Json::object({
+      {"keyname", "valuetext"},
+      {"nested", Json::array({Json::object({{"inner", 42}})})},
+  });
+  auto toks = tokenize_json(j);
+  EXPECT_NE(std::find(toks.begin(), toks.end(), "valuetext"), toks.end());
+  EXPECT_NE(std::find(toks.begin(), toks.end(), "42"), toks.end());
+  EXPECT_EQ(std::find(toks.begin(), toks.end(), "keyname"), toks.end());
+}
+
+TEST(Index, FreeTextSearchFindsDocuments) {
+  Index index("test");
+  index.ingest(make_doc("d1", "gold nanoparticle tracking", "2023-04-07T10:00:00Z"));
+  index.ingest(make_doc("d2", "polyamide film spectrum", "2023-04-07T11:00:00Z"));
+
+  Query q;
+  q.text = "nanoparticle";
+  auto hits = index.search(q);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, "d1");
+
+  q.text = "zeolite";
+  EXPECT_TRUE(index.search(q).empty());
+}
+
+TEST(Index, AndSemanticsAcrossTerms) {
+  Index index("test");
+  index.ingest(make_doc("d1", "gold film", "2023-04-07T10:00:00Z"));
+  index.ingest(make_doc("d2", "gold nanoparticle", "2023-04-07T10:00:00Z"));
+  Query q;
+  q.text = "gold nanoparticle";
+  auto hits = index.search(q);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, "d2");
+}
+
+TEST(Index, EmptyQueryReturnsEverythingVisible) {
+  Index index("test");
+  index.ingest(make_doc("d1", "a", "2023-04-07T10:00:00Z"));
+  index.ingest(make_doc("d2", "b", "2023-04-07T10:00:00Z"));
+  EXPECT_EQ(index.search(Query{}).size(), 2u);
+}
+
+TEST(Index, RareTermsRankHigher) {
+  Index index("test");
+  // "gold" appears everywhere; "uranium" only in d3.
+  index.ingest(make_doc("d1", "gold gold gold", "2023-04-07T10:00:00Z"));
+  index.ingest(make_doc("d2", "gold sample", "2023-04-07T10:00:00Z"));
+  index.ingest(make_doc("d3", "gold uranium", "2023-04-07T10:00:00Z"));
+  Query q;
+  q.text = "gold uranium";
+  auto hits = index.search(q);
+  ASSERT_EQ(hits.size(), 1u);  // AND semantics
+  EXPECT_EQ(hits[0].id, "d3");
+  // Single common term: d1 has tf=3 so it outranks d2.
+  Query q2;
+  q2.text = "gold";
+  auto hits2 = index.search(q2);
+  ASSERT_EQ(hits2.size(), 3u);
+  EXPECT_EQ(hits2[0].id, "d1");
+}
+
+TEST(Index, FieldFiltersExactAndArrayMembership) {
+  Index index("test");
+  index.ingest(make_doc("d1", "a", "2023-04-07T10:00:00Z", "hyperspectral"));
+  index.ingest(make_doc("d2", "b", "2023-04-07T10:00:00Z", "spatiotemporal"));
+  Query q;
+  q.field_filters = {{"resource_type", "spatiotemporal"}};
+  auto hits = index.search(q);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, "d2");
+
+  // Array field: subjects contains "Au".
+  Query q2;
+  q2.field_filters = {{"subjects", "Au"}};
+  EXPECT_EQ(index.search(q2).size(), 2u);
+  Query q3;
+  q3.field_filters = {{"subjects", "Fe"}};
+  EXPECT_TRUE(index.search(q3).empty());
+}
+
+TEST(Index, DateRangeFilter) {
+  Index index("test");
+  index.ingest(make_doc("old", "x", "2023-04-06T10:00:00Z"));
+  index.ingest(make_doc("mid", "x", "2023-04-07T10:00:00Z"));
+  index.ingest(make_doc("new", "x", "2023-04-08T10:00:00Z"));
+  int64_t from = 0, to = 0;
+  ASSERT_TRUE(util::parse_iso8601("2023-04-07T00:00:00Z", &from));
+  ASSERT_TRUE(util::parse_iso8601("2023-04-07T23:59:59Z", &to));
+  Query q;
+  q.date_field = "dates.created";
+  q.date_from_unix = from;
+  q.date_to_unix = to;
+  auto hits = index.search(q);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, "mid");
+}
+
+TEST(Index, VisibilityFiltering) {
+  Index index("test");
+  Document restricted = make_doc("priv", "secret sample", "2023-04-07T10:00:00Z");
+  restricted.visible_to = {"alice@anl.gov"};
+  index.ingest(std::move(restricted));
+  index.ingest(make_doc("pub", "public sample", "2023-04-07T10:00:00Z"));
+
+  Query q;
+  q.text = "sample";
+  EXPECT_EQ(index.search(q).size(), 1u);                    // anonymous
+  EXPECT_EQ(index.search(q, "alice@anl.gov").size(), 2u);   // owner
+  EXPECT_EQ(index.search(q, "bob@anl.gov").size(), 1u);     // other user
+
+  EXPECT_FALSE(index.get("priv"));
+  EXPECT_TRUE(index.get("priv", "alice@anl.gov"));
+  EXPECT_FALSE(index.get("priv", "bob@anl.gov"));
+  EXPECT_EQ(index.all_ids().size(), 1u);
+  EXPECT_EQ(index.all_ids("alice@anl.gov").size(), 2u);
+}
+
+TEST(Index, ReingestReplacesDocument) {
+  Index index("test");
+  index.ingest(make_doc("d1", "original title", "2023-04-07T10:00:00Z"));
+  index.ingest(make_doc("d1", "replacement words", "2023-04-07T10:00:00Z"));
+  EXPECT_EQ(index.size(), 1u);
+  Query q;
+  q.text = "original";
+  EXPECT_TRUE(index.search(q).empty());
+  q.text = "replacement";
+  EXPECT_EQ(index.search(q).size(), 1u);
+}
+
+TEST(Index, RemoveUnindexes) {
+  Index index("test");
+  index.ingest(make_doc("d1", "findme", "2023-04-07T10:00:00Z"));
+  ASSERT_TRUE(index.remove("d1"));
+  EXPECT_FALSE(index.remove("d1"));
+  Query q;
+  q.text = "findme";
+  EXPECT_TRUE(index.search(q).empty());
+  EXPECT_EQ(index.size(), 0u);
+}
+
+TEST(Index, FacetsCountValues) {
+  Index index("test");
+  index.ingest(make_doc("d1", "a", "2023-04-07T10:00:00Z", "hyperspectral"));
+  index.ingest(make_doc("d2", "b", "2023-04-07T11:00:00Z", "hyperspectral"));
+  index.ingest(make_doc("d3", "c", "2023-04-08T10:00:00Z", "spatiotemporal"));
+  auto facets = index.facet("resource_type");
+  EXPECT_EQ(facets["hyperspectral"], 2u);
+  EXPECT_EQ(facets["spatiotemporal"], 1u);
+  EXPECT_TRUE(index.facet("missing.path").empty());
+}
+
+TEST(Index, LimitTruncatesResults) {
+  Index index("test");
+  for (int i = 0; i < 20; ++i) {
+    index.ingest(make_doc("d" + std::to_string(i), "sample data",
+                          "2023-04-07T10:00:00Z"));
+  }
+  Query q;
+  q.text = "sample";
+  q.limit = 5;
+  EXPECT_EQ(index.search(q).size(), 5u);
+}
+
+// ---- DataCite schema ----
+
+TEST(Schema, BuildRecordIsValid) {
+  RecordInputs in;
+  in.title = "Hyperspectral acquisition #1";
+  in.creators = {"Dynamic PicoProbe"};
+  in.created_iso8601 = "2023-04-07T10:00:00Z";
+  in.resource_type = "hyperspectral";
+  in.subjects = {"Au", "Pb"};
+  in.artifact_paths = {"plot.svg"};
+  Json record = build_record(in);
+  EXPECT_TRUE(validate_record(record));
+  EXPECT_EQ(record.at("creators")[0].at("name").as_string(), "Dynamic PicoProbe");
+  EXPECT_EQ(record.at("artifacts")[0].as_string(), "plot.svg");
+}
+
+TEST(Schema, ValidationCatchesMissingFields) {
+  RecordInputs in;
+  in.title = "ok";
+  in.creators = {"x"};
+  in.created_iso8601 = "2023-04-07T10:00:00Z";
+  in.resource_type = "hyperspectral";
+  Json good = build_record(in);
+  ASSERT_TRUE(validate_record(good));
+
+  Json no_title = good;
+  no_title["title"] = "";
+  EXPECT_FALSE(validate_record(no_title));
+
+  Json no_creators = good;
+  no_creators["creators"] = Json::array();
+  EXPECT_FALSE(validate_record(no_creators));
+
+  Json bad_date = good;
+  bad_date["dates"]["created"] = "sometime";
+  EXPECT_FALSE(validate_record(bad_date));
+
+  Json no_type = good;
+  no_type["resource_type"] = "";
+  EXPECT_FALSE(validate_record(no_type));
+
+  Json no_subjects = good;
+  no_subjects["subjects"] = Json();
+  EXPECT_FALSE(validate_record(no_subjects));
+
+  EXPECT_FALSE(validate_record(Json("not an object")));
+}
+
+}  // namespace
+}  // namespace pico::search
+
+// ------------------------------------------------------------ persistence ----
+#include "search/persist.hpp"
+
+namespace pico::search {
+namespace {
+
+TEST(Persist, SnapshotRoundTripPreservesEverything) {
+  Index index("experiments");
+  index.ingest(make_doc("pub1", "public gold scan", "2023-04-07T10:00:00Z"));
+  Document restricted =
+      make_doc("priv1", "restricted lead scan", "2023-04-08T10:00:00Z");
+  restricted.visible_to = {"alice@anl.gov", "bob@anl.gov"};
+  restricted.ingested_unix = 1680000000;
+  index.ingest(std::move(restricted));
+
+  auto restored = index_from_json(index_to_json(index));
+  ASSERT_TRUE(restored);
+  Index& r = restored.value();
+  EXPECT_EQ(r.name(), "experiments");
+  EXPECT_EQ(r.size(), 2u);
+
+  // Content and search behaviour identical.
+  Query q;
+  q.text = "lead";
+  EXPECT_TRUE(r.search(q).empty());                      // ACL holds
+  EXPECT_EQ(r.search(q, "alice@anl.gov").size(), 1u);
+  auto doc = r.get("priv1", "bob@anl.gov");
+  ASSERT_TRUE(doc);
+  EXPECT_EQ(doc.value()->ingested_unix, 1680000000);
+  // Ingest order preserved (portal listing order).
+  auto ids = r.all_ids("alice@anl.gov");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], "pub1");
+}
+
+TEST(Persist, FileRoundTrip) {
+  std::string path = testing::TempDir() + "/search_snapshot_test.json";
+  Index index("disk");
+  index.ingest(make_doc("d1", "saved record", "2023-04-07T10:00:00Z"));
+  ASSERT_TRUE(save_index(index, path));
+  auto restored = load_index(path);
+  ASSERT_TRUE(restored);
+  EXPECT_EQ(restored.value().size(), 1u);
+  Query q;
+  q.text = "saved";
+  EXPECT_EQ(restored.value().search(q).size(), 1u);
+  EXPECT_FALSE(load_index(path + ".missing"));
+}
+
+TEST(Persist, RejectsForeignDocuments) {
+  EXPECT_FALSE(index_from_json("not json"));
+  EXPECT_FALSE(index_from_json(R"({"format": "something-else"})"));
+  EXPECT_FALSE(index_from_json(
+      R"({"format": "picoflow-search-snapshot-1", "index": ""})"));
+  EXPECT_FALSE(index_from_json(
+      R"({"format": "picoflow-search-snapshot-1", "index": "x",
+          "documents": [{"content": {}}]})"));  // missing id
+}
+
+TEST(Persist, SnapshotIsAdministrative) {
+  Index index("admin");
+  Document d = make_doc("secret", "hidden", "2023-04-07T10:00:00Z");
+  d.visible_to = {"alice@anl.gov"};
+  index.ingest(std::move(d));
+  // The snapshot includes restricted documents (unlike all_ids).
+  EXPECT_EQ(index.snapshot().size(), 1u);
+  EXPECT_TRUE(index.all_ids().empty());
+}
+
+}  // namespace
+}  // namespace pico::search

@@ -1,0 +1,82 @@
+// Store tests: capacity accounting, real vs virtual objects, listing.
+#include <gtest/gtest.h>
+
+#include "storage/store.hpp"
+#include "util/crc64.hpp"
+
+namespace pico::storage {
+namespace {
+
+sim::SimTime at(double s) { return sim::SimTime::from_seconds(s); }
+
+TEST(Store, PutGetRealContent) {
+  Store store("test", 1000);
+  std::vector<uint8_t> data = {1, 2, 3, 4};
+  ASSERT_TRUE(store.put("a/b.emd", data, at(1)));
+  auto obj = store.get("a/b.emd");
+  ASSERT_TRUE(obj);
+  EXPECT_EQ(obj.value()->size, 4);
+  EXPECT_TRUE(obj.value()->has_content());
+  EXPECT_EQ(*obj.value()->content, data);
+  EXPECT_EQ(obj.value()->crc64, util::crc64(data));
+  EXPECT_DOUBLE_EQ(obj.value()->created.seconds(), 1.0);
+}
+
+TEST(Store, VirtualObjectCarriesSizeAndCrc) {
+  Store store("eagle", static_cast<int64_t>(100e15));
+  ASSERT_TRUE(store.put_virtual("x.emd", 1'200'000'000, 0xABCD, at(0)));
+  auto obj = store.get("x.emd");
+  ASSERT_TRUE(obj);
+  EXPECT_EQ(obj.value()->size, 1'200'000'000);
+  EXPECT_FALSE(obj.value()->has_content());
+  EXPECT_EQ(obj.value()->crc64, 0xABCDu);
+  EXPECT_EQ(store.used_bytes(), 1'200'000'000);
+}
+
+TEST(Store, CapacityEnforced) {
+  Store store("tiny", 10);
+  EXPECT_TRUE(store.put("a", std::vector<uint8_t>(6), at(0)));
+  auto st = store.put("b", std::vector<uint8_t>(5), at(0));
+  EXPECT_FALSE(st);
+  EXPECT_EQ(st.error().code, "capacity");
+  EXPECT_EQ(store.used_bytes(), 6);
+  // Exactly filling is fine.
+  EXPECT_TRUE(store.put("c", std::vector<uint8_t>(4), at(0)));
+}
+
+TEST(Store, OverwriteAdjustsUsage) {
+  Store store("s", 100);
+  ASSERT_TRUE(store.put("f", std::vector<uint8_t>(60), at(0)));
+  // Replacing with a smaller object frees space.
+  ASSERT_TRUE(store.put("f", std::vector<uint8_t>(10), at(1)));
+  EXPECT_EQ(store.used_bytes(), 10);
+  ASSERT_TRUE(store.put("g", std::vector<uint8_t>(80), at(2)));
+  EXPECT_FALSE(store.put("f", std::vector<uint8_t>(30), at(3)));
+  EXPECT_EQ(store.used_bytes(), 90);
+}
+
+TEST(Store, RemoveFreesSpace) {
+  Store store("s", 100);
+  ASSERT_TRUE(store.put("f", std::vector<uint8_t>(50), at(0)));
+  ASSERT_TRUE(store.remove("f"));
+  EXPECT_EQ(store.used_bytes(), 0);
+  EXPECT_FALSE(store.exists("f"));
+  EXPECT_FALSE(store.remove("f"));
+  EXPECT_FALSE(store.get("f"));
+}
+
+TEST(Store, ListByPrefix) {
+  Store store("s", 1000);
+  ASSERT_TRUE(store.put("exp/a.emd", std::vector<uint8_t>(1), at(0)));
+  ASSERT_TRUE(store.put("exp/b.emd", std::vector<uint8_t>(1), at(0)));
+  ASSERT_TRUE(store.put("other/c.emd", std::vector<uint8_t>(1), at(0)));
+  auto listed = store.list("exp/");
+  ASSERT_EQ(listed.size(), 2u);
+  EXPECT_EQ(listed[0], "exp/a.emd");
+  EXPECT_EQ(store.list().size(), 3u);
+  EXPECT_TRUE(store.list("zzz").empty());
+  EXPECT_EQ(store.object_count(), 3u);
+}
+
+}  // namespace
+}  // namespace pico::storage

@@ -1,0 +1,168 @@
+// Tensor tests: shapes, indexing, reductions (the Fig. 2 math), casts.
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace pico::tensor {
+namespace {
+
+TEST(DType, SizesAndNames) {
+  EXPECT_EQ(dtype_size(DType::U8), 1u);
+  EXPECT_EQ(dtype_size(DType::F64), 8u);
+  EXPECT_EQ(dtype_name(DType::F32), "f32");
+  EXPECT_EQ(dtype_from_name("u16").value(), DType::U16);
+  EXPECT_FALSE(dtype_from_name("complex128"));
+  // Round trip all dtypes.
+  for (auto t : {DType::U8, DType::I8, DType::U16, DType::I16, DType::U32,
+                 DType::I32, DType::U64, DType::I64, DType::F32, DType::F64}) {
+    EXPECT_EQ(dtype_from_name(std::string(dtype_name(t))).value(), t);
+  }
+}
+
+TEST(Tensor, ShapeAndIndexing) {
+  Tensor<double> t(Shape{2, 3, 4});
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.rank(), 3u);
+  t(1, 2, 3) = 7.5;
+  EXPECT_DOUBLE_EQ(t[23], 7.5);  // row-major last element
+  t(0, 0, 0) = 1.0;
+  EXPECT_DOUBLE_EQ(t[0], 1.0);
+}
+
+TEST(Tensor, FullAndZeros) {
+  auto z = Tensor<int32_t>::zeros(Shape{3, 3});
+  for (auto v : z.data()) EXPECT_EQ(v, 0);
+  auto f = Tensor<int32_t>::full(Shape{2, 2}, -5);
+  for (auto v : f.data()) EXPECT_EQ(v, -5);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor<double> t(Shape{2, 6});
+  for (size_t i = 0; i < 12; ++i) t[i] = static_cast<double>(i);
+  auto r = t.reshaped(Shape{3, 4});
+  EXPECT_EQ(r.dim(0), 3u);
+  EXPECT_DOUBLE_EQ(r(2, 3), 11.0);
+}
+
+TEST(Tensor, Slice0ExtractsFrame) {
+  Tensor<double> stack(Shape{3, 2, 2});
+  for (size_t i = 0; i < stack.size(); ++i) stack[i] = static_cast<double>(i);
+  auto frame = stack.slice0(1);
+  EXPECT_EQ(frame.shape(), (Shape{2, 2}));
+  EXPECT_DOUBLE_EQ(frame(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(frame(1, 1), 7.0);
+}
+
+TEST(Ops, SumAxis3MatchesManual) {
+  Tensor<double> t(Shape{2, 3, 4});
+  for (size_t i = 0; i < t.size(); ++i) t[i] = static_cast<double>(i + 1);
+
+  auto s2 = sum_axis3(t, 2);  // intensity-map style reduction
+  EXPECT_EQ(s2.shape(), (Shape{2, 3}));
+  double manual = 0;
+  for (size_t k = 0; k < 4; ++k) manual += t(1, 2, k);
+  EXPECT_DOUBLE_EQ(s2(1, 2), manual);
+
+  auto s0 = sum_axis3(t, 0);
+  EXPECT_EQ(s0.shape(), (Shape{3, 4}));
+  EXPECT_DOUBLE_EQ(s0(0, 0), t(0, 0, 0) + t(1, 0, 0));
+
+  auto s1 = sum_axis3(t, 1);
+  EXPECT_EQ(s1.shape(), (Shape{2, 4}));
+  EXPECT_DOUBLE_EQ(s1(0, 3), t(0, 0, 3) + t(0, 1, 3) + t(0, 2, 3));
+}
+
+TEST(Ops, SumKeepAxisMatchesManual) {
+  Tensor<double> t(Shape{2, 3, 4});
+  for (size_t i = 0; i < t.size(); ++i) t[i] = static_cast<double>(i);
+  auto spec = sum_keep_axis3(t, 2);  // spectrum-style reduction
+  EXPECT_EQ(spec.shape(), (Shape{4}));
+  double manual = 0;
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) manual += t(i, j, 1);
+  }
+  EXPECT_DOUBLE_EQ(spec(1), manual);
+
+  auto keep0 = sum_keep_axis3(t, 0);
+  EXPECT_EQ(keep0.shape(), (Shape{2}));
+  auto keep1 = sum_keep_axis3(t, 1);
+  EXPECT_EQ(keep1.shape(), (Shape{3}));
+}
+
+// Property: total mass is conserved by every reduction path.
+class ReductionProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReductionProperty, MassConservation) {
+  util::Rng rng(GetParam());
+  Shape shape{static_cast<size_t>(rng.uniform_int(1, 6)),
+              static_cast<size_t>(rng.uniform_int(1, 6)),
+              static_cast<size_t>(rng.uniform_int(1, 6))};
+  Tensor<double> t(shape);
+  for (size_t i = 0; i < t.size(); ++i) t[i] = rng.uniform(-10, 10);
+  double total = sum_value(t);
+  for (size_t axis = 0; axis < 3; ++axis) {
+    EXPECT_NEAR(sum_value(sum_axis3(t, axis)), total, 1e-9);
+    Tensor<double> kept = sum_keep_axis3(t, axis);
+    double kept_total = 0;
+    for (double v : kept.data()) kept_total += v;
+    EXPECT_NEAR(kept_total, total, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionProperty,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(Ops, MinMaxMeanSum) {
+  Tensor<double> t(Shape{4});
+  t(0) = -2;
+  t(1) = 8;
+  t(2) = 0;
+  t(3) = 2;
+  EXPECT_DOUBLE_EQ(min_value(t), -2);
+  EXPECT_DOUBLE_EQ(max_value(t), 8);
+  EXPECT_DOUBLE_EQ(sum_value(t), 8);
+  EXPECT_DOUBLE_EQ(mean_value(t), 2);
+}
+
+TEST(Ops, ToU8NormalizedRange) {
+  Tensor<double> t(Shape{3});
+  t(0) = -5;
+  t(1) = 0;
+  t(2) = 5;
+  auto u = to_u8_normalized(t);
+  EXPECT_EQ(u(0), 0);
+  EXPECT_EQ(u(1), 128);  // midpoint rounds to 128
+  EXPECT_EQ(u(2), 255);
+}
+
+TEST(Ops, ToU8ConstantInputIsZero) {
+  auto u = to_u8_normalized(Tensor<double>::full(Shape{5}, 3.14));
+  for (auto v : u.data()) EXPECT_EQ(v, 0);
+}
+
+TEST(Ops, Conversions) {
+  Tensor<uint16_t> a(Shape{3});
+  a(0) = 0;
+  a(1) = 1000;
+  a(2) = 65535;
+  auto d = to_f64(a);
+  EXPECT_DOUBLE_EQ(d(2), 65535.0);
+  auto f = to_f32(d);
+  EXPECT_FLOAT_EQ(f(1), 1000.0f);
+  auto back = from_f32(f);
+  EXPECT_DOUBLE_EQ(back(0), 0.0);
+}
+
+TEST(Ops, AddAndScaleInplace) {
+  auto a = Tensor<double>::full(Shape{2, 2}, 1.0);
+  auto b = Tensor<double>::full(Shape{2, 2}, 2.0);
+  add_inplace(a, b);
+  EXPECT_DOUBLE_EQ(a(1, 1), 3.0);
+  scale_inplace(a, 0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.5);
+}
+
+}  // namespace
+}  // namespace pico::tensor

@@ -1,0 +1,283 @@
+// Transfer service tests: auth, task lifecycle, data delivery + integrity,
+// compression, fault injection + retry, live progress, settling.
+#include <gtest/gtest.h>
+
+#include "auth/auth.hpp"
+#include "net/network.hpp"
+#include "storage/store.hpp"
+#include "transfer/service.hpp"
+
+namespace pico::transfer {
+namespace {
+
+struct TransferFixture : ::testing::Test {
+  sim::Engine engine;
+  net::Topology topo;
+  std::unique_ptr<net::Network> network;
+  auth::AuthService auth;
+  storage::Store src_store{"src", static_cast<int64_t>(1e12)};
+  storage::Store dst_store{"dst", static_cast<int64_t>(1e12)};
+  std::unique_ptr<TransferService> service;
+  auth::Token token;
+
+  void setup_service(TransferConfig cfg) {
+    net::NodeId a = topo.add_node("src");
+    net::NodeId b = topo.add_node("dst");
+    topo.add_link(a, b, 80e6);  // 10 MB/s
+    network = std::make_unique<net::Network>(&engine, &topo);
+    service = std::make_unique<TransferService>(&engine, network.get(), &auth,
+                                                cfg, 42);
+    service->register_endpoint("ep-src", a, &src_store);
+    service->register_endpoint("ep-dst", b, &dst_store);
+    token = auth.issue("user@anl.gov", {"transfer"});
+  }
+
+  TransferConfig quick_config() {
+    TransferConfig cfg;
+    cfg.setup_mean_s = 1.0;
+    cfg.setup_jitter_s = 0.0;
+    cfg.per_file_overhead_s = 0.1;
+    cfg.settle_base_s = 0.2;
+    cfg.settle_per_gb_s = 0.0;
+    cfg.cap_jitter_frac = 0.0;
+    return cfg;
+  }
+
+  TransferRequest single_file(const std::string& src, const std::string& dst) {
+    TransferRequest req;
+    req.src_endpoint = "ep-src";
+    req.dst_endpoint = "ep-dst";
+    req.files = {{src, dst}};
+    return req;
+  }
+};
+
+TEST_F(TransferFixture, RequiresValidTokenAndScope) {
+  setup_service(quick_config());
+  ASSERT_TRUE(src_store.put("f", std::vector<uint8_t>(10), engine.now()));
+  EXPECT_FALSE(service->submit(single_file("f", "g"), "bogus-token"));
+  auth::Token wrong_scope = auth.issue("user@anl.gov", {"compute"});
+  auto denied = service->submit(single_file("f", "g"), wrong_scope);
+  ASSERT_FALSE(denied);
+  EXPECT_EQ(denied.error().code, "denied");
+  EXPECT_TRUE(service->submit(single_file("f", "g"), token));
+}
+
+TEST_F(TransferFixture, ValidatesEndpointsAndFiles) {
+  setup_service(quick_config());
+  ASSERT_TRUE(src_store.put("f", std::vector<uint8_t>(10), engine.now()));
+  {
+    auto req = single_file("f", "g");
+    req.src_endpoint = "nope";
+    EXPECT_FALSE(service->submit(req, token));
+  }
+  {
+    auto req = single_file("f", "g");
+    req.dst_endpoint = "nope";
+    EXPECT_FALSE(service->submit(req, token));
+  }
+  {
+    auto req = single_file("missing.emd", "g");
+    EXPECT_FALSE(service->submit(req, token));
+  }
+  {
+    TransferRequest req;
+    req.src_endpoint = "ep-src";
+    req.dst_endpoint = "ep-dst";
+    EXPECT_FALSE(service->submit(req, token));  // empty file list
+  }
+  {
+    auto req = single_file("f", "g");
+    req.codec = "zstd";  // unknown codec
+    EXPECT_FALSE(service->submit(req, token));
+  }
+}
+
+TEST_F(TransferFixture, DeliversRealContentWithChecksum) {
+  setup_service(quick_config());
+  std::vector<uint8_t> payload(1'000'000);
+  for (size_t i = 0; i < payload.size(); ++i) payload[i] = static_cast<uint8_t>(i);
+  ASSERT_TRUE(src_store.put("data.emd", payload, engine.now()));
+
+  auto task = service->submit(single_file("data.emd", "exp/data.emd"), token);
+  ASSERT_TRUE(task);
+  EXPECT_EQ(service->status(task.value()).state, TaskState::Pending);
+  engine.run();
+
+  TaskInfo info = service->status(task.value());
+  EXPECT_EQ(info.state, TaskState::Succeeded);
+  EXPECT_EQ(info.bytes_done, 1'000'000);
+  EXPECT_EQ(info.files_done, 1);
+  auto delivered = dst_store.get("exp/data.emd");
+  ASSERT_TRUE(delivered);
+  EXPECT_EQ(*delivered.value()->content, payload);
+}
+
+TEST_F(TransferFixture, VirtualObjectsDeliverSizeOnly) {
+  setup_service(quick_config());
+  ASSERT_TRUE(src_store.put_virtual("big.emd", 50'000'000, 0x1234, engine.now()));
+  auto task = service->submit(single_file("big.emd", "big.emd"), token);
+  ASSERT_TRUE(task);
+  engine.run();
+  EXPECT_EQ(service->status(task.value()).state, TaskState::Succeeded);
+  auto obj = dst_store.get("big.emd");
+  ASSERT_TRUE(obj);
+  EXPECT_EQ(obj.value()->size, 50'000'000);
+  EXPECT_EQ(obj.value()->crc64, 0x1234u);
+  EXPECT_FALSE(obj.value()->has_content());
+}
+
+TEST_F(TransferFixture, MultiFileBatchTransfersSequentially) {
+  setup_service(quick_config());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(src_store.put("f" + std::to_string(i),
+                              std::vector<uint8_t>(1000), engine.now()));
+  }
+  TransferRequest req;
+  req.src_endpoint = "ep-src";
+  req.dst_endpoint = "ep-dst";
+  req.files = {{"f0", "o0"}, {"f1", "o1"}, {"f2", "o2"}};
+  auto task = service->submit(req, token);
+  ASSERT_TRUE(task);
+  engine.run();
+  TaskInfo info = service->status(task.value());
+  EXPECT_EQ(info.state, TaskState::Succeeded);
+  EXPECT_EQ(info.files_done, 3);
+  EXPECT_EQ(info.bytes_done, 3000);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(dst_store.exists("o" + std::to_string(i)));
+  }
+}
+
+TEST_F(TransferFixture, CompressionReducesWireBytesAndRoundTrips) {
+  setup_service(quick_config());
+  std::vector<uint8_t> compressible(500'000, 42);
+  ASSERT_TRUE(src_store.put("c.emd", compressible, engine.now()));
+  auto req = single_file("c.emd", "c.emd");
+  req.codec = "rle";
+  auto task = service->submit(req, token);
+  ASSERT_TRUE(task);
+  engine.run();
+  TaskInfo info = service->status(task.value());
+  EXPECT_EQ(info.state, TaskState::Succeeded);
+  EXPECT_LT(info.wire_bytes, info.bytes_total / 10);
+  auto obj = dst_store.get("c.emd");
+  ASSERT_TRUE(obj);
+  EXPECT_EQ(*obj.value()->content, compressible);  // decompressed at dst
+}
+
+TEST_F(TransferFixture, VirtualCompressionUsesAssumedRatio) {
+  setup_service(quick_config());
+  ASSERT_TRUE(src_store.put_virtual("v.emd", 10'000'000, 1, engine.now()));
+  auto req = single_file("v.emd", "v.emd");
+  req.codec = "lz";
+  req.assumed_virtual_ratio = 4.0;
+  auto task = service->submit(req, token);
+  ASSERT_TRUE(task);
+  engine.run();
+  TaskInfo info = service->status(task.value());
+  EXPECT_EQ(info.state, TaskState::Succeeded);
+  EXPECT_EQ(info.wire_bytes, 2'500'000);
+}
+
+TEST_F(TransferFixture, FaultsRetryUntilSuccess) {
+  auto cfg = quick_config();
+  cfg.fault_prob = 0.5;
+  cfg.max_retries = 50;
+  cfg.retry_backoff_s = 0.1;
+  setup_service(cfg);
+  // Many tasks: with p=0.5 per file, some faults occur with overwhelming
+  // probability, and every one must be absorbed by a retry.
+  std::vector<TaskId> tasks;
+  for (int i = 0; i < 20; ++i) {
+    std::string name = "f" + std::to_string(i) + ".emd";
+    ASSERT_TRUE(src_store.put(name, std::vector<uint8_t>(10'000), engine.now()));
+    auto task = service->submit(single_file(name, name), token);
+    ASSERT_TRUE(task);
+    tasks.push_back(task.value());
+  }
+  engine.run();
+  int total_faults = 0;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    TaskInfo info = service->status(tasks[i]);
+    EXPECT_EQ(info.state, TaskState::Succeeded) << i;
+    total_faults += info.faults;
+    EXPECT_TRUE(dst_store.exists("f" + std::to_string(i) + ".emd"));
+  }
+  EXPECT_GT(total_faults, 0);
+}
+
+TEST_F(TransferFixture, RetryLimitFailsTask) {
+  auto cfg = quick_config();
+  cfg.fault_prob = 1.0;  // always faults
+  cfg.max_retries = 2;
+  cfg.retry_backoff_s = 0.1;
+  setup_service(cfg);
+  ASSERT_TRUE(src_store.put("f.emd", std::vector<uint8_t>(100), engine.now()));
+  auto task = service->submit(single_file("f.emd", "f.emd"), token);
+  ASSERT_TRUE(task);
+  engine.run();
+  TaskInfo info = service->status(task.value());
+  EXPECT_EQ(info.state, TaskState::Failed);
+  EXPECT_NE(info.error.find("retry limit"), std::string::npos);
+}
+
+TEST_F(TransferFixture, DestinationCapacityFailureReported) {
+  setup_service(quick_config());
+  storage::Store tiny("tiny", 10);
+  net::NodeId c = topo.add_node("tiny-node");
+  topo.add_link(topo.node("src").value(), c, 80e6);
+  service->register_endpoint("ep-tiny", c, &tiny);
+  ASSERT_TRUE(src_store.put("f", std::vector<uint8_t>(1000), engine.now()));
+  TransferRequest req;
+  req.src_endpoint = "ep-src";
+  req.dst_endpoint = "ep-tiny";
+  req.files = {{"f", "f"}};
+  auto task = service->submit(req, token);
+  ASSERT_TRUE(task);
+  engine.run();
+  EXPECT_EQ(service->status(task.value()).state, TaskState::Failed);
+}
+
+TEST_F(TransferFixture, LiveProgressVisibleMidTransfer) {
+  auto cfg = quick_config();
+  setup_service(cfg);
+  // 10 MB at 10 MB/s -> ~1 s of wire time after ~1.1 s of setup.
+  ASSERT_TRUE(src_store.put_virtual("p.emd", 10'000'000, 7, engine.now()));
+  auto task = service->submit(single_file("p.emd", "p.emd"), token);
+  ASSERT_TRUE(task);
+  engine.run_until(sim::SimTime::from_seconds(1.6));  // mid-wire
+  TaskInfo mid = service->status(task.value());
+  EXPECT_EQ(mid.state, TaskState::Active);
+  EXPECT_GT(mid.bytes_done, 0);
+  EXPECT_LT(mid.bytes_done, 10'000'000);
+  engine.run();
+  EXPECT_EQ(service->status(task.value()).bytes_done, 10'000'000);
+}
+
+TEST_F(TransferFixture, SettlingDelaysVisibilityNotActivity) {
+  auto cfg = quick_config();
+  cfg.settle_base_s = 5.0;
+  setup_service(cfg);
+  ASSERT_TRUE(src_store.put("f", std::vector<uint8_t>(1000), engine.now()));
+  auto task = service->submit(single_file("f", "f"), token);
+  ASSERT_TRUE(task);
+  bool settled = false;
+  sim::SimTime settle_time;
+  service->on_settled(task.value(), [&](const TaskInfo& info) {
+    settled = true;
+    settle_time = engine.now();
+    // Activity interval excludes the settle window.
+    EXPECT_LT(info.completed.seconds() + 4.0, engine.now().seconds() + 0.01);
+  });
+  engine.run();
+  EXPECT_TRUE(settled);
+}
+
+TEST_F(TransferFixture, UnknownTaskStatusIsFailed) {
+  setup_service(quick_config());
+  EXPECT_EQ(service->status("xfer-999999").state, TaskState::Failed);
+}
+
+}  // namespace
+}  // namespace pico::transfer

@@ -1,0 +1,157 @@
+// Video tests: fp64->u8 conversion equivalence (naive vs fast), MPK container
+// round-trips + corruption handling, annotation burn-in.
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "video/convert.hpp"
+#include "video/mpk.hpp"
+
+namespace pico::video {
+namespace {
+
+tensor::Tensor<double> random_stack(size_t t, size_t h, size_t w,
+                                    uint64_t seed) {
+  util::Rng rng(seed);
+  tensor::Tensor<double> stack(tensor::Shape{t, h, w});
+  for (size_t i = 0; i < stack.size(); ++i) stack[i] = rng.uniform(-100, 400);
+  return stack;
+}
+
+TEST(Convert, NaiveAndFastProduceIdenticalOutput) {
+  auto stack = random_stack(4, 16, 16, 11);
+  auto a = convert_naive(stack);
+  auto b = convert_fast(stack);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "at " << i;
+  }
+}
+
+TEST(Convert, OutputSpansFullRange) {
+  auto stack = random_stack(2, 32, 32, 13);
+  auto u = convert_fast(stack);
+  uint8_t lo = 255, hi = 0;
+  for (auto v : u.data()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_EQ(lo, 0);
+  EXPECT_EQ(hi, 255);
+}
+
+TEST(Convert, ConstantStackMapsToZero) {
+  auto stack = tensor::Tensor<double>::full(tensor::Shape{2, 4, 4}, 7.0);
+  auto fast = convert_fast(stack);
+  for (auto v : fast.data()) EXPECT_EQ(v, 0);
+  auto naive = convert_naive(stack);
+  for (auto v : naive.data()) EXPECT_EQ(v, 0);
+}
+
+TEST(Convert, MonotonicityPreserved) {
+  tensor::Tensor<double> stack(tensor::Shape{1, 1, 5});
+  stack[0] = -3;
+  stack[1] = 0;
+  stack[2] = 1;
+  stack[3] = 2;
+  stack[4] = 10;
+  auto u = convert_fast(stack);
+  for (size_t i = 1; i < 5; ++i) EXPECT_LE(u[i - 1], u[i]);
+}
+
+TEST(Mpk, FromStackRoundTripCompressed) {
+  auto stack = random_stack(6, 24, 20, 17);
+  auto frames = convert_fast(stack);
+  MpkVideo video = MpkVideo::from_stack(frames);
+  EXPECT_EQ(video.frame_count(), 6u);
+  EXPECT_EQ(video.height(), 24u);
+  EXPECT_EQ(video.width(), 20u);
+
+  for (bool compress : {true, false}) {
+    auto bytes = video.to_bytes(compress);
+    auto re = MpkVideo::from_bytes(bytes);
+    ASSERT_TRUE(re) << compress;
+    ASSERT_EQ(re.value().frame_count(), 6u);
+    for (size_t t = 0; t < 6; ++t) {
+      ASSERT_EQ(re.value().frame(t).storage(), video.frame(t).storage())
+          << "frame " << t << " compress=" << compress;
+    }
+  }
+}
+
+TEST(Mpk, CompressionShrinksSmoothFrames) {
+  // Dark frames with a few bright spots compress well under RLE.
+  tensor::Tensor<uint8_t> frames(tensor::Shape{4, 64, 64});
+  frames(0, 10, 10) = 200;
+  frames(2, 30, 30) = 150;
+  MpkVideo video = MpkVideo::from_stack(frames);
+  EXPECT_LT(video.to_bytes(true).size(), video.to_bytes(false).size() / 4);
+}
+
+TEST(Mpk, SaveLoadFile) {
+  std::string path = testing::TempDir() + "/video_test.mpk";
+  auto frames = convert_fast(random_stack(3, 8, 8, 19));
+  MpkVideo video = MpkVideo::from_stack(frames);
+  ASSERT_TRUE(video.save(path));
+  auto re = MpkVideo::load(path);
+  ASSERT_TRUE(re);
+  EXPECT_EQ(re.value().frame_count(), 3u);
+  EXPECT_FALSE(MpkVideo::load(path + ".missing"));
+}
+
+TEST(Mpk, RejectsCorruptInput) {
+  auto frames = convert_fast(random_stack(2, 8, 8, 23));
+  auto bytes = MpkVideo::from_stack(frames).to_bytes();
+  {
+    auto bad = bytes;
+    bad[0] = 'X';
+    EXPECT_FALSE(MpkVideo::from_bytes(bad));
+  }
+  {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + 8);
+    EXPECT_FALSE(MpkVideo::from_bytes(truncated));
+  }
+  EXPECT_FALSE(MpkVideo::from_bytes({}));
+}
+
+TEST(Mpk, FuzzSafety) {
+  util::Rng rng(0xF0 + 29);
+  auto bytes = MpkVideo::from_stack(convert_fast(random_stack(2, 8, 8, 29)))
+                   .to_bytes();
+  for (int i = 0; i < 200; ++i) {
+    auto mutated = bytes;
+    size_t pos = static_cast<size_t>(
+        rng.uniform_int(0, static_cast<int64_t>(mutated.size() - 1)));
+    mutated[pos] ^= static_cast<uint8_t>(rng.uniform_int(1, 255));
+    auto re = MpkVideo::from_bytes(mutated);  // must not crash
+    (void)re;
+  }
+}
+
+TEST(Mpk, AnnotationBurnsBoxes) {
+  tensor::Tensor<uint8_t> frames(tensor::Shape{2, 32, 32});
+  MpkVideo video = MpkVideo::from_stack(frames);
+  std::vector<std::vector<vision::Detection>> dets(2);
+  dets[0].push_back(vision::Detection{{5, 5, 10, 10}, 1.0});
+  MpkVideo annotated = annotate(video, dets);
+  // Frame 0: box edge painted with confidence shade 255.
+  EXPECT_EQ(annotated.frame(0)(5, 5), 255);
+  EXPECT_EQ(annotated.frame(0)(5, 15), 255);
+  EXPECT_EQ(annotated.frame(0)(15, 10), 255);
+  // Interior untouched, frame 1 untouched.
+  EXPECT_EQ(annotated.frame(0)(10, 10), 0);
+  EXPECT_EQ(annotated.frame(1)(5, 5), 0);
+  // Original unmodified.
+  EXPECT_EQ(video.frame(0)(5, 5), 0);
+}
+
+TEST(Mpk, AnnotationClipsOutOfFrameBoxes) {
+  tensor::Tensor<uint8_t> frames(tensor::Shape{1, 16, 16});
+  MpkVideo video = MpkVideo::from_stack(frames);
+  std::vector<std::vector<vision::Detection>> dets(1);
+  dets[0].push_back(vision::Detection{{-5, -5, 40, 40}, 0.5});
+  MpkVideo annotated = annotate(video, dets);  // no crash, edges clipped
+  EXPECT_EQ(annotated.frame_count(), 1u);
+}
+
+}  // namespace
+}  // namespace pico::video

@@ -1,0 +1,343 @@
+// Vision tests: image ops, blob detection against generator ground truth,
+// tracking stability, mAP evaluation properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "instrument/spatiotemporal_gen.hpp"
+#include "vision/detect.hpp"
+#include "vision/eval.hpp"
+#include "vision/image.hpp"
+#include "vision/track.hpp"
+
+namespace pico::vision {
+namespace {
+
+ImageF blob_frame(size_t h, size_t w, std::vector<util::Box>* truth,
+                  std::vector<std::pair<double, double>> centers,
+                  double radius = 4.0) {
+  ImageF img(tensor::Shape{h, w});
+  for (size_t i = 0; i < img.size(); ++i) img[i] = 0.5;
+  for (auto [cx, cy] : centers) {
+    for (size_t y = 0; y < h; ++y) {
+      for (size_t x = 0; x < w; ++x) {
+        double d = std::hypot(static_cast<double>(x) - cx,
+                              static_cast<double>(y) - cy);
+        if (d <= radius) img(y, x) += 5.0;
+        else if (d <= radius + 2) img(y, x) += 5.0 * std::exp(-(d - radius));
+      }
+    }
+    if (truth) {
+      truth->push_back(
+          util::Box{cx - radius, cy - radius, 2 * radius, 2 * radius});
+    }
+  }
+  return img;
+}
+
+TEST(Image, GaussianBlurPreservesMassAndSmooths) {
+  ImageF img(tensor::Shape{21, 21});
+  img(10, 10) = 100.0;
+  ImageF out = gaussian_blur(img, 2.0);
+  double total = 0;
+  for (double v : out.data()) total += v;
+  EXPECT_NEAR(total, 100.0, 1.0);  // reflective borders conserve mass
+  EXPECT_LT(out(10, 10), 100.0);
+  EXPECT_GT(out(10, 12), 0.0);
+  // sigma <= 0 is identity.
+  ImageF same = gaussian_blur(img, 0.0);
+  EXPECT_DOUBLE_EQ(same(10, 10), 100.0);
+}
+
+TEST(Image, OtsuSeparatesBimodal) {
+  ImageF img(tensor::Shape{10, 10});
+  for (size_t i = 0; i < 50; ++i) img[i] = 1.0;
+  for (size_t i = 50; i < 100; ++i) img[i] = 9.0;
+  double thr = otsu_threshold(img);
+  EXPECT_GT(thr, 1.0);
+  EXPECT_LT(thr, 9.0);
+  auto mask = threshold_mask(img, thr);
+  size_t above = 0;
+  for (auto v : mask.data()) above += v;
+  EXPECT_EQ(above, 50u);
+}
+
+TEST(Image, ConnectedComponentsCountsAndBoxes) {
+  ImageU8 mask(tensor::Shape{8, 12});
+  ImageF intensity(tensor::Shape{8, 12});
+  for (size_t i = 0; i < intensity.size(); ++i) intensity[i] = 1.0;
+  // Two separate blobs.
+  mask(1, 1) = mask(1, 2) = mask(2, 1) = mask(2, 2) = 1;
+  mask(5, 8) = mask(5, 9) = mask(6, 9) = 1;
+  auto comps = connected_components(mask, intensity);
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0].area, 4u);
+  EXPECT_DOUBLE_EQ(comps[0].box.x, 1);
+  EXPECT_DOUBLE_EQ(comps[0].box.w, 2);
+  EXPECT_EQ(comps[1].area, 3u);
+  EXPECT_NEAR(comps[0].centroid_x, 1.5, 1e-9);
+}
+
+TEST(Image, DiagonalPixelsAre8Connected) {
+  ImageU8 mask(tensor::Shape{4, 4});
+  ImageF intensity = ImageF::full(tensor::Shape{4, 4}, 1.0);
+  mask(0, 0) = 1;
+  mask(1, 1) = 1;
+  mask(2, 2) = 1;
+  auto comps = connected_components(mask, intensity);
+  EXPECT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].area, 3u);
+}
+
+TEST(Detector, FindsIsolatedBlobs) {
+  std::vector<util::Box> truth;
+  ImageF frame = blob_frame(64, 64, &truth, {{16, 16}, {48, 40}});
+  BlobDetector detector;
+  auto dets = detector.detect(frame);
+  ASSERT_EQ(dets.size(), 2u);
+  for (const auto& det : dets) {
+    EXPECT_GT(det.confidence, 0.0);
+    EXPECT_LE(det.confidence, 1.0);
+    double best = 0;
+    for (const auto& t : truth) best = std::max(best, util::iou(det.box, t));
+    EXPECT_GT(best, 0.4) << "detection far from any truth box";
+  }
+}
+
+TEST(Detector, EmptyFrameOnNoiseYieldsFewDetections) {
+  util::Rng rng(3);
+  ImageF frame(tensor::Shape{64, 64});
+  for (size_t i = 0; i < frame.size(); ++i) frame[i] = rng.normal(1.0, 0.05);
+  BlobDetector detector;
+  // Pure noise: Otsu will split noise, but the area filter kills speckle.
+  auto dets = detector.detect(frame);
+  EXPECT_LE(dets.size(), 8u);
+}
+
+TEST(Detector, MinAreaFiltersSpeckle) {
+  ImageF frame(tensor::Shape{32, 32});
+  for (size_t i = 0; i < frame.size(); ++i) frame[i] = 0.5;
+  frame(10, 10) = 50.0;  // single hot pixel
+  DetectorConfig cfg;
+  cfg.blur_sigma = 0.0;  // no smoothing: the speckle stays one pixel
+  cfg.min_area_px = 4;
+  BlobDetector detector(cfg);
+  EXPECT_TRUE(detector.detect(frame).empty());
+}
+
+TEST(Detector, DetectsOnGeneratedFrames) {
+  instrument::SpatiotemporalConfig cfg;
+  cfg.frames = 5;
+  cfg.height = 96;
+  cfg.width = 96;
+  cfg.particle_count = 6;
+  cfg.noise_sigma = 0.1;
+  auto sample = instrument::generate_spatiotemporal(cfg);
+  BlobDetector detector;
+  size_t matched = 0, total_truth = 0;
+  for (size_t t = 0; t < cfg.frames; ++t) {
+    auto dets = detector.detect(sample.stack.slice0(t));
+    total_truth += sample.boxes[t].size();
+    for (const auto& truth : sample.boxes[t]) {
+      for (const auto& det : dets) {
+        if (util::iou(det.box, truth) >= 0.4) {
+          ++matched;
+          break;
+        }
+      }
+    }
+  }
+  // Recall at IoU 0.4 should be decent on clean synthetic frames (some
+  // particles overlap and merge into one component).
+  EXPECT_GT(static_cast<double>(matched) / static_cast<double>(total_truth), 0.6);
+}
+
+TEST(Detector, CountPerFrame) {
+  std::vector<std::vector<Detection>> dets(3);
+  dets[1].push_back(Detection{{0, 0, 1, 1}, 0.5});
+  dets[1].push_back(Detection{{5, 5, 1, 1}, 0.5});
+  auto counts = count_per_frame(dets);
+  EXPECT_EQ(counts, (std::vector<size_t>{0, 2, 0}));
+}
+
+TEST(Tracker, StableIdsForSlowMotion) {
+  GreedyIoUTracker tracker;
+  std::vector<Detection> frame0 = {{{10, 10, 8, 8}, 0.9}, {{40, 40, 8, 8}, 0.9}};
+  auto ids0 = tracker.update(frame0);
+  ASSERT_EQ(ids0.size(), 2u);
+  EXPECT_NE(ids0[0], ids0[1]);
+  // Slight drift: same ids.
+  std::vector<Detection> frame1 = {{{11, 11, 8, 8}, 0.9}, {{41, 39, 8, 8}, 0.9}};
+  auto ids1 = tracker.update(frame1);
+  EXPECT_EQ(ids1[0], ids0[0]);
+  EXPECT_EQ(ids1[1], ids0[1]);
+  EXPECT_EQ(tracker.total_tracks_created(), 2);
+}
+
+TEST(Tracker, NewDetectionSpawnsTrack) {
+  GreedyIoUTracker tracker;
+  tracker.update({{{10, 10, 8, 8}, 0.9}});
+  auto ids = tracker.update({{{10, 10, 8, 8}, 0.9}, {{60, 60, 8, 8}, 0.8}});
+  EXPECT_EQ(ids[0], 0);
+  EXPECT_EQ(ids[1], 1);
+  EXPECT_EQ(tracker.active_tracks().size(), 2u);
+}
+
+TEST(Tracker, MissedTracksRetireAfterLimit) {
+  TrackerConfig cfg;
+  cfg.max_missed = 2;
+  GreedyIoUTracker tracker(cfg);
+  tracker.update({{{10, 10, 8, 8}, 0.9}});
+  for (int i = 0; i < 3; ++i) tracker.update({});
+  EXPECT_TRUE(tracker.active_tracks().empty());
+  // A detection at the old location now gets a NEW id.
+  auto ids = tracker.update({{{10, 10, 8, 8}, 0.9}});
+  EXPECT_EQ(ids[0], 1);
+}
+
+TEST(Tracker, JumpBeyondIouGateStartsNewTrack) {
+  GreedyIoUTracker tracker;
+  tracker.update({{{10, 10, 8, 8}, 0.9}});
+  auto ids = tracker.update({{{100, 100, 8, 8}, 0.9}});
+  EXPECT_EQ(ids[0], 1);  // teleport = new identity
+}
+
+TEST(Tracker, TracksGeneratedParticles) {
+  instrument::SpatiotemporalConfig cfg;
+  cfg.frames = 40;
+  cfg.height = 128;
+  cfg.width = 128;
+  cfg.particle_count = 4;
+  cfg.step_sigma = 1.0;
+  cfg.noise_sigma = 0.08;
+  auto sample = instrument::generate_spatiotemporal(cfg);
+  BlobDetector detector;
+  GreedyIoUTracker tracker;
+  for (size_t t = 0; t < cfg.frames; ++t) {
+    tracker.update(detector.detect(sample.stack.slice0(t)));
+  }
+  // Identity churn should be low: roughly one track per particle (merges and
+  // detection gaps allow a few extra).
+  EXPECT_LE(tracker.total_tracks_created(), 14);
+  EXPECT_GE(tracker.total_tracks_created(), 3);
+}
+
+// ---- evaluation ----
+
+TEST(Eval, PerfectDetectionsScoreOne) {
+  std::vector<EvalImage> images(3);
+  util::Rng rng(9);
+  for (auto& img : images) {
+    for (int i = 0; i < 5; ++i) {
+      util::Box b{rng.uniform(0, 80), rng.uniform(0, 80), 10, 10};
+      img.truths.push_back(b);
+      img.detections.push_back(Detection{b, 0.9});
+    }
+  }
+  EXPECT_DOUBLE_EQ(average_precision(images, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(map50_95(images), 1.0);
+  auto pr = pr_counts(images, 0.5);
+  EXPECT_EQ(pr.false_positives, 0u);
+  EXPECT_EQ(pr.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(pr.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall(), 1.0);
+}
+
+TEST(Eval, AllMissesScoreZero) {
+  std::vector<EvalImage> images(1);
+  images[0].truths.push_back({0, 0, 10, 10});
+  images[0].detections.push_back(Detection{{50, 50, 10, 10}, 0.9});
+  EXPECT_DOUBLE_EQ(average_precision(images, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(map50_95(images), 0.0);
+}
+
+TEST(Eval, NoTruthsScoreZero) {
+  std::vector<EvalImage> images(1);
+  images[0].detections.push_back(Detection{{0, 0, 1, 1}, 0.5});
+  EXPECT_DOUBLE_EQ(average_precision(images, 0.5), 0.0);
+}
+
+TEST(Eval, HighConfidenceFalsePositivesHurtMore) {
+  // Same TP/FP sets; only the FP confidence differs.
+  auto build = [](double fp_conf) {
+    std::vector<EvalImage> images(1);
+    images[0].truths = {{0, 0, 10, 10}, {30, 30, 10, 10}};
+    images[0].detections = {
+        Detection{{0, 0, 10, 10}, 0.8},
+        Detection{{30, 30, 10, 10}, 0.7},
+        Detection{{60, 60, 10, 10}, fp_conf},
+    };
+    return images;
+  };
+  double ap_low_fp = average_precision(build(0.1), 0.5);
+  double ap_high_fp = average_precision(build(0.95), 0.5);
+  EXPECT_GT(ap_low_fp, ap_high_fp);
+}
+
+TEST(Eval, DuplicateDetectionsPenalized) {
+  std::vector<EvalImage> images(1);
+  images[0].truths = {{0, 0, 10, 10}};
+  images[0].detections = {
+      Detection{{0, 0, 10, 10}, 0.9},
+      Detection{{1, 1, 10, 10}, 0.8},  // duplicate of the same truth
+  };
+  auto pr = pr_counts(images, 0.5);
+  EXPECT_EQ(pr.true_positives, 1u);
+  EXPECT_EQ(pr.false_positives, 1u);
+}
+
+TEST(Eval, MapDecreasesWithLooserBoxes) {
+  // Detections offset by 2px match at IoU 0.5 but fail at 0.9, so mAP50-95
+  // sits strictly between 0 and AP50.
+  std::vector<EvalImage> images(1);
+  for (int i = 0; i < 4; ++i) {
+    util::Box t{static_cast<double>(20 * i), 10, 10, 10};
+    images[0].truths.push_back(t);
+    images[0].detections.push_back(
+        Detection{{t.x + 2, t.y, t.w, t.h}, 0.9});
+  }
+  double ap50 = average_precision(images, 0.5);
+  double map = map50_95(images);
+  EXPECT_DOUBLE_EQ(ap50, 1.0);
+  EXPECT_LT(map, 1.0);
+  EXPECT_GT(map, 0.1);
+}
+
+// Property: mAP is monotonically non-increasing in the IoU threshold.
+class EvalMonotonicity : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EvalMonotonicity, ApNonIncreasingInThreshold) {
+  util::Rng rng(GetParam());
+  std::vector<EvalImage> images(4);
+  for (auto& img : images) {
+    int n = static_cast<int>(rng.uniform_int(1, 6));
+    for (int i = 0; i < n; ++i) {
+      util::Box t{rng.uniform(0, 80), rng.uniform(0, 80), rng.uniform(6, 14),
+                  rng.uniform(6, 14)};
+      img.truths.push_back(t);
+      if (rng.chance(0.85)) {
+        img.detections.push_back(Detection{
+            {t.x + rng.uniform(-3, 3), t.y + rng.uniform(-3, 3), t.w, t.h},
+            rng.uniform(0.3, 1.0)});
+      }
+    }
+    if (rng.chance(0.5)) {
+      img.detections.push_back(
+          Detection{{rng.uniform(0, 90), rng.uniform(0, 90), 8, 8},
+                    rng.uniform(0.1, 0.9)});
+    }
+  }
+  double prev = 1.1;
+  for (double thr = 0.5; thr <= 0.951; thr += 0.05) {
+    double ap = average_precision(images, thr);
+    EXPECT_LE(ap, prev + 1e-9);
+    prev = ap;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvalMonotonicity,
+                         ::testing::Values(2, 3, 5, 7, 11, 13, 17, 19));
+
+}  // namespace
+}  // namespace pico::vision

@@ -1,0 +1,172 @@
+// Watcher + checkpoint tests on the real filesystem: stability debounce,
+// extension filtering, checkpoint persistence across "reboots".
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "watcher/watcher.hpp"
+
+namespace pico::watcher {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct WatcherFixture : ::testing::Test {
+  std::string dir;
+  std::string journal;
+
+  void SetUp() override {
+    dir = testing::TempDir() + "/watch_" +
+          ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    journal = dir + "/.checkpoint";
+  }
+
+  void write(const std::string& name, size_t bytes) {
+    std::ofstream out(dir + "/" + name, std::ios::binary);
+    std::string data(bytes, 'x');
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+
+  WatcherConfig config(int stable_scans = 2) {
+    WatcherConfig cfg;
+    cfg.directory = dir;
+    cfg.stable_scans = stable_scans;
+    return cfg;
+  }
+};
+
+TEST_F(WatcherFixture, DetectsStableFileAfterDebounce) {
+  Checkpoint cp(journal);
+  ASSERT_TRUE(cp.load());
+  DirectoryWatcher watcher(config(2), &cp);
+
+  write("a.emd", 100);
+  EXPECT_TRUE(watcher.scan_once().empty());  // first sighting
+  auto events = watcher.scan_once();          // second: stable
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].size, 100);
+  EXPECT_TRUE(events[0].path.find("a.emd") != std::string::npos);
+  // Already processed: no re-trigger.
+  EXPECT_TRUE(watcher.scan_once().empty());
+}
+
+TEST_F(WatcherFixture, GrowingFileWaitsUntilStable) {
+  Checkpoint cp(journal);
+  DirectoryWatcher watcher(config(2), &cp);
+  write("grow.emd", 10);
+  EXPECT_TRUE(watcher.scan_once().empty());  // first sighting at size 10
+  write("grow.emd", 20);  // still being written
+  EXPECT_TRUE(watcher.scan_once().empty());  // size changed: restart count
+  auto events = watcher.scan_once();          // second sighting at 20: stable
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].size, 20);
+}
+
+TEST_F(WatcherFixture, ExtensionFilter) {
+  Checkpoint cp(journal);
+  DirectoryWatcher watcher(config(1), &cp);
+  write("data.emd", 10);
+  write("notes.txt", 10);
+  auto events = watcher.scan_once();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NE(events[0].path.find("data.emd"), std::string::npos);
+}
+
+TEST_F(WatcherFixture, EmptyExtensionsMatchesEverything) {
+  Checkpoint cp(journal);
+  auto cfg = config(1);
+  cfg.extensions.clear();
+  DirectoryWatcher watcher(cfg, &cp);
+  write("a.emd", 1);
+  write("b.txt", 1);
+  EXPECT_EQ(watcher.scan_once().size(), 2u);
+}
+
+TEST_F(WatcherFixture, CheckpointSurvivesRestart) {
+  {
+    Checkpoint cp(journal);
+    ASSERT_TRUE(cp.load());
+    DirectoryWatcher watcher(config(1), &cp);
+    write("done.emd", 50);
+    ASSERT_EQ(watcher.scan_once().size(), 1u);
+  }
+  // "Reboot": fresh watcher + checkpoint reloaded from the journal file.
+  {
+    Checkpoint cp(journal);
+    ASSERT_TRUE(cp.load());
+    EXPECT_EQ(cp.size(), 1u);
+    DirectoryWatcher watcher(config(1), &cp);
+    EXPECT_TRUE(watcher.scan_once().empty());  // no duplicate flow trigger
+  }
+}
+
+TEST_F(WatcherFixture, RewrittenFileWithNewSizeTriggersAgain) {
+  Checkpoint cp(journal);
+  DirectoryWatcher watcher(config(1), &cp);
+  write("f.emd", 10);
+  ASSERT_EQ(watcher.scan_once().size(), 1u);
+  // Same path, different size: new data product.
+  write("f.emd", 99);
+  auto events = watcher.scan_once();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].size, 99);
+  // Same path, same size as processed: ignored.
+  write("f.emd", 99);
+  EXPECT_TRUE(watcher.scan_once().empty());
+}
+
+TEST_F(WatcherFixture, VanishedPendingFileForgotten) {
+  Checkpoint cp(journal);
+  DirectoryWatcher watcher(config(3), &cp);
+  write("tmp.emd", 10);
+  EXPECT_TRUE(watcher.scan_once().empty());
+  fs::remove(dir + "/tmp.emd");
+  EXPECT_TRUE(watcher.scan_once().empty());
+  // Re-created file starts the stability count over.
+  write("tmp.emd", 10);
+  EXPECT_TRUE(watcher.scan_once().empty());
+  EXPECT_TRUE(watcher.scan_once().empty());
+  EXPECT_EQ(watcher.scan_once().size(), 1u);
+}
+
+TEST_F(WatcherFixture, MissingDirectoryYieldsNoEvents) {
+  Checkpoint cp(journal);
+  WatcherConfig cfg;
+  cfg.directory = dir + "/does-not-exist";
+  DirectoryWatcher watcher(cfg, &cp);
+  EXPECT_TRUE(watcher.scan_once().empty());
+}
+
+TEST_F(WatcherFixture, CheckpointMarkIdempotent) {
+  Checkpoint cp(journal);
+  ASSERT_TRUE(cp.load());
+  ASSERT_TRUE(cp.mark("/p/a.emd", 10));
+  ASSERT_TRUE(cp.mark("/p/a.emd", 10));
+  EXPECT_EQ(cp.size(), 1u);
+  EXPECT_TRUE(cp.processed("/p/a.emd", 10));
+  EXPECT_FALSE(cp.processed("/p/a.emd", 11));
+  // Journal contains exactly one line.
+  std::ifstream in(journal);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++lines;
+  }
+  EXPECT_EQ(lines, 1);
+}
+
+TEST_F(WatcherFixture, WatcherWithoutCheckpointStillWorks) {
+  DirectoryWatcher watcher(config(1), nullptr);
+  write("x.emd", 5);
+  EXPECT_EQ(watcher.scan_once().size(), 1u);
+  // Without a checkpoint the same stable file is not re-reported because it
+  // only enters pending once... it vanished from pending after the event, so
+  // a further scan re-detects it.
+  EXPECT_EQ(watcher.scan_once().size(), 1u);
+}
+
+}  // namespace
+}  // namespace pico::watcher
