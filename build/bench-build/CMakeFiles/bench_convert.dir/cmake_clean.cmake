@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_convert"
+  "../bench/bench_convert.pdb"
+  "CMakeFiles/bench_convert.dir/bench_convert.cpp.o"
+  "CMakeFiles/bench_convert.dir/bench_convert.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

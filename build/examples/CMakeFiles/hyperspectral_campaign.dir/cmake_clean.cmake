@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperspectral_campaign.dir/hyperspectral_campaign.cpp.o"
+  "CMakeFiles/hyperspectral_campaign.dir/hyperspectral_campaign.cpp.o.d"
+  "hyperspectral_campaign"
+  "hyperspectral_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperspectral_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_watcher.dir/live_watcher.cpp.o"
+  "CMakeFiles/live_watcher.dir/live_watcher.cpp.o.d"
+  "live_watcher"
+  "live_watcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_watcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

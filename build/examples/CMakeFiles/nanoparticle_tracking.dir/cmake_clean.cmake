@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanoparticle_tracking.dir/nanoparticle_tracking.cpp.o"
+  "CMakeFiles/nanoparticle_tracking.dir/nanoparticle_tracking.cpp.o.d"
+  "nanoparticle_tracking"
+  "nanoparticle_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanoparticle_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reinterrogate.dir/reinterrogate.cpp.o"
+  "CMakeFiles/reinterrogate.dir/reinterrogate.cpp.o.d"
+  "reinterrogate"
+  "reinterrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reinterrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steering.dir/steering.cpp.o"
+  "CMakeFiles/steering.dir/steering.cpp.o.d"
+  "steering"
+  "steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

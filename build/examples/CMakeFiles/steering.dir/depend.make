@@ -1,0 +1,2 @@
+# Empty dependencies file for steering.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("net")
+subdirs("emd")
+subdirs("tensor")
+subdirs("compress")
+subdirs("storage")
+subdirs("instrument")
+subdirs("transfer")
+subdirs("hpcsim")
+subdirs("compute")
+subdirs("auth")
+subdirs("search")
+subdirs("portal")
+subdirs("flow")
+subdirs("watcher")
+subdirs("analysis")
+subdirs("vision")
+subdirs("video")
+subdirs("core")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/calibration.cpp" "src/analysis/CMakeFiles/pico_analysis.dir/calibration.cpp.o" "gcc" "src/analysis/CMakeFiles/pico_analysis.dir/calibration.cpp.o.d"
+  "/root/repo/src/analysis/hyperspectral.cpp" "src/analysis/CMakeFiles/pico_analysis.dir/hyperspectral.cpp.o" "gcc" "src/analysis/CMakeFiles/pico_analysis.dir/hyperspectral.cpp.o.d"
+  "/root/repo/src/analysis/metadata.cpp" "src/analysis/CMakeFiles/pico_analysis.dir/metadata.cpp.o" "gcc" "src/analysis/CMakeFiles/pico_analysis.dir/metadata.cpp.o.d"
+  "/root/repo/src/analysis/plot.cpp" "src/analysis/CMakeFiles/pico_analysis.dir/plot.cpp.o" "gcc" "src/analysis/CMakeFiles/pico_analysis.dir/plot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/emd/CMakeFiles/pico_emd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pico_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/pico_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pico_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

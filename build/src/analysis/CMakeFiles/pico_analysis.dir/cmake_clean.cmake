@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_analysis.dir/calibration.cpp.o"
+  "CMakeFiles/pico_analysis.dir/calibration.cpp.o.d"
+  "CMakeFiles/pico_analysis.dir/hyperspectral.cpp.o"
+  "CMakeFiles/pico_analysis.dir/hyperspectral.cpp.o.d"
+  "CMakeFiles/pico_analysis.dir/metadata.cpp.o"
+  "CMakeFiles/pico_analysis.dir/metadata.cpp.o.d"
+  "CMakeFiles/pico_analysis.dir/plot.cpp.o"
+  "CMakeFiles/pico_analysis.dir/plot.cpp.o.d"
+  "libpico_analysis.a"
+  "libpico_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_auth.dir/auth.cpp.o"
+  "CMakeFiles/pico_auth.dir/auth.cpp.o.d"
+  "libpico_auth.a"
+  "libpico_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

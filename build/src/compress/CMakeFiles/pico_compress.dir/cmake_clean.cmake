@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_compress.dir/codec.cpp.o"
+  "CMakeFiles/pico_compress.dir/codec.cpp.o.d"
+  "CMakeFiles/pico_compress.dir/delta.cpp.o"
+  "CMakeFiles/pico_compress.dir/delta.cpp.o.d"
+  "CMakeFiles/pico_compress.dir/lz.cpp.o"
+  "CMakeFiles/pico_compress.dir/lz.cpp.o.d"
+  "CMakeFiles/pico_compress.dir/rle.cpp.o"
+  "CMakeFiles/pico_compress.dir/rle.cpp.o.d"
+  "CMakeFiles/pico_compress.dir/shuffle.cpp.o"
+  "CMakeFiles/pico_compress.dir/shuffle.cpp.o.d"
+  "libpico_compress.a"
+  "libpico_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

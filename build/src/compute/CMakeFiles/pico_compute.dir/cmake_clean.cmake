@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_compute.dir/service.cpp.o"
+  "CMakeFiles/pico_compute.dir/service.cpp.o.d"
+  "libpico_compute.a"
+  "libpico_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_core.dir/campaign.cpp.o"
+  "CMakeFiles/pico_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/pico_core.dir/client.cpp.o"
+  "CMakeFiles/pico_core.dir/client.cpp.o.d"
+  "CMakeFiles/pico_core.dir/cost_model.cpp.o"
+  "CMakeFiles/pico_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/pico_core.dir/facility.cpp.o"
+  "CMakeFiles/pico_core.dir/facility.cpp.o.d"
+  "CMakeFiles/pico_core.dir/flows.cpp.o"
+  "CMakeFiles/pico_core.dir/flows.cpp.o.d"
+  "CMakeFiles/pico_core.dir/providers.cpp.o"
+  "CMakeFiles/pico_core.dir/providers.cpp.o.d"
+  "CMakeFiles/pico_core.dir/report.cpp.o"
+  "CMakeFiles/pico_core.dir/report.cpp.o.d"
+  "libpico_core.a"
+  "libpico_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpico_core.a"
+)

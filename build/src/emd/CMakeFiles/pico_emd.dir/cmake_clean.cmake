@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_emd.dir/file.cpp.o"
+  "CMakeFiles/pico_emd.dir/file.cpp.o.d"
+  "CMakeFiles/pico_emd.dir/hmsa.cpp.o"
+  "CMakeFiles/pico_emd.dir/hmsa.cpp.o.d"
+  "CMakeFiles/pico_emd.dir/schema.cpp.o"
+  "CMakeFiles/pico_emd.dir/schema.cpp.o.d"
+  "libpico_emd.a"
+  "libpico_emd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_emd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

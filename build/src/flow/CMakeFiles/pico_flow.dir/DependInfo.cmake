@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/backoff.cpp" "src/flow/CMakeFiles/pico_flow.dir/backoff.cpp.o" "gcc" "src/flow/CMakeFiles/pico_flow.dir/backoff.cpp.o.d"
+  "/root/repo/src/flow/definition_io.cpp" "src/flow/CMakeFiles/pico_flow.dir/definition_io.cpp.o" "gcc" "src/flow/CMakeFiles/pico_flow.dir/definition_io.cpp.o.d"
+  "/root/repo/src/flow/service.cpp" "src/flow/CMakeFiles/pico_flow.dir/service.cpp.o" "gcc" "src/flow/CMakeFiles/pico_flow.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pico_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/pico_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pico_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

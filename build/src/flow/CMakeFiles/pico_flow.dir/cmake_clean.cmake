@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_flow.dir/backoff.cpp.o"
+  "CMakeFiles/pico_flow.dir/backoff.cpp.o.d"
+  "CMakeFiles/pico_flow.dir/definition_io.cpp.o"
+  "CMakeFiles/pico_flow.dir/definition_io.cpp.o.d"
+  "CMakeFiles/pico_flow.dir/service.cpp.o"
+  "CMakeFiles/pico_flow.dir/service.cpp.o.d"
+  "libpico_flow.a"
+  "libpico_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

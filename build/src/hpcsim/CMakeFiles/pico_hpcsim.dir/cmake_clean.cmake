@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_hpcsim.dir/pbs.cpp.o"
+  "CMakeFiles/pico_hpcsim.dir/pbs.cpp.o.d"
+  "libpico_hpcsim.a"
+  "libpico_hpcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_hpcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

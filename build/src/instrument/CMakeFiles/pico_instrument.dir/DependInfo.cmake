@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/instrument/hyperspectral_gen.cpp" "src/instrument/CMakeFiles/pico_instrument.dir/hyperspectral_gen.cpp.o" "gcc" "src/instrument/CMakeFiles/pico_instrument.dir/hyperspectral_gen.cpp.o.d"
+  "/root/repo/src/instrument/spatiotemporal_gen.cpp" "src/instrument/CMakeFiles/pico_instrument.dir/spatiotemporal_gen.cpp.o" "gcc" "src/instrument/CMakeFiles/pico_instrument.dir/spatiotemporal_gen.cpp.o.d"
+  "/root/repo/src/instrument/xray_lines.cpp" "src/instrument/CMakeFiles/pico_instrument.dir/xray_lines.cpp.o" "gcc" "src/instrument/CMakeFiles/pico_instrument.dir/xray_lines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pico_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/emd/CMakeFiles/pico_emd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pico_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_instrument.dir/hyperspectral_gen.cpp.o"
+  "CMakeFiles/pico_instrument.dir/hyperspectral_gen.cpp.o.d"
+  "CMakeFiles/pico_instrument.dir/spatiotemporal_gen.cpp.o"
+  "CMakeFiles/pico_instrument.dir/spatiotemporal_gen.cpp.o.d"
+  "CMakeFiles/pico_instrument.dir/xray_lines.cpp.o"
+  "CMakeFiles/pico_instrument.dir/xray_lines.cpp.o.d"
+  "libpico_instrument.a"
+  "libpico_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_net.dir/network.cpp.o"
+  "CMakeFiles/pico_net.dir/network.cpp.o.d"
+  "CMakeFiles/pico_net.dir/topology.cpp.o"
+  "CMakeFiles/pico_net.dir/topology.cpp.o.d"
+  "libpico_net.a"
+  "libpico_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

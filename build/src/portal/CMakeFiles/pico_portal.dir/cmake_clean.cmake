@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_portal.dir/portal.cpp.o"
+  "CMakeFiles/pico_portal.dir/portal.cpp.o.d"
+  "libpico_portal.a"
+  "libpico_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/index.cpp" "src/search/CMakeFiles/pico_search.dir/index.cpp.o" "gcc" "src/search/CMakeFiles/pico_search.dir/index.cpp.o.d"
+  "/root/repo/src/search/persist.cpp" "src/search/CMakeFiles/pico_search.dir/persist.cpp.o" "gcc" "src/search/CMakeFiles/pico_search.dir/persist.cpp.o.d"
+  "/root/repo/src/search/schema.cpp" "src/search/CMakeFiles/pico_search.dir/schema.cpp.o" "gcc" "src/search/CMakeFiles/pico_search.dir/schema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pico_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/pico_auth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_search.dir/index.cpp.o"
+  "CMakeFiles/pico_search.dir/index.cpp.o.d"
+  "CMakeFiles/pico_search.dir/persist.cpp.o"
+  "CMakeFiles/pico_search.dir/persist.cpp.o.d"
+  "CMakeFiles/pico_search.dir/schema.cpp.o"
+  "CMakeFiles/pico_search.dir/schema.cpp.o.d"
+  "libpico_search.a"
+  "libpico_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_sim.dir/engine.cpp.o"
+  "CMakeFiles/pico_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/pico_sim.dir/trace.cpp.o"
+  "CMakeFiles/pico_sim.dir/trace.cpp.o.d"
+  "libpico_sim.a"
+  "libpico_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

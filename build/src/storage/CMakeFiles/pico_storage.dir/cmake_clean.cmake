@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_storage.dir/store.cpp.o"
+  "CMakeFiles/pico_storage.dir/store.cpp.o.d"
+  "libpico_storage.a"
+  "libpico_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

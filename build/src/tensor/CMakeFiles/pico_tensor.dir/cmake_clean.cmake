@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_tensor.dir/dtype.cpp.o"
+  "CMakeFiles/pico_tensor.dir/dtype.cpp.o.d"
+  "CMakeFiles/pico_tensor.dir/ops.cpp.o"
+  "CMakeFiles/pico_tensor.dir/ops.cpp.o.d"
+  "libpico_tensor.a"
+  "libpico_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transfer/service.cpp" "src/transfer/CMakeFiles/pico_transfer.dir/service.cpp.o" "gcc" "src/transfer/CMakeFiles/pico_transfer.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/pico_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pico_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/pico_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/pico_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pico_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pico_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

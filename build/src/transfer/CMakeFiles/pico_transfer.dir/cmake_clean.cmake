@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_transfer.dir/service.cpp.o"
+  "CMakeFiles/pico_transfer.dir/service.cpp.o.d"
+  "libpico_transfer.a"
+  "libpico_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bytes.cpp" "src/util/CMakeFiles/pico_util.dir/bytes.cpp.o" "gcc" "src/util/CMakeFiles/pico_util.dir/bytes.cpp.o.d"
+  "/root/repo/src/util/crc64.cpp" "src/util/CMakeFiles/pico_util.dir/crc64.cpp.o" "gcc" "src/util/CMakeFiles/pico_util.dir/crc64.cpp.o.d"
+  "/root/repo/src/util/id.cpp" "src/util/CMakeFiles/pico_util.dir/id.cpp.o" "gcc" "src/util/CMakeFiles/pico_util.dir/id.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/util/CMakeFiles/pico_util.dir/json.cpp.o" "gcc" "src/util/CMakeFiles/pico_util.dir/json.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/pico_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/pico_util.dir/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/pico_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/pico_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/pico_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/pico_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/pico_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/pico_util.dir/strings.cpp.o.d"
+  "/root/repo/src/util/threadpool.cpp" "src/util/CMakeFiles/pico_util.dir/threadpool.cpp.o" "gcc" "src/util/CMakeFiles/pico_util.dir/threadpool.cpp.o.d"
+  "/root/repo/src/util/timefmt.cpp" "src/util/CMakeFiles/pico_util.dir/timefmt.cpp.o" "gcc" "src/util/CMakeFiles/pico_util.dir/timefmt.cpp.o.d"
+  "/root/repo/src/util/units.cpp" "src/util/CMakeFiles/pico_util.dir/units.cpp.o" "gcc" "src/util/CMakeFiles/pico_util.dir/units.cpp.o.d"
+  "/root/repo/src/util/xml.cpp" "src/util/CMakeFiles/pico_util.dir/xml.cpp.o" "gcc" "src/util/CMakeFiles/pico_util.dir/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

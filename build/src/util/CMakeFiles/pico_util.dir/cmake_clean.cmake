@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_util.dir/bytes.cpp.o"
+  "CMakeFiles/pico_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/pico_util.dir/crc64.cpp.o"
+  "CMakeFiles/pico_util.dir/crc64.cpp.o.d"
+  "CMakeFiles/pico_util.dir/id.cpp.o"
+  "CMakeFiles/pico_util.dir/id.cpp.o.d"
+  "CMakeFiles/pico_util.dir/json.cpp.o"
+  "CMakeFiles/pico_util.dir/json.cpp.o.d"
+  "CMakeFiles/pico_util.dir/log.cpp.o"
+  "CMakeFiles/pico_util.dir/log.cpp.o.d"
+  "CMakeFiles/pico_util.dir/rng.cpp.o"
+  "CMakeFiles/pico_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pico_util.dir/stats.cpp.o"
+  "CMakeFiles/pico_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pico_util.dir/strings.cpp.o"
+  "CMakeFiles/pico_util.dir/strings.cpp.o.d"
+  "CMakeFiles/pico_util.dir/threadpool.cpp.o"
+  "CMakeFiles/pico_util.dir/threadpool.cpp.o.d"
+  "CMakeFiles/pico_util.dir/timefmt.cpp.o"
+  "CMakeFiles/pico_util.dir/timefmt.cpp.o.d"
+  "CMakeFiles/pico_util.dir/units.cpp.o"
+  "CMakeFiles/pico_util.dir/units.cpp.o.d"
+  "CMakeFiles/pico_util.dir/xml.cpp.o"
+  "CMakeFiles/pico_util.dir/xml.cpp.o.d"
+  "libpico_util.a"
+  "libpico_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/convert.cpp" "src/video/CMakeFiles/pico_video.dir/convert.cpp.o" "gcc" "src/video/CMakeFiles/pico_video.dir/convert.cpp.o.d"
+  "/root/repo/src/video/mpk.cpp" "src/video/CMakeFiles/pico_video.dir/mpk.cpp.o" "gcc" "src/video/CMakeFiles/pico_video.dir/mpk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/pico_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/pico_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/pico_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pico_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

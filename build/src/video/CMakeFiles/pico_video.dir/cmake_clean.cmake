@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_video.dir/convert.cpp.o"
+  "CMakeFiles/pico_video.dir/convert.cpp.o.d"
+  "CMakeFiles/pico_video.dir/mpk.cpp.o"
+  "CMakeFiles/pico_video.dir/mpk.cpp.o.d"
+  "libpico_video.a"
+  "libpico_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

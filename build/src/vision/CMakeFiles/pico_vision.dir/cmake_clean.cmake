@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_vision.dir/detect.cpp.o"
+  "CMakeFiles/pico_vision.dir/detect.cpp.o.d"
+  "CMakeFiles/pico_vision.dir/eval.cpp.o"
+  "CMakeFiles/pico_vision.dir/eval.cpp.o.d"
+  "CMakeFiles/pico_vision.dir/image.cpp.o"
+  "CMakeFiles/pico_vision.dir/image.cpp.o.d"
+  "CMakeFiles/pico_vision.dir/track.cpp.o"
+  "CMakeFiles/pico_vision.dir/track.cpp.o.d"
+  "libpico_vision.a"
+  "libpico_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_watcher.dir/watcher.cpp.o"
+  "CMakeFiles/pico_watcher.dir/watcher.cpp.o.d"
+  "libpico_watcher.a"
+  "libpico_watcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_watcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emd_test.dir/emd_test.cpp.o"
+  "CMakeFiles/emd_test.dir/emd_test.cpp.o.d"
+  "emd_test"
+  "emd_test.pdb"
+  "emd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

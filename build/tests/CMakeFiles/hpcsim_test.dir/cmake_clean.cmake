@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcsim_test.dir/hpcsim_test.cpp.o"
+  "CMakeFiles/hpcsim_test.dir/hpcsim_test.cpp.o.d"
+  "hpcsim_test"
+  "hpcsim_test.pdb"
+  "hpcsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

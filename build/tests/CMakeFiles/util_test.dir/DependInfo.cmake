@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/util_test.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pico_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/pico_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/pico_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pico_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pico_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/pico_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpcsim/CMakeFiles/pico_hpcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pico_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/portal/CMakeFiles/pico_portal.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/pico_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/pico_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pico_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/pico_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/pico_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/pico_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/pico_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/emd/CMakeFiles/pico_emd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pico_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/watcher/CMakeFiles/pico_watcher.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pico_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watcher_test.dir/watcher_test.cpp.o"
+  "CMakeFiles/watcher_test.dir/watcher_test.cpp.o.d"
+  "watcher_test"
+  "watcher_test.pdb"
+  "watcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

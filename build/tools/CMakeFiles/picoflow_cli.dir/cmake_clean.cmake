@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picoflow_cli.dir/picoflow.cpp.o"
+  "CMakeFiles/picoflow_cli.dir/picoflow.cpp.o.d"
+  "picoflow"
+  "picoflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picoflow_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[cli_emd_gen]=] "/root/repo/build/tools/picoflow" "emd-gen" "hyper" "cli-test.emd" "7")
+set_tests_properties([=[cli_emd_gen]=] PROPERTIES  FIXTURES_SETUP "cli_emd" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_emd_info]=] "/root/repo/build/tools/picoflow" "emd-info" "cli-test.emd")
+set_tests_properties([=[cli_emd_info]=] PROPERTIES  FIXTURES_REQUIRED "cli_emd" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_convert_hmsa]=] "/root/repo/build/tools/picoflow" "convert-hmsa" "cli-test.emd" "cli-test-pair")
+set_tests_properties([=[cli_convert_hmsa]=] PROPERTIES  FIXTURES_REQUIRED "cli_emd" FIXTURES_SETUP "cli_hmsa" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_convert_emd]=] "/root/repo/build/tools/picoflow" "convert-emd" "cli-test-pair" "cli-test-back.emd")
+set_tests_properties([=[cli_convert_emd]=] PROPERTIES  FIXTURES_REQUIRED "cli_emd;cli_hmsa" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_compress]=] "/root/repo/build/tools/picoflow" "compress" "cli-test.emd" "rle")
+set_tests_properties([=[cli_compress]=] PROPERTIES  FIXTURES_REQUIRED "cli_emd" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_flow_def]=] "/root/repo/build/tools/picoflow" "flow-def" "spatio")
+set_tests_properties([=[cli_flow_def]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_usage]=] "/root/repo/build/tools/picoflow")
+set_tests_properties([=[cli_usage]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
