@@ -119,6 +119,11 @@ int main(int argc, char** argv) {
   }
   std::printf("done: %d flow(s), %d failure(s), %zu record(s) in the index\n",
               flows_run, failures, facility.index().size());
-  std::printf("re-run this example: the checkpoint prevents duplicate flows\n");
+  if (demo) {
+    std::printf("note: demo mode rewrites its sample files each run, so they "
+                "re-trigger (a rewritten acquisition is new data)\n");
+  } else {
+    std::printf("re-run this example: the checkpoint skips unchanged files\n");
+  }
   return failures == 0 ? 0 : 1;
 }

@@ -22,6 +22,10 @@ Token AuthService::issue(const Identity& identity,
 
 util::Result<TokenInfo> AuthService::validate(
     const Token& token, const Scope& required_scope) const {
+  if (!available_) {
+    return util::Result<TokenInfo>::err("auth service unavailable",
+                                        "unavailable");
+  }
   auto it = tokens_.find(token);
   if (it == tokens_.end()) {
     return util::Result<TokenInfo>::err("invalid or revoked token", "denied");
@@ -34,5 +38,7 @@ util::Result<TokenInfo> AuthService::validate(
 }
 
 void AuthService::revoke(const Token& token) { tokens_.erase(token); }
+
+void AuthService::set_available(bool available) { available_ = available; }
 
 }  // namespace pico::auth

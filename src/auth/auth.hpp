@@ -43,9 +43,17 @@ class AuthService {
 
   size_t active_tokens() const { return tokens_.size(); }
 
+  /// Fault injection: while unavailable, validate() fails with code
+  /// "unavailable" (so callers can distinguish an auth outage from a bad
+  /// token). issue() still works — a simplification: token minting in the
+  /// facility is local to the orchestrator.
+  void set_available(bool available);
+  bool available() const { return available_; }
+
  private:
   uint64_t seed_;
   uint64_t counter_ = 0;
+  bool available_ = true;
   std::map<Token, TokenInfo> tokens_;
 };
 

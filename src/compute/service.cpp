@@ -49,6 +49,9 @@ util::Result<TaskId> ComputeService::submit(const EndpointId& endpoint,
                                             util::Json args,
                                             const auth::Token& token) {
   using R = util::Result<TaskId>;
+  if (!available_) {
+    return R::err("compute service unavailable", "unavailable");
+  }
   auto who = auth_->validate(token, "compute");
   if (!who) return R::err(who.error());
   if (!endpoints_.count(endpoint)) {
@@ -274,6 +277,20 @@ util::Result<util::Json> ComputeService::result(const TaskId& id) const {
 size_t ComputeService::warm_node_count(const EndpointId& endpoint) const {
   auto it = endpoints_.find(endpoint);
   return it == endpoints_.end() ? 0 : it->second.nodes.size();
+}
+
+void ComputeService::set_available(bool available) { available_ = available; }
+
+void ComputeService::set_node_failure_prob(const EndpointId& endpoint,
+                                           double prob) {
+  auto it = endpoints_.find(endpoint);
+  if (it == endpoints_.end()) return;
+  it->second.config.node_failure_prob = prob;
+}
+
+double ComputeService::node_failure_prob(const EndpointId& endpoint) const {
+  auto it = endpoints_.find(endpoint);
+  return it == endpoints_.end() ? 0.0 : it->second.config.node_failure_prob;
 }
 
 }  // namespace pico::compute

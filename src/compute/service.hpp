@@ -96,6 +96,16 @@ class ComputeService {
   /// Warm nodes currently held by an endpoint (tests/diagnostics).
   size_t warm_node_count(const EndpointId& endpoint) const;
 
+  /// Fault injection: while unavailable, submit() is rejected with code
+  /// "unavailable". Already-queued and running tasks continue (an endpoint
+  /// web-service outage does not kill batch jobs on the cluster).
+  void set_available(bool available);
+  bool available() const { return available_; }
+  /// Fault injection: override an endpoint's mid-task node death probability
+  /// (windowed fault-rate campaigns). No-op for unknown endpoints.
+  void set_node_failure_prob(const EndpointId& endpoint, double prob);
+  double node_failure_prob(const EndpointId& endpoint) const;
+
  private:
   struct Function {
     FunctionSpec spec;
@@ -134,6 +144,7 @@ class ComputeService {
   std::map<EndpointId, Endpoint> endpoints_;
   std::map<TaskId, Task> tasks_;
   uint64_t next_task_ = 1;
+  bool available_ = true;
 };
 
 }  // namespace pico::compute

@@ -1,5 +1,7 @@
 #include "core/campaign.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "util/log.hpp"
@@ -67,13 +69,34 @@ util::SampleStats CampaignResult::step_lag_stats(
 
 namespace {
 
-/// Drives the drop -> watch -> launch -> sleep loop in virtual time.
+/// Drives the drop -> watch -> launch -> sleep loop in virtual time, and —
+/// when recovery is enabled — the journal/dead-letter machinery that
+/// resubmits failed flows and replays state after an orchestrator crash.
 struct Driver : std::enable_shared_from_this<Driver> {
   Facility* facility;
   CampaignConfig config;
   flow::FlowDefinition definition;
   CampaignResult* result;
   int sequence = 0;
+  /// Orchestrator blackout: completion notifications are lost while true;
+  /// the journal replay at restart reconciles what was missed.
+  bool crashed = false;
+
+  /// Run journal: one entry per logical flow, persisted across resubmits and
+  /// crashes. `settled` guards against double-recording when a replayed run
+  /// is later reported again.
+  struct JournalEntry {
+    std::string label;
+    util::Json input;
+    flow::RunId current_run;
+    int attempts = 0;           ///< launches so far (1 = first attempt)
+    double first_launch_s = 0;
+    double first_failure_s = -1;
+    bool settled = false;
+  };
+  std::map<std::string, JournalEntry> journal;
+  /// Resubmits whose delay timer fired mid-blackout; launched at restart.
+  std::vector<std::string> pending_relaunch;
 
   void start_cycle() {
     sim::SimTime now = facility->engine().now();
@@ -124,32 +147,174 @@ struct Driver : std::enable_shared_from_this<Driver> {
     input.naive_convert = config.naive_convert;
 
     auto self = shared_from_this();
-    auto run = facility->flows().start(definition, input.to_json(),
-                                       facility->user_token(), input.subject);
-    if (!run) {
-      logger().error("flow start failed: %s", run.error().message.c_str());
-    } else {
-      flow::RunId id = run.value();
-      facility->flows().on_finished(
-          id, [self, id](const flow::RunId&, const flow::RunInfo& info) {
-            CompletedFlow done;
-            done.id = id;
-            done.label = info.label;
-            done.success = info.state == flow::RunState::Succeeded;
-            done.timing = self->facility->flows().timing(id);
-            if (!done.success) self->result->failed += 1;
-            if (done.timing.finished.seconds() <= self->config.duration_s) {
-              self->result->in_window.push_back(std::move(done));
-            } else {
-              self->result->late.push_back(std::move(done));
-            }
-          });
-    }
+    JournalEntry entry;
+    entry.label = input.subject;
+    entry.input = input.to_json();
+    entry.first_launch_s = facility->engine().now().seconds();
+    journal[input.subject] = std::move(entry);
+    launch(input.subject);
 
     // 3. Sleep the configured start period, then begin the next cycle.
     facility->engine().schedule_after(
         sim::Duration::from_seconds(config.start_period_s),
         [self] { self->start_cycle(); });
+  }
+
+  void launch(const std::string& label) {
+    JournalEntry& entry = journal[label];
+    ++entry.attempts;
+    ++result->robustness.launches;
+    auto run = facility->flows().start(definition, entry.input,
+                                       facility->user_token(), label);
+    if (!run) {
+      logger().error("flow start failed: %s", run.error().message.c_str());
+      if (!config.recovery.enabled) return;  // classic campaigns: drop it
+      ++result->robustness.run_failures;
+      if (entry.attempts <= config.recovery.resubmit_budget) {
+        resubmit(label);
+      } else {
+        record_terminal(label, "", false);
+      }
+      return;
+    }
+    entry.current_run = run.value();
+    attach(label, entry.current_run);
+  }
+
+  void attach(const std::string& label, const flow::RunId& id) {
+    auto self = shared_from_this();
+    facility->flows().on_finished(
+        id, [self, label, id](const flow::RunId&, const flow::RunInfo& info) {
+          // A crashed orchestrator misses the notification; the journal
+          // replay at restart reconciles the run instead.
+          if (self->crashed) return;
+          self->settle(label, id, info.state == flow::RunState::Succeeded);
+        });
+  }
+
+  void settle(const std::string& label, const flow::RunId& id, bool success) {
+    JournalEntry& entry = journal[label];
+    if (entry.settled) return;  // already reconciled via crash replay
+    if (success) {
+      record_terminal(label, id, true);
+      return;
+    }
+    ++result->robustness.run_failures;
+    if (config.recovery.enabled &&
+        entry.attempts <= config.recovery.resubmit_budget) {
+      resubmit(label);
+    } else {
+      record_terminal(label, id, false);
+    }
+  }
+
+  /// Dead-letter handling: re-launch with a fresh token after an escalating
+  /// delay, never sooner than the flow service's open-breaker hint.
+  void resubmit(const std::string& label) {
+    JournalEntry& entry = journal[label];
+    if (entry.first_failure_s < 0) {
+      entry.first_failure_s = facility->engine().now().seconds();
+    }
+    ++result->robustness.resubmits;
+    // Fresh token: covers token_expiry chaos and long outages outliving the
+    // original credential.
+    facility->refresh_user_token();
+    double delay = config.recovery.resubmit_delay_s *
+                   std::pow(2.0, static_cast<double>(entry.attempts - 1));
+    for (const auto& step : definition.steps) {
+      delay = std::max(delay,
+                       facility->flows().breaker_retry_after_s(step.provider));
+    }
+    logger().info("resubmitting %s (attempt %d) in %.1fs", label.c_str(),
+                  entry.attempts + 1, delay);
+    auto self = shared_from_this();
+    facility->engine().schedule_after(
+        sim::Duration::from_seconds(delay), [self, label] {
+          if (self->crashed) {
+            self->pending_relaunch.push_back(label);
+            return;
+          }
+          self->launch(label);
+        });
+  }
+
+  void record_terminal(const std::string& label, const flow::RunId& id,
+                       bool success) {
+    JournalEntry& entry = journal[label];
+    entry.settled = true;
+    CompletedFlow done;
+    done.id = id;
+    done.label = label;
+    done.success = success;
+    if (!id.empty()) done.timing = facility->flows().timing(id);
+    double settled_at = id.empty() ? facility->engine().now().seconds()
+                                   : done.timing.finished.seconds();
+    if (!success) {
+      result->failed += 1;
+      ++result->robustness.lost;
+    } else if (entry.first_failure_s >= 0) {
+      ++result->robustness.recovered;
+      result->robustness.mttr_s.add(settled_at - entry.first_failure_s);
+      result->robustness.fault_overhead_s.add(
+          std::max(0.0, (settled_at - entry.first_launch_s) -
+                            done.timing.total_s()));
+    }
+    if (settled_at <= config.duration_s) {
+      result->in_window.push_back(std::move(done));
+    } else {
+      result->late.push_back(std::move(done));
+    }
+  }
+
+  // ---- orchestrator crash / journal replay ---------------------------------
+
+  void install_crash_events() {
+    auto self = shared_from_this();
+    for (const auto& event : config.chaos.events) {
+      if (event.kind != fault::FaultKind::OrchestratorCrash) continue;
+      double down_s =
+          std::max(event.duration_s, config.recovery.crash_restart_delay_s);
+      facility->engine().schedule_after(
+          sim::Duration::from_seconds(event.at_s), [self] {
+            logger().warn("orchestrator crash: notifications blacked out");
+            self->crashed = true;
+          });
+      facility->engine().schedule_after(
+          sim::Duration::from_seconds(event.at_s + down_s),
+          [self] { self->restart(); });
+    }
+  }
+
+  /// Restart after a crash: walk the journal and reconcile every unsettled
+  /// flow against the flow service's authoritative state. Runs that finished
+  /// during the blackout are recorded exactly once (success) or pushed back
+  /// through the dead-letter path (failure); still-active runs keep their
+  /// original callback, which works again now that `crashed` is false.
+  void restart() {
+    crashed = false;
+    logger().warn("orchestrator restarted: replaying journal (%zu entries)",
+                  journal.size());
+    std::vector<std::string> to_settle_ok, to_settle_fail;
+    for (auto& [label, entry] : journal) {
+      if (entry.settled || entry.current_run.empty()) continue;
+      const flow::RunInfo& info = facility->flows().info(entry.current_run);
+      if (info.state == flow::RunState::Succeeded) {
+        to_settle_ok.push_back(label);
+      } else if (info.state == flow::RunState::Failed) {
+        to_settle_fail.push_back(label);
+      }
+    }
+    for (const auto& label : to_settle_ok) {
+      ++result->robustness.crash_replays;
+      settle(label, journal[label].current_run, true);
+    }
+    for (const auto& label : to_settle_fail) {
+      ++result->robustness.crash_replays;
+      settle(label, journal[label].current_run, false);
+    }
+    std::vector<std::string> relaunch;
+    relaunch.swap(pending_relaunch);
+    for (const auto& label : relaunch) launch(label);
   }
 };
 
@@ -167,9 +332,37 @@ CampaignResult run_campaign(Facility& facility, const CampaignConfig& config) {
                            : spatiotemporal_flow(facility);
   driver->result = &result;
 
+  // Per-step timeout overrides (chaos campaigns abandon stuck actions).
+  for (auto& step : driver->definition.steps) {
+    auto it = config.step_timeouts.find(step.name);
+    if (it != config.step_timeouts.end()) step.timeout_s = it->second;
+  }
+
+  if (!config.chaos.empty()) {
+    auto injector = facility.install_faults(config.chaos);
+    if (!injector) {
+      logger().error("chaos install failed: %s",
+                     injector.error().message.c_str());
+    }
+    driver->install_crash_events();
+  }
+
   facility.engine().schedule_at(sim::SimTime::zero(),
                                 [driver] { driver->start_cycle(); });
   facility.engine().run();
+
+  // Robustness accounting sourced from the services after the run.
+  RobustnessStats& rb = result.robustness;
+  rb.breakers = facility.flows().breaker_snapshots();
+  for (const auto& snap : rb.breakers) rb.breaker_trips += snap.trips;
+  rb.step_timeouts = facility.flows().total_timeouts();
+  for (const auto& event : config.chaos.events) {
+    std::string kind = fault::fault_kind_name(event.kind);
+    if (!rb.downtime_s.count(kind)) {
+      rb.downtime_s[kind] =
+          config.chaos.downtime_s(event.kind, config.duration_s);
+    }
+  }
 
   logger().info("%s campaign: %zu in-window flows, %zu late, %zu failed",
                 use_case_name(config.use_case).c_str(),

@@ -5,11 +5,13 @@
 // flows execute concurrently. The driver reproduces that loop in virtual
 // time: local staging copy -> watcher stability debounce -> flow launch ->
 // sleep(start period) -> next copy.
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/facility.hpp"
 #include "core/flows.hpp"
+#include "fault/schedule.hpp"
 #include "flow/service.hpp"
 #include "util/stats.hpp"
 
@@ -18,6 +20,21 @@ namespace pico::core {
 enum class UseCase { Hyperspectral, Spatiotemporal };
 
 std::string use_case_name(UseCase u);
+
+/// Campaign-level recovery: what the driver does when a flow run settles as
+/// Failed. Disabled by default — the classic campaigns count every run
+/// failure; chaos campaigns opt in to resubmission.
+struct RecoveryConfig {
+  bool enabled = false;
+  /// Re-launches allowed per logical flow (beyond the first attempt).
+  int resubmit_budget = 2;
+  /// Base delay before a resubmit; attempt k waits base * 2^(k-1), and never
+  /// less than the flow service's open-breaker hint for the failed provider.
+  double resubmit_delay_s = 60;
+  /// Downtime after an orchestrator_crash chaos event before the driver
+  /// restarts and replays its journal.
+  double crash_restart_delay_s = 5;
+};
 
 struct CampaignConfig {
   UseCase use_case = UseCase::Hyperspectral;
@@ -28,6 +45,12 @@ struct CampaignConfig {
   bool naive_convert = false;
   std::string codec;              ///< optional transfer compression (A3)
   std::string label_prefix = "campaign";
+  /// Chaos schedule installed on the facility before the run (empty = none).
+  fault::FaultSchedule chaos;
+  RecoveryConfig recovery;
+  /// Per-step timeout overrides applied to the flow definition by step name
+  /// (e.g. {"Transfer", 900}). Absent steps keep timeout 0 (none).
+  std::map<std::string, double> step_timeouts;
 };
 
 struct CompletedFlow {
@@ -35,6 +58,34 @@ struct CompletedFlow {
   std::string label;
   bool success = false;
   flow::RunTiming timing;
+};
+
+/// Fault-and-recovery accounting for one campaign (the robustness report).
+struct RobustnessStats {
+  size_t launches = 0;      ///< flow starts, including resubmits
+  size_t run_failures = 0;  ///< individual run failures observed
+  size_t resubmits = 0;     ///< failed runs re-launched with a fresh token
+  size_t recovered = 0;     ///< logical flows that failed, then succeeded
+  size_t lost = 0;          ///< logical flows dead-lettered (budget exhausted)
+  size_t crash_replays = 0; ///< runs reconciled from the journal post-crash
+  int breaker_trips = 0;
+  uint64_t step_timeouts = 0;
+  /// Mean-time-to-recovery: first failure -> eventual success, per recovered
+  /// flow.
+  util::SampleStats mttr_s;
+  /// Fault-attributed overhead: (settled - first launch) minus the successful
+  /// attempt's own runtime, per recovered flow. The wasted wall-clock.
+  util::SampleStats fault_overhead_s;
+  std::vector<flow::BreakerSnapshot> breakers;
+  /// Injected downtime per fault kind within the campaign window (merged).
+  std::map<std::string, double> downtime_s;
+
+  /// Fraction of logical flows that eventually succeeded.
+  double eventual_success_pct(size_t launched_logical) const {
+    if (launched_logical == 0) return 100.0;
+    return 100.0 * static_cast<double>(launched_logical - lost) /
+           static_cast<double>(launched_logical);
+  }
 };
 
 struct CampaignResult {
@@ -45,6 +96,7 @@ struct CampaignResult {
   /// Flows that started in the window but finished after it.
   std::vector<CompletedFlow> late;
   size_t failed = 0;
+  RobustnessStats robustness;
 
   double total_data_gb() const {
     return static_cast<double>(config.file_bytes) *

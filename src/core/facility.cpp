@@ -99,6 +99,39 @@ void Facility::build_topology() {
   (void)uplink;
 }
 
+const auth::Token& Facility::refresh_user_token() {
+  // A still-valid credential is kept: revoking it here would strand every
+  // concurrent run that captured it at launch, turning one resubmit into a
+  // facility-wide failure cascade. A replacement is minted only once the
+  // current token no longer validates (chaos token_expiry, revocation).
+  if (auth_.validate(user_token_, "flows")) return user_token_;
+  user_token_ = auth_.issue(
+      user_identity_, {"transfer", "compute", "search.ingest", "flows"});
+  return user_token_;
+}
+
+util::Result<fault::FaultInjector*> Facility::install_faults(
+    const fault::FaultSchedule& schedule) {
+  using R = util::Result<fault::FaultInjector*>;
+  fault::FaultInjector::Services services;
+  services.engine = &engine_;
+  services.topology = &topo_;
+  services.network = network_.get();
+  services.transfer = transfer_.get();
+  services.compute = compute_.get();
+  services.pbs = pbs_.get();
+  services.auth = &auth_;
+  services.expire_token = [this] { auth_.revoke(user_token_); };
+  services.default_endpoint = polaris_ep_;
+  injector_ = std::make_unique<fault::FaultInjector>(std::move(services));
+  auto installed = injector_->install(schedule);
+  if (!installed) {
+    injector_.reset();
+    return R::err(installed.error());
+  }
+  return R::ok(injector_.get());
+}
+
 util::Status Facility::stage_virtual_file(const std::string& path,
                                           int64_t bytes) {
   // Synthetic checksum: derived from the path so transfer verification has a

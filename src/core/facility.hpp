@@ -12,6 +12,7 @@
 #include "compute/service.hpp"
 #include "core/cost_model.hpp"
 #include "core/providers.hpp"
+#include "fault/injector.hpp"
 #include "flow/service.hpp"
 #include "hpcsim/pbs.hpp"
 #include "net/network.hpp"
@@ -71,6 +72,20 @@ class Facility {
   const auth::Token& user_token() const { return user_token_; }
   const auth::Identity& user_identity() const { return user_identity_; }
 
+  /// Ensure the operator token is usable, minting a replacement with the
+  /// same scopes if the current one no longer validates (mid-run token
+  /// expiry recovery; the campaign driver calls this before resubmitting a
+  /// flow that died to an auth failure). A still-valid token is returned
+  /// unchanged so concurrent runs holding it are not stranded.
+  const auth::Token& refresh_user_token();
+
+  /// Install a chaos schedule against this facility's services. Call before
+  /// engine().run(). Returns the injector for fault-log inspection; it stays
+  /// owned by the facility.
+  util::Result<fault::FaultInjector*> install_faults(
+      const fault::FaultSchedule& schedule);
+  fault::FaultInjector* injector() { return injector_.get(); }
+
   /// Registered compute function / endpoint ids.
   const compute::EndpointId& polaris_endpoint() const { return polaris_ep_; }
   const compute::FunctionId& hyperspectral_fn() const { return hyper_fn_; }
@@ -107,6 +122,7 @@ class Facility {
   std::unique_ptr<compute::ComputeService> compute_;
   search::Index index_;
   std::unique_ptr<flow::FlowService> flows_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<TransferProvider> transfer_provider_;
   std::unique_ptr<ComputeProvider> compute_provider_;
   std::unique_ptr<SearchIngestProvider> search_provider_;

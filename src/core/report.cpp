@@ -119,4 +119,73 @@ std::string flows_csv(const CampaignResult& result) {
   return out;
 }
 
+std::string render_robustness(const CampaignResult& result) {
+  const RobustnessStats& rb = result.robustness;
+  size_t logical = result.in_window.size() + result.late.size();
+  std::string out;
+  out += format("Robustness report (%s campaign, chaos '%s')\n",
+                use_case_name(result.config.use_case).c_str(),
+                result.config.chaos.name.c_str());
+  out += std::string(60, '-') + "\n";
+
+  out += "Injected downtime (merged windows, within campaign):\n";
+  if (rb.downtime_s.empty()) {
+    out += "  none\n";
+  } else {
+    for (const auto& [kind, down] : rb.downtime_s) {
+      double avail =
+          result.config.duration_s > 0
+              ? 100.0 * (1.0 - down / result.config.duration_s)
+              : 100.0;
+      out += format("  %-20s %8.1f s  (availability %5.1f%%)\n", kind.c_str(),
+                    down, avail);
+    }
+  }
+
+  out += format("Flows: %zu logical, %zu launches (%zu resubmits)\n", logical,
+                rb.launches, rb.resubmits);
+  out += format("  eventually succeeded: %zu/%zu (%.1f%%)\n", logical - rb.lost,
+                logical, rb.eventual_success_pct(logical));
+  out += format("  recovered after failure: %zu   lost (dead-lettered): %zu\n",
+                rb.recovered, rb.lost);
+  out += format("  run failures observed: %zu   crash replays: %zu\n",
+                rb.run_failures, rb.crash_replays);
+
+  if (rb.mttr_s.count() > 0) {
+    out += format("MTTR (first failure -> success): mean %.1f s, median %.1f s,"
+                  " max %.1f s (n=%zu)\n",
+                  rb.mttr_s.mean(), rb.mttr_s.median(), rb.mttr_s.max(),
+                  rb.mttr_s.count());
+  } else {
+    out += "MTTR: n/a (no recovered flows)\n";
+  }
+  if (rb.fault_overhead_s.count() > 0) {
+    out += format("Fault-attributed overhead per recovered flow: mean %.1f s,"
+                  " max %.1f s\n",
+                  rb.fault_overhead_s.mean(), rb.fault_overhead_s.max());
+  }
+
+  out += format("Circuit breakers: %d trips, %llu step timeouts\n",
+                rb.breaker_trips,
+                static_cast<unsigned long long>(rb.step_timeouts));
+  for (const auto& snap : rb.breakers) {
+    out += format("  %-14s trips=%-3d consecutive_failures=%-3d state=%s\n",
+                  snap.provider.c_str(), snap.trips, snap.consecutive_failures,
+                  snap.state.c_str());
+  }
+
+  // Fig. 4-style decomposition of the surviving flows, so the fault run can
+  // be compared directly with a fault-free campaign.
+  auto runtime = result.runtime_stats();
+  auto overhead = result.overhead_stats();
+  if (runtime.count() > 0) {
+    out += format("Surviving-flow runtime: mean %.1f s (overhead mean %.1f s,"
+                  " %.1f%% of runtime)\n",
+                  runtime.mean(), overhead.mean(),
+                  runtime.mean() > 0 ? 100.0 * overhead.mean() / runtime.mean()
+                                     : 0.0);
+  }
+  return out;
+}
+
 }  // namespace pico::core

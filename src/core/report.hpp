@@ -31,4 +31,10 @@ std::string render_fig4(const CampaignResult& result);
 /// CSV of per-flow timings (one row per flow, per-step actives + overhead).
 std::string flows_csv(const CampaignResult& result);
 
+/// Render the robustness report for a chaos campaign: injected downtime and
+/// availability, eventual-success rate, dead-letter/resubmit counts, MTTR,
+/// fault-attributed overhead, breaker trips, and step timeouts — the
+/// recovery-side complement of the Fig. 4 active-vs-overhead decomposition.
+std::string render_robustness(const CampaignResult& result);
+
 }  // namespace pico::core

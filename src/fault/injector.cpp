@@ -1,0 +1,189 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace pico::fault {
+namespace {
+
+util::Logger& logger() {
+  static util::Logger kLogger("fault");
+  return kLogger;
+}
+
+bool is_instant(FaultKind kind) {
+  return kind == FaultKind::TokenExpiry || kind == FaultKind::OrchestratorCrash;
+}
+
+}  // namespace
+
+std::string FaultInjector::overlap_key(const FaultEvent& event) const {
+  return fault_kind_name(event.kind) + "|" + event.target;
+}
+
+util::Status FaultInjector::install(const FaultSchedule& schedule) {
+  using S = util::Status;
+  if (!s_.engine) return S::err("injector needs an engine", "invalid");
+  for (const FaultEvent& e : schedule.events) {
+    switch (e.kind) {
+      case FaultKind::LinkDegrade:
+      case FaultKind::LinkPartition: {
+        if (!s_.topology || !s_.network) {
+          return S::err("link faults need topology + network", "invalid");
+        }
+        auto link = s_.topology->link_by_name(e.target);
+        if (!link) return S::err(link.error());
+        break;
+      }
+      case FaultKind::TransferOutage:
+        if (!s_.transfer) return S::err("transfer_outage needs the transfer service", "invalid");
+        break;
+      case FaultKind::ComputeOutage:
+      case FaultKind::NodeFailureRate:
+        if (!s_.compute) return S::err("compute faults need the compute service", "invalid");
+        break;
+      case FaultKind::PbsDrain:
+        if (!s_.pbs) return S::err("pbs_drain needs the scheduler", "invalid");
+        break;
+      case FaultKind::AuthOutage:
+        if (!s_.auth) return S::err("auth_outage needs the auth service", "invalid");
+        break;
+      case FaultKind::TokenExpiry:
+        if (!s_.expire_token) return S::err("token_expiry needs an expire_token hook", "invalid");
+        break;
+      case FaultKind::OrchestratorCrash:
+        break;  // campaign-driver concern; the injector only carries it
+    }
+  }
+
+  schedule_ = schedule;
+  double now_s = s_.engine->now().seconds();
+  for (const FaultEvent& e : schedule_.events) {
+    if (e.kind == FaultKind::OrchestratorCrash) continue;
+    double begin_delay = std::max(0.0, e.at_s - now_s);
+    FaultEvent copy = e;
+    s_.engine->schedule_after(sim::Duration::from_seconds(begin_delay),
+                              [this, copy] { begin_event(copy); });
+    if (!is_instant(e.kind) && e.duration_s > 0) {
+      double end_delay = std::max(0.0, e.at_s + e.duration_s - now_s);
+      s_.engine->schedule_after(sim::Duration::from_seconds(end_delay),
+                                [this, copy] { end_event(copy); });
+    }
+  }
+  logger().info("installed chaos schedule '%s' (%d events)",
+                schedule_.name.c_str(),
+                static_cast<int>(schedule_.events.size()));
+  return S::ok();
+}
+
+void FaultInjector::begin_event(const FaultEvent& event) {
+  log_.push_back(AppliedFault{event.kind, event.target,
+                              s_.engine->now().seconds(), true});
+  logger().info("t=%.1fs fault begin: %s %s", s_.engine->now().seconds(),
+                fault_kind_name(event.kind).c_str(), event.target.c_str());
+
+  if (event.kind == FaultKind::TokenExpiry) {
+    s_.expire_token();
+    return;
+  }
+
+  int depth = ++depth_[overlap_key(event)];
+  switch (event.kind) {
+    case FaultKind::LinkDegrade: {
+      net::LinkId id = s_.topology->link_by_name(event.target).value();
+      if (!saved_capacity_.count(id)) {
+        saved_capacity_[id] = s_.topology->link(id).capacity_bps;
+      }
+      s_.topology->mutable_link(id).capacity_bps =
+          saved_capacity_[id] * event.severity;
+      s_.network->rates_changed();
+      break;
+    }
+    case FaultKind::LinkPartition: {
+      if (depth > 1) break;
+      net::LinkId id = s_.topology->link_by_name(event.target).value();
+      s_.topology->set_link_up(id, false);
+      s_.network->rates_changed();
+      break;
+    }
+    case FaultKind::TransferOutage:
+      if (depth == 1) s_.transfer->set_available(false);
+      break;
+    case FaultKind::ComputeOutage:
+      if (depth == 1) s_.compute->set_available(false);
+      break;
+    case FaultKind::PbsDrain:
+      if (depth == 1) s_.pbs->set_drain(true);
+      break;
+    case FaultKind::AuthOutage:
+      if (depth == 1) s_.auth->set_available(false);
+      break;
+    case FaultKind::NodeFailureRate: {
+      std::string endpoint =
+          event.target.empty() ? s_.default_endpoint : event.target;
+      if (!saved_failure_prob_.count(endpoint)) {
+        saved_failure_prob_[endpoint] =
+            s_.compute->node_failure_prob(endpoint);
+      }
+      s_.compute->set_node_failure_prob(endpoint, event.severity);
+      break;
+    }
+    case FaultKind::TokenExpiry:
+    case FaultKind::OrchestratorCrash:
+      break;
+  }
+}
+
+void FaultInjector::end_event(const FaultEvent& event) {
+  log_.push_back(AppliedFault{event.kind, event.target,
+                              s_.engine->now().seconds(), false});
+  logger().info("t=%.1fs fault end: %s %s", s_.engine->now().seconds(),
+                fault_kind_name(event.kind).c_str(), event.target.c_str());
+
+  int depth = --depth_[overlap_key(event)];
+  if (depth > 0 && event.kind != FaultKind::LinkDegrade) return;
+  switch (event.kind) {
+    case FaultKind::LinkDegrade: {
+      net::LinkId id = s_.topology->link_by_name(event.target).value();
+      if (depth <= 0) {
+        s_.topology->mutable_link(id).capacity_bps = saved_capacity_[id];
+        saved_capacity_.erase(id);
+      }
+      // Overlap remaining: leave the deeper window's degraded capacity.
+      s_.network->rates_changed();
+      break;
+    }
+    case FaultKind::LinkPartition: {
+      net::LinkId id = s_.topology->link_by_name(event.target).value();
+      s_.topology->set_link_up(id, true);
+      s_.network->rates_changed();
+      break;
+    }
+    case FaultKind::TransferOutage:
+      s_.transfer->set_available(true);
+      break;
+    case FaultKind::ComputeOutage:
+      s_.compute->set_available(true);
+      break;
+    case FaultKind::PbsDrain:
+      s_.pbs->set_drain(false);
+      break;
+    case FaultKind::AuthOutage:
+      s_.auth->set_available(true);
+      break;
+    case FaultKind::NodeFailureRate: {
+      std::string endpoint =
+          event.target.empty() ? s_.default_endpoint : event.target;
+      s_.compute->set_node_failure_prob(endpoint,
+                                        saved_failure_prob_[endpoint]);
+      saved_failure_prob_.erase(endpoint);
+      break;
+    }
+    case FaultKind::TokenExpiry:
+    case FaultKind::OrchestratorCrash:
+      break;
+  }
+}
+
+}  // namespace pico::fault

@@ -1,0 +1,72 @@
+#pragma once
+// Applies a FaultSchedule to live services by scheduling begin/end callbacks
+// on the simulation engine. Overlapping windows of the same fault are
+// reference-counted so the service is restored only when the last window
+// closes. OrchestratorCrash events are *not* applied here — the campaign
+// driver owns its own crash/replay behaviour and reads them directly from
+// the schedule.
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "auth/auth.hpp"
+#include "compute/service.hpp"
+#include "fault/schedule.hpp"
+#include "hpcsim/pbs.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+#include "transfer/service.hpp"
+
+namespace pico::fault {
+
+/// One applied transition, for diagnostics and the robustness report.
+struct AppliedFault {
+  FaultKind kind;
+  std::string target;
+  double at_s = 0;
+  bool begin = true;  ///< false = restoration
+};
+
+class FaultInjector {
+ public:
+  struct Services {
+    sim::Engine* engine = nullptr;
+    net::Topology* topology = nullptr;
+    net::Network* network = nullptr;
+    transfer::TransferService* transfer = nullptr;
+    compute::ComputeService* compute = nullptr;
+    hpcsim::PbsScheduler* pbs = nullptr;
+    auth::AuthService* auth = nullptr;
+    /// TokenExpiry hook: revoke the campaign's current token. The recovery
+    /// side (re-issuing) is the campaign driver's job.
+    std::function<void()> expire_token;
+    /// Compute endpoint used when a NodeFailureRate event has no target.
+    std::string default_endpoint;
+  };
+
+  explicit FaultInjector(Services services) : s_(std::move(services)) {}
+
+  /// Schedule every event in virtual time. Call once, before engine.run().
+  /// Errors on unknown link targets or missing service pointers for the
+  /// kinds the schedule actually uses.
+  util::Status install(const FaultSchedule& schedule);
+
+  const FaultSchedule& schedule() const { return schedule_; }
+  const std::vector<AppliedFault>& log() const { return log_; }
+
+ private:
+  void begin_event(const FaultEvent& event);
+  void end_event(const FaultEvent& event);
+  std::string overlap_key(const FaultEvent& event) const;
+
+  Services s_;
+  FaultSchedule schedule_;
+  std::map<std::string, int> depth_;  ///< overlap count per (kind, target)
+  std::map<net::LinkId, double> saved_capacity_;
+  std::map<std::string, double> saved_failure_prob_;
+  std::vector<AppliedFault> log_;
+};
+
+}  // namespace pico::fault

@@ -1,0 +1,122 @@
+#include "fault/schedule.hpp"
+
+#include <algorithm>
+
+namespace pico::fault {
+
+using util::Json;
+
+std::string fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::LinkDegrade: return "link_degrade";
+    case FaultKind::LinkPartition: return "link_partition";
+    case FaultKind::TransferOutage: return "transfer_outage";
+    case FaultKind::ComputeOutage: return "compute_outage";
+    case FaultKind::PbsDrain: return "pbs_drain";
+    case FaultKind::AuthOutage: return "auth_outage";
+    case FaultKind::TokenExpiry: return "token_expiry";
+    case FaultKind::NodeFailureRate: return "node_failure_rate";
+    case FaultKind::OrchestratorCrash: return "orchestrator_crash";
+  }
+  return "?";
+}
+
+util::Result<FaultKind> fault_kind_from_name(const std::string& name) {
+  using R = util::Result<FaultKind>;
+  static const std::pair<const char*, FaultKind> kKinds[] = {
+      {"link_degrade", FaultKind::LinkDegrade},
+      {"link_partition", FaultKind::LinkPartition},
+      {"transfer_outage", FaultKind::TransferOutage},
+      {"compute_outage", FaultKind::ComputeOutage},
+      {"pbs_drain", FaultKind::PbsDrain},
+      {"auth_outage", FaultKind::AuthOutage},
+      {"token_expiry", FaultKind::TokenExpiry},
+      {"node_failure_rate", FaultKind::NodeFailureRate},
+      {"orchestrator_crash", FaultKind::OrchestratorCrash},
+  };
+  for (const auto& [n, k] : kKinds) {
+    if (name == n) return R::ok(k);
+  }
+  return R::err("unknown fault kind: " + name, "schema");
+}
+
+double FaultSchedule::downtime_s(FaultKind kind, double horizon_s) const {
+  std::vector<std::pair<double, double>> windows;
+  for (const FaultEvent& e : events) {
+    if (e.kind != kind) continue;
+    double lo = std::max(0.0, e.at_s);
+    double hi = std::min(horizon_s, e.at_s + e.duration_s);
+    if (hi > lo) windows.emplace_back(lo, hi);
+  }
+  std::sort(windows.begin(), windows.end());
+  double total = 0, cur_lo = 0, cur_hi = -1;
+  for (const auto& [lo, hi] : windows) {
+    if (lo > cur_hi) {
+      if (cur_hi > cur_lo) total += cur_hi - cur_lo;
+      cur_lo = lo;
+      cur_hi = hi;
+    } else {
+      cur_hi = std::max(cur_hi, hi);
+    }
+  }
+  if (cur_hi > cur_lo) total += cur_hi - cur_lo;
+  return total;
+}
+
+Json FaultSchedule::to_json() const {
+  Json out = Json::array();
+  for (const FaultEvent& e : events) {
+    Json ev = Json::object({
+        {"kind", fault_kind_name(e.kind)},
+        {"at_s", e.at_s},
+        {"duration_s", e.duration_s},
+    });
+    if (!e.target.empty()) ev["target"] = e.target;
+    if (e.severity != 0) ev["severity"] = e.severity;
+    out.push_back(std::move(ev));
+  }
+  return Json::object({{"name", name}, {"events", out}});
+}
+
+util::Result<FaultSchedule> FaultSchedule::from_json(const Json& doc) {
+  using R = util::Result<FaultSchedule>;
+  if (!doc.is_object()) return R::err("schedule must be an object", "schema");
+  FaultSchedule schedule;
+  schedule.name = doc.at("name").as_string("chaos");
+  const Json& events = doc.at("events");
+  if (!events.is_array()) {
+    return R::err("schedule needs an events array", "schema");
+  }
+  for (const Json& ev : events.as_array()) {
+    auto kind = fault_kind_from_name(ev.at("kind").as_string());
+    if (!kind) return R::err(kind.error());
+    FaultEvent e;
+    e.kind = kind.value();
+    e.at_s = ev.at("at_s").as_double(0.0);
+    e.duration_s = ev.at("duration_s").as_double(0.0);
+    e.target = ev.at("target").as_string("");
+    e.severity = ev.at("severity").as_double(0.0);
+    if (e.at_s < 0) return R::err("event at_s must be >= 0", "schema");
+    if (e.duration_s < 0) {
+      return R::err("event duration_s must be >= 0", "schema");
+    }
+    if (e.kind == FaultKind::LinkDegrade &&
+        (e.severity <= 0 || e.severity > 1)) {
+      return R::err("link_degrade severity must be in (0, 1]", "schema");
+    }
+    if (e.kind == FaultKind::NodeFailureRate &&
+        (e.severity < 0 || e.severity > 1)) {
+      return R::err("node_failure_rate severity must be in [0, 1]", "schema");
+    }
+    schedule.events.push_back(std::move(e));
+  }
+  return R::ok(std::move(schedule));
+}
+
+util::Result<FaultSchedule> FaultSchedule::from_text(const std::string& text) {
+  auto doc = Json::parse(text);
+  if (!doc) return util::Result<FaultSchedule>::err(doc.error());
+  return from_json(doc.value());
+}
+
+}  // namespace pico::fault

@@ -1,0 +1,67 @@
+#pragma once
+// Deterministic chaos schedule: a list of timed, typed fault events that the
+// FaultInjector applies to the facility's services in virtual time. Schedules
+// are plain data — built programmatically or parsed from a small JSON DSL —
+// so the same outage script replays identically across seeds and builds,
+// which is what makes robustness reports comparable run to run.
+//
+// DSL example:
+//   {"name": "beamtime-outage",
+//    "events": [
+//      {"kind": "transfer_outage", "at_s": 600, "duration_s": 300},
+//      {"kind": "node_failure_rate", "at_s": 0, "duration_s": 3600,
+//       "severity": 0.10},
+//      {"kind": "token_expiry", "at_s": 1200}]}
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/result.hpp"
+
+namespace pico::fault {
+
+enum class FaultKind {
+  LinkDegrade,        ///< link capacity *= severity for the window
+  LinkPartition,      ///< link down for the window (route() avoids it)
+  TransferOutage,     ///< transfer control plane rejects/stalls
+  ComputeOutage,      ///< compute endpoint rejects submits
+  PbsDrain,           ///< batch scheduler starts no new jobs
+  AuthOutage,         ///< token validation fails facility-wide
+  TokenExpiry,        ///< instantaneous: the campaign's token is revoked
+  NodeFailureRate,    ///< endpoint node-death probability = severity
+  OrchestratorCrash,  ///< campaign driver blackout + journal replay
+};
+
+std::string fault_kind_name(FaultKind kind);
+util::Result<FaultKind> fault_kind_from_name(const std::string& name);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::TransferOutage;
+  double at_s = 0;        ///< onset, seconds of virtual time
+  double duration_s = 0;  ///< window length; 0 = instantaneous
+  /// Kind-specific target: link name for link faults, endpoint id for
+  /// compute faults. Empty = the injector's configured default.
+  std::string target;
+  /// Kind-specific magnitude: remaining-capacity fraction for LinkDegrade,
+  /// node-death probability for NodeFailureRate. Ignored elsewhere.
+  double severity = 0;
+};
+
+struct FaultSchedule {
+  std::string name;
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  void add(FaultEvent event) { events.push_back(std::move(event)); }
+
+  /// Total downtime attributable to `kind` within [0, horizon_s], with
+  /// overlapping windows merged. Feeds the availability column of the
+  /// robustness report.
+  double downtime_s(FaultKind kind, double horizon_s) const;
+
+  util::Json to_json() const;
+  static util::Result<FaultSchedule> from_json(const util::Json& doc);
+  static util::Result<FaultSchedule> from_text(const std::string& text);
+};
+
+}  // namespace pico::fault

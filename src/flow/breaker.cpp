@@ -1,0 +1,75 @@
+#include "flow/breaker.hpp"
+
+#include <algorithm>
+
+namespace pico::flow {
+
+std::string CircuitBreaker::state_name(State s) {
+  switch (s) {
+    case State::Closed: return "closed";
+    case State::Open: return "open";
+    case State::HalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::State CircuitBreaker::state(sim::SimTime now) const {
+  if (state_ == State::Open && now >= open_until_) return State::HalfOpen;
+  return state_;
+}
+
+double CircuitBreaker::retry_after_s(sim::SimTime now) {
+  if (!config_.enabled) return 0.0;
+  switch (state(now)) {
+    case State::Closed:
+      return 0.0;
+    case State::Open:
+      return std::max(0.0, (open_until_ - now).seconds());
+    case State::HalfOpen:
+      state_ = State::HalfOpen;
+      if (probe_in_flight_) {
+        // Someone else is probing; callers wait roughly another cooldown so
+        // they re-check after the probe has had time to resolve.
+        return config_.cooldown_s;
+      }
+      probe_in_flight_ = true;
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double CircuitBreaker::peek_retry_after_s(sim::SimTime now) const {
+  if (!config_.enabled) return 0.0;
+  switch (state(now)) {
+    case State::Closed:
+      return 0.0;
+    case State::Open:
+      return std::max(0.0, (open_until_ - now).seconds());
+    case State::HalfOpen:
+      return probe_in_flight_ ? config_.cooldown_s : 0.0;
+  }
+  return 0.0;
+}
+
+void CircuitBreaker::record_success() {
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  state_ = State::Closed;
+}
+
+void CircuitBreaker::record_failure(sim::SimTime now) {
+  if (!config_.enabled) return;
+  probe_in_flight_ = false;
+  ++consecutive_failures_;
+  State s = state(now);
+  bool should_trip = s == State::HalfOpen ||
+                     (s == State::Closed &&
+                      consecutive_failures_ >= config_.failure_threshold);
+  if (should_trip) {
+    state_ = State::Open;
+    open_until_ = now + sim::Duration::from_seconds(config_.cooldown_s);
+    ++trips_;
+  }
+}
+
+}  // namespace pico::flow

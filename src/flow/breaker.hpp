@@ -1,0 +1,62 @@
+#pragma once
+// Per-provider circuit breaker for the flow orchestrator. When a backing
+// service (Transfer, Compute, Search ingest) is down, every concurrent flow
+// retries against it independently — a retry storm that wastes the retry
+// budgets the flows need to survive the outage. The breaker trips after N
+// consecutive failures across all runs, fails dispatches fast while open, and
+// half-opens after a cooldown so a single probe discovers recovery.
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace pico::flow {
+
+struct BreakerConfig {
+  bool enabled = true;
+  /// Consecutive failures (across all runs) that trip the breaker open.
+  int failure_threshold = 8;
+  /// How long the breaker stays open before allowing a half-open probe.
+  double cooldown_s = 30.0;
+};
+
+/// State machine: Closed -> (N consecutive failures) -> Open -> (cooldown)
+/// -> HalfOpen -> success closes / failure re-opens. Purely virtual-time.
+class CircuitBreaker {
+ public:
+  enum class State { Closed, Open, HalfOpen };
+
+  explicit CircuitBreaker(BreakerConfig config = {}) : config_(config) {}
+
+  /// Current state; Open lazily decays to HalfOpen once the cooldown elapses.
+  State state(sim::SimTime now) const;
+
+  /// Seconds until a dispatch may proceed: 0 when Closed, or when HalfOpen
+  /// with no probe in flight. Calling this with a 0 result while HalfOpen
+  /// claims the probe slot (record_success/record_failure releases it).
+  double retry_after_s(sim::SimTime now);
+
+  /// Like retry_after_s but side-effect free: never claims the probe slot.
+  /// For reporting and scheduling hints.
+  double peek_retry_after_s(sim::SimTime now) const;
+
+  void record_success();
+  void record_failure(sim::SimTime now);
+
+  /// Times the breaker transitioned Closed/HalfOpen -> Open.
+  int trips() const { return trips_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+  const BreakerConfig& config() const { return config_; }
+
+  static std::string state_name(State s);
+
+ private:
+  BreakerConfig config_;
+  State state_ = State::Closed;
+  int consecutive_failures_ = 0;
+  int trips_ = 0;
+  bool probe_in_flight_ = false;
+  sim::SimTime open_until_{};
+};
+
+}  // namespace pico::flow

@@ -13,6 +13,7 @@ Json definition_to_json(const FlowDefinition& definition) {
         {"name", step.name},
         {"provider", step.provider},
         {"max_retries", static_cast<int64_t>(step.max_retries)},
+        {"timeout_s", step.timeout_s},
         {"params", step.params},
     }));
   }
@@ -53,6 +54,11 @@ util::Result<FlowDefinition> definition_from_json(const Json& doc) {
                     "schema");
     }
     step.max_retries = static_cast<int>(retries);
+    double timeout_s = s.at("timeout_s").as_double(0.0);
+    if (timeout_s < 0) {
+      return R::err("step " + step.name + " has negative timeout_s", "schema");
+    }
+    step.timeout_s = timeout_s;
     step.params = s.at("params");
     def.steps.push_back(std::move(step));
   }

@@ -146,27 +146,67 @@ void FlowService::dispatch_step(const RunId& id) {
     run.timing.steps[run.info.current_step].retries = run.retries_this_step;
   }
 
+  // Circuit-breaker gate: while the provider's breaker is open, fail fast —
+  // the wait consumes one retry and the re-dispatch lands when the breaker
+  // half-opens, so a down service sees probes instead of a retry storm.
+  CircuitBreaker& breaker = breaker_for(step.provider);
+  double open_wait = breaker.retry_after_s(engine_->now());
+  if (open_wait > 0) {
+    uint64_t epoch = ++run.epoch;
+    if (run.retries_this_step < step.max_retries) {
+      ++run.retries_this_step;
+      run.timing.steps[run.info.current_step].retries = run.retries_this_step;
+      logger().debug("%s: breaker open for %s, retry %d deferred %.1fs",
+                     id.c_str(), step.provider.c_str(), run.retries_this_step,
+                     open_wait);
+      engine_->schedule_after(
+          sim::Duration::from_seconds(open_wait + jittered(0.5)),
+          [this, id, epoch] {
+            auto it2 = runs_.find(id);
+            if (it2 == runs_.end() ||
+                it2->second.info.state != RunState::Active ||
+                it2->second.epoch != epoch) {
+              return;
+            }
+            dispatch_step(id);
+          });
+    } else {
+      fail_run(id, "step " + step.name + ": circuit open for provider " +
+                       step.provider);
+    }
+    return;
+  }
+
   auto handle = provider->start(resolved, run.token);
   if (!handle) {
-    fail_run(id, "step " + step.name + " failed to start: " +
-                     handle.error().message);
+    breaker.record_failure(engine_->now());
+    step_attempt_failed(id,
+                        "step " + step.name + " failed to start: " +
+                            handle.error().message,
+                        jittered(config_.inter_step_latency_s));
     return;
   }
   run.current_handle = handle.value();
   run.poll_attempt = 0;
   run.last_progress_token.clear();
+  uint64_t epoch = ++run.epoch;
 
   // First poll after the initial backoff interval.
   double wait = config_.backoff.interval_s(0, rng_);
   engine_->schedule_after(sim::Duration::from_seconds(wait),
-                          [this, id] { poll_step(id); });
+                          [this, id, epoch] { poll_step(id, epoch); });
+  if (step.timeout_s > 0) {
+    engine_->schedule_after(sim::Duration::from_seconds(step.timeout_s),
+                            [this, id, epoch] { timeout_step(id, epoch); });
+  }
 }
 
-void FlowService::poll_step(const RunId& id) {
+void FlowService::poll_step(const RunId& id, uint64_t epoch) {
   auto it = runs_.find(id);
   if (it == runs_.end()) return;
   Run& run = it->second;
   if (run.info.state != RunState::Active) return;
+  if (run.epoch != epoch) return;  // attempt superseded (timeout/retry)
 
   const ActionState& step = run.definition.steps[run.info.current_step];
   ActionProvider* provider = providers_.at(step.provider);
@@ -186,19 +226,13 @@ void FlowService::poll_step(const RunId& id) {
       }
       double wait = config_.backoff.interval_s(run.poll_attempt, rng_);
       engine_->schedule_after(sim::Duration::from_seconds(wait),
-                              [this, id] { poll_step(id); });
+                              [this, id, epoch] { poll_step(id, epoch); });
       return;
     }
     case ActionStatus::Failed: {
-      if (run.retries_this_step < step.max_retries) {
-        ++run.retries_this_step;
-        logger().debug("%s: step %s failed (%s), retry %d", id.c_str(),
-                       step.name.c_str(), poll.error.c_str(),
-                       run.retries_this_step);
-        dispatch_step(id);
-      } else {
-        fail_run(id, "step " + step.name + " failed: " + poll.error);
-      }
+      breaker_for(step.provider).record_failure(engine_->now());
+      step_attempt_failed(id, "step " + step.name + " failed: " + poll.error,
+                          0);
       return;
     }
     case ActionStatus::Succeeded: {
@@ -208,11 +242,64 @@ void FlowService::poll_step(const RunId& id) {
   }
 }
 
+void FlowService::timeout_step(const RunId& id, uint64_t epoch) {
+  auto it = runs_.find(id);
+  if (it == runs_.end()) return;
+  Run& run = it->second;
+  if (run.info.state != RunState::Active) return;
+  if (run.epoch != epoch) return;  // attempt already settled or superseded
+
+  const ActionState& step = run.definition.steps[run.info.current_step];
+  run.timing.steps[run.info.current_step].timeouts += 1;
+  ++total_timeouts_;
+  breaker_for(step.provider).record_failure(engine_->now());
+  logger().warn("%s: step %s timed out after %.1fs (attempt abandoned)",
+                id.c_str(), step.name.c_str(), step.timeout_s);
+  step_attempt_failed(
+      id,
+      "step " + step.name + " timed out after " +
+          util::format("%.1f", step.timeout_s) + "s",
+      0);
+}
+
+void FlowService::step_attempt_failed(const RunId& id, const std::string& error,
+                                      double retry_delay_s) {
+  auto it = runs_.find(id);
+  if (it == runs_.end()) return;
+  Run& run = it->second;
+  if (run.info.state != RunState::Active) return;
+  const ActionState& step = run.definition.steps[run.info.current_step];
+  uint64_t epoch = ++run.epoch;  // abandon the failed attempt's events
+
+  if (run.retries_this_step >= step.max_retries) {
+    fail_run(id, error);
+    return;
+  }
+  ++run.retries_this_step;
+  logger().debug("%s: step %s attempt failed (%s), retry %d", id.c_str(),
+                 step.name.c_str(), error.c_str(), run.retries_this_step);
+  if (retry_delay_s <= 0) {
+    dispatch_step(id);
+    return;
+  }
+  engine_->schedule_after(
+      sim::Duration::from_seconds(retry_delay_s), [this, id, epoch] {
+        auto it2 = runs_.find(id);
+        if (it2 == runs_.end() || it2->second.info.state != RunState::Active ||
+            it2->second.epoch != epoch) {
+          return;
+        }
+        dispatch_step(id);
+      });
+}
+
 void FlowService::complete_step(const RunId& id, const ActionPollResult& poll) {
   auto it = runs_.find(id);
   if (it == runs_.end()) return;
   Run& run = it->second;
   const ActionState& step = run.definition.steps[run.info.current_step];
+  ++run.epoch;  // invalidate any pending timeout for this attempt
+  breaker_for(step.provider).record_success();
   StepTiming& timing = run.timing.steps[run.info.current_step];
   timing.service_started = poll.service_started;
   timing.service_completed = poll.service_completed;
@@ -256,6 +343,7 @@ void FlowService::fail_run(const RunId& id, const std::string& error) {
   auto it = runs_.find(id);
   if (it == runs_.end()) return;
   Run& run = it->second;
+  ++run.epoch;  // abandon any scheduled poll/timeout events
   run.info.state = RunState::Failed;
   run.info.error = error;
   run.timing.finished = engine_->now();
@@ -329,6 +417,34 @@ std::vector<RunId> FlowService::all_runs() const {
   out.reserve(runs_.size());
   for (const auto& [id, run] : runs_) out.push_back(id);
   return out;
+}
+
+CircuitBreaker& FlowService::breaker_for(const std::string& provider) {
+  auto it = breakers_.find(provider);
+  if (it == breakers_.end()) {
+    it = breakers_.emplace(provider, CircuitBreaker(config_.breaker)).first;
+  }
+  return it->second;
+}
+
+std::vector<BreakerSnapshot> FlowService::breaker_snapshots() const {
+  std::vector<BreakerSnapshot> out;
+  out.reserve(breakers_.size());
+  for (const auto& [provider, breaker] : breakers_) {
+    BreakerSnapshot snap;
+    snap.provider = provider;
+    snap.trips = breaker.trips();
+    snap.consecutive_failures = breaker.consecutive_failures();
+    snap.state = CircuitBreaker::state_name(breaker.state(engine_->now()));
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+double FlowService::breaker_retry_after_s(const std::string& provider) const {
+  auto it = breakers_.find(provider);
+  if (it == breakers_.end()) return 0.0;
+  return it->second.peek_retry_after_s(engine_->now());
 }
 
 }  // namespace pico::flow

@@ -18,6 +18,7 @@
 
 #include "auth/auth.hpp"
 #include "flow/backoff.hpp"
+#include "flow/breaker.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 #include "util/json.hpp"
@@ -62,6 +63,10 @@ struct ActionState {
   std::string provider;    ///< registered provider name
   util::Json params;       ///< may contain "$." references
   int max_retries = 0;     ///< re-dispatch attempts after action failure
+  /// Abandon the action if it has not completed this long after dispatch
+  /// (0 = no timeout). A timeout consumes one retry; the in-flight service
+  /// work is not recalled — as with cancel(), it completes unobserved.
+  double timeout_s = 0;
 };
 
 struct FlowDefinition {
@@ -81,6 +86,7 @@ struct StepTiming {
   sim::SimTime discovered;       ///< orchestrator's poll observed completion
   int polls = 0;
   int retries = 0;
+  int timeouts = 0;              ///< attempts abandoned via ActionState::timeout_s
 
   double active_s() const {
     return (service_completed - service_started).seconds();
@@ -122,6 +128,19 @@ struct FlowServiceConfig {
   double inter_step_latency_s = 1.2;
   double latency_jitter_frac = 0.3;
   BackoffPolicy backoff = BackoffPolicy::paper_default();
+  /// Per-provider circuit breaker (shared across all runs). While open,
+  /// dispatches fail fast — each wait consumes one step retry — and the
+  /// re-dispatch is deferred until the breaker half-opens, so a down service
+  /// is probed instead of hammered.
+  BreakerConfig breaker;
+};
+
+/// Diagnostic view of one provider's circuit breaker.
+struct BreakerSnapshot {
+  std::string provider;
+  int trips = 0;
+  int consecutive_failures = 0;
+  std::string state;  ///< "closed" / "open" / "half-open"
 };
 
 class FlowService {
@@ -156,6 +175,16 @@ class FlowService {
   size_t active_runs() const;
   std::vector<RunId> all_runs() const;
 
+  /// Circuit-breaker state for every provider that has dispatched at least
+  /// once (robustness reporting).
+  std::vector<BreakerSnapshot> breaker_snapshots() const;
+  /// Seconds until the named provider's breaker would admit a dispatch
+  /// (0 = closed/absent). Campaign resubmission uses this as a hint to avoid
+  /// re-launching straight into an open breaker.
+  double breaker_retry_after_s(const std::string& provider) const;
+  /// Total step attempts abandoned via timeout, across all runs.
+  uint64_t total_timeouts() const { return total_timeouts_; }
+
   /// Resolve "$." references in params against input + step outputs
   /// (exposed for tests).
   static util::Json resolve_params(const util::Json& params,
@@ -172,15 +201,23 @@ class FlowService {
     int poll_attempt = 0;
     int retries_this_step = 0;
     std::string last_progress_token;
+    /// Attempt generation: bumped whenever the current attempt is superseded
+    /// (new dispatch, completion, timeout, failure). Scheduled poll/timeout
+    /// events capture the epoch and no-op if it moved on.
+    uint64_t epoch = 0;
     std::function<void(const RunId&, const RunInfo&)> finished_cb;
   };
 
   void dispatch_step(const RunId& id);
-  void poll_step(const RunId& id);
+  void poll_step(const RunId& id, uint64_t epoch);
+  void timeout_step(const RunId& id, uint64_t epoch);
+  void step_attempt_failed(const RunId& id, const std::string& error,
+                           double retry_delay_s);
   void complete_step(const RunId& id, const ActionPollResult& poll);
   void fail_run(const RunId& id, const std::string& error);
   void finish_run(const RunId& id);
   double jittered(double base);
+  CircuitBreaker& breaker_for(const std::string& provider);
 
   sim::Engine* engine_;
   auth::AuthService* auth_;
@@ -188,8 +225,10 @@ class FlowService {
   util::Rng rng_;
   sim::Trace* trace_;
   std::map<std::string, ActionProvider*> providers_;
+  std::map<std::string, CircuitBreaker> breakers_;
   std::map<RunId, Run> runs_;
   uint64_t next_run_ = 1;
+  uint64_t total_timeouts_ = 0;
 };
 
 }  // namespace pico::flow

@@ -43,6 +43,7 @@ JobId PbsScheduler::submit(JobRequest request) {
 }
 
 void PbsScheduler::pump() {
+  if (draining_) return;  // maintenance drain: hold the queue
   // FIFO: the head job blocks later jobs even if they'd fit (conservative,
   // matches a no-backfill queue).
   while (!queue_.empty()) {
@@ -124,6 +125,12 @@ util::Status PbsScheduler::cancel(const JobId& id) {
 JobState PbsScheduler::state(const JobId& id) const {
   auto it = jobs_.find(id);
   return it == jobs_.end() ? JobState::Cancelled : it->second.state;
+}
+
+void PbsScheduler::set_drain(bool draining) {
+  if (draining_ == draining) return;
+  draining_ = draining;
+  if (!draining_) pump();
 }
 
 }  // namespace pico::hpcsim

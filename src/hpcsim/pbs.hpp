@@ -64,6 +64,12 @@ class PbsScheduler {
   /// Jobs that reached Running over the scheduler's lifetime.
   uint64_t jobs_started() const { return jobs_started_; }
 
+  /// Fault injection: a draining scheduler accepts submissions but starts no
+  /// new jobs (maintenance drain). Running jobs are unaffected. Un-draining
+  /// pumps the queue immediately.
+  void set_drain(bool draining);
+  bool draining() const { return draining_; }
+
  private:
   struct Job {
     JobRequest request;
@@ -78,6 +84,7 @@ class PbsScheduler {
   ClusterConfig config_;
   util::Rng rng_;
   int free_;
+  bool draining_ = false;
   uint64_t next_job_ = 1;
   uint64_t jobs_started_ = 0;
   NodeId next_node_tag_ = 0;

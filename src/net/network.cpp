@@ -138,6 +138,14 @@ void Network::recompute_rates() {
       f.rate_Bps = 1e15;
       continue;
     }
+    // A partitioned link stalls every flow pinned to it: rate 0, no
+    // completion event. Progress resumes when rates_changed() runs after
+    // the link comes back up.
+    bool severed = false;
+    for (LinkId lid : f.route) {
+      if (!topo_->link(lid).up) { severed = true; break; }
+    }
+    if (severed) continue;
     Entry e;
     e.flow = &f;
     for (LinkId lid : f.route) {

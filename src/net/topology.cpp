@@ -53,6 +53,15 @@ const Link& Topology::link(LinkId id) const { return links_.at(id); }
 
 Link& Topology::mutable_link(LinkId id) { return links_.at(id); }
 
+void Topology::set_link_up(LinkId id, bool up) { links_.at(id).up = up; }
+
+util::Result<LinkId> Topology::link_by_name(const std::string& name) const {
+  for (const Link& l : links_) {
+    if (l.name == name) return util::Result<LinkId>::ok(l.id);
+  }
+  return util::Result<LinkId>::err("unknown link: " + name, "not_found");
+}
+
 util::Result<std::vector<LinkId>> Topology::route(NodeId src,
                                                   NodeId dst) const {
   using R = util::Result<std::vector<LinkId>>;
@@ -72,6 +81,7 @@ util::Result<std::vector<LinkId>> Topology::route(NodeId src,
     frontier.pop_front();
     for (LinkId lid : adjacency_[cur]) {
       const Link& l = links_[lid];
+      if (!l.up) continue;
       NodeId next = l.a == cur ? l.b : l.a;
       if (visited[next]) continue;
       visited[next] = true;

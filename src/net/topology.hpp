@@ -22,6 +22,9 @@ struct Link {
   double capacity_bps = 0;   ///< shared by all flows traversing the link
   sim::Duration latency;     ///< one-way propagation + switching delay
   std::string name;
+  /// Administratively up. Down links are skipped by route(); in-flight
+  /// traffic already pinned to the link stalls until it comes back.
+  bool up = true;
 };
 
 class Topology {
@@ -42,6 +45,11 @@ class Topology {
   const std::string& node_name(NodeId id) const;
   const Link& link(LinkId id) const;
   Link& mutable_link(LinkId id);  ///< for bandwidth-sweep experiments
+  /// Partition/heal the link. Callers owning a Network must follow with
+  /// Network::rates_changed() so in-flight flows see the change.
+  void set_link_up(LinkId id, bool up);
+  /// Lookup by link name (as passed to add_link). Error if absent.
+  util::Result<LinkId> link_by_name(const std::string& name) const;
   size_t node_count() const { return node_names_.size(); }
   size_t link_count() const { return links_.size(); }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -46,6 +47,9 @@ void TransferService::register_endpoint(const std::string& name,
 util::Result<TaskId> TransferService::submit(const TransferRequest& request,
                                              const auth::Token& token) {
   using R = util::Result<TaskId>;
+  if (!available_) {
+    return R::err("transfer service unavailable", "unavailable");
+  }
   auto who = auth_->validate(token, "transfer");
   if (!who) return R::err(who.error());
 
@@ -122,6 +126,12 @@ void TransferService::begin_next_file(const TaskId& id) {
   auto it = tasks_.find(id);
   if (it == tasks_.end()) return;
   ActiveTask& task = it->second;
+  if (!available_) {
+    // Control-plane outage: park the task; set_available(true) resumes it.
+    stalled_.push_back(id);
+    logger().debug("%s stalled: service unavailable", id.c_str());
+    return;
+  }
   if (task.next_file >= task.request.files.size()) {
     // Data movement done: record the activity end now, then settle (checksum
     // verification + status sync) before SUCCEEDED becomes pollable.
@@ -188,14 +198,21 @@ void TransferService::finish_file(const TaskId& id, const FileSpec& spec,
     ++task.info.faults;
     ++task.attempts_this_file;
     if (task.attempts_this_file > config_.max_retries) {
-      fail_task(id, "file " + spec.src_path + " exceeded retry limit");
+      fail_task(id, "file " + spec.src_path + " exceeded retry limit after " +
+                        util::format("%d", task.attempts_this_file) +
+                        " attempts");
       return;
     }
-    logger().debug("%s: fault on %s (attempt %d), retrying", id.c_str(),
-                   spec.src_path.c_str(), task.attempts_this_file);
-    engine_->schedule_after(
-        sim::Duration::from_seconds(config_.retry_backoff_s),
-        [this, id] { begin_next_file(id); });
+    double backoff = std::min(
+        config_.retry_backoff_cap_s,
+        config_.retry_backoff_s *
+            std::pow(2.0, static_cast<double>(task.attempts_this_file - 1)));
+    backoff *= rng_.uniform(0.5, 1.5);
+    logger().debug("%s: fault on %s (attempt %d), retrying in %.1fs",
+                   id.c_str(), spec.src_path.c_str(), task.attempts_this_file,
+                   backoff);
+    engine_->schedule_after(sim::Duration::from_seconds(backoff),
+                            [this, id] { begin_next_file(id); });
     return;
   }
 
@@ -302,6 +319,19 @@ TaskInfo TransferService::status(const TaskId& id) const {
     }
   }
   return info;
+}
+
+void TransferService::set_available(bool available) {
+  if (available_ == available) return;
+  available_ = available;
+  logger().info("transfer service %s", available ? "restored" : "unavailable");
+  if (!available_) return;
+  std::vector<TaskId> resume;
+  resume.swap(stalled_);
+  for (const TaskId& id : resume) {
+    engine_->schedule_after(sim::Duration::zero(),
+                            [this, id] { begin_next_file(id); });
+  }
 }
 
 void TransferService::on_settled(const TaskId& id,

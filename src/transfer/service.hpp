@@ -69,8 +69,11 @@ struct TransferConfig {
   /// Probability a file transfer faults mid-flight and restarts.
   double fault_prob = 0.0;
   int max_retries = 3;
-  /// Delay before a faulted file restarts.
+  /// Base delay before a faulted file restarts. Attempt k waits
+  /// min(cap, base * 2^(k-1)) * U(0.5, 1.5) — exponential with jitter, so
+  /// concurrent faulted tasks do not retry in lockstep.
   double retry_backoff_s = 2.0;
+  double retry_backoff_cap_s = 60.0;
   /// Per-flow end-host rate cap (bits/s); 0 = line rate. Models the
   /// single-stream TCP + source-disk ceiling of the user workstation that
   /// keeps observed Globus throughput well under the 1 Gbps switch.
@@ -109,6 +112,14 @@ class TransferService {
 
   size_t endpoint_count() const { return endpoints_.size(); }
 
+  /// Fault injection: while unavailable, submit() is rejected with code
+  /// "unavailable" and in-flight tasks stall between files (the current
+  /// network flow, if any, drains normally — mirroring a cloud-service
+  /// control-plane outage that leaves the data plane running). Restoring
+  /// availability resumes every stalled task.
+  void set_available(bool available);
+  bool available() const { return available_; }
+
  private:
   struct Endpoint {
     net::NodeId node;
@@ -143,6 +154,8 @@ class TransferService {
   std::map<std::string, Endpoint> endpoints_;
   std::map<TaskId, ActiveTask> tasks_;
   uint64_t next_task_ = 1;
+  bool available_ = true;
+  std::vector<TaskId> stalled_;  ///< tasks parked while unavailable
 };
 
 }  // namespace pico::transfer

@@ -1,5 +1,6 @@
 #include "watcher/watcher.hpp"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 
@@ -12,7 +13,12 @@ namespace fs = std::filesystem;
 Checkpoint::Checkpoint(std::string journal_path)
     : journal_path_(std::move(journal_path)) {}
 
-std::string Checkpoint::key(const std::string& path, int64_t size) {
+std::string Checkpoint::key(const std::string& path, int64_t size,
+                            int64_t mtime_ns) {
+  return path + "\t" + std::to_string(size) + "\t" + std::to_string(mtime_ns);
+}
+
+std::string Checkpoint::legacy_key(const std::string& path, int64_t size) {
   return path + "\t" + std::to_string(size);
 }
 
@@ -28,12 +34,17 @@ util::Status Checkpoint::load() {
   return util::Status::ok();
 }
 
-bool Checkpoint::processed(const std::string& path, int64_t size) const {
-  return entries_.count(key(path, size)) > 0;
+bool Checkpoint::processed(const std::string& path, int64_t size,
+                           int64_t mtime_ns) const {
+  if (entries_.count(key(path, size, mtime_ns)) > 0) return true;
+  // Pre-mtime journals recorded path + size only; honour them so an upgraded
+  // client does not re-trigger every historical file.
+  return entries_.count(legacy_key(path, size)) > 0;
 }
 
-util::Status Checkpoint::mark(const std::string& path, int64_t size) {
-  std::string k = key(path, size);
+util::Status Checkpoint::mark(const std::string& path, int64_t size,
+                              int64_t mtime_ns) {
+  std::string k = key(path, size, mtime_ns);
   if (!entries_.insert(k).second) return util::Status::ok();
   fs::path p(journal_path_);
   if (p.has_parent_path()) {
@@ -72,22 +83,29 @@ std::vector<FileEvent> DirectoryWatcher::scan_once() {
     if (!extension_matches(path)) continue;
     int64_t size = static_cast<int64_t>(entry.file_size(ec));
     if (ec) continue;
+    auto write_time = entry.last_write_time(ec);
+    int64_t mtime_ns =
+        ec ? 0
+           : std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 write_time.time_since_epoch())
+                 .count();
     seen.insert(path);
 
-    if (checkpoint_ && checkpoint_->processed(path, size)) continue;
+    if (checkpoint_ && checkpoint_->processed(path, size, mtime_ns)) continue;
 
     auto it = pending_.find(path);
     if (it == pending_.end()) {
-      it = pending_.emplace(path, std::make_pair(size, 1)).first;
-    } else if (it->second.first != size) {
-      // Still being written: restart the stability count.
-      it->second = {size, 1};
+      it = pending_.emplace(path, PendingFile{size, mtime_ns, 1}).first;
+    } else if (it->second.size != size || it->second.mtime_ns != mtime_ns) {
+      // Still being written (size growth or an in-place rewrite): restart
+      // the stability count.
+      it->second = PendingFile{size, mtime_ns, 1};
     } else {
-      ++it->second.second;
+      ++it->second.stable_count;
     }
-    if (it->second.second >= config_.stable_scans) {
-      events.push_back(FileEvent{path, size});
-      if (checkpoint_) checkpoint_->mark(path, size);
+    if (it->second.stable_count >= config_.stable_scans) {
+      events.push_back(FileEvent{path, size, mtime_ns});
+      if (checkpoint_) checkpoint_->mark(path, size, mtime_ns);
       pending_.erase(it);
     }
   }

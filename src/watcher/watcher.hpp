@@ -17,8 +17,11 @@
 
 namespace pico::watcher {
 
-/// Persistent set of already-processed files, keyed by path + size (a file
-/// rewritten at a different size is treated as new data).
+/// Persistent set of already-processed files, keyed by path + size + mtime.
+/// Size alone is not enough: an instrument rewriting an acquisition in place
+/// at the same byte count is new data and must re-trigger, so the
+/// modification time participates in the key. Journals written by older
+/// builds (path + size only) are still honoured on load.
 class Checkpoint {
  public:
   explicit Checkpoint(std::string journal_path);
@@ -26,15 +29,19 @@ class Checkpoint {
   /// Load existing journal from disk (missing file = empty checkpoint).
   util::Status load();
 
-  bool processed(const std::string& path, int64_t size) const;
+  bool processed(const std::string& path, int64_t size,
+                 int64_t mtime_ns = 0) const;
 
   /// Record and append to the journal file immediately (crash-safe).
-  util::Status mark(const std::string& path, int64_t size);
+  util::Status mark(const std::string& path, int64_t size,
+                    int64_t mtime_ns = 0);
 
   size_t size() const { return entries_.size(); }
 
  private:
-  static std::string key(const std::string& path, int64_t size);
+  static std::string key(const std::string& path, int64_t size,
+                         int64_t mtime_ns);
+  static std::string legacy_key(const std::string& path, int64_t size);
   std::string journal_path_;
   std::set<std::string> entries_;
 };
@@ -53,6 +60,7 @@ struct WatcherConfig {
 struct FileEvent {
   std::string path;
   int64_t size = 0;
+  int64_t mtime_ns = 0;  ///< last-write time, ns since filesystem epoch
 };
 
 /// Polling watcher over a real directory. Call scan_once() from your own
@@ -72,8 +80,14 @@ class DirectoryWatcher {
 
   WatcherConfig config_;
   Checkpoint* checkpoint_;
-  /// path -> (last size, consecutive stable count)
-  std::map<std::string, std::pair<int64_t, int>> pending_;
+  /// Stability tracking: a change in either size or mtime restarts the count
+  /// (a same-size in-place rewrite is still "being written").
+  struct PendingFile {
+    int64_t size = 0;
+    int64_t mtime_ns = 0;
+    int stable_count = 0;
+  };
+  std::map<std::string, PendingFile> pending_;
 };
 
 }  // namespace pico::watcher

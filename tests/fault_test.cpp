@@ -1,0 +1,374 @@
+// Fault-injection tests: the chaos schedule DSL, the injector applied to a
+// live facility, and the acceptance scenario from the robustness work — a
+// 5-minute transfer outage plus a 10% compute-node failure window plus a
+// mid-campaign token expiry, with campaign-level recovery turned on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/campaign.hpp"
+#include "core/facility.hpp"
+#include "core/report.hpp"
+#include "fault/injector.hpp"
+#include "fault/schedule.hpp"
+
+namespace pico::fault {
+namespace {
+
+// ------------------------------------------------------------ schedule ------
+
+TEST(FaultSchedule, KindNamesRoundTrip) {
+  for (FaultKind kind :
+       {FaultKind::LinkDegrade, FaultKind::LinkPartition,
+        FaultKind::TransferOutage, FaultKind::ComputeOutage,
+        FaultKind::PbsDrain, FaultKind::AuthOutage, FaultKind::TokenExpiry,
+        FaultKind::NodeFailureRate, FaultKind::OrchestratorCrash}) {
+    auto back = fault_kind_from_name(fault_kind_name(kind));
+    ASSERT_TRUE(back);
+    EXPECT_EQ(back.value(), kind);
+  }
+  EXPECT_FALSE(fault_kind_from_name("power_cut"));
+}
+
+TEST(FaultSchedule, JsonRoundTrip) {
+  auto parsed = FaultSchedule::from_text(R"({
+    "name": "beamtime-outage",
+    "events": [
+      {"kind": "transfer_outage", "at_s": 600, "duration_s": 300},
+      {"kind": "node_failure_rate", "at_s": 0, "duration_s": 3600,
+       "severity": 0.10},
+      {"kind": "link_degrade", "at_s": 100, "duration_s": 60,
+       "target": "user-switch", "severity": 0.25},
+      {"kind": "token_expiry", "at_s": 1200}
+    ]})");
+  ASSERT_TRUE(parsed);
+  const FaultSchedule& s = parsed.value();
+  EXPECT_EQ(s.name, "beamtime-outage");
+  ASSERT_EQ(s.events.size(), 4u);
+  EXPECT_EQ(s.events[0].kind, FaultKind::TransferOutage);
+  EXPECT_DOUBLE_EQ(s.events[1].severity, 0.10);
+  EXPECT_EQ(s.events[2].target, "user-switch");
+  EXPECT_DOUBLE_EQ(s.events[3].duration_s, 0.0);
+
+  auto again = FaultSchedule::from_json(s.to_json());
+  ASSERT_TRUE(again);
+  EXPECT_EQ(again.value().to_json().dump(), s.to_json().dump());
+}
+
+TEST(FaultSchedule, ValidationRejectsBadDocuments) {
+  EXPECT_FALSE(FaultSchedule::from_text("not json"));
+  EXPECT_FALSE(FaultSchedule::from_text("[]"));
+  EXPECT_FALSE(FaultSchedule::from_text(R"({"name": "x"})"));  // no events
+  EXPECT_FALSE(FaultSchedule::from_text(
+      R"({"name": "x", "events": [{"kind": "warp_core_breach"}]})"));
+  EXPECT_FALSE(FaultSchedule::from_text(
+      R"({"name": "x", "events": [{"kind": "transfer_outage", "at_s": -1}]})"));
+  EXPECT_FALSE(FaultSchedule::from_text(
+      R"({"name": "x",
+          "events": [{"kind": "transfer_outage", "duration_s": -5}]})"));
+  EXPECT_FALSE(FaultSchedule::from_text(
+      R"({"name": "x", "events": [{"kind": "link_degrade", "severity": 0}]})"));
+  EXPECT_FALSE(FaultSchedule::from_text(
+      R"({"name": "x",
+          "events": [{"kind": "node_failure_rate", "severity": 1.5}]})"));
+}
+
+TEST(FaultSchedule, DowntimeMergesOverlappingWindows) {
+  FaultSchedule s;
+  s.add(FaultEvent{FaultKind::TransferOutage, 100, 100, "", 0});
+  s.add(FaultEvent{FaultKind::TransferOutage, 150, 100, "", 0});  // overlaps
+  s.add(FaultEvent{FaultKind::TransferOutage, 400, 50, "", 0});   // disjoint
+  s.add(FaultEvent{FaultKind::ComputeOutage, 0, 1000, "", 0});    // other kind
+  // [100,250] merged with [400,450]: 150 + 50.
+  EXPECT_DOUBLE_EQ(s.downtime_s(FaultKind::TransferOutage, 3600), 200.0);
+  // Horizon clips the tail window.
+  EXPECT_DOUBLE_EQ(s.downtime_s(FaultKind::TransferOutage, 425), 175.0);
+  EXPECT_DOUBLE_EQ(s.downtime_s(FaultKind::ComputeOutage, 500), 500.0);
+  EXPECT_DOUBLE_EQ(s.downtime_s(FaultKind::PbsDrain, 3600), 0.0);
+}
+
+}  // namespace
+}  // namespace pico::fault
+
+// ------------------------------------------------------------ injector ------
+namespace pico::core {
+namespace {
+
+using fault::FaultEvent;
+using fault::FaultKind;
+using fault::FaultSchedule;
+
+FacilityConfig fault_test_config(const std::string& tag) {
+  FacilityConfig fc;
+  fc.artifact_dir = testing::TempDir() + "/fault_test_artifacts_" + tag;
+  fc.seed = 1234;
+  fc.cost.provision_delay_s = 5.0;
+  fc.cost.provision_jitter_s = 0.0;
+  fc.cost.env_warmup_s = 1.0;
+  fc.cost.env_warmup_jitter_s = 0.0;
+  return fc;
+}
+
+sim::SimTime at(double s) { return sim::SimTime::from_seconds(s); }
+
+TEST(Injector, TransferOutageWindowTogglesAvailability) {
+  Facility facility(fault_test_config("inj_transfer"));
+  FaultSchedule chaos;
+  chaos.name = "t";
+  chaos.add(FaultEvent{FaultKind::TransferOutage, 100, 50, "", 0});
+  auto injector = facility.install_faults(chaos);
+  ASSERT_TRUE(injector);
+
+  facility.engine().run_until(at(99));
+  EXPECT_TRUE(facility.transfer().available());
+  facility.engine().run_until(at(120));
+  EXPECT_FALSE(facility.transfer().available());
+  facility.engine().run_until(at(200));
+  EXPECT_TRUE(facility.transfer().available());
+  // Begin + end both logged for diagnostics.
+  ASSERT_EQ(injector.value()->log().size(), 2u);
+  EXPECT_TRUE(injector.value()->log()[0].begin);
+  EXPECT_FALSE(injector.value()->log()[1].begin);
+}
+
+TEST(Injector, OverlappingOutagesRestoreOnlyAtLastEnd) {
+  Facility facility(fault_test_config("inj_overlap"));
+  FaultSchedule chaos;
+  chaos.add(FaultEvent{FaultKind::ComputeOutage, 10, 50, "", 0});   // [10,60]
+  chaos.add(FaultEvent{FaultKind::ComputeOutage, 30, 100, "", 0});  // [30,130]
+  ASSERT_TRUE(facility.install_faults(chaos));
+  facility.engine().run_until(at(20));
+  EXPECT_FALSE(facility.compute().available());
+  facility.engine().run_until(at(70));  // first window over, second still open
+  EXPECT_FALSE(facility.compute().available());
+  facility.engine().run_until(at(135));
+  EXPECT_TRUE(facility.compute().available());
+}
+
+TEST(Injector, NodeFailureRateAppliedAndRestored) {
+  Facility facility(fault_test_config("inj_nodes"));
+  FaultSchedule chaos;
+  // Empty target: falls back to the facility's Polaris endpoint.
+  chaos.add(FaultEvent{FaultKind::NodeFailureRate, 50, 100, "", 0.10});
+  ASSERT_TRUE(facility.install_faults(chaos));
+  const auto& ep = facility.polaris_endpoint();
+  EXPECT_DOUBLE_EQ(facility.compute().node_failure_prob(ep), 0.0);
+  facility.engine().run_until(at(60));
+  EXPECT_DOUBLE_EQ(facility.compute().node_failure_prob(ep), 0.10);
+  facility.engine().run_until(at(160));
+  EXPECT_DOUBLE_EQ(facility.compute().node_failure_prob(ep), 0.0);
+}
+
+TEST(Injector, PbsDrainHoldsQueue) {
+  Facility facility(fault_test_config("inj_drain"));
+  FaultSchedule chaos;
+  chaos.add(FaultEvent{FaultKind::PbsDrain, 10, 30, "", 0});
+  ASSERT_TRUE(facility.install_faults(chaos));
+  facility.engine().run_until(at(20));
+  EXPECT_TRUE(facility.pbs().draining());
+  facility.engine().run_until(at(50));
+  EXPECT_FALSE(facility.pbs().draining());
+}
+
+TEST(Injector, AuthOutageFailsValidationFacilityWide) {
+  Facility facility(fault_test_config("inj_auth"));
+  FaultSchedule chaos;
+  chaos.add(FaultEvent{FaultKind::AuthOutage, 10, 20, "", 0});
+  ASSERT_TRUE(facility.install_faults(chaos));
+  EXPECT_TRUE(facility.auth().validate(facility.user_token(), "transfer"));
+  facility.engine().run_until(at(15));
+  EXPECT_FALSE(facility.auth().validate(facility.user_token(), "transfer"));
+  facility.engine().run_until(at(40));
+  EXPECT_TRUE(facility.auth().validate(facility.user_token(), "transfer"));
+}
+
+TEST(Injector, TokenExpiryRevokesAndRefreshReissues) {
+  Facility facility(fault_test_config("inj_token"));
+  FaultSchedule chaos;
+  chaos.add(FaultEvent{FaultKind::TokenExpiry, 30, 0, "", 0});
+  ASSERT_TRUE(facility.install_faults(chaos));
+  facility.engine().run_until(at(20));
+  EXPECT_TRUE(facility.auth().validate(facility.user_token(), "flows"));
+  // A refresh against a still-valid token is a no-op (no churn).
+  auth::Token before = facility.user_token();
+  EXPECT_EQ(facility.refresh_user_token(), before);
+  facility.engine().run_until(at(40));
+  EXPECT_FALSE(facility.auth().validate(facility.user_token(), "flows"));
+  // Refresh after expiry mints a usable replacement.
+  facility.refresh_user_token();
+  EXPECT_NE(facility.user_token(), before);
+  for (const char* scope : {"transfer", "compute", "search.ingest", "flows"}) {
+    EXPECT_TRUE(facility.auth().validate(facility.user_token(), scope));
+  }
+}
+
+TEST(Injector, LinkDegradeScalesCapacityAndRestores) {
+  Facility facility(fault_test_config("inj_degrade"));
+  double original =
+      facility.topology().link(facility.user_switch_link()).capacity_bps;
+  FaultSchedule chaos;
+  chaos.add(FaultEvent{FaultKind::LinkDegrade, 10, 20, "user-switch", 0.25});
+  ASSERT_TRUE(facility.install_faults(chaos));
+  facility.engine().run_until(at(15));
+  EXPECT_NEAR(
+      facility.topology().link(facility.user_switch_link()).capacity_bps,
+      original * 0.25, 1e-6);
+  facility.engine().run_until(at(40));
+  EXPECT_NEAR(
+      facility.topology().link(facility.user_switch_link()).capacity_bps,
+      original, 1e-6);
+}
+
+TEST(Injector, LinkPartitionSeversRouteForWindow) {
+  Facility facility(fault_test_config("inj_partition"));
+  FaultSchedule chaos;
+  chaos.add(FaultEvent{FaultKind::LinkPartition, 10, 20, "user-switch", 0});
+  ASSERT_TRUE(facility.install_faults(chaos));
+  auto user = facility.topology().node("userpc");
+  auto eagle = facility.topology().node("eagle");
+  ASSERT_TRUE(user);
+  ASSERT_TRUE(eagle);
+  EXPECT_TRUE(facility.topology().route(user.value(), eagle.value()));
+  facility.engine().run_until(at(15));
+  EXPECT_FALSE(facility.topology().route(user.value(), eagle.value()));
+  facility.engine().run_until(at(40));
+  EXPECT_TRUE(facility.topology().route(user.value(), eagle.value()));
+}
+
+TEST(Injector, UnknownLinkTargetRejectedAtInstall) {
+  Facility facility(fault_test_config("inj_badlink"));
+  FaultSchedule chaos;
+  chaos.add(FaultEvent{FaultKind::LinkPartition, 10, 20, "no-such-link", 0});
+  EXPECT_FALSE(facility.install_faults(chaos));
+}
+
+// ----------------------------------------------- chaos campaign recovery ----
+
+/// The acceptance scenario: hyperspectral campaign under a 5-minute transfer
+/// endpoint outage, a 10% compute-node failure-rate window, and one
+/// mid-campaign token expiry — recovery enabled.
+CampaignConfig acceptance_config() {
+  CampaignConfig cfg;
+  cfg.use_case = UseCase::Hyperspectral;
+  cfg.start_period_s = 30;
+  cfg.duration_s = 1800;
+  cfg.file_bytes = 91'000'000;
+  cfg.label_prefix = "chaos";
+  cfg.chaos.name = "acceptance";
+  cfg.chaos.add(FaultEvent{FaultKind::TransferOutage, 600, 300, "", 0});
+  cfg.chaos.add(FaultEvent{FaultKind::NodeFailureRate, 0, 1800, "", 0.10});
+  cfg.chaos.add(FaultEvent{FaultKind::TokenExpiry, 1200, 0, "", 0});
+  cfg.recovery.enabled = true;
+  cfg.recovery.resubmit_budget = 4;
+  cfg.recovery.resubmit_delay_s = 60;
+  cfg.step_timeouts = {{"Transfer", 600}};
+  return cfg;
+}
+
+CampaignResult run_acceptance(const std::string& tag) {
+  FacilityConfig fc = fault_test_config(tag);
+  fc.seed = 4242;
+  Facility facility(fc);
+  CampaignResult result = run_campaign(facility, acceptance_config());
+
+  // Zero double-publish: every eventually-successful flow owns exactly one
+  // search record (the Publish subject is the document id), and no label
+  // settles twice.
+  std::set<std::string> labels;
+  size_t successes = 0;
+  for (const auto* bucket : {&result.in_window, &result.late}) {
+    for (const auto& f : *bucket) {
+      EXPECT_TRUE(labels.insert(f.label).second) << "double-settled " << f.label;
+      if (f.success) ++successes;
+    }
+  }
+  EXPECT_EQ(facility.index().size(), successes);
+  return result;
+}
+
+TEST(ChaosCampaign, AcceptanceScenarioRecoversAtLeast95Percent) {
+  CampaignResult result = run_acceptance("acceptance");
+  const RobustnessStats& rb = result.robustness;
+  size_t logical = result.in_window.size() + result.late.size();
+
+  ASSERT_GT(logical, 30u);  // the campaign actually ran at scale
+  // The outage and the node failures were felt...
+  EXPECT_GT(rb.run_failures, 0u);
+  EXPECT_GT(rb.resubmits, 0u);
+  EXPECT_GT(rb.recovered, 0u);
+  EXPECT_GT(rb.launches, logical);
+  // ...and recovery brought eventual success to >= 95%.
+  EXPECT_GE(rb.eventual_success_pct(logical), 95.0);
+  EXPECT_LE(rb.lost, logical / 20);
+  // Recovery accounting is self-consistent.
+  EXPECT_EQ(rb.launches, logical + rb.resubmits);
+  EXPECT_GT(rb.mttr_s.count(), 0u);
+  EXPECT_GE(rb.downtime_s.at("transfer_outage"), 300.0 - 1e-9);
+
+  // The report renders with the headline sections present.
+  std::string report = render_robustness(result);
+  EXPECT_NE(report.find("transfer_outage"), std::string::npos);
+  EXPECT_NE(report.find("eventually succeeded"), std::string::npos);
+  EXPECT_NE(report.find("MTTR"), std::string::npos);
+  EXPECT_NE(report.find("Circuit breakers"), std::string::npos);
+}
+
+TEST(ChaosCampaign, SameSeedProducesByteIdenticalRobustnessReports) {
+  CampaignResult a = run_acceptance("det_a");
+  CampaignResult b = run_acceptance("det_b");
+  EXPECT_EQ(render_robustness(a), render_robustness(b));
+  EXPECT_EQ(flows_csv(a), flows_csv(b));
+}
+
+TEST(ChaosCampaign, OrchestratorCrashReplayedFromJournal) {
+  FacilityConfig fc = fault_test_config("crash");
+  fc.seed = 515;
+  Facility facility(fc);
+  CampaignConfig cfg;
+  cfg.use_case = UseCase::Hyperspectral;
+  cfg.start_period_s = 30;
+  cfg.duration_s = 600;
+  cfg.file_bytes = 91'000'000;
+  cfg.label_prefix = "crash";
+  cfg.chaos.name = "blackout";
+  cfg.chaos.add(FaultEvent{FaultKind::OrchestratorCrash, 200, 100, "", 0});
+  cfg.recovery.enabled = true;
+  CampaignResult result = run_campaign(facility, cfg);
+
+  size_t logical = result.in_window.size() + result.late.size();
+  ASSERT_GT(logical, 5u);
+  // Flows that settled during the blackout were reconciled from the journal,
+  // exactly once each.
+  EXPECT_GT(result.robustness.crash_replays, 0u);
+  EXPECT_EQ(result.robustness.lost, 0u);
+  std::set<std::string> labels;
+  for (const auto* bucket : {&result.in_window, &result.late}) {
+    for (const auto& f : *bucket) {
+      EXPECT_TRUE(labels.insert(f.label).second) << "double-settled " << f.label;
+      EXPECT_TRUE(f.success);
+    }
+  }
+  EXPECT_EQ(facility.index().size(), labels.size());
+}
+
+TEST(ChaosCampaign, RecoveryDisabledCountsFailuresClassically) {
+  FacilityConfig fc = fault_test_config("norecovery");
+  Facility facility(fc);
+  CampaignConfig cfg;
+  cfg.use_case = UseCase::Hyperspectral;
+  cfg.start_period_s = 30;
+  cfg.duration_s = 600;
+  cfg.file_bytes = 91'000'000;
+  cfg.label_prefix = "nr";
+  cfg.chaos.name = "outage-only";
+  cfg.chaos.add(FaultEvent{FaultKind::TransferOutage, 100, 200, "", 0});
+  // recovery.enabled stays false: failed flows are lost, not resubmitted.
+  CampaignResult result = run_campaign(facility, cfg);
+  EXPECT_GT(result.failed, 0u);
+  EXPECT_EQ(result.robustness.resubmits, 0u);
+  EXPECT_EQ(result.robustness.lost, result.failed);
+  EXPECT_EQ(result.robustness.recovered, 0u);
+}
+
+}  // namespace
+}  // namespace pico::core

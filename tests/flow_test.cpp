@@ -24,7 +24,13 @@ class FakeProvider final : public ActionProvider {
 
   util::Result<ActionHandle> start(const Json& params,
                                    const auth::Token&) override {
+    start_attempts_ += 1;
     if (params.at("refuse_start").as_bool(false)) {
+      return util::Result<ActionHandle>::err("refused", "test");
+    }
+    int rkey = static_cast<int>(params.at("refuse_key").as_int(-1));
+    if (rkey >= 0 && refuse_budget_.count(rkey) && refuse_budget_[rkey] > 0) {
+      refuse_budget_[rkey] -= 1;
       return util::Result<ActionHandle>::err("refused", "test");
     }
     std::string handle = "act-" + std::to_string(next_++);
@@ -36,6 +42,11 @@ class FakeProvider final : public ActionProvider {
     if (key >= 0 && fail_budget_.count(key) && fail_budget_[key] > 0) {
       fail_budget_[key] -= 1;
       action.fail = true;
+    }
+    int skey = static_cast<int>(params.at("slow_key").as_int(-1));
+    if (skey >= 0 && slow_budget_.count(skey) && slow_budget_[skey].times > 0) {
+      slow_budget_[skey].times -= 1;
+      action.duration = slow_budget_[skey].duration_s;
     }
     actions_[handle] = action;
     starts_ += 1;
@@ -76,7 +87,15 @@ class FakeProvider final : public ActionProvider {
   }
 
   void set_fail_budget(int key, int times) { fail_budget_[key] = times; }
+  /// Refuse the next `times` starts for actions carrying this "refuse_key".
+  void set_refuse_budget(int key, int times) { refuse_budget_[key] = times; }
+  /// Make the next `times` starts for this "slow_key" run `duration_s`
+  /// instead of the scripted duration (to exercise per-step timeouts).
+  void set_slow_budget(int key, int times, double duration_s) {
+    slow_budget_[key] = SlowBudget{times, duration_s};
+  }
   int starts() const { return starts_; }
+  int start_attempts() const { return start_attempts_; }
   int polls() const { return polls_; }
 
  private:
@@ -86,11 +105,18 @@ class FakeProvider final : public ActionProvider {
     bool fail = false;
     Json params;
   };
+  struct SlowBudget {
+    int times = 0;
+    double duration_s = 0;
+  };
   sim::Engine* engine_;
   std::map<ActionHandle, Action> actions_;
   std::map<int, int> fail_budget_;
+  std::map<int, int> refuse_budget_;
+  std::map<int, SlowBudget> slow_budget_;
   uint64_t next_ = 1;
-  int starts_ = 0;
+  int starts_ = 0;        ///< successful starts
+  int start_attempts_ = 0;///< all start calls, including refusals
   int polls_ = 0;
 };
 
@@ -324,6 +350,62 @@ TEST_F(FlowFixture, ProgressTokensResetBackoff) {
   EXPECT_LT(lag, 10.0);
 }
 
+TEST_F(FlowFixture, ProgressTokenResetsShowUpInPollCounts) {
+  // Same step length under the same exponential policy: the run whose
+  // service emits progress tokens polls strictly more often, because each
+  // observed transition restarts the backoff ladder at the bottom rung.
+  FlowServiceConfig cfg;
+  cfg.backoff = BackoffPolicy::paper_default();
+  setup(cfg);
+  FlowDefinition quiet{"quiet", {step("A", 40)}};
+  auto run = service->start(quiet, Json(), token);
+  ASSERT_TRUE(run);
+  engine.run();
+  int quiet_polls = service->timing(run.value()).steps[0].polls;
+
+  setup(cfg);
+  FlowDefinition chatty{
+      "chatty", {step("A", 40, Json::object({{"emit_progress", true}}))}};
+  auto run2 = service->start(chatty, Json(), token);
+  ASSERT_TRUE(run2);
+  engine.run();
+  int chatty_polls = service->timing(run2.value()).steps[0].polls;
+
+  EXPECT_GT(chatty_polls, quiet_polls);
+  EXPECT_LT(quiet_polls, 10);  // 1,3,7,15,31,63: the ladder alone discovers it
+}
+
+TEST_F(FlowFixture, StartRefusalRecoveredByRetry) {
+  setup();
+  provider->set_refuse_budget(8, 2);  // refuse twice, then accept
+  ActionState s = step("A", 0.5, Json::object({{"refuse_key", 8}}));
+  s.max_retries = 3;
+  FlowDefinition def{"refuse-retry", {s}};
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  engine.run();
+  EXPECT_EQ(service->info(run.value()).state, RunState::Succeeded);
+  EXPECT_EQ(provider->start_attempts(), 3);
+  EXPECT_EQ(provider->starts(), 1);
+  EXPECT_EQ(service->timing(run.value()).steps[0].retries, 2);
+}
+
+TEST_F(FlowFixture, StartRefusalExhaustsRetryBudget) {
+  setup();
+  provider->set_refuse_budget(9, 1000);  // never accepts
+  ActionState s = step("A", 0.5, Json::object({{"refuse_key", 9}}));
+  s.max_retries = 2;
+  FlowDefinition def{"refuse-exhaust", {s}};
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  engine.run();
+  const RunInfo& info = service->info(run.value());
+  EXPECT_EQ(info.state, RunState::Failed);
+  EXPECT_NE(info.error.find("failed to start"), std::string::npos);
+  EXPECT_EQ(provider->start_attempts(), 3);  // initial + 2 retries
+  EXPECT_EQ(provider->starts(), 0);
+}
+
 TEST_F(FlowFixture, ConcurrentRunsProgressIndependently) {
   setup();
   FlowDefinition def{"conc", {step("A", 5), step("B", 5)}};
@@ -432,6 +514,26 @@ TEST_F(CancelFixture, CancelSettledRunIsError) {
   EXPECT_FALSE(service->cancel("run-999999"));
 }
 
+TEST_F(CancelFixture, CancelDuringInFlightPollStopsPolling) {
+  FlowServiceConfig cfg;
+  cfg.backoff = BackoffPolicy::fixed(1.0);
+  setup(cfg);
+  FlowDefinition def{"polling", {step("A", 100)}};
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  engine.run_until(sim::SimTime::from_seconds(20));  // well into the poll loop
+  int polls_before = provider->polls();
+  EXPECT_GT(polls_before, 5);
+  ASSERT_TRUE(service->cancel(run.value()));
+  engine.run();
+  // The already-scheduled poll event fires but is abandoned without touching
+  // the provider: no polls after cancellation, and the run stays Failed.
+  EXPECT_EQ(provider->polls(), polls_before);
+  const RunInfo& info = service->info(run.value());
+  EXPECT_EQ(info.state, RunState::Failed);
+  EXPECT_NE(info.error.find("cancelled"), std::string::npos);
+}
+
 TEST_F(CancelFixture, CancelFiresFinishedCallbackOnce) {
   setup();
   FlowDefinition def{"cb", {step("A", 50)}};
@@ -444,6 +546,181 @@ TEST_F(CancelFixture, CancelFiresFinishedCallbackOnce) {
   ASSERT_TRUE(service->cancel(run.value()));
   engine.run();
   EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace pico::flow
+
+// --------------------------------------------- timeouts + circuit breaker ----
+namespace pico::flow {
+namespace {
+
+struct RobustFixture : FlowFixture {};
+
+TEST_F(RobustFixture, TimeoutConsumesRetryThenRecovers) {
+  setup();
+  // First attempt is scripted to hang for 500 s; the retry runs at the
+  // nominal 0.5 s and beats the 20 s deadline.
+  provider->set_slow_budget(5, 1, 500.0);
+  ActionState s = step("A", 0.5, Json::object({{"slow_key", 5}}));
+  s.max_retries = 1;
+  s.timeout_s = 20.0;
+  FlowDefinition def{"timeout-recover", {s}};
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  engine.run();
+  EXPECT_EQ(service->info(run.value()).state, RunState::Succeeded);
+  const StepTiming& timing = service->timing(run.value()).steps[0];
+  EXPECT_EQ(timing.timeouts, 1);
+  EXPECT_EQ(timing.retries, 1);
+  EXPECT_EQ(service->total_timeouts(), 1u);
+  EXPECT_EQ(provider->starts(), 2);
+}
+
+TEST_F(RobustFixture, TimeoutExhaustsRetryBudget) {
+  setup();
+  ActionState s = step("A", 500);  // never completes within the deadline
+  s.max_retries = 1;
+  s.timeout_s = 10.0;
+  FlowDefinition def{"timeout-exhaust", {s}};
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  engine.run();
+  const RunInfo& info = service->info(run.value());
+  EXPECT_EQ(info.state, RunState::Failed);
+  EXPECT_NE(info.error.find("timed out"), std::string::npos);
+  EXPECT_EQ(service->timing(run.value()).steps[0].timeouts, 2);
+  EXPECT_EQ(service->total_timeouts(), 2u);
+}
+
+TEST_F(RobustFixture, ZeroTimeoutMeansNoDeadline) {
+  setup();
+  FlowDefinition def{"no-deadline", {step("A", 300)}};  // timeout_s defaults 0
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  engine.run();
+  EXPECT_EQ(service->info(run.value()).state, RunState::Succeeded);
+  EXPECT_EQ(service->timing(run.value()).steps[0].timeouts, 0);
+  EXPECT_EQ(service->total_timeouts(), 0u);
+}
+
+TEST_F(RobustFixture, BreakerTripsAndFailsFast) {
+  FlowServiceConfig cfg;
+  cfg.breaker.failure_threshold = 3;
+  cfg.breaker.cooldown_s = 60.0;
+  setup(cfg);
+  provider->set_refuse_budget(9, 1000);  // provider is down for good
+  ActionState s = step("A", 1, Json::object({{"refuse_key", 9}}));
+  s.max_retries = 10;
+  FlowDefinition def{"breaker-trip", {s}};
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  engine.run();
+  EXPECT_EQ(service->info(run.value()).state, RunState::Failed);
+  // Three failures trip the breaker; afterwards the open breaker consumes
+  // retries without touching the provider, and only half-open probes get
+  // through — far fewer than the 11 starts the budget alone would allow.
+  EXPECT_LT(provider->start_attempts(), 8);
+  auto snaps = service->breaker_snapshots();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].provider, "fake");
+  EXPECT_GE(snaps[0].trips, 2);
+  EXPECT_GT(service->breaker_retry_after_s("fake"), 0.0);  // still open
+}
+
+TEST_F(RobustFixture, BreakerHalfOpenProbeRecovers) {
+  FlowServiceConfig cfg;
+  cfg.breaker.failure_threshold = 2;
+  cfg.breaker.cooldown_s = 10.0;
+  setup(cfg);
+  provider->set_refuse_budget(11, 2);  // down for the first two attempts
+  ActionState s = step("A", 1, Json::object({{"refuse_key", 11}}));
+  s.max_retries = 5;
+  FlowDefinition def{"breaker-probe", {s}};
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  // After two failures the breaker is open: mid-cooldown it reports a wait.
+  engine.run_until(sim::SimTime::from_seconds(6));
+  EXPECT_GT(service->breaker_retry_after_s("fake"), 0.0);
+  engine.run();
+  EXPECT_EQ(service->info(run.value()).state, RunState::Succeeded);
+  // Two real failures + one breaker wait = three consumed retries, and the
+  // half-open probe was the only extra provider contact.
+  EXPECT_EQ(provider->start_attempts(), 3);
+  EXPECT_EQ(service->timing(run.value()).steps[0].retries, 3);
+  auto snaps = service->breaker_snapshots();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].trips, 1);
+  EXPECT_EQ(snaps[0].state, "closed");
+  EXPECT_EQ(service->breaker_retry_after_s("fake"), 0.0);
+  EXPECT_EQ(service->breaker_retry_after_s("unregistered"), 0.0);
+}
+
+TEST_F(RobustFixture, DisabledBreakerNeverTrips) {
+  FlowServiceConfig cfg;
+  cfg.breaker.enabled = false;
+  cfg.breaker.failure_threshold = 1;
+  setup(cfg);
+  provider->set_refuse_budget(13, 1000);
+  ActionState s = step("A", 1, Json::object({{"refuse_key", 13}}));
+  s.max_retries = 4;
+  FlowDefinition def{"breaker-off", {s}};
+  auto run = service->start(def, Json(), token);
+  ASSERT_TRUE(run);
+  engine.run();
+  EXPECT_EQ(service->info(run.value()).state, RunState::Failed);
+  EXPECT_EQ(provider->start_attempts(), 5);  // every retry reached the provider
+  auto snaps = service->breaker_snapshots();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].trips, 0);
+}
+
+TEST(CircuitBreakerUnit, StateMachineTransitions) {
+  BreakerConfig cfg;
+  cfg.failure_threshold = 2;
+  cfg.cooldown_s = 5.0;
+  CircuitBreaker b(cfg);
+  auto t = [](double s) { return sim::SimTime::from_seconds(s); };
+
+  EXPECT_EQ(b.state(t(0)), CircuitBreaker::State::Closed);
+  EXPECT_DOUBLE_EQ(b.retry_after_s(t(0)), 0.0);
+  b.record_failure(t(1));
+  EXPECT_EQ(b.state(t(1)), CircuitBreaker::State::Closed);
+  b.record_failure(t(2));  // threshold reached: trip
+  EXPECT_EQ(b.state(t(2)), CircuitBreaker::State::Open);
+  EXPECT_EQ(b.trips(), 1);
+  EXPECT_NEAR(b.retry_after_s(t(3)), 4.0, 1e-9);
+
+  // Cooldown elapsed: half-open. First caller claims the probe slot; later
+  // callers are pushed out by a cooldown; peek never claims.
+  EXPECT_EQ(b.state(t(8)), CircuitBreaker::State::HalfOpen);
+  EXPECT_DOUBLE_EQ(b.retry_after_s(t(8)), 0.0);
+  EXPECT_DOUBLE_EQ(b.retry_after_s(t(8)), cfg.cooldown_s);
+  EXPECT_DOUBLE_EQ(b.peek_retry_after_s(t(8)), cfg.cooldown_s);
+
+  b.record_failure(t(9));  // probe failed: immediately re-open
+  EXPECT_EQ(b.state(t(9)), CircuitBreaker::State::Open);
+  EXPECT_EQ(b.trips(), 2);
+
+  EXPECT_EQ(b.state(t(15)), CircuitBreaker::State::HalfOpen);
+  EXPECT_DOUBLE_EQ(b.retry_after_s(t(15)), 0.0);
+  b.record_success();  // probe succeeded: close and reset
+  EXPECT_EQ(b.state(t(16)), CircuitBreaker::State::Closed);
+  EXPECT_EQ(b.consecutive_failures(), 0);
+  EXPECT_EQ(CircuitBreaker::state_name(CircuitBreaker::State::HalfOpen),
+            "half-open");
+}
+
+TEST(CircuitBreakerUnit, DisabledBreakerIsTransparent) {
+  BreakerConfig cfg;
+  cfg.enabled = false;
+  cfg.failure_threshold = 1;
+  CircuitBreaker b(cfg);
+  auto t = [](double s) { return sim::SimTime::from_seconds(s); };
+  for (int i = 0; i < 5; ++i) b.record_failure(t(i));
+  EXPECT_EQ(b.state(t(10)), CircuitBreaker::State::Closed);
+  EXPECT_DOUBLE_EQ(b.retry_after_s(t(10)), 0.0);
+  EXPECT_EQ(b.trips(), 0);
 }
 
 }  // namespace
@@ -462,6 +739,7 @@ TEST(DefinitionIo, RoundTrip) {
   a.name = "Transfer";
   a.provider = "transfer";
   a.max_retries = 2;
+  a.timeout_s = 45.0;
   a.params = Json::object({
       {"src", "$.input.file"},
       {"nested", Json::object({{"deep", Json::array({1, 2})}})},
@@ -480,6 +758,8 @@ TEST(DefinitionIo, RoundTrip) {
   EXPECT_EQ(d.name, "my-flow");
   ASSERT_EQ(d.steps.size(), 2u);
   EXPECT_EQ(d.steps[0].max_retries, 2);
+  EXPECT_DOUBLE_EQ(d.steps[0].timeout_s, 45.0);
+  EXPECT_DOUBLE_EQ(d.steps[1].timeout_s, 0.0);
   EXPECT_EQ(d.steps[0].params.at("src").as_string(), "$.input.file");
   EXPECT_EQ(d.steps[1].params.at("record").as_string(), "$.steps.Transfer.out");
   // Text round trip too.
@@ -505,6 +785,9 @@ TEST(DefinitionIo, ValidationRejectsBadDocuments) {
   EXPECT_FALSE(definition_from_text(
       R"({"name": "x", "steps": [{"name": "A", "provider": "p",
                                    "max_retries": -1}]})"));               // bad retries
+  EXPECT_FALSE(definition_from_text(
+      R"({"name": "x", "steps": [{"name": "A", "provider": "p",
+                                   "timeout_s": -5}]})"));                 // bad timeout
 }
 
 TEST(DefinitionIo, ParsedDefinitionActuallyRuns) {

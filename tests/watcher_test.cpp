@@ -2,6 +2,7 @@
 // extension filtering, checkpoint persistence across "reboots".
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 
@@ -113,9 +114,46 @@ TEST_F(WatcherFixture, RewrittenFileWithNewSizeTriggersAgain) {
   auto events = watcher.scan_once();
   ASSERT_EQ(events.size(), 1u);
   EXPECT_EQ(events[0].size, 99);
-  // Same path, same size as processed: ignored.
+  // Same path, same size AND same mtime as the processed version: ignored.
+  // (Pin the mtime explicitly so filesystem timestamp granularity cannot
+  // make this flaky.)
+  auto processed_mtime = fs::last_write_time(dir + "/f.emd");
   write("f.emd", 99);
+  fs::last_write_time(dir + "/f.emd", processed_mtime);
   EXPECT_TRUE(watcher.scan_once().empty());
+}
+
+// Regression: the checkpoint used to key by path + size only, so an
+// instrument rewriting an acquisition in place at the same byte count was
+// silently ignored. The mtime now participates in the key.
+TEST_F(WatcherFixture, SameSizeRewriteWithNewMtimeTriggersAgain) {
+  Checkpoint cp(journal);
+  ASSERT_TRUE(cp.load());
+  DirectoryWatcher watcher(config(1), &cp);
+  write("r.emd", 42);
+  ASSERT_EQ(watcher.scan_once().size(), 1u);
+  // In-place rewrite at the same size, stamped one second later.
+  write("r.emd", 42);
+  fs::last_write_time(
+      dir + "/r.emd",
+      fs::last_write_time(dir + "/r.emd") + std::chrono::seconds(1));
+  auto events = watcher.scan_once();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].size, 42);
+  EXPECT_NE(events[0].mtime_ns, 0);
+  // Nothing new afterwards: stays quiet.
+  EXPECT_TRUE(watcher.scan_once().empty());
+}
+
+TEST_F(WatcherFixture, LegacyJournalEntriesStillHonoured) {
+  {
+    std::ofstream out(journal);
+    out << dir + "/old.emd" << "\t" << 10 << "\n";  // pre-mtime format
+  }
+  Checkpoint cp(journal);
+  ASSERT_TRUE(cp.load());
+  EXPECT_TRUE(cp.processed(dir + "/old.emd", 10, 123456789));
+  EXPECT_FALSE(cp.processed(dir + "/old.emd", 11, 123456789));
 }
 
 TEST_F(WatcherFixture, VanishedPendingFileForgotten) {
