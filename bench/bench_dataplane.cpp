@@ -1,0 +1,325 @@
+// Data-plane kernel trajectory bench: times every hot kernel of the real-byte
+// plane (fp64->uint8 conversion, axis reductions, normalization, separable
+// blur, CRC-64, LZ compression) in its naive / sequential / parallel
+// variants at pool widths {1, 4, hardware}, verifies the parallel outputs
+// are byte-identical to their sequential twins, and emits a machine-readable
+// BENCH_dataplane.json so subsequent PRs have a perf baseline to regress
+// against. `--smoke` shrinks every problem so CI can assert the emitter
+// works in milliseconds; full mode uses the paper-scale problems from the
+// acceptance criteria (256x256x1024 hyperspectral cube, 600x512x512
+// spatiotemporal stack).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compress/codec.hpp"
+#include "tensor/ops.hpp"
+#include "util/bytes.hpp"
+#include "util/crc64.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/threadpool.hpp"
+#include "vision/image.hpp"
+#include "video/convert.hpp"
+
+using namespace pico;
+using util::Json;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-`reps` wall-clock of fn().
+template <typename Fn>
+double time_best(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    double t0 = now_s();
+    fn();
+    best = std::min(best, now_s() - t0);
+  }
+  return best;
+}
+
+tensor::Tensor<double> random_tensor(tensor::Shape shape, uint64_t seed) {
+  tensor::Tensor<double> t(std::move(shape));
+  util::Rng rng(seed);
+  for (double& v : t.data()) v = rng.uniform(0.0, 4096.0);
+  return t;
+}
+
+/// Compressible payload: byte-shuffled smooth f64 ramp plus sparse noise —
+/// the texture of a real EMD detector-count buffer.
+std::vector<uint8_t> compressible_payload(size_t n, uint64_t seed) {
+  std::vector<uint8_t> out(n);
+  util::Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>((i / 977) & 0xFF);
+    if (rng.chance(0.02)) out[i] = static_cast<uint8_t>(rng.next_u64());
+  }
+  return out;
+}
+
+/// Pool widths to sweep: {1, 4, hardware}, deduped and sorted.
+std::vector<size_t> pool_widths() {
+  size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<size_t> widths{1, 4, hw};
+  std::sort(widths.begin(), widths.end());
+  widths.erase(std::unique(widths.begin(), widths.end()), widths.end());
+  return widths;
+}
+
+struct KernelReport {
+  std::string name;
+  size_t bytes = 0;
+  double naive_s = -1;       ///< < 0 when the kernel has no naive variant
+  size_t naive_bytes = 0;    ///< naive may run on a reduced problem
+  double sequential_s = 0;
+  std::vector<std::pair<size_t, double>> parallel_s;  ///< (threads, seconds)
+  bool parity = true;        ///< parallel outputs byte-identical to sequential
+
+  Json to_json() const {
+    Json par = Json::array();
+    for (auto& [threads, secs] : parallel_s) {
+      par.push_back(Json::object({
+          {"threads", static_cast<int64_t>(threads)},
+          {"seconds", secs},
+          {"speedup_vs_sequential", secs > 0 ? sequential_s / secs : 0.0},
+      }));
+    }
+    Json j = Json::object({
+        {"kernel", name},
+        {"bytes", static_cast<int64_t>(bytes)},
+        {"sequential_s", sequential_s},
+        {"sequential_gbps",
+         sequential_s > 0 ? static_cast<double>(bytes) / 1e9 / sequential_s
+                          : 0.0},
+        {"parallel", par},
+        {"parity", parity},
+    });
+    if (naive_s >= 0) {
+      j["naive_s"] = naive_s;
+      j["naive_bytes"] = static_cast<int64_t>(naive_bytes);
+    }
+    return j;
+  }
+
+  void print() const {
+    std::printf("%-22s %8.1f MB  seq %9.3f ms", name.c_str(),
+                static_cast<double>(bytes) / 1e6, sequential_s * 1e3);
+    for (auto& [threads, secs] : parallel_s) {
+      std::printf("  | %zu thr %9.3f ms (%4.2fx)", threads, secs * 1e3,
+                  secs > 0 ? sequential_s / secs : 0.0);
+    }
+    std::printf("  %s\n", parity ? "parity-ok" : "PARITY MISMATCH!");
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int reps = smoke ? 1 : 2;
+  const auto widths = pool_widths();
+  std::vector<std::unique_ptr<util::ThreadPool>> pools;
+  for (size_t w : widths) pools.push_back(std::make_unique<util::ThreadPool>(w));
+
+  std::printf("data-plane kernel bench (%s, %u hardware threads)\n\n",
+              smoke ? "smoke" : "full", std::thread::hardware_concurrency());
+
+  std::vector<KernelReport> reports;
+
+  // ---- fp64 -> uint8 conversion (the paper's headline compute cost) -------
+  {
+    const size_t T = smoke ? 6 : 600, H = smoke ? 32 : 512,
+                 W = smoke ? 32 : 512;
+    auto stack = random_tensor({T, H, W}, 0xC0417);
+    KernelReport r;
+    r.name = "convert_fp64_u8";
+    r.bytes = stack.size() * sizeof(double);
+
+    // The naive path rescans the whole stack per frame (O(frames x size)):
+    // measured on a reduced stack so full mode finishes this century.
+    const size_t nT = smoke ? T : 30, nH = smoke ? H : 128, nW = smoke ? W : 128;
+    auto naive_stack = random_tensor({nT, nH, nW}, 0xC0418);
+    r.naive_bytes = naive_stack.size() * sizeof(double);
+    r.naive_s = time_best(reps, [&] { video::convert_naive(naive_stack); });
+
+    tensor::Tensor<uint8_t> seq;
+    r.sequential_s = time_best(reps, [&] { seq = video::convert_fast(stack); });
+    for (size_t i = 0; i < widths.size(); ++i) {
+      tensor::Tensor<uint8_t> par;
+      double secs = time_best(
+          reps, [&] { par = video::convert_parallel(stack, *pools[i]); });
+      r.parallel_s.emplace_back(widths[i], secs);
+      r.parity = r.parity && par.storage() == seq.storage();
+    }
+    r.print();
+    reports.push_back(std::move(r));
+  }
+
+  // ---- normalization of the hyperspectral cube ----------------------------
+  const size_t cH = smoke ? 8 : 256, cW = smoke ? 8 : 256,
+               cE = smoke ? 32 : 1024;
+  auto cube = random_tensor({cH, cW, cE}, 0xCBE);
+  {
+    KernelReport r;
+    r.name = "to_u8_normalized";
+    r.bytes = cube.size() * sizeof(double);
+    tensor::Tensor<uint8_t> seq;
+    r.sequential_s =
+        time_best(reps, [&] { seq = tensor::to_u8_normalized(cube); });
+    for (size_t i = 0; i < widths.size(); ++i) {
+      tensor::Tensor<uint8_t> par;
+      double secs = time_best(
+          reps, [&] { par = tensor::to_u8_normalized(cube, *pools[i]); });
+      r.parallel_s.emplace_back(widths[i], secs);
+      r.parity = r.parity && par.storage() == seq.storage();
+    }
+    r.print();
+    reports.push_back(std::move(r));
+  }
+
+  // ---- spectral-axis reductions (Fig. 2A / 2B) ----------------------------
+  {
+    KernelReport r;
+    r.name = "sum_axis3_spectral";
+    r.bytes = cube.size() * sizeof(double);
+    tensor::Tensor<double> seq;
+    r.sequential_s = time_best(reps, [&] { seq = tensor::sum_axis3(cube, 2); });
+    for (size_t i = 0; i < widths.size(); ++i) {
+      tensor::Tensor<double> par;
+      double secs =
+          time_best(reps, [&] { par = tensor::sum_axis3(cube, 2, *pools[i]); });
+      r.parallel_s.emplace_back(widths[i], secs);
+      r.parity = r.parity && par.storage() == seq.storage();
+    }
+    r.print();
+    reports.push_back(std::move(r));
+  }
+  {
+    KernelReport r;
+    r.name = "sum_keep_axis3_spectrum";
+    r.bytes = cube.size() * sizeof(double);
+    tensor::Tensor<double> seq;
+    r.sequential_s =
+        time_best(reps, [&] { seq = tensor::sum_keep_axis3(cube, 2); });
+    for (size_t i = 0; i < widths.size(); ++i) {
+      tensor::Tensor<double> par;
+      double secs = time_best(
+          reps, [&] { par = tensor::sum_keep_axis3(cube, 2, *pools[i]); });
+      r.parallel_s.emplace_back(widths[i], secs);
+      r.parity = r.parity && par.storage() == seq.storage();
+    }
+    r.print();
+    reports.push_back(std::move(r));
+  }
+
+  // ---- separable Gaussian blur (detector front-end) -----------------------
+  {
+    const size_t bH = smoke ? 32 : 512, bW = smoke ? 32 : 512;
+    auto img = random_tensor({bH, bW}, 0xB1);
+    const double sigma = 2.0;
+    KernelReport r;
+    r.name = "gaussian_blur";
+    r.bytes = img.size() * sizeof(double);
+    vision::ImageF seq;
+    r.sequential_s =
+        time_best(reps, [&] { seq = vision::gaussian_blur(img, sigma); });
+    for (size_t i = 0; i < widths.size(); ++i) {
+      vision::ImageF par;
+      double secs = time_best(
+          reps, [&] { par = vision::gaussian_blur(img, sigma, pools[i].get()); });
+      r.parallel_s.emplace_back(widths[i], secs);
+      r.parity = r.parity && par.storage() == seq.storage();
+    }
+    r.print();
+    reports.push_back(std::move(r));
+  }
+
+  // ---- CRC-64 (transfer checksum verification) ----------------------------
+  {
+    const size_t n = smoke ? (1u << 16) : (256u << 20);
+    auto payload = compressible_payload(n, 0xCC);
+    KernelReport r;
+    r.name = "crc64";
+    r.bytes = n;
+    r.naive_bytes = n;
+    uint64_t bytewise = 0, sliced = 0;
+    r.naive_s = time_best(
+        reps, [&] { bytewise = util::crc64_bytewise(payload.data(), n); });
+    r.sequential_s =
+        time_best(reps, [&] { sliced = util::crc64(payload.data(), n); });
+    r.parity = bytewise == sliced;
+    r.print();
+    reports.push_back(std::move(r));
+  }
+
+  // ---- LZ compression (A3 transfer codec) ---------------------------------
+  {
+    const size_t n = smoke ? (1u << 18) : (24u << 20);
+    auto payload = compressible_payload(n, 0x12F);
+    KernelReport r;
+    r.name = "lz_compress";
+    r.bytes = n;
+    r.naive_bytes = n;
+    compress::LzCodec lz;
+    compress::Bytes seq;
+    r.naive_s = time_best(reps, [&] { seq = lz.compress(payload); });
+    r.sequential_s = r.naive_s;  // the single-stream codec IS the sequential twin
+    compress::Bytes first_par;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      compress::BlockLzCodec block(compress::BlockLzCodec::kDefaultBlockSize,
+                                   pools[i].get());
+      compress::Bytes par;
+      double secs = time_best(reps, [&] { par = block.compress(payload); });
+      r.parallel_s.emplace_back(widths[i], secs);
+      // Parallel output must round-trip and be identical across widths (the
+      // blocked stream legitimately differs from the single-stream bytes).
+      if (first_par.empty()) first_par = par;
+      auto rt = block.decompress(par);
+      r.parity = r.parity && par == first_par && rt && rt.value() == payload;
+    }
+    r.print();
+    reports.push_back(std::move(r));
+  }
+
+  // ---- emit the machine-readable baseline ---------------------------------
+  Json kernels = Json::array();
+  bool all_parity = true;
+  for (const auto& r : reports) {
+    kernels.push_back(r.to_json());
+    all_parity = all_parity && r.parity;
+  }
+  Json doc = Json::object({
+      {"schema", "pico.bench.dataplane.v1"},
+      {"mode", smoke ? "smoke" : "full"},
+      {"hardware_threads",
+       static_cast<int64_t>(std::thread::hardware_concurrency())},
+      {"pool_widths",
+       [&] {
+         Json a = Json::array();
+         for (size_t w : widths) a.push_back(static_cast<int64_t>(w));
+         return a;
+       }()},
+      {"parity_all", all_parity},
+      {"kernels", kernels},
+  });
+  const char* out_path = "BENCH_dataplane.json";
+  util::write_file(out_path, doc.dump(2) + "\n");
+  std::printf("\nwrote %s (%s)\n", out_path,
+              all_parity ? "all parallel kernels byte-identical to sequential"
+                         : "PARITY FAILURES — see above");
+  return all_parity ? 0 : 1;
+}

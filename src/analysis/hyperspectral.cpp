@@ -9,14 +9,17 @@
 
 namespace pico::analysis {
 
-tensor::Tensor<double> intensity_map(const tensor::Tensor<double>& cube) {
+tensor::Tensor<double> intensity_map(const tensor::Tensor<double>& cube,
+                                     util::ThreadPool* pool) {
   assert(cube.rank() == 3);
-  return tensor::sum_axis3(cube, 2);
+  return pool ? tensor::sum_axis3(cube, 2, *pool) : tensor::sum_axis3(cube, 2);
 }
 
-tensor::Tensor<double> sum_spectrum(const tensor::Tensor<double>& cube) {
+tensor::Tensor<double> sum_spectrum(const tensor::Tensor<double>& cube,
+                                    util::ThreadPool* pool) {
   assert(cube.rank() == 3);
-  return tensor::sum_keep_axis3(cube, 2);
+  return pool ? tensor::sum_keep_axis3(cube, 2, *pool)
+              : tensor::sum_keep_axis3(cube, 2);
 }
 
 std::vector<Peak> find_peaks(const tensor::Tensor<double>& spectrum,
@@ -166,10 +169,10 @@ util::Json HyperspectralAnalysis::to_json() const {
 
 HyperspectralAnalysis analyze_hyperspectral(
     const tensor::Tensor<double>& cube, const std::vector<double>& energy_axis,
-    const PeakFindConfig& config) {
+    const PeakFindConfig& config, util::ThreadPool* pool) {
   HyperspectralAnalysis out;
-  out.intensity = intensity_map(cube);
-  out.spectrum = sum_spectrum(cube);
+  out.intensity = intensity_map(cube, pool);
+  out.spectrum = sum_spectrum(cube, pool);
   out.peaks = find_peaks(out.spectrum, energy_axis, config);
   out.elements =
       identify_elements(out.peaks, instrument::XRayLineLibrary::standard());

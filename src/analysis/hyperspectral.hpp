@@ -10,14 +10,18 @@
 #include "instrument/xray_lines.hpp"
 #include "tensor/tensor.hpp"
 #include "util/json.hpp"
+#include "util/threadpool.hpp"
 
 namespace pico::analysis {
 
 /// A: intensity image — sum along the spectral (last) axis of [H, W, E].
-tensor::Tensor<double> intensity_map(const tensor::Tensor<double>& cube);
+/// With a pool, the reduction fans out over it (bit-identical results).
+tensor::Tensor<double> intensity_map(const tensor::Tensor<double>& cube,
+                                     util::ThreadPool* pool = nullptr);
 
 /// B: aggregate spectrum — sum over both pixel axes, keeping the energy axis.
-tensor::Tensor<double> sum_spectrum(const tensor::Tensor<double>& cube);
+tensor::Tensor<double> sum_spectrum(const tensor::Tensor<double>& cube,
+                                    util::ThreadPool* pool = nullptr);
 
 struct Peak {
   size_t channel = 0;
@@ -78,6 +82,6 @@ struct HyperspectralAnalysis {
 
 HyperspectralAnalysis analyze_hyperspectral(
     const tensor::Tensor<double>& cube, const std::vector<double>& energy_axis,
-    const PeakFindConfig& config = {});
+    const PeakFindConfig& config = {}, util::ThreadPool* pool = nullptr);
 
 }  // namespace pico::analysis

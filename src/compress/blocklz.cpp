@@ -1,0 +1,114 @@
+#include "compress/codec.hpp"
+
+#include <algorithm>
+
+#include "util/bytes.hpp"
+#include "util/threadpool.hpp"
+
+namespace pico::compress {
+namespace {
+
+/// Private registry holding just the inner "lz" codec, so block frames reuse
+/// the standard stream-framing container (magic, codec name, original size,
+/// CRC-64) without touching the global registry during its construction.
+const CodecRegistry& inner_registry() {
+  static const CodecRegistry* kRegistry = [] {
+    auto* r = new CodecRegistry();
+    r->add(std::make_unique<LzCodec>());
+    return r;
+  }();
+  return *kRegistry;
+}
+
+}  // namespace
+
+Bytes BlockLzCodec::compress(const Bytes& input) const {
+  // Stream layout: varint(block_size) varint(nblocks), then per block
+  // varint(frame_len) + frame. Block boundaries are a pure function of
+  // (input size, block_size): output bytes are identical for any pool width.
+  const size_t nblocks =
+      input.empty() ? 0 : (input.size() + block_size_ - 1) / block_size_;
+  LzCodec lz;
+  std::vector<Bytes> frames(nblocks);
+  auto compress_block = [&](size_t b) {
+    size_t begin = b * block_size_;
+    size_t end = std::min(input.size(), begin + block_size_);
+    Bytes block(input.begin() + static_cast<ptrdiff_t>(begin),
+                input.begin() + static_cast<ptrdiff_t>(end));
+    frames[b] = encode_frame(lz, block);
+  };
+  util::ThreadPool& pool = pool_ ? *pool_ : util::shared_pool();
+  pool.parallel_for(nblocks, compress_block);
+
+  Bytes out;
+  util::ByteWriter w(&out);
+  w.varint(block_size_);
+  w.varint(nblocks);
+  for (const Bytes& f : frames) {
+    w.varint(f.size());
+    w.bytes(f.data(), f.size());
+  }
+  return out;
+}
+
+util::Result<Bytes> BlockLzCodec::decompress(const Bytes& input) const {
+  using R = util::Result<Bytes>;
+  util::ByteReader r(input);
+  uint64_t block_size = 0, nblocks = 0;
+  if (!r.varint(&block_size) || !r.varint(&nblocks)) {
+    return R::err("lz-par truncated header", "corrupt");
+  }
+  if (block_size == 0 || block_size > (64ull << 20)) {
+    return R::err("lz-par block size out of range", "corrupt");
+  }
+  if (nblocks > (1ull << 32)) {
+    return R::err("lz-par block count absurd", "corrupt");
+  }
+
+  // Slice out the frames sequentially (cheap), then decode them in parallel;
+  // every block but the last must decode to exactly block_size bytes, so
+  // output offsets are known up front.
+  std::vector<std::pair<const uint8_t*, size_t>> frames;
+  frames.reserve(static_cast<size_t>(nblocks));
+  for (uint64_t b = 0; b < nblocks; ++b) {
+    uint64_t frame_len = 0;
+    if (!r.varint(&frame_len)) return R::err("lz-par truncated frame length", "corrupt");
+    const uint8_t* p = nullptr;
+    if (!r.view(&p, frame_len)) return R::err("lz-par frame overruns input", "corrupt");
+    frames.emplace_back(p, static_cast<size_t>(frame_len));
+  }
+  if (!r.exhausted()) return R::err("lz-par trailing bytes", "corrupt");
+
+  std::vector<Bytes> blocks(frames.size());
+  std::vector<std::string> errors(frames.size());
+  auto decode_block = [&](size_t b) {
+    Bytes frame(frames[b].first, frames[b].first + frames[b].second);
+    auto decoded = decode_frame(inner_registry(), frame);
+    if (!decoded) {
+      errors[b] = decoded.error().message;
+      return;
+    }
+    blocks[b] = std::move(decoded.value());
+  };
+  util::ThreadPool& pool = pool_ ? *pool_ : util::shared_pool();
+  pool.parallel_for(blocks.size(), decode_block);
+
+  Bytes out;
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    if (!errors[b].empty()) {
+      return R::err("lz-par block " + std::to_string(b) + ": " + errors[b],
+                    "corrupt");
+    }
+    bool last = b + 1 == blocks.size();
+    if (!last && blocks[b].size() != block_size) {
+      return R::err("lz-par interior block has wrong size", "corrupt");
+    }
+    if (last && (blocks[b].empty() || blocks[b].size() > block_size)) {
+      return R::err("lz-par final block has wrong size", "corrupt");
+    }
+    out.insert(out.end(), blocks[b].begin(), blocks[b].end());
+  }
+  return R::ok(std::move(out));
+}
+
+}  // namespace pico::compress

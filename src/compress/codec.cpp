@@ -19,6 +19,7 @@ const CodecRegistry& CodecRegistry::standard() {
     r->add(std::make_unique<DeltaCodec>());
     r->add(std::make_unique<LzCodec>());
     r->add(std::make_unique<ShuffleLzCodec>());
+    r->add(std::make_unique<BlockLzCodec>());
     return r;
   }();
   return *kRegistry;

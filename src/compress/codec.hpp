@@ -11,6 +11,10 @@
 
 #include "util/result.hpp"
 
+namespace pico::util {
+class ThreadPool;
+}
+
 namespace pico::compress {
 
 using Bytes = std::vector<uint8_t>;
@@ -67,6 +71,32 @@ class ShuffleLzCodec final : public Codec {
   std::string name() const override { return "shuffle-lz"; }
   Bytes compress(const Bytes& input) const override;
   util::Result<Bytes> decompress(const Bytes& input) const override;
+};
+
+/// Block-parallel LZ ("lz-par"): the input is split into fixed-size blocks,
+/// each compressed independently (and concurrently, on the shared data-plane
+/// pool) and carried as a standard self-describing "lz" frame inside the
+/// stream. Block boundaries depend only on the input size, so the output is
+/// byte-identical for any pool width. Blocks cost a little ratio (no
+/// cross-block matches) and buy node-level compression throughput — the
+/// trade the paper's future-work compression needs for the 65 GB/s detector.
+class BlockLzCodec final : public Codec {
+ public:
+  /// pool == nullptr compresses blocks on the shared data-plane pool.
+  explicit BlockLzCodec(size_t block_size = kDefaultBlockSize,
+                        util::ThreadPool* pool = nullptr)
+      : block_size_(block_size == 0 ? kDefaultBlockSize : block_size),
+        pool_(pool) {}
+
+  static constexpr size_t kDefaultBlockSize = 256 * 1024;
+
+  std::string name() const override { return "lz-par"; }
+  Bytes compress(const Bytes& input) const override;
+  util::Result<Bytes> decompress(const Bytes& input) const override;
+
+ private:
+  size_t block_size_;
+  util::ThreadPool* pool_;
 };
 
 /// Registry of known codecs by name.

@@ -145,6 +145,7 @@ struct Driver : std::enable_shared_from_this<Driver> {
     input.codec = config.codec;
     input.frames = config.frames;
     input.naive_convert = config.naive_convert;
+    input.parallel_convert = config.parallel_convert;
 
     auto self = shared_from_this();
     JournalEntry entry;

@@ -43,6 +43,9 @@ struct CampaignConfig {
   int64_t file_bytes = 91 * 1000 * 1000;  ///< paper: 91 MB / 1200 MB
   int64_t frames = 600;           ///< spatiotemporal frame count hint
   bool naive_convert = false;
+  /// Model the whole-node parallel conversion in the flow's compute cost
+  /// (the A4 "compute function uses the whole node" what-if).
+  bool parallel_convert = false;
   std::string codec;              ///< optional transfer compression (A3)
   std::string label_prefix = "campaign";
   /// Chaos schedule installed on the facility before the run (empty = none).

@@ -11,6 +11,7 @@ util::Json CostModel::to_json() const {
       {"hyper_analysis_s_per_mb", hyper_analysis_s_per_mb},
       {"convert_s_per_mb", convert_s_per_mb},
       {"convert_naive_multiplier", convert_naive_multiplier},
+      {"convert_parallel_speedup", convert_parallel_speedup},
       {"inference_s_per_frame", inference_s_per_frame},
       {"annotate_base_s", annotate_base_s},
       {"publication_s", publication_s},

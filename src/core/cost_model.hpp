@@ -33,6 +33,12 @@ struct CostModel {
   double convert_s_per_mb = 0.030;
   /// Pessimal naive conversion (per-frame range rescan), for the A4 ablation.
   double convert_naive_multiplier = 4.0;
+  /// Node-parallel conversion speedup (the "compute function uses the whole
+  /// node" what-if for the A4 ablation): modeled effective speedup of the
+  /// chunked thread-pool conversion over the single-core fast path on one
+  /// Polaris node. Conservative vs. the 32-core count — the kernel is
+  /// memory-bandwidth-bound well before it is core-bound.
+  double convert_parallel_speedup = 6.0;
   /// Detector inference per frame (~A100 YOLOv8s latency incl. I/O).
   double inference_s_per_frame = 0.025;
   double annotate_base_s = 1.0;
@@ -60,13 +66,17 @@ struct CostModel {
   double hyper_analysis_cost(int64_t bytes) const {
     return hyper_analysis_base_s + hyper_analysis_s_per_mb * (static_cast<double>(bytes) / 1e6);
   }
-  double convert_cost(int64_t bytes, bool naive) const {
+  double convert_cost(int64_t bytes, bool naive,
+                      bool parallel = false) const {
     double base = convert_s_per_mb * (static_cast<double>(bytes) / 1e6);
-    return naive ? base * convert_naive_multiplier : base;
+    if (naive) return base * convert_naive_multiplier;
+    if (parallel) return base / convert_parallel_speedup;
+    return base;
   }
   double spatiotemporal_analysis_cost(int64_t bytes, int64_t frames,
-                                      bool naive_convert) const {
-    return convert_cost(bytes, naive_convert) +
+                                      bool naive_convert,
+                                      bool parallel_convert = false) const {
+    return convert_cost(bytes, naive_convert, parallel_convert) +
            inference_s_per_frame * static_cast<double>(frames) +
            annotate_base_s;
   }

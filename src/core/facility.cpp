@@ -213,8 +213,9 @@ util::Result<Json> Facility::run_hyperspectral_analysis(const Json& args) {
                                  static_cast<double>(channels);
   }
 
-  analysis::HyperspectralAnalysis result =
-      analysis::analyze_hyperspectral(cube.value(), energy_axis);
+  analysis::HyperspectralAnalysis result = analysis::analyze_hyperspectral(
+      cube.value(), energy_axis, {},
+      config_.parallel_data_plane ? &util::shared_pool() : nullptr);
 
   // Artifacts: intensity map (Fig. 2A) + spectrum with element markers
   // (Fig. 2B), written to the real filesystem for the portal.
@@ -307,11 +308,15 @@ util::Result<Json> Facility::run_spatiotemporal_analysis(const Json& args) {
   if (!stack) return R::err(stack.error());
 
   // EMD -> video conversion (the paper's fp64 -> uint8 bottleneck), then
-  // per-frame detection, tracking, and annotation burn-in.
+  // per-frame detection, tracking, and annotation burn-in. The parallel
+  // conversion is bit-identical to convert_fast, so the knob changes wall
+  // clock only; convert_naive stays untouched as the A4 pessimal baseline.
   bool naive = args.at("naive_convert").as_bool(false);
   tensor::Tensor<uint8_t> frames_u8 =
       naive ? video::convert_naive(stack.value())
-            : video::convert_fast(stack.value());
+      : config_.parallel_data_plane
+          ? video::convert_parallel(stack.value(), util::shared_pool())
+          : video::convert_fast(stack.value());
   video::MpkVideo mpk = video::MpkVideo::from_stack(frames_u8);
 
   // Per-frame detection fans out across the whole node (the paper's compute
@@ -319,12 +324,9 @@ util::Result<Json> Facility::run_spatiotemporal_analysis(const Json& args) {
   vision::BlobDetector detector;
   const size_t frame_count = stack.value().dim(0);
   std::vector<std::vector<vision::Detection>> detections(frame_count);
-  {
-    static util::ThreadPool pool;  // shared across analysis calls
-    pool.parallel_for(frame_count, [&](size_t t) {
-      detections[t] = detector.detect(stack.value().slice0(t));
-    });
-  }
+  util::shared_pool().parallel_for(frame_count, [&](size_t t) {
+    detections[t] = detector.detect(stack.value().slice0(t));
+  });
   vision::GreedyIoUTracker tracker;
   size_t total_detections = 0;
   for (const auto& dets : detections) {
@@ -418,8 +420,9 @@ void Facility::register_functions() {
   spatio.cost = [this, size_of, jitter](const Json& args) {
     int64_t frames = args.at("frames").as_int(600);
     bool naive = args.at("naive_convert").as_bool(false);
+    bool parallel = args.at("parallel_convert").as_bool(false);
     return config_.cost.spatiotemporal_analysis_cost(size_of(args), frames,
-                                                     naive) *
+                                                     naive, parallel) *
            jitter();
   };
   spatio_fn_ = compute_->register_function(std::move(spatio));

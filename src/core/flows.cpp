@@ -16,6 +16,7 @@ Json FlowInput::to_json() const {
       {"codec", codec},
       {"frames", frames},
       {"naive_convert", naive_convert},
+      {"parallel_convert", parallel_convert},
   });
 }
 
@@ -96,6 +97,7 @@ flow::FlowDefinition spatiotemporal_flow(const Facility& facility) {
            {"acquired", "$.input.acquired"},
            {"frames", "$.input.frames"},
            {"naive_convert", "$.input.naive_convert"},
+           {"parallel_convert", "$.input.parallel_convert"},
        })},
   });
   def.steps.push_back(std::move(analyze));

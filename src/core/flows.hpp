@@ -16,6 +16,9 @@
 //   codec           transfer compression codec name (optional)
 //   frames          (spatiotemporal, int) frame-count hint for virtual files
 //   naive_convert   (spatiotemporal, bool) use the pessimal fp64->u8 path
+//   parallel_convert (spatiotemporal, bool) model the whole-node parallel
+//                   conversion cost (A4 what-if; the real kernels are chosen
+//                   by FacilityConfig::parallel_data_plane)
 #include "core/facility.hpp"
 #include "flow/service.hpp"
 
@@ -36,6 +39,7 @@ struct FlowInput {
   std::string codec;
   int64_t frames = 600;
   bool naive_convert = false;
+  bool parallel_convert = false;
 
   util::Json to_json() const;
 };

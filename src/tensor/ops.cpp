@@ -6,6 +6,17 @@
 
 namespace pico::tensor {
 
+namespace {
+
+/// Row-partition grain for kernels whose outputs are positionally determined
+/// (disjoint writes, per-element accumulation wholly inside one chunk): the
+/// grain may adapt to the pool width without affecting results.
+size_t row_grain(size_t rows, const util::ThreadPool& pool) {
+  return std::max<size_t>(1, rows / (4 * pool.thread_count()));
+}
+
+}  // namespace
+
 Tensor<double> sum_axis3(const Tensor<double>& t, size_t axis) {
   assert(t.rank() == 3 && axis < 3);
   const size_t d0 = t.dim(0), d1 = t.dim(1), d2 = t.dim(2);
@@ -83,6 +94,100 @@ Tensor<double> sum_keep_axis3(const Tensor<double>& t, size_t keep) {
   return out;
 }
 
+Tensor<double> sum_axis3(const Tensor<double>& t, size_t axis,
+                         util::ThreadPool& pool) {
+  assert(t.rank() == 3 && axis < 3);
+  const size_t d0 = t.dim(0), d1 = t.dim(1), d2 = t.dim(2);
+  Shape out_shape;
+  if (axis == 0) out_shape = {d1, d2};
+  else if (axis == 1) out_shape = {d0, d2};
+  else out_shape = {d0, d1};
+  Tensor<double> out(out_shape);
+
+  // Every output element is produced by exactly one chunk, accumulated in
+  // the same index order as the sequential loops: bit-identical results.
+  if (axis == 2) {
+    pool.parallel_chunks(d0, row_grain(d0, pool), [&](size_t ib, size_t ie) {
+      for (size_t i = ib; i < ie; ++i) {
+        for (size_t j = 0; j < d1; ++j) {
+          double acc = 0;
+          const double* p = &t(i, j, 0);
+          for (size_t k = 0; k < d2; ++k) acc += p[k];
+          out(i, j) = acc;
+        }
+      }
+    });
+  } else if (axis == 1) {
+    pool.parallel_chunks(d0, row_grain(d0, pool), [&](size_t ib, size_t ie) {
+      for (size_t i = ib; i < ie; ++i) {
+        double* o = &out(i, 0);
+        std::fill(o, o + d2, 0.0);
+        for (size_t j = 0; j < d1; ++j) {
+          const double* p = &t(i, j, 0);
+          for (size_t k = 0; k < d2; ++k) o[k] += p[k];
+        }
+      }
+    });
+  } else {
+    pool.parallel_chunks(d1, row_grain(d1, pool), [&](size_t jb, size_t je) {
+      for (size_t j = jb; j < je; ++j) {
+        double* o = &out(j, 0);
+        std::fill(o, o + d2, 0.0);
+      }
+      for (size_t i = 0; i < d0; ++i) {
+        for (size_t j = jb; j < je; ++j) {
+          const double* p = &t(i, j, 0);
+          double* o = &out(j, 0);
+          for (size_t k = 0; k < d2; ++k) o[k] += p[k];
+        }
+      }
+    });
+  }
+  return out;
+}
+
+Tensor<double> sum_keep_axis3(const Tensor<double>& t, size_t keep,
+                              util::ThreadPool& pool) {
+  assert(t.rank() == 3 && keep < 3);
+  const size_t d0 = t.dim(0), d1 = t.dim(1), d2 = t.dim(2);
+  Tensor<double> out(Shape{t.dim(keep)});
+  if (keep == 2) {
+    // Disjoint spectral ranges per chunk; each out(k) accumulates over (i, j)
+    // in the sequential lexicographic order.
+    pool.parallel_chunks(d2, row_grain(d2, pool), [&](size_t kb, size_t ke) {
+      for (size_t i = 0; i < d0; ++i) {
+        for (size_t j = 0; j < d1; ++j) {
+          const double* p = &t(i, j, 0);
+          for (size_t k = kb; k < ke; ++k) out(k) += p[k];
+        }
+      }
+    });
+  } else if (keep == 0) {
+    pool.parallel_chunks(d0, row_grain(d0, pool), [&](size_t ib, size_t ie) {
+      for (size_t i = ib; i < ie; ++i) {
+        double acc = 0;
+        for (size_t j = 0; j < d1; ++j) {
+          const double* p = &t(i, j, 0);
+          for (size_t k = 0; k < d2; ++k) acc += p[k];
+        }
+        out(i) = acc;
+      }
+    });
+  } else {
+    pool.parallel_chunks(d1, row_grain(d1, pool), [&](size_t jb, size_t je) {
+      for (size_t i = 0; i < d0; ++i) {
+        for (size_t j = jb; j < je; ++j) {
+          const double* p = &t(i, j, 0);
+          double acc = 0;
+          for (size_t k = 0; k < d2; ++k) acc += p[k];
+          out(j) += acc;
+        }
+      }
+    });
+  }
+  return out;
+}
+
 double min_value(const Tensor<double>& t) {
   double m = std::numeric_limits<double>::infinity();
   for (double v : t.data()) m = std::min(m, v);
@@ -93,6 +198,36 @@ double max_value(const Tensor<double>& t) {
   double m = -std::numeric_limits<double>::infinity();
   for (double v : t.data()) m = std::max(m, v);
   return m;
+}
+
+MinMax minmax_value(const Tensor<double>& t) {
+  MinMax mm{std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity()};
+  for (double v : t.data()) {
+    mm.min = std::min(mm.min, v);
+    mm.max = std::max(mm.max, v);
+  }
+  return mm;
+}
+
+MinMax minmax_value(const Tensor<double>& t, util::ThreadPool& pool) {
+  auto src = t.data();
+  MinMax identity{std::numeric_limits<double>::infinity(),
+                  -std::numeric_limits<double>::infinity()};
+  return pool.parallel_reduce<MinMax>(
+      src.size(), util::ThreadPool::kReduceGrain, identity,
+      [&src](size_t b, size_t e) {
+        MinMax mm{std::numeric_limits<double>::infinity(),
+                  -std::numeric_limits<double>::infinity()};
+        for (size_t i = b; i < e; ++i) {
+          mm.min = std::min(mm.min, src[i]);
+          mm.max = std::max(mm.max, src[i]);
+        }
+        return mm;
+      },
+      [](MinMax a, MinMax b) {
+        return MinMax{std::min(a.min, b.min), std::max(a.max, b.max)};
+      });
 }
 
 double sum_value(const Tensor<double>& t) {
@@ -108,13 +243,32 @@ double mean_value(const Tensor<double>& t) {
 Tensor<uint8_t> to_u8_normalized(const Tensor<double>& t) {
   Tensor<uint8_t> out(t.shape());
   if (t.size() == 0) return out;
-  double lo = min_value(t), hi = max_value(t);
-  double scale = hi > lo ? 255.0 / (hi - lo) : 0.0;
+  MinMax mm = minmax_value(t);  // fused: one scan, not a min pass + max pass
+  double scale = mm.max > mm.min ? 255.0 / (mm.max - mm.min) : 0.0;
   auto src = t.data();
   auto dst = out.data();
   for (size_t i = 0; i < src.size(); ++i) {
-    dst[i] = static_cast<uint8_t>((src[i] - lo) * scale + 0.5);
+    dst[i] = static_cast<uint8_t>((src[i] - mm.min) * scale + 0.5);
   }
+  return out;
+}
+
+Tensor<uint8_t> to_u8_normalized(const Tensor<double>& t,
+                                 util::ThreadPool& pool) {
+  Tensor<uint8_t> out(t.shape());
+  if (t.size() == 0) return out;
+  MinMax mm = minmax_value(t, pool);
+  double scale = mm.max > mm.min ? 255.0 / (mm.max - mm.min) : 0.0;
+  auto src = t.data();
+  auto dst = out.data();
+  pool.parallel_chunks(src.size(), row_grain(src.size(), pool),
+                       [&](size_t b, size_t e) {
+                         for (size_t i = b; i < e; ++i) {
+                           dst[i] = static_cast<uint8_t>((src[i] - mm.min) *
+                                                             scale +
+                                                         0.5);
+                         }
+                       });
   return out;
 }
 

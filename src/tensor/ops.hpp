@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "tensor/tensor.hpp"
+#include "util/threadpool.hpp"
 
 namespace pico::tensor {
 
@@ -13,17 +14,44 @@ namespace pico::tensor {
 /// in f64. axis must be < 3.
 Tensor<double> sum_axis3(const Tensor<double>& t, size_t axis);
 
+/// Parallel twin of sum_axis3: output rows (or, for axis 0/2 reductions,
+/// disjoint output ranges) are distributed over the pool while every output
+/// element keeps the sequential accumulation order — bit-identical to
+/// sum_axis3 for any pool width.
+Tensor<double> sum_axis3(const Tensor<double>& t, size_t axis,
+                         util::ThreadPool& pool);
+
 /// Sum a rank-3 tensor over two axes, producing a rank-1 f64 tensor over the
 /// remaining axis. keep < 3; the other two axes are reduced.
 Tensor<double> sum_keep_axis3(const Tensor<double>& t, size_t keep);
+
+/// Parallel twin of sum_keep_axis3 (bit-identical, see sum_axis3).
+Tensor<double> sum_keep_axis3(const Tensor<double>& t, size_t keep,
+                              util::ThreadPool& pool);
 
 double min_value(const Tensor<double>& t);
 double max_value(const Tensor<double>& t);
 double sum_value(const Tensor<double>& t);
 double mean_value(const Tensor<double>& t);
 
+/// Fused single-pass min+max (one scan where min_value + max_value take two).
+struct MinMax {
+  double min = 0;
+  double max = 0;
+};
+MinMax minmax_value(const Tensor<double>& t);
+
+/// Parallel fused min+max. min/max combination is order-independent, so the
+/// result equals the sequential scan exactly for any pool width.
+MinMax minmax_value(const Tensor<double>& t, util::ThreadPool& pool);
+
 /// Linear rescale of arbitrary range to [0, 255]; constant input maps to 0.
 Tensor<uint8_t> to_u8_normalized(const Tensor<double>& t);
+
+/// Parallel twin of to_u8_normalized: parallel fused min/max reduction, then
+/// a parallel fused scale+cast pass. Bit-identical to the sequential path.
+Tensor<uint8_t> to_u8_normalized(const Tensor<double>& t,
+                                 util::ThreadPool& pool);
 
 /// Elementwise conversion helpers.
 Tensor<double> to_f64(const Tensor<uint8_t>& t);

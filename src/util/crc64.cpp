@@ -5,34 +5,66 @@
 namespace pico::util {
 namespace {
 
-// ECMA-182 polynomial, reflected form.
+// ECMA-182 polynomial, reflected form (CRC-64/XZ parameters: init ~0,
+// reflected in/out, xorout ~0; check("123456789") = 0x995DC9BBDF1939FA).
 constexpr uint64_t kPoly = 0xC96C5795D7870F42ull;
 
-std::array<uint64_t, 256> build_table() {
-  std::array<uint64_t, 256> table{};
+// Slicing-by-8: table[0] is the classic byte-at-a-time table; table[j][b]
+// advances a byte seen j positions earlier through j extra zero bytes, so
+// eight table lookups retire eight input bytes per iteration.
+using Tables = std::array<std::array<uint64_t, 256>, 8>;
+
+Tables build_tables() {
+  Tables t{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint64_t crc = i;
     for (int bit = 0; bit < 8; ++bit) {
       crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
     }
-    table[i] = crc;
+    t[0][i] = crc;
   }
-  return table;
+  for (size_t j = 1; j < 8; ++j) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint64_t crc = t[j - 1][i];
+      t[j][i] = t[0][crc & 0xFF] ^ (crc >> 8);
+    }
+  }
+  return t;
 }
 
-const std::array<uint64_t, 256>& table() {
-  static const auto kTable = build_table();
-  return kTable;
+const Tables& tables() {
+  static const auto kTables = build_tables();
+  return kTables;
+}
+
+inline uint64_t load_le64(const uint8_t* p) {
+  // Bytewise assembly is endian-portable; compilers lower it to one load on
+  // little-endian targets.
+  return static_cast<uint64_t>(p[0]) | (static_cast<uint64_t>(p[1]) << 8) |
+         (static_cast<uint64_t>(p[2]) << 16) |
+         (static_cast<uint64_t>(p[3]) << 24) |
+         (static_cast<uint64_t>(p[4]) << 32) |
+         (static_cast<uint64_t>(p[5]) << 40) |
+         (static_cast<uint64_t>(p[6]) << 48) |
+         (static_cast<uint64_t>(p[7]) << 56);
 }
 
 }  // namespace
 
 void Crc64::update(const void* data, size_t n) {
   const auto* p = static_cast<const uint8_t*>(data);
-  const auto& t = table();
+  const auto& t = tables();
   uint64_t crc = state_;
+  while (n >= 8) {
+    uint64_t x = crc ^ load_le64(p);
+    crc = t[7][x & 0xFF] ^ t[6][(x >> 8) & 0xFF] ^ t[5][(x >> 16) & 0xFF] ^
+          t[4][(x >> 24) & 0xFF] ^ t[3][(x >> 32) & 0xFF] ^
+          t[2][(x >> 40) & 0xFF] ^ t[1][(x >> 48) & 0xFF] ^ t[0][x >> 56];
+    p += 8;
+    n -= 8;
+  }
   for (size_t i = 0; i < n; ++i) {
-    crc = t[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+    crc = t[0][(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
   }
   state_ = crc;
 }
@@ -47,6 +79,16 @@ uint64_t crc64(std::string_view s) { return crc64(s.data(), s.size()); }
 
 uint64_t crc64(const std::vector<uint8_t>& v) {
   return crc64(v.data(), v.size());
+}
+
+uint64_t crc64_bytewise(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  const auto& t = tables();
+  uint64_t crc = ~0ull;
+  for (size_t i = 0; i < n; ++i) {
+    crc = t[0][(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
 }
 
 }  // namespace pico::util

@@ -8,10 +8,15 @@
 
 namespace pico::util {
 
-/// One-shot CRC-64/ECMA of a byte buffer.
+/// One-shot CRC-64/ECMA of a byte buffer (slicing-by-8 fast path).
 uint64_t crc64(const void* data, size_t n);
 uint64_t crc64(std::string_view s);
 uint64_t crc64(const std::vector<uint8_t>& v);
+
+/// Byte-at-a-time reference implementation. Same polynomial semantics as
+/// crc64(); kept so tests and bench_dataplane can cross-check the slicing
+/// rewrite against the value baked into existing EMD files.
+uint64_t crc64_bytewise(const void* data, size_t n);
 
 /// Incremental CRC-64 for streaming (chunked transfer) use.
 class Crc64 {

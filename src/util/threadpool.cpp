@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace pico::util {
 
@@ -25,37 +26,119 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> pt(std::move(task));
-  auto fut = pt.get_future();
+  auto promise = std::make_shared<std::promise<void>>();
+  auto fut = promise->get_future();
   {
     std::lock_guard lock(mu_);
-    tasks_.push(std::move(pt));
+    tasks_.push([promise, task = std::move(task)]() mutable {
+      try {
+        task();
+        promise->set_value();
+      } catch (...) {
+        promise->set_exception(std::current_exception());
+      }
+    });
   }
   cv_.notify_one();
   return fut;
 }
 
-void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
-  if (n == 0) return;
+namespace {
+
+/// Shared state for one parallel_chunks call. Workers claim chunk ids with a
+/// single atomic increment (no mutex, no per-chunk heap task); the last chunk
+/// to finish wakes the caller.
+struct Batch {
+  size_t chunks = 0;
+  size_t n = 0;
+  size_t grain = 0;
+  const std::function<void(size_t, size_t)>* body = nullptr;
   std::atomic<size_t> next{0};
-  size_t lanes = std::min(n, thread_count());
-  std::vector<std::future<void>> futs;
-  futs.reserve(lanes);
-  for (size_t lane = 0; lane < lanes; ++lane) {
-    futs.push_back(submit([&] {
-      while (true) {
-        size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) break;
-        fn(i);
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  // first failure wins
+
+  /// Claim-and-run until the chunk counter is exhausted. Returns the number
+  /// of chunks this thread executed.
+  void drain() {
+    while (true) {
+      size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      size_t begin = c * grain;
+      size_t end = std::min(n, begin + grain);
+      try {
+        (*body)(begin, end);
+      } catch (...) {
+        std::lock_guard lock(mu);
+        if (!error) error = std::current_exception();
       }
-    }));
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+        std::lock_guard lock(mu);
+        cv.notify_all();
+      }
+    }
   }
-  for (auto& f : futs) f.get();
+};
+
+}  // namespace
+
+void ThreadPool::parallel_chunks(
+    size_t n, size_t grain, const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const size_t chunks = (n + grain - 1) / grain;
+  if (chunks == 1) {
+    body(0, n);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->chunks = chunks;
+  batch->n = n;
+  batch->grain = grain;
+  batch->body = &body;
+
+  // One helper task per idle-able worker (bounded by chunk count, minus the
+  // calling thread which participates below). All enqueued under one lock.
+  size_t helpers = std::min(thread_count(), chunks - 1);
+  {
+    std::lock_guard lock(mu_);
+    for (size_t i = 0; i < helpers; ++i) {
+      tasks_.push([batch] { batch->drain(); });
+    }
+  }
+  cv_.notify_all();
+
+  // The caller drains too: full progress even when every worker is busy
+  // (e.g. nested parallelism from inside a worker runs inline).
+  batch->drain();
+
+  {
+    std::unique_lock lock(batch->mu);
+    batch->cv.wait(lock, [&] {
+      return batch->done.load(std::memory_order_acquire) == chunks;
+    });
+  }
+  // Late helpers that wake after completion claim an out-of-range chunk and
+  // exit touching only `batch` (kept alive by their shared_ptr) — `body` is
+  // never dereferenced once all chunks are done, so returning here is safe.
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
+  // ~4 chunks per worker balances stragglers against dispatch overhead. The
+  // index-wise API makes no cross-index accumulation, so a thread-dependent
+  // grain cannot affect results.
+  size_t grain = std::max<size_t>(1, n / (4 * thread_count()));
+  parallel_chunks(n, grain, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
 }
 
 void ThreadPool::worker_loop() {
   while (true) {
-    std::packaged_task<void()> task;
+    std::function<void()> task;
     {
       std::unique_lock lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
@@ -65,6 +148,11 @@ void ThreadPool::worker_loop() {
     }
     task();
   }
+}
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool;
+  return pool;
 }
 
 }  // namespace pico::util

@@ -1,8 +1,17 @@
 #pragma once
 // Fixed-size thread pool. Used by the real-time (non-simulated) paths: the
-// live directory watcher example and parallel data-plane analysis (per-frame
-// detection fan-out), mirroring how the paper's compute functions exploit a
-// whole Polaris node.
+// live directory watcher example and the parallel data plane (fp64->uint8
+// conversion, axis reductions, blur, block compression, per-frame detection
+// fan-out), mirroring how the paper's compute functions exploit a whole
+// Polaris node.
+//
+// Determinism contract: every parallel kernel built on this pool must be
+// bit-identical to its sequential twin for ANY pool width. parallel_chunks
+// partitions work into [begin, end) ranges whose boundaries depend only on
+// (n, grain) — never on thread_count() — so a caller that fixes its grain by
+// problem size gets identical chunking (and, for reductions combined in chunk
+// order, identical floating-point association) whether the pool has 1 thread
+// or 64.
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -26,19 +35,64 @@ class ThreadPool {
   /// Enqueue a task; returns a future for its completion.
   std::future<void> submit(std::function<void()> task);
 
+  /// Run body(begin, end) over a partition of [0, n) into ceil(n/grain)
+  /// chunks and wait for completion. One dispatched task per chunk (not per
+  /// index); the calling thread drains chunks too, so nested calls from a
+  /// worker cannot deadlock — they just execute inline. Chunk boundaries are
+  /// a pure function of (n, grain).
+  void parallel_chunks(size_t n, size_t grain,
+                       const std::function<void(size_t, size_t)>& body);
+
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  /// Convenience index-wise API on top of parallel_chunks; grain adapts to
+  /// the pool width, so use it only for kernels whose output is positionally
+  /// determined (disjoint writes), not for reductions.
   void parallel_for(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Deterministic parallel reduction: partials[c] = chunk_fn(begin_c, end_c)
+  /// per fixed-size chunk, combined IN CHUNK ORDER on the calling thread.
+  /// Chunk boundaries depend only on (n, grain): results are bit-identical
+  /// for any pool width. Pass a grain fixed by problem size (kReduceGrain
+  /// unless the caller knows better), never one derived from thread_count().
+  template <typename T, typename ChunkFn, typename CombineFn>
+  T parallel_reduce(size_t n, size_t grain, T identity, ChunkFn&& chunk_fn,
+                    CombineFn&& combine) {
+    if (n == 0) return identity;
+    if (grain == 0) grain = 1;
+    const size_t chunks = (n + grain - 1) / grain;
+    std::vector<T> partials(chunks, identity);
+    parallel_chunks(chunks, 1, [&](size_t cb, size_t ce) {
+      for (size_t c = cb; c < ce; ++c) {
+        size_t b = c * grain;
+        size_t e = std::min(n, b + grain);
+        partials[c] = chunk_fn(b, e);
+      }
+    });
+    T acc = identity;
+    for (T& p : partials) acc = combine(std::move(acc), p);
+    return acc;
+  }
+
   size_t thread_count() const { return workers_.size(); }
+
+  /// Default reduction grain: 64Ki elements (~512 KiB of f64) keeps chunk
+  /// bookkeeping negligible while giving hundreds of chunks on the paper's
+  /// stack sizes. A problem-size constant, NOT thread-derived, on purpose.
+  static constexpr size_t kReduceGrain = 64 * 1024;
 
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
+  std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
 };
+
+/// Process-wide data-plane pool (lazily constructed at hardware width). The
+/// analysis functions and block codecs share it the way the paper's compute
+/// functions share their one Polaris node.
+ThreadPool& shared_pool();
 
 }  // namespace pico::util

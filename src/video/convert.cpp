@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "tensor/ops.hpp"
+
 namespace pico::video {
 
 tensor::Tensor<uint8_t> convert_naive(const tensor::Tensor<double>& stack) {
@@ -56,6 +58,27 @@ tensor::Tensor<uint8_t> convert_fast(const tensor::Tensor<double>& stack) {
     double scaled = (src[i] - lo) * scale;
     dst[i] = static_cast<uint8_t>(scaled + 0.5);  // already within [0, 255]
   }
+  return out;
+}
+
+tensor::Tensor<uint8_t> convert_parallel(const tensor::Tensor<double>& stack,
+                                         util::ThreadPool& pool) {
+  assert(stack.rank() == 3);
+  tensor::Tensor<uint8_t> out(stack.shape());
+  auto src = stack.data();
+  auto dst = out.data();
+  if (src.empty()) return out;
+
+  tensor::MinMax mm = tensor::minmax_value(stack, pool);
+  double lo = mm.min;
+  double scale = mm.max > lo ? 255.0 / (mm.max - lo) : 0.0;
+  size_t grain = std::max<size_t>(1, src.size() / (4 * pool.thread_count()));
+  pool.parallel_chunks(src.size(), grain, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      double scaled = (src[i] - lo) * scale;
+      dst[i] = static_cast<uint8_t>(scaled + 0.5);
+    }
+  });
   return out;
 }
 

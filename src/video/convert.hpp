@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "tensor/tensor.hpp"
+#include "util/threadpool.hpp"
 
 namespace pico::video {
 
@@ -19,5 +20,13 @@ tensor::Tensor<uint8_t> convert_naive(const tensor::Tensor<double>& stack);
 /// Optimized conversion: one min/max pass over the stack, then a fused
 /// scale+clamp loop. Identical output to convert_naive.
 tensor::Tensor<uint8_t> convert_fast(const tensor::Tensor<double>& stack);
+
+/// Node-parallel conversion: the min/max reduction and the scale+cast pass
+/// both fan out over the pool (the paper's compute function owns a whole
+/// Polaris node). min/max combination is order-independent and the cast is
+/// elementwise, so the output is bit-identical to convert_fast (and hence
+/// convert_naive) for any pool width.
+tensor::Tensor<uint8_t> convert_parallel(const tensor::Tensor<double>& stack,
+                                         util::ThreadPool& pool);
 
 }  // namespace pico::video

@@ -9,7 +9,23 @@
 
 namespace pico::vision {
 
-ImageF gaussian_blur(const ImageF& image, double sigma) {
+namespace {
+
+/// Distribute rows [0, rows) over the pool, or run inline without one.
+void for_rows(util::ThreadPool* pool, size_t rows,
+              const std::function<void(size_t, size_t)>& body) {
+  if (pool == nullptr) {
+    body(0, rows);
+    return;
+  }
+  size_t grain = std::max<size_t>(1, rows / (4 * pool->thread_count()));
+  pool->parallel_chunks(rows, grain, body);
+}
+
+}  // namespace
+
+ImageF gaussian_blur(const ImageF& image, double sigma,
+                     util::ThreadPool* pool) {
   assert(image.rank() == 2);
   if (sigma <= 0) return image;
   const size_t h = image.dim(0), w = image.dim(1);
@@ -29,33 +45,63 @@ ImageF gaussian_blur(const ImageF& image, double sigma) {
     if (i >= n) i = 2 * n - i - 1;
     return std::clamp(i, 0l, n - 1);
   };
+  const size_t r = static_cast<size_t>(radius);
+  const size_t taps = kernel.size();
 
-  // Horizontal pass.
+  // Horizontal pass. Border pixels reflect; the interior fast path indexes
+  // the row directly (no per-tap clamp) with the same tap order, so results
+  // match the all-reflect loop bit for bit.
+  const size_t x_left = std::min(w, r);
+  const size_t x_interior_end = w > r ? w - r : 0;
   ImageF tmp(tensor::Shape{h, w});
-  for (size_t y = 0; y < h; ++y) {
-    for (size_t x = 0; x < w; ++x) {
-      double acc = 0;
-      for (int k = -radius; k <= radius; ++k) {
-        long xx = reflect(static_cast<long>(x) + k, static_cast<long>(w));
-        acc += kernel[static_cast<size_t>(k + radius)] *
-               image(y, static_cast<size_t>(xx));
+  for_rows(pool, h, [&](size_t yb, size_t ye) {
+    for (size_t y = yb; y < ye; ++y) {
+      const double* row = &image(y, 0);
+      auto edge = [&](size_t x) {
+        double acc = 0;
+        for (int k = -radius; k <= radius; ++k) {
+          long xx = reflect(static_cast<long>(x) + k, static_cast<long>(w));
+          acc += kernel[static_cast<size_t>(k + radius)] *
+                 row[static_cast<size_t>(xx)];
+        }
+        tmp(y, x) = acc;
+      };
+      for (size_t x = 0; x < x_left; ++x) edge(x);
+      for (size_t x = x_left; x < std::max(x_left, x_interior_end); ++x) {
+        double acc = 0;
+        const double* p = row + x - r;
+        for (size_t k = 0; k < taps; ++k) acc += kernel[k] * p[k];
+        tmp(y, x) = acc;
       }
-      tmp(y, x) = acc;
+      for (size_t x = std::max(x_left, x_interior_end); x < w; ++x) edge(x);
     }
-  }
-  // Vertical pass.
+  });
+
+  // Vertical pass: same structure over rows of the output; a row is interior
+  // when every tap lands inside the image.
+  const size_t y_interior_end = h > r ? h - r : 0;
   ImageF out(tensor::Shape{h, w});
-  for (size_t y = 0; y < h; ++y) {
-    for (size_t x = 0; x < w; ++x) {
-      double acc = 0;
-      for (int k = -radius; k <= radius; ++k) {
-        long yy = reflect(static_cast<long>(y) + k, static_cast<long>(h));
-        acc += kernel[static_cast<size_t>(k + radius)] *
-               tmp(static_cast<size_t>(yy), x);
+  for_rows(pool, h, [&](size_t yb, size_t ye) {
+    for (size_t y = yb; y < ye; ++y) {
+      if (y >= r && y < y_interior_end) {
+        for (size_t x = 0; x < w; ++x) {
+          double acc = 0;
+          for (size_t k = 0; k < taps; ++k) acc += kernel[k] * tmp(y - r + k, x);
+          out(y, x) = acc;
+        }
+      } else {
+        for (size_t x = 0; x < w; ++x) {
+          double acc = 0;
+          for (int k = -radius; k <= radius; ++k) {
+            long yy = reflect(static_cast<long>(y) + k, static_cast<long>(h));
+            acc += kernel[static_cast<size_t>(k + radius)] *
+                   tmp(static_cast<size_t>(yy), x);
+          }
+          out(y, x) = acc;
+        }
       }
-      out(y, x) = acc;
     }
-  }
+  });
   return out;
 }
 

@@ -7,6 +7,7 @@
 
 #include "tensor/tensor.hpp"
 #include "util/geometry.hpp"
+#include "util/threadpool.hpp"
 
 namespace pico::vision {
 
@@ -14,7 +15,12 @@ using ImageF = tensor::Tensor<double>;
 using ImageU8 = tensor::Tensor<uint8_t>;
 
 /// Separable Gaussian blur with reflective borders. sigma <= 0 returns input.
-ImageF gaussian_blur(const ImageF& image, double sigma);
+/// Interior pixels take a fast path with no per-pixel border clamping; with a
+/// pool, rows of each separable pass are distributed across it. Both choices
+/// preserve the per-pixel tap order, so output is bit-identical to the
+/// sequential clamped implementation for any pool width.
+ImageF gaussian_blur(const ImageF& image, double sigma,
+                     util::ThreadPool* pool = nullptr);
 
 /// Otsu's threshold over a 256-bin histogram of a min-max normalized image.
 /// Returns the threshold in the image's own intensity units.

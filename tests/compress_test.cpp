@@ -175,11 +175,12 @@ TEST(Frame, DetectsUnknownCodecAndBadMagic) {
 
 TEST(Registry, StandardHasAllCodecs) {
   const auto& r = CodecRegistry::standard();
-  for (const char* name : {"null", "rle", "delta", "lz", "shuffle-lz"}) {
+  for (const char* name :
+       {"null", "rle", "delta", "lz", "shuffle-lz", "lz-par"}) {
     EXPECT_NE(r.find(name), nullptr) << name;
   }
   EXPECT_EQ(r.find("zstd"), nullptr);
-  EXPECT_EQ(r.names().size(), 5u);
+  EXPECT_EQ(r.names().size(), 6u);
 }
 
 TEST(Codec, ShuffleLzExcelsOnFloatData) {

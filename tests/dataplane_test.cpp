@@ -1,0 +1,298 @@
+// Parity and determinism tests for the parallel data plane. The contract
+// under test (threadpool.hpp): every parallel kernel is BIT-IDENTICAL to its
+// sequential twin for any pool width. Each test fuzzes tensors with a seeded
+// Rng and sweeps pool widths {1, 2, 7, hardware_concurrency}.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "compress/codec.hpp"
+#include "tensor/ops.hpp"
+#include "util/crc64.hpp"
+#include "util/rng.hpp"
+#include "util/threadpool.hpp"
+#include "video/convert.hpp"
+#include "vision/image.hpp"
+
+namespace pico {
+namespace {
+
+std::vector<size_t> test_widths() {
+  std::vector<size_t> widths{1, 2, 7};
+  size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  if (hw != 1 && hw != 2 && hw != 7) widths.push_back(hw);
+  return widths;
+}
+
+tensor::Tensor<double> fuzz_tensor(tensor::Shape shape, uint64_t seed) {
+  tensor::Tensor<double> t(std::move(shape));
+  util::Rng rng(seed);
+  for (double& v : t.data()) {
+    // Mix of scales and signs; occasional exact duplicates to stress
+    // min/max tie-breaking and normalization edge cases.
+    v = rng.chance(0.1) ? 1234.5 : rng.normal(0.0, 1.0) * rng.uniform(0.1, 1e6);
+  }
+  return t;
+}
+
+// ------------------------------------------------------------ ThreadPool ----
+
+TEST(ThreadPoolDataplane, ParallelForCoversEveryIndexOnce) {
+  for (size_t width : test_widths()) {
+    util::ThreadPool pool(width);
+    const size_t n = 10'000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " width " << width;
+    }
+  }
+}
+
+TEST(ThreadPoolDataplane, ParallelChunksPartitionIsExact) {
+  util::ThreadPool pool(3);
+  for (size_t n : {0UL, 1UL, 7UL, 64UL, 1000UL, 1001UL}) {
+    for (size_t grain : {1UL, 7UL, 64UL, 5000UL}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.parallel_chunks(n, grain, [&](size_t b, size_t e) {
+        ASSERT_LE(b, e);
+        ASSERT_LE(e, n);
+        for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+      });
+      for (size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+    }
+  }
+}
+
+TEST(ThreadPoolDataplane, ReduceIsBitIdenticalAcrossWidths) {
+  // Floating-point sum: associativity matters, so identical results across
+  // widths prove the chunking is width-independent.
+  auto t = fuzz_tensor({257, 119}, 42);
+  const double* d = t.data().data();
+  const size_t n = t.size();
+  double reference = 0;
+  {
+    util::ThreadPool pool(1);
+    reference = pool.parallel_reduce<double>(
+        n, 1000, 0.0,
+        [&](size_t b, size_t e) {
+          double acc = 0;
+          for (size_t i = b; i < e; ++i) acc += d[i];
+          return acc;
+        },
+        [](double a, double b) { return a + b; });
+  }
+  for (size_t width : test_widths()) {
+    util::ThreadPool pool(width);
+    double got = pool.parallel_reduce<double>(
+        n, 1000, 0.0,
+        [&](size_t b, size_t e) {
+          double acc = 0;
+          for (size_t i = b; i < e; ++i) acc += d[i];
+          return acc;
+        },
+        [](double a, double b) { return a + b; });
+    // Bit-identical, not just approximately equal.
+    EXPECT_EQ(std::memcmp(&got, &reference, sizeof(double)), 0)
+        << "width " << width;
+  }
+}
+
+TEST(ThreadPoolDataplane, ParallelChunksPropagatesExceptions) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_chunks(100, 10,
+                                    [](size_t b, size_t) {
+                                      if (b >= 50) throw std::runtime_error("boom");
+                                    }),
+               std::runtime_error);
+  // Pool stays usable after an exception.
+  std::atomic<size_t> count{0};
+  pool.parallel_for(64, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64u);
+}
+
+TEST(ThreadPoolDataplane, NestedParallelismDoesNotDeadlock) {
+  util::ThreadPool pool(2);
+  std::atomic<size_t> total{0};
+  // Outer chunks fan out inner parallel_for on the SAME pool; the calling
+  // thread drains chunks, so this must complete instead of deadlocking.
+  pool.parallel_chunks(8, 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      pool.parallel_for(16, [&](size_t) { total.fetch_add(1); });
+    }
+  });
+  EXPECT_EQ(total.load(), 8u * 16u);
+}
+
+// --------------------------------------------------------------- convert ----
+
+TEST(DataplaneParity, ConvertParallelMatchesFastAndNaive) {
+  auto stack = fuzz_tensor({7, 33, 41}, 7001);
+  auto naive = video::convert_naive(stack);
+  auto fast = video::convert_fast(stack);
+  ASSERT_EQ(naive.storage(), fast.storage());
+  for (size_t width : test_widths()) {
+    util::ThreadPool pool(width);
+    auto par = video::convert_parallel(stack, pool);
+    EXPECT_EQ(par.storage(), fast.storage()) << "width " << width;
+  }
+}
+
+TEST(DataplaneParity, ConvertConstantStack) {
+  // Degenerate min == max stack must agree across all variants.
+  tensor::Tensor<double> stack(tensor::Shape{3, 8, 8});
+  for (double& v : stack.data()) v = 5.0;
+  auto fast = video::convert_fast(stack);
+  util::ThreadPool pool(3);
+  auto par = video::convert_parallel(stack, pool);
+  EXPECT_EQ(par.storage(), fast.storage());
+}
+
+// ------------------------------------------------------------ reductions ----
+
+TEST(DataplaneParity, MinMaxMatchesAcrossWidths) {
+  auto t = fuzz_tensor({119, 257}, 99);
+  auto seq = tensor::minmax_value(t);
+  for (size_t width : test_widths()) {
+    util::ThreadPool pool(width);
+    auto par = tensor::minmax_value(t, pool);
+    EXPECT_EQ(std::memcmp(&par.min, &seq.min, sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&par.max, &seq.max, sizeof(double)), 0);
+  }
+}
+
+TEST(DataplaneParity, SumAxis3MatchesAllAxesAllWidths) {
+  auto cube = fuzz_tensor({13, 17, 19}, 314159);
+  for (size_t axis : {0UL, 1UL, 2UL}) {
+    auto seq = tensor::sum_axis3(cube, axis);
+    for (size_t width : test_widths()) {
+      util::ThreadPool pool(width);
+      auto par = tensor::sum_axis3(cube, axis, pool);
+      EXPECT_EQ(par.storage(), seq.storage())
+          << "axis " << axis << " width " << width;
+    }
+  }
+}
+
+TEST(DataplaneParity, SumKeepAxis3MatchesAllKeepsAllWidths) {
+  auto cube = fuzz_tensor({11, 23, 29}, 271828);
+  for (size_t keep : {0UL, 1UL, 2UL}) {
+    auto seq = tensor::sum_keep_axis3(cube, keep);
+    for (size_t width : test_widths()) {
+      util::ThreadPool pool(width);
+      auto par = tensor::sum_keep_axis3(cube, keep, pool);
+      EXPECT_EQ(par.storage(), seq.storage())
+          << "keep " << keep << " width " << width;
+    }
+  }
+}
+
+TEST(DataplaneParity, ToU8NormalizedMatchesAcrossWidths) {
+  auto t = fuzz_tensor({37, 43, 11}, 1618);
+  auto seq = tensor::to_u8_normalized(t);
+  for (size_t width : test_widths()) {
+    util::ThreadPool pool(width);
+    auto par = tensor::to_u8_normalized(t, pool);
+    EXPECT_EQ(par.storage(), seq.storage()) << "width " << width;
+  }
+}
+
+// ------------------------------------------------------------------ blur ----
+
+TEST(DataplaneParity, GaussianBlurMatchesAcrossWidths) {
+  for (auto [h, w] : {std::pair<size_t, size_t>{64, 64},
+                      {3, 64},    // fewer rows than kernel radius (sigma 3)
+                      {64, 3},    // narrow: interior fast path never fires
+                      {1, 1}}) {
+    auto img = fuzz_tensor({h, w}, h * 1000 + w);
+    for (double sigma : {0.8, 2.0, 3.0}) {
+      auto seq = vision::gaussian_blur(img, sigma);
+      for (size_t width : test_widths()) {
+        util::ThreadPool pool(width);
+        auto par = vision::gaussian_blur(img, sigma, &pool);
+        EXPECT_EQ(par.storage(), seq.storage())
+            << h << "x" << w << " sigma " << sigma << " width " << width;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------- crc ----
+
+TEST(DataplaneParity, Crc64SlicedMatchesBytewiseAtAllAlignments) {
+  util::Rng rng(0xC4C);
+  std::vector<uint8_t> data(4096);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.next_u64());
+  // Lengths straddling the 8-byte fast-path boundary and odd tails.
+  for (size_t n : {0UL, 1UL, 7UL, 8UL, 9UL, 15UL, 16UL, 17UL, 63UL, 1024UL,
+                   4095UL, 4096UL}) {
+    EXPECT_EQ(util::crc64(data.data(), n), util::crc64_bytewise(data.data(), n))
+        << "n=" << n;
+  }
+  // Unaligned start.
+  EXPECT_EQ(util::crc64(data.data() + 3, 1021),
+            util::crc64_bytewise(data.data() + 3, 1021));
+}
+
+// ------------------------------------------------------------------- lz -----
+
+TEST(DataplaneParity, BlockLzByteIdenticalAcrossWidthsAndRoundTrips) {
+  util::Rng rng(0xB10C);
+  // ~3 blocks of compressible data with a small block size to exercise the
+  // multi-block path cheaply.
+  const size_t block = 4096;
+  std::vector<uint8_t> payload(block * 3 - 117);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>((i / 31) & 0xFF);
+    if (rng.chance(0.05)) payload[i] = static_cast<uint8_t>(rng.next_u64());
+  }
+
+  compress::Bytes reference;
+  for (size_t width : test_widths()) {
+    util::ThreadPool pool(width);
+    compress::BlockLzCodec codec(block, &pool);
+    auto compressed = codec.compress(payload);
+    if (reference.empty()) reference = compressed;
+    EXPECT_EQ(compressed, reference) << "width " << width;
+    auto round = codec.decompress(compressed);
+    ASSERT_TRUE(round) << "width " << width;
+    EXPECT_EQ(round.value(), payload);
+  }
+
+  // A codec built with a different pool must decode the same stream.
+  util::ThreadPool other(2);
+  compress::BlockLzCodec codec(block, &other);
+  auto round = codec.decompress(reference);
+  ASSERT_TRUE(round);
+  EXPECT_EQ(round.value(), payload);
+}
+
+TEST(DataplaneParity, BlockLzEdgeSizes) {
+  util::ThreadPool pool(3);
+  const size_t block = 1024;
+  compress::BlockLzCodec codec(block, &pool);
+  for (size_t n : {0UL, 1UL, block - 1, block, block + 1, 4 * block}) {
+    std::vector<uint8_t> payload(n);
+    for (size_t i = 0; i < n; ++i) payload[i] = static_cast<uint8_t>(i * 37);
+    auto compressed = codec.compress(payload);
+    auto round = codec.decompress(compressed);
+    ASSERT_TRUE(round) << "n=" << n;
+    EXPECT_EQ(round.value(), payload) << "n=" << n;
+  }
+}
+
+TEST(DataplaneParity, BlockLzRejectsCorruptStream) {
+  util::ThreadPool pool(2);
+  compress::BlockLzCodec codec(1024, &pool);
+  std::vector<uint8_t> payload(5000, 0x42);
+  auto compressed = codec.compress(payload);
+  ASSERT_GT(compressed.size(), 16u);
+  compressed[compressed.size() / 2] ^= 0xFF;
+  EXPECT_FALSE(codec.decompress(compressed));
+}
+
+}  // namespace
+}  // namespace pico
