@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "compress/codec.hpp"
+#include "telemetry/metrics.hpp"
 #include "tensor/ops.hpp"
 #include "util/bytes.hpp"
 #include "util/crc64.hpp"
@@ -295,6 +296,50 @@ int main(int argc, char** argv) {
     reports.push_back(std::move(r));
   }
 
+  // ---- pool telemetry: publish the ThreadPool profiling counters ----------
+  // One series per pool width, exported both as Prometheus text (validated by
+  // tools/check_telemetry.py in CI) and inside the JSON baseline.
+  telemetry::MetricsRegistry registry;
+  Json pool_stats = Json::array();
+  for (size_t i = 0; i < widths.size(); ++i) {
+    const util::PoolStats s = pools[i]->stats();
+    telemetry::Labels labels{{"threads", std::to_string(widths[i])}};
+    registry
+        .counter("pool_tasks_submitted_total", "Tasks enqueued via submit()",
+                 labels)
+        .inc(static_cast<double>(s.tasks_submitted));
+    registry
+        .counter("pool_batches_total", "parallel_chunks invocations", labels)
+        .inc(static_cast<double>(s.batches));
+    registry
+        .counter("pool_chunks_executed_total",
+                 "Work chunks drained across all threads", labels)
+        .inc(static_cast<double>(s.chunks_executed));
+    registry
+        .counter("pool_caller_chunks_total",
+                 "Chunks drained inline by the submitting thread", labels)
+        .inc(static_cast<double>(s.caller_chunks));
+    registry
+        .counter("pool_chunk_time_seconds_total",
+                 "Wall time spent inside chunk bodies, summed over threads",
+                 labels)
+        .inc(static_cast<double>(s.chunk_time_ns) * 1e-9);
+    registry
+        .gauge("pool_max_queue_depth", "Peak pending-task backlog observed",
+               labels)
+        .set(static_cast<double>(s.max_queue_depth));
+    pool_stats.push_back(Json::object({
+        {"threads", static_cast<int64_t>(widths[i])},
+        {"tasks_submitted", static_cast<int64_t>(s.tasks_submitted)},
+        {"batches", static_cast<int64_t>(s.batches)},
+        {"chunks_executed", static_cast<int64_t>(s.chunks_executed)},
+        {"caller_chunks", static_cast<int64_t>(s.caller_chunks)},
+        {"chunk_time_s", static_cast<double>(s.chunk_time_ns) * 1e-9},
+        {"max_queue_depth", static_cast<int64_t>(s.max_queue_depth)},
+    }));
+  }
+  util::write_file("BENCH_dataplane.prom", registry.to_prometheus());
+
   // ---- emit the machine-readable baseline ---------------------------------
   Json kernels = Json::array();
   bool all_parity = true;
@@ -315,9 +360,12 @@ int main(int argc, char** argv) {
        }()},
       {"parity_all", all_parity},
       {"kernels", kernels},
+      {"pools", pool_stats},
   });
   const char* out_path = "BENCH_dataplane.json";
   util::write_file(out_path, doc.dump(2) + "\n");
+  std::printf("wrote BENCH_dataplane.prom (%zu metric families)\n",
+              registry.family_count());
   std::printf("\nwrote %s (%s)\n", out_path,
               all_parity ? "all parallel kernels byte-identical to sequential"
                          : "PARITY FAILURES — see above");

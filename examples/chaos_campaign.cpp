@@ -15,6 +15,9 @@
 #include "core/facility.hpp"
 #include "core/report.hpp"
 #include "fault/schedule.hpp"
+#include "portal/telemetry_page.hpp"
+#include "telemetry/export.hpp"
+#include "util/bytes.hpp"
 
 using namespace pico;
 
@@ -61,6 +64,22 @@ int main(int argc, char** argv) {
 
   std::printf("%s\n", core::render_robustness(result).c_str());
   std::printf("%s\n", core::render_fig4(result).c_str());
+
+  // Telemetry exports: causal trace (campaign -> run -> step -> attempt with
+  // fault windows and breaker flips as span events), Prometheus snapshot,
+  // and the telemetry dashboard page.
+  util::write_file("chaos-output/trace.json",
+                   telemetry::to_chrome_trace(facility.trace()));
+  util::write_file("chaos-output/metrics.prom",
+                   facility.telemetry().metrics.to_prometheus());
+  auto summary = facility.telemetry().summarize(facility.trace());
+  util::write_file("chaos-output/telemetry.html",
+                   portal::render_telemetry_html(summary,
+                                                 "Chaos campaign telemetry"));
+  std::printf("telemetry: chaos-output/trace.json, metrics.prom, "
+              "telemetry.html (%zu spans, %zu metric families)\n",
+              summary.span_count,
+              facility.telemetry().metrics.family_count());
 
   // Exit nonzero if recovery could not hold the acceptance bar.
   size_t logical = result.in_window.size() + result.late.size();

@@ -68,6 +68,10 @@ util::Result<TaskId> ComputeService::submit(const EndpointId& endpoint,
   task.function = function;
   task.args = std::move(args);
   task.info.submitted = engine_->now();
+  if (telemetry_) {
+    // Context parent: the flow attempt span scoped around provider->start().
+    task.span = telemetry_->tracer.open("compute", id);
+  }
   tasks_[id] = std::move(task);
 
   // Cloud dispatch hop, then the task joins the endpoint queue.
@@ -199,14 +203,51 @@ void ComputeService::run_task_on_node(const EndpointId& eid, size_t node_index,
           }
           logger().warn("%s: node %s failed mid-task", eid.c_str(),
                         job_for_log.c_str());
-          if (trace_) {
+          if (telemetry_) {
+            telemetry_->tracer.event(t.span, "node-failure", t.info.completed,
+                                     util::Json::object({{"job", job_for_log}}));
+            telemetry_->tracer.close(t.span, "node-failure", t.info.started,
+                                     t.info.completed, {});
+            t.span = 0;
+            telemetry_->metrics
+                .counter("compute_node_failures_total",
+                         "Warm nodes lost to injected mid-task failures")
+                .inc();
+            telemetry_->metrics
+                .counter("compute_tasks_total",
+                         "Compute tasks by terminal state",
+                         {{"state", "node_failure"}})
+                .inc();
+          } else if (trace_) {
             trace_->add(sim::Span{"compute", "node-failure", tid,
                                   t.info.started, t.info.completed, {}});
           }
           pump_endpoint(eid);
           return;
         }
-        if (trace_) {
+        if (telemetry_) {
+          telemetry_->tracer.close(
+              t.span, result ? "active" : "failed", t.info.started,
+              t.info.completed,
+              util::Json::object({{"function", t.function},
+                                  {"cold_start", t.info.cold_start}}));
+          t.span = 0;
+          telemetry_->metrics
+              .counter("compute_tasks_total",
+                       "Compute tasks by terminal state",
+                       {{"state", result ? "succeeded" : "failed"}})
+              .inc();
+          if (t.info.cold_start) {
+            telemetry_->metrics
+                .counter("compute_cold_starts_total",
+                         "Tasks that had to provision/warm a fresh node")
+                .inc();
+          }
+          telemetry_->metrics
+              .histogram("compute_task_active_seconds",
+                         "Service-side execution time per compute task")
+              .observe((t.info.completed - t.info.started).seconds());
+        } else if (trace_) {
           trace_->add(sim::Span{
               "compute", result ? "active" : "failed", tid, t.info.started,
               t.info.completed,

@@ -20,6 +20,7 @@
 #include "hpcsim/pbs.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 
@@ -82,6 +83,13 @@ class ComputeService {
   /// Register an endpoint backed by a PBS scheduler.
   EndpointId register_endpoint(EndpointConfig config);
 
+  /// Attach facility telemetry: task spans join the causal tree (parented to
+  /// the submitting flow attempt via tracer context), node failures become
+  /// span events, and compute_* metrics are maintained.
+  void set_telemetry(telemetry::Telemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
+
   /// Submit fn(args) to an endpoint. Requires scope "compute".
   util::Result<TaskId> submit(const EndpointId& endpoint,
                               const FunctionId& function,
@@ -128,6 +136,7 @@ class ComputeService {
     util::Json args;
     TaskInfo info;
     std::optional<util::Json> output;
+    uint64_t span = 0;  ///< open telemetry span (0 = none)
   };
 
   void pump_endpoint(const EndpointId& eid);
@@ -140,6 +149,7 @@ class ComputeService {
   auth::AuthService* auth_;
   util::Rng rng_;
   sim::Trace* trace_;
+  telemetry::Telemetry* telemetry_ = nullptr;
   std::map<FunctionId, Function> functions_;
   std::map<EndpointId, Endpoint> endpoints_;
   std::map<TaskId, Task> tasks_;

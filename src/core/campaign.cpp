@@ -247,7 +247,15 @@ struct Driver : std::enable_shared_from_this<Driver> {
     done.id = id;
     done.label = label;
     done.success = success;
-    if (!id.empty()) done.timing = facility->flows().timing(id);
+    if (!id.empty()) {
+      // The span tree is the source of truth: the flow service closes the
+      // run/step spans (integer-ns attributes) before firing the finished
+      // callback, so the timing rebuilt here is bit-identical to its own
+      // bookkeeping. Facilities without telemetry fall back to the service.
+      if (!flow::timing_from_spans(facility->trace(), id, &done.timing)) {
+        done.timing = facility->flows().timing(id);
+      }
+    }
     double settled_at = id.empty() ? facility->engine().now().seconds()
                                    : done.timing.finished.seconds();
     if (!success) {
@@ -348,9 +356,20 @@ CampaignResult run_campaign(Facility& facility, const CampaignConfig& config) {
     driver->install_crash_events();
   }
 
-  facility.engine().schedule_at(sim::SimTime::zero(),
-                                [driver] { driver->start_cycle(); });
-  facility.engine().run();
+  // Campaign root span: every flow run started while the scope is active
+  // (including fault-injector events, which attach to the current context)
+  // parents to it, so the exported trace nests campaign -> run -> step ->
+  // provider attempt.
+  telemetry::Tracer& tracer = facility.telemetry().tracer;
+  sim::SimTime campaign_start = facility.engine().now();
+  uint64_t campaign_span =
+      tracer.open("campaign", config.label_prefix, /*parent=*/0);
+  {
+    telemetry::Tracer::Scope scope(tracer, campaign_span);
+    facility.engine().schedule_at(sim::SimTime::zero(),
+                                  [driver] { driver->start_cycle(); });
+    facility.engine().run();
+  }
 
   // Robustness accounting sourced from the services after the run.
   RobustnessStats& rb = result.robustness;
@@ -364,6 +383,36 @@ CampaignResult run_campaign(Facility& facility, const CampaignConfig& config) {
           config.chaos.downtime_s(event.kind, config.duration_s);
     }
   }
+
+  tracer.close(campaign_span, "campaign", campaign_start,
+               facility.engine().now(),
+               util::Json::object({
+                   {"use_case", use_case_name(config.use_case)},
+                   {"label_prefix", config.label_prefix},
+                   {"in_window", static_cast<int64_t>(result.in_window.size())},
+                   {"late", static_cast<int64_t>(result.late.size())},
+                   {"failed", static_cast<int64_t>(result.failed)},
+                   {"launches", static_cast<int64_t>(rb.launches)},
+                   {"resubmits", static_cast<int64_t>(rb.resubmits)},
+                   {"chaos", config.chaos.name},
+               }));
+  telemetry::MetricsRegistry& metrics = facility.telemetry().metrics;
+  metrics
+      .counter("campaign_flows_total", "Flows settled per campaign, by bucket",
+               {{"bucket", "in_window"}})
+      .inc(static_cast<double>(result.in_window.size()));
+  metrics
+      .counter("campaign_flows_total", "Flows settled per campaign, by bucket",
+               {{"bucket", "late"}})
+      .inc(static_cast<double>(result.late.size()));
+  metrics
+      .counter("campaign_flows_total", "Flows settled per campaign, by bucket",
+               {{"bucket", "failed"}})
+      .inc(static_cast<double>(result.failed));
+  metrics
+      .gauge("campaign_duration_seconds",
+             "Virtual length of the most recent campaign window")
+      .set(config.duration_s);
 
   logger().info("%s campaign: %zu in-window flows, %zu late, %zu failed",
                 use_case_name(config.use_case).c_str(),

@@ -71,6 +71,12 @@ Facility::Facility(FacilityConfig config)
   flows_->register_provider(compute_provider_.get());
   flows_->register_provider(search_provider_.get());
 
+  // Thread telemetry through every instrumented service: one tracer (sinking
+  // into trace_) and one metrics registry for the whole facility.
+  transfer_->set_telemetry(&telemetry_);
+  compute_->set_telemetry(&telemetry_);
+  flows_->set_telemetry(&telemetry_);
+
   user_identity_ = "operator@anl.gov";
   user_token_ = auth_.issue(
       user_identity_, {"transfer", "compute", "search.ingest", "flows"});
@@ -124,6 +130,7 @@ util::Result<fault::FaultInjector*> Facility::install_faults(
   services.expire_token = [this] { auth_.revoke(user_token_); };
   services.default_endpoint = polaris_ep_;
   injector_ = std::make_unique<fault::FaultInjector>(std::move(services));
+  injector_->set_telemetry(&telemetry_);
   auto installed = injector_->install(schedule);
   if (!installed) {
     injector_.reset();

@@ -22,6 +22,7 @@
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 #include "storage/store.hpp"
+#include "telemetry/telemetry.hpp"
 #include "transfer/service.hpp"
 
 namespace pico::core {
@@ -61,6 +62,10 @@ class Facility {
 
   sim::Engine& engine() { return engine_; }
   sim::Trace& trace() { return trace_; }
+  /// Facility-wide telemetry: causal tracer (sinking into trace()) plus the
+  /// metrics registry every service reports into.
+  telemetry::Telemetry& telemetry() { return telemetry_; }
+  const telemetry::Telemetry& telemetry() const { return telemetry_; }
   net::Topology& topology() { return topo_; }
   net::Network& network() { return *network_; }
   storage::Store& user_store() { return user_store_; }
@@ -116,6 +121,7 @@ class Facility {
   FacilityConfig config_;
   sim::Engine engine_;
   sim::Trace trace_;
+  telemetry::Telemetry telemetry_{&trace_};
   net::Topology topo_;
   net::NodeId user_node_ = 0, eagle_node_ = 0;
   net::LinkId user_switch_link_ = 0, backbone_link_ = 0;

@@ -184,6 +184,8 @@ std::string render_robustness(const CampaignResult& result) {
                   runtime.mean(), overhead.mean(),
                   runtime.mean() > 0 ? 100.0 * overhead.mean() / runtime.mean()
                                      : 0.0);
+    out += format("  runtime quantiles: %s\n",
+                  util::Quantiles::from(runtime).to_string().c_str());
   }
   return out;
 }

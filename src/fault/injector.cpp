@@ -82,6 +82,21 @@ void FaultInjector::begin_event(const FaultEvent& event) {
                               s_.engine->now().seconds(), true});
   logger().info("t=%.1fs fault begin: %s %s", s_.engine->now().seconds(),
                 fault_kind_name(event.kind).c_str(), event.target.c_str());
+  if (telemetry_) {
+    telemetry_->metrics
+        .counter("fault_injections_total", "Fault windows applied, by kind",
+                 {{"kind", fault_kind_name(event.kind)}})
+        .inc();
+    if (uint64_t span = telemetry_->tracer.current()) {
+      telemetry_->tracer.event(span, "fault-begin", s_.engine->now(),
+                               util::Json::object({
+                                   {"kind", fault_kind_name(event.kind)},
+                                   {"target", event.target},
+                                   {"severity", event.severity},
+                                   {"duration_s", event.duration_s},
+                               }));
+    }
+  }
 
   if (event.kind == FaultKind::TokenExpiry) {
     s_.expire_token();
@@ -140,6 +155,15 @@ void FaultInjector::end_event(const FaultEvent& event) {
                               s_.engine->now().seconds(), false});
   logger().info("t=%.1fs fault end: %s %s", s_.engine->now().seconds(),
                 fault_kind_name(event.kind).c_str(), event.target.c_str());
+  if (telemetry_) {
+    if (uint64_t span = telemetry_->tracer.current()) {
+      telemetry_->tracer.event(span, "fault-end", s_.engine->now(),
+                               util::Json::object({
+                                   {"kind", fault_kind_name(event.kind)},
+                                   {"target", event.target},
+                               }));
+    }
+  }
 
   int depth = --depth_[overlap_key(event)];
   if (depth > 0 && event.kind != FaultKind::LinkDegrade) return;

@@ -17,6 +17,7 @@
 #include "net/network.hpp"
 #include "net/topology.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/telemetry.hpp"
 #include "transfer/service.hpp"
 
 namespace pico::fault {
@@ -48,6 +49,13 @@ class FaultInjector {
 
   explicit FaultInjector(Services services) : s_(std::move(services)) {}
 
+  /// Attach facility telemetry: every applied fault window becomes a span
+  /// event on the current tracer context (the campaign root span when driven
+  /// by a campaign) and bumps fault_injections_total{kind}.
+  void set_telemetry(telemetry::Telemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
+
   /// Schedule every event in virtual time. Call once, before engine.run().
   /// Errors on unknown link targets or missing service pointers for the
   /// kinds the schedule actually uses.
@@ -62,6 +70,7 @@ class FaultInjector {
   std::string overlap_key(const FaultEvent& event) const;
 
   Services s_;
+  telemetry::Telemetry* telemetry_ = nullptr;
   FaultSchedule schedule_;
   std::map<std::string, int> depth_;  ///< overlap count per (kind, target)
   std::map<net::LinkId, double> saved_capacity_;

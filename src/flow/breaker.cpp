@@ -18,6 +18,19 @@ CircuitBreaker::State CircuitBreaker::state(sim::SimTime now) const {
   return state_;
 }
 
+void CircuitBreaker::transition(State to, sim::SimTime at) {
+  if (state_ == to) return;
+  State from = state_;
+  state_ = to;
+  if (observer_) observer_(from, to, at);
+}
+
+void CircuitBreaker::commit_decay(sim::SimTime now) {
+  if (state_ == State::Open && now >= open_until_) {
+    transition(State::HalfOpen, open_until_);
+  }
+}
+
 double CircuitBreaker::retry_after_s(sim::SimTime now) {
   if (!config_.enabled) return 0.0;
   switch (state(now)) {
@@ -26,7 +39,7 @@ double CircuitBreaker::retry_after_s(sim::SimTime now) {
     case State::Open:
       return std::max(0.0, (open_until_ - now).seconds());
     case State::HalfOpen:
-      state_ = State::HalfOpen;
+      commit_decay(now);
       if (probe_in_flight_) {
         // Someone else is probing; callers wait roughly another cooldown so
         // they re-check after the probe has had time to resolve.
@@ -51,14 +64,16 @@ double CircuitBreaker::peek_retry_after_s(sim::SimTime now) const {
   return 0.0;
 }
 
-void CircuitBreaker::record_success() {
+void CircuitBreaker::record_success(sim::SimTime now) {
+  commit_decay(now);
   consecutive_failures_ = 0;
   probe_in_flight_ = false;
-  state_ = State::Closed;
+  transition(State::Closed, now);
 }
 
 void CircuitBreaker::record_failure(sim::SimTime now) {
   if (!config_.enabled) return;
+  commit_decay(now);
   probe_in_flight_ = false;
   ++consecutive_failures_;
   State s = state(now);
@@ -66,8 +81,8 @@ void CircuitBreaker::record_failure(sim::SimTime now) {
                      (s == State::Closed &&
                       consecutive_failures_ >= config_.failure_threshold);
   if (should_trip) {
-    state_ = State::Open;
     open_until_ = now + sim::Duration::from_seconds(config_.cooldown_s);
+    transition(State::Open, now);
     ++trips_;
   }
 }

@@ -6,6 +6,7 @@
 // consecutive failures across all runs, fails dispatches fast while open, and
 // half-opens after a cooldown so a single probe discovers recovery.
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "sim/time.hpp"
@@ -26,7 +27,18 @@ class CircuitBreaker {
  public:
   enum class State { Closed, Open, HalfOpen };
 
+  /// Observes every committed state change. `at` is the logical transition
+  /// time: trips and closes happen at the triggering call's `now`, while the
+  /// lazily-committed Open -> HalfOpen decay is stamped with the moment the
+  /// cooldown elapsed (open_until), not the later call that observed it.
+  using TransitionObserver =
+      std::function<void(State from, State to, sim::SimTime at)>;
+
   explicit CircuitBreaker(BreakerConfig config = {}) : config_(config) {}
+
+  void set_observer(TransitionObserver observer) {
+    observer_ = std::move(observer);
+  }
 
   /// Current state; Open lazily decays to HalfOpen once the cooldown elapses.
   State state(sim::SimTime now) const;
@@ -40,7 +52,10 @@ class CircuitBreaker {
   /// For reporting and scheduling hints.
   double peek_retry_after_s(sim::SimTime now) const;
 
-  void record_success();
+  /// `now` stamps the resulting transition for observers; the default keeps
+  /// time-agnostic callers (unit tests) compiling, at the cost of a t=0
+  /// timestamp on the close event.
+  void record_success(sim::SimTime now = sim::SimTime{});
   void record_failure(sim::SimTime now);
 
   /// Times the breaker transitioned Closed/HalfOpen -> Open.
@@ -51,7 +66,14 @@ class CircuitBreaker {
   static std::string state_name(State s);
 
  private:
+  /// Commit a state change and notify the observer. No-op if already there.
+  void transition(State to, sim::SimTime at);
+  /// Commit the lazy Open -> HalfOpen decay (stamped at open_until_) so the
+  /// observer sees it before whatever transition follows.
+  void commit_decay(sim::SimTime now);
+
   BreakerConfig config_;
+  TransitionObserver observer_;
   State state_ = State::Closed;
   int consecutive_failures_ = 0;
   int trips_ = 0;

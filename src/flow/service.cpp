@@ -36,6 +36,34 @@ void FlowService::register_provider(ActionProvider* provider) {
   providers_[provider->name()] = provider;
 }
 
+void FlowService::set_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+}
+
+void FlowService::on_breaker_transition(const std::string& provider,
+                                        CircuitBreaker::State from,
+                                        CircuitBreaker::State to,
+                                        sim::SimTime at) {
+  if (!telemetry_) return;
+  std::string to_name = to == CircuitBreaker::State::Open        ? "open"
+                        : to == CircuitBreaker::State::HalfOpen ? "half_open"
+                                                                : "closed";
+  telemetry_->metrics
+      .counter("flow_breaker_transitions_total",
+               "Circuit breaker state transitions by provider and new state",
+               {{"provider", provider}, {"to", to_name}})
+      .inc();
+  if (active_step_span_ != 0) {
+    telemetry_->tracer.event(
+        active_step_span_, "breaker-" + to_name, at,
+        util::Json::object({
+            {"provider", provider},
+            {"from", CircuitBreaker::state_name(from)},
+            {"to", CircuitBreaker::state_name(to)},
+        }));
+  }
+}
+
 double FlowService::jittered(double base) {
   double f = config_.latency_jitter_frac;
   return std::max(0.05, base * rng_.uniform(1.0 - f, 1.0 + f));
@@ -62,6 +90,11 @@ util::Result<RunId> FlowService::start(const FlowDefinition& definition,
   run.info.input = std::move(input);
   run.timing.submitted = engine_->now();
   run.token = token;
+  if (telemetry_) {
+    // Parent comes from the tracer context: the campaign scope when driven by
+    // a campaign, else root.
+    run.run_span = telemetry_->tracer.open("flow", id);
+  }
   runs_[id] = std::move(run);
 
   engine_->schedule_after(
@@ -145,6 +178,11 @@ void FlowService::dispatch_step(const RunId& id) {
     // Retry: keep the original dispatch time, bump the retry counter.
     run.timing.steps[run.info.current_step].retries = run.retries_this_step;
   }
+  if (telemetry_ && run.step_span == 0) {
+    run.step_span =
+        telemetry_->tracer.open("flow", id + "/" + step.name, run.run_span);
+  }
+  active_step_span_ = run.step_span;
 
   // Circuit-breaker gate: while the provider's breaker is open, fail fast —
   // the wait consumes one retry and the re-dispatch lands when the breaker
@@ -156,6 +194,21 @@ void FlowService::dispatch_step(const RunId& id) {
     if (run.retries_this_step < step.max_retries) {
       ++run.retries_this_step;
       run.timing.steps[run.info.current_step].retries = run.retries_this_step;
+      if (telemetry_) {
+        telemetry_->metrics
+            .counter("flow_breaker_deferrals_total",
+                     "Step dispatches deferred because the provider breaker "
+                     "was open",
+                     {{"provider", step.provider}})
+            .inc();
+        telemetry_->tracer.event(run.step_span, "breaker-deferred",
+                                 engine_->now(),
+                                 util::Json::object({
+                                     {"provider", step.provider},
+                                     {"wait_s", open_wait},
+                                     {"retry", run.retries_this_step},
+                                 }));
+      }
       logger().debug("%s: breaker open for %s, retry %d deferred %.1fs",
                      id.c_str(), step.provider.c_str(), run.retries_this_step,
                      open_wait);
@@ -177,7 +230,21 @@ void FlowService::dispatch_step(const RunId& id) {
     return;
   }
 
-  auto handle = provider->start(resolved, run.token);
+  if (telemetry_) {
+    run.attempt_span = telemetry_->tracer.open(
+        "flow",
+        id + "/" + step.name + "#" +
+            std::to_string(run.retries_this_step),
+        run.step_span);
+    run.attempt_started = engine_->now();
+  }
+  util::Result<ActionHandle> handle = [&] {
+    // Scope the attempt span around the provider call so the service-side
+    // task (transfer/compute) parents to this attempt via tracer context.
+    if (!telemetry_) return provider->start(resolved, run.token);
+    telemetry::Tracer::Scope scope(telemetry_->tracer, run.attempt_span);
+    return provider->start(resolved, run.token);
+  }();
   if (!handle) {
     breaker.record_failure(engine_->now());
     step_attempt_failed(id,
@@ -212,6 +279,14 @@ void FlowService::poll_step(const RunId& id, uint64_t epoch) {
   ActionProvider* provider = providers_.at(step.provider);
   StepTiming& timing = run.timing.steps[run.info.current_step];
   ++timing.polls;
+  active_step_span_ = run.step_span;
+  if (telemetry_) {
+    telemetry_->metrics
+        .counter("flow_polls_total", "Completion polls issued by the flow "
+                                     "orchestrator, by provider",
+                 {{"provider", step.provider}})
+        .inc();
+  }
 
   ActionPollResult poll = provider->poll(run.current_handle);
   switch (poll.status) {
@@ -252,6 +327,19 @@ void FlowService::timeout_step(const RunId& id, uint64_t epoch) {
   const ActionState& step = run.definition.steps[run.info.current_step];
   run.timing.steps[run.info.current_step].timeouts += 1;
   ++total_timeouts_;
+  active_step_span_ = run.step_span;
+  if (telemetry_) {
+    telemetry_->metrics
+        .counter("flow_timeouts_total",
+                 "Step attempts abandoned via per-step timeout, by provider",
+                 {{"provider", step.provider}})
+        .inc();
+    telemetry_->tracer.event(run.step_span, "timeout", engine_->now(),
+                             util::Json::object({
+                                 {"provider", step.provider},
+                                 {"timeout_s", step.timeout_s},
+                             }));
+  }
   breaker_for(step.provider).record_failure(engine_->now());
   logger().warn("%s: step %s timed out after %.1fs (attempt abandoned)",
                 id.c_str(), step.name.c_str(), step.timeout_s);
@@ -271,11 +359,35 @@ void FlowService::step_attempt_failed(const RunId& id, const std::string& error,
   const ActionState& step = run.definition.steps[run.info.current_step];
   uint64_t epoch = ++run.epoch;  // abandon the failed attempt's events
 
+  active_step_span_ = run.step_span;
+  if (telemetry_ && run.attempt_span != 0) {
+    telemetry_->tracer.close(run.attempt_span, "attempt", run.attempt_started,
+                             engine_->now(),
+                             util::Json::object({
+                                 {"provider", step.provider},
+                                 {"outcome", "failed"},
+                                 {"error", error},
+                             }));
+    run.attempt_span = 0;
+  }
+
   if (run.retries_this_step >= step.max_retries) {
     fail_run(id, error);
     return;
   }
   ++run.retries_this_step;
+  if (telemetry_) {
+    telemetry_->metrics
+        .counter("flow_retries_total",
+                 "Step attempt re-dispatches after failure, by provider",
+                 {{"provider", step.provider}})
+        .inc();
+    telemetry_->tracer.event(run.step_span, "retry", engine_->now(),
+                             util::Json::object({
+                                 {"retry", run.retries_this_step},
+                                 {"error", error},
+                             }));
+  }
   logger().debug("%s: step %s attempt failed (%s), retry %d", id.c_str(),
                  step.name.c_str(), error.c_str(), run.retries_this_step);
   if (retry_delay_s <= 0) {
@@ -299,13 +411,43 @@ void FlowService::complete_step(const RunId& id, const ActionPollResult& poll) {
   Run& run = it->second;
   const ActionState& step = run.definition.steps[run.info.current_step];
   ++run.epoch;  // invalidate any pending timeout for this attempt
-  breaker_for(step.provider).record_success();
+  active_step_span_ = run.step_span;
+  breaker_for(step.provider).record_success(engine_->now());
   StepTiming& timing = run.timing.steps[run.info.current_step];
   timing.service_started = poll.service_started;
   timing.service_completed = poll.service_completed;
   timing.discovered = engine_->now();
   run.info.step_outputs[step.name] = poll.output;
-  if (trace_) {
+  if (telemetry_) {
+    if (run.attempt_span != 0) {
+      telemetry_->tracer.close(run.attempt_span, "attempt",
+                               run.attempt_started, engine_->now(),
+                               util::Json::object({
+                                   {"provider", step.provider},
+                                   {"outcome", "ok"},
+                               }));
+      run.attempt_span = 0;
+    }
+    close_step_span(run, "step");
+    telemetry_->metrics
+        .histogram("flow_step_active_seconds",
+                   "Service-side active time per completed step",
+                   {{"step", step.name}})
+        .observe(timing.active_s());
+    telemetry_->metrics
+        .histogram("flow_step_overhead_seconds",
+                   "Orchestration overhead (dispatch->discovery minus active) "
+                   "per completed step",
+                   {{"step", step.name}})
+        .observe(std::max(
+            0.0, (timing.discovered - timing.dispatched).seconds() -
+                     timing.active_s()));
+    telemetry_->metrics
+        .histogram("flow_discovery_lag_seconds",
+                   "Poll-discovery lag between service completion and the "
+                   "orchestrator observing it")
+        .observe(timing.discovery_lag_s());
+  } else if (trace_) {
     trace_->add(sim::Span{"flow", "step", id + "/" + step.name,
                           timing.dispatched, timing.discovered,
                           util::Json::object({
@@ -347,6 +489,25 @@ void FlowService::fail_run(const RunId& id, const std::string& error) {
   run.info.state = RunState::Failed;
   run.info.error = error;
   run.timing.finished = engine_->now();
+  // Close spans before the finished callback: campaign drivers rebuild the
+  // run's timing from the span tree inside that callback.
+  if (telemetry_) {
+    if (run.attempt_span != 0) {
+      telemetry_->tracer.close(run.attempt_span, "attempt",
+                               run.attempt_started, engine_->now(),
+                               util::Json::object({
+                                   {"outcome", "abandoned"},
+                                   {"error", error},
+                               }));
+      run.attempt_span = 0;
+    }
+    close_step_span(run, "step-failed");
+    close_run_span(run, "run-failed");
+    telemetry_->metrics
+        .counter("flow_runs_total", "Flow runs settled, by terminal state",
+                 {{"state", "failed"}})
+        .inc();
+  }
   logger().warn("%s failed: %s", id.c_str(), error.c_str());
   if (run.finished_cb) run.finished_cb(id, run.info);
 }
@@ -360,7 +521,21 @@ void FlowService::finish_run(const RunId& id) {
   logger().debug("%s succeeded: total %.1fs active %.1fs overhead %.1fs",
                  id.c_str(), run.timing.total_s(), run.timing.active_s(),
                  run.timing.overhead_s());
-  if (trace_) {
+  if (telemetry_) {
+    close_run_span(run, "run");
+    telemetry_->metrics
+        .counter("flow_runs_total", "Flow runs settled, by terminal state",
+                 {{"state", "succeeded"}})
+        .inc();
+    telemetry_->metrics
+        .histogram("flow_run_total_seconds",
+                   "End-to-end wall time per succeeded run")
+        .observe(run.timing.total_s());
+    telemetry_->metrics
+        .histogram("flow_run_overhead_seconds",
+                   "Total orchestration overhead per succeeded run")
+        .observe(run.timing.overhead_s());
+  } else if (trace_) {
     trace_->add(sim::Span{"flow", "run", id, run.timing.submitted,
                           run.timing.finished,
                           util::Json::object({
@@ -370,6 +545,47 @@ void FlowService::finish_run(const RunId& id) {
                           })});
   }
   if (run.finished_cb) run.finished_cb(id, run.info);
+}
+
+void FlowService::close_step_span(Run& run, const std::string& category) {
+  if (!telemetry_ || run.step_span == 0) return;
+  uint64_t span = run.step_span;
+  run.step_span = 0;
+  if (active_step_span_ == span) active_step_span_ = 0;
+  if (run.info.current_step >= run.timing.steps.size()) return;
+  const StepTiming& t = run.timing.steps[run.info.current_step];
+  sim::SimTime end = category == "step" ? t.discovered : engine_->now();
+  // Every StepTiming field rides as an integer-ns attribute so RunTiming can
+  // be reconstructed exactly (bit-for-bit) from the span tree.
+  telemetry_->tracer.close(span, category, t.dispatched, end,
+                           util::Json::object({
+                               {"active_s", t.active_s()},
+                               {"lag_s", t.discovery_lag_s()},
+                               {"polls", t.polls},
+                               {"retries", t.retries},
+                               {"timeouts", t.timeouts},
+                               {"step", t.name},
+                               {"dispatched_ns", t.dispatched.ns},
+                               {"service_started_ns", t.service_started.ns},
+                               {"service_completed_ns", t.service_completed.ns},
+                               {"discovered_ns", t.discovered.ns},
+                           }));
+}
+
+void FlowService::close_run_span(Run& run, const std::string& category) {
+  if (!telemetry_ || run.run_span == 0) return;
+  uint64_t span = run.run_span;
+  run.run_span = 0;
+  telemetry_->tracer.close(span, category, run.timing.submitted,
+                           run.timing.finished,
+                           util::Json::object({
+                               {"active_s", run.timing.active_s()},
+                               {"overhead_s", run.timing.overhead_s()},
+                               {"label", run.info.label},
+                               {"error", run.info.error},
+                               {"submitted_ns", run.timing.submitted.ns},
+                               {"finished_ns", run.timing.finished.ns},
+                           }));
 }
 
 const RunInfo& FlowService::info(const RunId& id) const {
@@ -387,6 +603,37 @@ const RunTiming& FlowService::timing(const RunId& id) const {
   static const RunTiming kMissing;
   auto it = runs_.find(id);
   return it == runs_.end() ? kMissing : it->second.timing;
+}
+
+bool timing_from_spans(const sim::Trace& trace, const RunId& id,
+                       RunTiming* out) {
+  const sim::Span* run = trace.find("flow", "run", id);
+  if (!run) run = trace.find("flow", "run-failed", id);
+  if (!run || run->span_id == 0) return false;
+
+  RunTiming t;
+  t.submitted = sim::SimTime{run->attrs.at("submitted_ns").as_int()};
+  t.finished = sim::SimTime{run->attrs.at("finished_ns").as_int()};
+  // Step spans close in dispatch order (the orchestrator is sequential per
+  // run), so recording order is step order.
+  for (const sim::Span* child : trace.children_of(run->span_id)) {
+    if (child->component != "flow") continue;
+    if (child->category != "step" && child->category != "step-failed") continue;
+    StepTiming s;
+    s.name = child->attrs.at("step").as_string();
+    s.dispatched = sim::SimTime{child->attrs.at("dispatched_ns").as_int()};
+    s.service_started =
+        sim::SimTime{child->attrs.at("service_started_ns").as_int()};
+    s.service_completed =
+        sim::SimTime{child->attrs.at("service_completed_ns").as_int()};
+    s.discovered = sim::SimTime{child->attrs.at("discovered_ns").as_int()};
+    s.polls = static_cast<int>(child->attrs.at("polls").as_int());
+    s.retries = static_cast<int>(child->attrs.at("retries").as_int());
+    s.timeouts = static_cast<int>(child->attrs.at("timeouts").as_int());
+    t.steps.push_back(std::move(s));
+  }
+  *out = std::move(t);
+  return true;
 }
 
 void FlowService::on_finished(
@@ -423,6 +670,13 @@ CircuitBreaker& FlowService::breaker_for(const std::string& provider) {
   auto it = breakers_.find(provider);
   if (it == breakers_.end()) {
     it = breakers_.emplace(provider, CircuitBreaker(config_.breaker)).first;
+    // Observer installed unconditionally; the handler no-ops when telemetry
+    // is absent, so install order vs set_telemetry() does not matter.
+    it->second.set_observer([this, provider](CircuitBreaker::State from,
+                                             CircuitBreaker::State to,
+                                             sim::SimTime at) {
+      on_breaker_transition(provider, from, to, at);
+    });
   }
   return it->second;
 }

@@ -21,6 +21,7 @@
 #include "flow/breaker.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 
@@ -152,6 +153,13 @@ class FlowService {
   /// Register an action provider under its name().
   void register_provider(ActionProvider* provider);
 
+  /// Attach facility telemetry. With it set, every run/step/provider attempt
+  /// becomes a node in the causal span tree (campaign -> run -> step ->
+  /// attempt), breaker transitions and retry decisions land as span events,
+  /// and the flow_* metric families are maintained. Null (the default) keeps
+  /// the legacy flat trace spans so standalone use needs no setup.
+  void set_telemetry(telemetry::Telemetry* telemetry);
+
   /// Launch a flow run. Requires scope "flows". Runs execute concurrently —
   /// the paper starts new flows while previous ones are still running.
   util::Result<RunId> start(const FlowDefinition& definition, util::Json input,
@@ -206,6 +214,12 @@ class FlowService {
     /// events capture the epoch and no-op if it moved on.
     uint64_t epoch = 0;
     std::function<void(const RunId&, const RunInfo&)> finished_cb;
+    /// Telemetry span ids (0 = none open). The run span parents step spans;
+    /// each step span parents its provider-attempt spans.
+    uint64_t run_span = 0;
+    uint64_t step_span = 0;
+    uint64_t attempt_span = 0;
+    sim::SimTime attempt_started;
   };
 
   void dispatch_step(const RunId& id);
@@ -218,17 +232,41 @@ class FlowService {
   void finish_run(const RunId& id);
   double jittered(double base);
   CircuitBreaker& breaker_for(const std::string& provider);
+  /// Close the step span (if open) carrying the full StepTiming as integer-ns
+  /// attributes, so reports can be rebuilt from the span tree alone.
+  void close_step_span(Run& run, const std::string& category);
+  void close_run_span(Run& run, const std::string& category);
+  void on_breaker_transition(const std::string& provider,
+                             CircuitBreaker::State from,
+                             CircuitBreaker::State to, sim::SimTime at);
 
   sim::Engine* engine_;
   auth::AuthService* auth_;
   FlowServiceConfig config_;
   util::Rng rng_;
   sim::Trace* trace_;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  /// Step span of the run currently being advanced on this stack; breaker
+  /// transition observers attach their events here. Valid because the sim
+  /// engine is single-threaded.
+  uint64_t active_step_span_ = 0;
   std::map<std::string, ActionProvider*> providers_;
   std::map<std::string, CircuitBreaker> breakers_;
   std::map<RunId, Run> runs_;
   uint64_t next_run_ = 1;
   uint64_t total_timeouts_ = 0;
 };
+
+/// Rebuild a settled run's RunTiming purely from its closed span tree: the
+/// ("flow", "run"/"run-failed") span labelled `id` plus its
+/// ("flow", "step"/"step-failed") children, using the integer-ns attributes
+/// the service stamps at close time. The result is bit-identical to
+/// FlowService::timing() — campaign reports regenerated this way match the
+/// service-side bookkeeping byte for byte. Returns false (leaving *out
+/// untouched) when the run span is absent, i.e. telemetry was not attached.
+/// Caller must satisfy the Trace quiescence contract (post-run reporting or
+/// engine-thread callbacks with no concurrent pool writers).
+bool timing_from_spans(const sim::Trace& trace, const RunId& id,
+                       RunTiming* out);
 
 }  // namespace pico::flow

@@ -52,6 +52,8 @@ std::string record_filename(const search::DocId& id) {
 
 }  // namespace
 
+const char* portal_style() { return kStyle; }
+
 std::string Portal::render_record_html(const search::Document& doc) const {
   const util::Json& r = doc.content;
   std::string out = "<!doctype html><html><head><meta charset='utf-8'><title>";

@@ -13,6 +13,9 @@
 
 namespace pico::portal {
 
+/// Shared stylesheet (<style> block) used by every generated portal page.
+const char* portal_style();
+
 struct PortalConfig {
   std::string title = "Dynamic PicoProbe Data Portal";
   std::string output_dir;  ///< directory for generated HTML

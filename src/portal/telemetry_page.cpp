@@ -1,0 +1,128 @@
+#include "portal/telemetry_page.hpp"
+
+#include <algorithm>
+
+#include "portal/portal.hpp"
+#include "util/strings.hpp"
+
+namespace pico::portal {
+namespace {
+
+using util::format;
+using util::html_escape;
+
+std::string box_cells(const util::BoxStats& b) {
+  return format("<td>%.1f</td><td>%.1f</td><td>%.1f</td><td>%.1f</td>"
+                "<td>%.1f</td>",
+                b.min, b.q1, b.median, b.q3, b.max);
+}
+
+/// Fig.-4-style stacked bar: median active vs median overhead share of the
+/// step's median wall time, as inline-styled divs (self-contained page).
+std::string share_bar(double active, double overhead) {
+  double total = active + overhead;
+  if (total <= 0) return "";
+  double pct = 100.0 * active / total;
+  return format(
+      "<div style='display:flex;width:12rem;height:.9rem;"
+      "border:1px solid #ccc'>"
+      "<div style='width:%.1f%%;background:#1a5276' title='active'></div>"
+      "<div style='width:%.1f%%;background:#e67e22' title='overhead'></div>"
+      "</div>",
+      pct, 100.0 - pct);
+}
+
+std::string labels_text(const telemetry::Labels& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += ", ";
+    out += k + "=" + v;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_telemetry_html(const telemetry::TelemetrySummary& summary,
+                                  const std::string& title) {
+  std::string out = "<!doctype html><html><head><meta charset='utf-8'><title>";
+  out += html_escape(title);
+  out += "</title>";
+  out += portal_style();
+  out += "</head><body>";
+  out += "<p><a href='index.html'>&larr; back to portal</a></p>";
+  out += "<h1>" + html_escape(title) + "</h1>";
+  out += format(
+      "<p>%zu spans recorded (%zu in the causal tree), %zu span events.</p>",
+      summary.span_count, summary.traced_span_count, summary.event_count);
+
+  out += "<h2>Flow step decomposition (Fig. 4)</h2>";
+  if (summary.steps.empty()) {
+    out += "<p>No completed flow steps in the trace.</p>";
+  } else {
+    out += "<table><tr><th rowspan='2'>Step</th><th rowspan='2'>n</th>"
+           "<th colspan='5'>Active (s)</th>"
+           "<th colspan='5'>Overhead (s)</th>"
+           "<th rowspan='2'>Median split</th></tr>"
+           "<tr><th>min</th><th>q1</th><th>med</th><th>q3</th><th>max</th>"
+           "<th>min</th><th>q1</th><th>med</th><th>q3</th><th>max</th></tr>";
+    for (const auto& s : summary.steps) {
+      out += "<tr><td>" + html_escape(s.step) + "</td>";
+      out += format("<td>%zu</td>", s.active.count);
+      out += box_cells(s.active);
+      out += box_cells(s.overhead);
+      out += "<td>" + share_bar(s.active.median, s.overhead.median) +
+             "</td></tr>";
+    }
+    out += "</table>";
+  }
+
+  out += "<h2>Provider health</h2>";
+  if (summary.providers.empty()) {
+    out += "<p>No breaker activity or retries recorded.</p>";
+  } else {
+    out += "<table><tr><th>Provider</th><th>breaker &rarr; open</th>"
+           "<th>&rarr; half-open</th><th>&rarr; closed</th>"
+           "<th>retries</th><th>deferrals</th></tr>";
+    for (const auto& p : summary.providers) {
+      out += format(
+          "<tr><td>%s</td><td>%llu</td><td>%llu</td><td>%llu</td>"
+          "<td>%llu</td><td>%llu</td></tr>",
+          html_escape(p.provider).c_str(),
+          static_cast<unsigned long long>(p.to_open),
+          static_cast<unsigned long long>(p.to_half_open),
+          static_cast<unsigned long long>(p.to_closed),
+          static_cast<unsigned long long>(p.retries),
+          static_cast<unsigned long long>(p.deferrals));
+    }
+    out += "</table>";
+  }
+
+  out += "<h2>Metrics snapshot</h2>";
+  if (summary.metrics.empty()) {
+    out += "<p>No metrics registered.</p>";
+  } else {
+    out += "<table><tr><th>Metric</th><th>Labels</th><th>Kind</th>"
+           "<th>Value</th><th>p50</th><th>p90</th><th>max</th><th>n</th></tr>";
+    for (const auto& m : summary.metrics) {
+      out += "<tr><td>" + html_escape(m.name) + "</td><td>" +
+             html_escape(labels_text(m.labels)) + "</td><td>" +
+             telemetry::metric_kind_name(m.kind) + "</td>";
+      out += format("<td>%.10g</td>", m.value);
+      if (m.kind == telemetry::MetricKind::Histogram) {
+        out += format("<td>%.3g</td><td>%.3g</td><td>%.3g</td><td>%llu</td>",
+                      m.p50, m.p90, m.max,
+                      static_cast<unsigned long long>(m.count));
+      } else {
+        out += "<td></td><td></td><td></td><td></td>";
+      }
+      out += "</tr>";
+    }
+    out += "</table>";
+  }
+
+  out += "</body></html>\n";
+  return out;
+}
+
+}  // namespace pico::portal

@@ -1,0 +1,17 @@
+#pragma once
+// Portal telemetry dashboard: renders a TelemetrySummary (built by
+// telemetry::summarize from the campaign span tree + metrics registry) as a
+// static HTML page — the paper's Fig. 4 active-vs-overhead decomposition per
+// flow step, per-provider circuit-breaker/retry health, and the full metrics
+// snapshot. Examples write it next to the generated portal site.
+#include <string>
+
+#include "telemetry/export.hpp"
+
+namespace pico::portal {
+
+std::string render_telemetry_html(const telemetry::TelemetrySummary& summary,
+                                  const std::string& title =
+                                      "Facility telemetry");
+
+}  // namespace pico::portal

@@ -13,6 +13,26 @@ std::vector<const Span*> Trace::select(const std::string& component,
   return out;
 }
 
+const Span* Trace::find(const std::string& component,
+                        const std::string& category,
+                        const std::string& label) const {
+  for (const auto& s : spans_) {
+    if (s.component == component && s.category == category &&
+        s.label == label) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const Span*> Trace::children_of(uint64_t parent_id) const {
+  std::vector<const Span*> out;
+  for (const auto& s : spans_) {
+    if (s.parent_id == parent_id && s.span_id != 0) out.push_back(&s);
+  }
+  return out;
+}
+
 std::string Trace::to_jsonl() const {
   std::string out;
   for (const auto& s : spans_) {
@@ -24,6 +44,22 @@ std::string Trace::to_jsonl() const {
         {"end_s", s.end.seconds()},
         {"attrs", s.attrs},
     });
+    if (s.span_id != 0) {
+      j["trace_id"] = s.trace_id;
+      j["span_id"] = s.span_id;
+      j["parent_id"] = s.parent_id;
+    }
+    if (!s.events.empty()) {
+      util::Json events = util::Json::array();
+      for (const auto& e : s.events) {
+        events.push_back(util::Json::object({
+            {"name", e.name},
+            {"at_s", e.at.seconds()},
+            {"attrs", e.attrs},
+        }));
+      }
+      j["events"] = std::move(events);
+    }
     out += j.dump();
     out.push_back('\n');
   }

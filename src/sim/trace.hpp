@@ -2,6 +2,12 @@
 // Event trace recorder: services append structured spans ("transfer task X
 // active 12.3s") that the campaign reporter aggregates into Table 1 / Fig 4
 // statistics and that tests assert on.
+//
+// Spans carry causal identity (trace_id / span_id / parent_id) so a campaign
+// -> flow run -> step -> provider attempt forms a tree that the telemetry
+// exporters (Chrome trace_event, JSONL) can render hierarchically. Ids are
+// assigned by telemetry::Tracer; spans appended directly keep id 0 (roots).
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -9,6 +15,14 @@
 #include "util/json.hpp"
 
 namespace pico::sim {
+
+/// A point annotation attached to a span (fault injections, breaker state
+/// transitions, retry decisions).
+struct SpanEvent {
+  std::string name;
+  SimTime at;
+  util::Json attrs;
+};
 
 /// A completed interval attributed to a component and category.
 struct Span {
@@ -18,15 +32,30 @@ struct Span {
   SimTime start;
   SimTime end;
   util::Json attrs;       ///< extra structured attributes
+  uint64_t trace_id = 0;  ///< campaign-scoped trace identity (0 = untraced)
+  uint64_t span_id = 0;   ///< unique within the trace (0 = unassigned)
+  uint64_t parent_id = 0; ///< causal parent span (0 = root)
+  std::vector<SpanEvent> events;
 
   double duration_seconds() const { return (end - start).seconds(); }
 };
 
-/// Append-only trace. Not thread-safe (the sim engine is single-threaded).
+/// Append-only trace. `add` is guarded by a mutex so parallel data-plane
+/// workers may record concurrently with the (single-threaded) sim engine.
+/// The read accessors (`spans`, `select`) hand out references into the
+/// underlying vector and therefore require quiescence: call them only when no
+/// writer is active (after engine().run() returns, or from the engine thread
+/// when no pool work records spans) — the usual post-run reporting pattern.
 class Trace {
  public:
-  void add(Span span) { spans_.push_back(std::move(span)); }
-  void clear() { spans_.clear(); }
+  void add(Span span) {
+    std::lock_guard lock(mu_);
+    spans_.push_back(std::move(span));
+  }
+  void clear() {
+    std::lock_guard lock(mu_);
+    spans_.clear();
+  }
 
   const std::vector<Span>& spans() const { return spans_; }
 
@@ -34,10 +63,18 @@ class Trace {
   std::vector<const Span*> select(const std::string& component,
                                   const std::string& category = "") const;
 
+  /// First span matching (component, category, label), or nullptr.
+  const Span* find(const std::string& component, const std::string& category,
+                   const std::string& label) const;
+
+  /// Completed children of `parent_id`, in recording order.
+  std::vector<const Span*> children_of(uint64_t parent_id) const;
+
   /// Serialize to JSON lines for offline inspection.
   std::string to_jsonl() const;
 
  private:
+  mutable std::mutex mu_;
   std::vector<Span> spans_;
 };
 

@@ -1,0 +1,143 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace pico::telemetry {
+
+namespace {
+
+double to_us(sim::SimTime t) { return static_cast<double>(t.ns) / 1000.0; }
+
+}  // namespace
+
+std::string to_chrome_trace(const sim::Trace& trace) {
+  // Stable virtual-thread assignment: one tid per component, in order of
+  // first appearance so related spans stay on one row in the viewer.
+  std::map<std::string, int> tids;
+  for (const auto& s : trace.spans()) {
+    tids.emplace(s.component, static_cast<int>(tids.size()) + 1);
+  }
+
+  util::Json events = util::Json::array();
+  events.push_back(util::Json::object({
+      {"ph", "M"},
+      {"pid", 1},
+      {"name", "process_name"},
+      {"args", util::Json::object({{"name", "picoflow-facility"}})},
+  }));
+  for (const auto& [component, tid] : tids) {
+    events.push_back(util::Json::object({
+        {"ph", "M"},
+        {"pid", 1},
+        {"tid", tid},
+        {"name", "thread_name"},
+        {"args", util::Json::object({{"name", component}})},
+    }));
+  }
+
+  for (const auto& s : trace.spans()) {
+    int tid = tids[s.component];
+    util::Json args = util::Json::object({
+        {"trace_id", s.trace_id},
+        {"span_id", s.span_id},
+        {"parent_id", s.parent_id},
+        {"attrs", s.attrs},
+    });
+    events.push_back(util::Json::object({
+        {"ph", "X"},
+        {"pid", 1},
+        {"tid", tid},
+        {"cat", s.component + "." + s.category},
+        {"name", s.label},
+        {"ts", to_us(s.start)},
+        {"dur", to_us(s.end) - to_us(s.start)},
+        {"args", std::move(args)},
+    }));
+    for (const auto& e : s.events) {
+      events.push_back(util::Json::object({
+          {"ph", "i"},
+          {"pid", 1},
+          {"tid", tid},
+          {"s", "t"},
+          {"cat", s.component + ".event"},
+          {"name", e.name},
+          {"ts", to_us(e.at)},
+          {"args", util::Json::object({{"span_id", s.span_id},
+                                       {"attrs", e.attrs}})},
+      }));
+    }
+  }
+
+  util::Json doc = util::Json::object({
+      {"displayTimeUnit", "ms"},
+      {"traceEvents", std::move(events)},
+  });
+  return doc.dump(2);
+}
+
+TelemetrySummary summarize(const sim::Trace& trace,
+                           const MetricsRegistry& metrics) {
+  TelemetrySummary out;
+  out.span_count = trace.spans().size();
+  for (const auto& s : trace.spans()) {
+    out.event_count += s.events.size();
+    if (s.span_id != 0) ++out.traced_span_count;
+  }
+
+  // Fig.-4-style decomposition: flow step spans record how much of the
+  // dispatch->discovery interval the provider spent doing real work
+  // (attrs.active_s); the remainder is orchestration overhead.
+  std::map<std::string, std::pair<util::SampleStats, util::SampleStats>>
+      by_step;
+  for (const auto* s : trace.select("flow", "step")) {
+    std::string step = s->label;
+    if (auto slash = step.find('/'); slash != std::string::npos) {
+      step = step.substr(slash + 1);
+    }
+    double total = s->duration_seconds();
+    double active = s->attrs.at("active_s").as_double();
+    auto& [act, ovh] = by_step[step];
+    act.add(active);
+    ovh.add(std::max(0.0, total - active));
+  }
+  for (auto& [step, stats] : by_step) {
+    StepDecomposition d;
+    d.step = step;
+    d.active = util::BoxStats::from(stats.first);
+    d.overhead = util::BoxStats::from(stats.second);
+    out.steps.push_back(std::move(d));
+  }
+
+  // Provider health comes from the metric families the flow engine maintains.
+  out.metrics = metrics.snapshot();
+  std::map<std::string, ProviderHealth> providers;
+  for (const MetricSample& m : out.metrics) {
+    auto provider_of = [&]() -> ProviderHealth* {
+      auto it = m.labels.find("provider");
+      if (it == m.labels.end()) return nullptr;
+      ProviderHealth& h = providers[it->second];
+      h.provider = it->second;
+      return &h;
+    };
+    uint64_t v = static_cast<uint64_t>(m.value);
+    if (m.name == "flow_breaker_transitions_total") {
+      if (ProviderHealth* h = provider_of()) {
+        const std::string& to = m.labels.count("to") ? m.labels.at("to") : "";
+        if (to == "open") h->to_open += v;
+        else if (to == "half_open") h->to_half_open += v;
+        else if (to == "closed") h->to_closed += v;
+      }
+    } else if (m.name == "flow_retries_total") {
+      if (ProviderHealth* h = provider_of()) h->retries += v;
+    } else if (m.name == "flow_breaker_deferrals_total") {
+      if (ProviderHealth* h = provider_of()) h->deferrals += v;
+    }
+  }
+  for (auto& [name, health] : providers) {
+    out.providers.push_back(std::move(health));
+  }
+  return out;
+}
+
+}  // namespace pico::telemetry

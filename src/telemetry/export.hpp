@@ -1,0 +1,53 @@
+#pragma once
+// Telemetry exporters: Chrome trace_event JSON (open in chrome://tracing or
+// Perfetto), and a campaign-level summary (Fig.-4-style per-step active vs
+// overhead decomposition plus per-provider breaker/retry health) consumed by
+// the portal's telemetry page.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace pico::telemetry {
+
+/// Serialize the span tree as Chrome trace_event JSON. Spans become complete
+/// ("X") events (ts/dur in microseconds) on one virtual thread per component;
+/// span events become thread-scoped instant ("i") events; metadata ("M")
+/// events name the process and per-component threads. Span/parent/trace ids
+/// ride in `args` so tooling (and the schema checker) can rebuild the tree.
+std::string to_chrome_trace(const sim::Trace& trace);
+
+/// Per-step decomposition of where flow wall time went (paper Fig. 4).
+struct StepDecomposition {
+  std::string step;
+  util::BoxStats active;    ///< seconds the provider was doing real work
+  util::BoxStats overhead;  ///< dispatch/poll/retry lag around the work
+};
+
+/// Per-provider resilience counters (breaker transitions + retries).
+struct ProviderHealth {
+  std::string provider;
+  uint64_t to_open = 0;       ///< breaker transitions into Open
+  uint64_t to_half_open = 0;  ///< Open -> HalfOpen probes
+  uint64_t to_closed = 0;     ///< recoveries
+  uint64_t retries = 0;
+  uint64_t deferrals = 0;  ///< dispatches deferred while the breaker was open
+};
+
+struct TelemetrySummary {
+  std::vector<StepDecomposition> steps;
+  std::vector<ProviderHealth> providers;
+  std::vector<MetricSample> metrics;  ///< full deterministic snapshot
+  size_t span_count = 0;
+  size_t event_count = 0;  ///< span events across all spans
+  size_t traced_span_count = 0;  ///< spans with assigned ids (in the tree)
+};
+
+/// Build the summary from a quiescent trace and the metrics registry.
+TelemetrySummary summarize(const sim::Trace& trace,
+                           const MetricsRegistry& metrics);
+
+}  // namespace pico::telemetry

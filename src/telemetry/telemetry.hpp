@@ -1,0 +1,24 @@
+#pragma once
+// Facility telemetry bundle: one Tracer (causal span tree into the facility
+// trace) plus one MetricsRegistry (Prometheus-style instrument families).
+// The Facility owns a Telemetry and hands pointers to every service; a null
+// Telemetry pointer disables instrumentation at the call site, so unit tests
+// that build services directly need no setup.
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace pico::telemetry {
+
+struct Telemetry {
+  explicit Telemetry(sim::Trace* sink) : tracer(sink) {}
+
+  Tracer tracer;
+  MetricsRegistry metrics;
+
+  TelemetrySummary summarize(const sim::Trace& trace) const {
+    return telemetry::summarize(trace, metrics);
+  }
+};
+
+}  // namespace pico::telemetry

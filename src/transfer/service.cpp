@@ -90,6 +90,14 @@ util::Result<TaskId> TransferService::submit(const TransferRequest& request,
                  rng_.normal(config_.per_flow_rate_cap_bps,
                              config_.per_flow_rate_cap_bps * config_.cap_jitter_frac));
   }
+  if (telemetry_) {
+    // Context parent: the flow attempt span scoped around provider->start().
+    task.span = telemetry_->tracer.open("transfer", id);
+    telemetry_->metrics
+        .counter("transfer_tasks_total", "Transfer tasks by terminal state",
+                 {{"state", "submitted"}})
+        .inc();
+  }
   tasks_[id] = std::move(task);
 
   // Task setup latency: auth handshake, endpoint activation, task routing.
@@ -129,6 +137,13 @@ void TransferService::begin_next_file(const TaskId& id) {
   if (!available_) {
     // Control-plane outage: park the task; set_available(true) resumes it.
     stalled_.push_back(id);
+    if (telemetry_) {
+      telemetry_->metrics
+          .counter("transfer_stalls_total",
+                   "Tasks parked by a control-plane outage")
+          .inc();
+      telemetry_->tracer.event(task.span, "stalled", engine_->now());
+    }
     logger().debug("%s stalled: service unavailable", id.c_str());
     return;
   }
@@ -208,6 +223,18 @@ void TransferService::finish_file(const TaskId& id, const FileSpec& spec,
         config_.retry_backoff_s *
             std::pow(2.0, static_cast<double>(task.attempts_this_file - 1)));
     backoff *= rng_.uniform(0.5, 1.5);
+    if (telemetry_) {
+      telemetry_->metrics
+          .counter("transfer_retries_total",
+                   "File re-transfers after an injected mid-flight fault")
+          .inc();
+      telemetry_->tracer.event(task.span, "fault-retry", engine_->now(),
+                               util::Json::object({
+                                   {"file", spec.src_path},
+                                   {"attempt", task.attempts_this_file},
+                                   {"backoff_s", backoff},
+                               }));
+    }
     logger().debug("%s: fault on %s (attempt %d), retrying in %.1fs",
                    id.c_str(), spec.src_path.c_str(), task.attempts_this_file,
                    backoff);
@@ -273,7 +300,16 @@ void TransferService::fail_task(const TaskId& id, const std::string& error) {
   it->second.info.error = error;
   it->second.info.completed = engine_->now();
   logger().warn("%s failed: %s", id.c_str(), error.c_str());
-  if (trace_) {
+  if (telemetry_) {
+    telemetry_->tracer.close(it->second.span, "failed",
+                             it->second.info.submitted, engine_->now(),
+                             util::Json::object({{"error", error}}));
+    it->second.span = 0;
+    telemetry_->metrics
+        .counter("transfer_tasks_total", "Transfer tasks by terminal state",
+                 {{"state", "failed"}})
+        .inc();
+  } else if (trace_) {
     trace_->add(sim::Span{"transfer", "failed", id, it->second.info.submitted,
                           engine_->now(), util::Json::object({{"error", error}})});
   }
@@ -285,7 +321,31 @@ void TransferService::settle(const TaskId& id) {
   if (it == tasks_.end()) return;
   it->second.info.state = TaskState::Succeeded;
   // info.completed was stamped when the last byte landed (activity end).
-  if (trace_) {
+  if (telemetry_) {
+    const TaskInfo& info = it->second.info;
+    telemetry_->tracer.close(
+        it->second.span, "active", info.submitted, engine_->now(),
+        util::Json::object({{"bytes", info.bytes_total},
+                            {"wire_bytes", info.wire_bytes},
+                            {"files", info.files_total}}));
+    it->second.span = 0;
+    telemetry_->metrics
+        .counter("transfer_tasks_total", "Transfer tasks by terminal state",
+                 {{"state", "succeeded"}})
+        .inc();
+    telemetry_->metrics
+        .counter("transfer_bytes_total",
+                 "Logical bytes delivered by settled transfer tasks")
+        .inc(static_cast<double>(info.bytes_total));
+    telemetry_->metrics
+        .counter("transfer_wire_bytes_total",
+                 "Bytes that crossed the network (after compression)")
+        .inc(static_cast<double>(info.wire_bytes));
+    telemetry_->metrics
+        .histogram("transfer_task_bytes", "Logical bytes per settled task", {},
+                   telemetry::FixedHistogram::byte_buckets())
+        .observe(static_cast<double>(info.bytes_total));
+  } else if (trace_) {
     trace_->add(sim::Span{
         "transfer", "active", id, it->second.info.submitted, engine_->now(),
         util::Json::object(

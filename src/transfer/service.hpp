@@ -17,6 +17,7 @@
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 #include "storage/store.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 
 namespace pico::transfer {
@@ -99,6 +100,13 @@ class TransferService {
   void register_endpoint(const std::string& name, net::NodeId node,
                          storage::Store* store);
 
+  /// Attach facility telemetry: task spans join the causal tree (parented to
+  /// the flow attempt that submitted them via tracer context), injected
+  /// faults/stalls become span events, and transfer_* metrics are maintained.
+  void set_telemetry(telemetry::Telemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
+
   /// Submit a transfer. Requires a token with scope "transfer".
   util::Result<TaskId> submit(const TransferRequest& request,
                               const auth::Token& token);
@@ -134,6 +142,7 @@ class TransferService {
     net::FlowId current_flow = 0;    ///< active network flow, 0 = none
     int64_t current_file_bytes = 0;  ///< logical size of the in-flight file
     std::function<void(const TaskInfo&)> settled_cb;
+    uint64_t span = 0;  ///< open telemetry span (0 = none)
   };
 
   void begin_next_file(const TaskId& id);
@@ -151,6 +160,7 @@ class TransferService {
   TransferConfig config_;
   util::Rng rng_;
   sim::Trace* trace_;
+  telemetry::Telemetry* telemetry_ = nullptr;
   std::map<std::string, Endpoint> endpoints_;
   std::map<TaskId, ActiveTask> tasks_;
   uint64_t next_task_ = 1;

@@ -68,6 +68,19 @@ double SampleStats::percentile(double p) const {
   return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
 }
 
+Quantiles Quantiles::from(const SampleStats& s) {
+  Quantiles q;
+  q.p50 = s.percentile(50);
+  q.p90 = s.percentile(90);
+  q.p99 = s.percentile(99);
+  q.count = s.count();
+  return q;
+}
+
+std::string Quantiles::to_string() const {
+  return format("p50=%.3f p90=%.3f p99=%.3f (n=%zu)", p50, p90, p99, count);
+}
+
 BoxStats BoxStats::from(const SampleStats& s) {
   BoxStats b;
   b.min = s.min();

@@ -35,6 +35,16 @@ class SampleStats {
   mutable bool sorted_valid_ = false;
 };
 
+/// Tail-quantile triple shared by the campaign reporter and the telemetry
+/// histograms: one vocabulary (p50/p90/p99) whether the source is an exact
+/// sample set or a bucketed estimate.
+struct Quantiles {
+  double p50 = 0, p90 = 0, p99 = 0;
+  size_t count = 0;
+  static Quantiles from(const SampleStats& s);
+  std::string to_string() const;  ///< "p50=.. p90=.. p99=.. (n=..)"
+};
+
 /// Five-number summary for box plots (Fig. 4 style).
 struct BoxStats {
   double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 
 namespace pico::util {
@@ -28,6 +29,7 @@ ThreadPool::~ThreadPool() {
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   auto promise = std::make_shared<std::promise<void>>();
   auto fut = promise->get_future();
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard lock(mu_);
     tasks_.push([promise, task = std::move(task)]() mutable {
@@ -38,9 +40,29 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
         promise->set_exception(std::current_exception());
       }
     });
+    note_queue_depth(tasks_.size());
   }
   cv_.notify_one();
   return fut;
+}
+
+void ThreadPool::note_queue_depth(size_t depth) {
+  uint64_t d = static_cast<uint64_t>(depth);
+  uint64_t cur = max_queue_depth_.load(std::memory_order_relaxed);
+  while (cur < d && !max_queue_depth_.compare_exchange_weak(
+                        cur, d, std::memory_order_relaxed)) {
+  }
+}
+
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.chunks_executed = chunks_executed_.load(std::memory_order_relaxed);
+  s.caller_chunks = caller_chunks_.load(std::memory_order_relaxed);
+  s.chunk_time_ns = chunk_time_ns_.load(std::memory_order_relaxed);
+  s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  return s;
 }
 
 namespace {
@@ -58,21 +80,32 @@ struct Batch {
   std::mutex mu;
   std::condition_variable cv;
   std::exception_ptr error;  // first failure wins
+  // Pool profiling counters (owned by the ThreadPool, outlive the batch).
+  std::atomic<uint64_t>* chunks_executed = nullptr;
+  std::atomic<uint64_t>* caller_chunks = nullptr;
+  std::atomic<uint64_t>* chunk_time_ns = nullptr;
 
-  /// Claim-and-run until the chunk counter is exhausted. Returns the number
-  /// of chunks this thread executed.
-  void drain() {
+  /// Claim-and-run until the chunk counter is exhausted.
+  void drain(bool is_caller = false) {
     while (true) {
       size_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= chunks) return;
       size_t begin = c * grain;
       size_t end = std::min(n, begin + grain);
+      auto t0 = std::chrono::steady_clock::now();
       try {
         (*body)(begin, end);
       } catch (...) {
         std::lock_guard lock(mu);
         if (!error) error = std::current_exception();
       }
+      auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+      chunk_time_ns->fetch_add(static_cast<uint64_t>(elapsed),
+                               std::memory_order_relaxed);
+      chunks_executed->fetch_add(1, std::memory_order_relaxed);
+      if (is_caller) caller_chunks->fetch_add(1, std::memory_order_relaxed);
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
         std::lock_guard lock(mu);
         cv.notify_all();
@@ -88,8 +121,17 @@ void ThreadPool::parallel_chunks(
   if (n == 0) return;
   if (grain == 0) grain = 1;
   const size_t chunks = (n + grain - 1) / grain;
+  batches_.fetch_add(1, std::memory_order_relaxed);
   if (chunks == 1) {
+    auto t0 = std::chrono::steady_clock::now();
     body(0, n);
+    auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    chunk_time_ns_.fetch_add(static_cast<uint64_t>(elapsed),
+                             std::memory_order_relaxed);
+    chunks_executed_.fetch_add(1, std::memory_order_relaxed);
+    caller_chunks_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
 
@@ -98,6 +140,9 @@ void ThreadPool::parallel_chunks(
   batch->n = n;
   batch->grain = grain;
   batch->body = &body;
+  batch->chunks_executed = &chunks_executed_;
+  batch->caller_chunks = &caller_chunks_;
+  batch->chunk_time_ns = &chunk_time_ns_;
 
   // One helper task per idle-able worker (bounded by chunk count, minus the
   // calling thread which participates below). All enqueued under one lock.
@@ -107,12 +152,13 @@ void ThreadPool::parallel_chunks(
     for (size_t i = 0; i < helpers; ++i) {
       tasks_.push([batch] { batch->drain(); });
     }
+    note_queue_depth(tasks_.size());
   }
   cv_.notify_all();
 
   // The caller drains too: full progress even when every worker is busy
   // (e.g. nested parallelism from inside a worker runs inline).
-  batch->drain();
+  batch->drain(/*is_caller=*/true);
 
   {
     std::unique_lock lock(batch->mu);

@@ -12,8 +12,10 @@
 // problem size gets identical chunking (and, for reductions combined in chunk
 // order, identical floating-point association) whether the pool has 1 thread
 // or 64.
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -22,6 +24,23 @@
 #include <vector>
 
 namespace pico::util {
+
+/// Cumulative profiling counters for one pool, snapshotted for telemetry.
+/// Counting is a handful of relaxed atomic bumps per *chunk* (not per index),
+/// so the overhead is invisible next to chunk bodies of kReduceGrain work.
+struct PoolStats {
+  uint64_t tasks_submitted = 0;   ///< submit() calls
+  uint64_t batches = 0;           ///< parallel_chunks invocations
+  uint64_t chunks_executed = 0;   ///< chunks drained, all threads
+  uint64_t caller_chunks = 0;     ///< chunks drained inline by the caller
+  uint64_t chunk_time_ns = 0;     ///< wall time inside chunk bodies, summed
+  uint64_t max_queue_depth = 0;   ///< peak pending-task backlog observed
+  double utilization(double wall_seconds, size_t threads) const {
+    double capacity = wall_seconds * static_cast<double>(threads) * 1e9;
+    return capacity <= 0 ? 0.0
+                         : static_cast<double>(chunk_time_ns) / capacity;
+  }
+};
 
 class ThreadPool {
  public:
@@ -75,6 +94,11 @@ class ThreadPool {
 
   size_t thread_count() const { return workers_.size(); }
 
+  /// Consistent-enough snapshot of the profiling counters (relaxed loads; the
+  /// usual consumer reads after a batch completes, where all bumps are
+  /// ordered by the batch's completion synchronization).
+  PoolStats stats() const;
+
   /// Default reduction grain: 64Ki elements (~512 KiB of f64) keeps chunk
   /// bookkeeping negligible while giving hundreds of chunks on the paper's
   /// stack sizes. A problem-size constant, NOT thread-derived, on purpose.
@@ -82,12 +106,20 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  void note_queue_depth(size_t depth);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  std::atomic<uint64_t> tasks_submitted_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> chunks_executed_{0};
+  std::atomic<uint64_t> caller_chunks_{0};
+  std::atomic<uint64_t> chunk_time_ns_{0};
+  std::atomic<uint64_t> max_queue_depth_{0};
 };
 
 /// Process-wide data-plane pool (lazily constructed at hardware width). The

@@ -1,0 +1,442 @@
+// Telemetry subsystem tests: metrics registry semantics and Prometheus
+// exposition, causal tracer parenting/events, Chrome trace_event export,
+// circuit-breaker state transitions as timestamped span events under injected
+// faults, and the guarantee the refactor rests on — campaign reports rebuilt
+// from the span tree are byte-identical to the flow service's bookkeeping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "core/campaign.hpp"
+#include "core/facility.hpp"
+#include "core/report.hpp"
+#include "flow/service.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace pico::telemetry {
+namespace {
+
+using util::Json;
+
+sim::SimTime t(double s) { return sim::SimTime::from_seconds(s); }
+
+// ------------------------------------------------------------- metrics ----
+
+TEST(Metrics, CountersAndGaugesByLabels) {
+  MetricsRegistry reg;
+  reg.counter("jobs_total", "jobs", {{"state", "ok"}}).inc();
+  reg.counter("jobs_total", "jobs", {{"state", "ok"}}).inc(2);
+  reg.counter("jobs_total", "jobs", {{"state", "failed"}}).inc();
+  reg.gauge("depth", "queue depth").set(7);
+  EXPECT_EQ(reg.family_count(), 2u);
+
+  auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  // Deterministic order: families by name, series by label set.
+  EXPECT_EQ(snap[0].name, "depth");
+  EXPECT_EQ(snap[0].value, 7);
+  EXPECT_EQ(snap[1].labels.at("state"), "failed");
+  EXPECT_EQ(snap[1].value, 1);
+  EXPECT_EQ(snap[2].labels.at("state"), "ok");
+  EXPECT_EQ(snap[2].value, 3);
+}
+
+TEST(Metrics, InstrumentReferencesAreStable) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x_total", "x");
+  Counter& b = reg.counter("x_total", "x");
+  EXPECT_EQ(&a, &b);
+  a.inc(5);
+  EXPECT_EQ(b.value(), 5);
+}
+
+TEST(Metrics, HistogramQuantileEstimates) {
+  MetricsRegistry reg;
+  FixedHistogram& h =
+      reg.histogram("lat_seconds", "latency", {}, {1, 2, 4, 8, 16});
+  for (int i = 0; i < 100; ++i) h.observe(1.5);  // all inside (1, 2]
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 150.0);
+  double p50 = h.quantile(0.5);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  util::Quantiles q = h.quantiles();
+  EXPECT_EQ(q.count, 100u);
+  EXPECT_LE(q.p50, q.p90);
+  EXPECT_LE(q.p90, q.p99);
+  // The tracked max clamps the tail estimate below the bucket bound.
+  EXPECT_LE(q.p99, h.max() + 1e-12);
+  // Overflow observations land in the +Inf bucket but keep max exact.
+  h.observe(100.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_EQ(h.count(), 101u);
+}
+
+TEST(Metrics, PrometheusExposition) {
+  MetricsRegistry reg;
+  reg.counter("events_total", "events seen", {{"kind", "a"}}).inc(3);
+  reg.gauge("width", "pool width").set(4);
+  reg.histogram("dur_seconds", "duration", {}, {0.5, 1.0}).observe(0.7);
+  std::string text = reg.to_prometheus();
+
+  EXPECT_NE(text.find("# HELP events_total events seen"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE events_total counter"), std::string::npos);
+  EXPECT_NE(text.find("events_total{kind=\"a\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE width gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dur_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("dur_seconds_bucket{le=\"0.5\"} 0"), std::string::npos);
+  EXPECT_NE(text.find("dur_seconds_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("dur_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("dur_seconds_count 1"), std::string::npos);
+  // Byte-stable: two renders of the same registry are identical.
+  EXPECT_EQ(text, reg.to_prometheus());
+}
+
+// -------------------------------------------------------------- tracer ----
+
+TEST(Tracer, ContextStackParentsSpans) {
+  sim::Trace trace;
+  Tracer tracer(&trace);
+  uint64_t root = tracer.open("campaign", "c");
+  {
+    Tracer::Scope scope(tracer, root);
+    EXPECT_EQ(tracer.current(), root);
+    uint64_t child = tracer.open("flow", "run-1");  // parent from context
+    uint64_t sibling = tracer.open("flow", "run-2", root);  // explicit
+    tracer.event(child, "note", t(1), Json::object({{"k", "v"}}));
+    tracer.close(child, "run", t(0), t(2), {});
+    tracer.close(sibling, "run", t(0), t(3), {});
+  }
+  EXPECT_EQ(tracer.current(), 0u);
+  tracer.close(root, "campaign", t(0), t(4), {});
+  EXPECT_EQ(tracer.open_count(), 0u);
+
+  ASSERT_EQ(trace.spans().size(), 3u);
+  const sim::Span* c = trace.find("campaign", "campaign", "c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->parent_id, 0u);
+  auto children = trace.children_of(c->span_id);
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0]->label, "run-1");
+  ASSERT_EQ(children[0]->events.size(), 1u);
+  EXPECT_EQ(children[0]->events[0].name, "note");
+  EXPECT_EQ(children[0]->events[0].at.ns, t(1).ns);
+  EXPECT_EQ(children[0]->events[0].attrs.at("k").as_string(), "v");
+}
+
+TEST(Tracer, EventOnUnknownSpanIsNoOp) {
+  sim::Trace trace;
+  Tracer tracer(&trace);
+  tracer.event(42, "ghost", t(1));  // must not crash or record anything
+  tracer.close(42, "x", t(0), t(1));
+  EXPECT_TRUE(trace.spans().empty());
+}
+
+// ----------------------------------------------------------- exporters ----
+
+TEST(Export, ChromeTraceIsWellFormedAndCausal) {
+  sim::Trace trace;
+  Tracer tracer(&trace);
+  uint64_t parent = tracer.open("flow", "run-1");
+  uint64_t child = tracer.open("transfer", "task-1", parent);
+  tracer.event(child, "stalled", t(1), Json::object({{"why", "rate"}}));
+  tracer.close(child, "active", t(0), t(2), {});
+  tracer.close(parent, "run", t(0), t(3), {});
+
+  auto doc = Json::parse(to_chrome_trace(trace));
+  ASSERT_TRUE(doc) << doc.error().message;
+  const Json& events = doc.value().at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+
+  size_t complete = 0, instants = 0, meta = 0;
+  uint64_t parent_of_child = 0;
+  for (const auto& ev : events.as_array()) {
+    const std::string ph = ev.at("ph").as_string();
+    if (ph == "M") { ++meta; continue; }
+    if (ph == "i") { ++instants; continue; }
+    ASSERT_EQ(ph, "X");
+    ++complete;
+    EXPECT_GE(ev.at("dur").as_double(-1), 0.0);
+    if (ev.at("name").as_string() == "task-1") {
+      parent_of_child =
+          static_cast<uint64_t>(ev.at_path("args.parent_id").as_int());
+      EXPECT_EQ(ev.at("ts").as_double(-1), 0.0);
+      EXPECT_EQ(ev.at("dur").as_double(), 2e6);  // 2 s in microseconds
+    }
+  }
+  EXPECT_EQ(complete, 2u);
+  EXPECT_EQ(instants, 1u);
+  EXPECT_GE(meta, 2u);  // process name + one thread per component
+  const sim::Span* p = trace.find("flow", "run", "run-1");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(parent_of_child, p->span_id);
+}
+
+TEST(Export, SummaryDecomposesStepsAndProviders) {
+  sim::Trace trace;
+  MetricsRegistry metrics;
+  Tracer tracer(&trace);
+  uint64_t run = tracer.open("flow", "run-1");
+  uint64_t step = tracer.open("flow", "run-1/Transfer", run);
+  tracer.close(step, "step", t(0), t(10),
+               Json::object({{"active_s", 6.0}, {"step", "Transfer"}}));
+  tracer.close(run, "run", t(0), t(11), {});
+  metrics
+      .counter("flow_breaker_transitions_total", "transitions",
+               {{"provider", "transfer"}, {"to", "open"}})
+      .inc(2);
+  metrics
+      .counter("flow_retries_total", "retries", {{"provider", "transfer"}})
+      .inc(5);
+
+  TelemetrySummary summary = summarize(trace, metrics);
+  ASSERT_EQ(summary.steps.size(), 1u);
+  EXPECT_EQ(summary.steps[0].step, "Transfer");
+  EXPECT_DOUBLE_EQ(summary.steps[0].active.median, 6.0);
+  EXPECT_DOUBLE_EQ(summary.steps[0].overhead.median, 4.0);
+  ASSERT_EQ(summary.providers.size(), 1u);
+  EXPECT_EQ(summary.providers[0].provider, "transfer");
+  EXPECT_EQ(summary.providers[0].to_open, 2u);
+  EXPECT_EQ(summary.providers[0].retries, 5u);
+  EXPECT_EQ(summary.span_count, 2u);
+  EXPECT_EQ(summary.traced_span_count, 2u);
+}
+
+// ------------------------------------------- breaker transition events ----
+
+TEST(BreakerTelemetry, ObserverStampsTransitionTimes) {
+  flow::BreakerConfig cfg;
+  cfg.failure_threshold = 2;
+  cfg.cooldown_s = 30;
+  flow::CircuitBreaker b(cfg);
+
+  using State = flow::CircuitBreaker::State;
+  struct Transition {
+    State from, to;
+    sim::SimTime at;
+  };
+  std::vector<Transition> seen;
+  b.set_observer([&](State from, State to, sim::SimTime at) {
+    seen.push_back({from, to, at});
+  });
+
+  b.record_failure(t(5));
+  EXPECT_TRUE(seen.empty());  // below threshold: no transition yet
+  b.record_failure(t(7));     // trips
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].from, State::Closed);
+  EXPECT_EQ(seen[0].to, State::Open);
+  EXPECT_EQ(seen[0].at.ns, t(7).ns);
+
+  // The Open -> HalfOpen decay is lazy, but the observer timestamp must be
+  // the moment the cooldown elapsed — not the later call that observed it.
+  EXPECT_EQ(b.retry_after_s(t(100)), 0.0);  // claims the half-open probe
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[1].from, State::Open);
+  EXPECT_EQ(seen[1].to, State::HalfOpen);
+  EXPECT_EQ(seen[1].at.ns, t(37).ns);  // open at 7 + 30 s cooldown
+
+  b.record_success(t(101));
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[2].from, State::HalfOpen);
+  EXPECT_EQ(seen[2].to, State::Closed);
+  EXPECT_EQ(seen[2].at.ns, t(101).ns);
+}
+
+/// Provider that refuses its first N starts (a service outage, as the fault
+/// injector produces), then completes instantly.
+class RefusingProvider final : public flow::ActionProvider {
+ public:
+  RefusingProvider(sim::Engine* engine, int refusals)
+      : engine_(engine), refusals_(refusals) {}
+  std::string name() const override { return "fake"; }
+
+  util::Result<flow::ActionHandle> start(const Json&,
+                                         const auth::Token&) override {
+    if (refusals_ > 0) {
+      --refusals_;
+      return util::Result<flow::ActionHandle>::err("outage", "unavailable");
+    }
+    started_ = engine_->now();
+    return util::Result<flow::ActionHandle>::ok("act-1");
+  }
+
+  flow::ActionPollResult poll(const flow::ActionHandle&) override {
+    flow::ActionPollResult out;
+    out.status = flow::ActionStatus::Succeeded;
+    out.service_started = started_;
+    out.service_completed = engine_->now();
+    return out;
+  }
+
+ private:
+  sim::Engine* engine_;
+  int refusals_;
+  sim::SimTime started_;
+};
+
+TEST(BreakerTelemetry, TransitionsBecomeSpanEventsUnderInjectedFaults) {
+  sim::Engine engine;
+  auth::AuthService auth;
+  sim::Trace trace;
+  Telemetry telemetry(&trace);
+
+  flow::FlowServiceConfig cfg;
+  cfg.latency_jitter_frac = 0.0;
+  cfg.breaker.failure_threshold = 2;
+  cfg.breaker.cooldown_s = 20;
+  flow::FlowService service(&engine, &auth, cfg, /*seed=*/3);
+  service.set_telemetry(&telemetry);
+  RefusingProvider provider(&engine, /*refusals=*/2);
+  service.register_provider(&provider);
+  auth::Token token = auth.issue("user@anl.gov", {"flows"});
+
+  flow::ActionState step;
+  step.name = "A";
+  step.provider = "fake";
+  step.max_retries = 5;
+  step.params = Json::object();
+  auto run = service.start(flow::FlowDefinition{"f", {step}}, Json(), token);
+  ASSERT_TRUE(run) << run.error().message;
+  engine.run();
+  EXPECT_EQ(service.info(run.value()).state, flow::RunState::Succeeded);
+
+  const sim::Span* span =
+      trace.find("flow", "step", run.value() + "/A");
+  ASSERT_NE(span, nullptr);
+  auto event_at = [&](const std::string& name) {
+    auto it = std::find_if(span->events.begin(), span->events.end(),
+                           [&](const sim::SpanEvent& e) {
+                             return e.name == name;
+                           });
+    return it == span->events.end() ? sim::SimTime{-1} : it->at;
+  };
+
+  sim::SimTime opened = event_at("breaker-open");
+  sim::SimTime half = event_at("breaker-half_open");
+  sim::SimTime closed = event_at("breaker-closed");
+  ASSERT_GE(opened.ns, 0);
+  ASSERT_GE(half.ns, 0);
+  ASSERT_GE(closed.ns, 0);
+  // The trip lands on the second refused start; the half-open probe window
+  // opens exactly one cooldown later; recovery closes it when the probe's
+  // dispatch succeeds.
+  EXPECT_EQ(half.ns, opened.ns + sim::Duration::from_seconds(20).ns);
+  EXPECT_GE(closed.ns, half.ns);
+  // Deferral while open is also recorded, between the trip and the probe.
+  sim::SimTime deferred = event_at("breaker-deferred");
+  ASSERT_GE(deferred.ns, 0);
+  EXPECT_GE(deferred.ns, opened.ns);
+  EXPECT_LE(deferred.ns, half.ns);
+
+  // The same transitions are counted per provider in the metrics registry.
+  auto count = [&](const char* to) {
+    return telemetry.metrics
+        .counter("flow_breaker_transitions_total",
+                 "Breaker state transitions, by provider and target state",
+                 {{"provider", "fake"}, {"to", to}})
+        .value();
+  };
+  EXPECT_EQ(count("open"), 1);
+  EXPECT_EQ(count("half_open"), 1);
+  EXPECT_EQ(count("closed"), 1);
+}
+
+// -------------------------------------- report-from-spans equivalence ----
+
+core::FacilityConfig fast_config(const std::string& tag) {
+  core::FacilityConfig fc;
+  fc.artifact_dir = testing::TempDir() + "/telemetry_test_" + tag;
+  fc.seed = 1234;
+  fc.cost.provision_delay_s = 5.0;
+  fc.cost.provision_jitter_s = 0.0;
+  fc.cost.env_warmup_s = 1.0;
+  fc.cost.env_warmup_jitter_s = 0.0;
+  return fc;
+}
+
+TEST(ReportFromSpans, RunTimingRebuiltBitIdentical) {
+  core::Facility facility(fast_config("rebuild"));
+  core::CampaignConfig cfg;
+  cfg.use_case = core::UseCase::Hyperspectral;
+  cfg.duration_s = 400;
+  cfg.file_bytes = 91'000'000;
+  core::CampaignResult result = core::run_campaign(facility, cfg);
+  ASSERT_FALSE(result.in_window.empty());
+
+  size_t checked = 0;
+  for (const flow::RunId& id : facility.flows().all_runs()) {
+    const flow::RunTiming& svc = facility.flows().timing(id);
+    flow::RunTiming rebuilt;
+    ASSERT_TRUE(flow::timing_from_spans(facility.trace(), id, &rebuilt)) << id;
+    EXPECT_EQ(rebuilt.submitted.ns, svc.submitted.ns) << id;
+    EXPECT_EQ(rebuilt.finished.ns, svc.finished.ns) << id;
+    ASSERT_EQ(rebuilt.steps.size(), svc.steps.size()) << id;
+    for (size_t i = 0; i < svc.steps.size(); ++i) {
+      const flow::StepTiming& a = rebuilt.steps[i];
+      const flow::StepTiming& b = svc.steps[i];
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.dispatched.ns, b.dispatched.ns);
+      EXPECT_EQ(a.service_started.ns, b.service_started.ns);
+      EXPECT_EQ(a.service_completed.ns, b.service_completed.ns);
+      EXPECT_EQ(a.discovered.ns, b.discovered.ns);
+      EXPECT_EQ(a.polls, b.polls);
+      EXPECT_EQ(a.retries, b.retries);
+      EXPECT_EQ(a.timeouts, b.timeouts);
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 3u * result.in_window.size());
+}
+
+TEST(ReportFromSpans, RenderedReportsByteIdenticalToServiceTimings) {
+  core::Facility facility(fast_config("render"));
+  core::CampaignConfig cfg;
+  cfg.use_case = core::UseCase::Hyperspectral;
+  cfg.duration_s = 400;
+  cfg.file_bytes = 91'000'000;
+  // run_campaign fills CompletedFlow timings from the span tree; rebuild the
+  // same result from the service's own bookkeeping and compare the reports.
+  core::CampaignResult from_spans = core::run_campaign(facility, cfg);
+  ASSERT_FALSE(from_spans.in_window.empty());
+  core::CampaignResult from_service = from_spans;
+  for (auto& f : from_service.in_window) {
+    if (!f.id.empty()) f.timing = facility.flows().timing(f.id);
+  }
+  for (auto& f : from_service.late) {
+    if (!f.id.empty()) f.timing = facility.flows().timing(f.id);
+  }
+  EXPECT_EQ(core::render_fig4(from_spans), core::render_fig4(from_service));
+  EXPECT_EQ(core::flows_csv(from_spans), core::flows_csv(from_service));
+  EXPECT_EQ(core::render_table1(from_spans, from_spans),
+            core::render_table1(from_service, from_service));
+}
+
+TEST(ReportFromSpans, CampaignRootSpanEnclosesRuns) {
+  core::Facility facility(fast_config("root"));
+  core::CampaignConfig cfg;
+  cfg.use_case = core::UseCase::Hyperspectral;
+  cfg.duration_s = 300;
+  cfg.file_bytes = 91'000'000;
+  core::run_campaign(facility, cfg);
+
+  const sim::Span* root =
+      facility.trace().find("campaign", "campaign", "campaign");
+  ASSERT_NE(root, nullptr);
+  auto runs = facility.trace().select("flow", "run");
+  ASSERT_FALSE(runs.empty());
+  for (const sim::Span* run : runs) {
+    EXPECT_EQ(run->parent_id, root->span_id);
+    EXPECT_GE(run->start.ns, root->start.ns);
+    EXPECT_LE(run->end.ns, root->end.ns);
+  }
+}
+
+}  // namespace
+}  // namespace pico::telemetry

@@ -313,6 +313,44 @@ TEST(Stats, BoxStats) {
   EXPECT_DOUBLE_EQ(b.max, 100);
 }
 
+TEST(Stats, QuantilesFromSamples) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  auto q = Quantiles::from(s);
+  EXPECT_EQ(q.count, 100u);
+  EXPECT_DOUBLE_EQ(q.p50, s.percentile(50));
+  EXPECT_DOUBLE_EQ(q.p90, s.percentile(90));
+  EXPECT_DOUBLE_EQ(q.p99, s.percentile(99));
+  EXPECT_LE(q.p50, q.p90);
+  EXPECT_LE(q.p90, q.p99);
+  EXPECT_EQ(q.to_string(),
+            format("p50=%.3f p90=%.3f p99=%.3f (n=%zu)", q.p50, q.p90, q.p99,
+                   q.count));
+  Quantiles empty = Quantiles::from(SampleStats{});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.p50, 0.0);
+}
+
+TEST(ThreadPool, StatsCountWorkAndBacklog) {
+  ThreadPool pool(2);
+  pool.submit([] {}).wait();
+  std::atomic<size_t> touched{0};
+  pool.parallel_chunks(100, 10, [&](size_t b, size_t e) {
+    touched += e - b;
+  });
+  EXPECT_EQ(touched.load(), 100u);
+
+  PoolStats st = pool.stats();
+  EXPECT_EQ(st.tasks_submitted, 1u);
+  EXPECT_EQ(st.batches, 1u);
+  EXPECT_EQ(st.chunks_executed, 10u);
+  EXPECT_LE(st.caller_chunks, st.chunks_executed);
+  // Utilization is bounded by the definition, not timing: chunk time over
+  // capacity with a huge wall clock collapses toward zero.
+  EXPECT_GE(st.utilization(1e9, 2), 0.0);
+  EXPECT_EQ(st.utilization(0.0, 2), 0.0);
+}
+
 TEST(Stats, HistogramBinning) {
   Histogram h(0, 10, 5);
   h.add(-1);   // clamps into first bin
