@@ -47,7 +47,8 @@ EndpointId ComputeService::register_endpoint(EndpointConfig config) {
 util::Result<TaskId> ComputeService::submit(const EndpointId& endpoint,
                                             const FunctionId& function,
                                             util::Json args,
-                                            const auth::Token& token) {
+                                            const auth::Token& token,
+                                            bool held) {
   using R = util::Result<TaskId>;
   if (!available_) {
     return R::err("compute service unavailable", "unavailable");
@@ -67,6 +68,7 @@ util::Result<TaskId> ComputeService::submit(const EndpointId& endpoint,
   task.endpoint = endpoint;
   task.function = function;
   task.args = std::move(args);
+  task.held = held;
   task.info.submitted = engine_->now();
   if (telemetry_) {
     // Context parent: the flow attempt span scoped around provider->start().
@@ -149,16 +151,65 @@ void ComputeService::run_task_on_node(const EndpointId& eid, size_t node_index,
   task.info.started = engine_->now();
   task.info.cold_start = !node.warmed;
 
+  // Environment warm-up charged on pickup (library caching), before either
+  // execution path.
+  double warmup = 0;
+  if (!node.warmed) {
+    warmup += std::max(0.0, rng_.normal(ep.config.env_warmup_s,
+                                        ep.config.env_warmup_jitter_s));
+  }
+
+  if (task.held && !task.released) {
+    // Held pickup: claim the node and charge the warm-up, then wait for
+    // release() before charging the function cost.
+    task.node_job = node.job;
+    const TaskId tid_copy = tid;
+    engine_->schedule_after(
+        sim::Duration::from_seconds(warmup), [this, eid, tid_copy] {
+          auto tit = tasks_.find(tid_copy);
+          if (tit == tasks_.end()) return;
+          Task& t = tit->second;
+          t.node_ready = true;
+          t.ready_at = engine_->now();
+          if (t.released) {
+            // release() arrived while the node was still warming: execute
+            // now with no overlap credit.
+            begin_execution(eid, tid_copy, t.node_job, 0.0, true);
+          }
+        });
+    return;
+  }
+
+  begin_execution(eid, tid, node.job, warmup, false);
+}
+
+void ComputeService::begin_execution(const EndpointId& eid, const TaskId& tid,
+                                     const hpcsim::JobId& job, double warmup_s,
+                                     bool credit_overlap) {
+  Endpoint& ep = endpoints_.at(eid);
+  Task& task = tasks_.at(tid);
   const Function& fn = functions_.at(task.function);
 
-  // Virtual duration: optional environment warm-up + the function's cost.
-  double duration = 0;
-  if (!node.warmed) {
-    duration += std::max(0.0, rng_.normal(ep.config.env_warmup_s,
-                                          ep.config.env_warmup_jitter_s));
+  // Virtual duration: the warm-up base plus the function's cost, minus any
+  // streamable overlap already performed while the task was held.
+  double cost = std::max(0.0, fn.spec.cost ? fn.spec.cost(task.args) : 1.0);
+  double duration = warmup_s + cost;
+  if (credit_overlap) {
+    double streamable =
+        fn.spec.streamable ? fn.spec.streamable(task.args) : 0.0;
+    streamable = std::min(std::max(0.0, streamable), cost);
+    double held_s =
+        std::max(0.0, (engine_->now() - task.ready_at).seconds());
+    double credit = std::min(streamable, held_s);
+    duration = warmup_s + cost - credit;
+    if (telemetry_) {
+      telemetry_->metrics
+          .histogram("compute_streamed_credit_seconds",
+                     "Function cost already covered by streamed overlap at "
+                     "release time")
+          .observe(credit);
+    }
   }
-  double cost = fn.spec.cost ? fn.spec.cost(task.args) : 1.0;
-  duration += std::max(0.0, cost);
 
   // Fault injection: the node dies partway through the task.
   bool node_died =
@@ -175,7 +226,7 @@ void ComputeService::run_task_on_node(const EndpointId& eid, size_t node_index,
                     : (fn.spec.body ? fn.spec.body(task.args)
                                     : util::Result<util::Json>::ok(util::Json()));
 
-  const hpcsim::JobId job_for_log = node.job;
+  const hpcsim::JobId job_for_log = job;
   engine_->schedule_after(
       sim::Duration::from_seconds(duration),
       [this, eid, tid, job_for_log, node_died, result = std::move(result)] {
@@ -223,6 +274,7 @@ void ComputeService::run_task_on_node(const EndpointId& eid, size_t node_index,
                                   t.info.started, t.info.completed, {}});
           }
           pump_endpoint(eid);
+          if (t.settled_cb) t.settled_cb(t.info);
           return;
         }
         if (telemetry_) {
@@ -266,7 +318,37 @@ void ComputeService::run_task_on_node(const EndpointId& eid, size_t node_index,
           }
         }
         pump_endpoint(eid);
+        if (t.settled_cb) t.settled_cb(t.info);
       });
+}
+
+void ComputeService::release(const TaskId& id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  Task& task = it->second;
+  if (!task.held || task.released) return;
+  task.released = true;
+  if (task.info.state == TaskState::Succeeded ||
+      task.info.state == TaskState::Failed) {
+    return;
+  }
+  if (task.node_ready) {
+    begin_execution(task.endpoint, id, task.node_job, 0.0, true);
+  }
+  // Not yet picked up (queued) or still warming: the pickup/warm-up path
+  // sees released == true and begins execution itself.
+}
+
+void ComputeService::on_settled(const TaskId& id,
+                                std::function<void(const TaskInfo&)> cb) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  if (it->second.info.state == TaskState::Succeeded ||
+      it->second.info.state == TaskState::Failed) {
+    cb(it->second.info);
+  } else {
+    it->second.settled_cb = std::move(cb);
+  }
 }
 
 void ComputeService::schedule_idle_release(const EndpointId& eid,

@@ -44,6 +44,12 @@ struct FunctionSpec {
   std::string name;
   FunctionBody body;
   FunctionCost cost;  ///< seconds of virtual node time
+  /// Seconds of `cost` that can proceed concurrently with the upstream input
+  /// still arriving (e.g. per-chunk fp64->uint8 conversion + reduction of a
+  /// spatiotemporal stack). A held task released after its node sat ready for
+  /// H seconds is charged cost - min(streamable, H). Unset = nothing
+  /// overlaps (the whole input is needed before any work starts).
+  FunctionCost streamable;
 };
 
 struct EndpointConfig {
@@ -90,10 +96,27 @@ class ComputeService {
     telemetry_ = telemetry;
   }
 
-  /// Submit fn(args) to an endpoint. Requires scope "compute".
+  /// Submit fn(args) to an endpoint. Requires scope "compute". With
+  /// held = true the task queues and claims a node normally (environment
+  /// warm-up charged on pickup), but its function cost is not charged until
+  /// release() — cut-through streaming pre-dispatch uses this to overlap
+  /// node provisioning and the streamable prefix of the work with an
+  /// upstream transfer still in flight.
   util::Result<TaskId> submit(const EndpointId& endpoint,
                               const FunctionId& function,
-                              util::Json args, const auth::Token& token);
+                              util::Json args, const auth::Token& token,
+                              bool held = false);
+
+  /// Release a held task: begin charging its function cost, crediting
+  /// min(streamable, seconds the node sat ready) of overlap already done.
+  /// Releasing before the node is ready degrades to a normal full-cost
+  /// execution. No-op for unknown, non-held, or already-released tasks.
+  void release(const TaskId& id);
+
+  /// Completion hook (fired in virtual time when the task settles, on every
+  /// terminal path including node failure). Fires immediately if already
+  /// settled.
+  void on_settled(const TaskId& id, std::function<void(const TaskInfo&)> cb);
 
   /// Poll task state (the flow engine's view).
   TaskInfo status(const TaskId& id) const;
@@ -137,11 +160,24 @@ class ComputeService {
     TaskInfo info;
     std::optional<util::Json> output;
     uint64_t span = 0;  ///< open telemetry span (0 = none)
+    /// Held-start (cut-through) state.
+    bool held = false;
+    bool released = false;
+    bool node_ready = false;    ///< node claimed + warmed, awaiting release
+    sim::SimTime ready_at;
+    hpcsim::JobId node_job;     ///< node claimed by a held task
+    std::function<void(const TaskInfo&)> settled_cb;
   };
 
   void pump_endpoint(const EndpointId& eid);
   void run_task_on_node(const EndpointId& eid, size_t node_index,
                         const TaskId& tid);
+  /// Charge the execution (warm-up already handled by the caller): compute
+  /// the virtual duration, run the real body, schedule settlement. With
+  /// credit_overlap the streamable overlap credit replaces the warm-up base.
+  void begin_execution(const EndpointId& eid, const TaskId& tid,
+                       const hpcsim::JobId& job, double warmup_s,
+                       bool credit_overlap);
   void maybe_grow(const EndpointId& eid);
   void schedule_idle_release(const EndpointId& eid, size_t node_index);
 

@@ -31,8 +31,13 @@ util::SampleStats CampaignResult::runtime_stats() const {
 }
 
 util::SampleStats CampaignResult::overhead_stats() const {
+  // Union-based: total minus the wall-clock union of the active intervals.
+  // Identical to total - active for serialized flows; stays meaningful (and
+  // non-negative) when cut-through streaming overlaps steps.
   util::SampleStats s;
-  for (const auto& f : in_window) s.add(f.timing.overhead_s());
+  for (const auto& f : in_window) {
+    s.add(f.timing.total_s() - f.timing.active_union_s());
+  }
   return s;
 }
 
@@ -40,8 +45,16 @@ util::SampleStats CampaignResult::overhead_pct_stats() const {
   util::SampleStats s;
   for (const auto& f : in_window) {
     double total = f.timing.total_s();
-    if (total > 0) s.add(100.0 * f.timing.overhead_s() / total);
+    if (total > 0) {
+      s.add(100.0 * (total - f.timing.active_union_s()) / total);
+    }
   }
+  return s;
+}
+
+util::SampleStats CampaignResult::overlap_stats() const {
+  util::SampleStats s;
+  for (const auto& f : in_window) s.add(f.timing.overlap_s());
   return s;
 }
 
@@ -345,6 +358,22 @@ CampaignResult run_campaign(Facility& facility, const CampaignConfig& config) {
   for (auto& step : driver->definition.steps) {
     auto it = config.step_timeouts.find(step.name);
     if (it != config.step_timeouts.end()) step.timeout_s = it->second;
+  }
+
+  // Cut-through streaming: flag the requested steps, and give the Transfer
+  // step ahead of each streaming step a chunk size so it exposes progress.
+  auto& steps = driver->definition.steps;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (std::find(config.streaming_steps.begin(), config.streaming_steps.end(),
+                  steps[i].name) == config.streaming_steps.end()) {
+      continue;
+    }
+    steps[i].streaming = true;
+    if (i > 0 && steps[i - 1].provider == "transfer" &&
+        config.streaming_chunk_bytes > 0) {
+      steps[i - 1].params["streaming_chunk_bytes"] =
+          config.streaming_chunk_bytes;
+    }
   }
 
   if (!config.chaos.empty()) {

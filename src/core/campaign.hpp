@@ -54,6 +54,13 @@ struct CampaignConfig {
   /// Per-step timeout overrides applied to the flow definition by step name
   /// (e.g. {"Transfer", 900}). Absent steps keep timeout 0 (none).
   std::map<std::string, double> step_timeouts;
+  /// Steps (by name) marked `streaming` on the definition: each begins
+  /// cut-through once the preceding step's first chunk lands. Requires the
+  /// flow service to run in Events completion mode to have any effect.
+  std::vector<std::string> streaming_steps;
+  /// Chunk size injected into a Transfer step's params when the step after it
+  /// streams (progress granularity of the cut-through pipeline).
+  int64_t streaming_chunk_bytes = 8 * 1000 * 1000;
 };
 
 struct CompletedFlow {
@@ -106,8 +113,13 @@ struct CampaignResult {
            static_cast<double>(in_window.size()) / 1e9;
   }
   util::SampleStats runtime_stats() const;
+  /// Union-based overhead (total minus the wall-clock union of active
+  /// intervals) — equals total - active for serialized flows, and stays
+  /// non-negative when streaming overlaps steps.
   util::SampleStats overhead_stats() const;
   util::SampleStats overhead_pct_stats() const;
+  /// Wall time saved by cut-through overlap per flow (0 when serialized).
+  util::SampleStats overlap_stats() const;
   /// Active seconds of the named step across in-window flows.
   util::SampleStats step_active_stats(const std::string& step_name) const;
   /// Poll-discovery lag of the named step (diagnostics).

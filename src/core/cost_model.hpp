@@ -19,7 +19,13 @@ namespace pico::core {
 
 struct CostModel {
   // -- Transfer ------------------------------------------------------------
-  double transfer_setup_mean_s = 4.0;
+  /// Task setup (auth handshake, endpoint activation, routing). Recalibrated
+  /// down from 4.0 s when the orchestration overhead was split into
+  /// signaling-mode-independent service latencies (this, settling) and
+  /// polling-specific ones (discovery lag, inter-step hops): the Table-1
+  /// polling totals stay on target, while an event-driven orchestrator
+  /// legitimately escapes only the polling-specific share.
+  double transfer_setup_mean_s = 1.5;
   double transfer_setup_jitter_s = 1.2;
   double transfer_per_file_s = 1.0;
   double per_flow_rate_cap_bps = 84e6;  ///< effective per-transfer throughput

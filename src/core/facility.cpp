@@ -128,6 +128,7 @@ util::Result<fault::FaultInjector*> Facility::install_faults(
   services.pbs = pbs_.get();
   services.auth = &auth_;
   services.expire_token = [this] { auth_.revoke(user_token_); };
+  services.flows = flows_.get();
   services.default_endpoint = polaris_ep_;
   injector_ = std::make_unique<fault::FaultInjector>(std::move(services));
   injector_->set_telemetry(&telemetry_);
@@ -419,6 +420,14 @@ void Facility::register_functions() {
   hyper.cost = [this, size_of, jitter](const Json& args) {
     return config_.cost.hyper_analysis_cost(size_of(args)) * jitter();
   };
+  // Streamable = the per-byte scan, which can chase the arriving chunks in a
+  // cut-through flow. The fixed base (imports, plot rendering) cannot.
+  // Deterministic on purpose: no rng draw, so enabling streaming never
+  // perturbs the shared cost/jitter sequences.
+  hyper.streamable = [this, size_of](const Json& args) {
+    return config_.cost.hyper_analysis_s_per_mb *
+           (static_cast<double>(size_of(args)) / 1e6);
+  };
   hyper_fn_ = compute_->register_function(std::move(hyper));
 
   compute::FunctionSpec spatio;
@@ -431,6 +440,16 @@ void Facility::register_functions() {
     return config_.cost.spatiotemporal_analysis_cost(size_of(args), frames,
                                                      naive, parallel) *
            jitter();
+  };
+  // fp64 -> uint8 conversion and per-frame inference both proceed frame by
+  // frame, so they can overlap with the tail of a chunked transfer; only the
+  // annotation/encode epilogue needs the full stack resident.
+  spatio.streamable = [this, size_of](const Json& args) {
+    int64_t frames = args.at("frames").as_int(600);
+    bool naive = args.at("naive_convert").as_bool(false);
+    bool parallel = args.at("parallel_convert").as_bool(false);
+    return config_.cost.convert_cost(size_of(args), naive, parallel) +
+           config_.cost.inference_s_per_frame * static_cast<double>(frames);
   };
   spatio_fn_ = compute_->register_function(std::move(spatio));
 }

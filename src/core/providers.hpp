@@ -14,7 +14,8 @@ namespace pico::core {
 /// Wraps TransferService. Params:
 ///   { "src_endpoint": str, "dst_endpoint": str,
 ///     "files": [{"src": str, "dst": str}, ...],
-///     "codec": str (optional), "assumed_virtual_ratio": num (optional) }
+///     "codec": str (optional), "assumed_virtual_ratio": num (optional),
+///     "streaming_chunk_bytes": int (optional; chunked cut-through mode) }
 /// Output: { "bytes": int, "wire_bytes": int, "files": int }
 class TransferProvider final : public flow::ActionProvider {
  public:
@@ -24,6 +25,10 @@ class TransferProvider final : public flow::ActionProvider {
   util::Result<flow::ActionHandle> start(const util::Json& params,
                                          const auth::Token& token) override;
   flow::ActionPollResult poll(const flow::ActionHandle& handle) override;
+  bool subscribe(const flow::ActionHandle& handle,
+                 std::function<void()> callback) override;
+  bool subscribe_progress(const flow::ActionHandle& handle,
+                          std::function<void(int64_t)> callback) override;
 
  private:
   transfer::TransferService* service_;
@@ -40,6 +45,12 @@ class ComputeProvider final : public flow::ActionProvider {
   util::Result<flow::ActionHandle> start(const util::Json& params,
                                          const auth::Token& token) override;
   flow::ActionPollResult poll(const flow::ActionHandle& handle) override;
+  bool subscribe(const flow::ActionHandle& handle,
+                 std::function<void()> callback) override;
+  bool supports_held_start() const override { return true; }
+  util::Result<flow::ActionHandle> start_held(const util::Json& params,
+                                              const auth::Token& token) override;
+  void release(const flow::ActionHandle& handle) override;
 
  private:
   compute::ComputeService* service_;
@@ -64,11 +75,14 @@ class SearchIngestProvider final : public flow::ActionProvider {
   util::Result<flow::ActionHandle> start(const util::Json& params,
                                          const auth::Token& token) override;
   flow::ActionPollResult poll(const flow::ActionHandle& handle) override;
+  bool subscribe(const flow::ActionHandle& handle,
+                 std::function<void()> callback) override;
 
  private:
   struct Pending {
     flow::ActionPollResult result;
     bool done = false;
+    std::function<void()> settled_cb;
   };
   sim::Engine* engine_;
   auth::AuthService* auth_;

@@ -89,6 +89,10 @@ std::string render_fig4(const CampaignResult& result) {
   print_box("Transfer", result.step_active_stats("Transfer"));
   print_box("Analysis", result.step_active_stats("Analyze"));
   print_box("Publication", result.step_active_stats("Publish"));
+  auto overlap = result.overlap_stats();
+  if (overlap.count() > 0 && overlap.max() > 0) {
+    print_box("Overlap", overlap);
+  }
   print_box("Overhead", result.overhead_stats());
   print_box("Total", result.runtime_stats());
 

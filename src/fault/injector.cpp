@@ -52,6 +52,9 @@ util::Status FaultInjector::install(const FaultSchedule& schedule) {
       case FaultKind::TokenExpiry:
         if (!s_.expire_token) return S::err("token_expiry needs an expire_token hook", "invalid");
         break;
+      case FaultKind::NotificationLoss:
+        if (!s_.flows) return S::err("notification_loss needs the flow service", "invalid");
+        break;
       case FaultKind::OrchestratorCrash:
         break;  // campaign-driver concern; the injector only carries it
     }
@@ -144,6 +147,12 @@ void FaultInjector::begin_event(const FaultEvent& event) {
       s_.compute->set_node_failure_prob(endpoint, event.severity);
       break;
     }
+    case FaultKind::NotificationLoss:
+      if (!saved_notification_loss_) {
+        saved_notification_loss_ = s_.flows->notification_loss_prob();
+      }
+      s_.flows->set_notification_loss_prob(event.severity);
+      break;
     case FaultKind::TokenExpiry:
     case FaultKind::OrchestratorCrash:
       break;
@@ -204,6 +213,12 @@ void FaultInjector::end_event(const FaultEvent& event) {
       saved_failure_prob_.erase(endpoint);
       break;
     }
+    case FaultKind::NotificationLoss:
+      if (saved_notification_loss_) {
+        s_.flows->set_notification_loss_prob(*saved_notification_loss_);
+        saved_notification_loss_.reset();
+      }
+      break;
     case FaultKind::TokenExpiry:
     case FaultKind::OrchestratorCrash:
       break;

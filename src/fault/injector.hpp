@@ -7,12 +7,14 @@
 // the schedule.
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "auth/auth.hpp"
 #include "compute/service.hpp"
 #include "fault/schedule.hpp"
+#include "flow/service.hpp"
 #include "hpcsim/pbs.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
@@ -40,6 +42,7 @@ class FaultInjector {
     compute::ComputeService* compute = nullptr;
     hpcsim::PbsScheduler* pbs = nullptr;
     auth::AuthService* auth = nullptr;
+    flow::FlowService* flows = nullptr;
     /// TokenExpiry hook: revoke the campaign's current token. The recovery
     /// side (re-issuing) is the campaign driver's job.
     std::function<void()> expire_token;
@@ -75,6 +78,8 @@ class FaultInjector {
   std::map<std::string, int> depth_;  ///< overlap count per (kind, target)
   std::map<net::LinkId, double> saved_capacity_;
   std::map<std::string, double> saved_failure_prob_;
+  /// Pre-window notification-loss probability (set while a window is open).
+  std::optional<double> saved_notification_loss_;
   std::vector<AppliedFault> log_;
 };
 

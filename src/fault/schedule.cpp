@@ -17,6 +17,7 @@ std::string fault_kind_name(FaultKind kind) {
     case FaultKind::TokenExpiry: return "token_expiry";
     case FaultKind::NodeFailureRate: return "node_failure_rate";
     case FaultKind::OrchestratorCrash: return "orchestrator_crash";
+    case FaultKind::NotificationLoss: return "notification_loss";
   }
   return "?";
 }
@@ -33,6 +34,7 @@ util::Result<FaultKind> fault_kind_from_name(const std::string& name) {
       {"token_expiry", FaultKind::TokenExpiry},
       {"node_failure_rate", FaultKind::NodeFailureRate},
       {"orchestrator_crash", FaultKind::OrchestratorCrash},
+      {"notification_loss", FaultKind::NotificationLoss},
   };
   for (const auto& [n, k] : kKinds) {
     if (name == n) return R::ok(k);
@@ -107,6 +109,10 @@ util::Result<FaultSchedule> FaultSchedule::from_json(const Json& doc) {
     if (e.kind == FaultKind::NodeFailureRate &&
         (e.severity < 0 || e.severity > 1)) {
       return R::err("node_failure_rate severity must be in [0, 1]", "schema");
+    }
+    if (e.kind == FaultKind::NotificationLoss &&
+        (e.severity < 0 || e.severity > 1)) {
+      return R::err("notification_loss severity must be in [0, 1]", "schema");
     }
     schedule.events.push_back(std::move(e));
   }

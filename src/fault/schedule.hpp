@@ -30,6 +30,7 @@ enum class FaultKind {
   TokenExpiry,        ///< instantaneous: the campaign's token is revoked
   NodeFailureRate,    ///< endpoint node-death probability = severity
   OrchestratorCrash,  ///< campaign driver blackout + journal replay
+  NotificationLoss,   ///< completion-notification drop probability = severity
 };
 
 std::string fault_kind_name(FaultKind kind);

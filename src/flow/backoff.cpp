@@ -49,6 +49,16 @@ std::string BackoffPolicy::describe() const {
 
 BackoffPolicy BackoffPolicy::paper_default() { return BackoffPolicy{}; }
 
+BackoffPolicy BackoffPolicy::adaptive(double cap_s) {
+  BackoffPolicy p;
+  p.kind = Kind::JitteredExponential;
+  p.initial_s = 1.0;
+  p.factor = 2.0;
+  p.cap_s = cap_s;
+  p.jitter_frac = 0.25;
+  return p;
+}
+
 BackoffPolicy BackoffPolicy::fixed(double interval_s) {
   BackoffPolicy p;
   p.kind = Kind::Fixed;

@@ -27,6 +27,11 @@ struct BackoffPolicy {
 
   /// The paper's production policy: 1 s start, doubling, 600 s cap.
   static BackoffPolicy paper_default();
+  /// Event-era fallback poller: jittered doubling with a tight cap so a lost
+  /// completion notification is discovered within ~cap_s seconds instead of
+  /// the paper's 10 minutes. Used by flow::Service as the reconcile policy
+  /// when completion callbacks are the primary signal.
+  static BackoffPolicy adaptive(double cap_s = 30.0);
   static BackoffPolicy fixed(double interval_s);
   static BackoffPolicy linear(double initial_s, double increment_s,
                               double cap_s);

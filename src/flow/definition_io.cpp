@@ -9,13 +9,15 @@ using util::Json;
 Json definition_to_json(const FlowDefinition& definition) {
   Json steps = Json::array();
   for (const auto& step : definition.steps) {
-    steps.push_back(Json::object({
+    Json s = Json::object({
         {"name", step.name},
         {"provider", step.provider},
         {"max_retries", static_cast<int64_t>(step.max_retries)},
         {"timeout_s", step.timeout_s},
         {"params", step.params},
-    }));
+    });
+    if (step.streaming) s["streaming"] = true;
+    steps.push_back(std::move(s));
   }
   return Json::object({
       {"name", definition.name},
@@ -59,6 +61,13 @@ util::Result<FlowDefinition> definition_from_json(const Json& doc) {
       return R::err("step " + step.name + " has negative timeout_s", "schema");
     }
     step.timeout_s = timeout_s;
+    step.streaming = s.at("streaming").as_bool(false);
+    if (step.streaming && def.steps.empty()) {
+      return R::err("step " + step.name +
+                        ": the first step cannot stream (there is no "
+                        "previous step to overlap with)",
+                    "schema");
+    }
     step.params = s.at("params");
     def.steps.push_back(std::move(step));
   }

@@ -1,5 +1,6 @@
 #include "flow/service.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "util/log.hpp"
@@ -23,6 +24,42 @@ std::string run_state_name(RunState s) {
   return "?";
 }
 
+std::string completion_mode_name(CompletionMode m) {
+  switch (m) {
+    case CompletionMode::Polling: return "polling";
+    case CompletionMode::Events: return "events";
+  }
+  return "?";
+}
+
+double RunTiming::active_union_s() const {
+  // Merge the per-step service intervals on the wall clock. Serialized runs
+  // reduce to the same per-step durations summed in the same order as
+  // active_s(), so the two agree bit for bit when nothing overlaps.
+  std::vector<std::pair<int64_t, int64_t>> iv;
+  for (const auto& s : steps) {
+    if (s.service_completed.ns > s.service_started.ns) {
+      iv.emplace_back(s.service_started.ns, s.service_completed.ns);
+    }
+  }
+  std::sort(iv.begin(), iv.end());
+  double total = 0;
+  int64_t lo = 0, hi = 0;
+  bool open = false;
+  for (const auto& [a, b] : iv) {
+    if (open && a <= hi) {
+      hi = std::max(hi, b);
+      continue;
+    }
+    if (open) total += (sim::SimTime{hi} - sim::SimTime{lo}).seconds();
+    lo = a;
+    hi = b;
+    open = true;
+  }
+  if (open) total += (sim::SimTime{hi} - sim::SimTime{lo}).seconds();
+  return total;
+}
+
 FlowService::FlowService(sim::Engine* engine, auth::AuthService* auth,
                          FlowServiceConfig config, uint64_t seed,
                          sim::Trace* trace)
@@ -38,6 +75,16 @@ void FlowService::register_provider(ActionProvider* provider) {
 
 void FlowService::set_telemetry(telemetry::Telemetry* telemetry) {
   telemetry_ = telemetry;
+}
+
+void FlowService::set_notification_loss_prob(double prob) {
+  notification_loss_prob_ = std::max(0.0, std::min(1.0, prob));
+}
+
+const BackoffPolicy& FlowService::active_poll_policy() const {
+  return config_.completion_mode == CompletionMode::Events
+             ? config_.reconcile_backoff
+             : config_.backoff;
 }
 
 void FlowService::on_breaker_transition(const std::string& provider,
@@ -256,10 +303,29 @@ void FlowService::dispatch_step(const RunId& id) {
   run.current_handle = handle.value();
   run.poll_attempt = 0;
   run.last_progress_token.clear();
+  run.subscribed = false;
   uint64_t epoch = ++run.epoch;
 
-  // First poll after the initial backoff interval.
-  double wait = config_.backoff.interval_s(0, rng_);
+  if (config_.completion_mode == CompletionMode::Events) {
+    run.subscribed = provider->subscribe(
+        run.current_handle, [this, id, epoch] { on_notification(id, epoch); });
+  }
+  // Cut-through: when the *next* step opted into streaming and its provider
+  // can hold a started action, watch this step's byte progress and
+  // pre-dispatch on the first chunk landing.
+  size_t next_idx = run.info.current_step + 1;
+  if (next_idx < run.definition.steps.size() &&
+      run.definition.steps[next_idx].streaming &&
+      providers_.at(run.definition.steps[next_idx].provider)
+          ->supports_held_start()) {
+    provider->subscribe_progress(
+        run.current_handle,
+        [this, id, epoch](int64_t) { on_stream_progress(id, epoch); });
+  }
+
+  // First poll after the initial interval of the policy in force (the sparse
+  // reconcile net when subscribed; the configured backoff otherwise).
+  double wait = active_poll_policy().interval_s(0, rng_);
   engine_->schedule_after(sim::Duration::from_seconds(wait),
                           [this, id, epoch] { poll_step(id, epoch); });
   if (step.timeout_s > 0) {
@@ -291,15 +357,17 @@ void FlowService::poll_step(const RunId& id, uint64_t epoch) {
   ActionPollResult poll = provider->poll(run.current_handle);
   switch (poll.status) {
     case ActionStatus::Active: {
-      if (!poll.progress_token.empty() &&
+      if (!run.subscribed && !poll.progress_token.empty() &&
           poll.progress_token != run.last_progress_token) {
         // Observed a service-side status transition: restart the backoff.
+        // Subscribed attempts skip the reset — their polls are only a sparse
+        // safety net behind the completion notification.
         run.last_progress_token = poll.progress_token;
         run.poll_attempt = 0;
       } else {
         ++run.poll_attempt;
       }
-      double wait = config_.backoff.interval_s(run.poll_attempt, rng_);
+      double wait = active_poll_policy().interval_s(run.poll_attempt, rng_);
       engine_->schedule_after(sim::Duration::from_seconds(wait),
                               [this, id, epoch] { poll_step(id, epoch); });
       return;
@@ -348,6 +416,213 @@ void FlowService::timeout_step(const RunId& id, uint64_t epoch) {
       "step " + step.name + " timed out after " +
           util::format("%.1f", step.timeout_s) + "s",
       0);
+}
+
+void FlowService::on_notification(const RunId& id, uint64_t epoch) {
+  auto it = runs_.find(id);
+  if (it == runs_.end()) return;
+  Run& run = it->second;
+  if (run.info.state != RunState::Active || run.epoch != epoch) return;
+  const ActionState& step = run.definition.steps[run.info.current_step];
+  if (telemetry_) {
+    telemetry_->metrics
+        .counter("flow_notifications_total",
+                 "Completion notifications emitted by providers, by provider",
+                 {{"provider", step.provider}})
+        .inc();
+  }
+  if (notification_loss_prob_ > 0 && rng_.chance(notification_loss_prob_)) {
+    // Dropped on the wire: the reconcile poller discovers the completion.
+    if (telemetry_) {
+      telemetry_->metrics
+          .counter("flow_notifications_lost_total",
+                   "Completion notifications dropped before delivery, "
+                   "by provider",
+                   {{"provider", step.provider}})
+          .inc();
+      if (run.step_span != 0) {
+        telemetry_->tracer.event(run.step_span, "notification-lost",
+                                 engine_->now(),
+                                 util::Json::object({
+                                     {"provider", step.provider},
+                                 }));
+      }
+    }
+    logger().debug("%s: completion notification lost (step %s)", id.c_str(),
+                   step.name.c_str());
+    return;
+  }
+  double delay = jittered(config_.notification_latency_s);
+  engine_->schedule_after(
+      sim::Duration::from_seconds(delay), [this, id, epoch, delay] {
+        auto it2 = runs_.find(id);
+        if (it2 == runs_.end()) return;
+        Run& r = it2->second;
+        if (r.info.state != RunState::Active || r.epoch != epoch) return;
+        ++r.timing.steps[r.info.current_step].notifications;
+        if (telemetry_) {
+          telemetry_->metrics
+              .histogram("flow_notification_latency_seconds",
+                         "Delivery latency of consumed completion "
+                         "notifications")
+              .observe(delay);
+        }
+        // The delivered notification carries no verdict: poll once to learn
+        // the outcome (this also counts toward provider poll load).
+        poll_step(id, epoch);
+      });
+}
+
+void FlowService::on_stream_progress(const RunId& id, uint64_t epoch) {
+  auto it = runs_.find(id);
+  if (it == runs_.end()) return;
+  Run& run = it->second;
+  if (run.info.state != RunState::Active || run.epoch != epoch) return;
+  if (!run.pre_handle.empty()) return;  // already pre-dispatched
+  size_t next_idx = run.info.current_step + 1;
+  if (next_idx >= run.definition.steps.size()) return;
+  const ActionState& next = run.definition.steps[next_idx];
+  ActionProvider* provider = providers_.at(next.provider);
+  if (!provider->supports_held_start()) return;
+
+  // NOTE: "$.steps.<current>.*" references resolve to null here — the
+  // current step has no output yet. Streaming steps must template from
+  // "$.input.*" only (definition_io validates this).
+  util::Json resolved =
+      resolve_params(next.params, run.info.input, run.info.step_outputs);
+  sim::SimTime t0 = engine_->now();
+  uint64_t step_span = 0, attempt_span = 0;
+  if (telemetry_) {
+    step_span =
+        telemetry_->tracer.open("flow", id + "/" + next.name, run.run_span);
+    attempt_span = telemetry_->tracer.open("flow", id + "/" + next.name + "#0",
+                                           step_span);
+  }
+  util::Result<ActionHandle> handle = [&] {
+    if (!telemetry_) return provider->start_held(resolved, run.token);
+    telemetry::Tracer::Scope scope(telemetry_->tracer, attempt_span);
+    return provider->start_held(resolved, run.token);
+  }();
+  if (!handle) {
+    // Held start refused: fall back to serialized dispatch after the current
+    // step settles. Close the speculative spans so the tree stays balanced.
+    if (telemetry_) {
+      telemetry_->tracer.close(attempt_span, "attempt", t0, engine_->now(),
+                               util::Json::object({
+                                   {"provider", next.provider},
+                                   {"outcome", "held-start-failed"},
+                                   {"error", handle.error().message},
+                               }));
+      telemetry_->tracer.close(step_span, "step-abandoned", t0, engine_->now(),
+                               util::Json::object({{"step", next.name}}));
+    }
+    logger().debug("%s: held pre-dispatch of %s refused (%s)", id.c_str(),
+                   next.name.c_str(), handle.error().message.c_str());
+    return;
+  }
+  run.pre_handle = handle.value();
+  run.pre_step = next_idx;
+  run.pre_dispatched = t0;
+  run.pre_step_span = step_span;
+  run.pre_attempt_span = attempt_span;
+  if (telemetry_) {
+    telemetry_->metrics
+        .counter("flow_stream_predispatch_total",
+                 "Next-step actions pre-dispatched (held) on first-chunk "
+                 "progress, by step",
+                 {{"step", next.name}})
+        .inc();
+    if (run.step_span != 0) {
+      telemetry_->tracer.event(run.step_span, "stream-predispatch", t0,
+                               util::Json::object({{"next", next.name}}));
+    }
+  }
+  logger().debug("%s: pre-dispatched %s (held) on first-chunk progress",
+                 id.c_str(), next.name.c_str());
+}
+
+void FlowService::activate_prestarted(const RunId& id) {
+  auto it = runs_.find(id);
+  if (it == runs_.end()) return;
+  Run& run = it->second;
+  if (run.info.state != RunState::Active) return;
+  if (run.pre_handle.empty() || run.pre_step != run.info.current_step) {
+    dispatch_step(id);  // pre-dispatch evaporated: serialized fallback
+    return;
+  }
+  const ActionState& step = run.definition.steps[run.info.current_step];
+  ActionProvider* provider = providers_.at(step.provider);
+
+  StepTiming timing;
+  timing.name = step.name;
+  timing.dispatched = run.pre_dispatched;
+  timing.streamed = true;
+  if (run.timing.steps.size() <= run.info.current_step) {
+    run.timing.steps.push_back(timing);
+  }
+  // Adopt the speculative spans as the live step/attempt spans.
+  run.step_span = run.pre_step_span;
+  run.attempt_span = run.pre_attempt_span;
+  run.attempt_started = run.pre_dispatched;
+  active_step_span_ = run.step_span;
+  run.current_handle = run.pre_handle;
+  run.pre_handle.clear();
+  run.pre_step_span = 0;
+  run.pre_attempt_span = 0;
+  run.poll_attempt = 0;
+  run.last_progress_token.clear();
+  run.subscribed = false;
+  uint64_t epoch = ++run.epoch;
+
+  // Release the held action (it starts charging residual cost now, crediting
+  // the overlap already elapsed), then wire up completion signaling exactly
+  // like a fresh dispatch. The breaker gate is skipped: the action already
+  // started successfully when it was held.
+  provider->release(run.current_handle);
+  if (config_.completion_mode == CompletionMode::Events) {
+    run.subscribed = provider->subscribe(
+        run.current_handle, [this, id, epoch] { on_notification(id, epoch); });
+  }
+  if (telemetry_) {
+    telemetry_->metrics
+        .counter("flow_streamed_steps_total",
+                 "Steps activated from a cut-through pre-dispatch, by step",
+                 {{"step", step.name}})
+        .inc();
+  }
+  double wait = active_poll_policy().interval_s(0, rng_);
+  engine_->schedule_after(sim::Duration::from_seconds(wait),
+                          [this, id, epoch] { poll_step(id, epoch); });
+  if (step.timeout_s > 0) {
+    engine_->schedule_after(sim::Duration::from_seconds(step.timeout_s),
+                            [this, id, epoch] { timeout_step(id, epoch); });
+  }
+}
+
+void FlowService::abandon_prestart(Run& run) {
+  if (run.pre_handle.empty()) return;
+  const ActionState& step = run.definition.steps[run.pre_step];
+  // Let the held service work run to completion unobserved, like any
+  // abandoned action — release frees the held resources.
+  providers_.at(step.provider)->release(run.pre_handle);
+  if (telemetry_) {
+    if (run.pre_attempt_span != 0) {
+      telemetry_->tracer.close(run.pre_attempt_span, "attempt",
+                               run.pre_dispatched, engine_->now(),
+                               util::Json::object({
+                                   {"provider", step.provider},
+                                   {"outcome", "abandoned"},
+                               }));
+    }
+    if (run.pre_step_span != 0) {
+      telemetry_->tracer.close(run.pre_step_span, "step-abandoned",
+                               run.pre_dispatched, engine_->now(),
+                               util::Json::object({{"step", step.name}}));
+    }
+  }
+  run.pre_handle.clear();
+  run.pre_step_span = 0;
+  run.pre_attempt_span = 0;
 }
 
 void FlowService::step_attempt_failed(const RunId& id, const std::string& error,
@@ -462,9 +737,21 @@ void FlowService::complete_step(const RunId& id, const ActionPollResult& poll) {
   if (run.info.current_step >= run.definition.steps.size()) {
     finish_run(id);
   } else {
-    engine_->schedule_after(
-        sim::Duration::from_seconds(jittered(config_.inter_step_latency_s)),
-        [this, id] { dispatch_step(id); });
+    // Events mode advances inside the notification callback instead of
+    // waiting for the next scheduler tick, so the inter-step hop shrinks.
+    double hop = config_.completion_mode == CompletionMode::Events
+                     ? config_.event_inter_step_latency_s
+                     : config_.inter_step_latency_s;
+    bool streamed_next =
+        !run.pre_handle.empty() && run.pre_step == run.info.current_step;
+    engine_->schedule_after(sim::Duration::from_seconds(jittered(hop)),
+                            [this, id, streamed_next] {
+                              if (streamed_next) {
+                                activate_prestarted(id);
+                              } else {
+                                dispatch_step(id);
+                              }
+                            });
   }
 }
 
@@ -489,6 +776,7 @@ void FlowService::fail_run(const RunId& id, const std::string& error) {
   run.info.state = RunState::Failed;
   run.info.error = error;
   run.timing.finished = engine_->now();
+  abandon_prestart(run);
   // Close spans before the finished callback: campaign drivers rebuild the
   // run's timing from the span tree inside that callback.
   if (telemetry_) {
@@ -564,6 +852,8 @@ void FlowService::close_step_span(Run& run, const std::string& category) {
                                {"polls", t.polls},
                                {"retries", t.retries},
                                {"timeouts", t.timeouts},
+                               {"notifications", t.notifications},
+                               {"streamed", t.streamed ? 1 : 0},
                                {"step", t.name},
                                {"dispatched_ns", t.dispatched.ns},
                                {"service_started_ns", t.service_started.ns},
@@ -630,6 +920,9 @@ bool timing_from_spans(const sim::Trace& trace, const RunId& id,
     s.polls = static_cast<int>(child->attrs.at("polls").as_int());
     s.retries = static_cast<int>(child->attrs.at("retries").as_int());
     s.timeouts = static_cast<int>(child->attrs.at("timeouts").as_int());
+    s.notifications =
+        static_cast<int>(child->attrs.at("notifications").as_int());
+    s.streamed = child->attrs.at("streamed").as_int() != 0;
     t.steps.push_back(std::move(s));
   }
   *out = std::move(t);

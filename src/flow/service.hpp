@@ -57,6 +57,45 @@ class ActionProvider {
   virtual util::Result<ActionHandle> start(const util::Json& params,
                                            const auth::Token& token) = 0;
   virtual ActionPollResult poll(const ActionHandle& handle) = 0;
+
+  /// Push-based completion (Globus webhooks / AMQP event fan-out). Providers
+  /// that can signal settlement call `callback` once, in virtual time, when
+  /// the action reaches a terminal state (success OR failure — the callback
+  /// carries no verdict; the orchestrator polls once to learn the outcome).
+  /// Returns false when the provider has no event channel, in which case the
+  /// orchestrator stays on its polling loop. Default: no event channel.
+  virtual bool subscribe(const ActionHandle& handle,
+                         std::function<void()> callback) {
+    (void)handle;
+    (void)callback;
+    return false;
+  }
+
+  /// Byte-level progress events for cut-through streaming (callback receives
+  /// cumulative logical bytes landed). Returns false when the provider cannot
+  /// stream progress. Default: no progress channel.
+  virtual bool subscribe_progress(const ActionHandle& handle,
+                                  std::function<void(int64_t)> callback) {
+    (void)handle;
+    (void)callback;
+    return false;
+  }
+
+  /// Cut-through support: a provider that can *hold* a started action (claim
+  /// resources, warm the environment, then wait for release before charging
+  /// the main cost) lets the orchestrator pre-dispatch the next step while
+  /// the current one is still landing bytes.
+  virtual bool supports_held_start() const { return false; }
+  virtual util::Result<ActionHandle> start_held(const util::Json& params,
+                                                const auth::Token& token) {
+    (void)params;
+    (void)token;
+    return util::Result<ActionHandle>::err("held start not supported",
+                                           "unsupported");
+  }
+  /// Release a held action: begin (or finish) charging its cost, crediting
+  /// the overlap already elapsed while held.
+  virtual void release(const ActionHandle& handle) { (void)handle; }
 };
 
 struct ActionState {
@@ -68,6 +107,13 @@ struct ActionState {
   /// (0 = no timeout). A timeout consumes one retry; the in-flight service
   /// work is not recalled — as with cancel(), it completes unobserved.
   double timeout_s = 0;
+  /// Cut-through streaming: pre-dispatch this step (held) as soon as the
+  /// *previous* step reports byte progress, so e.g. the fp64->uint8
+  /// conversion starts while the transfer is still landing chunks. Requires
+  /// the previous step's provider to stream progress and this step's
+  /// provider to support held starts; silently falls back to serialized
+  /// dispatch otherwise. Meaningless on the first step.
+  bool streaming = false;
 };
 
 struct FlowDefinition {
@@ -88,6 +134,8 @@ struct StepTiming {
   int polls = 0;
   int retries = 0;
   int timeouts = 0;              ///< attempts abandoned via ActionState::timeout_s
+  int notifications = 0;         ///< completion callbacks consumed
+  bool streamed = false;         ///< step was pre-dispatched via cut-through
 
   double active_s() const {
     return (service_completed - service_started).seconds();
@@ -111,6 +159,12 @@ struct RunTiming {
   }
   /// total - active: the paper's definition of flow orchestration overhead.
   double overhead_s() const { return total_s() - active_s(); }
+  /// Union of the per-step active intervals on the wall clock. For serialized
+  /// runs this equals active_s(); when steps overlap (cut-through streaming)
+  /// the union is smaller, and total - union is the honest overhead.
+  double active_union_s() const;
+  /// Wall time saved by overlapping steps: active_s() - active_union_s().
+  double overlap_s() const { return active_s() - active_union_s(); }
 };
 
 struct RunInfo {
@@ -122,13 +176,41 @@ struct RunInfo {
   std::map<std::string, util::Json> step_outputs;
 };
 
+/// How the orchestrator learns that a dispatched action settled.
+enum class CompletionMode {
+  /// The paper's production behaviour: poll every provider to completion
+  /// with `backoff` (1 s start, doubling, 10 min cap by default).
+  Polling,
+  /// Subscribe to provider completion events; polling degrades to a sparse
+  /// safety net (`reconcile_backoff`) that catches lost notifications and
+  /// providers with no event channel.
+  Events,
+};
+
+std::string completion_mode_name(CompletionMode m);
+
 struct FlowServiceConfig {
   /// Cloud processing before the first step dispatches.
   double start_latency_s = 1.5;
-  /// Orchestration hop between a discovered completion and the next dispatch.
-  double inter_step_latency_s = 1.2;
+  /// Orchestration hop between a discovered completion and the next dispatch:
+  /// the Flows engine evaluates the state machine, persists the transition,
+  /// and round-trips the next action provider — a few seconds per transition
+  /// in the hosted service, and a polling-loop cost the event path replaces
+  /// with `event_inter_step_latency_s`.
+  double inter_step_latency_s = 2.4;
   double latency_jitter_frac = 0.3;
   BackoffPolicy backoff = BackoffPolicy::paper_default();
+  /// Completion signaling. Polling (default) reproduces the paper; Events
+  /// switches to push-based notifications with a polling safety net.
+  CompletionMode completion_mode = CompletionMode::Polling;
+  /// Webhook/AMQP delivery latency for a completion notification (jittered).
+  double notification_latency_s = 0.1;
+  /// Inter-step hop in Events mode: the engine advances inside the event
+  /// callback instead of waiting for the next scheduler tick.
+  double event_inter_step_latency_s = 0.1;
+  /// Safety-net poller used in Events mode (and the "adaptive polling"
+  /// mode when events are off but this policy is installed as `backoff`).
+  BackoffPolicy reconcile_backoff = BackoffPolicy::adaptive();
   /// Per-provider circuit breaker (shared across all runs). While open,
   /// dispatches fail fast — each wait consumes one step retry — and the
   /// re-dispatch is deferred until the breaker half-opens, so a down service
@@ -193,6 +275,12 @@ class FlowService {
   /// Total step attempts abandoned via timeout, across all runs.
   uint64_t total_timeouts() const { return total_timeouts_; }
 
+  /// Probability that a provider completion notification is dropped before
+  /// delivery (fault::FaultKind::NotificationLoss sets this during chaos
+  /// windows). Lost notifications are discovered by the reconcile poller.
+  void set_notification_loss_prob(double prob);
+  double notification_loss_prob() const { return notification_loss_prob_; }
+
   /// Resolve "$." references in params against input + step outputs
   /// (exposed for tests).
   static util::Json resolve_params(const util::Json& params,
@@ -213,6 +301,16 @@ class FlowService {
     /// (new dispatch, completion, timeout, failure). Scheduled poll/timeout
     /// events capture the epoch and no-op if it moved on.
     uint64_t epoch = 0;
+    /// Current attempt has a live completion subscription: polling is only
+    /// the sparse reconcile safety net, never reset on token change.
+    bool subscribed = false;
+    /// Cut-through pre-dispatch of the *next* step (held at its provider
+    /// until the current step settles). Empty handle = none outstanding.
+    ActionHandle pre_handle;
+    size_t pre_step = 0;
+    sim::SimTime pre_dispatched;
+    uint64_t pre_step_span = 0;
+    uint64_t pre_attempt_span = 0;
     std::function<void(const RunId&, const RunInfo&)> finished_cb;
     /// Telemetry span ids (0 = none open). The run span parents step spans;
     /// each step span parents its provider-attempt spans.
@@ -225,12 +323,29 @@ class FlowService {
   void dispatch_step(const RunId& id);
   void poll_step(const RunId& id, uint64_t epoch);
   void timeout_step(const RunId& id, uint64_t epoch);
+  /// A provider completion notification fired for the current attempt.
+  /// Applies notification-loss chaos, then (after jittered
+  /// notification_latency_s) folds into poll_step.
+  void on_notification(const RunId& id, uint64_t epoch);
+  /// First byte-progress event from a streaming-capable step: pre-dispatch
+  /// the next step held, if it opted into `streaming`.
+  void on_stream_progress(const RunId& id, uint64_t epoch);
+  /// The current step completed with a held pre-dispatch waiting: adopt the
+  /// pre-started action as the new current attempt and release it.
+  void activate_prestarted(const RunId& id);
+  /// Drop an outstanding pre-dispatch (run failed/cancelled before the
+  /// streamed step could activate). The held service work completes
+  /// unobserved, like any abandoned action.
+  void abandon_prestart(Run& run);
   void step_attempt_failed(const RunId& id, const std::string& error,
                            double retry_delay_s);
   void complete_step(const RunId& id, const ActionPollResult& poll);
   void fail_run(const RunId& id, const std::string& error);
   void finish_run(const RunId& id);
   double jittered(double base);
+  /// Poll policy in force: the sparse reconcile net in Events mode, the
+  /// configured backoff otherwise.
+  const BackoffPolicy& active_poll_policy() const;
   CircuitBreaker& breaker_for(const std::string& provider);
   /// Close the step span (if open) carrying the full StepTiming as integer-ns
   /// attributes, so reports can be rebuilt from the span tree alone.
@@ -255,6 +370,7 @@ class FlowService {
   std::map<RunId, Run> runs_;
   uint64_t next_run_ = 1;
   uint64_t total_timeouts_ = 0;
+  double notification_loss_prob_ = 0;
 };
 
 /// Rebuild a settled run's RunTiming purely from its closed span tree: the

@@ -77,6 +77,23 @@ std::string render_telemetry_html(const telemetry::TelemetrySummary& summary,
     out += "</table>";
   }
 
+  out += "<h2>Completion signaling</h2>";
+  {
+    const auto& sig = summary.signaling;
+    out += "<table><tr><th>polls</th><th>notifications</th>"
+           "<th>lost</th><th>latency p50 (s)</th><th>latency p90 (s)</th>"
+           "<th>stream pre-dispatches</th><th>streamed steps</th></tr>";
+    out += format(
+        "<tr><td>%llu</td><td>%llu</td><td>%llu</td><td>%.3g</td>"
+        "<td>%.3g</td><td>%llu</td><td>%llu</td></tr></table>",
+        static_cast<unsigned long long>(sig.polls),
+        static_cast<unsigned long long>(sig.notifications),
+        static_cast<unsigned long long>(sig.notifications_lost),
+        sig.notification_latency_p50_s, sig.notification_latency_p90_s,
+        static_cast<unsigned long long>(sig.stream_predispatches),
+        static_cast<unsigned long long>(sig.streamed_steps));
+  }
+
   out += "<h2>Provider health</h2>";
   if (summary.providers.empty()) {
     out += "<p>No breaker activity or retries recorded.</p>";

@@ -132,8 +132,24 @@ TelemetrySummary summarize(const sim::Trace& trace,
       if (ProviderHealth* h = provider_of()) h->retries += v;
     } else if (m.name == "flow_breaker_deferrals_total") {
       if (ProviderHealth* h = provider_of()) h->deferrals += v;
+    } else if (m.name == "flow_polls_total") {
+      out.signaling.polls += v;
+    } else if (m.name == "flow_notifications_total") {
+      out.signaling.notifications += v;
+    } else if (m.name == "flow_notifications_lost_total") {
+      out.signaling.notifications_lost += v;
+    } else if (m.name == "flow_notification_latency_seconds") {
+      out.signaling.notification_latency_p50_s = m.p50;
+      out.signaling.notification_latency_p90_s = m.p90;
+    } else if (m.name == "flow_stream_predispatch_total") {
+      out.signaling.stream_predispatches += v;
+    } else if (m.name == "flow_streamed_steps_total") {
+      out.signaling.streamed_steps += v;
     }
   }
+  // Delivered = emitted minus dropped.
+  out.signaling.notifications -=
+      std::min(out.signaling.notifications, out.signaling.notifications_lost);
   for (auto& [name, health] : providers) {
     out.providers.push_back(std::move(health));
   }

@@ -37,9 +37,23 @@ struct ProviderHealth {
   uint64_t deferrals = 0;  ///< dispatches deferred while the breaker was open
 };
 
+/// How step completions reached the orchestrator: polls vs provider
+/// notifications, plus the cut-through streaming counters. All zeros except
+/// `polls` under the paper-default polling mode.
+struct CompletionSignaling {
+  uint64_t polls = 0;               ///< flow_polls_total across providers
+  uint64_t notifications = 0;       ///< delivered completion notifications
+  uint64_t notifications_lost = 0;  ///< dropped before delivery (chaos)
+  double notification_latency_p50_s = 0;
+  double notification_latency_p90_s = 0;
+  uint64_t stream_predispatches = 0;  ///< held starts on first-chunk progress
+  uint64_t streamed_steps = 0;        ///< steps activated cut-through
+};
+
 struct TelemetrySummary {
   std::vector<StepDecomposition> steps;
   std::vector<ProviderHealth> providers;
+  CompletionSignaling signaling;
   std::vector<MetricSample> metrics;  ///< full deterministic snapshot
   size_t span_count = 0;
   size_t event_count = 0;  ///< span events across all spans

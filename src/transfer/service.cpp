@@ -175,13 +175,22 @@ void TransferService::begin_next_file(const TaskId& id) {
   }
   int64_t wire_bytes = wire.value();
 
-  // Per-file bookkeeping delay, then the network flow.
+  // Per-file bookkeeping delay, then the network flow(s).
   int64_t logical_bytes = obj.value()->size;
   engine_->schedule_after(
       sim::Duration::from_seconds(config_.per_file_overhead_s),
       [this, id, spec, wire_bytes, logical_bytes] {
         auto it2 = tasks_.find(id);
         if (it2 == tasks_.end()) return;
+        if (it2->second.request.streaming_chunk_bytes > 0) {
+          // Chunked (cut-through) path: the file moves as consecutive chunk
+          // flows; a retry after a fault restarts it from the first chunk.
+          it2->second.current_file_bytes = logical_bytes;
+          it2->second.current_file_wire_bytes = wire_bytes;
+          it2->second.chunk_wire_sent = 0;
+          send_next_chunk(id, spec, wire_bytes, logical_bytes);
+          return;
+        }
         auto flow = network_->start_flow(
             endpoints_.at(it2->second.request.src_endpoint).node,
             endpoints_.at(it2->second.request.dst_endpoint).node, wire_bytes,
@@ -199,6 +208,51 @@ void TransferService::begin_next_file(const TaskId& id) {
   (void)dst;
 }
 
+void TransferService::send_next_chunk(const TaskId& id, const FileSpec& spec,
+                                      int64_t wire_bytes,
+                                      int64_t logical_bytes) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  ActiveTask& task = it->second;
+  int64_t remaining = wire_bytes - task.chunk_wire_sent;
+  if (remaining <= 0) {
+    task.current_flow = 0;
+    finish_file(id, spec, wire_bytes);
+    return;
+  }
+  int64_t chunk = std::min(remaining, task.request.streaming_chunk_bytes);
+  auto flow = network_->start_flow(
+      endpoints_.at(task.request.src_endpoint).node,
+      endpoints_.at(task.request.dst_endpoint).node, chunk,
+      [this, id, spec, wire_bytes, logical_bytes, chunk](net::FlowId) {
+        auto it2 = tasks_.find(id);
+        if (it2 == tasks_.end()) return;
+        ActiveTask& t = it2->second;
+        t.chunk_wire_sent += chunk;
+        if (telemetry_) {
+          telemetry_->metrics
+              .counter("transfer_chunks_total",
+                       "Streaming chunks landed across all chunked tasks")
+              .inc();
+        }
+        if (t.progress_cb) {
+          double frac = wire_bytes > 0 ? static_cast<double>(t.chunk_wire_sent) /
+                                             static_cast<double>(wire_bytes)
+                                       : 1.0;
+          t.progress_cb(t.info.bytes_done +
+                        static_cast<int64_t>(
+                            frac * static_cast<double>(logical_bytes)));
+        }
+        send_next_chunk(id, spec, wire_bytes, logical_bytes);
+      },
+      task.effective_cap_bps);
+  if (!flow) {
+    fail_task(id, flow.error().message);
+    return;
+  }
+  task.current_flow = flow.value();
+}
+
 void TransferService::finish_file(const TaskId& id, const FileSpec& spec,
                                   int64_t wire_bytes) {
   auto it = tasks_.find(id);
@@ -206,6 +260,8 @@ void TransferService::finish_file(const TaskId& id, const FileSpec& spec,
   ActiveTask& task = it->second;
   task.current_flow = 0;
   task.current_file_bytes = 0;
+  task.current_file_wire_bytes = 0;
+  task.chunk_wire_sent = 0;
 
   // Fault injection: the file arrived corrupt / the stream broke. Retry the
   // whole file after a backoff, as Globus does.
@@ -371,7 +427,20 @@ TaskInfo TransferService::status(const TaskId& id) const {
   // while a task runs (clients observe it changing between polls).
   if (it->second.current_flow != 0) {
     net::FlowStatus fs = network_->status(it->second.current_flow);
-    if (fs.active && fs.total_bytes > 0) {
+    if (it->second.request.streaming_chunk_bytes > 0) {
+      // Chunked task: landed chunks plus the live chunk's in-flight bytes,
+      // scaled from wire to logical size.
+      double landed_wire =
+          static_cast<double>(it->second.chunk_wire_sent) +
+          (fs.active ? static_cast<double>(fs.transferred_bytes) : 0.0);
+      if (it->second.current_file_wire_bytes > 0) {
+        double frac =
+            landed_wire /
+            static_cast<double>(it->second.current_file_wire_bytes);
+        info.bytes_done += static_cast<int64_t>(
+            frac * static_cast<double>(it->second.current_file_bytes));
+      }
+    } else if (fs.active && fs.total_bytes > 0) {
       double frac = static_cast<double>(fs.transferred_bytes) /
                     static_cast<double>(fs.total_bytes);
       info.bytes_done += static_cast<int64_t>(
@@ -392,6 +461,15 @@ void TransferService::set_available(bool available) {
     engine_->schedule_after(sim::Duration::zero(),
                             [this, id] { begin_next_file(id); });
   }
+}
+
+bool TransferService::on_progress(const TaskId& id,
+                                  std::function<void(int64_t)> cb) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return false;
+  if (it->second.request.streaming_chunk_bytes <= 0) return false;
+  it->second.progress_cb = std::move(cb);
+  return true;
 }
 
 void TransferService::on_settled(const TaskId& id,

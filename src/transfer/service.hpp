@@ -45,6 +45,11 @@ struct TransferRequest {
   /// Compression ratio assumed for size-only (virtual) objects when a codec
   /// is set; real-content objects are compressed for real.
   double assumed_virtual_ratio = 1.0;
+  /// Cut-through streaming: move each file as consecutive chunk flows of
+  /// this many wire bytes, firing on_progress() observers as each chunk
+  /// lands, so a downstream consumer can start before the file completes.
+  /// 0 (default) keeps the classic single-flow-per-file behaviour.
+  int64_t streaming_chunk_bytes = 0;
 };
 
 struct TaskInfo {
@@ -86,8 +91,8 @@ struct TransferConfig {
   /// and the cloud service syncs task state before SUCCEEDED becomes visible
   /// to pollers. The service's reported activity interval covers the data
   /// movement only, so settling surfaces as orchestration overhead.
-  double settle_base_s = 1.5;
-  double settle_per_gb_s = 12.0;  ///< ~83 MB/s destination checksum rate
+  double settle_base_s = 0.2;
+  double settle_per_gb_s = 9.0;  ///< ~110 MB/s destination checksum rate
 };
 
 class TransferService {
@@ -118,6 +123,12 @@ class TransferService {
   /// tests; the flow engine polls instead, as the real service requires.
   void on_settled(const TaskId& id, std::function<void(const TaskInfo&)> cb);
 
+  /// Byte-progress hook for chunked (streaming) tasks: fired after each
+  /// chunk lands with the cumulative *logical* bytes delivered so far.
+  /// Returns false when the task is unknown or was not submitted with
+  /// streaming_chunk_bytes > 0.
+  bool on_progress(const TaskId& id, std::function<void(int64_t)> cb);
+
   size_t endpoint_count() const { return endpoints_.size(); }
 
   /// Fault injection: while unavailable, submit() is rejected with code
@@ -141,11 +152,19 @@ class TransferService {
     double effective_cap_bps = 0;
     net::FlowId current_flow = 0;    ///< active network flow, 0 = none
     int64_t current_file_bytes = 0;  ///< logical size of the in-flight file
+    /// Chunked (streaming) bookkeeping for the in-flight file.
+    int64_t current_file_wire_bytes = 0;
+    int64_t chunk_wire_sent = 0;     ///< wire bytes of fully-landed chunks
+    std::function<void(int64_t)> progress_cb;
     std::function<void(const TaskInfo&)> settled_cb;
     uint64_t span = 0;  ///< open telemetry span (0 = none)
   };
 
   void begin_next_file(const TaskId& id);
+  /// Chunked path: send the next streaming_chunk_bytes of the in-flight file
+  /// as its own network flow, firing progress_cb per landed chunk.
+  void send_next_chunk(const TaskId& id, const FileSpec& spec,
+                       int64_t wire_bytes, int64_t logical_bytes);
   void finish_file(const TaskId& id, const FileSpec& spec, int64_t wire_bytes);
   void fail_task(const TaskId& id, const std::string& error);
   void settle(const TaskId& id);

@@ -260,5 +260,105 @@ TEST_F(FailureFixture, IntermittentFailuresEventuallyComplete) {
   EXPECT_GT(successes, 0);
 }
 
+// Held starts + streamable overlap credit (cut-through pre-dispatch).
+struct HeldFixture : ComputeFixture {
+  FunctionId register_streamable(double cost_s, double streamable_s) {
+    FunctionSpec spec;
+    spec.name = "streamable";
+    spec.body = [](const Json&) {
+      return util::Result<Json>::ok(Json::object({{"ok", true}}));
+    };
+    spec.cost = [cost_s](const Json&) { return cost_s; };
+    spec.streamable = [streamable_s](const Json&) { return streamable_s; };
+    return service->register_function(std::move(spec));
+  }
+};
+
+TEST_F(HeldFixture, ReleaseAfterReadyCreditsStreamablePrefix) {
+  setup();
+  // Cold node ready at 15.1 (dispatch 0.1 + provision 10 + warmup 5). Held
+  // for 24.9 s past ready, streamable 15 of cost 20: credit caps at 15, so
+  // release at 40 leaves 5 s of work -> completes at 45.
+  FunctionId fn = register_streamable(20.0, 15.0);
+  auto task = service->submit(endpoint, fn, Json(), token, /*held=*/true);
+  ASSERT_TRUE(task);
+  engine.run_until(sim::SimTime::from_seconds(40.0));
+  EXPECT_NE(service->status(task.value()).state, TaskState::Succeeded);
+  service->release(task.value());
+  engine.run();
+  TaskInfo info = service->status(task.value());
+  EXPECT_EQ(info.state, TaskState::Succeeded);
+  EXPECT_NEAR(info.completed.seconds(), 45.0, 1e-6);
+  ASSERT_TRUE(service->result(task.value()));
+}
+
+TEST_F(HeldFixture, ReleaseWithoutStreamableChargesFullCost) {
+  setup();
+  // Same timeline, but the function declares nothing streamable: the hold
+  // buys no credit and the full 20 s run after release -> completes at 60.
+  FunctionId fn = register_streamable(20.0, 0.0);
+  auto task = service->submit(endpoint, fn, Json(), token, /*held=*/true);
+  ASSERT_TRUE(task);
+  engine.run_until(sim::SimTime::from_seconds(40.0));
+  service->release(task.value());
+  engine.run();
+  TaskInfo info = service->status(task.value());
+  EXPECT_EQ(info.state, TaskState::Succeeded);
+  EXPECT_NEAR(info.completed.seconds(), 60.0, 1e-6);
+}
+
+TEST_F(HeldFixture, ReleaseBeforeNodeReadyEarnsNoCredit) {
+  setup();
+  // release() lands while the node is still provisioning/warming: execution
+  // starts the moment the node is ready with zero overlap credit, matching
+  // the plain cold timeline 0.1 + 10 + 5 + 20 = 35.1.
+  FunctionId fn = register_streamable(20.0, 15.0);
+  auto task = service->submit(endpoint, fn, Json(), token, /*held=*/true);
+  ASSERT_TRUE(task);
+  engine.run_until(sim::SimTime::from_seconds(5.0));
+  service->release(task.value());
+  engine.run();
+  TaskInfo info = service->status(task.value());
+  EXPECT_EQ(info.state, TaskState::Succeeded);
+  EXPECT_NEAR(info.completed.seconds(), 35.1, 1e-6);
+}
+
+TEST_F(HeldFixture, HeldTaskNeverCompletesWithoutRelease) {
+  setup();
+  FunctionId fn = register_streamable(2.0, 2.0);
+  auto task = service->submit(endpoint, fn, Json(), token, /*held=*/true);
+  ASSERT_TRUE(task);
+  // Far past every cold-start and cost horizon: still waiting on release().
+  engine.run_until(sim::SimTime::from_seconds(500.0));
+  EXPECT_NE(service->status(task.value()).state, TaskState::Succeeded);
+  EXPECT_FALSE(service->result(task.value()));
+  service->release(task.value());
+  engine.run();
+  EXPECT_EQ(service->status(task.value()).state, TaskState::Succeeded);
+}
+
+TEST_F(HeldFixture, OnSettledFiresOnceAndImmediatelyAfterSettle) {
+  setup();
+  FunctionId fn = register_streamable(4.0, 0.0);
+  auto task = service->submit(endpoint, fn, Json(), token, /*held=*/true);
+  ASSERT_TRUE(task);
+  int calls = 0;
+  service->on_settled(task.value(), [&](const TaskInfo& info) {
+    ++calls;
+    EXPECT_EQ(info.state, TaskState::Succeeded);
+  });
+  engine.run_until(sim::SimTime::from_seconds(20.0));
+  service->release(task.value());
+  engine.run();
+  EXPECT_EQ(calls, 1);
+  // Registered after the task settled: fires immediately, exactly once.
+  int late_calls = 0;
+  service->on_settled(task.value(),
+                      [&](const TaskInfo&) { ++late_calls; });
+  EXPECT_EQ(late_calls, 1);
+  engine.run();
+  EXPECT_EQ(late_calls, 1);
+}
+
 }  // namespace
 }  // namespace pico::compute

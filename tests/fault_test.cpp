@@ -11,6 +11,7 @@
 #include "core/report.hpp"
 #include "fault/injector.hpp"
 #include "fault/schedule.hpp"
+#include "telemetry/export.hpp"
 
 namespace pico::fault {
 namespace {
@@ -22,7 +23,8 @@ TEST(FaultSchedule, KindNamesRoundTrip) {
        {FaultKind::LinkDegrade, FaultKind::LinkPartition,
         FaultKind::TransferOutage, FaultKind::ComputeOutage,
         FaultKind::PbsDrain, FaultKind::AuthOutage, FaultKind::TokenExpiry,
-        FaultKind::NodeFailureRate, FaultKind::OrchestratorCrash}) {
+        FaultKind::NodeFailureRate, FaultKind::OrchestratorCrash,
+        FaultKind::NotificationLoss}) {
     auto back = fault_kind_from_name(fault_kind_name(kind));
     ASSERT_TRUE(back);
     EXPECT_EQ(back.value(), kind);
@@ -349,6 +351,94 @@ TEST(ChaosCampaign, OrchestratorCrashReplayedFromJournal) {
     }
   }
   EXPECT_EQ(facility.index().size(), labels.size());
+}
+
+TEST(Injector, NotificationLossWindowSetsAndRestoresProbability) {
+  Facility facility(fault_test_config("inj_notif"));
+  FaultSchedule chaos;
+  chaos.name = "nl";
+  chaos.add(FaultEvent{FaultKind::NotificationLoss, 100, 50, "", 0.35});
+  auto injector = facility.install_faults(chaos);
+  ASSERT_TRUE(injector);
+
+  facility.engine().run_until(at(99));
+  EXPECT_DOUBLE_EQ(facility.flows().notification_loss_prob(), 0.0);
+  facility.engine().run_until(at(120));
+  EXPECT_DOUBLE_EQ(facility.flows().notification_loss_prob(), 0.35);
+  facility.engine().run_until(at(200));
+  EXPECT_DOUBLE_EQ(facility.flows().notification_loss_prob(), 0.0);
+}
+
+namespace {
+
+/// Stable artifact fingerprint of the search index: every published record's
+/// id + content, sorted by id so ingest order does not matter. Excludes
+/// ingest timestamps — publication *content* must not depend on how the
+/// orchestrator learned about completions.
+std::string index_fingerprint(Facility& facility) {
+  std::map<std::string, std::string> by_id;
+  for (const search::Document* doc : facility.index().snapshot()) {
+    by_id[doc->id] = doc->content.dump(2);
+  }
+  std::string out;
+  for (const auto& [id, content] : by_id) out += id + "\n" + content + "\n";
+  return out;
+}
+
+CampaignConfig notification_loss_campaign() {
+  CampaignConfig cfg;
+  cfg.use_case = UseCase::Hyperspectral;
+  cfg.start_period_s = 30;
+  cfg.duration_s = 1200;
+  cfg.file_bytes = 91'000'000;
+  cfg.label_prefix = "nl";
+  return cfg;
+}
+
+}  // namespace
+
+// The notification-loss fallback, end to end: an event-driven campaign whose
+// completion notifications are ALL dropped must still settle every flow (the
+// adaptive reconcile poller discovers each completion) and publish records
+// byte-identical to a pure-polling campaign's.
+TEST(ChaosCampaign, TotalNotificationLossSettlesAllFlowsViaAdaptivePoller) {
+  FacilityConfig fa = fault_test_config("notif_loss_events");
+  fa.flow.completion_mode = flow::CompletionMode::Events;
+  Facility events_facility(fa);
+  CampaignConfig cfg = notification_loss_campaign();
+  cfg.chaos.name = "total-notification-loss";
+  // The window outlives the campaign so late flows also lose every delivery.
+  cfg.chaos.add(FaultEvent{FaultKind::NotificationLoss, 0, 4000, "", 1.0});
+  CampaignResult with_loss = run_campaign(events_facility, cfg);
+
+  EXPECT_EQ(with_loss.failed, 0u);
+  ASSERT_GT(with_loss.in_window.size(), 10u);
+  for (const auto* bucket : {&with_loss.in_window, &with_loss.late}) {
+    for (const auto& f : *bucket) {
+      EXPECT_TRUE(f.success) << f.label;
+      for (const auto& s : f.timing.steps) {
+        EXPECT_EQ(s.notifications, 0) << f.label << "/" << s.name;
+        EXPECT_GT(s.polls, 0) << f.label << "/" << s.name;
+      }
+    }
+  }
+  // Providers did emit notifications; chaos dropped every one of them.
+  auto summary = telemetry::summarize(events_facility.trace(),
+                                      events_facility.telemetry().metrics);
+  EXPECT_GT(summary.signaling.notifications_lost, 0u);
+  EXPECT_EQ(summary.signaling.notifications, 0u);  // delivered = emitted - lost
+  EXPECT_GT(summary.signaling.polls, 0u);
+
+  // Same campaign under the paper's pure-polling orchestrator: the published
+  // artifacts must be byte-identical — signaling changes *when* completions
+  // are discovered, never *what* gets produced.
+  Facility polling_facility(fault_test_config("notif_loss_polling"));
+  CampaignResult polling = run_campaign(polling_facility,
+                                        notification_loss_campaign());
+  EXPECT_EQ(polling.failed, 0u);
+  EXPECT_EQ(events_facility.index().size(), polling_facility.index().size());
+  EXPECT_EQ(index_fingerprint(events_facility),
+            index_fingerprint(polling_facility));
 }
 
 TEST(ChaosCampaign, RecoveryDisabledCountsFailuresClassically) {

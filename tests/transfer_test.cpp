@@ -279,5 +279,61 @@ TEST_F(TransferFixture, UnknownTaskStatusIsFailed) {
   EXPECT_EQ(service->status("xfer-999999").state, TaskState::Failed);
 }
 
+TEST_F(TransferFixture, ChunkedTransferStreamsCumulativeProgress) {
+  setup_service(quick_config());
+  // 10 MB in 2 MB chunks over a 10 MB/s link: five chunk landings.
+  ASSERT_TRUE(src_store.put_virtual("c.emd", 10'000'000, 11, engine.now()));
+  auto req = single_file("c.emd", "c.emd");
+  req.streaming_chunk_bytes = 2'000'000;
+  auto task = service->submit(req, token);
+  ASSERT_TRUE(task);
+  std::vector<int64_t> seen;
+  EXPECT_TRUE(service->on_progress(task.value(),
+                                   [&](int64_t bytes) { seen.push_back(bytes); }));
+  engine.run();
+  ASSERT_GE(seen.size(), 2u);  // genuinely incremental, not one final burst
+  for (size_t i = 1; i < seen.size(); ++i) EXPECT_GT(seen[i], seen[i - 1]);
+  EXPECT_EQ(seen.back(), 10'000'000);
+  TaskInfo info = service->status(task.value());
+  EXPECT_EQ(info.state, TaskState::Succeeded);
+  EXPECT_EQ(info.bytes_done, info.bytes_total);
+  EXPECT_EQ(info.files_done, 1);
+  EXPECT_TRUE(dst_store.exists("c.emd"));
+}
+
+TEST_F(TransferFixture, ChunkedAndClassicTransfersMatchFinalState) {
+  setup_service(quick_config());
+  ASSERT_TRUE(src_store.put_virtual("a.emd", 6'000'000, 3, engine.now()));
+  ASSERT_TRUE(src_store.put_virtual("b.emd", 6'000'000, 3, engine.now()));
+  auto classic = service->submit(single_file("a.emd", "a.emd"), token);
+  ASSERT_TRUE(classic);
+  engine.run();
+  auto req = single_file("b.emd", "b.emd");
+  req.streaming_chunk_bytes = 1'000'000;
+  auto chunked = service->submit(req, token);
+  ASSERT_TRUE(chunked);
+  engine.run();
+  TaskInfo c = service->status(classic.value());
+  TaskInfo s = service->status(chunked.value());
+  EXPECT_EQ(c.state, TaskState::Succeeded);
+  EXPECT_EQ(s.state, TaskState::Succeeded);
+  EXPECT_EQ(s.bytes_total, c.bytes_total);
+  EXPECT_EQ(s.bytes_done, c.bytes_done);
+  EXPECT_EQ(s.wire_bytes, c.wire_bytes);
+  EXPECT_EQ(s.files_done, c.files_done);
+  EXPECT_TRUE(dst_store.exists("b.emd"));
+}
+
+TEST_F(TransferFixture, ProgressHookRejectsClassicAndUnknownTasks) {
+  setup_service(quick_config());
+  ASSERT_TRUE(src_store.put("f", std::vector<uint8_t>(100), engine.now()));
+  auto task = service->submit(single_file("f", "f"), token);
+  ASSERT_TRUE(task);
+  EXPECT_FALSE(service->on_progress(task.value(), [](int64_t) {}));
+  EXPECT_FALSE(service->on_progress("xfer-999999", [](int64_t) {}));
+  engine.run();
+  EXPECT_EQ(service->status(task.value()).state, TaskState::Succeeded);
+}
+
 }  // namespace
 }  // namespace pico::transfer

@@ -16,11 +16,29 @@ Validates, with no third-party dependencies:
   rounding slack), and (optionally) the span tree reaches ``--require-depth``
   levels — e.g. 4 proves campaign -> run -> step -> provider-attempt nesting.
 
+* Data-plane kernel baselines (``--dataplane``, ``BENCH_dataplane.json``):
+  schema, expected kernel set, byte-parity flags, and — only when the file was
+  generated in full mode on a multi-core host — a parallel-speedup floor at
+  the widest pool.  Baselines from 1-core runners record thread counts but
+  skip the speedup check: a width-N pool on one hardware thread legitimately
+  runs slower than sequential, so asserting speedup > 1 there rejects a
+  correct baseline.
+
+* Orchestration-overhead baselines (``--overhead``, ``BENCH_overhead.json``):
+  schema, both Table-1 campaigns with all four signaling modes, span parity
+  (telemetry-rebuilt timings bit-identical to flow-service records), and the
+  headline claims: event-driven completion must cut the hyperspectral median
+  overhead fraction below polling (>= 2x on full-length runs), and
+  cut-through streaming must cut the spatiotemporal median *total* runtime
+  below event-only.
+
 Exit status is non-zero on the first file that fails, so CI can gate on it:
 
     python3 tools/check_telemetry.py --prom BENCH_dataplane.prom
     python3 tools/check_telemetry.py --trace chaos-output/trace.json \
         --require-depth 4 --prom chaos-output/metrics.prom --min-families 12
+    python3 tools/check_telemetry.py --dataplane BENCH_dataplane.json \
+        --overhead BENCH_overhead.json
 """
 
 import argparse
@@ -193,6 +211,153 @@ def check_trace(path, require_depth):
     return True
 
 
+DATAPLANE_KERNELS = {
+    "convert_fp64_u8", "to_u8_normalized", "sum_axis3_spectral",
+    "sum_keep_axis3_spectrum", "gaussian_blur", "crc64", "lz_compress",
+}
+
+# A width-N pool on a multi-core host must not be slower than this fraction
+# of sequential at full problem sizes (chunking overhead aside, the kernels
+# are embarrassingly parallel).
+SPEEDUP_FLOOR = 0.7
+
+
+def check_dataplane(path):
+    try:
+        doc = json.load(open(path, encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unparseable: {e}")
+    if doc.get("schema") != "pico.bench.dataplane.v1":
+        return fail(path, f"bad schema {doc.get('schema')!r}")
+    if doc.get("parity_all") is not True:
+        return fail(path, "parity_all is not true")
+    hw = doc.get("hardware_threads")
+    if not isinstance(hw, int) or hw < 1:
+        return fail(path, f"bad hardware_threads {hw!r}")
+
+    kernels = {k.get("kernel") for k in doc.get("kernels", [])}
+    missing = DATAPLANE_KERNELS - kernels
+    if missing:
+        return fail(path, f"missing kernels: {sorted(missing)}")
+    for k in doc.get("kernels", []):
+        name = k.get("kernel")
+        if k.get("parity") is not True:
+            return fail(path, f"{name}: parity is not true")
+        if not isinstance(k.get("sequential_s"), (int, float)) \
+                or k["sequential_s"] < 0:
+            return fail(path, f"{name}: bad sequential_s")
+        for entry in k.get("parallel", []):
+            threads = entry.get("threads")
+            if not isinstance(threads, int) or threads < 1:
+                return fail(path, f"{name}: parallel entry without a "
+                                  f"recorded thread count: {entry!r}")
+            if not isinstance(entry.get("seconds"), (int, float)) \
+                    or entry["seconds"] <= 0:
+                return fail(path, f"{name}: bad parallel seconds")
+
+    # Speedup regression check: only meaningful when the pool actually had
+    # hardware to spread over and the problems ran at full size.
+    if hw == 1:
+        note = "speedup check skipped (1 hardware thread)"
+    elif doc.get("mode") != "full":
+        note = f"speedup check skipped (mode {doc.get('mode')!r})"
+    else:
+        note = "speedup floor holds at widest pool"
+        for k in doc["kernels"]:
+            par = [e for e in k.get("parallel", []) if e["threads"] > 1]
+            if not par:
+                continue
+            widest = max(par, key=lambda e: e["threads"])
+            speedup = widest.get("speedup_vs_sequential", 0)
+            if speedup < SPEEDUP_FLOOR:
+                return fail(path, f"{k['kernel']}: speedup "
+                                  f"{speedup:.2f}x at {widest['threads']} "
+                                  f"threads < floor {SPEEDUP_FLOOR}x on a "
+                                  f"{hw}-thread host")
+    print(f"{path}: ok ({len(kernels)} kernels, {hw} hardware threads, "
+          f"{note})")
+    return True
+
+
+OVERHEAD_MODES = ("paper_polling", "adaptive_polling", "event_driven",
+                  "event_streaming")
+
+
+def check_overhead(path):
+    try:
+        doc = json.load(open(path, encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unparseable: {e}")
+    if doc.get("schema") != "pico.bench.overhead.v1":
+        return fail(path, f"bad schema {doc.get('schema')!r}")
+    if doc.get("span_parity_all") is not True:
+        return fail(path, "span_parity_all is not true: telemetry spans do "
+                          "not reproduce the flow-service timings")
+    duration = doc.get("duration_s")
+    if not isinstance(duration, (int, float)) or duration <= 0:
+        return fail(path, f"bad duration_s {duration!r}")
+    # Short smoke campaigns have too few flows for the calibrated-margin
+    # claims; they still must satisfy ordering.
+    full_length = duration >= 3600
+
+    campaigns = {c.get("use_case"): c for c in doc.get("campaigns", [])}
+    if set(campaigns) != {"hyperspectral", "spatiotemporal"}:
+        return fail(path, f"campaigns {sorted(campaigns)} != both Table-1 "
+                          f"use cases")
+
+    by_mode = {}
+    for use_case, c in campaigns.items():
+        modes = {m.get("mode"): m for m in c.get("modes", [])}
+        if set(modes) != set(OVERHEAD_MODES):
+            return fail(path, f"{use_case}: modes {sorted(modes)} != "
+                              f"{sorted(OVERHEAD_MODES)}")
+        for name, m in modes.items():
+            if m.get("runs", 0) <= 0:
+                return fail(path, f"{use_case}/{name}: no completed runs")
+            if m.get("span_parity") is not True:
+                return fail(path, f"{use_case}/{name}: span parity broken")
+            for key in ("median_total_s", "max_total_s", "median_overhead_s",
+                        "median_overlap_s", "polls_per_run"):
+                v = m.get(key)
+                if not isinstance(v, (int, float)) or v < 0:
+                    return fail(path, f"{use_case}/{name}: bad {key} {v!r}")
+            frac = m.get("median_overhead_frac")
+            if not isinstance(frac, (int, float)) or not 0 <= frac <= 1:
+                return fail(path, f"{use_case}/{name}: overhead fraction "
+                                  f"{frac!r} outside [0, 1]")
+        by_mode[use_case] = modes
+
+    # Headline claim 1: event-driven completion cuts the hyperspectral median
+    # overhead fraction vs paper-default polling (>= 2x at full length).
+    poll = by_mode["hyperspectral"]["paper_polling"]["median_overhead_frac"]
+    event = by_mode["hyperspectral"]["event_driven"]["median_overhead_frac"]
+    if event >= poll:
+        return fail(path, f"hyperspectral: event-driven overhead fraction "
+                          f"{event:.3f} is not below polling {poll:.3f}")
+    ratio = poll / event if event > 0 else float("inf")
+    if full_length and ratio < 2.0:
+        return fail(path, f"hyperspectral: polling/event overhead-fraction "
+                          f"ratio {ratio:.2f}x < required 2x")
+
+    # Headline claim 2: cut-through streaming cuts the spatiotemporal median
+    # *total* runtime below event-only completion.
+    ev_total = by_mode["spatiotemporal"]["event_driven"]["median_total_s"]
+    st = by_mode["spatiotemporal"]["event_streaming"]
+    if st["median_total_s"] >= ev_total:
+        return fail(path, f"spatiotemporal: streaming total "
+                          f"{st['median_total_s']:.1f}s is not below "
+                          f"event-only {ev_total:.1f}s")
+    if st["median_overlap_s"] <= 0:
+        return fail(path, "spatiotemporal: streaming mode recorded no "
+                          "transfer/compute overlap")
+
+    print(f"{path}: ok (hyperspectral overhead fraction {poll:.3f} -> "
+          f"{event:.3f} [{ratio:.2f}x], spatiotemporal total "
+          f"{ev_total:.1f}s -> {st['median_total_s']:.1f}s with "
+          f"{st['median_overlap_s']:.1f}s overlap)")
+    return True
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--prom", action="append", default=[],
@@ -204,15 +369,27 @@ def main():
                              "(repeatable)")
     parser.add_argument("--require-depth", type=int, default=1,
                         help="minimum span-tree depth per trace file")
+    parser.add_argument("--dataplane", action="append", default=[],
+                        help="BENCH_dataplane.json baseline to validate "
+                             "(repeatable)")
+    parser.add_argument("--overhead", action="append", default=[],
+                        help="BENCH_overhead.json baseline to validate "
+                             "(repeatable)")
     args = parser.parse_args()
-    if not args.prom and not args.trace:
-        parser.error("nothing to check: pass --prom and/or --trace")
+    if not args.prom and not args.trace and not args.dataplane \
+            and not args.overhead:
+        parser.error("nothing to check: pass --prom, --trace, --dataplane "
+                     "and/or --overhead")
 
     ok = True
     for path in args.prom:
         ok = check_prom(path, args.min_families) and ok
     for path in args.trace:
         ok = check_trace(path, args.require_depth) and ok
+    for path in args.dataplane:
+        ok = check_dataplane(path) and ok
+    for path in args.overhead:
+        ok = check_overhead(path) and ok
     return 0 if ok else 1
 
 
