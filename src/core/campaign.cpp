@@ -385,6 +385,13 @@ CampaignResult run_campaign(Facility& facility, const CampaignConfig& config) {
     driver->install_crash_events();
   }
 
+  if (config.scrub_interval_s > 0) {
+    storage::ScrubberConfig scrub;
+    scrub.interval_s = config.scrub_interval_s;
+    scrub.horizon_s = config.duration_s;
+    facility.start_scrubber(scrub);
+  }
+
   // Campaign root span: every flow run started while the scope is active
   // (including fault-injector events, which attach to the current context)
   // parents to it, so the exported trace nests campaign -> run -> step ->

@@ -61,6 +61,11 @@ struct CampaignConfig {
   /// Chunk size injected into a Transfer step's params when the step after it
   /// streams (progress granularity of the cut-through pipeline).
   int64_t streaming_chunk_bytes = 8 * 1000 * 1000;
+  /// Periodic at-rest integrity scrub of Eagle during the campaign: every
+  /// interval the scrubber walks delivered objects, quarantines corrupt
+  /// copies, and requests provenance-driven repair re-transfers. 0 = no
+  /// scrubbing. Passes stop at duration_s so the event queue drains.
+  double scrub_interval_s = 0;
 };
 
 struct CompletedFlow {

@@ -9,6 +9,7 @@
 #include "util/bytes.hpp"
 #include "util/threadpool.hpp"
 #include "util/crc64.hpp"
+#include "util/log.hpp"
 #include "util/strings.hpp"
 #include "video/convert.hpp"
 #include "video/mpk.hpp"
@@ -76,6 +77,7 @@ Facility::Facility(FacilityConfig config)
   transfer_->set_telemetry(&telemetry_);
   compute_->set_telemetry(&telemetry_);
   flows_->set_telemetry(&telemetry_);
+  search_provider_->set_telemetry(&telemetry_);
 
   user_identity_ = "operator@anl.gov";
   user_token_ = auth_.issue(
@@ -130,6 +132,10 @@ util::Result<fault::FaultInjector*> Facility::install_faults(
   services.expire_token = [this] { auth_.revoke(user_token_); };
   services.flows = flows_.get();
   services.default_endpoint = polaris_ep_;
+  services.stores[user_store_.name()] = &user_store_;
+  services.stores[eagle_.name()] = &eagle_;
+  services.default_store = eagle_.name();
+  services.storage_seed = config_.seed ^ 0x5C0FFull;
   injector_ = std::make_unique<fault::FaultInjector>(std::move(services));
   injector_->set_telemetry(&telemetry_);
   auto installed = injector_->install(schedule);
@@ -138,6 +144,24 @@ util::Result<fault::FaultInjector*> Facility::install_faults(
     return R::err(installed.error());
   }
   return R::ok(injector_.get());
+}
+
+storage::Scrubber& Facility::start_scrubber(
+    const storage::ScrubberConfig& config) {
+  scrubber_ =
+      std::make_unique<storage::Scrubber>(&engine_, &eagle_, config,
+                                          &telemetry_);
+  scrubber_->set_repair([this](const std::string& path) {
+    auto task =
+        transfer_->repair(kEagleEndpoint, path, refresh_user_token());
+    if (!task) {
+      util::Logger("facility").warn("scrub repair of %s failed: %s",
+                                    path.c_str(),
+                                    task.error().message.c_str());
+    }
+  });
+  scrubber_->start();
+  return *scrubber_;
 }
 
 util::Status Facility::stage_virtual_file(const std::string& path,

@@ -21,6 +21,7 @@
 #include "search/index.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
+#include "storage/scrubber.hpp"
 #include "storage/store.hpp"
 #include "telemetry/telemetry.hpp"
 #include "transfer/service.hpp"
@@ -97,6 +98,13 @@ class Facility {
       const fault::FaultSchedule& schedule);
   fault::FaultInjector* injector() { return injector_.get(); }
 
+  /// Start a periodic at-rest integrity scrubber over Eagle: corrupt objects
+  /// are quarantined and re-transferred from the surviving user-store copy
+  /// via the transfer service's delivery provenance. Call before
+  /// engine().run(); replaces any previously started scrubber.
+  storage::Scrubber& start_scrubber(const storage::ScrubberConfig& config);
+  storage::Scrubber* scrubber() { return scrubber_.get(); }
+
   /// Registered compute function / endpoint ids.
   const compute::EndpointId& polaris_endpoint() const { return polaris_ep_; }
   const compute::FunctionId& hyperspectral_fn() const { return hyper_fn_; }
@@ -135,6 +143,7 @@ class Facility {
   search::Index index_;
   std::unique_ptr<flow::FlowService> flows_;
   std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<storage::Scrubber> scrubber_;
   std::unique_ptr<TransferProvider> transfer_provider_;
   std::unique_ptr<ComputeProvider> compute_provider_;
   std::unique_ptr<SearchIngestProvider> search_provider_;

@@ -1,6 +1,7 @@
 #include "core/providers.hpp"
 
 #include "search/schema.hpp"
+#include "util/crc64.hpp"
 #include "util/strings.hpp"
 
 namespace pico::core {
@@ -68,6 +69,8 @@ ActionPollResult TransferProvider::poll(const ActionHandle& handle) {
           {"wire_bytes", info.wire_bytes},
           {"files", info.files_total},
           {"faults", info.faults},
+          {"chunks_resumed", info.chunks_resumed},
+          {"corruption_detected", info.corruption_detected},
       });
       break;
   }
@@ -166,11 +169,47 @@ util::Result<ActionHandle> SearchIngestProvider::start(
   if (subject.empty()) {
     subject = util::format("doc-%06llu", static_cast<unsigned long long>(next_));
   }
+  int64_t epoch = params.at("flow_attempt_epoch").as_int(-1);
 
   ActionHandle handle =
       util::format("ingest-%06llu", static_cast<unsigned long long>(next_++));
   Pending& entry = pending_[handle];
   entry.result.service_started = engine_->now();
+
+  // Exactly-once publication: the idempotency key is the subject plus the
+  // content hash of the record. A repeat — crash replay, dead-letter
+  // resubmission, or a retry racing an abandoned attempt that will still
+  // land — is suppressed and reports success immediately.
+  std::string idem_key = subject + ":" +
+                         util::format("%016llx", static_cast<unsigned long long>(
+                                                     util::crc64(record.dump())));
+  auto applied = applied_.find(idem_key);
+  if (applied != applied_.end()) {
+    entry.done = true;
+    entry.result.status = ActionStatus::Succeeded;
+    entry.result.service_completed = engine_->now();
+    entry.result.output = Json::object({
+        {"subject", subject},
+        {"index", index_->name()},
+        {"deduped", true},
+        {"first_epoch", applied->second},
+    });
+    if (telemetry_) {
+      telemetry_->metrics
+          .counter("publish_duplicates_suppressed_total",
+                   "Search publishes suppressed by idempotency keys")
+          .inc();
+      if (uint64_t span = telemetry_->tracer.current()) {
+        telemetry_->tracer.event(
+            span, "duplicate-suppressed", engine_->now(),
+            Json::object({{"subject", subject},
+                          {"attempt_epoch", epoch},
+                          {"first_epoch", applied->second}}));
+      }
+    }
+    return R::ok(handle);
+  }
+  applied_.emplace(idem_key, epoch);
 
   search::Document doc;
   doc.id = subject;

@@ -7,6 +7,7 @@
 #include "compute/service.hpp"
 #include "flow/service.hpp"
 #include "search/index.hpp"
+#include "telemetry/telemetry.hpp"
 #include "transfer/service.hpp"
 
 namespace pico::core {
@@ -58,8 +59,19 @@ class ComputeProvider final : public flow::ActionProvider {
 
 /// Publishes a record into a Globus-Search-like index after a small virtual
 /// latency (login-node JSON POST). Params:
-///   { "record": object, "subject": str, "visible_to": str (optional) }
+///   { "record": object, "subject": str, "visible_to": str (optional),
+///     "flow_attempt_epoch": int (injected by the flow engine) }
 /// The record is schema-validated before ingest.
+///
+/// Exactly-once: every publish derives an idempotency key from the subject
+/// plus the CRC-64 content hash of the record. A key that was already
+/// claimed — by a timed-out-but-still-landing attempt, a crash replay, or a
+/// dead-letter resubmission — succeeds immediately without writing, so the
+/// index can never hold a duplicate or be re-written with identical content.
+/// The flow attempt epoch is recorded for observability (span events carry
+/// both the first writer's epoch and the suppressed one) but deliberately
+/// not mixed into the key: retries of the same content *should* dedupe even
+/// though their epochs differ.
 class SearchIngestProvider final : public flow::ActionProvider {
  public:
   SearchIngestProvider(sim::Engine* engine, auth::AuthService* auth,
@@ -78,6 +90,14 @@ class SearchIngestProvider final : public flow::ActionProvider {
   bool subscribe(const flow::ActionHandle& handle,
                  std::function<void()> callback) override;
 
+  /// Attach facility telemetry: suppressed duplicates bump
+  /// publish_duplicates_suppressed_total and emit span events.
+  void set_telemetry(telemetry::Telemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
+
+  size_t applied_key_count() const { return applied_.size(); }
+
  private:
   struct Pending {
     flow::ActionPollResult result;
@@ -90,7 +110,12 @@ class SearchIngestProvider final : public flow::ActionProvider {
   double latency_s_;
   double jitter_s_;
   util::Rng rng_;
+  telemetry::Telemetry* telemetry_ = nullptr;
   std::map<std::string, Pending> pending_;
+  /// Idempotency key ("subject:content-crc64") -> flow attempt epoch of the
+  /// first writer. Claimed at start, so even two concurrent in-flight
+  /// attempts of the same publish write once.
+  std::map<std::string, int64_t> applied_;
   uint64_t next_ = 1;
 };
 

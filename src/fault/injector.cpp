@@ -13,7 +13,9 @@ util::Logger& logger() {
 }
 
 bool is_instant(FaultKind kind) {
-  return kind == FaultKind::TokenExpiry || kind == FaultKind::OrchestratorCrash;
+  return kind == FaultKind::TokenExpiry ||
+         kind == FaultKind::OrchestratorCrash ||
+         kind == FaultKind::StorageCorrupt;
 }
 
 }  // namespace
@@ -55,6 +57,22 @@ util::Status FaultInjector::install(const FaultSchedule& schedule) {
       case FaultKind::NotificationLoss:
         if (!s_.flows) return S::err("notification_loss needs the flow service", "invalid");
         break;
+      case FaultKind::WireBitFlip:
+      case FaultKind::TruncatedLanding:
+        if (!s_.transfer) {
+          return S::err(fault_kind_name(e.kind) +
+                            " needs the transfer service",
+                        "invalid");
+        }
+        break;
+      case FaultKind::StorageCorrupt: {
+        std::string target = e.target.empty() ? s_.default_store : e.target;
+        if (!s_.stores.count(target)) {
+          return S::err("storage_corrupt targets unknown store: " + target,
+                        "invalid");
+        }
+        break;
+      }
       case FaultKind::OrchestratorCrash:
         break;  // campaign-driver concern; the injector only carries it
     }
@@ -105,6 +123,18 @@ void FaultInjector::begin_event(const FaultEvent& event) {
     s_.expire_token();
     return;
   }
+  if (event.kind == FaultKind::StorageCorrupt) {
+    // Instantaneous at-rest bit rot: flip bytes underneath the manifest on a
+    // severity-probability coin per object. Detection is the scrubber's (or
+    // a reader's) job — the damage itself is silent.
+    std::string target = event.target.empty() ? s_.default_store : event.target;
+    storage::Store* store = s_.stores.at(target);
+    auto damaged = store->corrupt_random(
+        event.severity, s_.storage_seed ^ rng_.next_u64());
+    logger().info("storage_corrupt on %s damaged %d objects", target.c_str(),
+                  static_cast<int>(damaged.size()));
+    return;
+  }
 
   int depth = ++depth_[overlap_key(event)];
   switch (event.kind) {
@@ -153,8 +183,21 @@ void FaultInjector::begin_event(const FaultEvent& event) {
       }
       s_.flows->set_notification_loss_prob(event.severity);
       break;
+    case FaultKind::WireBitFlip:
+      if (!saved_wire_corruption_) {
+        saved_wire_corruption_ = s_.transfer->wire_corruption_prob();
+      }
+      s_.transfer->set_wire_corruption_prob(event.severity);
+      break;
+    case FaultKind::TruncatedLanding:
+      if (!saved_truncation_) {
+        saved_truncation_ = s_.transfer->truncation_prob();
+      }
+      s_.transfer->set_truncation_prob(event.severity);
+      break;
     case FaultKind::TokenExpiry:
     case FaultKind::OrchestratorCrash:
+    case FaultKind::StorageCorrupt:
       break;
   }
 }
@@ -219,8 +262,21 @@ void FaultInjector::end_event(const FaultEvent& event) {
         saved_notification_loss_.reset();
       }
       break;
+    case FaultKind::WireBitFlip:
+      if (saved_wire_corruption_) {
+        s_.transfer->set_wire_corruption_prob(*saved_wire_corruption_);
+        saved_wire_corruption_.reset();
+      }
+      break;
+    case FaultKind::TruncatedLanding:
+      if (saved_truncation_) {
+        s_.transfer->set_truncation_prob(*saved_truncation_);
+        saved_truncation_.reset();
+      }
+      break;
     case FaultKind::TokenExpiry:
     case FaultKind::OrchestratorCrash:
+    case FaultKind::StorageCorrupt:
       break;
   }
 }

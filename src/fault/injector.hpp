@@ -19,8 +19,10 @@
 #include "net/network.hpp"
 #include "net/topology.hpp"
 #include "sim/engine.hpp"
+#include "storage/store.hpp"
 #include "telemetry/telemetry.hpp"
 #include "transfer/service.hpp"
+#include "util/rng.hpp"
 
 namespace pico::fault {
 
@@ -48,6 +50,12 @@ class FaultInjector {
     std::function<void()> expire_token;
     /// Compute endpoint used when a NodeFailureRate event has no target.
     std::string default_endpoint;
+    /// Stores addressable by StorageCorrupt events, keyed by store name.
+    std::map<std::string, storage::Store*> stores;
+    /// Store used when a storage_corrupt event has no target.
+    std::string default_store;
+    /// Seed for the per-object corruption coins of StorageCorrupt events.
+    uint64_t storage_seed = 0x5C0FFull;
   };
 
   explicit FaultInjector(Services services) : s_(std::move(services)) {}
@@ -74,12 +82,18 @@ class FaultInjector {
 
   Services s_;
   telemetry::Telemetry* telemetry_ = nullptr;
+  /// Per-event salt stream for StorageCorrupt coins (deterministic: events
+  /// fire in schedule order in virtual time).
+  util::Rng rng_{0xFA17ull};
   FaultSchedule schedule_;
   std::map<std::string, int> depth_;  ///< overlap count per (kind, target)
   std::map<net::LinkId, double> saved_capacity_;
   std::map<std::string, double> saved_failure_prob_;
   /// Pre-window notification-loss probability (set while a window is open).
   std::optional<double> saved_notification_loss_;
+  /// Pre-window silent-corruption probabilities (set while a window is open).
+  std::optional<double> saved_wire_corruption_;
+  std::optional<double> saved_truncation_;
   std::vector<AppliedFault> log_;
 };
 

@@ -18,6 +18,9 @@ std::string fault_kind_name(FaultKind kind) {
     case FaultKind::NodeFailureRate: return "node_failure_rate";
     case FaultKind::OrchestratorCrash: return "orchestrator_crash";
     case FaultKind::NotificationLoss: return "notification_loss";
+    case FaultKind::WireBitFlip: return "wire_bit_flip";
+    case FaultKind::StorageCorrupt: return "storage_corrupt";
+    case FaultKind::TruncatedLanding: return "truncated_landing";
   }
   return "?";
 }
@@ -35,6 +38,9 @@ util::Result<FaultKind> fault_kind_from_name(const std::string& name) {
       {"node_failure_rate", FaultKind::NodeFailureRate},
       {"orchestrator_crash", FaultKind::OrchestratorCrash},
       {"notification_loss", FaultKind::NotificationLoss},
+      {"wire_bit_flip", FaultKind::WireBitFlip},
+      {"storage_corrupt", FaultKind::StorageCorrupt},
+      {"truncated_landing", FaultKind::TruncatedLanding},
   };
   for (const auto& [n, k] : kKinds) {
     if (name == n) return R::ok(k);
@@ -113,6 +119,13 @@ util::Result<FaultSchedule> FaultSchedule::from_json(const Json& doc) {
     if (e.kind == FaultKind::NotificationLoss &&
         (e.severity < 0 || e.severity > 1)) {
       return R::err("notification_loss severity must be in [0, 1]", "schema");
+    }
+    if ((e.kind == FaultKind::WireBitFlip ||
+         e.kind == FaultKind::StorageCorrupt ||
+         e.kind == FaultKind::TruncatedLanding) &&
+        (e.severity <= 0 || e.severity > 1)) {
+      return R::err(fault_kind_name(e.kind) + " severity must be in (0, 1]",
+                    "schema");
     }
     schedule.events.push_back(std::move(e));
   }

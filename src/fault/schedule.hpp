@@ -31,6 +31,9 @@ enum class FaultKind {
   NodeFailureRate,    ///< endpoint node-death probability = severity
   OrchestratorCrash,  ///< campaign driver blackout + journal replay
   NotificationLoss,   ///< completion-notification drop probability = severity
+  WireBitFlip,        ///< landing chunk/file bit-flip probability = severity
+  StorageCorrupt,     ///< instantaneous: corrupt stored objects w.p. severity
+  TruncatedLanding,   ///< delivered files land short w.p. severity
 };
 
 std::string fault_kind_name(FaultKind kind);

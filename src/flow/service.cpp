@@ -214,6 +214,9 @@ void FlowService::dispatch_step(const RunId& id) {
 
   util::Json resolved =
       resolve_params(step.params, run.info.input, run.info.step_outputs);
+  // Attempt epoch rides along so idempotent providers (search ingest) can
+  // report which attempt first claimed a publish and which were suppressed.
+  resolved["flow_attempt_epoch"] = static_cast<int64_t>(run.epoch);
 
   StepTiming timing;
   timing.name = step.name;
@@ -490,6 +493,7 @@ void FlowService::on_stream_progress(const RunId& id, uint64_t epoch) {
   // "$.input.*" only (definition_io validates this).
   util::Json resolved =
       resolve_params(next.params, run.info.input, run.info.step_outputs);
+  resolved["flow_attempt_epoch"] = static_cast<int64_t>(run.epoch);
   sim::SimTime t0 = engine_->now();
   uint64_t step_span = 0, attempt_span = 0;
   if (telemetry_) {

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cmath>
 
+#include "util/crc64.hpp"
 #include "util/timefmt.hpp"
 
 namespace pico::search {
@@ -215,6 +216,17 @@ std::vector<const Document*> Index::snapshot() const {
     if (it != docs_.end()) out.push_back(&it->second);
   }
   return out;
+}
+
+uint64_t Index::fingerprint() const {
+  util::Crc64 crc;
+  // docs_ is keyed by id, so iteration order is already canonical.
+  for (const auto& [id, doc] : docs_) {
+    crc.update(id.data(), id.size());
+    std::string content = doc.content.dump();
+    crc.update(content.data(), content.size());
+  }
+  return crc.value();
 }
 
 std::vector<DocId> Index::all_ids(const auth::Identity& caller) const {

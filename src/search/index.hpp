@@ -76,6 +76,13 @@ class Index {
   /// visibility filtering. For persistence/backup tooling only.
   std::vector<const Document*> snapshot() const;
 
+  /// Content fingerprint: CRC-64 over (id, content) pairs in id order.
+  /// Ingest timestamps, arrival order, and ACLs are excluded, so two indexes
+  /// that published identical records — regardless of retries, replays, or
+  /// chaos-induced timing — fingerprint identically. The byte-identical-
+  /// publication acceptance checks compare this value.
+  uint64_t fingerprint() const;
+
  private:
   bool visible(const Document& doc, const auth::Identity& caller) const;
   void index_document(const Document& doc);

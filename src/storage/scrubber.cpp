@@ -1,0 +1,56 @@
+#include "storage/scrubber.hpp"
+
+#include "util/json.hpp"
+#include "util/log.hpp"
+
+namespace pico::storage {
+
+namespace {
+util::Logger log_("scrubber");
+}
+
+void Scrubber::start() { schedule_pass(config_.interval_s); }
+
+void Scrubber::schedule_pass(double at_s) {
+  if (at_s > config_.horizon_s) return;
+  engine_->schedule_at(sim::SimTime::from_seconds(at_s), [this, at_s] {
+    scan_once();
+    schedule_pass(at_s + config_.interval_s);
+  });
+}
+
+size_t Scrubber::scan_once() {
+  ++stats_.scans;
+  size_t corrupt = 0;
+  for (const std::string& path : store_->list(config_.prefix)) {
+    ++stats_.objects_checked;
+    auto intact = store_->verify(path);
+    if (!intact || intact.value()) continue;
+    ++corrupt;
+    ++stats_.corrupt_found;
+    store_->quarantine(path);
+    log_.warn("scrub found corrupt object %s/%s, quarantined",
+              store_->name().c_str(), path.c_str());
+    if (telemetry_) {
+      telemetry_->metrics
+          .counter("corruption_detected_total",
+                   "Integrity violations detected, by location",
+                   {{"where", "at_rest"}})
+          .inc();
+      if (uint64_t span = telemetry_->tracer.current()) {
+        telemetry_->tracer.event(
+            span, "corruption-detected", engine_->now(),
+            util::Json::object({{"where", "at_rest"},
+                                {"store", store_->name()},
+                                {"path", path}}));
+      }
+    }
+    if (repair_) {
+      ++stats_.repairs_requested;
+      repair_(path);
+    }
+  }
+  return corrupt;
+}
+
+}  // namespace pico::storage

@@ -5,6 +5,14 @@
 // capacity accounting. Objects can carry real bytes (data-plane payloads the
 // analysis actually reads) or be size-only (the 1200 MB campaign files whose
 // contents are irrelevant to control-plane timing).
+//
+// Integrity model: every object records the checksum declared at write time
+// (`crc64`, the manifest entry) and the checksum of the bytes as they sit on
+// media now (`stored_crc64`). The two only diverge through the silent-
+// corruption fault surface — `corrupt()`, `truncate()`, `corrupt_random()` —
+// and `verify()` is the read-path check that catches the divergence. Corrupt
+// objects are moved aside with `quarantine()` so repair (a re-transfer from
+// the surviving source copy) can re-land a clean replacement.
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -18,12 +26,17 @@ namespace pico::storage {
 
 struct Object {
   int64_t size = 0;
+  /// Checksum declared when the object was written (the manifest entry).
   uint64_t crc64 = 0;
   sim::SimTime created;
   /// Real payload; absent for size-only simulation objects.
   std::optional<std::vector<uint8_t>> content;
+  /// Checksum of the bytes on media now; equal to `crc64` unless at-rest
+  /// corruption or a truncated landing damaged the object after the write.
+  uint64_t stored_crc64 = 0;
 
   bool has_content() const { return content.has_value(); }
+  bool intact() const { return stored_crc64 == crc64; }
 };
 
 class Store {
@@ -52,11 +65,44 @@ class Store {
 
   size_t object_count() const { return objects_.size(); }
 
+  // --- silent-corruption fault surface -------------------------------------
+
+  /// At-rest corruption: flip one payload byte (real objects) or perturb the
+  /// media checksum (size-only objects). The declared `crc64` keeps its
+  /// write-time value, so `verify()` detects the damage. `salt` picks which
+  /// byte flips, keeping chaos schedules deterministic.
+  util::Status corrupt(const std::string& path, uint64_t salt = 0);
+
+  /// Truncated landing: only `actual_size` bytes of the object reached the
+  /// media. The declared size and checksum keep their manifest values;
+  /// `stored_crc64` is recomputed over the surviving prefix so `verify()`
+  /// fails. Requires 0 <= actual_size < size.
+  util::Status truncate(const std::string& path, int64_t actual_size);
+
+  /// Chaos helper: corrupt each object under `prefix` independently with
+  /// probability `prob` (deterministic from `seed`). Returns corrupted paths.
+  std::vector<std::string> corrupt_random(double prob, uint64_t seed,
+                                          const std::string& prefix = "");
+
+  /// Media-vs-manifest integrity check: true when the stored bytes still
+  /// match the checksum declared at write time.
+  util::Result<bool> verify(const std::string& path) const;
+
+  /// Move a (typically corrupt) object out of the namespace: get()/exists()
+  /// stop seeing it, its capacity is released so repair can re-land a clean
+  /// copy, and the path shows up in quarantined() for operators.
+  util::Status quarantine(const std::string& path);
+
+  /// Quarantined paths, sorted.
+  std::vector<std::string> quarantined() const;
+  size_t quarantine_count() const { return quarantined_.size(); }
+
  private:
   std::string name_;
   int64_t capacity_;
   int64_t used_ = 0;
   std::map<std::string, Object> objects_;
+  std::map<std::string, Object> quarantined_;
 };
 
 }  // namespace pico::storage

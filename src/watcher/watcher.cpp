@@ -60,7 +60,14 @@ util::Status Checkpoint::mark(const std::string& path, int64_t size,
 }
 
 DirectoryWatcher::DirectoryWatcher(WatcherConfig config, Checkpoint* checkpoint)
-    : config_(std::move(config)), checkpoint_(checkpoint) {}
+    : config_(std::move(config)), checkpoint_(checkpoint) {
+  // Partial-write guard: a file first seen on this scan may still be
+  // mid-write no matter what the config asks for. Emitting requires its
+  // size + mtime to hold across at least two polls, so degenerate configs
+  // (stable_scans <= 1, which would dispatch a half-landed acquisition) are
+  // clamped up to the safe minimum.
+  if (config_.stable_scans < 2) config_.stable_scans = 2;
+}
 
 bool DirectoryWatcher::extension_matches(const std::string& path) const {
   if (config_.extensions.empty()) return true;

@@ -52,7 +52,10 @@ struct WatcherConfig {
   std::vector<std::string> extensions = {".emd"};
   double poll_interval_s = 1.0;
   /// Consecutive stable size observations required before a file is
-  /// considered complete.
+  /// considered complete. Values below 2 are clamped: a file must be seen
+  /// with an unchanged size + mtime on at least two polls, otherwise an
+  /// acquisition still streaming out of the instrument would be dispatched
+  /// half-written.
   int stable_scans = 2;
 };
 

@@ -484,6 +484,7 @@ TEST_F(ClientFixture, ClassifiesAndLaunchesBothFlowKinds) {
 
   drop_hyper("a.emd");
   drop_spatio("b.emd");
+  EXPECT_TRUE(client.poll_once().empty());  // sighting (stable_scans clamp)
   auto launched = client.poll_once();
   ASSERT_EQ(launched.size(), 2u);
   client.drain();
@@ -507,6 +508,7 @@ TEST_F(ClientFixture, CheckpointPreventsDuplicateFlowsAcrossRestart) {
     TransferClient client(&facility, client_config());
     ASSERT_TRUE(client.init());
     drop_hyper("once.emd");
+    EXPECT_TRUE(client.poll_once().empty());  // sighting (stable_scans clamp)
     ASSERT_EQ(client.poll_once().size(), 1u);
     client.drain();
   }
@@ -527,6 +529,7 @@ TEST_F(ClientFixture, PoisonedFileSkippedWithoutWedging) {
   ASSERT_TRUE(util::write_file(dir + "/garbage.emd",
                                std::string("this is not an EMD file")));
   drop_hyper("good.emd");
+  EXPECT_TRUE(client.poll_once().empty());  // sighting (stable_scans clamp)
   auto launched = client.poll_once();
   ASSERT_EQ(launched.size(), 1u);  // the good file still flows
   client.drain();
@@ -545,6 +548,7 @@ TEST_F(ClientFixture, OwnerControlsRecordVisibility) {
   TransferClient client(&facility, cfg);
   ASSERT_TRUE(client.init());
   drop_hyper("private.emd");
+  EXPECT_TRUE(client.poll_once().empty());  // sighting (stable_scans clamp)
   auto launched = client.poll_once();
   ASSERT_EQ(launched.size(), 1u);
   client.drain();

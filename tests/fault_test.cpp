@@ -24,7 +24,8 @@ TEST(FaultSchedule, KindNamesRoundTrip) {
         FaultKind::TransferOutage, FaultKind::ComputeOutage,
         FaultKind::PbsDrain, FaultKind::AuthOutage, FaultKind::TokenExpiry,
         FaultKind::NodeFailureRate, FaultKind::OrchestratorCrash,
-        FaultKind::NotificationLoss}) {
+        FaultKind::NotificationLoss, FaultKind::WireBitFlip,
+        FaultKind::StorageCorrupt, FaultKind::TruncatedLanding}) {
     auto back = fault_kind_from_name(fault_kind_name(kind));
     ASSERT_TRUE(back);
     EXPECT_EQ(back.value(), kind);
@@ -73,6 +74,19 @@ TEST(FaultSchedule, ValidationRejectsBadDocuments) {
   EXPECT_FALSE(FaultSchedule::from_text(
       R"({"name": "x",
           "events": [{"kind": "node_failure_rate", "severity": 1.5}]})"));
+  // The silent-corruption kinds are probabilities: severity must be in (0,1].
+  EXPECT_FALSE(FaultSchedule::from_text(
+      R"({"name": "x", "events": [{"kind": "wire_bit_flip", "severity": 0}]})"));
+  EXPECT_FALSE(FaultSchedule::from_text(
+      R"({"name": "x",
+          "events": [{"kind": "storage_corrupt", "severity": 1.5}]})"));
+  EXPECT_FALSE(FaultSchedule::from_text(
+      R"({"name": "x",
+          "events": [{"kind": "truncated_landing", "severity": -0.1}]})"));
+  EXPECT_TRUE(FaultSchedule::from_text(
+      R"({"name": "x",
+          "events": [{"kind": "wire_bit_flip", "at_s": 10, "duration_s": 60,
+                      "severity": 0.05}]})"));
 }
 
 TEST(FaultSchedule, DowntimeMergesOverlappingWindows) {
@@ -353,6 +367,61 @@ TEST(ChaosCampaign, OrchestratorCrashReplayedFromJournal) {
   EXPECT_EQ(facility.index().size(), labels.size());
 }
 
+TEST(Injector, WireBitFlipWindowSetsAndRestoresProbability) {
+  Facility facility(fault_test_config("inj_biflip"));
+  FaultSchedule chaos;
+  chaos.add(FaultEvent{FaultKind::WireBitFlip, 100, 50, "", 0.2});
+  ASSERT_TRUE(facility.install_faults(chaos));
+  EXPECT_DOUBLE_EQ(facility.transfer().wire_corruption_prob(), 0.0);
+  facility.engine().run_until(at(120));
+  EXPECT_DOUBLE_EQ(facility.transfer().wire_corruption_prob(), 0.2);
+  facility.engine().run_until(at(200));
+  EXPECT_DOUBLE_EQ(facility.transfer().wire_corruption_prob(), 0.0);
+}
+
+TEST(Injector, TruncatedLandingWindowSetsAndRestoresProbability) {
+  Facility facility(fault_test_config("inj_trunc"));
+  FaultSchedule chaos;
+  chaos.add(FaultEvent{FaultKind::TruncatedLanding, 100, 50, "", 0.4});
+  ASSERT_TRUE(facility.install_faults(chaos));
+  EXPECT_DOUBLE_EQ(facility.transfer().truncation_prob(), 0.0);
+  facility.engine().run_until(at(120));
+  EXPECT_DOUBLE_EQ(facility.transfer().truncation_prob(), 0.4);
+  facility.engine().run_until(at(200));
+  EXPECT_DOUBLE_EQ(facility.transfer().truncation_prob(), 0.0);
+}
+
+TEST(Injector, StorageCorruptEventFlipsBitsAtRest) {
+  Facility facility(fault_test_config("inj_rot"));
+  // Pre-stage delivered objects on Eagle (the injector's default store).
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(facility.eagle().put("exp/f" + std::to_string(i) + ".emd",
+                                     std::vector<uint8_t>(100, 3),
+                                     facility.engine().now()));
+  }
+  FaultSchedule chaos;
+  chaos.add(FaultEvent{FaultKind::StorageCorrupt, 50, 0, "", 0.3});
+  ASSERT_TRUE(facility.install_faults(chaos));
+  facility.engine().run_until(at(49));
+  for (const auto& path : facility.eagle().list()) {
+    EXPECT_TRUE(facility.eagle().verify(path).value()) << path;
+  }
+  facility.engine().run_until(at(60));
+  int corrupt = 0;
+  for (const auto& path : facility.eagle().list()) {
+    if (!facility.eagle().verify(path).value()) ++corrupt;
+  }
+  EXPECT_GT(corrupt, 0);
+  EXPECT_LT(corrupt, 40);  // severity is a probability, not a wipe
+}
+
+TEST(Injector, StorageCorruptUnknownStoreTargetRejected) {
+  Facility facility(fault_test_config("inj_badstore"));
+  FaultSchedule chaos;
+  chaos.add(FaultEvent{FaultKind::StorageCorrupt, 10, 0, "no-such-store", 0.5});
+  EXPECT_FALSE(facility.install_faults(chaos));
+}
+
 TEST(Injector, NotificationLossWindowSetsAndRestoresProbability) {
   Facility facility(fault_test_config("inj_notif"));
   FaultSchedule chaos;
@@ -439,6 +508,227 @@ TEST(ChaosCampaign, TotalNotificationLossSettlesAllFlowsViaAdaptivePoller) {
   EXPECT_EQ(events_facility.index().size(), polling_facility.index().size());
   EXPECT_EQ(index_fingerprint(events_facility),
             index_fingerprint(polling_facility));
+}
+
+// ------------------------------------------- end-to-end integrity (A9) -----
+
+namespace {
+
+double counter_value(Facility& facility, const std::string& name,
+                     const std::string& help,
+                     const telemetry::Labels& labels = {}) {
+  return facility.telemetry().metrics.counter(name, help, labels).value();
+}
+
+constexpr const char* kCorruptionHelp =
+    "Integrity violations detected, by location";
+constexpr const char* kResumeHelp =
+    "Chunks skipped on retry because the manifest already verified them";
+
+/// One streaming transfer flow interrupted by a link partition at ~50% file
+/// progress. The partition outlives the Transfer step's timeout, so the
+/// orchestrator abandons the attempt and dispatches a fresh transfer task.
+flow::RunId run_partitioned_flow(Facility& facility) {
+  auto def = hyperspectral_flow(facility);
+  for (auto& step : def.steps) {
+    if (step.name != "Transfer") continue;
+    step.params["streaming_chunk_bytes"] = static_cast<int64_t>(8'000'000);
+    step.timeout_s = 25;
+    step.max_retries = 4;
+  }
+  // Wire plan: chunks start landing ~t=4 at 10.5 MB/s (84 Mbps per-flow cap),
+  // one 8 MB chunk every ~0.76 s. Partition at t=8.6 leaves ~6 of 12 chunks
+  // (~50%) verified; the stalled attempt times out at ~t=26.5 and the retry
+  // finishes after the t=28.6 heal.
+  FaultSchedule chaos;
+  chaos.add(FaultEvent{FaultKind::LinkPartition, 8.6, 20, "user-switch", 0});
+  EXPECT_TRUE(facility.install_faults(chaos));
+  EXPECT_TRUE(facility.stage_virtual_file("raw/resume.emd", 91'000'000));
+
+  FlowInput input;
+  input.file = "raw/resume.emd";
+  input.dest = "exp/resume.emd";
+  input.artifact_prefix = "resume";
+  input.title = "resume acceptance";
+  input.subject = "resume-acceptance";
+  auto run = facility.flows().start(def, input.to_json(),
+                                    facility.user_token(), "resume");
+  EXPECT_TRUE(run);
+  facility.engine().run();
+  return run.value();
+}
+
+FacilityConfig resume_test_config(const std::string& tag) {
+  FacilityConfig fc = fault_test_config(tag);
+  fc.seed = 777;
+  fc.cost.transfer_setup_jitter_s = 0.0;  // keep the fault at ~50% progress
+  fc.transfer_max_retries = 8;
+  return fc;
+}
+
+}  // namespace
+
+// Acceptance: with verified resume, the transfer task dispatched after the
+// timeout resumes from the manifest and moves < 60% of the file's bytes.
+TEST(Integrity, RetriedFlowTransferResumesFromManifest) {
+  Facility facility(resume_test_config("resume_on"));
+  flow::RunId run = run_partitioned_flow(facility);
+
+  const flow::RunInfo& info = facility.flows().info(run);
+  ASSERT_EQ(info.state, flow::RunState::Succeeded) << info.error;
+  ASSERT_GE(facility.flows().timing(run).steps.size(), 1u);
+  EXPECT_GE(facility.flows().timing(run).steps[0].timeouts, 1);
+
+  const util::Json& out = info.step_outputs.at("Transfer");
+  EXPECT_GT(out.at("chunks_resumed").as_int(0), 0);
+  // The retried transfer moved well under 60% of the file.
+  EXPECT_LT(out.at("wire_bytes").as_int(0),
+            static_cast<int64_t>(0.6 * 91'000'000));
+  EXPECT_GT(counter_value(facility, "transfer_chunks_resumed_total",
+                          kResumeHelp),
+            0.0);
+  EXPECT_TRUE(facility.eagle().exists("exp/resume.emd"));
+  EXPECT_TRUE(facility.eagle().verify("exp/resume.emd").value());
+}
+
+// The pre-PR baseline under the identical fault: whole-file restart. The
+// abandoned attempt and its replacement each move the full file, so >= 150%
+// of the bytes cross the wire.
+TEST(Integrity, RestartModeMovesTheFileTwice) {
+  Facility facility(resume_test_config("resume_off"));
+  facility.transfer().set_verified_resume(false);
+  flow::RunId run = run_partitioned_flow(facility);
+
+  const flow::RunInfo& info = facility.flows().info(run);
+  ASSERT_EQ(info.state, flow::RunState::Succeeded) << info.error;
+  const util::Json& out = info.step_outputs.at("Transfer");
+  EXPECT_EQ(out.at("chunks_resumed").as_int(-1), 0);
+  // The successful attempt alone re-sent everything...
+  EXPECT_GE(out.at("wire_bytes").as_int(0), 91'000'000);
+  // ...and together with the abandoned attempt the wire moved >= 150%.
+  EXPECT_GE(counter_value(facility, "transfer_wire_bytes_total",
+                          "Bytes that crossed the network (after compression)"),
+            1.5 * 91'000'000);
+}
+
+// Acceptance: a campaign under seeded wire bit-flips publishes a search index
+// byte-identical to the fault-free run's — corruption is always caught and
+// repaired before publication, never laundered into results.
+TEST(Integrity, WireBitFlipCampaignIndexMatchesFaultFree) {
+  CampaignConfig cfg;
+  cfg.use_case = UseCase::Hyperspectral;
+  cfg.start_period_s = 30;
+  cfg.duration_s = 1200;
+  cfg.file_bytes = 91'000'000;
+  cfg.label_prefix = "wf";
+  cfg.recovery.enabled = true;
+  cfg.recovery.resubmit_budget = 3;
+
+  FacilityConfig fc = fault_test_config("wireflip_chaos");
+  fc.seed = 2023;
+  fc.transfer_max_retries = 8;
+  Facility chaos_facility(fc);
+  CampaignConfig chaos_cfg = cfg;
+  chaos_cfg.chaos.name = "wire-bit-flips";
+  // The window outlives the campaign so late transfers are exposed too.
+  chaos_cfg.chaos.add(FaultEvent{FaultKind::WireBitFlip, 0, 4000, "", 0.15});
+  CampaignResult with_chaos = run_campaign(chaos_facility, chaos_cfg);
+
+  EXPECT_EQ(with_chaos.failed, 0u);
+  EXPECT_EQ(with_chaos.robustness.lost, 0u);
+  ASSERT_GT(with_chaos.in_window.size(), 10u);
+  // The flips actually happened and were caught.
+  EXPECT_GT(counter_value(chaos_facility, "corruption_detected_total",
+                          kCorruptionHelp, {{"where", "wire"}}),
+            0.0);
+
+  FacilityConfig clean_fc = fault_test_config("wireflip_clean");
+  clean_fc.seed = 2023;
+  clean_fc.transfer_max_retries = 8;
+  Facility clean_facility(clean_fc);
+  CampaignResult clean = run_campaign(clean_facility, cfg);
+  EXPECT_EQ(clean.failed, 0u);
+
+  EXPECT_EQ(chaos_facility.index().size(), clean_facility.index().size());
+  EXPECT_EQ(chaos_facility.index().fingerprint(),
+            clean_facility.index().fingerprint());
+}
+
+// At-rest bit rot during a campaign: the periodic scrubber quarantines the
+// damaged objects and provenance-driven repair re-lands clean copies, so the
+// campaign ends with every delivered object intact.
+TEST(Integrity, ScrubberRepairsSeededStorageCorruption) {
+  FacilityConfig fc = fault_test_config("scrub_campaign");
+  fc.seed = 99;
+  Facility facility(fc);
+
+  CampaignConfig cfg;
+  cfg.use_case = UseCase::Hyperspectral;
+  cfg.start_period_s = 30;
+  cfg.duration_s = 1200;
+  cfg.file_bytes = 91'000'000;
+  cfg.label_prefix = "scrub";
+  cfg.scrub_interval_s = 100;
+  cfg.chaos.name = "bit-rot";
+  cfg.chaos.add(FaultEvent{FaultKind::StorageCorrupt, 400, 0, "", 0.5});
+  cfg.chaos.add(FaultEvent{FaultKind::StorageCorrupt, 800, 0, "", 0.5});
+  CampaignResult result = run_campaign(facility, cfg);
+
+  EXPECT_EQ(result.failed, 0u);
+  ASSERT_NE(facility.scrubber(), nullptr);
+  const auto& stats = facility.scrubber()->stats();
+  EXPECT_GT(stats.scans, 5u);
+  EXPECT_GT(stats.corrupt_found, 0u);
+  EXPECT_EQ(stats.repairs_requested, stats.corrupt_found);
+  EXPECT_GT(facility.eagle().quarantine_count(), 0u);
+  EXPECT_GT(counter_value(facility, "corruption_detected_total",
+                          kCorruptionHelp, {{"where", "at_rest"}}),
+            0.0);
+  EXPECT_GT(counter_value(facility, "transfer_repairs_total",
+                          "Re-transfers submitted to repair quarantined "
+                          "objects"),
+            0.0);
+  // Every repair landed: the namespace holds no corrupt object.
+  for (const auto& path : facility.eagle().list()) {
+    EXPECT_TRUE(facility.eagle().verify(path).value()) << path;
+  }
+}
+
+// Exactly-once publication: dead-letter resubmission and crash replay of a
+// flow whose Publish already landed must not double-publish. The idempotency
+// key (subject + content hash) suppresses the duplicate and the campaign
+// keeps one record per flow.
+TEST(Integrity, DuplicatePublishSuppressedByIdempotencyKey) {
+  FacilityConfig fc = fault_test_config("dup_publish");
+  fc.seed = 31;
+  Facility facility(fc);
+  CampaignConfig cfg;
+  cfg.use_case = UseCase::Hyperspectral;
+  cfg.start_period_s = 30;
+  cfg.duration_s = 1200;
+  cfg.file_bytes = 91'000'000;
+  cfg.label_prefix = "dup";
+  // Publish takes ~1.2 s but the poller only discovers completion at the
+  // ~3 s mark; a 2.5 s timeout abandons many first attempts *after* their
+  // ingest has irrevocably started. The re-dispatched Publish must dedupe
+  // against the attempt that still lands.
+  cfg.step_timeouts["Publish"] = 2.5;
+  CampaignResult result = run_campaign(facility, cfg);
+
+  size_t successes = 0;
+  std::set<std::string> labels;
+  for (const auto* bucket : {&result.in_window, &result.late}) {
+    for (const auto& f : *bucket) {
+      EXPECT_TRUE(labels.insert(f.label).second) << "double-settled " << f.label;
+      if (f.success) ++successes;
+    }
+  }
+  ASSERT_GT(successes, 10u);
+  // One record per successful flow, even though retried publishes happened.
+  EXPECT_EQ(facility.index().size(), successes);
+  EXPECT_GT(counter_value(facility, "publish_duplicates_suppressed_total",
+                          "Search publishes suppressed by idempotency keys"),
+            0.0);
 }
 
 TEST(ChaosCampaign, RecoveryDisabledCountsFailuresClassically) {

@@ -19,11 +19,12 @@ struct TransferFixture : ::testing::Test {
   storage::Store dst_store{"dst", static_cast<int64_t>(1e12)};
   std::unique_ptr<TransferService> service;
   auth::Token token;
+  net::LinkId link = 0;
 
   void setup_service(TransferConfig cfg) {
     net::NodeId a = topo.add_node("src");
     net::NodeId b = topo.add_node("dst");
-    topo.add_link(a, b, 80e6);  // 10 MB/s
+    link = topo.add_link(a, b, 80e6);  // 10 MB/s
     network = std::make_unique<net::Network>(&engine, &topo);
     service = std::make_unique<TransferService>(&engine, network.get(), &auth,
                                                 cfg, 42);
@@ -322,6 +323,231 @@ TEST_F(TransferFixture, ChunkedAndClassicTransfersMatchFinalState) {
   EXPECT_EQ(s.wire_bytes, c.wire_bytes);
   EXPECT_EQ(s.files_done, c.files_done);
   EXPECT_TRUE(dst_store.exists("b.emd"));
+}
+
+// --- chunk-size clamping (request validation boundaries) ---
+
+TEST_F(TransferFixture, ChunkBytesClampedUpToOne) {
+  setup_service(quick_config());
+  ASSERT_TRUE(src_store.put("tiny.emd", std::vector<uint8_t>(10), engine.now()));
+  auto req = single_file("tiny.emd", "tiny.emd");
+  req.streaming_chunk_bytes = -5;  // nonsense: clamped to 1 byte
+  auto task = service->submit(req, token);
+  ASSERT_TRUE(task);
+  std::vector<int64_t> seen;
+  ASSERT_TRUE(service->on_progress(task.value(),
+                                   [&](int64_t b) { seen.push_back(b); }));
+  engine.run();
+  EXPECT_EQ(service->status(task.value()).state, TaskState::Succeeded);
+  // 1-byte chunks over a 10-byte file: ten incremental landings.
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(seen.back(), 10);
+}
+
+TEST_F(TransferFixture, ChunkBytesClampedDownToFileSize) {
+  setup_service(quick_config());
+  ASSERT_TRUE(src_store.put_virtual("big.emd", 10'000'000, 5, engine.now()));
+  auto req = single_file("big.emd", "big.emd");
+  req.streaming_chunk_bytes = static_cast<int64_t>(1e15);  // way over the file
+  auto task = service->submit(req, token);
+  ASSERT_TRUE(task);
+  std::vector<int64_t> seen;
+  ASSERT_TRUE(service->on_progress(task.value(),
+                                   [&](int64_t b) { seen.push_back(b); }));
+  engine.run();
+  EXPECT_EQ(service->status(task.value()).state, TaskState::Succeeded);
+  // Clamped to one whole-file chunk: exactly one landing, not zero and not a
+  // degenerate overshoot.
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 10'000'000);
+}
+
+TEST_F(TransferFixture, ZeroChunkBytesStaysClassic) {
+  setup_service(quick_config());
+  ASSERT_TRUE(src_store.put("f.emd", std::vector<uint8_t>(100), engine.now()));
+  auto req = single_file("f.emd", "f.emd");
+  req.streaming_chunk_bytes = 0;  // explicit classic mode, no clamping
+  auto task = service->submit(req, token);
+  ASSERT_TRUE(task);
+  EXPECT_FALSE(service->on_progress(task.value(), [](int64_t) {}));
+  engine.run();
+  EXPECT_EQ(service->status(task.value()).state, TaskState::Succeeded);
+}
+
+// --- verified resumable transfers ---
+
+// A retry of a transfer whose earlier attempt verified some chunks resumes
+// from the manifest instead of re-sending the whole file. The retried task's
+// own wire traffic must stay under 60% of the file (the earlier attempt had
+// landed half of it).
+TEST_F(TransferFixture, RetriedTransferResumesFromVerifiedChunks) {
+  auto cfg = quick_config();
+  cfg.max_retries = 10;
+  cfg.retry_backoff_s = 0.2;
+  setup_service(cfg);
+  ASSERT_TRUE(src_store.put_virtual("r.emd", 10'000'000, 9, engine.now()));
+  auto req = single_file("r.emd", "r.emd");
+  req.streaming_chunk_bytes = 2'000'000;  // 5 chunks, one every 0.2 s of wire
+  auto first = service->submit(req, token);
+  ASSERT_TRUE(first);
+
+  // Chunk landings: ~1.3, 1.5, 1.7, ... Partition mid-file with three chunks
+  // verified and the fourth stalled in flight.
+  engine.schedule_at(sim::SimTime::from_seconds(1.75), [&] {
+    topo.set_link_up(link, false);
+    network->rates_changed();
+  });
+  // The orchestrator gives up on the stalled attempt and retries while the
+  // link is still down; the retry's chunk sends fail fast (no route) and back
+  // off until the link heals.
+  util::Result<TaskId> second = util::Result<TaskId>::err("not submitted");
+  engine.schedule_at(sim::SimTime::from_seconds(2.5),
+                     [&] { second = service->submit(req, token); });
+  engine.schedule_at(sim::SimTime::from_seconds(8.0), [&] {
+    topo.set_link_up(link, true);
+    network->rates_changed();
+  });
+  engine.run();
+
+  ASSERT_TRUE(second);
+  TaskInfo retry = service->status(second.value());
+  EXPECT_EQ(retry.state, TaskState::Succeeded) << retry.error;
+  EXPECT_GE(retry.chunks_resumed, 3);  // picked up the verified prefix
+  // The acceptance bound: the retried transfer moved < 60% of file bytes.
+  EXPECT_LT(retry.wire_bytes, static_cast<int64_t>(0.6 * 10'000'000));
+  EXPECT_TRUE(dst_store.exists("r.emd"));
+}
+
+// The pre-PR behaviour, selectable via config: with verified resume off the
+// retried transfer re-sends everything, so the two attempts together push at
+// least 150% of the file over the wire.
+TEST_F(TransferFixture, RestartModeResendsWholeFile) {
+  auto cfg = quick_config();
+  cfg.verified_resume = false;
+  cfg.max_retries = 10;
+  cfg.retry_backoff_s = 0.2;
+  setup_service(cfg);
+  ASSERT_TRUE(src_store.put_virtual("r.emd", 10'000'000, 9, engine.now()));
+  auto req = single_file("r.emd", "r.emd");
+  req.streaming_chunk_bytes = 2'000'000;
+  auto first = service->submit(req, token);
+  ASSERT_TRUE(first);
+  engine.schedule_at(sim::SimTime::from_seconds(1.75), [&] {
+    topo.set_link_up(link, false);
+    network->rates_changed();
+  });
+  util::Result<TaskId> second = util::Result<TaskId>::err("not submitted");
+  engine.schedule_at(sim::SimTime::from_seconds(2.5),
+                     [&] { second = service->submit(req, token); });
+  engine.schedule_at(sim::SimTime::from_seconds(8.0), [&] {
+    topo.set_link_up(link, true);
+    network->rates_changed();
+  });
+  engine.run();
+
+  ASSERT_TRUE(second);
+  TaskInfo a = service->status(first.value());
+  TaskInfo b = service->status(second.value());
+  EXPECT_EQ(a.state, TaskState::Succeeded) << a.error;
+  EXPECT_EQ(b.state, TaskState::Succeeded) << b.error;
+  EXPECT_EQ(b.chunks_resumed, 0);
+  // Both attempts moved the whole file: >= 150% of the bytes crossed the wire.
+  EXPECT_GE(a.wire_bytes + b.wire_bytes,
+            static_cast<int64_t>(1.5 * 10'000'000));
+}
+
+// Re-transferring an already-delivered file with an intact manifest moves
+// (nearly) nothing: rsync-like semantics from the chunk manifest.
+TEST_F(TransferFixture, CompletedManifestMakesRepeatTransferFree) {
+  setup_service(quick_config());
+  ASSERT_TRUE(src_store.put_virtual("dup.emd", 10'000'000, 4, engine.now()));
+  auto req = single_file("dup.emd", "dup.emd");
+  req.streaming_chunk_bytes = 2'000'000;
+  auto first = service->submit(req, token);
+  ASSERT_TRUE(first);
+  engine.run();
+  ASSERT_EQ(service->status(first.value()).state, TaskState::Succeeded);
+
+  auto second = service->submit(req, token);
+  ASSERT_TRUE(second);
+  engine.run();
+  TaskInfo info = service->status(second.value());
+  EXPECT_EQ(info.state, TaskState::Succeeded);
+  EXPECT_EQ(info.wire_bytes, 0);  // every chunk already verified
+  EXPECT_EQ(info.chunks_resumed, 5);
+  EXPECT_EQ(info.bytes_done, 10'000'000);  // still reports full delivery
+}
+
+// Wire bit-flips are detected by the per-chunk CRC and absorbed by re-sending
+// only the corrupted chunk.
+TEST_F(TransferFixture, WireCorruptionDetectedAndHealedPerChunk) {
+  auto cfg = quick_config();
+  cfg.max_retries = 8;
+  cfg.retry_backoff_s = 0.1;
+  setup_service(cfg);
+  service->set_wire_corruption_prob(0.3);
+  ASSERT_TRUE(src_store.put_virtual("w.emd", 20'000'000, 2, engine.now()));
+  auto req = single_file("w.emd", "w.emd");
+  req.streaming_chunk_bytes = 1'000'000;  // 20 chunks: corruption near-certain
+  auto task = service->submit(req, token);
+  ASSERT_TRUE(task);
+  engine.run();
+  TaskInfo info = service->status(task.value());
+  EXPECT_EQ(info.state, TaskState::Succeeded) << info.error;
+  EXPECT_GT(info.corruption_detected, 0);
+  // Damaged chunks crossed the wire twice, but the whole file never did.
+  EXPECT_GT(info.wire_bytes, 20'000'000);
+  EXPECT_LT(info.wire_bytes, 40'000'000);
+  EXPECT_TRUE(dst_store.exists("w.emd"));
+}
+
+TEST_F(TransferFixture, PersistentWireCorruptionFailsTask) {
+  auto cfg = quick_config();
+  cfg.max_retries = 3;
+  cfg.retry_backoff_s = 0.1;
+  setup_service(cfg);
+  service->set_wire_corruption_prob(1.0);  // every chunk lands damaged
+  ASSERT_TRUE(src_store.put_virtual("bad.emd", 4'000'000, 6, engine.now()));
+  auto req = single_file("bad.emd", "bad.emd");
+  req.streaming_chunk_bytes = 2'000'000;
+  auto task = service->submit(req, token);
+  ASSERT_TRUE(task);
+  engine.run();
+  TaskInfo info = service->status(task.value());
+  EXPECT_EQ(info.state, TaskState::Failed);
+  EXPECT_NE(info.error.find("CRC"), std::string::npos) << info.error;
+}
+
+// Truncated landings (the destination object is shorter than declared) are
+// caught by post-delivery verification and the file is re-sent.
+TEST_F(TransferFixture, TruncatedLandingRetriedUntilIntact) {
+  auto cfg = quick_config();
+  cfg.max_retries = 30;
+  cfg.retry_backoff_s = 0.05;
+  setup_service(cfg);
+  service->set_truncation_prob(0.5);
+  std::vector<TaskId> tasks;
+  for (int i = 0; i < 8; ++i) {
+    std::string name = "t" + std::to_string(i) + ".emd";
+    ASSERT_TRUE(src_store.put(name, std::vector<uint8_t>(50'000), engine.now()));
+    auto task = service->submit(single_file(name, name), token);
+    ASSERT_TRUE(task);
+    tasks.push_back(task.value());
+  }
+  engine.run();
+  int detected = 0;
+  for (const auto& id : tasks) {
+    TaskInfo info = service->status(id);
+    EXPECT_EQ(info.state, TaskState::Succeeded) << info.error;
+    detected += info.corruption_detected;
+  }
+  EXPECT_GT(detected, 0);
+  // Every delivered object is intact despite the injected truncations.
+  for (int i = 0; i < 8; ++i) {
+    auto obj = dst_store.get("t" + std::to_string(i) + ".emd");
+    ASSERT_TRUE(obj);
+    EXPECT_TRUE(obj.value()->intact());
+  }
 }
 
 TEST_F(TransferFixture, ProgressHookRejectsClassicAndUnknownTasks) {

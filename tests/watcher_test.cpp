@@ -68,9 +68,10 @@ TEST_F(WatcherFixture, GrowingFileWaitsUntilStable) {
 
 TEST_F(WatcherFixture, ExtensionFilter) {
   Checkpoint cp(journal);
-  DirectoryWatcher watcher(config(1), &cp);
+  DirectoryWatcher watcher(config(1), &cp);  // clamped to 2: two scans needed
   write("data.emd", 10);
   write("notes.txt", 10);
+  EXPECT_TRUE(watcher.scan_once().empty());  // sighting
   auto events = watcher.scan_once();
   ASSERT_EQ(events.size(), 1u);
   EXPECT_NE(events[0].path.find("data.emd"), std::string::npos);
@@ -83,6 +84,7 @@ TEST_F(WatcherFixture, EmptyExtensionsMatchesEverything) {
   DirectoryWatcher watcher(cfg, &cp);
   write("a.emd", 1);
   write("b.txt", 1);
+  EXPECT_TRUE(watcher.scan_once().empty());  // sighting
   EXPECT_EQ(watcher.scan_once().size(), 2u);
 }
 
@@ -92,6 +94,7 @@ TEST_F(WatcherFixture, CheckpointSurvivesRestart) {
     ASSERT_TRUE(cp.load());
     DirectoryWatcher watcher(config(1), &cp);
     write("done.emd", 50);
+    EXPECT_TRUE(watcher.scan_once().empty());  // sighting
     ASSERT_EQ(watcher.scan_once().size(), 1u);
   }
   // "Reboot": fresh watcher + checkpoint reloaded from the journal file.
@@ -101,6 +104,7 @@ TEST_F(WatcherFixture, CheckpointSurvivesRestart) {
     EXPECT_EQ(cp.size(), 1u);
     DirectoryWatcher watcher(config(1), &cp);
     EXPECT_TRUE(watcher.scan_once().empty());  // no duplicate flow trigger
+    EXPECT_TRUE(watcher.scan_once().empty());
   }
 }
 
@@ -108,9 +112,11 @@ TEST_F(WatcherFixture, RewrittenFileWithNewSizeTriggersAgain) {
   Checkpoint cp(journal);
   DirectoryWatcher watcher(config(1), &cp);
   write("f.emd", 10);
+  EXPECT_TRUE(watcher.scan_once().empty());  // sighting
   ASSERT_EQ(watcher.scan_once().size(), 1u);
   // Same path, different size: new data product.
   write("f.emd", 99);
+  EXPECT_TRUE(watcher.scan_once().empty());  // sighting of the rewrite
   auto events = watcher.scan_once();
   ASSERT_EQ(events.size(), 1u);
   EXPECT_EQ(events[0].size, 99);
@@ -120,6 +126,7 @@ TEST_F(WatcherFixture, RewrittenFileWithNewSizeTriggersAgain) {
   auto processed_mtime = fs::last_write_time(dir + "/f.emd");
   write("f.emd", 99);
   fs::last_write_time(dir + "/f.emd", processed_mtime);
+  EXPECT_TRUE(watcher.scan_once().empty());
   EXPECT_TRUE(watcher.scan_once().empty());
 }
 
@@ -131,18 +138,46 @@ TEST_F(WatcherFixture, SameSizeRewriteWithNewMtimeTriggersAgain) {
   ASSERT_TRUE(cp.load());
   DirectoryWatcher watcher(config(1), &cp);
   write("r.emd", 42);
+  EXPECT_TRUE(watcher.scan_once().empty());  // sighting
   ASSERT_EQ(watcher.scan_once().size(), 1u);
   // In-place rewrite at the same size, stamped one second later.
   write("r.emd", 42);
   fs::last_write_time(
       dir + "/r.emd",
       fs::last_write_time(dir + "/r.emd") + std::chrono::seconds(1));
+  EXPECT_TRUE(watcher.scan_once().empty());  // sighting of the rewrite
   auto events = watcher.scan_once();
   ASSERT_EQ(events.size(), 1u);
   EXPECT_EQ(events[0].size, 42);
   EXPECT_NE(events[0].mtime_ns, 0);
   // Nothing new afterwards: stays quiet.
   EXPECT_TRUE(watcher.scan_once().empty());
+}
+
+// Regression (partial-write race): stable_scans <= 1 used to emit a file on
+// its very first sighting, dispatching acquisitions still streaming out of
+// the instrument. The config is now clamped so emission always requires the
+// size + mtime to hold across two polls.
+TEST_F(WatcherFixture, PartialWriteNeverEmittedOnFirstSighting) {
+  Checkpoint cp(journal);
+  DirectoryWatcher watcher(config(1), &cp);
+  EXPECT_EQ(watcher.config().stable_scans, 2);  // clamp visible to callers
+
+  // Simulate an instrument writing incrementally: the file grows between
+  // every poll. A single-scan watcher would have emitted the 100-byte
+  // prefix immediately.
+  write("partial.emd", 100);
+  EXPECT_TRUE(watcher.scan_once().empty());
+  write("partial.emd", 5000);
+  EXPECT_TRUE(watcher.scan_once().empty());  // grew: restart count
+  write("partial.emd", 9000);
+  // Writer finished. The poll that first sees the final size is stable
+  // observation #1; only the poll after it (size unchanged across two
+  // polls) may emit.
+  EXPECT_TRUE(watcher.scan_once().empty());
+  auto events = watcher.scan_once();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].size, 9000);
 }
 
 TEST_F(WatcherFixture, LegacyJournalEntriesStillHonoured) {
@@ -199,10 +234,11 @@ TEST_F(WatcherFixture, CheckpointMarkIdempotent) {
 TEST_F(WatcherFixture, WatcherWithoutCheckpointStillWorks) {
   DirectoryWatcher watcher(config(1), nullptr);
   write("x.emd", 5);
+  EXPECT_TRUE(watcher.scan_once().empty());  // sighting
   EXPECT_EQ(watcher.scan_once().size(), 1u);
-  // Without a checkpoint the same stable file is not re-reported because it
-  // only enters pending once... it vanished from pending after the event, so
-  // a further scan re-detects it.
+  // Without a checkpoint the file vanished from pending after the event, so
+  // further scans re-detect it (sighting + stable again).
+  EXPECT_TRUE(watcher.scan_once().empty());
   EXPECT_EQ(watcher.scan_once().size(), 1u);
 }
 

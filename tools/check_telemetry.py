@@ -32,13 +32,21 @@ Validates, with no third-party dependencies:
   cut-through streaming must cut the spatiotemporal median *total* runtime
   below event-only.
 
+* End-to-end integrity baselines (``--integrity``, ``BENCH_integrity.json``):
+  schema, the 50%-progress resume acceptance pair (resumed retry < 60% of
+  file bytes, whole-file restart >= 150%), and the chaos campaign's
+  guarantees: zero lost flows, nonzero detected corruption, a search index
+  byte-identical to the fault-free baseline, zero duplicate publications
+  (with nonzero suppressed duplicates proving the idempotency keys were
+  exercised), and positive retry bytes saved by verified resume.
+
 Exit status is non-zero on the first file that fails, so CI can gate on it:
 
     python3 tools/check_telemetry.py --prom BENCH_dataplane.prom
     python3 tools/check_telemetry.py --trace chaos-output/trace.json \
         --require-depth 4 --prom chaos-output/metrics.prom --min-families 12
     python3 tools/check_telemetry.py --dataplane BENCH_dataplane.json \
-        --overhead BENCH_overhead.json
+        --overhead BENCH_overhead.json --integrity BENCH_integrity.json
 """
 
 import argparse
@@ -358,6 +366,87 @@ def check_overhead(path):
     return True
 
 
+INTEGRITY_RUNS = ("baseline", "chaos_resume", "chaos_restart")
+
+
+def check_integrity(path):
+    try:
+        doc = json.load(open(path, encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unparseable: {e}")
+    if doc.get("schema") != "pico.bench.integrity.v1":
+        return fail(path, f"bad schema {doc.get('schema')!r}")
+    if doc.get("pass") is not True:
+        return fail(path, "the bench itself recorded a failed assertion")
+
+    # The 50%-progress resume acceptance pair.
+    acc = doc.get("resume_acceptance")
+    if not isinstance(acc, dict):
+        return fail(path, "missing resume_acceptance")
+    retry_frac = acc.get("resume_retry_wire_frac")
+    restart_frac = acc.get("restart_total_wire_frac")
+    if not isinstance(retry_frac, (int, float)) or retry_frac < 0:
+        return fail(path, f"bad resume_retry_wire_frac {retry_frac!r}")
+    if retry_frac >= 0.6:
+        return fail(path, f"resumed retry moved {100 * retry_frac:.1f}% of "
+                          f"file bytes, required < 60%")
+    if not isinstance(restart_frac, (int, float)) or restart_frac < 1.5:
+        return fail(path, f"whole-file restart moved "
+                          f"{restart_frac!r}x the file, required >= 1.5x")
+    if acc.get("resume_chunks_resumed", 0) <= 0:
+        return fail(path, "retry did not resume any verified chunks")
+
+    campaign = doc.get("campaign")
+    if not isinstance(campaign, dict):
+        return fail(path, "missing campaign")
+    runs = {r.get("run"): r for r in campaign.get("runs", [])}
+    if set(runs) != set(INTEGRITY_RUNS):
+        return fail(path, f"campaign runs {sorted(runs)} != "
+                          f"{sorted(INTEGRITY_RUNS)}")
+    for name, r in runs.items():
+        if r.get("settled", 0) <= 0:
+            return fail(path, f"{name}: no settled flows")
+        if r.get("eagle_clean") is not True:
+            return fail(path, f"{name}: campaign ended with a corrupt "
+                              f"object still in the store")
+
+    resume = runs["chaos_resume"]
+    if resume.get("failed", 1) != 0 or resume.get("lost", 1) != 0:
+        return fail(path, f"chaos_resume lost flows (failed "
+                          f"{resume.get('failed')!r}, lost "
+                          f"{resume.get('lost')!r})")
+    corruption = sum(resume.get(k, 0) for k in
+                     ("corruption_detected_wire",
+                      "corruption_detected_landing",
+                      "corruption_detected_at_rest"))
+    if corruption <= 0:
+        return fail(path, "chaos campaign detected no corruption — the "
+                          "fault schedule did not exercise the checks")
+    if resume.get("duplicate_publishes") != 0:
+        return fail(path, f"chaos_resume published "
+                          f"{resume.get('duplicate_publishes')!r} records "
+                          f"beyond one per successful flow")
+    if resume.get("publish_duplicates_suppressed", 0) <= 0:
+        return fail(path, "no duplicate publishes were suppressed — the "
+                          "idempotency keys were never exercised")
+    if resume.get("chunks_resumed", 0) <= 0:
+        return fail(path, "chaos_resume never resumed a chunk from a "
+                          "manifest")
+    if campaign.get("index_match_resume_vs_baseline") is not True:
+        return fail(path, "chaos campaign index diverged from the "
+                          "fault-free baseline")
+    saved = campaign.get("retry_bytes_saved")
+    if not isinstance(saved, (int, float)) or saved <= 0:
+        return fail(path, f"retry_bytes_saved {saved!r} is not positive")
+
+    print(f"{path}: ok (retry moved {100 * retry_frac:.1f}% resumed vs "
+          f"{100 * restart_frac:.1f}% restarted; campaign detected "
+          f"{corruption:.0f} corruptions, suppressed "
+          f"{resume['publish_duplicates_suppressed']:.0f} duplicate "
+          f"publishes, saved {saved / 1e6:.0f} MB of retry bytes)")
+    return True
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--prom", action="append", default=[],
@@ -375,11 +464,14 @@ def main():
     parser.add_argument("--overhead", action="append", default=[],
                         help="BENCH_overhead.json baseline to validate "
                              "(repeatable)")
+    parser.add_argument("--integrity", action="append", default=[],
+                        help="BENCH_integrity.json baseline to validate "
+                             "(repeatable)")
     args = parser.parse_args()
     if not args.prom and not args.trace and not args.dataplane \
-            and not args.overhead:
-        parser.error("nothing to check: pass --prom, --trace, --dataplane "
-                     "and/or --overhead")
+            and not args.overhead and not args.integrity:
+        parser.error("nothing to check: pass --prom, --trace, --dataplane, "
+                     "--overhead and/or --integrity")
 
     ok = True
     for path in args.prom:
@@ -390,6 +482,8 @@ def main():
         ok = check_dataplane(path) and ok
     for path in args.overhead:
         ok = check_overhead(path) and ok
+    for path in args.integrity:
+        ok = check_integrity(path) and ok
     return 0 if ok else 1
 
 
