@@ -349,9 +349,12 @@ CampaignResult run_campaign(Facility& facility, const CampaignConfig& config) {
   auto driver = std::make_shared<Driver>();
   driver->facility = &facility;
   driver->config = config;
-  driver->definition = config.use_case == UseCase::Hyperspectral
-                           ? hyperspectral_flow(facility)
-                           : spatiotemporal_flow(facility);
+  driver->definition =
+      config.use_case == UseCase::Hyperspectral
+          ? (config.streaming_direct ? hyperspectral_stream_flow(facility)
+                                     : hyperspectral_flow(facility))
+          : (config.streaming_direct ? spatiotemporal_stream_flow(facility)
+                                     : spatiotemporal_flow(facility));
   driver->result = &result;
 
   // Per-step timeout overrides (chaos campaigns abandon stuck actions).

@@ -61,6 +61,10 @@ struct CampaignConfig {
   /// Chunk size injected into a Transfer step's params when the step after it
   /// streams (progress granularity of the cut-through pipeline).
   int64_t streaming_chunk_bytes = 8 * 1000 * 1000;
+  /// Use the streaming_direct flow variants: the Transfer step is replaced by
+  /// a Stream step that pushes detector frames straight into Polaris node
+  /// memory, degrading to spill/fallback under frame chaos (DESIGN.md §13).
+  bool streaming_direct = false;
   /// Periodic at-rest integrity scrub of Eagle during the campaign: every
   /// interval the scrubber walks delivered objects, quarantines corrupt
   /// copies, and requests provenance-driven repair re-transfers. 0 = no

@@ -24,6 +24,7 @@ Facility::Facility(FacilityConfig config)
     : config_(std::move(config)),
       user_store_("picoprobe-staging", config_.user_store_capacity),
       eagle_("eagle", config_.eagle_capacity),
+      node_memory_("polaris-nodemem", config_.node_memory_capacity),
       index_("picoprobe-experiments"),
       cost_rng_(config_.seed ^ 0xC057ull) {
   build_topology();
@@ -40,6 +41,21 @@ Facility::Facility(FacilityConfig config)
       &engine_, network_.get(), &auth_, tcfg, config_.seed ^ 0x7F1, &trace_);
   transfer_->register_endpoint(kUserEndpoint, user_node_, &user_store_);
   transfer_->register_endpoint(kEagleEndpoint, eagle_node_, &eagle_);
+
+  // Direct detector→compute streaming: frames leave the user workstation and
+  // land in Polaris node memory; spills and whole-flow fallbacks reuse the
+  // verified Eagle landing path (DESIGN.md §13).
+  transfer::StreamService::Wiring wiring;
+  wiring.src_node = user_node_;
+  wiring.src_store = &user_store_;
+  wiring.dst_node = polaris_node_;
+  wiring.dst_store = &node_memory_;
+  wiring.store_node = eagle_node_;
+  wiring.src_endpoint = kUserEndpoint;
+  wiring.store_endpoint = kEagleEndpoint;
+  stream_ = std::make_unique<transfer::StreamService>(
+      &engine_, network_.get(), &auth_, transfer_.get(), config_.stream,
+      wiring, config_.seed ^ 0x57A3);
 
   hpcsim::ClusterConfig ccfg;
   ccfg.name = "polaris";
@@ -64,17 +80,20 @@ Facility::Facility(FacilityConfig config)
   flows_ = std::make_unique<flow::FlowService>(
       &engine_, &auth_, config_.flow, config_.seed ^ 0xF70, &trace_);
   transfer_provider_ = std::make_unique<TransferProvider>(transfer_.get());
+  stream_provider_ = std::make_unique<StreamProvider>(stream_.get());
   compute_provider_ = std::make_unique<ComputeProvider>(compute_.get());
   search_provider_ = std::make_unique<SearchIngestProvider>(
       &engine_, &auth_, &index_, config_.cost.publication_s,
       config_.cost.publication_jitter_s, config_.seed ^ 0x5E4);
   flows_->register_provider(transfer_provider_.get());
+  flows_->register_provider(stream_provider_.get());
   flows_->register_provider(compute_provider_.get());
   flows_->register_provider(search_provider_.get());
 
   // Thread telemetry through every instrumented service: one tracer (sinking
   // into trace_) and one metrics registry for the whole facility.
   transfer_->set_telemetry(&telemetry_);
+  stream_->set_telemetry(&telemetry_);
   compute_->set_telemetry(&telemetry_);
   flows_->set_telemetry(&telemetry_);
   search_provider_->set_telemetry(&telemetry_);
@@ -94,6 +113,7 @@ void Facility::build_topology() {
   net::NodeId sw = topo_.add_node("site-switch");
   net::NodeId backbone = topo_.add_node("anl-backbone");
   eagle_node_ = topo_.add_node("eagle");
+  polaris_node_ = topo_.add_node("polaris");
 
   user_switch_link_ =
       topo_.add_link(user_node_, sw, config_.user_switch_bps,
@@ -104,6 +124,10 @@ void Facility::build_topology() {
   backbone_link_ =
       topo_.add_link(backbone, eagle_node_, config_.backbone_bps,
                      sim::Duration::from_millis(0.5), "backbone-eagle");
+  // Polaris compute hangs off the same backbone: direct-streamed frames and
+  // Eagle→node backfills both cross this link.
+  topo_.add_link(backbone, polaris_node_, config_.backbone_bps,
+                 sim::Duration::from_millis(0.5), "backbone-polaris");
   (void)uplink;
 }
 
@@ -126,6 +150,7 @@ util::Result<fault::FaultInjector*> Facility::install_faults(
   services.topology = &topo_;
   services.network = network_.get();
   services.transfer = transfer_.get();
+  services.stream = stream_.get();
   services.compute = compute_.get();
   services.pbs = pbs_.get();
   services.auth = &auth_;
@@ -134,6 +159,7 @@ util::Result<fault::FaultInjector*> Facility::install_faults(
   services.default_endpoint = polaris_ep_;
   services.stores[user_store_.name()] = &user_store_;
   services.stores[eagle_.name()] = &eagle_;
+  services.stores[node_memory_.name()] = &node_memory_;
   services.default_store = eagle_.name();
   services.storage_seed = config_.seed ^ 0x5C0FFull;
   injector_ = std::make_unique<fault::FaultInjector>(std::move(services));
@@ -177,6 +203,16 @@ util::Status Facility::stage_real_file(const std::string& path,
   return user_store_.put(path, std::move(bytes), engine_.now());
 }
 
+util::Result<const storage::Object*> Facility::data_object(
+    const std::string& path) const {
+  // Store-mediated flows land inputs on Eagle; direct-streamed flows
+  // materialize them in node memory. Eagle wins when both hold the path so
+  // the verified landing copy is preferred.
+  auto obj = eagle_.get(path);
+  if (obj) return obj;
+  return node_memory_.get(path);
+}
+
 // ---- analysis function bodies (real data-plane work) -----------------------
 
 namespace {
@@ -205,7 +241,7 @@ Json virtual_record(const Json& args, const storage::Object& obj,
 util::Result<Json> Facility::run_hyperspectral_analysis(const Json& args) {
   using R = util::Result<Json>;
   const std::string path = args.at("path").as_string();
-  auto obj = eagle_.get(path);
+  auto obj = data_object(path);
   if (!obj) return R::err(obj.error());
 
   if (!obj.value()->has_content()) {
@@ -316,7 +352,7 @@ util::Result<Json> Facility::run_hyperspectral_analysis(const Json& args) {
 util::Result<Json> Facility::run_spatiotemporal_analysis(const Json& args) {
   using R = util::Result<Json>;
   const std::string path = args.at("path").as_string();
-  auto obj = eagle_.get(path);
+  auto obj = data_object(path);
   if (!obj) return R::err(obj.error());
 
   if (!obj.value()->has_content()) {
@@ -428,7 +464,7 @@ void Facility::register_functions() {
   // Cost closures look up the staged object's size so virtual campaign files
   // are charged like real ones.
   auto size_of = [this](const Json& args) -> int64_t {
-    auto obj = eagle_.get(args.at("path").as_string());
+    auto obj = data_object(args.at("path").as_string());
     return obj ? obj.value()->size : 0;
   };
 

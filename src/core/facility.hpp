@@ -25,6 +25,7 @@
 #include "storage/store.hpp"
 #include "telemetry/telemetry.hpp"
 #include "transfer/service.hpp"
+#include "transfer/stream.hpp"
 
 namespace pico::core {
 
@@ -50,6 +51,10 @@ struct FacilityConfig {
   bool parallel_data_plane = true;
   int64_t user_store_capacity = static_cast<int64_t>(10e12);   // 10 TB
   int64_t eagle_capacity = static_cast<int64_t>(100e15);       // O(100 PB)
+  /// Aggregate node-memory budget for direct-streamed acquisitions.
+  int64_t node_memory_capacity = static_cast<int64_t>(2e12);   // 2 TB
+  /// Direct detector→compute streaming knobs (DESIGN.md §13).
+  transfer::StreamConfig stream;
   uint64_t seed = 42;
 };
 
@@ -71,8 +76,11 @@ class Facility {
   net::Network& network() { return *network_; }
   storage::Store& user_store() { return user_store_; }
   storage::Store& eagle() { return eagle_; }
+  /// Compute-node memory where direct-streamed acquisitions materialize.
+  storage::Store& node_memory() { return node_memory_; }
   auth::AuthService& auth() { return auth_; }
   transfer::TransferService& transfer() { return *transfer_; }
+  transfer::StreamService& stream() { return *stream_; }
   hpcsim::PbsScheduler& pbs() { return *pbs_; }
   compute::ComputeService& compute() { return *compute_; }
   search::Index& index() { return index_; }
@@ -123,6 +131,10 @@ class Facility {
  private:
   void build_topology();
   void register_functions();
+  /// Resolve an analysis input object: the Eagle landing store first, then
+  /// compute-node memory (where direct-streamed acquisitions materialize).
+  util::Result<const storage::Object*> data_object(
+      const std::string& path) const;
   util::Result<util::Json> run_hyperspectral_analysis(const util::Json& args);
   util::Result<util::Json> run_spatiotemporal_analysis(const util::Json& args);
 
@@ -131,13 +143,15 @@ class Facility {
   sim::Trace trace_;
   telemetry::Telemetry telemetry_{&trace_};
   net::Topology topo_;
-  net::NodeId user_node_ = 0, eagle_node_ = 0;
+  net::NodeId user_node_ = 0, eagle_node_ = 0, polaris_node_ = 0;
   net::LinkId user_switch_link_ = 0, backbone_link_ = 0;
   std::unique_ptr<net::Network> network_;
   storage::Store user_store_;
   storage::Store eagle_;
+  storage::Store node_memory_;
   auth::AuthService auth_;
   std::unique_ptr<transfer::TransferService> transfer_;
+  std::unique_ptr<transfer::StreamService> stream_;
   std::unique_ptr<hpcsim::PbsScheduler> pbs_;
   std::unique_ptr<compute::ComputeService> compute_;
   search::Index index_;
@@ -145,6 +159,7 @@ class Facility {
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<storage::Scrubber> scrubber_;
   std::unique_ptr<TransferProvider> transfer_provider_;
+  std::unique_ptr<StreamProvider> stream_provider_;
   std::unique_ptr<ComputeProvider> compute_provider_;
   std::unique_ptr<SearchIngestProvider> search_provider_;
   auth::Identity user_identity_;

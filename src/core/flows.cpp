@@ -39,6 +39,18 @@ flow::ActionState transfer_step() {
   return step;
 }
 
+flow::ActionState stream_step() {
+  flow::ActionState step;
+  step.name = "Stream";
+  step.provider = "stream";
+  step.max_retries = 2;
+  step.params = Json::object({
+      {"src_path", "$.input.file"},
+      {"dst_path", "$.input.dest"},
+  });
+  return step;
+}
+
 flow::ActionState publish_step() {
   flow::ActionState step;
   step.name = "Publish";
@@ -78,6 +90,13 @@ flow::FlowDefinition hyperspectral_flow(const Facility& facility) {
   return def;
 }
 
+flow::FlowDefinition hyperspectral_stream_flow(const Facility& facility) {
+  flow::FlowDefinition def = hyperspectral_flow(facility);
+  def.name = "picoprobe-hyperspectral-stream";
+  def.steps[0] = stream_step();
+  return def;
+}
+
 flow::FlowDefinition spatiotemporal_flow(const Facility& facility) {
   flow::FlowDefinition def;
   def.name = "picoprobe-spatiotemporal";
@@ -102,6 +121,13 @@ flow::FlowDefinition spatiotemporal_flow(const Facility& facility) {
   });
   def.steps.push_back(std::move(analyze));
   def.steps.push_back(publish_step());
+  return def;
+}
+
+flow::FlowDefinition spatiotemporal_stream_flow(const Facility& facility) {
+  flow::FlowDefinition def = spatiotemporal_flow(facility);
+  def.name = "picoprobe-spatiotemporal-stream";
+  def.steps[0] = stream_step();
   return def;
 }
 

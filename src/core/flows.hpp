@@ -27,6 +27,13 @@ namespace pico::core {
 flow::FlowDefinition hyperspectral_flow(const Facility& facility);
 flow::FlowDefinition spatiotemporal_flow(const Facility& facility);
 
+/// streaming_direct variants: the Transfer step is replaced by a Stream step
+/// that pushes detector frames straight into Polaris node memory over the
+/// frame channel (DESIGN.md §13). Analyze reads from node memory — or from
+/// Eagle when the session degraded to the store-mediated fallback.
+flow::FlowDefinition hyperspectral_stream_flow(const Facility& facility);
+flow::FlowDefinition spatiotemporal_stream_flow(const Facility& facility);
+
 /// Convenience builder for the standard flow input object.
 struct FlowInput {
   std::string file;

@@ -91,6 +91,69 @@ bool TransferProvider::subscribe_progress(const ActionHandle& handle,
   return service_->on_progress(handle, std::move(callback));
 }
 
+// ---- StreamProvider -------------------------------------------------------
+
+util::Result<ActionHandle> StreamProvider::start(const Json& params,
+                                                 const auth::Token& token) {
+  transfer::StreamRequest request;
+  request.src_path = params.at("src_path").as_string();
+  request.dst_path = params.at("dst_path").as_string();
+  auto session = service_->submit(request, token);
+  if (!session) return util::Result<ActionHandle>::err(session.error());
+  return util::Result<ActionHandle>::ok(session.value());
+}
+
+ActionPollResult StreamProvider::poll(const ActionHandle& handle) {
+  transfer::SessionInfo info = service_->status(handle);
+  ActionPollResult out;
+  // Same progress-token shape as the transfer provider: state plus the
+  // byte-progress quartile, so a poller's backoff restarts as frames land.
+  out.progress_token = transfer::session_state_name(info.state);
+  if (info.state == transfer::SessionState::Active && info.bytes_total > 0) {
+    int64_t quartile = 4 * info.bytes_delivered / info.bytes_total;
+    out.progress_token +=
+        ":" + std::to_string(std::min<int64_t>(quartile, 3));
+  }
+  switch (info.state) {
+    case transfer::SessionState::Pending:
+    case transfer::SessionState::Active:
+      out.status = ActionStatus::Active;
+      break;
+    case transfer::SessionState::Failed:
+      out.status = ActionStatus::Failed;
+      out.error = info.error;
+      break;
+    case transfer::SessionState::Succeeded:
+      out.status = ActionStatus::Succeeded;
+      out.service_started = info.started;
+      out.service_completed = info.completed;
+      out.output = Json::object({
+          {"bytes", info.bytes_total},
+          {"frames", info.frames_total},
+          {"retransmits", info.retransmits},
+          {"spills", info.spills},
+          {"spilled_bytes", info.spilled_bytes},
+          {"fallback", info.fallback},
+          {"mode", info.mode},
+      });
+      break;
+  }
+  return out;
+}
+
+bool StreamProvider::subscribe(const ActionHandle& handle,
+                               std::function<void()> callback) {
+  service_->on_settled(
+      handle,
+      [cb = std::move(callback)](const transfer::SessionInfo&) { cb(); });
+  return true;
+}
+
+bool StreamProvider::subscribe_progress(
+    const ActionHandle& handle, std::function<void(int64_t)> callback) {
+  return service_->on_progress(handle, std::move(callback));
+}
+
 // ---- ComputeProvider ------------------------------------------------------
 
 util::Result<ActionHandle> ComputeProvider::start(const Json& params,

@@ -9,6 +9,7 @@
 #include "search/index.hpp"
 #include "telemetry/telemetry.hpp"
 #include "transfer/service.hpp"
+#include "transfer/stream.hpp"
 
 namespace pico::core {
 
@@ -33,6 +34,28 @@ class TransferProvider final : public flow::ActionProvider {
 
  private:
   transfer::TransferService* service_;
+};
+
+/// Wraps StreamService (direct detector→compute frame streaming). Params:
+///   { "src_path": str, "dst_path": str }
+/// Output: { "bytes": int, "frames": int, "retransmits": int, "spills": int,
+///           "spilled_bytes": int, "fallback": bool, "mode": str,
+///           "path": str }
+class StreamProvider final : public flow::ActionProvider {
+ public:
+  explicit StreamProvider(transfer::StreamService* service)
+      : service_(service) {}
+  std::string name() const override { return "stream"; }
+  util::Result<flow::ActionHandle> start(const util::Json& params,
+                                         const auth::Token& token) override;
+  flow::ActionPollResult poll(const flow::ActionHandle& handle) override;
+  bool subscribe(const flow::ActionHandle& handle,
+                 std::function<void()> callback) override;
+  bool subscribe_progress(const flow::ActionHandle& handle,
+                          std::function<void(int64_t)> callback) override;
+
+ private:
+  transfer::StreamService* service_;
 };
 
 /// Wraps ComputeService. Params:

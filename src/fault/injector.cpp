@@ -73,6 +73,16 @@ util::Status FaultInjector::install(const FaultSchedule& schedule) {
         }
         break;
       }
+      case FaultKind::FrameDrop:
+      case FaultKind::FrameReorder:
+      case FaultKind::FrameDuplicate:
+      case FaultKind::ConsumerStall:
+        if (!s_.stream) {
+          return S::err(fault_kind_name(e.kind) +
+                            " needs the stream service",
+                        "invalid");
+        }
+        break;
       case FaultKind::OrchestratorCrash:
         break;  // campaign-driver concern; the injector only carries it
     }
@@ -195,6 +205,27 @@ void FaultInjector::begin_event(const FaultEvent& event) {
       }
       s_.transfer->set_truncation_prob(event.severity);
       break;
+    case FaultKind::FrameDrop:
+      if (!saved_frame_drop_) {
+        saved_frame_drop_ = s_.stream->frame_drop_prob();
+      }
+      s_.stream->set_frame_drop_prob(event.severity);
+      break;
+    case FaultKind::FrameReorder:
+      if (!saved_frame_reorder_) {
+        saved_frame_reorder_ = s_.stream->frame_reorder_prob();
+      }
+      s_.stream->set_frame_reorder_prob(event.severity);
+      break;
+    case FaultKind::FrameDuplicate:
+      if (!saved_frame_duplicate_) {
+        saved_frame_duplicate_ = s_.stream->frame_duplicate_prob();
+      }
+      s_.stream->set_frame_duplicate_prob(event.severity);
+      break;
+    case FaultKind::ConsumerStall:
+      if (depth == 1) s_.stream->set_consumer_stall(true);
+      break;
     case FaultKind::TokenExpiry:
     case FaultKind::OrchestratorCrash:
     case FaultKind::StorageCorrupt:
@@ -273,6 +304,27 @@ void FaultInjector::end_event(const FaultEvent& event) {
         s_.transfer->set_truncation_prob(*saved_truncation_);
         saved_truncation_.reset();
       }
+      break;
+    case FaultKind::FrameDrop:
+      if (saved_frame_drop_) {
+        s_.stream->set_frame_drop_prob(*saved_frame_drop_);
+        saved_frame_drop_.reset();
+      }
+      break;
+    case FaultKind::FrameReorder:
+      if (saved_frame_reorder_) {
+        s_.stream->set_frame_reorder_prob(*saved_frame_reorder_);
+        saved_frame_reorder_.reset();
+      }
+      break;
+    case FaultKind::FrameDuplicate:
+      if (saved_frame_duplicate_) {
+        s_.stream->set_frame_duplicate_prob(*saved_frame_duplicate_);
+        saved_frame_duplicate_.reset();
+      }
+      break;
+    case FaultKind::ConsumerStall:
+      s_.stream->set_consumer_stall(false);
       break;
     case FaultKind::TokenExpiry:
     case FaultKind::OrchestratorCrash:

@@ -22,6 +22,7 @@
 #include "storage/store.hpp"
 #include "telemetry/telemetry.hpp"
 #include "transfer/service.hpp"
+#include "transfer/stream.hpp"
 #include "util/rng.hpp"
 
 namespace pico::fault {
@@ -41,6 +42,7 @@ class FaultInjector {
     net::Topology* topology = nullptr;
     net::Network* network = nullptr;
     transfer::TransferService* transfer = nullptr;
+    transfer::StreamService* stream = nullptr;
     compute::ComputeService* compute = nullptr;
     hpcsim::PbsScheduler* pbs = nullptr;
     auth::AuthService* auth = nullptr;
@@ -94,6 +96,10 @@ class FaultInjector {
   /// Pre-window silent-corruption probabilities (set while a window is open).
   std::optional<double> saved_wire_corruption_;
   std::optional<double> saved_truncation_;
+  /// Pre-window frame-chaos probabilities (set while a window is open).
+  std::optional<double> saved_frame_drop_;
+  std::optional<double> saved_frame_reorder_;
+  std::optional<double> saved_frame_duplicate_;
   std::vector<AppliedFault> log_;
 };
 

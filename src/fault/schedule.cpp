@@ -21,6 +21,10 @@ std::string fault_kind_name(FaultKind kind) {
     case FaultKind::WireBitFlip: return "wire_bit_flip";
     case FaultKind::StorageCorrupt: return "storage_corrupt";
     case FaultKind::TruncatedLanding: return "truncated_landing";
+    case FaultKind::FrameDrop: return "frame_drop";
+    case FaultKind::FrameReorder: return "frame_reorder";
+    case FaultKind::FrameDuplicate: return "frame_duplicate";
+    case FaultKind::ConsumerStall: return "consumer_stall";
   }
   return "?";
 }
@@ -41,6 +45,10 @@ util::Result<FaultKind> fault_kind_from_name(const std::string& name) {
       {"wire_bit_flip", FaultKind::WireBitFlip},
       {"storage_corrupt", FaultKind::StorageCorrupt},
       {"truncated_landing", FaultKind::TruncatedLanding},
+      {"frame_drop", FaultKind::FrameDrop},
+      {"frame_reorder", FaultKind::FrameReorder},
+      {"frame_duplicate", FaultKind::FrameDuplicate},
+      {"consumer_stall", FaultKind::ConsumerStall},
   };
   for (const auto& [n, k] : kKinds) {
     if (name == n) return R::ok(k);
@@ -122,7 +130,10 @@ util::Result<FaultSchedule> FaultSchedule::from_json(const Json& doc) {
     }
     if ((e.kind == FaultKind::WireBitFlip ||
          e.kind == FaultKind::StorageCorrupt ||
-         e.kind == FaultKind::TruncatedLanding) &&
+         e.kind == FaultKind::TruncatedLanding ||
+         e.kind == FaultKind::FrameDrop ||
+         e.kind == FaultKind::FrameReorder ||
+         e.kind == FaultKind::FrameDuplicate) &&
         (e.severity <= 0 || e.severity > 1)) {
       return R::err(fault_kind_name(e.kind) + " severity must be in (0, 1]",
                     "schema");

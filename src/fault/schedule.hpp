@@ -34,6 +34,10 @@ enum class FaultKind {
   WireBitFlip,        ///< landing chunk/file bit-flip probability = severity
   StorageCorrupt,     ///< instantaneous: corrupt stored objects w.p. severity
   TruncatedLanding,   ///< delivered files land short w.p. severity
+  FrameDrop,          ///< direct-stream frame loss probability = severity
+  FrameReorder,       ///< direct-stream frame reorder probability = severity
+  FrameDuplicate,     ///< direct-stream frame duplication prob. = severity
+  ConsumerStall,      ///< direct-stream consumer stops taking frames
 };
 
 std::string fault_kind_name(FaultKind kind);

@@ -7,7 +7,20 @@
 
 namespace pico::flow {
 
-double BackoffPolicy::interval_s(int attempt, util::Rng& rng) const {
+namespace {
+
+/// SplitMix64 finalizer: a cheap, well-mixed hash for the deterministic
+/// jitter variant.
+uint64_t splitmix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double BackoffPolicy::base_s(int attempt) const {
   double base;
   switch (kind) {
     case Kind::Fixed:
@@ -23,9 +36,24 @@ double BackoffPolicy::interval_s(int attempt, util::Rng& rng) const {
     default:
       base = initial_s;
   }
-  base = std::min(base, cap_s);
+  return std::min(base, cap_s);
+}
+
+double BackoffPolicy::interval_s(int attempt, util::Rng& rng) const {
+  double base = base_s(attempt);
   if (kind == Kind::JitteredExponential) {
     base *= rng.uniform(1.0 - jitter_frac, 1.0 + jitter_frac);
+  }
+  return std::max(base, 0.01);
+}
+
+double BackoffPolicy::interval_s(int attempt, uint64_t salt) const {
+  double base = base_s(attempt);
+  if (kind == Kind::JitteredExponential) {
+    uint64_t h = splitmix64(salt ^ (static_cast<uint64_t>(attempt) *
+                                    0xD1B54A32D192ED03ull));
+    double unit = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+    base *= (1.0 - jitter_frac) + 2.0 * jitter_frac * unit;
   }
   return std::max(base, 0.01);
 }

@@ -23,6 +23,13 @@ struct BackoffPolicy {
   /// Interval before poll number `attempt` (0-based). Jittered draws from rng.
   double interval_s(int attempt, util::Rng& rng) const;
 
+  /// Deterministic variant: the jitter factor is a hash of (salt, attempt)
+  /// instead of a draw from a shared RNG stream. Two flows polling
+  /// concurrently cannot perturb each other's backoff sequences, so a
+  /// flow's poll schedule replays identically however the campaign around
+  /// it interleaves.
+  double interval_s(int attempt, uint64_t salt) const;
+
   std::string describe() const;
 
   /// The paper's production policy: 1 s start, doubling, 600 s cap.
@@ -37,6 +44,9 @@ struct BackoffPolicy {
                               double cap_s);
   static BackoffPolicy jittered(double initial_s, double factor, double cap_s,
                                 double jitter_frac);
+
+ private:
+  double base_s(int attempt) const;
 };
 
 }  // namespace pico::flow

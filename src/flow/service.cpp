@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/crc64.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -67,6 +68,7 @@ FlowService::FlowService(sim::Engine* engine, auth::AuthService* auth,
       auth_(auth),
       config_(config),
       rng_(seed),
+      seed_(seed),
       trace_(trace) {}
 
 void FlowService::register_provider(ActionProvider* provider) {
@@ -137,6 +139,7 @@ util::Result<RunId> FlowService::start(const FlowDefinition& definition,
   run.info.input = std::move(input);
   run.timing.submitted = engine_->now();
   run.token = token;
+  run.backoff_salt = util::crc64(id) ^ seed_;
   if (telemetry_) {
     // Parent comes from the tracer context: the campaign scope when driven by
     // a campaign, else root.
@@ -328,7 +331,8 @@ void FlowService::dispatch_step(const RunId& id) {
 
   // First poll after the initial interval of the policy in force (the sparse
   // reconcile net when subscribed; the configured backoff otherwise).
-  double wait = active_poll_policy().interval_s(0, rng_);
+  double wait =
+      active_poll_policy().interval_s(0, run.backoff_salt ^ run.epoch);
   engine_->schedule_after(sim::Duration::from_seconds(wait),
                           [this, id, epoch] { poll_step(id, epoch); });
   if (step.timeout_s > 0) {
@@ -370,7 +374,8 @@ void FlowService::poll_step(const RunId& id, uint64_t epoch) {
       } else {
         ++run.poll_attempt;
       }
-      double wait = active_poll_policy().interval_s(run.poll_attempt, rng_);
+      double wait = active_poll_policy().interval_s(
+          run.poll_attempt, run.backoff_salt ^ run.epoch);
       engine_->schedule_after(sim::Duration::from_seconds(wait),
                               [this, id, epoch] { poll_step(id, epoch); });
       return;
@@ -594,7 +599,8 @@ void FlowService::activate_prestarted(const RunId& id) {
                  {{"step", step.name}})
         .inc();
   }
-  double wait = active_poll_policy().interval_s(0, rng_);
+  double wait =
+      active_poll_policy().interval_s(0, run.backoff_salt ^ run.epoch);
   engine_->schedule_after(sim::Duration::from_seconds(wait),
                           [this, id, epoch] { poll_step(id, epoch); });
   if (step.timeout_s > 0) {

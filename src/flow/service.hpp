@@ -301,6 +301,11 @@ class FlowService {
     /// (new dispatch, completion, timeout, failure). Scheduled poll/timeout
     /// events capture the epoch and no-op if it moved on.
     uint64_t epoch = 0;
+    /// Deterministic per-run jitter seed: poll backoff is derived from
+    /// (salt ^ epoch, attempt), so a run's poll schedule is a pure function
+    /// of its identity and attempt history — concurrent flows never perturb
+    /// each other's jitter.
+    uint64_t backoff_salt = 0;
     /// Current attempt has a live completion subscription: polling is only
     /// the sparse reconcile safety net, never reset on token change.
     bool subscribed = false;
@@ -359,6 +364,7 @@ class FlowService {
   auth::AuthService* auth_;
   FlowServiceConfig config_;
   util::Rng rng_;
+  uint64_t seed_;  ///< mixed into each run's deterministic backoff salt
   sim::Trace* trace_;
   telemetry::Telemetry* telemetry_ = nullptr;
   /// Step span of the run currently being advanced on this stack; breaker

@@ -1,0 +1,41 @@
+#include "instrument/frame_source.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/crc64.hpp"
+#include "util/strings.hpp"
+
+namespace pico::instrument {
+
+FrameSource::FrameSource(int64_t total_bytes, int64_t frame_bytes,
+                         uint64_t content_crc)
+    : total_bytes_(total_bytes),
+      frame_bytes_(frame_bytes),
+      content_crc_(content_crc) {
+  assert(total_bytes_ >= 0);
+  assert(frame_bytes_ >= 1);
+  count_ = (total_bytes_ + frame_bytes_ - 1) / frame_bytes_;
+}
+
+FrameSpec FrameSource::frame(int64_t i) const {
+  assert(i >= 0 && i < count_);
+  FrameSpec f;
+  f.index = i;
+  f.bytes = std::min(frame_bytes_, total_bytes_ - i * frame_bytes_);
+  // Same derivation as transfer chunk CRCs: content checksum + index + size.
+  f.crc64 = util::crc64(util::format(
+      "%016llx:%lld:%lld", static_cast<unsigned long long>(content_crc_),
+      static_cast<long long>(i), static_cast<long long>(f.bytes)));
+  return f;
+}
+
+int64_t FrameSource::bytes_in_range(int64_t first, int64_t last) const {
+  first = std::max<int64_t>(first, 0);
+  last = std::min(last, count_ - 1);
+  if (first > last) return 0;
+  int64_t end = std::min(total_bytes_, (last + 1) * frame_bytes_);
+  return end - first * frame_bytes_;
+}
+
+}  // namespace pico::instrument

@@ -1,0 +1,42 @@
+#pragma once
+// Deterministic frame cutter for direct detector→compute streaming: slices a
+// staged acquisition file of `total_bytes` into fixed-size frames and stamps
+// each with a CRC-64 derived from the file's content checksum — the same
+// idiom the chunked transfer path uses for chunk CRCs, so a frame spilled to
+// the store and re-fetched verifies against the identical stamp.
+#include <cstdint>
+
+namespace pico::instrument {
+
+struct FrameSpec {
+  int64_t index = 0;  ///< frame sequence number within the acquisition
+  int64_t bytes = 0;  ///< payload size (last frame may be short)
+  uint64_t crc64 = 0;
+};
+
+class FrameSource {
+ public:
+  FrameSource(int64_t total_bytes, int64_t frame_bytes, uint64_t content_crc);
+
+  int64_t frame_count() const { return count_; }
+  int64_t total_bytes() const { return total_bytes_; }
+  int64_t frame_bytes() const { return frame_bytes_; }
+  uint64_t content_crc() const { return content_crc_; }
+
+  /// Frame `i` in [0, frame_count()).
+  FrameSpec frame(int64_t i) const;
+
+  /// Byte offset where frame `i` starts.
+  int64_t offset(int64_t i) const { return i * frame_bytes_; }
+
+  /// Total payload bytes across frames [first, last], clamped to the file.
+  int64_t bytes_in_range(int64_t first, int64_t last) const;
+
+ private:
+  int64_t total_bytes_ = 0;
+  int64_t frame_bytes_ = 0;
+  int64_t count_ = 0;
+  uint64_t content_crc_ = 0;
+};
+
+}  // namespace pico::instrument

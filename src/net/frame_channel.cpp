@@ -1,0 +1,143 @@
+#include "net/frame_channel.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pico::net {
+
+FrameChannel::FrameChannel(FrameChannelConfig cfg) : cfg_(cfg) {
+  assert(cfg_.ring_capacity >= 1);
+  assert(cfg_.credit_window >= 1);
+  assert(cfg_.reorder_window >= 0);
+}
+
+int FrameChannel::subscribe() {
+  Subscriber s;
+  s.credits = cfg_.credit_window;
+  subs_.push_back(std::move(s));
+  return static_cast<int>(subs_.size()) - 1;
+}
+
+bool FrameChannel::needed_by_any(int64_t seq) const {
+  for (const auto& s : subs_) {
+    if (seq < s.cursor) continue;            // already consumed
+    if (s.buffered.count(seq)) continue;     // subscriber holds its own copy
+    if (s.satisfied.count(seq)) continue;    // spill path already covered it
+    return true;
+  }
+  return false;
+}
+
+std::vector<Frame> FrameChannel::publish(int64_t bytes, uint64_t crc64) {
+  Frame f{next_seq_, bytes, crc64};
+  ++next_seq_;
+  if (ring_.empty()) base_seq_ = f.seq;
+  ring_.push_back(f);
+
+  std::vector<Frame> spilled;
+  while (ring_.size() > static_cast<size_t>(cfg_.ring_capacity)) {
+    Frame evicted = ring_.front();
+    ring_.pop_front();
+    base_seq_ = ring_.empty() ? next_seq_ : ring_.front().seq;
+    if (needed_by_any(evicted.seq)) spilled.push_back(evicted);
+  }
+  return spilled;
+}
+
+std::optional<Frame> FrameChannel::frame(int64_t seq) const {
+  if (ring_.empty() || seq < base_seq_ ||
+      seq >= base_seq_ + static_cast<int64_t>(ring_.size())) {
+    return std::nullopt;
+  }
+  return ring_[static_cast<size_t>(seq - base_seq_)];
+}
+
+bool FrameChannel::take_credit(int sub, int64_t seq) {
+  auto& s = subs_.at(static_cast<size_t>(sub));
+  if (s.credited.count(seq)) return true;  // already holding one (idempotent)
+  if (seq < s.cursor || s.satisfied.count(seq)) return true;  // moot send
+  if (s.credits <= 0) return false;
+  --s.credits;
+  s.credited.insert(seq);
+  return true;
+}
+
+int FrameChannel::credits(int sub) const {
+  return subs_.at(static_cast<size_t>(sub)).credits;
+}
+
+void FrameChannel::release_passed_credits(Subscriber& sub) {
+  while (!sub.credited.empty() && *sub.credited.begin() < sub.cursor) {
+    sub.credited.erase(sub.credited.begin());
+    sub.credits = std::min(sub.credits + 1, cfg_.credit_window);
+  }
+}
+
+void FrameChannel::drain(Subscriber& sub, std::vector<Frame>* ready) {
+  for (;;) {
+    auto it = sub.buffered.find(sub.cursor);
+    if (it != sub.buffered.end()) {
+      ready->push_back(it->second);
+      sub.buffered.erase(it);
+      ++sub.cursor;
+      continue;
+    }
+    auto sit = sub.satisfied.find(sub.cursor);
+    if (sit != sub.satisfied.end()) {
+      // Bytes arrived via the store path; nothing to hand to the consumer.
+      sub.satisfied.erase(sit);
+      ++sub.cursor;
+      continue;
+    }
+    break;
+  }
+  release_passed_credits(sub);
+}
+
+FrameChannel::DeliveryResult FrameChannel::deliver(int sub, const Frame& f) {
+  auto& s = subs_.at(static_cast<size_t>(sub));
+  if (f.seq < s.cursor || s.buffered.count(f.seq) || s.satisfied.count(f.seq)) {
+    return {Outcome::Duplicate, {}};
+  }
+  if (f.seq == s.cursor) {
+    DeliveryResult r{Outcome::Consumed, {f}};
+    ++s.cursor;
+    drain(s, &r.ready);
+    return r;
+  }
+  if (f.seq - s.cursor > cfg_.reorder_window) {
+    return {Outcome::WindowOverflow, {}};
+  }
+  s.buffered.emplace(f.seq, f);
+  return {Outcome::Buffered, {}};
+}
+
+std::vector<Frame> FrameChannel::satisfy_range(int sub, int64_t first,
+                                               int64_t last) {
+  auto& s = subs_.at(static_cast<size_t>(sub));
+  for (int64_t seq = std::max(first, s.cursor); seq <= last; ++seq) {
+    // Frames the subscriber already buffered stay buffered (the in-band copy
+    // wins); everything else in the range is satisfied out-of-band. Release
+    // any credit an in-flight original was holding — it will arrive as a
+    // duplicate, if at all.
+    if (!s.buffered.count(seq)) s.satisfied.insert(seq);
+    auto cit = s.credited.find(seq);
+    if (cit != s.credited.end()) {
+      s.credited.erase(cit);
+      s.credits = std::min(s.credits + 1, cfg_.credit_window);
+    }
+  }
+  std::vector<Frame> ready;
+  drain(s, &ready);
+  return ready;
+}
+
+int64_t FrameChannel::cursor(int sub) const {
+  return subs_.at(static_cast<size_t>(sub)).cursor;
+}
+
+size_t FrameChannel::buffered_count(int sub) const {
+  return subs_.at(static_cast<size_t>(sub)).buffered.size();
+}
+
+}  // namespace pico::net

@@ -1,0 +1,123 @@
+#pragma once
+// Bounded pub/sub frame channel: the in-memory ring a detector publishes
+// sequence-numbered, CRC-64-stamped frames into, and that compute-node
+// consumers drain through per-subscriber cursors. Pure data structure — no
+// engine, no wire model — so the streaming service can drive it from sim
+// events and tests can exercise boundary conditions directly.
+//
+// Flow control is credit-based: each subscriber grants `credit_window`
+// credits; the producer spends one per original frame sent and the credit
+// returns only when the subscriber's cursor passes that frame (or an
+// out-of-band spill satisfies it). Retransmits ride the original credit.
+//
+// The ring is bounded at `ring_capacity` frames. Publishing past capacity
+// evicts the oldest frame; if any subscriber still needs it (cursor not yet
+// past, not privately buffered, not externally satisfied) the eviction is
+// reported to the caller — that frame can no longer be retransmitted from
+// the ring and must reach the consumer some other way (spill-to-store).
+//
+// Reordered arrivals park in a per-subscriber reorder buffer of at most
+// `reorder_window` frames ahead of the cursor; anything further ahead is
+// rejected as WindowOverflow and must be retransmitted once the gap closes.
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace pico::net {
+
+/// One detector frame on the channel. `bytes` is the payload size; `crc64`
+/// stamps the content so consumers can verify frames end-to-end.
+struct Frame {
+  int64_t seq = 0;
+  int64_t bytes = 0;
+  uint64_t crc64 = 0;
+};
+
+struct FrameChannelConfig {
+  int ring_capacity = 128;   ///< producer-side retransmit ring, in frames
+  int credit_window = 64;    ///< outstanding unconsumed frames per subscriber
+  int reorder_window = 16;   ///< max frames a subscriber parks ahead of cursor
+};
+
+class FrameChannel {
+ public:
+  enum class Outcome {
+    Consumed,        ///< in-order: cursor advanced (possibly draining buffer)
+    Buffered,        ///< out-of-order: parked in the reorder buffer
+    Duplicate,       ///< already consumed, buffered, or satisfied — discarded
+    WindowOverflow,  ///< too far ahead of the cursor — discarded
+  };
+
+  struct DeliveryResult {
+    Outcome outcome = Outcome::Consumed;
+    /// Frames now consumable in sequence order (the delivered frame plus any
+    /// reorder-buffered successors it unblocked). Empty unless Consumed.
+    std::vector<Frame> ready;
+  };
+
+  explicit FrameChannel(FrameChannelConfig cfg);
+
+  /// Register a consumer; returns its subscriber id. Subscribers start at
+  /// cursor 0 with a full credit window.
+  int subscribe();
+
+  /// Append the next frame (sequence numbers are assigned in publish order).
+  /// Returns frames force-evicted from the ring that some subscriber still
+  /// needed — the caller must route those via the spill path.
+  std::vector<Frame> publish(int64_t bytes, uint64_t crc64);
+
+  /// In-ring lookup for retransmission. Empty once the frame was evicted.
+  std::optional<Frame> frame(int64_t seq) const;
+
+  /// Producer spends one credit to send original frame `seq` to `sub`.
+  /// Returns false when the subscriber's window is exhausted (backpressure).
+  /// Retransmits must NOT take a new credit — the original still holds one.
+  bool take_credit(int sub, int64_t seq);
+
+  /// Credits currently available for `sub`.
+  int credits(int sub) const;
+
+  /// A frame arrived at subscriber `sub` (after any wire chaos).
+  DeliveryResult deliver(int sub, const Frame& f);
+
+  /// Mark [first, last] as satisfied out-of-band (spill backfill): the bytes
+  /// reached the consumer via the store path, so the cursor may advance past
+  /// them. Returns reorder-buffered frames that become consumable.
+  std::vector<Frame> satisfy_range(int sub, int64_t first, int64_t last);
+
+  /// Next sequence number subscriber `sub` expects.
+  int64_t cursor(int sub) const;
+  /// Frames parked in `sub`'s reorder buffer.
+  size_t buffered_count(int sub) const;
+
+  size_t ring_size() const { return ring_.size(); }
+  int64_t base_seq() const { return base_seq_; }
+  int64_t next_seq() const { return next_seq_; }
+  const FrameChannelConfig& config() const { return cfg_; }
+
+ private:
+  struct Subscriber {
+    int64_t cursor = 0;
+    int credits = 0;
+    std::map<int64_t, Frame> buffered;   ///< reorder buffer, keyed by seq
+    std::set<int64_t> satisfied;         ///< spill-backfilled seqs >= cursor
+    std::set<int64_t> credited;          ///< seqs currently holding a credit
+  };
+
+  bool needed_by_any(int64_t seq) const;
+  /// Advance `sub`'s cursor over buffered/satisfied frames, appending drained
+  /// buffered frames to `ready`, then release credits the cursor passed.
+  void drain(Subscriber& sub, std::vector<Frame>* ready);
+  void release_passed_credits(Subscriber& sub);
+
+  FrameChannelConfig cfg_;
+  std::deque<Frame> ring_;
+  int64_t base_seq_ = 0;  ///< seq of ring_.front() when non-empty
+  int64_t next_seq_ = 0;
+  std::vector<Subscriber> subs_;
+};
+
+}  // namespace pico::net

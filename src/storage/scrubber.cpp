@@ -9,7 +9,17 @@ namespace {
 util::Logger log_("scrubber");
 }
 
-void Scrubber::start() { schedule_pass(config_.interval_s); }
+void Scrubber::start() {
+  // interval_s <= 0 means scrubbing is disabled. Without this guard the
+  // self-rescheduling pass would re-fire at the same virtual instant forever
+  // and the engine would never drain its queue.
+  if (config_.interval_s <= 0) {
+    log_.warn("scrub interval %.1fs <= 0: scrubbing disabled",
+              config_.interval_s);
+    return;
+  }
+  schedule_pass(config_.interval_s);
+}
 
 void Scrubber::schedule_pass(double at_s) {
   if (at_s > config_.horizon_s) return;

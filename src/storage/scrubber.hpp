@@ -15,7 +15,8 @@
 namespace pico::storage {
 
 struct ScrubberConfig {
-  /// Cadence between scan passes (virtual seconds).
+  /// Cadence between scan passes (virtual seconds). Zero or negative
+  /// disables scrubbing: start() schedules nothing.
   double interval_s = 300;
   /// No passes are scheduled past this virtual time. Keeps engine.run()
   /// terminating: an unbounded self-rescheduling scrubber would pin the

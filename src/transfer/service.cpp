@@ -235,12 +235,34 @@ const TransferService::ChunkManifest* TransferService::manifest(
 
 void TransferService::attach_manifest(ActiveTask& task, const FileSpec& spec,
                                       uint64_t content_crc,
-                                      int64_t wire_bytes) {
+                                      int64_t wire_bytes,
+                                      sim::SimTime source_created) {
   const int64_t chunk_bytes = task.request.streaming_chunk_bytes;
   std::string key =
       manifest_key_for(task.request, spec, content_crc, wire_bytes);
   auto [mit, inserted] = manifests_.try_emplace(key);
   ChunkManifest& m = mit->second;
+  if (!inserted && m.source_created != source_created) {
+    // Same transfer identity, different source object: the path was
+    // re-acquired mid-campaign. Every previously verified chunk belongs to
+    // the old bytes, so the manifest restarts from scratch.
+    m.verified.assign(m.verified.size(), false);
+    m.claimed.assign(m.claimed.size(), false);
+    task.resume_credited.erase(key);
+    logger().info("manifest for %s invalidated: source re-acquired",
+                  spec.src_path.c_str());
+    if (telemetry_) {
+      telemetry_->metrics
+          .counter("transfer_manifests_invalidated_total",
+                   "Chunk manifests reset because the source object changed "
+                   "between attempts")
+          .inc();
+      telemetry_->tracer.event(
+          task.span, "manifest-invalidated", engine_->now(),
+          util::Json::object({{"file", spec.src_path}}));
+    }
+  }
+  m.source_created = source_created;
   if (inserted) {
     m.wire_bytes = wire_bytes;
     m.chunk_bytes = chunk_bytes;
@@ -345,12 +367,14 @@ void TransferService::begin_next_file(const TaskId& id) {
   }
   int64_t wire_bytes = wire.value();
   uint64_t content_crc = obj.value()->crc64;
+  sim::SimTime source_created = obj.value()->created;
 
   // Per-file bookkeeping delay, then the network flow(s).
   int64_t logical_bytes = obj.value()->size;
   engine_->schedule_after(
       sim::Duration::from_seconds(config_.per_file_overhead_s),
-      [this, id, spec, wire_bytes, logical_bytes, content_crc] {
+      [this, id, spec, wire_bytes, logical_bytes, content_crc,
+       source_created] {
         auto it2 = tasks_.find(id);
         if (it2 == tasks_.end()) return;
         if (it2->second.request.streaming_chunk_bytes > 0) {
@@ -365,7 +389,7 @@ void TransferService::begin_next_file(const TaskId& id) {
           t.current_chunk = -1;
           t.corrupt_streak = 0;
           if (config_.verified_resume) {
-            attach_manifest(t, spec, content_crc, wire_bytes);
+            attach_manifest(t, spec, content_crc, wire_bytes, source_created);
           } else {
             t.manifest_key.clear();
           }

@@ -123,6 +123,11 @@ class TransferService {
     int64_t wire_bytes = 0;
     int64_t chunk_bytes = 0;
     uint64_t content_crc = 0;
+    /// Creation stamp of the source object the manifest was built against.
+    /// A mid-campaign re-acquisition can rewrite the same path with the same
+    /// size and declared CRC; the fresh stamp invalidates the manifest so
+    /// verified-resume cannot skip bytes that were never moved.
+    sim::SimTime source_created;
     std::vector<uint64_t> chunk_crc;  ///< expected CRC-64 per chunk
     std::vector<bool> verified;       ///< chunk landed with a matching CRC
     std::vector<bool> claimed;        ///< chunk has an in-flight network flow
@@ -270,9 +275,12 @@ class TransferService {
                                const FileSpec& spec, uint64_t content_crc,
                                int64_t wire_bytes) const;
   /// Find-or-create the chunk manifest for the in-flight file, attach it to
-  /// the task, and credit already-verified chunks as resumed.
+  /// the task, and credit already-verified chunks as resumed. A manifest
+  /// whose recorded source identity no longer matches `source_created` (the
+  /// path was re-acquired between attempts) is reset before resuming.
   void attach_manifest(ActiveTask& task, const FileSpec& spec,
-                       uint64_t content_crc, int64_t wire_bytes);
+                       uint64_t content_crc, int64_t wire_bytes,
+                       sim::SimTime source_created);
   void note_corruption(ActiveTask& task, const char* where,
                        const FileSpec& spec);
 

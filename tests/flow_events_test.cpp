@@ -200,6 +200,34 @@ TEST(Backoff, AdaptivePolicyIsJitteredAndTightlyCapped) {
   EXPECT_TRUE(a != b || b != c);
 }
 
+TEST(Backoff, DeterministicJitterIsPureFunctionOfSaltAndAttempt) {
+  auto adaptive = BackoffPolicy::adaptive();
+  // Same (salt, attempt) -> identical interval, regardless of how many other
+  // calls happened in between (no shared RNG stream to perturb).
+  double first = adaptive.interval_s(3, uint64_t{0xABCD});
+  for (int noise = 0; noise < 17; ++noise) {
+    adaptive.interval_s(noise, uint64_t{noise * 31u});
+  }
+  EXPECT_DOUBLE_EQ(adaptive.interval_s(3, uint64_t{0xABCD}), first);
+
+  // Distinct salts (different flows) spread across the jitter band instead
+  // of thundering in lockstep.
+  double lo = 1e18, hi = 0;
+  for (uint64_t salt = 0; salt < 32; ++salt) {
+    double v = adaptive.interval_s(3, salt);
+    EXPECT_GE(v, 8.0 * 0.75 - 1e-9);  // rung 2^3 = 8 s, +/-25%
+    EXPECT_LE(v, 8.0 * 1.25 + 1e-9);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi - lo, 0.5);
+
+  // Non-jittered kinds ignore the salt entirely.
+  auto paper = BackoffPolicy::paper_default();
+  EXPECT_DOUBLE_EQ(paper.interval_s(10, uint64_t{1}),
+                   paper.interval_s(10, uint64_t{2}));
+}
+
 // The reset-on-status-change behaviour at the cap boundary, end to end: a
 // quiet 1030 s action rides the full exponential ladder — the poll after
 // t+1023 waits the *capped* 600 s, not 1024 s — while a chatty action's

@@ -218,6 +218,27 @@ TEST(Scrubber, PeriodicPassesStopAtHorizon) {
   EXPECT_DOUBLE_EQ(engine.now().seconds(), 300.0);
 }
 
+TEST(Scrubber, NonPositiveIntervalDisablesScrubbing) {
+  // A zero (or negative) cadence means "no scrubbing" — not a pass every
+  // virtual instant. The old behaviour re-scheduled at the same timestamp
+  // forever, so engine.run() never returned.
+  for (double interval : {0.0, -5.0}) {
+    sim::Engine engine;
+    Store store("eagle", static_cast<int64_t>(1e9));
+    ASSERT_TRUE(store.put("a.emd", std::vector<uint8_t>(10), at(0)));
+    ASSERT_TRUE(store.corrupt("a.emd"));
+
+    ScrubberConfig cfg;
+    cfg.interval_s = interval;
+    Scrubber scrubber(&engine, &store, cfg);
+    scrubber.start();
+    engine.run();  // queue must drain immediately
+    EXPECT_EQ(scrubber.stats().scans, 0u) << "interval=" << interval;
+    EXPECT_EQ(store.quarantine_count(), 0u);
+    EXPECT_DOUBLE_EQ(engine.now().seconds(), 0.0);
+  }
+}
+
 TEST(Scrubber, MidCampaignCorruptionCaughtOnNextPass) {
   sim::Engine engine;
   Store store("eagle", static_cast<int64_t>(1e9));

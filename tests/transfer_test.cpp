@@ -478,6 +478,37 @@ TEST_F(TransferFixture, CompletedManifestMakesRepeatTransferFree) {
   EXPECT_EQ(info.bytes_done, 10'000'000);  // still reports full delivery
 }
 
+// A mid-campaign re-acquisition rewrites the source path with the same size
+// and declared CRC, producing the same transfer identity. The fresh source
+// stamp must invalidate the old manifest: a resend moves every byte again
+// instead of "resuming" data that was never transferred.
+TEST_F(TransferFixture, ReacquiredSourceInvalidatesManifest) {
+  setup_service(quick_config());
+  ASSERT_TRUE(src_store.put_virtual("re.emd", 10'000'000, 7, engine.now()));
+  auto req = single_file("re.emd", "re.emd");
+  req.streaming_chunk_bytes = 2'000'000;
+  auto first = service->submit(req, token);
+  ASSERT_TRUE(first);
+  engine.run();
+  ASSERT_EQ(service->status(first.value()).state, TaskState::Succeeded);
+
+  // Re-acquire: same path, same size, same declared CRC — new object.
+  ASSERT_TRUE(src_store.put_virtual("re.emd", 10'000'000, 7, engine.now()));
+  auto second = service->submit(req, token);
+  ASSERT_TRUE(second);
+  engine.run();
+  TaskInfo info = service->status(second.value());
+  EXPECT_EQ(info.state, TaskState::Succeeded) << info.error;
+  EXPECT_EQ(info.chunks_resumed, 0);         // nothing carried over
+  EXPECT_GE(info.wire_bytes, 10'000'000);    // full resend
+
+  // A third pass without re-acquisition resumes from the rebuilt manifest.
+  auto third = service->submit(req, token);
+  ASSERT_TRUE(third);
+  engine.run();
+  EXPECT_EQ(service->status(third.value()).chunks_resumed, 5);
+}
+
 // Wire bit-flips are detected by the per-chunk CRC and absorbed by re-sending
 // only the corrupted chunk.
 TEST_F(TransferFixture, WireCorruptionDetectedAndHealedPerChunk) {

@@ -32,6 +32,14 @@ Validates, with no third-party dependencies:
   cut-through streaming must cut the spatiotemporal median *total* runtime
   below event-only.
 
+* Direct-streaming baselines (``--streaming``, ``BENCH_streaming.json``):
+  schema, all three campaign runs settled with zero lost flows, direct
+  streaming sooner to the first result than cut-through, the fault-free run
+  clean of degradation, and the frame-chaos run exercising every rung of the
+  degradation ladder (drops healed by retransmits, >= 1 spill-to-store,
+  >= 1 whole-flow fallback) while publishing a search index byte-identical
+  to the fault-free direct run.
+
 * End-to-end integrity baselines (``--integrity``, ``BENCH_integrity.json``):
   schema, the 50%-progress resume acceptance pair (resumed retry < 60% of
   file bytes, whole-file restart >= 150%), and the chaos campaign's
@@ -447,6 +455,71 @@ def check_integrity(path):
     return True
 
 
+STREAMING_RUNS = ("cutthrough", "direct", "direct_chaos")
+
+
+def check_streaming(path):
+    try:
+        doc = json.load(open(path, encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unparseable: {e}")
+    if doc.get("schema") != "pico.bench.streaming.v1":
+        return fail(path, f"bad schema {doc.get('schema')!r}")
+    if doc.get("pass") is not True:
+        return fail(path, "the bench itself recorded a failed assertion")
+
+    runs = {r.get("run"): r for r in doc.get("runs", [])}
+    if set(runs) != set(STREAMING_RUNS):
+        return fail(path, f"runs {sorted(runs)} != {sorted(STREAMING_RUNS)}")
+    for name, r in runs.items():
+        if r.get("settled", 0) <= 0:
+            return fail(path, f"{name}: no settled flows")
+        if r.get("failed", 1) != 0 or r.get("lost", 1) != 0:
+            return fail(path, f"{name}: flows failed or were lost (failed "
+                              f"{r.get('failed')!r}, lost {r.get('lost')!r})")
+        ttfr = r.get("time_to_first_result_s")
+        if not isinstance(ttfr, (int, float)) or ttfr <= 0:
+            return fail(path, f"{name}: bad time_to_first_result_s {ttfr!r}")
+
+    # Headline claim: bypassing the landing store reaches the first settled
+    # result sooner than the cut-through store-mediated pipeline.
+    direct = runs["direct"]
+    cutthrough = runs["cutthrough"]
+    if direct["time_to_first_result_s"] >= cutthrough["time_to_first_result_s"]:
+        return fail(path, f"direct first result "
+                          f"{direct['time_to_first_result_s']:.1f}s is not "
+                          f"sooner than cut-through "
+                          f"{cutthrough['time_to_first_result_s']:.1f}s")
+    # The fault-free direct run must stay on the direct rung...
+    for key in ("retransmits", "spills", "fallbacks"):
+        if direct.get(key, 1) != 0:
+            return fail(path, f"direct: fault-free run recorded "
+                              f"{key} {direct.get(key)!r}")
+    # ...while the chaos run must climb the whole degradation ladder and
+    # still converge on identical science.
+    chaos = runs["direct_chaos"]
+    if chaos.get("frames_dropped", 0) <= 0 or chaos.get("retransmits", 0) <= 0:
+        return fail(path, "chaos run dropped no frames or never "
+                          "retransmitted — the drop window did not engage")
+    if chaos.get("spills", 0) < 1:
+        return fail(path, "chaos run never spilled to the store")
+    if chaos.get("fallbacks", 0) < 1:
+        return fail(path, "chaos run never fell back whole-flow")
+    if doc.get("index_match_chaos_vs_direct") is not True or \
+            chaos.get("index_fingerprint") != direct.get("index_fingerprint"):
+        return fail(path, "chaos campaign index diverged from the "
+                          "fault-free direct run")
+
+    print(f"{path}: ok (first result "
+          f"{cutthrough['time_to_first_result_s']:.1f}s -> "
+          f"{direct['time_to_first_result_s']:.1f}s; chaos survived "
+          f"{chaos['frames_dropped']:.0f} drops with "
+          f"{chaos['retransmits']:.0f} retransmits, "
+          f"{chaos['spills']:.0f} spills, {chaos['fallbacks']:.0f} "
+          f"fallbacks, index intact)")
+    return True
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--prom", action="append", default=[],
@@ -467,11 +540,15 @@ def main():
     parser.add_argument("--integrity", action="append", default=[],
                         help="BENCH_integrity.json baseline to validate "
                              "(repeatable)")
+    parser.add_argument("--streaming", action="append", default=[],
+                        help="BENCH_streaming.json baseline to validate "
+                             "(repeatable)")
     args = parser.parse_args()
     if not args.prom and not args.trace and not args.dataplane \
-            and not args.overhead and not args.integrity:
+            and not args.overhead and not args.integrity \
+            and not args.streaming:
         parser.error("nothing to check: pass --prom, --trace, --dataplane, "
-                     "--overhead and/or --integrity")
+                     "--overhead, --integrity and/or --streaming")
 
     ok = True
     for path in args.prom:
@@ -484,6 +561,8 @@ def main():
         ok = check_overhead(path) and ok
     for path in args.integrity:
         ok = check_integrity(path) and ok
+    for path in args.streaming:
+        ok = check_streaming(path) and ok
     return 0 if ok else 1
 
 
