@@ -1,7 +1,9 @@
 // Data-plane kernel trajectory bench: times every hot kernel of the real-byte
 // plane (fp64->uint8 conversion, axis reductions, normalization, separable
 // blur, CRC-64, LZ compression) in its naive / sequential / parallel
-// variants at pool widths {1, 4, hardware}, verifies the parallel outputs
+// variants at pool widths {1, 4, hardware} (clamped to the host's hardware
+// threads; `oversubscribed` records when a requested width was cut), verifies
+// the parallel outputs
 // are byte-identical to their sequential twins, and emits a machine-readable
 // BENCH_dataplane.json so subsequent PRs have a perf baseline to regress
 // against. `--smoke` shrinks every problem so CI can assert the emitter
@@ -19,6 +21,7 @@
 #include "compress/codec.hpp"
 #include "telemetry/metrics.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/simd/simd.hpp"
 #include "util/bytes.hpp"
 #include "util/crc64.hpp"
 #include "util/json.hpp"
@@ -69,10 +72,19 @@ std::vector<uint8_t> compressible_payload(size_t n, uint64_t seed) {
   return out;
 }
 
-/// Pool widths to sweep: {1, 4, hardware}, deduped and sorted.
+/// Pool widths requested for the sweep: {1, 4, hardware}.
+std::vector<size_t> requested_widths() {
+  size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  return {1, 4, hw};
+}
+
+/// Widths actually run: requested widths clamped to the host's hardware
+/// threads (an oversubscribed pool only measures scheduler thrash, not
+/// kernel scaling), deduped and sorted.
 std::vector<size_t> pool_widths() {
   size_t hw = std::max(1u, std::thread::hardware_concurrency());
-  std::vector<size_t> widths{1, 4, hw};
+  std::vector<size_t> widths;
+  for (size_t w : requested_widths()) widths.push_back(std::min(w, hw));
   std::sort(widths.begin(), widths.end());
   widths.erase(std::unique(widths.begin(), widths.end()), widths.end());
   return widths;
@@ -157,12 +169,17 @@ int main(int argc, char** argv) {
     r.naive_bytes = naive_stack.size() * sizeof(double);
     r.naive_s = time_best(reps, [&] { video::convert_naive(naive_stack); });
 
-    tensor::Tensor<uint8_t> seq;
-    r.sequential_s = time_best(reps, [&] { seq = video::convert_fast(stack); });
+    // Steady-state timing: the streaming path reuses pooled destination
+    // buffers, so the _into twins with preallocated outputs are what the
+    // pipeline actually pays per stack (a fresh Tensor per rep would charge
+    // the kernel for zero-fill page faults it never sees in production).
+    tensor::Tensor<uint8_t> seq(stack.shape());
+    r.sequential_s =
+        time_best(reps, [&] { video::convert_fast_into(stack, seq); });
     for (size_t i = 0; i < widths.size(); ++i) {
-      tensor::Tensor<uint8_t> par;
+      tensor::Tensor<uint8_t> par(stack.shape());
       double secs = time_best(
-          reps, [&] { par = video::convert_parallel(stack, *pools[i]); });
+          reps, [&] { video::convert_parallel_into(stack, par, *pools[i]); });
       r.parallel_s.emplace_back(widths[i], secs);
       r.parity = r.parity && par.storage() == seq.storage();
     }
@@ -178,13 +195,14 @@ int main(int argc, char** argv) {
     KernelReport r;
     r.name = "to_u8_normalized";
     r.bytes = cube.size() * sizeof(double);
-    tensor::Tensor<uint8_t> seq;
+    tensor::Tensor<uint8_t> seq(cube.shape());
     r.sequential_s =
-        time_best(reps, [&] { seq = tensor::to_u8_normalized(cube); });
+        time_best(reps, [&] { tensor::to_u8_normalized_into(cube, seq); });
     for (size_t i = 0; i < widths.size(); ++i) {
-      tensor::Tensor<uint8_t> par;
-      double secs = time_best(
-          reps, [&] { par = tensor::to_u8_normalized(cube, *pools[i]); });
+      tensor::Tensor<uint8_t> par(cube.shape());
+      double secs = time_best(reps, [&] {
+        tensor::to_u8_normalized_into(cube, par, *pools[i]);
+      });
       r.parallel_s.emplace_back(widths[i], secs);
       r.parity = r.parity && par.storage() == seq.storage();
     }
@@ -265,6 +283,24 @@ int main(int argc, char** argv) {
     r.parity = bytewise == sliced;
     r.print();
     reports.push_back(std::move(r));
+
+    // Fused copy+checksum: the one-traversal landing primitive. Naive twin is
+    // the land-then-scan it replaces (memcpy pass + crc64 pass).
+    KernelReport rc;
+    rc.name = "crc64_copy";
+    rc.bytes = n;
+    rc.naive_bytes = n;
+    std::vector<uint8_t> dst(n);
+    uint64_t scanned = 0, fused = 0;
+    rc.naive_s = time_best(reps, [&] {
+      std::memcpy(dst.data(), payload.data(), n);
+      scanned = util::crc64(dst.data(), n);
+    });
+    rc.sequential_s = time_best(
+        reps, [&] { fused = util::crc64_copy(dst.data(), payload.data(), n); });
+    rc.parity = scanned == fused && dst == payload;
+    rc.print();
+    reports.push_back(std::move(rc));
   }
 
   // ---- LZ compression (A3 transfer codec) ---------------------------------
@@ -340,6 +376,26 @@ int main(int argc, char** argv) {
   }
   util::write_file("BENCH_dataplane.prom", registry.to_prometheus());
 
+  // ---- regression assertions ----------------------------------------------
+  // The sum_keep_axis3 parallel path once ran at 0.32x of sequential (chunk
+  // boundaries split cache lines of the shared output row -> false sharing).
+  // Guard against it coming back: at the widest width the parallel time must
+  // beat sequential whenever the host can actually run threads side by side.
+  const size_t hw_threads = std::max(1u, std::thread::hardware_concurrency());
+  bool regressions_ok = true;
+  if (!smoke && hw_threads > 1) {
+    for (const auto& r : reports) {
+      if (r.name != "sum_keep_axis3_spectrum" || r.parallel_s.empty()) continue;
+      const auto& [w, secs] = r.parallel_s.back();
+      if (w > 1 && secs > 0 && r.sequential_s / secs <= 1.0) {
+        std::printf("REGRESSION: %s at %zu threads is %.2fx sequential "
+                    "(false-sharing guard demands > 1.0x)\n",
+                    r.name.c_str(), w, r.sequential_s / secs);
+        regressions_ok = false;
+      }
+    }
+  }
+
   // ---- emit the machine-readable baseline ---------------------------------
   Json kernels = Json::array();
   bool all_parity = true;
@@ -347,17 +403,27 @@ int main(int argc, char** argv) {
     kernels.push_back(r.to_json());
     all_parity = all_parity && r.parity;
   }
+  const auto requested = requested_widths();
+  bool oversubscribed = false;
+  for (size_t w : requested) oversubscribed = oversubscribed || w > hw_threads;
   Json doc = Json::object({
-      {"schema", "pico.bench.dataplane.v1"},
+      {"schema", "pico.bench.dataplane.v2"},
       {"mode", smoke ? "smoke" : "full"},
-      {"hardware_threads",
-       static_cast<int64_t>(std::thread::hardware_concurrency())},
+      {"hardware_threads", static_cast<int64_t>(hw_threads)},
+      {"simd_level", std::string(tensor::simd::active_level_name())},
       {"pool_widths",
        [&] {
          Json a = Json::array();
          for (size_t w : widths) a.push_back(static_cast<int64_t>(w));
          return a;
        }()},
+      {"requested_widths",
+       [&] {
+         Json a = Json::array();
+         for (size_t w : requested) a.push_back(static_cast<int64_t>(w));
+         return a;
+       }()},
+      {"oversubscribed", oversubscribed},
       {"parity_all", all_parity},
       {"kernels", kernels},
       {"pools", pool_stats},
@@ -366,8 +432,10 @@ int main(int argc, char** argv) {
   util::write_file(out_path, doc.dump(2) + "\n");
   std::printf("wrote BENCH_dataplane.prom (%zu metric families)\n",
               registry.family_count());
-  std::printf("\nwrote %s (%s)\n", out_path,
+  std::printf("\nwrote %s (simd=%s, %s%s)\n", out_path,
+              tensor::simd::active_level_name(),
               all_parity ? "all parallel kernels byte-identical to sequential"
-                         : "PARITY FAILURES — see above");
-  return all_parity ? 0 : 1;
+                         : "PARITY FAILURES — see above",
+              regressions_ok ? "" : ", SPEEDUP REGRESSIONS — see above");
+  return all_parity && regressions_ok ? 0 : 1;
 }

@@ -22,7 +22,7 @@ const CodecRegistry& inner_registry() {
 
 }  // namespace
 
-Bytes BlockLzCodec::compress(const Bytes& input) const {
+Bytes BlockLzCodec::compress(ByteView input) const {
   // Stream layout: varint(block_size) varint(nblocks), then per block
   // varint(frame_len) + frame. Block boundaries are a pure function of
   // (input size, block_size): output bytes are identical for any pool width.
@@ -33,9 +33,8 @@ Bytes BlockLzCodec::compress(const Bytes& input) const {
   auto compress_block = [&](size_t b) {
     size_t begin = b * block_size_;
     size_t end = std::min(input.size(), begin + block_size_);
-    Bytes block(input.begin() + static_cast<ptrdiff_t>(begin),
-                input.begin() + static_cast<ptrdiff_t>(end));
-    frames[b] = encode_frame(lz, block);
+    // Zero-copy: the block is framed straight out of the caller's buffer.
+    frames[b] = encode_frame(lz, input.subspan(begin, end - begin));
   };
   util::ThreadPool& pool = pool_ ? *pool_ : util::shared_pool();
   pool.parallel_for(nblocks, compress_block);
@@ -82,8 +81,8 @@ util::Result<Bytes> BlockLzCodec::decompress(const Bytes& input) const {
   std::vector<Bytes> blocks(frames.size());
   std::vector<std::string> errors(frames.size());
   auto decode_block = [&](size_t b) {
-    Bytes frame(frames[b].first, frames[b].first + frames[b].second);
-    auto decoded = decode_frame(inner_registry(), frame);
+    auto decoded = decode_frame_view(inner_registry(),
+                                     ByteView(frames[b].first, frames[b].second));
     if (!decoded) {
       errors[b] = decoded.error().message;
       return;

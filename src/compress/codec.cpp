@@ -43,7 +43,7 @@ void CodecRegistry::add(std::unique_ptr<Codec> codec) {
   codecs_.push_back(std::move(codec));
 }
 
-Bytes encode_frame(const Codec& codec, const Bytes& input) {
+Bytes encode_frame(const Codec& codec, ByteView input) {
   Bytes body = codec.compress(input);
   Bytes out;
   out.reserve(body.size() + 32);
@@ -51,16 +51,21 @@ Bytes encode_frame(const Codec& codec, const Bytes& input) {
   w.bytes(kFrameMagic, 4);
   w.str(codec.name());
   w.varint(input.size());
-  w.u64(util::crc64(input));
+  w.u64(util::crc64(input.data(), input.size()));
   w.varint(body.size());
   w.bytes(body.data(), body.size());
   return out;
 }
 
 util::Result<Bytes> decode_frame(const CodecRegistry& registry,
-                                 const Bytes& frame) {
+                                 const Bytes& frame, uint64_t* crc_out) {
+  return decode_frame_view(registry, ByteView(frame), crc_out);
+}
+
+util::Result<Bytes> decode_frame_view(const CodecRegistry& registry,
+                                      ByteView frame, uint64_t* crc_out) {
   using R = util::Result<Bytes>;
-  util::ByteReader r(frame);
+  util::ByteReader r(frame.data(), frame.size());
   const uint8_t* magic = nullptr;
   if (!r.view(&magic, 4) || std::memcmp(magic, kFrameMagic, 4) != 0) {
     return R::err("bad compression frame magic", "parse");
@@ -85,6 +90,7 @@ util::Result<Bytes> decode_frame(const CodecRegistry& registry,
   if (util::crc64(decoded.value()) != crc) {
     return R::err("decompressed CRC mismatch", "corrupt");
   }
+  if (crc_out != nullptr) *crc_out = crc;
   return decoded;
 }
 

@@ -6,6 +6,7 @@
 // negotiate per-file compression and verify integrity after decode.
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,10 @@ class ThreadPool;
 namespace pico::compress {
 
 using Bytes = std::vector<uint8_t>;
+/// Non-owning input view: codecs compress straight out of mapped files,
+/// store objects, or arena buffers without staging a Bytes copy first.
+/// A Bytes lvalue converts implicitly.
+using ByteView = std::span<const uint8_t>;
 
 /// Stateless codec interface. Implementations must be inverse pairs:
 /// decompress(compress(x)) == x for every byte string x.
@@ -25,7 +30,7 @@ class Codec {
  public:
   virtual ~Codec() = default;
   virtual std::string name() const = 0;
-  virtual Bytes compress(const Bytes& input) const = 0;
+  virtual Bytes compress(ByteView input) const = 0;
   /// Fails on malformed streams (fuzz-safe: never reads out of bounds).
   virtual util::Result<Bytes> decompress(const Bytes& input) const = 0;
 };
@@ -34,7 +39,9 @@ class Codec {
 class NullCodec final : public Codec {
  public:
   std::string name() const override { return "null"; }
-  Bytes compress(const Bytes& input) const override { return input; }
+  Bytes compress(ByteView input) const override {
+    return Bytes(input.begin(), input.end());
+  }
   util::Result<Bytes> decompress(const Bytes& input) const override {
     return util::Result<Bytes>::ok(input);
   }
@@ -44,7 +51,7 @@ class NullCodec final : public Codec {
 class RleCodec final : public Codec {
  public:
   std::string name() const override { return "rle"; }
-  Bytes compress(const Bytes& input) const override;
+  Bytes compress(ByteView input) const override;
   util::Result<Bytes> decompress(const Bytes& input) const override;
 };
 
@@ -52,7 +59,7 @@ class RleCodec final : public Codec {
 class DeltaCodec final : public Codec {
  public:
   std::string name() const override { return "delta"; }
-  Bytes compress(const Bytes& input) const override;
+  Bytes compress(ByteView input) const override;
   util::Result<Bytes> decompress(const Bytes& input) const override;
 };
 
@@ -60,7 +67,7 @@ class DeltaCodec final : public Codec {
 class LzCodec final : public Codec {
  public:
   std::string name() const override { return "lz"; }
-  Bytes compress(const Bytes& input) const override;
+  Bytes compress(ByteView input) const override;
   util::Result<Bytes> decompress(const Bytes& input) const override;
 };
 
@@ -69,7 +76,7 @@ class LzCodec final : public Codec {
 class ShuffleLzCodec final : public Codec {
  public:
   std::string name() const override { return "shuffle-lz"; }
-  Bytes compress(const Bytes& input) const override;
+  Bytes compress(ByteView input) const override;
   util::Result<Bytes> decompress(const Bytes& input) const override;
 };
 
@@ -91,7 +98,7 @@ class BlockLzCodec final : public Codec {
   static constexpr size_t kDefaultBlockSize = 256 * 1024;
 
   std::string name() const override { return "lz-par"; }
-  Bytes compress(const Bytes& input) const override;
+  Bytes compress(ByteView input) const override;
   util::Result<Bytes> decompress(const Bytes& input) const override;
 
  private:
@@ -115,11 +122,21 @@ class CodecRegistry {
 };
 
 /// Self-describing frame: "PCZ1" | codec name | original size | crc64 | body.
-Bytes encode_frame(const Codec& codec, const Bytes& input);
+/// Reads the input exactly once: the frame checksum is computed by the same
+/// pass that frames the body.
+Bytes encode_frame(const Codec& codec, ByteView input);
 
 /// Decode a frame, looking up the codec in `registry`; validates size + CRC.
+/// When `crc_out` is non-null it receives the verified payload checksum, so
+/// callers landing the result can skip their own scan (fused-CRC contract).
 util::Result<Bytes> decode_frame(const CodecRegistry& registry,
-                                 const Bytes& frame);
+                                 const Bytes& frame,
+                                 uint64_t* crc_out = nullptr);
+
+/// decode_frame over a non-owning view (e.g. a slice of a block stream).
+util::Result<Bytes> decode_frame_view(const CodecRegistry& registry,
+                                      ByteView frame,
+                                      uint64_t* crc_out = nullptr);
 
 /// Convenience stats for benches.
 struct CompressionStats {

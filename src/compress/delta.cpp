@@ -4,7 +4,7 @@ namespace pico::compress {
 
 // Byte-delta transform followed by RLE. Smooth detector images have slowly
 // varying intensities, so deltas cluster near zero and RLE collapses them.
-Bytes DeltaCodec::compress(const Bytes& input) const {
+Bytes DeltaCodec::compress(ByteView input) const {
   Bytes deltas(input.size());
   uint8_t prev = 0;
   for (size_t i = 0; i < input.size(); ++i) {

@@ -24,20 +24,19 @@ inline uint32_t hash3(const uint8_t* p) {
   return (v * 2654435761u) >> (32 - kHashBits);
 }
 
-void flush_literals(Bytes& out, const Bytes& input, size_t start, size_t end) {
+void flush_literals(Bytes& out, ByteView input, size_t start, size_t end) {
   while (start < end) {
     size_t n = std::min<size_t>(end - start, 255);
     out.push_back(0x00);
     out.push_back(static_cast<uint8_t>(n - 1));
-    out.insert(out.end(), input.begin() + static_cast<ptrdiff_t>(start),
-               input.begin() + static_cast<ptrdiff_t>(start + n));
+    out.insert(out.end(), input.data() + start, input.data() + start + n);
     start += n;
   }
 }
 
 }  // namespace
 
-Bytes LzCodec::compress(const Bytes& input) const {
+Bytes LzCodec::compress(ByteView input) const {
   Bytes out;
   out.reserve(input.size() / 2 + 16);
   const size_t n = input.size();

@@ -6,7 +6,7 @@ namespace pico::compress {
 //   control 0x00..0x7F: literal run of (control+1) bytes follows
 //   control 0x80..0xFF: repeat next byte (control-0x7F+1) times, i.e. runs of
 //                       2..129 identical bytes
-Bytes RleCodec::compress(const Bytes& input) const {
+Bytes RleCodec::compress(ByteView input) const {
   Bytes out;
   out.reserve(input.size() / 2 + 16);
   size_t i = 0;
@@ -35,8 +35,7 @@ Bytes RleCodec::compress(const Bytes& input) const {
       continue;
     }
     out.push_back(static_cast<uint8_t>(lit_len - 1));
-    out.insert(out.end(), input.begin() + static_cast<ptrdiff_t>(lit_start),
-               input.begin() + static_cast<ptrdiff_t>(i));
+    out.insert(out.end(), input.data() + lit_start, input.data() + i);
   }
   return out;
 }

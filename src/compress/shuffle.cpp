@@ -1,5 +1,6 @@
 #include "compress/codec.hpp"
 
+#include "util/arena.hpp"
 #include "util/bytes.hpp"
 
 namespace pico::compress {
@@ -12,12 +13,17 @@ namespace pico::compress {
 // files carry.
 //
 // Stream layout: varint original_size | varint stride | LZ(transposed).
-Bytes ShuffleLzCodec::compress(const Bytes& input) const {
+Bytes ShuffleLzCodec::compress(ByteView input) const {
   const size_t stride = 8;  // f64-oriented; stride survives in the header
   const size_t n = input.size();
   const size_t words = n / stride;
 
-  Bytes transposed(n);
+  // Arena scratch: the transpose buffer is pure staging, so it comes from a
+  // per-thread bump arena instead of a zero-initialized heap vector — the
+  // slab is reused across calls and never hits malloc in steady state.
+  static thread_local util::Arena scratch_arena;
+  scratch_arena.reset();
+  std::span<uint8_t> transposed = scratch_arena.allocate_span(n);
   // Full words transpose; the tail (n % stride bytes) is appended raw.
   for (size_t w = 0; w < words; ++w) {
     for (size_t k = 0; k < stride; ++k) {
@@ -27,7 +33,7 @@ Bytes ShuffleLzCodec::compress(const Bytes& input) const {
   std::copy(input.begin() + static_cast<ptrdiff_t>(words * stride), input.end(),
             transposed.begin() + static_cast<ptrdiff_t>(words * stride));
 
-  Bytes packed = LzCodec{}.compress(transposed);
+  Bytes packed = LzCodec{}.compress(ByteView(transposed));
   Bytes out;
   util::ByteWriter writer(&out);
   writer.varint(n);

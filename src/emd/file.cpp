@@ -4,6 +4,7 @@
 
 #include "util/bytes.hpp"
 #include "util/crc64.hpp"
+#include "util/mmap.hpp"
 #include "util/strings.hpp"
 
 namespace pico::emd {
@@ -14,7 +15,7 @@ using util::Json;
 // ---- header (de)serialization ------------------------------------------
 
 // Dataset metadata entry in the JSON header.
-Json dataset_meta(const Dataset& d, uint64_t offset) {
+Json dataset_meta(const Dataset& d, uint64_t offset, uint64_t crc) {
   Json shape = Json::array();
   for (size_t s : d.shape()) shape.push_back(static_cast<int64_t>(s));
   return Json::object({
@@ -22,7 +23,7 @@ Json dataset_meta(const Dataset& d, uint64_t offset) {
       {"shape", shape},
       {"offset", static_cast<int64_t>(offset)},
       {"nbytes", static_cast<int64_t>(d.nbytes())},
-      {"crc64", util::to_hex_u64(util::crc64(d.raw()))},
+      {"crc64", util::to_hex_u64(crc)},
   });
 }
 
@@ -32,9 +33,14 @@ Json group_to_json(const Group& g, std::vector<uint8_t>& blob) {
 
   Json datasets = Json::object();
   for (const auto& [name, ds] : g.datasets) {
-    uint64_t offset = blob.size();
-    blob.insert(blob.end(), ds.raw().begin(), ds.raw().end());
-    datasets[name] = dataset_meta(ds, offset);
+    const uint64_t offset = blob.size();
+    auto raw = ds.raw();
+    blob.resize(offset + raw.size());
+    // Fused land+checksum: one traversal of the payload instead of an
+    // insert pass plus a crc64 scan.
+    const uint64_t crc =
+        util::crc64_copy(blob.data() + offset, raw.data(), raw.size());
+    datasets[name] = dataset_meta(ds, offset, crc);
   }
 
   Json groups = Json::object();
@@ -49,8 +55,14 @@ Json group_to_json(const Group& g, std::vector<uint8_t>& blob) {
   });
 }
 
+// `owner` selects the payload mode: empty -> copy out of the blob (heap
+// load); non-empty -> attach zero-copy views that co-own `owner` (mapped
+// load). CRC verification reads from raw() either way, so a mapped load's
+// verify pass is the single traversal that touches the payload bytes.
 util::Status group_from_json(const Json& j, const uint8_t* blob,
-                             size_t blob_size, bool with_payload, Group* out) {
+                             size_t blob_size, bool with_payload,
+                             const std::shared_ptr<const void>& owner,
+                             Group* out) {
   for (const auto& [k, v] : j.at("attrs").as_object()) out->attrs[k] = v;
 
   for (const auto& [name, meta] : j.at("datasets").as_object()) {
@@ -86,8 +98,14 @@ util::Status group_from_json(const Json& j, const uint8_t* blob,
         return util::Status::err("dataset " + name + ": payload out of range",
                                  "parse");
       }
-      ds.attach_payload(std::vector<uint8_t>(blob + offset, blob + offset + nbytes));
-      if (util::crc64(ds.raw()) != ds.crc()) {
+      if (owner) {
+        ds.attach_view({blob + offset, nbytes}, owner);
+      } else {
+        ds.attach_payload(
+            std::vector<uint8_t>(blob + offset, blob + offset + nbytes));
+      }
+      auto raw = ds.raw();
+      if (util::crc64(raw.data(), raw.size()) != ds.crc()) {
         return util::Status::err("dataset " + name + ": CRC mismatch",
                                  "corrupt");
       }
@@ -97,7 +115,7 @@ util::Status group_from_json(const Json& j, const uint8_t* blob,
 
   for (const auto& [name, child] : j.at("groups").as_object()) {
     Group g;
-    auto st = group_from_json(child, blob, blob_size, with_payload, &g);
+    auto st = group_from_json(child, blob, blob_size, with_payload, owner, &g);
     if (!st) return st;
     out->groups.emplace(name, std::move(g));
   }
@@ -124,6 +142,16 @@ Dataset Dataset::from_meta(tensor::DType dtype, tensor::Shape shape,
 
 void Dataset::attach_payload(std::vector<uint8_t> raw) {
   raw_ = std::move(raw);
+  view_ = {};
+  owner_.reset();
+  payload_loaded_ = true;
+}
+
+void Dataset::attach_view(std::span<const uint8_t> view,
+                          std::shared_ptr<const void> owner) {
+  raw_.clear();
+  view_ = view;
+  owner_ = std::move(owner);
   payload_loaded_ = true;
 }
 
@@ -179,12 +207,15 @@ std::vector<uint8_t> File::to_bytes() const {
   return out;
 }
 
-util::Result<File> File::from_bytes(const std::vector<uint8_t>& data,
-                                    bool with_payload) {
+namespace {
+
+util::Result<File> parse_span(const uint8_t* data, size_t size,
+                              bool with_payload,
+                              const std::shared_ptr<const void>& owner) {
   using R = util::Result<File>;
-  util::ByteReader r(data);
+  util::ByteReader r(data, size);
   const uint8_t* magic = nullptr;
-  if (!r.view(&magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+  if (!r.view(&magic, 4) || std::memcmp(magic, File::kMagic, 4) != 0) {
     return R::err("not an EMD-lite file (bad magic)", "parse");
   }
   uint32_t version = 0;
@@ -192,7 +223,7 @@ util::Result<File> File::from_bytes(const std::vector<uint8_t>& data,
   if (!r.u32(&version) || !r.u64(&header_len)) {
     return R::err("truncated EMD-lite header", "parse");
   }
-  if (version != kVersion) {
+  if (version != File::kVersion) {
     return R::err("unsupported EMD-lite version " + std::to_string(version),
                   "parse");
   }
@@ -204,14 +235,21 @@ util::Result<File> File::from_bytes(const std::vector<uint8_t>& data,
       reinterpret_cast<const char*>(header_bytes), header_len));
   if (!header) return R::err("EMD-lite header: " + header.error().message, "parse");
 
-  const uint8_t* blob = data.data() + r.position();
-  size_t blob_size = data.size() - r.position();
+  const uint8_t* blob = data + r.position();
+  size_t blob_size = size - r.position();
 
   File f;
   auto st = group_from_json(header.value(), blob, blob_size, with_payload,
-                            &f.root);
+                            owner, &f.root);
   if (!st) return R::err(st.error());
   return R::ok(std::move(f));
+}
+
+}  // namespace
+
+util::Result<File> File::from_bytes(const std::vector<uint8_t>& data,
+                                    bool with_payload) {
+  return parse_span(data.data(), data.size(), with_payload, nullptr);
 }
 
 util::Status File::save(const std::string& path) const {
@@ -222,6 +260,16 @@ util::Result<File> File::load(const std::string& path, bool with_payload) {
   auto data = util::read_file(path);
   if (!data) return util::Result<File>::err(data.error());
   return from_bytes(data.value(), with_payload);
+}
+
+util::Result<File> File::load_mapped(const std::string& path,
+                                     bool with_payload) {
+  auto mf = util::MappedFile::open(path);
+  if (!mf) return util::Result<File>::err(mf.error());
+  auto owner =
+      std::make_shared<util::MappedFile>(std::move(mf).value());
+  auto bytes = owner->bytes();
+  return parse_span(bytes.data(), bytes.size(), with_payload, owner);
 }
 
 namespace {

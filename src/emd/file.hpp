@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <cstring>
 #include <map>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -49,8 +51,9 @@ class Dataset {
                     "type");
     }
     if (!payload_loaded_) return R::err("payload not loaded", "state");
+    auto bytes = raw();
     std::vector<T> data(element_count());
-    std::memcpy(data.data(), raw_.data(), raw_.size());
+    std::memcpy(data.data(), bytes.data(), bytes.size());
     return R::ok(tensor::Tensor<T>(shape_, std::move(data)));
   }
 
@@ -61,7 +64,14 @@ class Dataset {
     return element_count() * tensor::dtype_size(dtype_);
   }
   bool payload_loaded() const { return payload_loaded_; }
-  const std::vector<uint8_t>& raw() const { return raw_; }
+  /// Payload bytes: either owned storage or a zero-copy view into a mapped
+  /// file (see attach_view). Valid only while this Dataset is alive.
+  std::span<const uint8_t> raw() const {
+    return owner_ ? view_ : std::span<const uint8_t>(raw_);
+  }
+  /// False when raw() aliases an external owner (mapped file) instead of
+  /// dataset-owned storage.
+  bool payload_owned() const { return owner_ == nullptr; }
   uint64_t crc() const { return crc_; }
 
   /// Rebuild from parsed header fields (loader use; payload attached later).
@@ -69,12 +79,18 @@ class Dataset {
                            uint64_t crc);
   /// Attach a payload read from the blob section (loader use).
   void attach_payload(std::vector<uint8_t> raw);
+  /// Attach a zero-copy payload view; `owner` keeps the bytes alive (e.g. a
+  /// shared MappedFile) and is co-owned by every dataset of the file.
+  void attach_view(std::span<const uint8_t> view,
+                   std::shared_ptr<const void> owner);
 
  private:
   friend class File;
   tensor::DType dtype_ = tensor::DType::U8;
   tensor::Shape shape_;
   std::vector<uint8_t> raw_;
+  std::span<const uint8_t> view_;
+  std::shared_ptr<const void> owner_;  ///< non-null => raw() is view_
   bool payload_loaded_ = false;
   uint64_t crc_ = 0;
 };
@@ -108,6 +124,14 @@ class File {
   util::Status save(const std::string& path) const;
   static util::Result<File> load(const std::string& path,
                                  bool with_payload = true);
+
+  /// Zero-copy load: memory-maps the file and attaches dataset payloads as
+  /// views into the mapping (all datasets co-own it; the mapping lives until
+  /// the last one goes). Payload CRCs are still verified — that verify scan
+  /// is the one traversal that faults the pages in — but nothing is copied
+  /// until a caller asks for a typed tensor.
+  static util::Result<File> load_mapped(const std::string& path,
+                                        bool with_payload = true);
 
   /// Total payload bytes across all datasets (= transfer volume driver).
   uint64_t payload_bytes() const;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
+
+#include "util/crc64.hpp"
 
 namespace pico::net {
 
@@ -28,20 +31,33 @@ bool FrameChannel::needed_by_any(int64_t seq) const {
   return false;
 }
 
-std::vector<Frame> FrameChannel::publish(int64_t bytes, uint64_t crc64) {
-  Frame f{next_seq_, bytes, crc64};
+std::vector<Frame> FrameChannel::append(Frame f) {
+  f.seq = next_seq_;
   ++next_seq_;
   if (ring_.empty()) base_seq_ = f.seq;
-  ring_.push_back(f);
+  ring_.push_back(std::move(f));
 
   std::vector<Frame> spilled;
   while (ring_.size() > static_cast<size_t>(cfg_.ring_capacity)) {
-    Frame evicted = ring_.front();
+    Frame evicted = std::move(ring_.front());
     ring_.pop_front();
     base_seq_ = ring_.empty() ? next_seq_ : ring_.front().seq;
-    if (needed_by_any(evicted.seq)) spilled.push_back(evicted);
+    if (needed_by_any(evicted.seq)) spilled.push_back(std::move(evicted));
   }
   return spilled;
+}
+
+std::vector<Frame> FrameChannel::publish(int64_t bytes, uint64_t crc64) {
+  return append(Frame{0, bytes, crc64, nullptr});
+}
+
+std::vector<Frame> FrameChannel::publish(std::span<const uint8_t> payload) {
+  auto lease = std::make_shared<util::BufferPool::Lease>(
+      util::shared_buffer_pool().acquire(payload.size()));
+  const uint64_t crc =
+      util::crc64_copy(lease->data(), payload.data(), payload.size());
+  return append(Frame{0, static_cast<int64_t>(payload.size()), crc,
+                      std::move(lease)});
 }
 
 std::optional<Frame> FrameChannel::frame(int64_t seq) const {

@@ -22,18 +22,34 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
+#include <span>
 #include <vector>
+
+#include "util/arena.hpp"
 
 namespace pico::net {
 
 /// One detector frame on the channel. `bytes` is the payload size; `crc64`
 /// stamps the content so consumers can verify frames end-to-end.
+///
+/// `payload` is optional: metadata-only frames (size/CRC simulation) leave it
+/// null; frames published through the zero-copy path carry a pool-backed
+/// buffer shared by every copy of the Frame (ring slot, reorder buffers,
+/// ready vectors), so copying a Frame never copies the bytes.
 struct Frame {
   int64_t seq = 0;
   int64_t bytes = 0;
   uint64_t crc64 = 0;
+  std::shared_ptr<const util::BufferPool::Lease> payload;
+
+  bool has_payload() const { return payload != nullptr; }
+  /// The payload bytes (empty span for metadata-only frames).
+  std::span<const uint8_t> payload_bytes() const {
+    return payload ? payload->span() : std::span<const uint8_t>{};
+  }
 };
 
 struct FrameChannelConfig {
@@ -68,6 +84,13 @@ class FrameChannel {
   /// Returns frames force-evicted from the ring that some subscriber still
   /// needed — the caller must route those via the spill path.
   std::vector<Frame> publish(int64_t bytes, uint64_t crc64);
+
+  /// Publish a frame carrying real bytes: lands `payload` into a buffer from
+  /// the shared pool with the CRC-64 stamp fused into the same traversal
+  /// (util::crc64_copy — one pass stamps and lands), then appends the frame
+  /// with the lease attached. Eviction/spill semantics match the metadata
+  /// overload; spilled frames keep their payload alive through the lease.
+  std::vector<Frame> publish(std::span<const uint8_t> payload);
 
   /// In-ring lookup for retransmission. Empty once the frame was evicted.
   std::optional<Frame> frame(int64_t seq) const;
@@ -108,6 +131,8 @@ class FrameChannel {
   };
 
   bool needed_by_any(int64_t seq) const;
+  /// Ring append + capacity eviction shared by both publish overloads.
+  std::vector<Frame> append(Frame f);
   /// Advance `sub`'s cursor over buffered/satisfied frames, appending drained
   /// buffered frames to `ready`, then release credits the cursor passed.
   void drain(Subscriber& sub, std::vector<Frame>* ready);

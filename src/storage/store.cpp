@@ -30,6 +30,31 @@ util::Status Store::put(const std::string& path, std::vector<uint8_t> bytes,
   return util::Status::ok();
 }
 
+util::Status Store::put_with_crc(const std::string& path,
+                                 std::vector<uint8_t> bytes, uint64_t crc64,
+                                 sim::SimTime now) {
+  int64_t size = static_cast<int64_t>(bytes.size());
+  int64_t delta = size;
+  auto it = objects_.find(path);
+  if (it != objects_.end()) delta -= it->second.size;
+  if (used_ + delta > capacity_) {
+    return util::Status::err(
+        util::format("store %s full: need %lld over capacity %lld",
+                     name_.c_str(), static_cast<long long>(used_ + delta),
+                     static_cast<long long>(capacity_)),
+        "capacity");
+  }
+  Object obj;
+  obj.size = size;
+  obj.crc64 = crc64;
+  obj.stored_crc64 = crc64;
+  obj.created = now;
+  obj.content = std::move(bytes);
+  objects_[path] = std::move(obj);
+  used_ += delta;
+  return util::Status::ok();
+}
+
 util::Status Store::put_virtual(const std::string& path, int64_t size,
                                 uint64_t crc64, sim::SimTime now) {
   int64_t delta = size;

@@ -52,6 +52,16 @@ class Store {
   util::Status put(const std::string& path, std::vector<uint8_t> bytes,
                    sim::SimTime now);
 
+  /// put() for callers that already computed crc64(bytes) — typically fused
+  /// into the copy that produced `bytes` (util::crc64_copy) so landing a
+  /// chunk costs one traversal instead of land-then-scan. The caller-declared
+  /// checksum is trusted as both the manifest and media checksum; the fused
+  /// callers derive it from the landed bytes themselves, so it cannot
+  /// diverge (a lie would go undetected until a content rescan).
+  util::Status put_with_crc(const std::string& path,
+                            std::vector<uint8_t> bytes, uint64_t crc64,
+                            sim::SimTime now);
+
   /// Store a size-only object with a precomputed checksum.
   util::Status put_virtual(const std::string& path, int64_t size,
                            uint64_t crc64, sim::SimTime now);

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "tensor/simd/simd.hpp"
+
 namespace pico::tensor {
 
 namespace {
@@ -14,6 +16,18 @@ namespace {
 size_t row_grain(size_t rows, const util::ThreadPool& pool) {
   return std::max<size_t>(1, rows / (4 * pool.thread_count()));
 }
+
+/// Same, rounded up to a multiple of `align` elements so chunk boundaries
+/// land on cache-line edges and adjacent chunks never write the same line
+/// (the sum_keep_axis3 false-sharing fix). 8 doubles or 64 u8 = one 64-byte
+/// line. Purely a partitioning choice — results are unaffected.
+size_t aligned_grain(size_t n, const util::ThreadPool& pool, size_t align) {
+  const size_t g = row_grain(n, pool);
+  return ((g + align - 1) / align) * align;
+}
+
+constexpr size_t kLineF64 = 8;   // doubles per 64-byte cache line
+constexpr size_t kLineU8 = 64;   // bytes per cache line
 
 }  // namespace
 
@@ -26,24 +40,19 @@ Tensor<double> sum_axis3(const Tensor<double>& t, size_t axis) {
   else out_shape = {d0, d1};
   Tensor<double> out(out_shape);
 
-  // Specialized loops keep the innermost stride unit-length where possible.
+  // Specialized loops keep the innermost stride unit-length where possible;
+  // the unit-stride inner loops are the vectorized simd primitives.
   if (axis == 2) {
     for (size_t i = 0; i < d0; ++i) {
       for (size_t j = 0; j < d1; ++j) {
-        double acc = 0;
-        const double* p = &t(i, j, 0);
-        for (size_t k = 0; k < d2; ++k) acc += p[k];
-        out(i, j) = acc;
+        out(i, j) = simd::sum_f64(&t(i, j, 0), d2);
       }
     }
   } else if (axis == 1) {
     for (size_t i = 0; i < d0; ++i) {
       double* o = &out(i, 0);
       std::fill(o, o + d2, 0.0);
-      for (size_t j = 0; j < d1; ++j) {
-        const double* p = &t(i, j, 0);
-        for (size_t k = 0; k < d2; ++k) o[k] += p[k];
-      }
+      for (size_t j = 0; j < d1; ++j) simd::add_f64(o, &t(i, j, 0), d2);
     }
   } else {
     for (size_t j = 0; j < d1; ++j) {
@@ -52,9 +61,7 @@ Tensor<double> sum_axis3(const Tensor<double>& t, size_t axis) {
     }
     for (size_t i = 0; i < d0; ++i) {
       for (size_t j = 0; j < d1; ++j) {
-        const double* p = &t(i, j, 0);
-        double* o = &out(j, 0);
-        for (size_t k = 0; k < d2; ++k) o[k] += p[k];
+        simd::add_f64(&out(j, 0), &t(i, j, 0), d2);
       }
     }
   }
@@ -68,26 +75,18 @@ Tensor<double> sum_keep_axis3(const Tensor<double>& t, size_t keep) {
   if (keep == 2) {
     for (size_t i = 0; i < d0; ++i) {
       for (size_t j = 0; j < d1; ++j) {
-        const double* p = &t(i, j, 0);
-        for (size_t k = 0; k < d2; ++k) out(k) += p[k];
+        simd::add_f64(&out(0), &t(i, j, 0), d2);
       }
     }
   } else if (keep == 0) {
+    // The (j, k) slab for fixed i is contiguous: one flat reduction per i.
     for (size_t i = 0; i < d0; ++i) {
-      double acc = 0;
-      for (size_t j = 0; j < d1; ++j) {
-        const double* p = &t(i, j, 0);
-        for (size_t k = 0; k < d2; ++k) acc += p[k];
-      }
-      out(i) = acc;
+      out(i) = simd::sum_f64(&t(i, 0, 0), d1 * d2);
     }
   } else {
     for (size_t i = 0; i < d0; ++i) {
       for (size_t j = 0; j < d1; ++j) {
-        const double* p = &t(i, j, 0);
-        double acc = 0;
-        for (size_t k = 0; k < d2; ++k) acc += p[k];
-        out(j) += acc;
+        out(j) += simd::sum_f64(&t(i, j, 0), d2);
       }
     }
   }
@@ -105,15 +104,13 @@ Tensor<double> sum_axis3(const Tensor<double>& t, size_t axis,
   Tensor<double> out(out_shape);
 
   // Every output element is produced by exactly one chunk, accumulated in
-  // the same index order as the sequential loops: bit-identical results.
+  // the same index order (and with the same simd primitives) as the
+  // sequential loops: bit-identical results.
   if (axis == 2) {
     pool.parallel_chunks(d0, row_grain(d0, pool), [&](size_t ib, size_t ie) {
       for (size_t i = ib; i < ie; ++i) {
         for (size_t j = 0; j < d1; ++j) {
-          double acc = 0;
-          const double* p = &t(i, j, 0);
-          for (size_t k = 0; k < d2; ++k) acc += p[k];
-          out(i, j) = acc;
+          out(i, j) = simd::sum_f64(&t(i, j, 0), d2);
         }
       }
     });
@@ -122,10 +119,7 @@ Tensor<double> sum_axis3(const Tensor<double>& t, size_t axis,
       for (size_t i = ib; i < ie; ++i) {
         double* o = &out(i, 0);
         std::fill(o, o + d2, 0.0);
-        for (size_t j = 0; j < d1; ++j) {
-          const double* p = &t(i, j, 0);
-          for (size_t k = 0; k < d2; ++k) o[k] += p[k];
-        }
+        for (size_t j = 0; j < d1; ++j) simd::add_f64(o, &t(i, j, 0), d2);
       }
     });
   } else {
@@ -136,9 +130,7 @@ Tensor<double> sum_axis3(const Tensor<double>& t, size_t axis,
       }
       for (size_t i = 0; i < d0; ++i) {
         for (size_t j = jb; j < je; ++j) {
-          const double* p = &t(i, j, 0);
-          double* o = &out(j, 0);
-          for (size_t k = 0; k < d2; ++k) o[k] += p[k];
+          simd::add_f64(&out(j, 0), &t(i, j, 0), d2);
         }
       }
     });
@@ -153,34 +145,29 @@ Tensor<double> sum_keep_axis3(const Tensor<double>& t, size_t keep,
   Tensor<double> out(Shape{t.dim(keep)});
   if (keep == 2) {
     // Disjoint spectral ranges per chunk; each out(k) accumulates over (i, j)
-    // in the sequential lexicographic order.
-    pool.parallel_chunks(d2, row_grain(d2, pool), [&](size_t kb, size_t ke) {
-      for (size_t i = 0; i < d0; ++i) {
-        for (size_t j = 0; j < d1; ++j) {
-          const double* p = &t(i, j, 0);
-          for (size_t k = kb; k < ke; ++k) out(k) += p[k];
-        }
-      }
-    });
+    // in the sequential lexicographic order. The grain is cache-line-aligned
+    // so neighbouring chunks never accumulate into the same output line —
+    // unaligned grains false-shared out() rows and ran slower in parallel
+    // than sequentially.
+    pool.parallel_chunks(
+        d2, aligned_grain(d2, pool, kLineF64), [&](size_t kb, size_t ke) {
+          for (size_t i = 0; i < d0; ++i) {
+            for (size_t j = 0; j < d1; ++j) {
+              simd::add_f64(&out(kb), &t(i, j, kb), ke - kb);
+            }
+          }
+        });
   } else if (keep == 0) {
     pool.parallel_chunks(d0, row_grain(d0, pool), [&](size_t ib, size_t ie) {
       for (size_t i = ib; i < ie; ++i) {
-        double acc = 0;
-        for (size_t j = 0; j < d1; ++j) {
-          const double* p = &t(i, j, 0);
-          for (size_t k = 0; k < d2; ++k) acc += p[k];
-        }
-        out(i) = acc;
+        out(i) = simd::sum_f64(&t(i, 0, 0), d1 * d2);
       }
     });
   } else {
     pool.parallel_chunks(d1, row_grain(d1, pool), [&](size_t jb, size_t je) {
       for (size_t i = 0; i < d0; ++i) {
         for (size_t j = jb; j < je; ++j) {
-          const double* p = &t(i, j, 0);
-          double acc = 0;
-          for (size_t k = 0; k < d2; ++k) acc += p[k];
-          out(j) += acc;
+          out(j) += simd::sum_f64(&t(i, j, 0), d2);
         }
       }
     });
@@ -189,25 +176,16 @@ Tensor<double> sum_keep_axis3(const Tensor<double>& t, size_t keep,
 }
 
 double min_value(const Tensor<double>& t) {
-  double m = std::numeric_limits<double>::infinity();
-  for (double v : t.data()) m = std::min(m, v);
-  return m;
+  return simd::minmax_f64(t.data().data(), t.size()).min;
 }
 
 double max_value(const Tensor<double>& t) {
-  double m = -std::numeric_limits<double>::infinity();
-  for (double v : t.data()) m = std::max(m, v);
-  return m;
+  return simd::minmax_f64(t.data().data(), t.size()).max;
 }
 
 MinMax minmax_value(const Tensor<double>& t) {
-  MinMax mm{std::numeric_limits<double>::infinity(),
-            -std::numeric_limits<double>::infinity()};
-  for (double v : t.data()) {
-    mm.min = std::min(mm.min, v);
-    mm.max = std::max(mm.max, v);
-  }
-  return mm;
+  simd::MinMax64 mm = simd::minmax_f64(t.data().data(), t.size());
+  return MinMax{mm.min, mm.max};
 }
 
 MinMax minmax_value(const Tensor<double>& t, util::ThreadPool& pool) {
@@ -217,58 +195,58 @@ MinMax minmax_value(const Tensor<double>& t, util::ThreadPool& pool) {
   return pool.parallel_reduce<MinMax>(
       src.size(), util::ThreadPool::kReduceGrain, identity,
       [&src](size_t b, size_t e) {
-        MinMax mm{std::numeric_limits<double>::infinity(),
-                  -std::numeric_limits<double>::infinity()};
-        for (size_t i = b; i < e; ++i) {
-          mm.min = std::min(mm.min, src[i]);
-          mm.max = std::max(mm.max, src[i]);
-        }
-        return mm;
+        simd::MinMax64 mm = simd::minmax_f64(src.data() + b, e - b);
+        return MinMax{mm.min, mm.max};
       },
       [](MinMax a, MinMax b) {
-        return MinMax{std::min(a.min, b.min), std::max(a.max, b.max)};
+        // Same (v < acc) ? v : acc update rule as the scan itself.
+        return MinMax{(b.min < a.min) ? b.min : a.min,
+                      (b.max > a.max) ? b.max : a.max};
       });
 }
 
 double sum_value(const Tensor<double>& t) {
-  double s = 0;
-  for (double v : t.data()) s += v;
-  return s;
+  return simd::sum_f64(t.data().data(), t.size());
 }
 
 double mean_value(const Tensor<double>& t) {
   return t.size() == 0 ? 0.0 : sum_value(t) / static_cast<double>(t.size());
 }
 
-Tensor<uint8_t> to_u8_normalized(const Tensor<double>& t) {
-  Tensor<uint8_t> out(t.shape());
-  if (t.size() == 0) return out;
+void to_u8_normalized_into(const Tensor<double>& t, Tensor<uint8_t>& out) {
+  assert(out.shape() == t.shape());
+  if (t.size() == 0) return;
   MinMax mm = minmax_value(t);  // fused: one scan, not a min pass + max pass
+  double scale = mm.max > mm.min ? 255.0 / (mm.max - mm.min) : 0.0;
+  simd::scale_to_u8(t.data().data(), out.data().data(), t.size(), mm.min,
+                    scale);
+}
+
+void to_u8_normalized_into(const Tensor<double>& t, Tensor<uint8_t>& out,
+                           util::ThreadPool& pool) {
+  assert(out.shape() == t.shape());
+  if (t.size() == 0) return;
+  MinMax mm = minmax_value(t, pool);
   double scale = mm.max > mm.min ? 255.0 / (mm.max - mm.min) : 0.0;
   auto src = t.data();
   auto dst = out.data();
-  for (size_t i = 0; i < src.size(); ++i) {
-    dst[i] = static_cast<uint8_t>((src[i] - mm.min) * scale + 0.5);
-  }
+  pool.parallel_chunks(src.size(), aligned_grain(src.size(), pool, kLineU8),
+                       [&](size_t b, size_t e) {
+                         simd::scale_to_u8(src.data() + b, dst.data() + b,
+                                           e - b, mm.min, scale);
+                       });
+}
+
+Tensor<uint8_t> to_u8_normalized(const Tensor<double>& t) {
+  Tensor<uint8_t> out(t.shape());
+  to_u8_normalized_into(t, out);
   return out;
 }
 
 Tensor<uint8_t> to_u8_normalized(const Tensor<double>& t,
                                  util::ThreadPool& pool) {
   Tensor<uint8_t> out(t.shape());
-  if (t.size() == 0) return out;
-  MinMax mm = minmax_value(t, pool);
-  double scale = mm.max > mm.min ? 255.0 / (mm.max - mm.min) : 0.0;
-  auto src = t.data();
-  auto dst = out.data();
-  pool.parallel_chunks(src.size(), row_grain(src.size(), pool),
-                       [&](size_t b, size_t e) {
-                         for (size_t i = b; i < e; ++i) {
-                           dst[i] = static_cast<uint8_t>((src[i] - mm.min) *
-                                                             scale +
-                                                         0.5);
-                         }
-                       });
+  to_u8_normalized_into(t, out, pool);
   return out;
 }
 
@@ -291,9 +269,7 @@ Tensor<double> from_f32(const Tensor<float>& t) { return convert<float, double>(
 
 void add_inplace(Tensor<double>& a, const Tensor<double>& b) {
   assert(a.shape() == b.shape());
-  auto pa = a.data();
-  auto pb = b.data();
-  for (size_t i = 0; i < pa.size(); ++i) pa[i] += pb[i];
+  simd::add_f64(a.data().data(), b.data().data(), a.size());
 }
 
 void scale_inplace(Tensor<double>& a, double k) {

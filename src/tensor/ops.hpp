@@ -53,6 +53,15 @@ Tensor<uint8_t> to_u8_normalized(const Tensor<double>& t);
 Tensor<uint8_t> to_u8_normalized(const Tensor<double>& t,
                                  util::ThreadPool& pool);
 
+/// Output-reuse twins: write into a caller-owned tensor whose shape already
+/// matches t (asserted). In the pooled steady state the destination comes
+/// from an arena/pool lease, so reusing it skips the zero-fill page-fault
+/// cost a fresh Tensor pays on every stack. Output bytes are identical to
+/// the allocating overloads.
+void to_u8_normalized_into(const Tensor<double>& t, Tensor<uint8_t>& out);
+void to_u8_normalized_into(const Tensor<double>& t, Tensor<uint8_t>& out,
+                           util::ThreadPool& pool);
+
 /// Elementwise conversion helpers.
 Tensor<double> to_f64(const Tensor<uint8_t>& t);
 Tensor<double> to_f64(const Tensor<uint16_t>& t);

@@ -1,0 +1,135 @@
+// AVX2 backend. Compiled with -mavx2 -mfma -ffp-contract=off (and only on
+// x86 hosts — see src/tensor/CMakeLists.txt); callers reach it through the
+// dispatcher, which verifies AVX2 *and* FMA CPU support at runtime before
+// selecting it.
+//
+// Bit-exactness notes vs the scalar reference:
+//  - _mm256_min_pd(v, acc) returns acc when v is NaN (MINPD yields the
+//    second operand on NaN), which is exactly the `(v < m) ? v : m` rule.
+//  - The eight canonical lanes live in two ymm registers (A = lanes 0..3,
+//    B = lanes 4..7); combining A?B produces stage one of the contract's
+//    reduction order, and the remaining stages are the 128-bit-halves
+//    horizontal reduce the scalar twin emulates.
+//  - scale_to_u8's only fused op is the explicit vfmadd the contract calls
+//    for (std::fma in the scalar twin); contraction is off for the rest.
+#include "tensor/simd/simd.hpp"
+
+#if defined(PICO_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace pico::tensor::simd::avx2 {
+
+MinMax64 minmax_f64(const double* p, size_t n) {
+  const double inf = std::numeric_limits<double>::infinity();
+  __m256d lo_a = _mm256_set1_pd(inf), lo_b = lo_a;
+  __m256d hi_a = _mm256_set1_pd(-inf), hi_b = hi_a;
+  const size_t body = n - n % 8;
+  for (size_t i = 0; i < body; i += 8) {
+    _mm_prefetch(reinterpret_cast<const char*>(p + i + 256), _MM_HINT_T0);
+    const __m256d v0 = _mm256_loadu_pd(p + i);
+    const __m256d v1 = _mm256_loadu_pd(p + i + 4);
+    lo_a = _mm256_min_pd(v0, lo_a);
+    lo_b = _mm256_min_pd(v1, lo_b);
+    hi_a = _mm256_max_pd(v0, hi_a);
+    hi_b = _mm256_max_pd(v1, hi_b);
+  }
+  // Stage 1 (lanes j ? j+4), then the 128-bit halves, then the pair.
+  const __m256d lo = _mm256_min_pd(lo_a, lo_b);
+  const __m256d hi = _mm256_max_pd(hi_a, hi_b);
+  __m128d lo_half =
+      _mm_min_pd(_mm256_castpd256_pd128(lo), _mm256_extractf128_pd(lo, 1));
+  __m128d hi_half =
+      _mm_max_pd(_mm256_castpd256_pd128(hi), _mm256_extractf128_pd(hi, 1));
+  double min = _mm_cvtsd_f64(
+      _mm_min_sd(lo_half, _mm_unpackhi_pd(lo_half, lo_half)));
+  double max = _mm_cvtsd_f64(
+      _mm_max_sd(hi_half, _mm_unpackhi_pd(hi_half, hi_half)));
+  for (size_t i = body; i < n; ++i) {
+    const double v = p[i];
+    min = (v < min) ? v : min;
+    max = (v > max) ? v : max;
+  }
+  return {min, max};
+}
+
+double sum_f64(const double* p, size_t n) {
+  __m256d acc_a = _mm256_setzero_pd();
+  __m256d acc_b = _mm256_setzero_pd();
+  const size_t body = n - n % 8;
+  for (size_t i = 0; i < body; i += 8) {
+    acc_a = _mm256_add_pd(acc_a, _mm256_loadu_pd(p + i));
+    acc_b = _mm256_add_pd(acc_b, _mm256_loadu_pd(p + i + 4));
+  }
+  const __m256d acc = _mm256_add_pd(acc_a, acc_b);
+  __m128d half =
+      _mm_add_pd(_mm256_castpd256_pd128(acc), _mm256_extractf128_pd(acc, 1));
+  double s = _mm_cvtsd_f64(_mm_add_sd(half, _mm_unpackhi_pd(half, half)));
+  for (size_t i = body; i < n; ++i) s += p[i];
+  return s;
+}
+
+void add_f64(double* acc, const double* p, size_t n) {
+  const size_t body = n - n % 4;
+  for (size_t i = 0; i < body; i += 4) {
+    _mm256_storeu_pd(
+        acc + i, _mm256_add_pd(_mm256_loadu_pd(acc + i), _mm256_loadu_pd(p + i)));
+  }
+  for (size_t i = body; i < n; ++i) acc[i] += p[i];
+}
+
+void scale_to_u8(const double* src, uint8_t* dst, size_t n, double lo,
+                 double scale) {
+  const __m256d vlo = _mm256_set1_pd(lo);
+  const __m256d vscale = _mm256_set1_pd(scale);
+  const __m256d vhalf = _mm256_set1_pd(0.5);
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m256d vmax = _mm256_set1_pd(255.0);
+  // 16 elements per iteration: four 4-wide convert pipelines feeding two
+  // i32->i16 packs and one i16->u8 pack into a single 16-byte store. The
+  // saturating packs are exact because y is already clamped to [0, 255]
+  // before cvttpd, so every i32 is in-range; per-element math is identical
+  // to the scalar twin, and stores are independent, so widening the stride
+  // cannot change any output byte. Prefetch runs ~2 KB ahead: the convert
+  // pipeline otherwise keeps too few line fills in flight to reach DRAM
+  // bandwidth on a single core.
+  auto quads = [&](size_t i) {
+    __m256d y = _mm256_fmadd_pd(
+        _mm256_sub_pd(_mm256_loadu_pd(src + i), vlo), vscale, vhalf);
+    y = _mm256_max_pd(y, vzero);  // NaN -> 0 (MAXPD returns 2nd op on NaN)
+    y = _mm256_min_pd(y, vmax);
+    return _mm256_cvttpd_epi32(y);
+  };
+  const size_t body16 = n - n % 16;
+  for (size_t i = 0; i < body16; i += 16) {
+    _mm_prefetch(reinterpret_cast<const char*>(src + i + 256), _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(src + i + 264), _MM_HINT_T0);
+    const __m128i w0 = _mm_packs_epi32(quads(i), quads(i + 4));
+    const __m128i w1 = _mm_packs_epi32(quads(i + 8), quads(i + 12));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_packus_epi16(w0, w1));
+  }
+  // Picks byte 0 of each of the four i32 lanes after cvttpd.
+  const __m128i pack = _mm_setr_epi8(0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1,
+                                     -1, -1, -1, -1, -1);
+  const size_t body = n - n % 4;
+  for (size_t i = body16; i < body; i += 4) {
+    const int packed =
+        _mm_cvtsi128_si32(_mm_shuffle_epi8(quads(i), pack));
+    std::memcpy(dst + i, &packed, 4);
+  }
+  for (size_t i = body; i < n; ++i) {
+    double y = std::fma(src[i] - lo, scale, 0.5);
+    y = (y > 0.0) ? y : 0.0;
+    y = (y < 255.0) ? y : 255.0;
+    dst[i] = static_cast<uint8_t>(static_cast<int32_t>(y));
+  }
+}
+
+}  // namespace pico::tensor::simd::avx2
+
+#endif  // PICO_HAVE_AVX2

@@ -1,0 +1,130 @@
+// AVX-512 backend. Compiled with -mavx512f -ffp-contract=off (and only when
+// the toolchain takes the flag — see src/tensor/CMakeLists.txt); callers
+// reach it through the dispatcher, which verifies AVX-512F CPU support at
+// runtime before selecting it.
+//
+// Bit-exactness notes vs the scalar reference:
+//  - The contract's eight canonical lanes are exactly one zmm register, and
+//    its three-stage reduction order is exactly the 256-bit-halves then
+//    128-bit-halves then pair extraction below.
+//  - _mm512_min_pd(v, acc) returns acc when v is NaN (VMINPD yields the
+//    second operand on NaN), which is the `(v < m) ? v : m` rule.
+//  - scale_to_u8's only fused op is the explicit vfmadd the contract calls
+//    for; VPMOVDB truncates each i32 to its low byte, exact because y was
+//    clamped to [0, 255] before the conversion.
+#include "tensor/simd/simd.hpp"
+
+#if defined(PICO_HAVE_AVX512)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+#include <limits>
+
+namespace pico::tensor::simd::avx512 {
+
+namespace {
+
+// Canonical three-stage reduction from one zmm of eight lanes.
+double reduce_min(__m512d lo) {
+  const __m256d lo4 =
+      _mm256_min_pd(_mm512_castpd512_pd256(lo), _mm512_extractf64x4_pd(lo, 1));
+  const __m128d lo2 =
+      _mm_min_pd(_mm256_castpd256_pd128(lo4), _mm256_extractf128_pd(lo4, 1));
+  return _mm_cvtsd_f64(_mm_min_sd(lo2, _mm_unpackhi_pd(lo2, lo2)));
+}
+
+double reduce_max(__m512d hi) {
+  const __m256d hi4 =
+      _mm256_max_pd(_mm512_castpd512_pd256(hi), _mm512_extractf64x4_pd(hi, 1));
+  const __m128d hi2 =
+      _mm_max_pd(_mm256_castpd256_pd128(hi4), _mm256_extractf128_pd(hi4, 1));
+  return _mm_cvtsd_f64(_mm_max_sd(hi2, _mm_unpackhi_pd(hi2, hi2)));
+}
+
+}  // namespace
+
+MinMax64 minmax_f64(const double* p, size_t n) {
+  const double inf = std::numeric_limits<double>::infinity();
+  __m512d lo = _mm512_set1_pd(inf);
+  __m512d hi = _mm512_set1_pd(-inf);
+  const size_t body = n - n % 8;
+  for (size_t i = 0; i < body; i += 8) {
+    _mm_prefetch(reinterpret_cast<const char*>(p + i + 256), _MM_HINT_T0);
+    const __m512d v = _mm512_loadu_pd(p + i);
+    lo = _mm512_min_pd(v, lo);
+    hi = _mm512_max_pd(v, hi);
+  }
+  double min = reduce_min(lo);
+  double max = reduce_max(hi);
+  for (size_t i = body; i < n; ++i) {
+    const double v = p[i];
+    min = (v < min) ? v : min;
+    max = (v > max) ? v : max;
+  }
+  return {min, max};
+}
+
+double sum_f64(const double* p, size_t n) {
+  __m512d acc = _mm512_setzero_pd();
+  const size_t body = n - n % 8;
+  for (size_t i = 0; i < body; i += 8) {
+    acc = _mm512_add_pd(acc, _mm512_loadu_pd(p + i));
+  }
+  const __m256d acc4 = _mm256_add_pd(_mm512_castpd512_pd256(acc),
+                                     _mm512_extractf64x4_pd(acc, 1));
+  const __m128d acc2 = _mm_add_pd(_mm256_castpd256_pd128(acc4),
+                                  _mm256_extractf128_pd(acc4, 1));
+  double s = _mm_cvtsd_f64(_mm_add_sd(acc2, _mm_unpackhi_pd(acc2, acc2)));
+  for (size_t i = body; i < n; ++i) s += p[i];
+  return s;
+}
+
+void add_f64(double* acc, const double* p, size_t n) {
+  const size_t body = n - n % 8;
+  for (size_t i = 0; i < body; i += 8) {
+    _mm512_storeu_pd(
+        acc + i, _mm512_add_pd(_mm512_loadu_pd(acc + i), _mm512_loadu_pd(p + i)));
+  }
+  for (size_t i = body; i < n; ++i) acc[i] += p[i];
+}
+
+void scale_to_u8(const double* src, uint8_t* dst, size_t n, double lo,
+                 double scale) {
+  const __m512d vlo = _mm512_set1_pd(lo);
+  const __m512d vscale = _mm512_set1_pd(scale);
+  const __m512d vhalf = _mm512_set1_pd(0.5);
+  const __m512d vzero = _mm512_setzero_pd();
+  const __m512d vmax = _mm512_set1_pd(255.0);
+  // 16 elements per iteration: two 8-wide convert pipelines, their i32
+  // results joined and narrowed by one VPMOVDB into a 16-byte store.
+  // Prefetch runs ~2 KB ahead: the convert pipeline otherwise keeps too few
+  // line fills in flight to reach DRAM bandwidth on a single core.
+  auto oct = [&](size_t i) {
+    __m512d y = _mm512_fmadd_pd(
+        _mm512_sub_pd(_mm512_loadu_pd(src + i), vlo), vscale, vhalf);
+    y = _mm512_max_pd(y, vzero);  // NaN -> 0 (VMAXPD returns 2nd op on NaN)
+    y = _mm512_min_pd(y, vmax);
+    return _mm512_cvttpd_epi32(y);  // eight in-range i32 in a ymm
+  };
+  const size_t body = n - n % 16;
+  for (size_t i = 0; i < body; i += 16) {
+    _mm_prefetch(reinterpret_cast<const char*>(src + i + 256), _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(src + i + 264), _MM_HINT_T0);
+    const __m512i d = _mm512_inserti64x4(_mm512_castsi256_si512(oct(i)),
+                                         oct(i + 8), 1);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm512_cvtepi32_epi8(d));
+  }
+  for (size_t i = body; i < n; ++i) {
+    double y = std::fma(src[i] - lo, scale, 0.5);
+    y = (y > 0.0) ? y : 0.0;
+    y = (y < 255.0) ? y : 255.0;
+    dst[i] = static_cast<uint8_t>(static_cast<int32_t>(y));
+  }
+}
+
+}  // namespace pico::tensor::simd::avx512
+
+#endif  // PICO_HAVE_AVX512

@@ -1,0 +1,116 @@
+// NEON backend (aarch64). Emulates the canonical EIGHT-lane association with
+// four float64x2_t accumulators (a = lanes {0,1}, b = {2,3}, c = {4,5},
+// d = {6,7}): stage one of the contract's reduction (j ? j+4) is a?c and
+// b?d, stage two combines those pairs, so results match the scalar
+// reference and the x86 backends bit-for-bit. NEON's vminq/vmaxq propagate
+// NaN (unlike MINPD), so the NaN-ignoring update rule is spelled out as
+// compare+select: vbslq(vcltq(v, acc), v, acc) is exactly
+// `(v < acc) ? v : acc` with NaN comparing false. scale_to_u8's fused op is
+// vfmaq_f64 — the same single-rounding fma as std::fma in the scalar twin.
+#include "tensor/simd/simd.hpp"
+
+#if defined(PICO_HAVE_NEON)
+
+#include <arm_neon.h>
+
+#include <cmath>
+#include <limits>
+
+namespace pico::tensor::simd::neon {
+
+MinMax64 minmax_f64(const double* p, size_t n) {
+  const double inf = std::numeric_limits<double>::infinity();
+  float64x2_t lo_a = vdupq_n_f64(inf), lo_b = lo_a, lo_c = lo_a, lo_d = lo_a;
+  float64x2_t hi_a = vdupq_n_f64(-inf), hi_b = hi_a, hi_c = hi_a, hi_d = hi_a;
+  const size_t body = n - n % 8;
+  for (size_t i = 0; i < body; i += 8) {
+    const float64x2_t va = vld1q_f64(p + i);
+    const float64x2_t vb = vld1q_f64(p + i + 2);
+    const float64x2_t vc = vld1q_f64(p + i + 4);
+    const float64x2_t vd = vld1q_f64(p + i + 6);
+    lo_a = vbslq_f64(vcltq_f64(va, lo_a), va, lo_a);
+    lo_b = vbslq_f64(vcltq_f64(vb, lo_b), vb, lo_b);
+    lo_c = vbslq_f64(vcltq_f64(vc, lo_c), vc, lo_c);
+    lo_d = vbslq_f64(vcltq_f64(vd, lo_d), vd, lo_d);
+    hi_a = vbslq_f64(vcgtq_f64(va, hi_a), va, hi_a);
+    hi_b = vbslq_f64(vcgtq_f64(vb, hi_b), vb, hi_b);
+    hi_c = vbslq_f64(vcgtq_f64(vc, hi_c), vc, hi_c);
+    hi_d = vbslq_f64(vcgtq_f64(vd, hi_d), vd, hi_d);
+  }
+  // Stage 1: lanes j ? j+4 -> (m0,m1) and (m2,m3); stage 2: the pairs;
+  // stage 3: the surviving two lanes; then the tail in index order.
+  const float64x2_t lo_m01 = vbslq_f64(vcltq_f64(lo_a, lo_c), lo_a, lo_c);
+  const float64x2_t lo_m23 = vbslq_f64(vcltq_f64(lo_b, lo_d), lo_b, lo_d);
+  const float64x2_t hi_m01 = vbslq_f64(vcgtq_f64(hi_a, hi_c), hi_a, hi_c);
+  const float64x2_t hi_m23 = vbslq_f64(vcgtq_f64(hi_b, hi_d), hi_b, hi_d);
+  const float64x2_t lo_pair =
+      vbslq_f64(vcltq_f64(lo_m01, lo_m23), lo_m01, lo_m23);
+  const float64x2_t hi_pair =
+      vbslq_f64(vcgtq_f64(hi_m01, hi_m23), hi_m01, hi_m23);
+  const double lo0 = vgetq_lane_f64(lo_pair, 0), lo1 = vgetq_lane_f64(lo_pair, 1);
+  const double hi0 = vgetq_lane_f64(hi_pair, 0), hi1 = vgetq_lane_f64(hi_pair, 1);
+  double min = (lo0 < lo1) ? lo0 : lo1;
+  double max = (hi0 > hi1) ? hi0 : hi1;
+  for (size_t i = body; i < n; ++i) {
+    const double v = p[i];
+    min = (v < min) ? v : min;
+    max = (v > max) ? v : max;
+  }
+  return {min, max};
+}
+
+double sum_f64(const double* p, size_t n) {
+  float64x2_t acc_a = vdupq_n_f64(0.0), acc_b = acc_a, acc_c = acc_a,
+              acc_d = acc_a;
+  const size_t body = n - n % 8;
+  for (size_t i = 0; i < body; i += 8) {
+    acc_a = vaddq_f64(acc_a, vld1q_f64(p + i));
+    acc_b = vaddq_f64(acc_b, vld1q_f64(p + i + 2));
+    acc_c = vaddq_f64(acc_c, vld1q_f64(p + i + 4));
+    acc_d = vaddq_f64(acc_d, vld1q_f64(p + i + 6));
+  }
+  const float64x2_t m01 = vaddq_f64(acc_a, acc_c);  // {l0+l4, l1+l5}
+  const float64x2_t m23 = vaddq_f64(acc_b, acc_d);  // {l2+l6, l3+l7}
+  const float64x2_t pair = vaddq_f64(m01, m23);     // {m0+m2, m1+m3}
+  double s = vgetq_lane_f64(pair, 0) + vgetq_lane_f64(pair, 1);
+  for (size_t i = body; i < n; ++i) s += p[i];
+  return s;
+}
+
+void add_f64(double* acc, const double* p, size_t n) {
+  const size_t body = n - n % 2;
+  for (size_t i = 0; i < body; i += 2) {
+    vst1q_f64(acc + i, vaddq_f64(vld1q_f64(acc + i), vld1q_f64(p + i)));
+  }
+  for (size_t i = body; i < n; ++i) acc[i] += p[i];
+}
+
+void scale_to_u8(const double* src, uint8_t* dst, size_t n, double lo,
+                 double scale) {
+  const float64x2_t vlo = vdupq_n_f64(lo);
+  const float64x2_t vscale = vdupq_n_f64(scale);
+  const float64x2_t vhalf = vdupq_n_f64(0.5);
+  const float64x2_t vzero = vdupq_n_f64(0.0);
+  const float64x2_t vmax = vdupq_n_f64(255.0);
+  const size_t body = n - n % 2;
+  for (size_t i = 0; i < body; i += 2) {
+    // vfmaq(half, x, scale) = half + x*scale, fused — the contract's fma.
+    float64x2_t y =
+        vfmaq_f64(vhalf, vsubq_f64(vld1q_f64(src + i), vlo), vscale);
+    y = vbslq_f64(vcgtq_f64(y, vzero), y, vzero);  // NaN -> 0
+    y = vbslq_f64(vcltq_f64(y, vmax), y, vmax);
+    const int64x2_t t = vcvtq_s64_f64(y);  // truncates toward zero
+    dst[i] = static_cast<uint8_t>(vgetq_lane_s64(t, 0));
+    dst[i + 1] = static_cast<uint8_t>(vgetq_lane_s64(t, 1));
+  }
+  for (size_t i = body; i < n; ++i) {
+    double y = std::fma(src[i] - lo, scale, 0.5);
+    y = (y > 0.0) ? y : 0.0;
+    y = (y < 255.0) ? y : 255.0;
+    dst[i] = static_cast<uint8_t>(static_cast<int32_t>(y));
+  }
+}
+
+}  // namespace pico::tensor::simd::neon
+
+#endif  // PICO_HAVE_NEON

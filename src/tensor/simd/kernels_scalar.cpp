@@ -1,0 +1,79 @@
+// Scalar backend: the portable reference every other backend must match
+// bit-for-bit. Horizontal reductions emulate the canonical eight-lane
+// association (see simd.hpp) instead of a plain left fold, so a host that
+// dispatches to AVX2/AVX-512/NEON and a host that stays scalar produce
+// identical bits. scale_to_u8 uses std::fma — exactly fused regardless of
+// hardware (glibc falls back to a correctly-rounded soft path on pre-FMA
+// CPUs) — to match the single-rounding vfmadd the vector backends emit.
+// Compiled with -ffp-contract=off: a compiler-contracted FMA anywhere else
+// would round differently from the vector backends' two-op sequences.
+#include "tensor/simd/simd.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace pico::tensor::simd::scalar {
+
+MinMax64 minmax_f64(const double* p, size_t n) {
+  const double inf = std::numeric_limits<double>::infinity();
+  double lo[8] = {inf, inf, inf, inf, inf, inf, inf, inf};
+  double hi[8] = {-inf, -inf, -inf, -inf, -inf, -inf, -inf, -inf};
+  const size_t body = n - n % 8;
+  for (size_t i = 0; i < body; i += 8) {
+    for (size_t j = 0; j < 8; ++j) {
+      const double v = p[i + j];
+      lo[j] = (v < lo[j]) ? v : lo[j];
+      hi[j] = (v > hi[j]) ? v : hi[j];
+    }
+  }
+  // 512-bit halving order: (0?4, 1?5, 2?6, 3?7), then (m0?m2, m1?m3), then
+  // the surviving pair, then the tail in index order.
+  double lo4[4], hi4[4];
+  for (size_t j = 0; j < 4; ++j) {
+    lo4[j] = (lo[j] < lo[j + 4]) ? lo[j] : lo[j + 4];
+    hi4[j] = (hi[j] > hi[j + 4]) ? hi[j] : hi[j + 4];
+  }
+  double lo02 = (lo4[0] < lo4[2]) ? lo4[0] : lo4[2];
+  double lo13 = (lo4[1] < lo4[3]) ? lo4[1] : lo4[3];
+  double min = (lo02 < lo13) ? lo02 : lo13;
+  double hi02 = (hi4[0] > hi4[2]) ? hi4[0] : hi4[2];
+  double hi13 = (hi4[1] > hi4[3]) ? hi4[1] : hi4[3];
+  double max = (hi02 > hi13) ? hi02 : hi13;
+  for (size_t i = body; i < n; ++i) {
+    const double v = p[i];
+    min = (v < min) ? v : min;
+    max = (v > max) ? v : max;
+  }
+  return {min, max};
+}
+
+double sum_f64(const double* p, size_t n) {
+  double lane[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  const size_t body = n - n % 8;
+  for (size_t i = 0; i < body; i += 8) {
+    for (size_t j = 0; j < 8; ++j) lane[j] += p[i + j];
+  }
+  double m0 = lane[0] + lane[4];
+  double m1 = lane[1] + lane[5];
+  double m2 = lane[2] + lane[6];
+  double m3 = lane[3] + lane[7];
+  double s = (m0 + m2) + (m1 + m3);
+  for (size_t i = body; i < n; ++i) s += p[i];
+  return s;
+}
+
+void add_f64(double* acc, const double* p, size_t n) {
+  for (size_t i = 0; i < n; ++i) acc[i] += p[i];
+}
+
+void scale_to_u8(const double* src, uint8_t* dst, size_t n, double lo,
+                 double scale) {
+  for (size_t i = 0; i < n; ++i) {
+    double y = std::fma(src[i] - lo, scale, 0.5);
+    y = (y > 0.0) ? y : 0.0;  // NaN compares false -> 0
+    y = (y < 255.0) ? y : 255.0;
+    dst[i] = static_cast<uint8_t>(static_cast<int32_t>(y));
+  }
+}
+
+}  // namespace pico::tensor::simd::scalar

@@ -1,0 +1,109 @@
+#pragma once
+// Vectorized primitives behind the tensor data-plane kernels (convert,
+// normalize, axis reductions). Four backends — scalar, AVX2, AVX-512, NEON —
+// share ONE canonical arithmetic contract so results are bit-exact across
+// backends, which in turn keeps the sequential/parallel parity guarantees
+// of tensor/ops.hpp intact no matter which backend the host dispatches to.
+//
+// Canonical contract (every backend implements exactly this):
+//  - min/max update rule is `m = (v < m) ? v : m` (resp. `>`): NaN inputs
+//    are ignored (comparison is false), matching the historical scalar scan.
+//  - Horizontal reductions (minmax_f64, sum_f64) use EIGHT lane
+//    accumulators, lane j consuming p[8*i + j], combined in three fixed
+//    stages: (l0?l4, l1?l5, l2?l6, l3?l7), then (m0?m2, m1?m3), then the
+//    surviving pair — the natural halving order of a 512-bit register (and
+//    of an AVX2 two-register / NEON four-register emulation) — followed by
+//    an in-order scalar pass over the n%8 tail. The scalar backend emulates
+//    the same eight-lane association, so finite sums agree to the last bit.
+//    One carve-out: when a sum's inputs contain NaN (or produce inf - inf),
+//    the result is NaN on every backend but its sign/payload bits are
+//    unspecified — IEEE 754 leaves NaN propagation to the implementation,
+//    and the compiler may legally swap the operands of a commutative `+` in
+//    the scalar reference while ADDPD propagates its *first* NaN operand.
+//  - scale_to_u8 computes y = fma(v - lo, scale, 0.5) — one explicit fused
+//    multiply-add, a SINGLE rounding, implemented as std::fma in the scalar
+//    backend and the native FMA instruction in the vector backends — then
+//    clamps to [0, 255] with NaN mapping to 0 (`y = (y > 0) ? y : 0` then
+//    `y = (y < 255) ? y : 255`) and truncates. For NaN/inf this replaces
+//    what used to be undefined behaviour with a defined result.
+//  - Vertical ops (add_f64, scale_to_u8) are elementwise; parity needs only
+//    identical per-element arithmetic. All backend translation units compile
+//    with -ffp-contract=off so the ONLY fused op is the explicit one above —
+//    the compiler may not contract anything else behind our back.
+//
+// Dispatch: resolved once per process. `PICO_SIMD=scalar|avx2|avx512|neon|
+// native` forces a backend (forcing an unavailable one falls back to
+// scalar); otherwise the best backend the CPU supports wins
+// (__builtin_cpu_supports on x86, compile-time __ARM_NEON on aarch64).
+#include <cstddef>
+#include <cstdint>
+
+namespace pico::tensor::simd {
+
+enum class Level { kScalar = 0, kAvx2 = 1, kNeon = 2, kAvx512 = 3 };
+
+/// Backend chosen for this process (env override, else CPU detection).
+Level active_level();
+const char* level_name(Level level);
+/// level_name(active_level()) — what benches/telemetry report.
+const char* active_level_name();
+
+struct MinMax64 {
+  double min;
+  double max;
+};
+
+/// Fused min+max scan, NaN-ignoring. Empty input -> {+inf, -inf}.
+MinMax64 minmax_f64(const double* p, size_t n);
+
+/// Eight-lane-associated sum (see contract above). Empty input -> 0.0.
+double sum_f64(const double* p, size_t n);
+
+/// acc[i] += p[i] for i < n.
+void add_f64(double* acc, const double* p, size_t n);
+
+/// dst[i] = saturating-u8(fma(src[i] - lo, scale, 0.5)); NaN -> 0.
+void scale_to_u8(const double* src, uint8_t* dst, size_t n, double lo,
+                 double scale);
+
+/// Scalar reference twins — always available regardless of dispatch, so
+/// parity tests can pit the active backend against them on any host.
+namespace scalar {
+MinMax64 minmax_f64(const double* p, size_t n);
+double sum_f64(const double* p, size_t n);
+void add_f64(double* acc, const double* p, size_t n);
+void scale_to_u8(const double* src, uint8_t* dst, size_t n, double lo,
+                 double scale);
+}  // namespace scalar
+
+#if defined(PICO_HAVE_AVX2)
+namespace avx2 {
+MinMax64 minmax_f64(const double* p, size_t n);
+double sum_f64(const double* p, size_t n);
+void add_f64(double* acc, const double* p, size_t n);
+void scale_to_u8(const double* src, uint8_t* dst, size_t n, double lo,
+                 double scale);
+}  // namespace avx2
+#endif
+
+#if defined(PICO_HAVE_AVX512)
+namespace avx512 {
+MinMax64 minmax_f64(const double* p, size_t n);
+double sum_f64(const double* p, size_t n);
+void add_f64(double* acc, const double* p, size_t n);
+void scale_to_u8(const double* src, uint8_t* dst, size_t n, double lo,
+                 double scale);
+}  // namespace avx512
+#endif
+
+#if defined(PICO_HAVE_NEON)
+namespace neon {
+MinMax64 minmax_f64(const double* p, size_t n);
+double sum_f64(const double* p, size_t n);
+void add_f64(double* acc, const double* p, size_t n);
+void scale_to_u8(const double* src, uint8_t* dst, size_t n, double lo,
+                 double scale);
+}  // namespace neon
+#endif
+
+}  // namespace pico::tensor::simd

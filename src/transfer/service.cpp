@@ -583,22 +583,39 @@ void TransferService::finish_file(const TaskId& id, const FileSpec& spec,
 
   // Deliver to the destination store. Real content rides along (and survives
   // a compression round-trip bit-exactly); virtual objects carry size + crc.
+  // Either way the landing checksum is produced by the pass that lands the
+  // bytes (crc64_copy, or the decode verify scan) instead of a second
+  // land-then-scan traversal inside Store::put.
   util::Status put = util::Status::ok();
   if (obj.value()->has_content()) {
-    std::vector<uint8_t> content = *obj.value()->content;
+    const std::vector<uint8_t>& src_bytes = *obj.value()->content;
+    std::vector<uint8_t> content;
+    uint64_t landed_crc = 0;
     if (!task.request.codec.empty()) {
       const auto* codec =
           compress::CodecRegistry::standard().find(task.request.codec);
       auto round_trip = compress::decode_frame(
           compress::CodecRegistry::standard(),
-          compress::encode_frame(*codec, content));
+          compress::encode_frame(*codec, src_bytes), &landed_crc);
       if (!round_trip) {
         fail_task(id, "codec round-trip failed: " + round_trip.error().message);
         return;
       }
       content = std::move(round_trip).value();
+    } else {
+      content.resize(src_bytes.size());
+      landed_crc =
+          util::crc64_copy(content.data(), src_bytes.data(), src_bytes.size());
     }
-    put = dst.store->put(spec.dst_path, std::move(content), engine_->now());
+    put = dst.store->put_with_crc(spec.dst_path, std::move(content),
+                                  landed_crc, engine_->now());
+    if (put && telemetry_ != nullptr) {
+      telemetry_->metrics
+          .counter("transfer_crc_fused_total",
+                   "Landings whose checksum was fused into the landing pass "
+                   "(full re-scan traversals saved)")
+          .inc();
+    }
   } else {
     put = dst.store->put_virtual(spec.dst_path, obj.value()->size,
                                  obj.value()->crc64, engine_->now());

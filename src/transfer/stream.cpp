@@ -119,15 +119,35 @@ void StreamService::activate(const SessionId& id) {
   }
 }
 
+std::vector<net::Frame> StreamService::publish_next(Session& s) {
+  const instrument::FrameSpec spec = s.source->frame(s.next_publish);
+  const int64_t off = s.source->offset(spec.index);
+  ++s.next_publish;
+  auto obj = wiring_.src_store->get(s.request.src_path);
+  if (obj && obj.value()->has_content() &&
+      off + spec.bytes <=
+          static_cast<int64_t>(obj.value()->content->size())) {
+    // Real staged bytes: land the slice into a pooled buffer with the CRC-64
+    // stamp fused into the copy; every copy of the frame (ring, reorder
+    // buffers, spill) then shares that one lease.
+    if (auto* c = counter("stream_payload_frames_total",
+                          "Frames published with pooled zero-copy payloads",
+                          {})) {
+      c->inc();
+    }
+    return s.channel->publish(std::span<const uint8_t>(
+        obj.value()->content->data() + off, static_cast<size_t>(spec.bytes)));
+  }
+  return s.channel->publish(spec.bytes, spec.crc64);
+}
+
 void StreamService::publish_tick(const SessionId& id) {
   auto it = sessions_.find(id);
   if (it == sessions_.end() || finished(it->second)) return;
   Session& s = it->second;
   if (s.info.fallback || s.next_publish >= s.source->frame_count()) return;
 
-  instrument::FrameSpec spec = s.source->frame(s.next_publish);
-  std::vector<net::Frame> evicted = s.channel->publish(spec.bytes, spec.crc64);
-  ++s.next_publish;
+  std::vector<net::Frame> evicted = publish_next(s);
   absorb_spill(id, evicted);
   if (sessions_.find(id) == sessions_.end() || finished(it->second) ||
       it->second.info.fallback) {
@@ -163,10 +183,7 @@ void StreamService::pump(const SessionId& id) {
     if (!live && s.next_send >= s.next_publish) {
       // Paced replay: the detector emits exactly when the wire can take the
       // frame, so publish on demand.
-      instrument::FrameSpec spec = s.source->frame(s.next_publish);
-      std::vector<net::Frame> evicted =
-          s.channel->publish(spec.bytes, spec.crc64);
-      ++s.next_publish;
+      std::vector<net::Frame> evicted = publish_next(s);
       absorb_spill(id, evicted);
       if (sessions_.find(id) == sessions_.end() || finished(s) ||
           s.info.fallback) {

@@ -191,6 +191,12 @@ class StreamService {
   /// pipeline allow. Live mode only ships already-published frames here.
   void pump(const SessionId& id);
   void publish_tick(const SessionId& id);  ///< live-mode detector cadence
+  /// Emit the next frame onto the session's channel. When the staged source
+  /// object carries real bytes, the frame slice is published through the
+  /// zero-copy pooled-payload path (CRC fused into the landing copy);
+  /// otherwise the metadata-only overload is used. Advances next_publish and
+  /// returns evicted frames the spill path must absorb.
+  std::vector<net::Frame> publish_next(Session& s);
   void send_frame(const SessionId& id, const net::Frame& f, bool retransmit);
   void arrival(const SessionId& id, const net::Frame& f);
   void deliver_frame(const SessionId& id, const net::Frame& f);

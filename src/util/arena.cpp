@@ -1,0 +1,119 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace pico::util {
+
+namespace {
+
+size_t align_up(size_t n, size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+void* Arena::allocate(size_t n, size_t align) {
+  // operator new[] only guarantees 16-byte alignment; align the absolute
+  // address (base + used), not the offset, so every allocation lands on the
+  // requested boundary regardless of where the slab itself starts.
+  for (; cursor_ < blocks_.size(); ++cursor_) {
+    Block& b = blocks_[cursor_];
+    const uintptr_t base = reinterpret_cast<uintptr_t>(b.data.get());
+    const size_t start = align_up(base + b.used, align) - base;
+    if (start + n <= b.size) {
+      b.used = start + n;
+      allocated_ += n;
+      return b.data.get() + start;
+    }
+  }
+  const size_t slab = std::max(block_bytes_, align_up(n, align) + align);
+  Block b;
+  b.data = std::make_unique<uint8_t[]>(slab);
+  b.size = slab;
+  blocks_.push_back(std::move(b));
+  cursor_ = blocks_.size() - 1;
+  Block& nb = blocks_.back();
+  const uintptr_t base = reinterpret_cast<uintptr_t>(nb.data.get());
+  const size_t start = align_up(base, align) - base;
+  nb.used = start + n;
+  allocated_ += n;
+  return nb.data.get() + start;
+}
+
+void Arena::reset() {
+  for (Block& b : blocks_) b.used = 0;
+  cursor_ = 0;
+  allocated_ = 0;
+}
+
+size_t Arena::reserved_bytes() const {
+  size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+BufferPool::Lease& BufferPool::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    release();
+    pool_ = other.pool_;
+    buf_ = std::move(other.buf_);
+    size_ = other.size_;
+    other.pool_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void BufferPool::Lease::release() {
+  if (pool_ != nullptr) {
+    pool_->give_back(std::move(buf_));
+    pool_ = nullptr;
+    size_ = 0;
+  }
+}
+
+size_t BufferPool::size_class(size_t n) {
+  size_t c = 4096;
+  while (c < n) c <<= 1;
+  return c;
+}
+
+BufferPool::Lease BufferPool::acquire(size_t n) {
+  const size_t cls = size_class(n);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.acquired;
+  auto it = free_.find(cls);
+  if (it != free_.end() && !it->second.empty()) {
+    std::vector<uint8_t> buf = std::move(it->second.back());
+    it->second.pop_back();
+    stats_.cached_bytes -= buf.size();
+    ++stats_.reused;
+    return Lease(this, std::move(buf), n);
+  }
+  ++stats_.allocated;
+  return Lease(this, std::vector<uint8_t>(cls), n);
+}
+
+void BufferPool::give_back(std::vector<uint8_t> buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& list = free_[buf.size()];
+  if (list.size() >= max_cached_per_class_) {
+    ++stats_.dropped;
+    return;  // buf freed on scope exit
+  }
+  stats_.cached_bytes += buf.size();
+  list.push_back(std::move(buf));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+BufferPool& shared_buffer_pool() {
+  static BufferPool* kPool = new BufferPool();
+  return *kPool;
+}
+
+}  // namespace pico::util

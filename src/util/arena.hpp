@@ -1,0 +1,133 @@
+#pragma once
+// Arena + buffer pool backing the zero-copy chunk path.
+//
+// Arena is a bump allocator for short-lived scratch (codec transpose
+// buffers, per-block compression staging): allocations are O(1) pointer
+// bumps, individually un-freeable, and all reclaimed at once by reset(),
+// which retains the underlying blocks so steady-state use never touches
+// malloc. Not thread-safe — one arena per thread (thread_local) or per
+// single-threaded pipeline stage.
+//
+// BufferPool recycles whole chunk/frame buffers between uses through
+// size-class free lists. acquire(n) returns a move-only RAII Lease whose
+// destructor gives the buffer back; wrap a Lease in a shared_ptr when
+// several frames alias one payload. Thread-safe. Ownership contract: the
+// Lease (or its shared_ptr wrapper) is the single owner — consumers hold
+// spans into it and must not outlive it, which the FrameChannel/transfer
+// call graphs guarantee by construction (frames are dropped before their
+// channel, landings complete before the service resets).
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace pico::util {
+
+class Arena {
+ public:
+  /// block_bytes: granularity of the backing slabs (default 1 MiB).
+  explicit Arena(size_t block_bytes = 1 << 20) : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Cache-line-aligned by default. Requests larger than the slab size get
+  /// a dedicated slab. Never returns nullptr (n == 0 yields a valid,
+  /// unusable pointer).
+  void* allocate(size_t n, size_t align = 64);
+
+  uint8_t* allocate_bytes(size_t n) {
+    return static_cast<uint8_t*>(allocate(n, 64));
+  }
+  std::span<uint8_t> allocate_span(size_t n) {
+    return {allocate_bytes(n), n};
+  }
+
+  /// Drops every allocation but keeps the slabs for reuse.
+  void reset();
+
+  size_t allocated_bytes() const { return allocated_; }  ///< since reset()
+  size_t reserved_bytes() const;                         ///< slab capacity
+  size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  std::vector<Block> blocks_;
+  size_t block_bytes_;
+  size_t cursor_ = 0;  ///< index of the block currently being bumped
+  size_t allocated_ = 0;
+};
+
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t acquired = 0;   ///< total acquire() calls
+    uint64_t reused = 0;     ///< served from a free list (no malloc)
+    uint64_t allocated = 0;  ///< served by a fresh allocation
+    uint64_t dropped = 0;    ///< returns discarded (free list full)
+    size_t cached_bytes = 0; ///< bytes parked across all free lists
+  };
+
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    uint8_t* data() { return buf_.data(); }
+    const uint8_t* data() const { return buf_.data(); }
+    size_t size() const { return size_; }  ///< requested size, not capacity
+    bool valid() const { return pool_ != nullptr; }
+    std::span<uint8_t> span() { return {buf_.data(), size_}; }
+    std::span<const uint8_t> span() const { return {buf_.data(), size_}; }
+
+   private:
+    friend class BufferPool;
+    Lease(BufferPool* pool, std::vector<uint8_t> buf, size_t size)
+        : pool_(pool), buf_(std::move(buf)), size_(size) {}
+    void release();
+
+    BufferPool* pool_ = nullptr;
+    std::vector<uint8_t> buf_;
+    size_t size_ = 0;
+  };
+
+  /// max_cached_per_class: free-list depth before returns are dropped.
+  explicit BufferPool(size_t max_cached_per_class = 8)
+      : max_cached_per_class_(max_cached_per_class) {}
+
+  /// A buffer of at least n bytes (capacity is the next power-of-two size
+  /// class, min 4 KiB); contents are unspecified — callers overwrite.
+  Lease acquire(size_t n);
+
+  Stats stats() const;
+
+  /// Size class acquire(n) draws from (exposed for tests).
+  static size_t size_class(size_t n);
+
+ private:
+  friend class Lease;
+  void give_back(std::vector<uint8_t> buf);
+
+  mutable std::mutex mu_;
+  std::map<size_t, std::vector<std::vector<uint8_t>>> free_;
+  size_t max_cached_per_class_;
+  Stats stats_;
+};
+
+/// Shared process-wide pool for chunk/frame payloads (lazily constructed,
+/// never destroyed — mirrors util::shared_pool()).
+BufferPool& shared_buffer_pool();
+
+}  // namespace pico::util

@@ -1,6 +1,7 @@
 #include "util/crc64.hpp"
 
 #include <array>
+#include <cstring>
 
 namespace pico::util {
 namespace {
@@ -67,6 +68,35 @@ void Crc64::update(const void* data, size_t n) {
     crc = t[0][(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
   }
   state_ = crc;
+}
+
+void Crc64::update_copy(void* dst, const void* src, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(src);
+  auto* q = static_cast<uint8_t*>(dst);
+  const auto& t = tables();
+  uint64_t crc = state_;
+  while (n >= 8) {
+    const uint64_t word = load_le64(p);
+    std::memcpy(q, p, 8);  // single 8-byte store on LE targets
+    const uint64_t x = crc ^ word;
+    crc = t[7][x & 0xFF] ^ t[6][(x >> 8) & 0xFF] ^ t[5][(x >> 16) & 0xFF] ^
+          t[4][(x >> 24) & 0xFF] ^ t[3][(x >> 32) & 0xFF] ^
+          t[2][(x >> 40) & 0xFF] ^ t[1][(x >> 48) & 0xFF] ^ t[0][x >> 56];
+    p += 8;
+    q += 8;
+    n -= 8;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    q[i] = p[i];
+    crc = t[0][(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  state_ = crc;
+}
+
+uint64_t crc64_copy(void* dst, const void* src, size_t n) {
+  Crc64 c;
+  c.update_copy(dst, src, n);
+  return c.value();
 }
 
 uint64_t crc64(const void* data, size_t n) {

@@ -18,10 +18,18 @@ uint64_t crc64(const std::vector<uint8_t>& v);
 /// rewrite against the value baked into existing EMD files.
 uint64_t crc64_bytewise(const void* data, size_t n);
 
+/// Fused copy + checksum: copies n bytes from src to dst (which must not
+/// overlap) and returns crc64(src, n), touching the source exactly once.
+/// The data plane uses this wherever bytes were previously landed with
+/// memcpy and then re-scanned for their checksum.
+uint64_t crc64_copy(void* dst, const void* src, size_t n);
+
 /// Incremental CRC-64 for streaming (chunked transfer) use.
 class Crc64 {
  public:
   void update(const void* data, size_t n);
+  /// update(src, n) fused with a copy to dst (see crc64_copy).
+  void update_copy(void* dst, const void* src, size_t n);
   uint64_t value() const { return ~state_; }
   void reset() { state_ = ~0ull; }
 

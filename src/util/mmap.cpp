@@ -1,0 +1,83 @@
+#include "util/mmap.hpp"
+
+#include <utility>
+
+#include "util/bytes.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PICO_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace pico::util {
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+    fallback_ = std::move(other.fallback_);
+    if (!mapped_) data_ = fallback_.data();
+  }
+  return *this;
+}
+
+void MappedFile::unmap() {
+#if defined(PICO_HAVE_MMAP)
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(data_, size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  fallback_.clear();
+}
+
+MappedFile::~MappedFile() { unmap(); }
+
+Result<MappedFile> MappedFile::open(const std::string& path) {
+#if defined(PICO_HAVE_MMAP)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Result<MappedFile>::err("cannot open " + path, "io");
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Result<MappedFile>::err("cannot stat " + path, "io");
+  }
+  MappedFile mf;
+  mf.size_ = static_cast<size_t>(st.st_size);
+  if (mf.size_ == 0) {
+    // mmap(0) is EINVAL; an empty file maps to an empty span.
+    ::close(fd);
+    mf.mapped_ = true;
+    return Result<MappedFile>::ok(std::move(mf));
+  }
+  void* p = ::mmap(nullptr, mf.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (p == MAP_FAILED) {
+    return Result<MappedFile>::err("mmap failed for " + path, "io");
+  }
+  mf.data_ = p;
+  mf.mapped_ = true;
+  return Result<MappedFile>::ok(std::move(mf));
+#else
+  auto bytes = read_file(path);
+  if (!bytes) {
+    return Result<MappedFile>::err(bytes.error().message, "io");
+  }
+  MappedFile mf;
+  mf.fallback_ = std::move(bytes).value();
+  mf.data_ = mf.fallback_.data();
+  mf.size_ = mf.fallback_.size();
+  return Result<MappedFile>::ok(std::move(mf));
+#endif
+}
+
+}  // namespace pico::util

@@ -1,0 +1,45 @@
+#pragma once
+// Read-only memory-mapped file for zero-copy EMD loads: the kernel pages
+// bytes in on demand and the single traversal that touches them is the
+// CRC-verify pass, instead of read()-into-vector + copy-per-dataset +
+// CRC scan. Falls back to a heap read on platforms without mmap (mapped()
+// reports which path was taken; the bytes() contract is identical).
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace pico::util {
+
+class MappedFile {
+ public:
+  static Result<MappedFile> open(const std::string& path);
+
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  std::span<const uint8_t> bytes() const {
+    return {static_cast<const uint8_t*>(data_), size_};
+  }
+  size_t size() const { return size_; }
+  /// True when the bytes live in an actual mapping (false: heap fallback).
+  bool mapped() const { return mapped_; }
+
+ private:
+  void unmap();
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<uint8_t> fallback_;  ///< owns the bytes when !mapped_
+};
+
+}  // namespace pico::util

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "tensor/ops.hpp"
+#include "tensor/simd/simd.hpp"
 
 namespace pico::video {
 
@@ -41,44 +42,49 @@ tensor::Tensor<uint8_t> convert_naive(const tensor::Tensor<double>& stack) {
   return out;
 }
 
-tensor::Tensor<uint8_t> convert_fast(const tensor::Tensor<double>& stack) {
+void convert_fast_into(const tensor::Tensor<double>& stack,
+                       tensor::Tensor<uint8_t>& out) {
   assert(stack.rank() == 3);
-  tensor::Tensor<uint8_t> out(stack.shape());
+  assert(out.shape() == stack.shape());
   auto src = stack.data();
   auto dst = out.data();
-  if (src.empty()) return out;
+  if (src.empty()) return;
 
-  double lo = src[0], hi = src[0];
-  for (double v : src) {
-    lo = std::min(lo, v);
-    hi = std::max(hi, v);
-  }
-  double scale = hi > lo ? 255.0 / (hi - lo) : 0.0;
-  for (size_t i = 0; i < src.size(); ++i) {
-    double scaled = (src[i] - lo) * scale;
-    dst[i] = static_cast<uint8_t>(scaled + 0.5);  // already within [0, 255]
-  }
+  tensor::simd::MinMax64 mm = tensor::simd::minmax_f64(src.data(), src.size());
+  double scale = mm.max > mm.min ? 255.0 / (mm.max - mm.min) : 0.0;
+  tensor::simd::scale_to_u8(src.data(), dst.data(), src.size(), mm.min, scale);
+}
+
+void convert_parallel_into(const tensor::Tensor<double>& stack,
+                           tensor::Tensor<uint8_t>& out,
+                           util::ThreadPool& pool) {
+  assert(stack.rank() == 3);
+  assert(out.shape() == stack.shape());
+  auto src = stack.data();
+  auto dst = out.data();
+  if (src.empty()) return;
+
+  tensor::MinMax mm = tensor::minmax_value(stack, pool);
+  double lo = mm.min;
+  double scale = mm.max > lo ? 255.0 / (mm.max - lo) : 0.0;
+  // Cache-line-aligned grain: chunk edges never split a 64-byte dst line.
+  size_t grain = std::max<size_t>(1, src.size() / (4 * pool.thread_count()));
+  grain = ((grain + 63) / 64) * 64;
+  pool.parallel_chunks(src.size(), grain, [&](size_t b, size_t e) {
+    tensor::simd::scale_to_u8(src.data() + b, dst.data() + b, e - b, lo, scale);
+  });
+}
+
+tensor::Tensor<uint8_t> convert_fast(const tensor::Tensor<double>& stack) {
+  tensor::Tensor<uint8_t> out(stack.shape());
+  convert_fast_into(stack, out);
   return out;
 }
 
 tensor::Tensor<uint8_t> convert_parallel(const tensor::Tensor<double>& stack,
                                          util::ThreadPool& pool) {
-  assert(stack.rank() == 3);
   tensor::Tensor<uint8_t> out(stack.shape());
-  auto src = stack.data();
-  auto dst = out.data();
-  if (src.empty()) return out;
-
-  tensor::MinMax mm = tensor::minmax_value(stack, pool);
-  double lo = mm.min;
-  double scale = mm.max > lo ? 255.0 / (mm.max - lo) : 0.0;
-  size_t grain = std::max<size_t>(1, src.size() / (4 * pool.thread_count()));
-  pool.parallel_chunks(src.size(), grain, [&](size_t b, size_t e) {
-    for (size_t i = b; i < e; ++i) {
-      double scaled = (src[i] - lo) * scale;
-      dst[i] = static_cast<uint8_t>(scaled + 0.5);
-    }
-  });
+  convert_parallel_into(stack, out, pool);
   return out;
 }
 

@@ -29,4 +29,16 @@ tensor::Tensor<uint8_t> convert_fast(const tensor::Tensor<double>& stack);
 tensor::Tensor<uint8_t> convert_parallel(const tensor::Tensor<double>& stack,
                                          util::ThreadPool& pool);
 
+/// Output-reuse twins of convert_fast / convert_parallel: write into a
+/// caller-owned tensor whose shape matches the stack (asserted). The pooled
+/// streaming path hands frames the same destination buffers repeatedly, so
+/// skipping the per-stack allocation (and its zero-fill page faults) is
+/// where the steady-state throughput lives. Output bytes are identical to
+/// the allocating overloads.
+void convert_fast_into(const tensor::Tensor<double>& stack,
+                       tensor::Tensor<uint8_t>& out);
+void convert_parallel_into(const tensor::Tensor<double>& stack,
+                           tensor::Tensor<uint8_t>& out,
+                           util::ThreadPool& pool);
+
 }  // namespace pico::video

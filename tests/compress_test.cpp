@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "compress/codec.hpp"
+#include "util/crc64.hpp"
 #include "util/rng.hpp"
 
 namespace pico::compress {
@@ -218,6 +219,51 @@ TEST(Stats, RatioComputation) {
   EXPECT_DOUBLE_EQ(s.ratio(), 4.0);
   CompressionStats zero{"x", 10, 0};
   EXPECT_DOUBLE_EQ(zero.ratio(), 0.0);
+}
+
+TEST(Frame, DecodeReportsVerifiedPayloadCrc) {
+  util::Rng rng(0xF00D);
+  Bytes payload(5'000);
+  for (auto& b : payload) b = static_cast<uint8_t>(rng.next_u64() & 0x0F);
+  Bytes frame = encode_frame(LzCodec{}, payload);
+  uint64_t crc = 0;
+  auto out = decode_frame(CodecRegistry::standard(), frame, &crc);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out.value(), payload);
+  EXPECT_EQ(crc, util::crc64(payload));
+  // crc_out is optional; the plain call still works.
+  EXPECT_TRUE(decode_frame(CodecRegistry::standard(), frame));
+}
+
+TEST(Frame, DecodeFrameViewOnSubspan) {
+  Bytes payload{1, 2, 3, 4, 5, 6, 7, 8};
+  Bytes frame = encode_frame(NullCodec{}, payload);
+  // Embed the frame mid-buffer; decode from the non-owning slice.
+  Bytes stream;
+  stream.insert(stream.end(), {0xAA, 0xBB});
+  stream.insert(stream.end(), frame.begin(), frame.end());
+  uint64_t crc = 0;
+  auto out = decode_frame_view(CodecRegistry::standard(),
+                               ByteView(stream.data() + 2, frame.size()),
+                               &crc);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out.value(), payload);
+  EXPECT_EQ(crc, util::crc64(payload));
+}
+
+TEST(Frame, CompressAcceptsViews) {
+  // compress(ByteView) must behave identically on an owned vector and on a
+  // slice of a larger mapped-style buffer.
+  Bytes big(3'000, 0x42);
+  big.push_back(0x43);
+  for (const Codec* codec : {CodecRegistry::standard().find("rle"),
+                             CodecRegistry::standard().find("delta"),
+                             CodecRegistry::standard().find("lz")}) {
+    ASSERT_NE(codec, nullptr);
+    Bytes from_vec = codec->compress(big);
+    Bytes from_view = codec->compress(ByteView(big.data(), big.size()));
+    EXPECT_EQ(from_vec, from_view) << codec->name();
+  }
 }
 
 }  // namespace

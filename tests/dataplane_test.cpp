@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstring>
 #include <memory>
+#include <tuple>
 #include <vector>
 
 #include "compress/codec.hpp"
@@ -186,6 +187,26 @@ TEST(DataplaneParity, SumKeepAxis3MatchesAllKeepsAllWidths) {
       auto par = tensor::sum_keep_axis3(cube, keep, pool);
       EXPECT_EQ(par.storage(), seq.storage())
           << "keep " << keep << " width " << width;
+    }
+  }
+}
+
+// The false-sharing fix partitions the keep==2 output row on cache-line
+// boundaries (aligned_grain). Partitioning is a pure scheduling choice, so
+// results must stay bit-identical for long spectra (many line-sized chunks),
+// spectra shorter than one cache line, and lengths with ragged tails.
+TEST(DataplaneParity, SumKeepSpectrumAlignedChunksStayBitIdentical) {
+  for (auto [d0, d1, d2] : {std::tuple<size_t, size_t, size_t>{4, 6, 4096},
+                            {3, 5, 3},     // shorter than a cache line
+                            {2, 2, 65},    // one line + 1-element tail
+                            {1, 1, 1037}}) {
+    auto cube = fuzz_tensor({d0, d1, d2}, d2 * 31 + d1);
+    auto seq = tensor::sum_keep_axis3(cube, 2);
+    for (size_t width : test_widths()) {
+      util::ThreadPool pool(width);
+      auto par = tensor::sum_keep_axis3(cube, 2, pool);
+      EXPECT_EQ(par.storage(), seq.storage())
+          << d0 << "x" << d1 << "x" << d2 << " width " << width;
     }
   }
 }

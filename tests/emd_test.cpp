@@ -2,11 +2,13 @@
 // detection, schema conventions, fuzz robustness.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "emd/file.hpp"
 #include "emd/schema.hpp"
 #include "tensor/tensor.hpp"
+#include "util/bytes.hpp"
 #include "util/rng.hpp"
 
 namespace pico::emd {
@@ -310,6 +312,85 @@ TEST(Hmsa, MetadataOnlyFileHasEmptyBlob) {
   auto back = from_hmsa(pair.value());
   ASSERT_TRUE(back);
   EXPECT_EQ(back.value().root.attrs.at("format").as_string(), "EMD-lite");
+}
+
+// ------------------------------------------------------- zero-copy loads ----
+
+TEST(EmdMapped, LoadMappedEqualsHeapLoad) {
+  File f = sample_file();
+  std::string path = testing::TempDir() + "/pico_emd_mapped.emd";
+  ASSERT_TRUE(f.save(path));
+
+  auto heap = File::load(path);
+  auto mapped = File::load_mapped(path);
+  ASSERT_TRUE(heap);
+  ASSERT_TRUE(mapped);
+
+  const Dataset* hd = heap.value().root.find_dataset("data/signal0/data");
+  const Dataset* md = mapped.value().root.find_dataset("data/signal0/data");
+  ASSERT_NE(hd, nullptr);
+  ASSERT_NE(md, nullptr);
+  // Heap load owns its payload bytes; the mapped load aliases the mapping.
+  EXPECT_TRUE(hd->payload_owned());
+  EXPECT_FALSE(md->payload_owned());
+  auto hraw = hd->raw();
+  auto mraw = md->raw();
+  ASSERT_EQ(hraw.size(), mraw.size());
+  EXPECT_TRUE(std::equal(hraw.begin(), hraw.end(), mraw.begin()));
+  // Typed reads copy out of the view transparently.
+  auto cube = md->as<double>();
+  ASSERT_TRUE(cube);
+  EXPECT_DOUBLE_EQ(cube.value()[3], 1.5);
+  // Round-trip serialization from views matches the original bytes.
+  EXPECT_EQ(mapped.value().to_bytes(), f.to_bytes());
+}
+
+TEST(EmdMapped, ViewsOutliveTheFileObject) {
+  File f = sample_file();
+  std::string path = testing::TempDir() + "/pico_emd_mapped_life.emd";
+  ASSERT_TRUE(f.save(path));
+
+  Dataset stolen;
+  {
+    auto mapped = File::load_mapped(path);
+    ASSERT_TRUE(mapped);
+    auto it = mapped.value().root.find_group("calibration");
+    ASSERT_NE(it, nullptr);
+    stolen = it->datasets.at("gains");  // copies the view + co-owns mapping
+  }  // File (and its other datasets) destroyed; mapping must stay alive
+  auto raw = stolen.raw();
+  ASSERT_EQ(raw.size(), 5 * sizeof(uint16_t));
+  auto gains = stolen.as<uint16_t>();
+  ASSERT_TRUE(gains);
+  EXPECT_EQ(gains.value()[4], 400);
+}
+
+TEST(EmdMapped, HeaderOnlyMappedRead) {
+  File f = sample_file();
+  std::string path = testing::TempDir() + "/pico_emd_mapped_hdr.emd";
+  ASSERT_TRUE(f.save(path));
+  auto mapped = File::load_mapped(path, /*with_payload=*/false);
+  ASSERT_TRUE(mapped);
+  const Dataset* ds = mapped.value().root.find_dataset("data/signal0/data");
+  ASSERT_NE(ds, nullptr);
+  EXPECT_FALSE(ds->payload_loaded());
+  EXPECT_EQ(ds->shape(), (tensor::Shape{2, 3, 4}));
+  EXPECT_NE(ds->crc(), 0u);
+}
+
+TEST(EmdMapped, DetectsCorruptionThroughTheView) {
+  File f = sample_file();
+  auto bytes = f.to_bytes();
+  bytes.back() ^= 0xFF;  // flip a payload byte
+  std::string path = testing::TempDir() + "/pico_emd_mapped_bad.emd";
+  ASSERT_TRUE(util::write_file(path, bytes));
+  auto mapped = File::load_mapped(path);
+  ASSERT_FALSE(mapped);
+  EXPECT_EQ(mapped.error().code, "corrupt");
+}
+
+TEST(EmdMapped, MissingFileIsError) {
+  EXPECT_FALSE(File::load_mapped(testing::TempDir() + "/pico_no_such.emd"));
 }
 
 }  // namespace

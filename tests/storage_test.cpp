@@ -22,6 +22,30 @@ TEST(Store, PutGetRealContent) {
   EXPECT_DOUBLE_EQ(obj.value()->created.seconds(), 1.0);
 }
 
+TEST(Store, PutWithCrcTrustsTheFusedChecksum) {
+  Store store("test", 1000);
+  std::vector<uint8_t> data = {9, 8, 7, 6, 5};
+  const uint64_t crc = util::crc64(data);
+  ASSERT_TRUE(store.put_with_crc("fused.emd", data, crc, at(2)));
+  auto obj = store.get("fused.emd");
+  ASSERT_TRUE(obj);
+  EXPECT_EQ(obj.value()->crc64, crc);
+  EXPECT_EQ(obj.value()->stored_crc64, crc);
+  EXPECT_TRUE(obj.value()->intact());
+  EXPECT_TRUE(store.verify("fused.emd").value());
+
+  // A wrong declared checksum is NOT caught at write time (the whole point
+  // is skipping the scan): the store trusts it as both manifest and media
+  // checksum. The fused callers compute the CRC from the landed bytes
+  // themselves (crc64_copy / decode_frame), so they cannot declare wrong —
+  // only a content rescan would expose a lie.
+  ASSERT_TRUE(store.put_with_crc("lied.emd", data, crc ^ 1, at(3)));
+  auto lied = store.get("lied.emd");
+  ASSERT_TRUE(lied);
+  EXPECT_TRUE(lied.value()->intact());  // trusted, not verified
+  EXPECT_NE(util::crc64(*lied.value()->content), lied.value()->crc64);
+}
+
 TEST(Store, VirtualObjectCarriesSizeAndCrc) {
   Store store("eagle", static_cast<int64_t>(100e15));
   ASSERT_TRUE(store.put_virtual("x.emd", 1'200'000'000, 0xABCD, at(0)));

@@ -126,6 +126,57 @@ TEST(FrameChannel, DeliveryPastReorderWindowIsRejected) {
   EXPECT_EQ(ch.buffered_count(sub), 1u);
 }
 
+// Zero-copy payload publish: the channel lands the bytes into a pooled
+// buffer with the CRC stamp fused into the copy, and every copy of the Frame
+// (ring slot, delivery, reorder buffer) shares that one lease.
+TEST(FrameChannel, PayloadPublishStampsCrcAndSharesOneLease) {
+  FrameChannel ch(channel_cfg(8, 4, 4));
+  int sub = ch.subscribe();
+
+  std::vector<uint8_t> bytes(10'000);
+  for (size_t i = 0; i < bytes.size(); ++i)
+    bytes[i] = static_cast<uint8_t>(i * 7);
+  EXPECT_TRUE(ch.publish(std::span<const uint8_t>(bytes)).empty());
+
+  auto f = ch.frame(0);
+  ASSERT_TRUE(f);
+  EXPECT_EQ(f->bytes, 10'000);
+  EXPECT_EQ(f->crc64, util::crc64(bytes));
+  ASSERT_TRUE(f->has_payload());
+  auto payload = f->payload_bytes();
+  ASSERT_GE(payload.size(), bytes.size());
+  EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), payload.begin()));
+  // The copy handed to the consumer aliases the same pooled buffer.
+  EXPECT_TRUE(ch.take_credit(sub, 0));
+  auto r = ch.deliver(sub, *f);
+  ASSERT_EQ(r.ready.size(), 1u);
+  EXPECT_EQ(r.ready[0].payload_bytes().data(), payload.data());
+
+  // Metadata-only publish still yields payload-free frames.
+  ch.publish(64, 0xABC);
+  EXPECT_FALSE(ch.frame(1)->has_payload());
+  EXPECT_TRUE(ch.frame(1)->payload_bytes().empty());
+}
+
+// An evicted payload frame keeps its bytes alive through the shared lease —
+// the spill path can still read them after the ring slot is gone.
+TEST(FrameChannel, EvictedPayloadFrameKeepsBytesAlive) {
+  FrameChannel ch(channel_cfg(1, 8, 8));
+  int sub = ch.subscribe();
+  (void)sub;
+
+  std::vector<uint8_t> first{1, 2, 3, 4, 5};
+  EXPECT_TRUE(ch.publish(std::span<const uint8_t>(first)).empty());
+  std::vector<uint8_t> second{9, 8, 7};
+  auto spilled = ch.publish(std::span<const uint8_t>(second));
+  ASSERT_EQ(spilled.size(), 1u);
+  EXPECT_EQ(spilled[0].seq, 0);
+  ASSERT_TRUE(spilled[0].has_payload());
+  auto payload = spilled[0].payload_bytes();
+  EXPECT_TRUE(std::equal(first.begin(), first.end(), payload.begin()));
+  EXPECT_EQ(spilled[0].crc64, util::crc64(first));
+}
+
 }  // namespace
 }  // namespace pico::net
 
@@ -358,6 +409,33 @@ TEST_F(StreamFixture, StallClearedWithinBudgetResumesDirect) {
   EXPECT_FALSE(info.fallback);
   EXPECT_EQ(info.bytes_delivered, 10'000'000);
   EXPECT_TRUE(node_mem.get("node/p.emd"));
+}
+
+// A source staged with real bytes streams through the zero-copy pooled
+// payload path: every published frame carries a lease whose CRC was fused
+// into the landing copy, and the session still settles clean.
+TEST_F(StreamFixture, RealContentSourceStreamsPooledPayloads) {
+  setup(paced_config(/*frame_bytes=*/100'000));
+  std::vector<uint8_t> content(350'000);
+  for (size_t i = 0; i < content.size(); ++i)
+    content[i] = static_cast<uint8_t>((i * 31) ^ (i >> 8));
+  ASSERT_TRUE(src_store.put("real.emd", content, engine.now()));
+
+  sim::Trace trace;
+  telemetry::Telemetry tel(&trace);
+  stream->set_telemetry(&tel);
+  SessionId id = run_session("real.emd", "node/real.emd");
+
+  SessionInfo info = stream->status(id);
+  EXPECT_EQ(info.state, SessionState::Succeeded) << info.error;
+  EXPECT_EQ(info.mode, "direct");
+  EXPECT_EQ(info.frames_total, 4);  // 3 full frames + the 50 KB tail
+  EXPECT_EQ(info.bytes_delivered, 350'000);
+  // All four frames went through the pooled-payload publish.
+  auto text = tel.metrics.to_prometheus();
+  EXPECT_NE(text.find("stream_payload_frames_total"), std::string::npos);
+  EXPECT_NE(text.find("stream_payload_frames_total 4"), std::string::npos)
+      << text;
 }
 
 }  // namespace

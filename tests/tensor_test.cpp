@@ -1,7 +1,12 @@
 // Tensor tests: shapes, indexing, reductions (the Fig. 2 math), casts.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <limits>
+
 #include "tensor/ops.hpp"
+#include "tensor/simd/simd.hpp"
 #include "tensor/tensor.hpp"
 #include "util/rng.hpp"
 
@@ -137,6 +142,24 @@ TEST(Ops, ToU8NormalizedRange) {
   EXPECT_EQ(u(2), 255);
 }
 
+TEST(Ops, ToU8NormalizedIntoMatchesAllocating) {
+  util::Rng rng(0x1A70);
+  Tensor<double> t(Shape{4, 9, 7});
+  for (size_t i = 0; i < t.size(); ++i) t[i] = rng.uniform(-50.0, 950.0);
+  auto seq = to_u8_normalized(t);
+
+  Tensor<uint8_t> into(t.shape());
+  for (size_t i = 0; i < into.size(); ++i) into[i] = 0xCC;
+  to_u8_normalized_into(t, into);
+  EXPECT_EQ(into.storage(), seq.storage());
+
+  util::ThreadPool pool(3);
+  Tensor<uint8_t> par(t.shape());
+  for (size_t i = 0; i < par.size(); ++i) par[i] = 0x33;
+  to_u8_normalized_into(t, par, pool);
+  EXPECT_EQ(par.storage(), seq.storage());
+}
+
 TEST(Ops, ToU8ConstantInputIsZero) {
   auto u = to_u8_normalized(Tensor<double>::full(Shape{5}, 3.14));
   for (auto v : u.data()) EXPECT_EQ(v, 0);
@@ -162,6 +185,117 @@ TEST(Ops, AddAndScaleInplace) {
   EXPECT_DOUBLE_EQ(a(1, 1), 3.0);
   scale_inplace(a, 0.5);
   EXPECT_DOUBLE_EQ(a(0, 0), 1.5);
+}
+
+// ------------------------------------------------------------ SIMD parity ----
+// Contract (simd.hpp): every dispatched kernel is BIT-IDENTICAL to its
+// always-compiled scalar twin — the scalar backend emulates the same 4-lane
+// association the vector units use. These tests run whatever backend
+// dispatch picked (CI also forces PICO_SIMD=scalar for the trivial case) and
+// hammer the hazards vectorization introduces: unaligned base pointers,
+// non-multiple-of-width tails, NaN/inf payloads, and empty inputs.
+
+double fuzz_value(util::Rng& rng) {
+  double r = rng.uniform(0.0, 1.0);
+  if (r < 0.02) return std::numeric_limits<double>::quiet_NaN();
+  if (r < 0.04) return std::numeric_limits<double>::infinity();
+  if (r < 0.06) return -std::numeric_limits<double>::infinity();
+  if (r < 0.08) return 0.0;
+  return rng.uniform(-1e6, 1e6);
+}
+
+TEST(SimdParity, MinMaxSumMatchScalarOnUnalignedTails) {
+  util::Rng rng(0x51D);
+  // Over-allocate so every offset 0..3 and length keeps us in bounds.
+  std::vector<double> buf(1024 + 8);
+  for (size_t len : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 31u, 64u, 1000u}) {
+    for (size_t off = 0; off < 4; ++off) {
+      const double* p = buf.data() + off;
+      for (auto& v : buf) v = rng.uniform(-4096.0, 4096.0);
+      if (len > 0) {
+        simd::MinMax64 vec = simd::minmax_f64(p, len);
+        simd::MinMax64 ref = simd::scalar::minmax_f64(p, len);
+        EXPECT_EQ(vec.min, ref.min) << "len=" << len << " off=" << off;
+        EXPECT_EQ(vec.max, ref.max) << "len=" << len << " off=" << off;
+      }
+      // Bit-exact: memcmp via bit_cast-style comparison of doubles.
+      double vs = simd::sum_f64(p, len);
+      double rs = simd::scalar::sum_f64(p, len);
+      EXPECT_EQ(std::memcmp(&vs, &rs, sizeof vs), 0)
+          << "len=" << len << " off=" << off << " vec=" << vs
+          << " ref=" << rs;
+    }
+  }
+}
+
+TEST(SimdParity, NanAndInfPropagateIdentically) {
+  util::Rng rng(0xF1F);
+  std::vector<double> buf(513);
+  for (auto& v : buf) v = fuzz_value(rng);
+  // The contract's NaN carve-out for sums: with NaN (or inf - inf) in the
+  // inputs the result must be NaN on every backend, but its sign/payload
+  // bits are unspecified — the compiler may swap operands of a commutative
+  // `+` in the scalar reference while ADDPD propagates its first operand.
+  double vs = simd::sum_f64(buf.data(), buf.size());
+  double rs = simd::scalar::sum_f64(buf.data(), buf.size());
+  if (std::isnan(rs)) {
+    EXPECT_TRUE(std::isnan(vs));
+  } else {
+    EXPECT_EQ(std::memcmp(&vs, &rs, sizeof vs), 0);
+  }
+  // minmax ignores NaN by construction ((v < m) ? v : m); both backends must
+  // agree even when the buffer is NaN-ridden.
+  simd::MinMax64 vec = simd::minmax_f64(buf.data(), buf.size());
+  simd::MinMax64 ref = simd::scalar::minmax_f64(buf.data(), buf.size());
+  EXPECT_EQ(std::memcmp(&vec, &ref, sizeof vec), 0);
+
+  std::vector<double> all_nan(37, std::numeric_limits<double>::quiet_NaN());
+  simd::MinMax64 vn = simd::minmax_f64(all_nan.data(), all_nan.size());
+  simd::MinMax64 rn = simd::scalar::minmax_f64(all_nan.data(), all_nan.size());
+  EXPECT_EQ(std::memcmp(&vn, &rn, sizeof vn), 0);
+}
+
+TEST(SimdParity, AddF64MatchesScalar) {
+  util::Rng rng(0xADD);
+  for (size_t len : {0u, 1u, 3u, 4u, 6u, 129u}) {
+    std::vector<double> src(len), acc_vec(len), acc_ref(len);
+    for (size_t i = 0; i < len; ++i) {
+      src[i] = rng.uniform(-10.0, 10.0);
+      acc_vec[i] = acc_ref[i] = rng.uniform(-10.0, 10.0);
+    }
+    simd::add_f64(acc_vec.data(), src.data(), len);
+    simd::scalar::add_f64(acc_ref.data(), src.data(), len);
+    EXPECT_EQ(std::memcmp(acc_vec.data(), acc_ref.data(), len * 8), 0)
+        << "len=" << len;
+  }
+}
+
+TEST(SimdParity, ScaleToU8MatchesScalarIncludingNonFinite) {
+  util::Rng rng(0x5CA1E);
+  std::vector<double> src(777);
+  for (auto& v : src) v = fuzz_value(rng);
+  // NaN maps to 0, +inf clamps to 255, -inf clamps to 0 — defined on every
+  // backend (the scalar formula clamps before the int cast).
+  std::vector<uint8_t> out_vec(src.size(), 0xAA), out_ref(src.size(), 0xBB);
+  for (size_t off = 0; off < 4; ++off) {
+    const size_t n = src.size() - off;
+    simd::scale_to_u8(src.data() + off, out_vec.data(), n, -100.0, 0.01);
+    simd::scalar::scale_to_u8(src.data() + off, out_ref.data(), n, -100.0,
+                              0.01);
+    EXPECT_EQ(std::memcmp(out_vec.data(), out_ref.data(), n), 0)
+        << "off=" << off;
+  }
+  // Empty input: no writes at all.
+  uint8_t canary = 0x7F;
+  simd::scale_to_u8(src.data(), &canary, 0, 0.0, 1.0);
+  EXPECT_EQ(canary, 0x7F);
+}
+
+TEST(SimdParity, ActiveLevelIsReportable) {
+  const char* name = simd::active_level_name();
+  ASSERT_NE(name, nullptr);
+  EXPECT_TRUE(std::string(name) == "scalar" || std::string(name) == "avx2" ||
+              std::string(name) == "avx512" || std::string(name) == "neon");
 }
 
 }  // namespace

@@ -5,7 +5,9 @@
 #include "auth/auth.hpp"
 #include "net/network.hpp"
 #include "storage/store.hpp"
+#include "telemetry/telemetry.hpp"
 #include "transfer/service.hpp"
+#include "util/crc64.hpp"
 
 namespace pico::transfer {
 namespace {
@@ -96,6 +98,9 @@ TEST_F(TransferFixture, ValidatesEndpointsAndFiles) {
 
 TEST_F(TransferFixture, DeliversRealContentWithChecksum) {
   setup_service(quick_config());
+  sim::Trace trace;
+  telemetry::Telemetry tel(&trace);
+  service->set_telemetry(&tel);
   std::vector<uint8_t> payload(1'000'000);
   for (size_t i = 0; i < payload.size(); ++i) payload[i] = static_cast<uint8_t>(i);
   ASSERT_TRUE(src_store.put("data.emd", payload, engine.now()));
@@ -112,6 +117,12 @@ TEST_F(TransferFixture, DeliversRealContentWithChecksum) {
   auto delivered = dst_store.get("exp/data.emd");
   ASSERT_TRUE(delivered);
   EXPECT_EQ(*delivered.value()->content, payload);
+  // The landing checksum was fused into the copy (no re-scan pass), and the
+  // delivered object carries the correct manifest checksum anyway.
+  EXPECT_EQ(delivered.value()->crc64, util::crc64(payload));
+  EXPECT_TRUE(delivered.value()->intact());
+  EXPECT_NE(tel.metrics.to_prometheus().find("transfer_crc_fused_total 1"),
+            std::string::npos);
 }
 
 TEST_F(TransferFixture, VirtualObjectsDeliverSizeOnly) {

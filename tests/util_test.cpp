@@ -2,11 +2,15 @@
 // buffers, strings, units, time formatting, thread pool, ids.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <set>
 #include <thread>
 
+#include "util/arena.hpp"
 #include "util/bytes.hpp"
 #include "util/crc64.hpp"
+#include "util/mmap.hpp"
 #include "util/geometry.hpp"
 #include "util/id.hpp"
 #include "util/json.hpp"
@@ -741,6 +745,206 @@ TEST(Xml, FuzzSafety) {
     auto r = xml_parse(mutated);  // must not crash
     (void)r;
   }
+}
+
+// -------------------------------------------------------- fused CRC copy ----
+
+TEST(Crc64Copy, MatchesScanAndCopiesBytes) {
+  Rng rng(0xC0C0);
+  // Lengths straddling the 8-byte slicing word: empty, sub-word, word
+  // multiples, and odd tails.
+  for (size_t n : {0u, 1u, 3u, 7u, 8u, 9u, 64u, 65u, 1000u, 4096u, 4099u}) {
+    std::vector<uint8_t> src(n);
+    for (auto& b : src) b = static_cast<uint8_t>(rng.next_u64());
+    std::vector<uint8_t> dst(n + 1, 0xEE);  // canary past the end
+    uint64_t fused = crc64_copy(dst.data(), src.data(), n);
+    EXPECT_EQ(fused, crc64(src.data(), n)) << "n=" << n;
+    EXPECT_EQ(fused, crc64_bytewise(src.data(), n)) << "n=" << n;
+    EXPECT_TRUE(std::equal(src.begin(), src.end(), dst.begin())) << "n=" << n;
+    EXPECT_EQ(dst[n], 0xEE) << "n=" << n;  // no overwrite past n
+  }
+}
+
+TEST(Crc64Copy, UnalignedSourceAndDestination) {
+  Rng rng(0xA11);
+  std::vector<uint8_t> arena(600);
+  for (auto& b : arena) b = static_cast<uint8_t>(rng.next_u64());
+  std::vector<uint8_t> out(600);
+  for (size_t off = 0; off < 8; ++off) {
+    const size_t n = 512 + off;
+    uint64_t fused = crc64_copy(out.data() + (7 - off % 8),
+                                arena.data() + off, n);
+    EXPECT_EQ(fused, crc64(arena.data() + off, n)) << "off=" << off;
+  }
+}
+
+TEST(Crc64Copy, UpdateCopyStreamsAcrossChunks) {
+  Rng rng(0x5EED);
+  std::vector<uint8_t> src(10'000);
+  for (auto& b : src) b = static_cast<uint8_t>(rng.next_u64());
+  std::vector<uint8_t> dst(src.size());
+  Crc64 rolling;
+  size_t pos = 0;
+  for (size_t chunk : {1u, 17u, 63u, 4096u, 5823u}) {
+    size_t n = std::min(chunk, src.size() - pos);
+    rolling.update_copy(dst.data() + pos, src.data() + pos, n);
+    pos += n;
+  }
+  rolling.update_copy(dst.data() + pos, src.data() + pos, src.size() - pos);
+  EXPECT_EQ(rolling.value(), crc64(src));
+  EXPECT_EQ(dst, src);
+}
+
+// ------------------------------------------------------------------ arena ----
+
+TEST(Arena, AlignmentAndDisjointness) {
+  Arena arena(1024);
+  std::vector<std::pair<uint8_t*, size_t>> allocs;
+  Rng rng(0xAAA);
+  for (int i = 0; i < 100; ++i) {
+    size_t n = static_cast<size_t>(rng.uniform_int(1, 200));
+    uint8_t* p = arena.allocate_bytes(n);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 64, 0u);
+    std::memset(p, i & 0xFF, n);  // sanitizers catch overlap/overflow
+    allocs.emplace_back(p, n);
+  }
+  // Every allocation still holds its own fill pattern: no two overlapped.
+  for (int i = 0; i < 100; ++i) {
+    auto [p, n] = allocs[static_cast<size_t>(i)];
+    for (size_t j = 0; j < n; ++j) EXPECT_EQ(p[j], i & 0xFF);
+  }
+  EXPECT_GE(arena.reserved_bytes(), arena.allocated_bytes());
+}
+
+TEST(Arena, ResetRetainsSlabs) {
+  Arena arena(4096);
+  for (int i = 0; i < 10; ++i) arena.allocate(1000);
+  size_t reserved = arena.reserved_bytes();
+  size_t blocks = arena.block_count();
+  arena.reset();
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  EXPECT_EQ(arena.reserved_bytes(), reserved);
+  // Steady state: the same allocation pattern fits in the retained slabs.
+  for (int i = 0; i < 10; ++i) arena.allocate(1000);
+  EXPECT_EQ(arena.block_count(), blocks);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedSlab) {
+  Arena arena(1024);
+  uint8_t* small = arena.allocate_bytes(100);
+  std::memset(small, 0x11, 100);
+  uint8_t* big = arena.allocate_bytes(10'000);  // > slab size
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(big) % 64, 0u);
+  std::memset(big, 0xBB, 10'000);
+  // The bump block survives the oversized detour.
+  uint8_t* next = arena.allocate_bytes(100);
+  ASSERT_NE(next, nullptr);
+  std::memset(next, 0xCC, 100);
+  EXPECT_EQ(small[0], 0x11);
+  EXPECT_EQ(small[99], 0x11);
+  EXPECT_EQ(big[9999], 0xBB);
+}
+
+// ------------------------------------------------------------ buffer pool ----
+
+TEST(BufferPool, SizeClassesArePowersOfTwo) {
+  EXPECT_EQ(BufferPool::size_class(0), 4096u);
+  EXPECT_EQ(BufferPool::size_class(1), 4096u);
+  EXPECT_EQ(BufferPool::size_class(4096), 4096u);
+  EXPECT_EQ(BufferPool::size_class(4097), 8192u);
+  EXPECT_EQ(BufferPool::size_class(100'000), 131'072u);
+}
+
+TEST(BufferPool, LeaseReturnsAndGetsReused) {
+  BufferPool pool;
+  const uint8_t* first_ptr = nullptr;
+  {
+    auto lease = pool.acquire(10'000);
+    ASSERT_TRUE(lease.valid());
+    EXPECT_EQ(lease.size(), 10'000u);
+    first_ptr = lease.data();
+    std::memset(lease.data(), 0xAB, lease.size());
+  }  // returned to the free list
+  auto again = pool.acquire(9'000);  // same 16 KiB class
+  EXPECT_EQ(again.data(), first_ptr);
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.acquired, 2u);
+  EXPECT_EQ(stats.allocated, 1u);
+  EXPECT_EQ(stats.reused, 1u);
+}
+
+TEST(BufferPool, MoveTransfersOwnership) {
+  BufferPool pool;
+  auto a = pool.acquire(100);
+  uint8_t* p = a.data();
+  BufferPool::Lease b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): testing it
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.data(), p);
+}
+
+TEST(BufferPool, SharedLeaseBackingFramePayloads) {
+  BufferPool pool;
+  auto shared = std::make_shared<BufferPool::Lease>(pool.acquire(256));
+  std::memset(shared->data(), 0x5A, shared->size());
+  auto copy1 = shared;
+  auto copy2 = shared;
+  shared.reset();
+  EXPECT_EQ(copy1->data(), copy2->data());
+  EXPECT_EQ(copy1->span()[255], 0x5A);
+  copy1.reset();
+  EXPECT_EQ(copy2->span()[0], 0x5A);  // last owner keeps the bytes alive
+}
+
+TEST(BufferPool, FreeListDepthIsBounded) {
+  BufferPool pool(/*max_cached_per_class=*/2);
+  std::vector<BufferPool::Lease> leases;
+  for (int i = 0; i < 5; ++i) leases.push_back(pool.acquire(100));
+  leases.clear();  // 5 returns into a depth-2 free list
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.dropped, 3u);
+  EXPECT_EQ(stats.cached_bytes, 2u * 4096u);
+}
+
+// ------------------------------------------------------------ mapped file ----
+
+TEST(MappedFile, MapsBytesIdenticalToHeapRead) {
+  std::string path = testing::TempDir() + "/pico_mmap_test.bin";
+  Rng rng(0x3333);
+  std::vector<uint8_t> data(100'000);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.next_u64());
+  ASSERT_TRUE(write_file(path, data));
+
+  auto mf = MappedFile::open(path);
+  ASSERT_TRUE(mf);
+  EXPECT_EQ(mf.value().size(), data.size());
+  auto bytes = mf.value().bytes();
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), bytes.begin()));
+}
+
+TEST(MappedFile, EmptyFileAndMissingFile) {
+  std::string path = testing::TempDir() + "/pico_mmap_empty.bin";
+  ASSERT_TRUE(write_file(path, std::vector<uint8_t>{}));
+  auto mf = MappedFile::open(path);
+  ASSERT_TRUE(mf);
+  EXPECT_EQ(mf.value().size(), 0u);
+  EXPECT_TRUE(mf.value().bytes().empty());
+
+  EXPECT_FALSE(MappedFile::open(testing::TempDir() + "/pico_no_such_file"));
+}
+
+TEST(MappedFile, MoveKeepsMappingAlive) {
+  std::string path = testing::TempDir() + "/pico_mmap_move.bin";
+  std::vector<uint8_t> data{1, 2, 3, 4, 5};
+  ASSERT_TRUE(write_file(path, data));
+  auto mf = MappedFile::open(path);
+  ASSERT_TRUE(mf);
+  MappedFile moved = std::move(mf).value();
+  auto bytes = moved.bytes();
+  ASSERT_EQ(bytes.size(), 5u);
+  EXPECT_EQ(bytes[4], 5);
 }
 
 }  // namespace

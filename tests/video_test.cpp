@@ -47,6 +47,23 @@ TEST(Convert, ConstantStackMapsToZero) {
   for (auto v : naive.data()) EXPECT_EQ(v, 0);
 }
 
+TEST(Convert, IntoTwinsMatchAllocatingOverloads) {
+  auto stack = random_stack(3, 16, 16, 29);
+  auto seq = convert_fast(stack);
+
+  // Destination prefilled with garbage: every byte must be overwritten.
+  tensor::Tensor<uint8_t> into(stack.shape());
+  for (size_t i = 0; i < into.size(); ++i) into[i] = 0xEE;
+  convert_fast_into(stack, into);
+  EXPECT_EQ(into.storage(), seq.storage());
+
+  util::ThreadPool pool(3);
+  tensor::Tensor<uint8_t> par(stack.shape());
+  for (size_t i = 0; i < par.size(); ++i) par[i] = 0x11;
+  convert_parallel_into(stack, par, pool);
+  EXPECT_EQ(par.storage(), seq.storage());
+}
+
 TEST(Convert, MonotonicityPreserved) {
   tensor::Tensor<double> stack(tensor::Shape{1, 1, 5});
   stack[0] = -3;

@@ -229,7 +229,8 @@ def check_trace(path, require_depth):
 
 DATAPLANE_KERNELS = {
     "convert_fp64_u8", "to_u8_normalized", "sum_axis3_spectral",
-    "sum_keep_axis3_spectrum", "gaussian_blur", "crc64", "lz_compress",
+    "sum_keep_axis3_spectrum", "gaussian_blur", "crc64", "crc64_copy",
+    "lz_compress",
 }
 
 # A width-N pool on a multi-core host must not be slower than this fraction
@@ -237,19 +238,59 @@ DATAPLANE_KERNELS = {
 # are embarrassingly parallel).
 SPEEDUP_FLOOR = 0.7
 
+# SIMD-vectorized kernels must actually *gain* from extra threads: the
+# false-sharing regression showed up as 0.32x at 4 threads, which the 0.7
+# floor would never have caught had it been milder.
+STRICT_SPEEDUP_KERNELS = {
+    "convert_fp64_u8", "to_u8_normalized", "sum_axis3_spectral",
+    "sum_keep_axis3_spectrum",
+}
+
+# Sequential-throughput ratchet (GB/s, full mode only). The convert/normalize
+# floors are 2x the 1.9 GB/s scalar baseline recorded before the SIMD layer
+# landed (measured ~4.9-5.1 GB/s with the AVX-512 backend); the sums are
+# ratcheted well under their ~10-11 GB/s measurements and the CRC kernels
+# under their ~1.3-1.4 GB/s, so a regression to scalar code paths fails the
+# gate while run-to-run noise on a shared CI host does not.
+SEQ_GBPS_FLOOR = {
+    "convert_fp64_u8": 3.8,
+    "to_u8_normalized": 3.8,
+    "sum_axis3_spectral": 5.0,
+    "sum_keep_axis3_spectrum": 5.0,
+    "crc64": 1.1,
+    "crc64_copy": 1.1,
+}
+
 
 def check_dataplane(path):
     try:
         doc = json.load(open(path, encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as e:
         return fail(path, f"unparseable: {e}")
-    if doc.get("schema") != "pico.bench.dataplane.v1":
+    if doc.get("schema") != "pico.bench.dataplane.v2":
         return fail(path, f"bad schema {doc.get('schema')!r}")
     if doc.get("parity_all") is not True:
         return fail(path, "parity_all is not true")
     hw = doc.get("hardware_threads")
     if not isinstance(hw, int) or hw < 1:
         return fail(path, f"bad hardware_threads {hw!r}")
+    simd = doc.get("simd_level")
+    if simd not in ("scalar", "avx2", "avx512", "neon"):
+        return fail(path, f"bad simd_level {simd!r}")
+    widths = doc.get("pool_widths")
+    if not isinstance(widths, list) or not widths:
+        return fail(path, "missing pool_widths")
+    if max(widths) > hw:
+        return fail(path, f"pool width {max(widths)} exceeds "
+                          f"hardware_threads {hw} — the sweep must be "
+                          f"clamped, not oversubscribed")
+    requested = doc.get("requested_widths")
+    if not isinstance(requested, list) or not requested:
+        return fail(path, "missing requested_widths")
+    if doc.get("oversubscribed") != any(w > hw for w in requested):
+        return fail(path, f"oversubscribed flag {doc.get('oversubscribed')!r}"
+                          f" inconsistent with requested widths {requested} "
+                          f"on a {hw}-thread host")
 
     kernels = {k.get("kernel") for k in doc.get("kernels", [])}
     missing = DATAPLANE_KERNELS - kernels
@@ -271,6 +312,19 @@ def check_dataplane(path):
                     or entry["seconds"] <= 0:
                 return fail(path, f"{name}: bad parallel seconds")
 
+    # Sequential-throughput ratchet: full-size problems only (smoke problems
+    # fit in cache and overshoot; they prove the emitter, not the kernels).
+    if doc.get("mode") == "full":
+        for k in doc["kernels"]:
+            floor = SEQ_GBPS_FLOOR.get(k["kernel"])
+            if floor is None:
+                continue
+            gbps = k.get("sequential_gbps", 0)
+            if gbps < floor:
+                return fail(path, f"{k['kernel']}: sequential "
+                                  f"{gbps:.2f} GB/s < ratchet floor "
+                                  f"{floor} GB/s")
+
     # Speedup regression check: only meaningful when the pool actually had
     # hardware to spread over and the problems ran at full size.
     if hw == 1:
@@ -278,20 +332,22 @@ def check_dataplane(path):
     elif doc.get("mode") != "full":
         note = f"speedup check skipped (mode {doc.get('mode')!r})"
     else:
-        note = "speedup floor holds at widest pool"
+        note = "speedup floors hold at widest pool"
         for k in doc["kernels"]:
             par = [e for e in k.get("parallel", []) if e["threads"] > 1]
             if not par:
                 continue
             widest = max(par, key=lambda e: e["threads"])
             speedup = widest.get("speedup_vs_sequential", 0)
-            if speedup < SPEEDUP_FLOOR:
+            floor = 1.0 if k["kernel"] in STRICT_SPEEDUP_KERNELS \
+                else SPEEDUP_FLOOR
+            if speedup < floor:
                 return fail(path, f"{k['kernel']}: speedup "
                                   f"{speedup:.2f}x at {widest['threads']} "
-                                  f"threads < floor {SPEEDUP_FLOOR}x on a "
+                                  f"threads < floor {floor}x on a "
                                   f"{hw}-thread host")
     print(f"{path}: ok ({len(kernels)} kernels, {hw} hardware threads, "
-          f"{note})")
+          f"simd {simd}, {note})")
     return True
 
 
