@@ -1,0 +1,374 @@
+// Health-plane overhead and efficacy bench (A12).
+//
+// Two claims, both gated by CI (tools/check_telemetry.py --observability):
+//
+//  overhead - the always-on flight recorder + periodic health snapshot loop
+//             costs < 2% wall clock on both Table-1 campaigns, measured by
+//             running each campaign with the health plane on and off in
+//             back-to-back pairs and taking the median per-pair delta. The
+//             campaigns run with real_payloads so every flow does the real
+//             data-plane work (EMD parse, reductions, peak find / tracking,
+//             artifact rendering): the ratio is measured against a facility
+//             doing science, not against skeleton event shuffling. Payloads
+//             are scaled to 8 MB (vs the paper's 91 / 1200 MB) to keep CI
+//             runtime bounded; the health plane's absolute cost per simulated
+//             hour is what it is regardless of payload, so shrinking the
+//             payload only makes the 2% bar harder, never easier
+//  efficacy - under the PR6 frame-chaos campaign (standing drop/reorder/
+//             duplicate probabilities plus three consumer stalls) the health
+//             plane raises >= 1 SLO burn alert, flags >= 1 flow via the
+//             watchdogs, and produces a non-empty flight-recorder dump for
+//             every degraded (fallen-back) flow -- while the identical
+//             fault-free campaign stays completely silent: no alerts, no
+//             watchdog flags, no dump-worthy rings
+//
+// Emits BENCH_observability.json (checked in; CI regenerates with --smoke and
+// schema-checks).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "telemetry/health/monitor.hpp"
+#include "util/bytes.hpp"
+#include "util/json.hpp"
+
+using namespace pico;
+
+namespace {
+
+bool g_ok = true;
+
+void check(bool condition, const char* what) {
+  if (!condition) {
+    std::printf("FAIL: %s\n", what);
+    g_ok = false;
+  }
+}
+
+// ----------------------------------------------------------- overhead ----
+
+core::FacilityConfig table1_config(bool health_on) {
+  core::FacilityConfig fc;
+  // The overhead arms stage ~1 GB of payload per campaign; keep that on
+  // tmpfs so ext4 writeback jitter doesn't drown the sub-1% signal being
+  // measured. Falls back to the usual artifact tree where /dev/shm is absent.
+  fc.artifact_dir = std::filesystem::is_directory("/dev/shm")
+                        ? "/dev/shm/pico-bench-observability"
+                        : "bench-artifacts/observability";
+  fc.seed = 20230407;
+  fc.cost.provision_delay_s = 100.0;
+  fc.cost.provision_jitter_s = 10.0;
+  fc.health.enabled = health_on;
+  fc.health.flight.enabled = health_on;
+  return fc;
+}
+
+core::CampaignConfig table1_campaign(bool hyper, double duration_s) {
+  core::CampaignConfig cfg;
+  cfg.duration_s = duration_s;
+  cfg.real_payloads = true;
+  cfg.file_bytes = 8 * 1000 * 1000;  // scaled-down-but-real acquisitions
+  if (hyper) {
+    cfg.use_case = core::UseCase::Hyperspectral;
+    cfg.start_period_s = 30;
+    cfg.label_prefix = "hyper";
+  } else {
+    cfg.use_case = core::UseCase::Spatiotemporal;
+    cfg.start_period_s = 120;
+    cfg.label_prefix = "spatio";
+  }
+  return cfg;
+}
+
+/// Wall-clock seconds for one full campaign on a fresh facility.
+double time_campaign(bool hyper, bool health_on, double duration_s) {
+  core::Facility facility(table1_config(health_on));
+  core::CampaignConfig cfg = table1_campaign(hyper, duration_s);
+  auto t0 = std::chrono::steady_clock::now();
+  core::CampaignResult result = core::run_campaign(facility, cfg);
+  auto t1 = std::chrono::steady_clock::now();
+  check(result.failed == 0, "table-1 campaign: no failed flows");
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct OverheadRun {
+  std::string name;
+  double off_s = 0;
+  double on_s = 0;
+  double overhead_pct = 0;
+};
+
+OverheadRun measure_overhead(bool hyper, double duration_s, int reps) {
+  OverheadRun run;
+  run.name = hyper ? "hyperspectral" : "spatiotemporal";
+  std::vector<double> off, on, delta;
+  // One untimed warmup per arm, then paired reps: each rep runs both arms
+  // back to back (alternating which goes first, to cancel any warm-cache
+  // bias) and contributes one relative delta. Pairing cancels the slow
+  // machine-load drift that dwarfs the true cost when the arms are pooled
+  // separately; the median delta shrugs off spike outliers.
+  time_campaign(hyper, false, duration_s);
+  time_campaign(hyper, true, duration_s);
+  for (int i = 0; i < reps; ++i) {
+    double off_i, on_i;
+    if (i % 2 == 0) {
+      off_i = time_campaign(hyper, false, duration_s);
+      on_i = time_campaign(hyper, true, duration_s);
+    } else {
+      on_i = time_campaign(hyper, true, duration_s);
+      off_i = time_campaign(hyper, false, duration_s);
+    }
+    off.push_back(off_i);
+    on.push_back(on_i);
+    delta.push_back((on_i - off_i) / off_i * 100.0);
+    std::printf("    %-7s pair %d (%s first): off %7.1f ms  on %7.1f ms  "
+                "delta %+5.2f%%\n",
+                run.name.c_str(), i, i % 2 == 0 ? "off" : "on", off_i * 1e3,
+                on_i * 1e3, delta.back());
+    std::fflush(stdout);
+  }
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    const size_t n = v.size();
+    return n % 2 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
+  };
+  run.off_s = median(off);
+  run.on_s = median(on);
+  run.overhead_pct = median(delta);
+  return run;
+}
+
+// ------------------------------------------------------------ efficacy ----
+
+/// The PR6 streaming facility with the health plane calibrated for the
+/// frame-chaos campaign: fault-free direct flows settle in ~14-32 s, while a
+/// stall-caught flow rides the degradation ladder (25 s stall budget, spill,
+/// whole-flow fallback through the store) and lands past 50 s — cleanly on
+/// the far side of the 40 s latency objective and 45 s deadline.
+core::FacilityConfig chaos_facility_config() {
+  core::FacilityConfig fc;
+  fc.artifact_dir = "bench-artifacts/observability";
+  fc.seed = 20230915;
+  // Steady-state streaming: a short queue wait keeps the deadline watchdog
+  // calibrated to flow runtime (fault-free < 45 s) rather than the one-off
+  // first-allocation wait.
+  fc.cost.provision_delay_s = 5.0;
+  fc.cost.provision_jitter_s = 0.0;
+  fc.flow.completion_mode = flow::CompletionMode::Events;
+  fc.stream.detector_rate_bps = 400e6;
+  fc.stream.channel.ring_capacity = 4;
+  fc.stream.stall_fallback_s = 25.0;
+
+  fc.health.snapshot_interval_s = 15.0;
+  fc.health.stall_after_s = 60.0;
+  fc.health.flow_deadline_s = 45.0;
+  fc.health.slo.spec.completion_latency_s = 40.0;
+  fc.health.slo.spec.error_budget = 0.05;
+  // A stall window degrades ~1-2 of the ~20 flows completing per slow
+  // window; 5% budget puts that episode at slow-burn ~1 and fast-burn ~5.
+  fc.health.slo.spec.latency_budget = 0.05;
+  fc.health.slo.spec.time_to_first_result_s = 300.0;
+  fc.health.slo.fast = {120.0, 2.0};
+  fc.health.slo.slow = {600.0, 0.9};
+  return fc;
+}
+
+core::CampaignConfig chaos_campaign_config(double duration_s, bool chaos) {
+  core::CampaignConfig cfg;
+  cfg.use_case = core::UseCase::Hyperspectral;
+  cfg.duration_s = duration_s;
+  cfg.label_prefix = "stream";
+  cfg.streaming_direct = true;
+  cfg.slow_run_threshold_s = 40.0;  // must match the SLO latency objective
+  if (chaos) {
+    using fault::FaultEvent;
+    using fault::FaultKind;
+    cfg.chaos.name = "frame-chaos";
+    cfg.chaos.add(
+        FaultEvent{FaultKind::FrameDrop, 0, 2 * duration_s, "", 0.05});
+    cfg.chaos.add(
+        FaultEvent{FaultKind::FrameReorder, 0, 2 * duration_s, "", 0.05});
+    cfg.chaos.add(
+        FaultEvent{FaultKind::FrameDuplicate, 0, 2 * duration_s, "", 0.05});
+    cfg.chaos.add(
+        FaultEvent{FaultKind::ConsumerStall, 0.25 * duration_s, 60, "", 0});
+    cfg.chaos.add(
+        FaultEvent{FaultKind::ConsumerStall, 0.50 * duration_s, 60, "", 0});
+    cfg.chaos.add(
+        FaultEvent{FaultKind::ConsumerStall, 0.75 * duration_s, 60, "", 0});
+    cfg.recovery.enabled = true;
+    cfg.recovery.resubmit_budget = 3;
+  }
+  return cfg;
+}
+
+struct HealthRun {
+  std::string name;
+  size_t settled = 0;
+  size_t failed = 0;
+  double fallbacks = 0;
+  uint64_t slo_alerts = 0;
+  uint64_t watchdog_flags = 0;
+  uint64_t anomaly_alerts = 0;
+  uint64_t health_ticks = 0;
+  size_t dumps = 0;
+  size_t degraded_dumps = 0;  ///< dumps whose ring saw a stream-fallback
+  size_t empty_dumps = 0;
+  util::Json alerts = util::Json::array();
+};
+
+HealthRun run_health_mode(const std::string& name, double duration_s,
+                          bool chaos) {
+  core::Facility facility(chaos_facility_config());
+  core::CampaignConfig cfg = chaos_campaign_config(duration_s, chaos);
+  core::CampaignResult result = core::run_campaign(facility, cfg);
+
+  HealthRun run;
+  run.name = name;
+  run.settled = result.in_window.size() + result.late.size();
+  run.failed = result.failed;
+  run.fallbacks = facility.telemetry()
+                      .metrics
+                      .counter("stream_fallbacks_total",
+                               "Sessions re-routed whole-flow to the store "
+                               "path")
+                      .value();
+  auto& health = facility.health();
+  run.slo_alerts = health.slo_alerts();
+  run.watchdog_flags = health.watchdog_flags();
+  run.anomaly_alerts = health.anomaly_alerts();
+  run.health_ticks = health.ticks();
+  for (const auto& a : health.alerts()) {
+    if (run.alerts.as_array().size() >= 24) break;  // keep the JSON readable
+    run.alerts.push_back(util::Json::object({
+        {"at_s", a.at.seconds()},
+        {"kind", a.kind},
+        {"severity", a.severity},
+        {"subject", a.subject},
+    }));
+  }
+  for (auto& [subject, dump] : facility.telemetry().flight.flush_dumps()) {
+    ++run.dumps;
+    if (dump.at("events_total").as_int() == 0) ++run.empty_dumps;
+    for (const auto& e : dump.at("events").as_array()) {
+      if (e.at("name").as_string() == "stream-fallback") {
+        ++run.degraded_dumps;
+        break;
+      }
+    }
+  }
+  return run;
+}
+
+util::Json health_json(const HealthRun& r) {
+  return util::Json::object({
+      {"run", r.name},
+      {"settled", static_cast<int64_t>(r.settled)},
+      {"failed", static_cast<int64_t>(r.failed)},
+      {"fallbacks", r.fallbacks},
+      {"slo_alerts", static_cast<int64_t>(r.slo_alerts)},
+      {"watchdog_flags", static_cast<int64_t>(r.watchdog_flags)},
+      {"anomaly_alerts", static_cast<int64_t>(r.anomaly_alerts)},
+      {"health_ticks", static_cast<int64_t>(r.health_ticks)},
+      {"flight_dumps", static_cast<int64_t>(r.dumps)},
+      {"degraded_flow_dumps", static_cast<int64_t>(r.degraded_dumps)},
+      {"empty_dumps", static_cast<int64_t>(r.empty_dumps)},
+      {"alerts", r.alerts},
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_observability.json";
+  double duration_s = 3600;
+  int reps = 7;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      duration_s = 900;
+      reps = 5;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  // ---- overhead: health plane on vs off on both Table-1 campaigns ----
+  OverheadRun hyper = measure_overhead(/*hyper=*/true, duration_s, reps);
+  OverheadRun spatio = measure_overhead(/*hyper=*/false, duration_s, reps);
+  std::printf(
+      "health-plane overhead (%.0f s campaigns, median of %d paired deltas):\n",
+      duration_s, reps);
+  for (const OverheadRun* r : {&hyper, &spatio}) {
+    std::printf("  %-15s off %7.1f ms  on %7.1f ms  overhead %+5.2f%%\n",
+                r->name.c_str(), r->off_s * 1e3, r->on_s * 1e3,
+                r->overhead_pct);
+  }
+  check(hyper.overhead_pct < 2.0,
+        "hyperspectral: health plane costs < 2% wall clock");
+  check(spatio.overhead_pct < 2.0,
+        "spatiotemporal: health plane costs < 2% wall clock");
+
+  // ---- efficacy: chaos lights the plane up, fault-free stays dark ----
+  HealthRun chaos = run_health_mode("chaos", duration_s, /*chaos=*/true);
+  HealthRun quiet = run_health_mode("fault_free", duration_s, /*chaos=*/false);
+  std::printf(
+      "\n%-10s settled %3zu failed %zu fallbacks %3.0f | slo %llu watchdog "
+      "%llu anomaly %llu | dumps %zu (degraded %zu, empty %zu)\n",
+      chaos.name.c_str(), chaos.settled, chaos.failed, chaos.fallbacks,
+      static_cast<unsigned long long>(chaos.slo_alerts),
+      static_cast<unsigned long long>(chaos.watchdog_flags),
+      static_cast<unsigned long long>(chaos.anomaly_alerts), chaos.dumps,
+      chaos.degraded_dumps, chaos.empty_dumps);
+  std::printf(
+      "%-10s settled %3zu failed %zu fallbacks %3.0f | slo %llu watchdog "
+      "%llu anomaly %llu | dumps %zu\n",
+      quiet.name.c_str(), quiet.settled, quiet.failed, quiet.fallbacks,
+      static_cast<unsigned long long>(quiet.slo_alerts),
+      static_cast<unsigned long long>(quiet.watchdog_flags),
+      static_cast<unsigned long long>(quiet.anomaly_alerts), quiet.dumps);
+
+  check(chaos.failed == 0, "chaos campaign: recovery still holds (no failed)");
+  check(chaos.fallbacks >= 1, "chaos campaign: the degradation ladder fired");
+  check(chaos.slo_alerts >= 1, "chaos campaign: >= 1 SLO burn alert");
+  check(chaos.watchdog_flags >= 1, "chaos campaign: >= 1 watchdog flag");
+  check(chaos.anomaly_alerts >= 1, "chaos campaign: >= 1 anomaly alert");
+  check(chaos.degraded_dumps >= static_cast<size_t>(chaos.fallbacks),
+        "chaos campaign: a flight dump for every degraded flow");
+  check(chaos.empty_dumps == 0, "chaos campaign: every dump carries events");
+  check(quiet.slo_alerts == 0 && quiet.watchdog_flags == 0 &&
+            quiet.anomaly_alerts == 0,
+        "fault-free campaign: zero alerts of any kind");
+  check(quiet.dumps == 0, "fault-free campaign: no dump-worthy rings");
+  check(quiet.health_ticks > 0, "fault-free campaign: the monitor did run");
+
+  util::Json doc = util::Json::object({
+      {"schema", "pico.bench.observability.v1"},
+      {"duration_s", duration_s},
+      {"reps", static_cast<int64_t>(reps)},
+      {"overhead", util::Json::array({
+                       util::Json::object({
+                           {"campaign", hyper.name},
+                           {"off_wall_s", hyper.off_s},
+                           {"on_wall_s", hyper.on_s},
+                           {"overhead_pct", hyper.overhead_pct},
+                       }),
+                       util::Json::object({
+                           {"campaign", spatio.name},
+                           {"off_wall_s", spatio.off_s},
+                           {"on_wall_s", spatio.on_s},
+                           {"overhead_pct", spatio.overhead_pct},
+                       }),
+                   })},
+      {"overhead_limit_pct", 2.0},
+      {"runs", util::Json::array({health_json(chaos), health_json(quiet)})},
+      {"pass", g_ok},
+  });
+  util::write_file(out_path, doc.dump(2) + "\n");
+  std::printf("\nwrote %s (%s)\n", out_path.c_str(), g_ok ? "pass" : "FAIL");
+  return g_ok ? 0 : 1;
+}

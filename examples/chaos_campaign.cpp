@@ -15,9 +15,11 @@
 #include "core/facility.hpp"
 #include "core/report.hpp"
 #include "fault/schedule.hpp"
+#include "portal/health_page.hpp"
 #include "portal/telemetry_page.hpp"
 #include "telemetry/export.hpp"
 #include "util/bytes.hpp"
+#include "util/json.hpp"
 
 using namespace pico;
 
@@ -80,6 +82,25 @@ int main(int argc, char** argv) {
               "telemetry.html (%zu spans, %zu metric families)\n",
               summary.span_count,
               facility.telemetry().metrics.family_count());
+
+  // Health plane: the report the portal serves (JSON + HTML) and the flight
+  // recorder's dump-worthy rings — one JSON file per degraded flow. CI
+  // uploads chaos-output/ on failure, so a red run ships its own black box.
+  auto report = facility.health().report();
+  util::write_file("chaos-output/health.json", report.to_json().dump(2));
+  util::write_file("chaos-output/health.html",
+                   portal::render_health_html(report, "Chaos campaign health"));
+  auto dumps = facility.telemetry().flight.flush_dumps();
+  util::Json flight = util::Json::array({});
+  for (auto& [subject, dump] : dumps) flight.push_back(std::move(dump));
+  util::write_file("chaos-output/flight-dumps.json", flight.dump(2));
+  std::printf("health: chaos-output/health.json, health.html, "
+              "flight-dumps.json (%llu slo alerts, %llu watchdog flags, "
+              "%zu flight dumps)\n",
+              static_cast<unsigned long long>(facility.health().slo_alerts()),
+              static_cast<unsigned long long>(
+                  facility.health().watchdog_flags()),
+              dumps.size());
 
   // Exit nonzero if recovery could not hold the acceptance bar.
   size_t logical = result.in_window.size() + result.late.size();

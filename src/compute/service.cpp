@@ -73,6 +73,16 @@ util::Result<TaskId> ComputeService::submit(const EndpointId& endpoint,
   if (telemetry_) {
     // Context parent: the flow attempt span scoped around provider->start().
     task.span = telemetry_->tracer.open("compute", id);
+    task.flight_subject = telemetry_->flight.current();
+    if (!task.flight_subject.empty()) {
+      telemetry_->flight.record(
+          task.flight_subject, util::LogLevel::Info, "compute",
+          "compute-submit", engine_->now(),
+          util::Json::object({{"task", id},
+                              {"endpoint", endpoint},
+                              {"function", function},
+                              {"held", held}}));
+    }
   }
   tasks_[id] = std::move(task);
 
@@ -269,6 +279,12 @@ void ComputeService::begin_execution(const EndpointId& eid, const TaskId& tid,
                          "Compute tasks by terminal state",
                          {{"state", "node_failure"}})
                 .inc();
+            if (!t.flight_subject.empty()) {
+              telemetry_->flight.record(
+                  t.flight_subject, util::LogLevel::Warn, "compute",
+                  "node-failure", engine_->now(),
+                  util::Json::object({{"task", tid}, {"job", job_for_log}}));
+            }
           } else if (trace_) {
             trace_->add(sim::Span{"compute", "node-failure", tid,
                                   t.info.started, t.info.completed, {}});

@@ -167,6 +167,8 @@ class ComputeService {
     sim::SimTime ready_at;
     hpcsim::JobId node_job;     ///< node claimed by a held task
     std::function<void(const TaskInfo&)> settled_cb;
+    /// Flight-recorder subject (the owning flow run) captured at submit().
+    std::string flight_subject;
   };
 
   void pump_endpoint(const EndpointId& eid);

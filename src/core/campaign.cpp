@@ -4,6 +4,8 @@
 #include <cmath>
 #include <memory>
 
+#include "instrument/hyperspectral_gen.hpp"
+#include "instrument/spatiotemporal_gen.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 #include "util/timefmt.hpp"
@@ -90,6 +92,9 @@ struct Driver : std::enable_shared_from_this<Driver> {
   CampaignConfig config;
   flow::FlowDefinition definition;
   CampaignResult* result;
+  /// Real EMD bytes staged each cycle when config.real_payloads is set
+  /// (shared: stage_real_file copies, the driver never mutates it).
+  std::shared_ptr<const std::vector<uint8_t>> payload;
   int sequence = 0;
   /// Orchestrator blackout: completion notifications are lost while true;
   /// the journal replay at restart reconciles what was missed.
@@ -125,8 +130,11 @@ struct Driver : std::enable_shared_from_this<Driver> {
     auto self = shared_from_this();
     facility->engine().schedule_after(
         sim::Duration::from_seconds(staging_s), [self, filename, index] {
-          auto st = self->facility->stage_virtual_file(filename,
-                                                       self->config.file_bytes);
+          auto st = self->payload
+                        ? self->facility->stage_real_file(filename,
+                                                          *self->payload)
+                        : self->facility->stage_virtual_file(
+                              filename, self->config.file_bytes);
           if (!st) {
             logger().error("stage failed: %s", st.error().message.c_str());
             return;
@@ -241,6 +249,14 @@ struct Driver : std::enable_shared_from_this<Driver> {
     }
     logger().info("resubmitting %s (attempt %d) in %.1fs", label.c_str(),
                   entry.attempts + 1, delay);
+    // The campaign ring (watchdog-exempt) keeps the dead-letter timeline a
+    // postmortem correlates failed-run dumps against.
+    facility->telemetry().flight.record(
+        "campaign", util::LogLevel::Warn, "campaign", "resubmit",
+        facility->engine().now(),
+        util::Json::object({{"label", label},
+                            {"attempt", entry.attempts + 1},
+                            {"delay_s", delay}}));
     auto self = shared_from_this();
     facility->engine().schedule_after(
         sim::Duration::from_seconds(delay), [self, label] {
@@ -300,6 +316,9 @@ struct Driver : std::enable_shared_from_this<Driver> {
           sim::Duration::from_seconds(event.at_s), [self] {
             logger().warn("orchestrator crash: notifications blacked out");
             self->crashed = true;
+            self->facility->telemetry().flight.record(
+                "campaign", util::LogLevel::Warn, "campaign",
+                "orchestrator-crash", self->facility->engine().now());
           });
       facility->engine().schedule_after(
           sim::Duration::from_seconds(event.at_s + down_s),
@@ -336,9 +355,51 @@ struct Driver : std::enable_shared_from_this<Driver> {
     }
     std::vector<std::string> relaunch;
     relaunch.swap(pending_relaunch);
+    facility->telemetry().flight.record(
+        "campaign", util::LogLevel::Info, "campaign", "orchestrator-restart",
+        facility->engine().now(),
+        util::Json::object(
+            {{"replayed", static_cast<int64_t>(to_settle_ok.size() +
+                                               to_settle_fail.size())},
+             {"relaunched", static_cast<int64_t>(relaunch.size())}}));
     for (const auto& label : relaunch) launch(label);
   }
 };
+
+/// Synthesize the campaign's real acquisition, sized to ~config.file_bytes
+/// of raw fp64 data (the EMD container adds a small metadata envelope).
+/// Deterministic: fixed seeds, so repeated campaigns stage identical bytes.
+std::vector<uint8_t> synthesize_payload(const CampaignConfig& config) {
+  emd::MicroscopeSettings scope;
+  const double target = static_cast<double>(std::max<int64_t>(
+      config.file_bytes, 64 * 1024));
+  if (config.use_case == UseCase::Hyperspectral) {
+    instrument::HyperspectralConfig gen;
+    gen.channels = 256;
+    const double side =
+        std::sqrt(target / (8.0 * static_cast<double>(gen.channels)));
+    gen.height = gen.width = static_cast<size_t>(std::max(16.0, side));
+    gen.dose = 120;
+    gen.background = {{"C", 0.8}, {"O", 0.2}};
+    const double c = static_cast<double>(gen.height) / 2.0;
+    gen.particles = {{c, c, std::max(3.0, c / 4.0), {{"Au", 0.9}, {"C", 0.1}}}};
+    gen.seed = 20230407;
+    auto sample = instrument::generate_hyperspectral(gen);
+    return instrument::to_emd(sample, gen, scope, "2023-04-07T09:00:00Z",
+                              "gold on carbon film", "operator@anl.gov")
+        .to_bytes();
+  }
+  instrument::SpatiotemporalConfig gen;
+  gen.height = gen.width = 128;
+  const double frames = target / (8.0 * 128.0 * 128.0);
+  gen.frames = static_cast<size_t>(std::clamp(frames, 8.0, 4096.0));
+  gen.particle_count = 6;
+  gen.seed = 20230408;
+  auto sample = instrument::generate_spatiotemporal(gen);
+  return instrument::to_emd(sample, gen, scope, "2023-04-08T09:00:00Z",
+                            "gold nanoparticles", "operator@anl.gov")
+      .to_bytes();
+}
 
 }  // namespace
 
@@ -349,6 +410,13 @@ CampaignResult run_campaign(Facility& facility, const CampaignConfig& config) {
   auto driver = std::make_shared<Driver>();
   driver->facility = &facility;
   driver->config = config;
+  if (config.real_payloads) {
+    auto bytes = synthesize_payload(config);
+    driver->config.file_bytes = static_cast<int64_t>(bytes.size());
+    result.config.file_bytes = driver->config.file_bytes;
+    driver->payload =
+        std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
+  }
   driver->definition =
       config.use_case == UseCase::Hyperspectral
           ? (config.streaming_direct ? hyperspectral_stream_flow(facility)
@@ -393,6 +461,16 @@ CampaignResult run_campaign(Facility& facility, const CampaignConfig& config) {
     scrub.interval_s = config.scrub_interval_s;
     scrub.horizon_s = config.duration_s;
     facility.start_scrubber(scrub);
+  }
+
+  // Health plane: latency objective feeds flow_runs_slow_total (the SLO
+  // engine's exact burn signal) and the periodic monitor snapshots the
+  // registry until the experiment window closes.
+  if (config.slow_run_threshold_s > 0) {
+    facility.flows().set_slow_run_threshold(config.slow_run_threshold_s);
+  }
+  if (config.health_monitor && facility.health().config().enabled) {
+    facility.health().start(config.duration_s);
   }
 
   // Campaign root span: every flow run started while the scope is active
@@ -452,6 +530,12 @@ CampaignResult run_campaign(Facility& facility, const CampaignConfig& config) {
       .gauge("campaign_duration_seconds",
              "Virtual length of the most recent campaign window")
       .set(config.duration_s);
+
+  // One closing health pass over the drained queue: the final snapshot sees
+  // every terminal counter, so end-of-window SLO burn and scores are exact.
+  if (config.health_monitor && facility.health().config().enabled) {
+    facility.health().tick();
+  }
 
   logger().info("%s campaign: %zu in-window flows, %zu late, %zu failed",
                 use_case_name(config.use_case).c_str(),

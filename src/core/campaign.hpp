@@ -70,6 +70,22 @@ struct CampaignConfig {
   /// copies, and requests provenance-driven repair re-transfers. 0 = no
   /// scrubbing. Passes stop at duration_s so the event queue drains.
   double scrub_interval_s = 0;
+  /// SLO latency objective applied to every flow run: runs slower than this
+  /// increment flow_runs_slow_total (the health plane's latency burn signal)
+  /// and stamp an "slo-slow" flight event. 0 = no objective.
+  double slow_run_threshold_s = 0;
+  /// Arm the facility's periodic HealthMonitor for the campaign window
+  /// (snapshots, SLO burn, watchdogs, anomaly detection — DESIGN.md §15).
+  bool health_monitor = true;
+  /// Stage real synthesized EMD payloads (instrument generators) instead of
+  /// size-only virtual files, so every flow exercises the actual data-plane
+  /// kernels: EMD parse, axis reductions, peak finding / particle tracking,
+  /// artifact rendering. One payload sized to ~file_bytes is synthesized per
+  /// campaign and re-staged each cycle; file_bytes is then snapped to the
+  /// payload's true size so staging/transfer costs stay consistent.
+  /// Wall-clock benches use this so overhead ratios are measured against
+  /// campaigns doing real work, not skeleton event shuffling.
+  bool real_payloads = false;
 };
 
 struct CompletedFlow {

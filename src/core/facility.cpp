@@ -98,6 +98,29 @@ Facility::Facility(FacilityConfig config)
   flows_->set_telemetry(&telemetry_);
   search_provider_->set_telemetry(&telemetry_);
 
+  // Health plane: flight-ring sizing comes from the config; the periodic
+  // monitor is armed here but only ticks once someone calls
+  // health().start(horizon). The link probe reads this facility's topology
+  // and network — the telemetry library itself cannot depend on net/.
+  telemetry_.flight.configure(config_.health.flight);
+  health_ = std::make_unique<telemetry::health::HealthMonitor>(
+      engine_, telemetry_, config_.health);
+  health_->set_link_probe([this] {
+    std::vector<telemetry::health::LinkProbe> probes;
+    for (net::LinkId lid = 0;
+         lid < static_cast<net::LinkId>(topo_.link_count()); ++lid) {
+      const net::Link& l = topo_.link(lid);
+      telemetry::health::LinkProbe p;
+      p.link = l.name.empty()
+                   ? util::format("link-%u", static_cast<unsigned>(lid))
+                   : l.name;
+      p.up = l.up;
+      p.utilization = network_->average_utilization(lid);
+      probes.push_back(std::move(p));
+    }
+    return probes;
+  });
+
   user_identity_ = "operator@anl.gov";
   user_token_ = auth_.issue(
       user_identity_, {"transfer", "compute", "search.ingest", "flows"});

@@ -23,6 +23,7 @@
 #include "sim/trace.hpp"
 #include "storage/scrubber.hpp"
 #include "storage/store.hpp"
+#include "telemetry/health/monitor.hpp"
 #include "telemetry/telemetry.hpp"
 #include "transfer/service.hpp"
 #include "transfer/stream.hpp"
@@ -55,6 +56,10 @@ struct FacilityConfig {
   int64_t node_memory_capacity = static_cast<int64_t>(2e12);   // 2 TB
   /// Direct detector→compute streaming knobs (DESIGN.md §13).
   transfer::StreamConfig stream;
+  /// Live health plane: flight-recorder ring sizing, SLO windows, watchdogs,
+  /// anomaly thresholds (DESIGN.md §15). The monitor itself only runs once
+  /// the campaign (or an experiment) calls health().start(horizon).
+  telemetry::health::HealthConfig health;
   uint64_t seed = 42;
 };
 
@@ -72,6 +77,10 @@ class Facility {
   /// metrics registry every service reports into.
   telemetry::Telemetry& telemetry() { return telemetry_; }
   const telemetry::Telemetry& telemetry() const { return telemetry_; }
+  /// Live health plane over the telemetry bundle: SLO burn, watchdogs,
+  /// anomaly detection, provider/link scores (DESIGN.md §15).
+  telemetry::health::HealthMonitor& health() { return *health_; }
+  const telemetry::health::HealthMonitor& health() const { return *health_; }
   net::Topology& topology() { return topo_; }
   net::Network& network() { return *network_; }
   storage::Store& user_store() { return user_store_; }
@@ -158,6 +167,7 @@ class Facility {
   std::unique_ptr<flow::FlowService> flows_;
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<storage::Scrubber> scrubber_;
+  std::unique_ptr<telemetry::health::HealthMonitor> health_;
   std::unique_ptr<TransferProvider> transfer_provider_;
   std::unique_ptr<StreamProvider> stream_provider_;
   std::unique_ptr<ComputeProvider> compute_provider_;

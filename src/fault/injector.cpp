@@ -127,6 +127,15 @@ void FaultInjector::begin_event(const FaultEvent& event) {
                                    {"duration_s", event.duration_s},
                                }));
     }
+    // The chaos timeline lives in one watchdog-exempt ring so a flow dump can
+    // be correlated against which fault windows were open at the time.
+    telemetry_->flight.record(
+        "chaos", util::LogLevel::Info, "fault", "fault-begin",
+        s_.engine->now(),
+        util::Json::object({{"kind", fault_kind_name(event.kind)},
+                            {"target", event.target},
+                            {"severity", event.severity},
+                            {"duration_s", event.duration_s}}));
   }
 
   if (event.kind == FaultKind::TokenExpiry) {
@@ -246,6 +255,10 @@ void FaultInjector::end_event(const FaultEvent& event) {
                                    {"target", event.target},
                                }));
     }
+    telemetry_->flight.record(
+        "chaos", util::LogLevel::Info, "fault", "fault-end", s_.engine->now(),
+        util::Json::object({{"kind", fault_kind_name(event.kind)},
+                            {"target", event.target}}));
   }
 
   int depth = --depth_[overlap_key(event)];

@@ -79,6 +79,13 @@ void FlowService::set_telemetry(telemetry::Telemetry* telemetry) {
   telemetry_ = telemetry;
 }
 
+void FlowService::flight_event(const RunId& id, util::LogLevel level,
+                               std::string name, util::Json attrs) {
+  if (!telemetry_) return;
+  telemetry_->flight.record(id, level, "flow", std::move(name),
+                            engine_->now(), std::move(attrs));
+}
+
 void FlowService::set_notification_loss_prob(double prob) {
   notification_loss_prob_ = std::max(0.0, std::min(1.0, prob));
 }
@@ -102,6 +109,19 @@ void FlowService::on_breaker_transition(const std::string& provider,
                "Circuit breaker state transitions by provider and new state",
                {{"provider", provider}, {"to", to_name}})
       .inc();
+  // Live breaker position for the health plane's provider score.
+  telemetry_->metrics
+      .gauge("flow_breaker_open",
+             "Breaker position by provider: 0 closed, 0.5 half-open, 1 open",
+             {{"provider", provider}})
+      .set(to == CircuitBreaker::State::Open       ? 1.0
+           : to == CircuitBreaker::State::HalfOpen ? 0.5
+                                                   : 0.0);
+  flight_event(active_run_, util::LogLevel::Warn, "breaker-" + to_name,
+               util::Json::object({
+                   {"provider", provider},
+                   {"from", CircuitBreaker::state_name(from)},
+               }));
   if (active_step_span_ != 0) {
     telemetry_->tracer.event(
         active_step_span_, "breaker-" + to_name, at,
@@ -145,7 +165,20 @@ util::Result<RunId> FlowService::start(const FlowDefinition& definition,
     // a campaign, else root.
     run.run_span = telemetry_->tracer.open("flow", id);
   }
+  const std::string run_label = run.info.label;
   runs_[id] = std::move(run);
+  if (telemetry_) {
+    telemetry_->flight.open(id, engine_->now());
+    flight_event(id, util::LogLevel::Info, "submitted",
+                 util::Json::object({
+                     {"flow", definition.name},
+                     {"label", run_label},
+                     {"steps", definition.steps.size()},
+                 }));
+    telemetry_->metrics
+        .gauge("flow_active_runs", "Flow runs submitted but not yet settled")
+        .add(1.0);
+  }
 
   engine_->schedule_after(
       sim::Duration::from_seconds(jittered(config_.start_latency_s)),
@@ -236,6 +269,13 @@ void FlowService::dispatch_step(const RunId& id) {
         telemetry_->tracer.open("flow", id + "/" + step.name, run.run_span);
   }
   active_step_span_ = run.step_span;
+  active_run_ = id;
+  flight_event(id, util::LogLevel::Info, "dispatch",
+               util::Json::object({
+                   {"step", step.name},
+                   {"provider", step.provider},
+                   {"retry", run.retries_this_step},
+               }));
 
   // Circuit-breaker gate: while the provider's breaker is open, fail fast —
   // the wait consumes one retry and the re-dispatch lands when the breaker
@@ -261,6 +301,11 @@ void FlowService::dispatch_step(const RunId& id) {
                                      {"wait_s", open_wait},
                                      {"retry", run.retries_this_step},
                                  }));
+        flight_event(id, util::LogLevel::Warn, "breaker-deferred",
+                     util::Json::object({
+                         {"provider", step.provider},
+                         {"wait_s", open_wait},
+                     }));
       }
       logger().debug("%s: breaker open for %s, retry %d deferred %.1fs",
                      id.c_str(), step.provider.c_str(), run.retries_this_step,
@@ -293,9 +338,12 @@ void FlowService::dispatch_step(const RunId& id) {
   }
   util::Result<ActionHandle> handle = [&] {
     // Scope the attempt span around the provider call so the service-side
-    // task (transfer/compute) parents to this attempt via tracer context.
+    // task (transfer/compute) parents to this attempt via tracer context,
+    // and the flight subject so the service's async events (frame NACKs,
+    // chunk retries) reach this run's ring.
     if (!telemetry_) return provider->start(resolved, run.token);
     telemetry::Tracer::Scope scope(telemetry_->tracer, run.attempt_span);
+    telemetry::health::FlightRecorder::Scope fscope(telemetry_->flight, id);
     return provider->start(resolved, run.token);
   }();
   if (!handle) {
@@ -353,6 +401,7 @@ void FlowService::poll_step(const RunId& id, uint64_t epoch) {
   StepTiming& timing = run.timing.steps[run.info.current_step];
   ++timing.polls;
   active_step_span_ = run.step_span;
+  active_run_ = id;
   if (telemetry_) {
     telemetry_->metrics
         .counter("flow_polls_total", "Completion polls issued by the flow "
@@ -404,6 +453,7 @@ void FlowService::timeout_step(const RunId& id, uint64_t epoch) {
   run.timing.steps[run.info.current_step].timeouts += 1;
   ++total_timeouts_;
   active_step_span_ = run.step_span;
+  active_run_ = id;
   if (telemetry_) {
     telemetry_->metrics
         .counter("flow_timeouts_total",
@@ -415,6 +465,12 @@ void FlowService::timeout_step(const RunId& id, uint64_t epoch) {
                                  {"provider", step.provider},
                                  {"timeout_s", step.timeout_s},
                              }));
+    flight_event(id, util::LogLevel::Warn, "timeout",
+                 util::Json::object({
+                     {"step", step.name},
+                     {"provider", step.provider},
+                     {"timeout_s", step.timeout_s},
+                 }));
   }
   breaker_for(step.provider).record_failure(engine_->now());
   logger().warn("%s: step %s timed out after %.1fs (attempt abandoned)",
@@ -454,6 +510,8 @@ void FlowService::on_notification(const RunId& id, uint64_t epoch) {
                                  util::Json::object({
                                      {"provider", step.provider},
                                  }));
+        flight_event(id, util::LogLevel::Warn, "notification-lost",
+                     util::Json::object({{"provider", step.provider}}));
       }
     }
     logger().debug("%s: completion notification lost (step %s)", id.c_str(),
@@ -510,6 +568,7 @@ void FlowService::on_stream_progress(const RunId& id, uint64_t epoch) {
   util::Result<ActionHandle> handle = [&] {
     if (!telemetry_) return provider->start_held(resolved, run.token);
     telemetry::Tracer::Scope scope(telemetry_->tracer, attempt_span);
+    telemetry::health::FlightRecorder::Scope fscope(telemetry_->flight, id);
     return provider->start_held(resolved, run.token);
   }();
   if (!handle) {
@@ -645,6 +704,7 @@ void FlowService::step_attempt_failed(const RunId& id, const std::string& error,
   uint64_t epoch = ++run.epoch;  // abandon the failed attempt's events
 
   active_step_span_ = run.step_span;
+  active_run_ = id;
   if (telemetry_ && run.attempt_span != 0) {
     telemetry_->tracer.close(run.attempt_span, "attempt", run.attempt_started,
                              engine_->now(),
@@ -672,6 +732,12 @@ void FlowService::step_attempt_failed(const RunId& id, const std::string& error,
                                  {"retry", run.retries_this_step},
                                  {"error", error},
                              }));
+    flight_event(id, util::LogLevel::Warn, "retry",
+                 util::Json::object({
+                     {"step", step.name},
+                     {"retry", run.retries_this_step},
+                     {"error", error},
+                 }));
   }
   logger().debug("%s: step %s attempt failed (%s), retry %d", id.c_str(),
                  step.name.c_str(), error.c_str(), run.retries_this_step);
@@ -697,6 +763,7 @@ void FlowService::complete_step(const RunId& id, const ActionPollResult& poll) {
   const ActionState& step = run.definition.steps[run.info.current_step];
   ++run.epoch;  // invalidate any pending timeout for this attempt
   active_step_span_ = run.step_span;
+  active_run_ = id;
   breaker_for(step.provider).record_success(engine_->now());
   StepTiming& timing = run.timing.steps[run.info.current_step];
   timing.service_started = poll.service_started;
@@ -732,6 +799,12 @@ void FlowService::complete_step(const RunId& id, const ActionPollResult& poll) {
                    "Poll-discovery lag between service completion and the "
                    "orchestrator observing it")
         .observe(timing.discovery_lag_s());
+    flight_event(id, util::LogLevel::Info, "step-complete",
+                 util::Json::object({
+                     {"step", step.name},
+                     {"active_s", timing.active_s()},
+                     {"polls", timing.polls},
+                 }));
   } else if (trace_) {
     trace_->add(sim::Span{"flow", "step", id + "/" + step.name,
                           timing.dispatched, timing.discovered,
@@ -805,6 +878,17 @@ void FlowService::fail_run(const RunId& id, const std::string& error) {
         .counter("flow_runs_total", "Flow runs settled, by terminal state",
                  {{"state", "failed"}})
         .inc();
+    telemetry_->metrics
+        .gauge("flow_active_runs", "Flow runs submitted but not yet settled")
+        .add(-1.0);
+    // Error-level event marks the ring dump-worthy; close() delivers the
+    // JSON dump to the recorder's sink.
+    flight_event(id, util::LogLevel::Error, "run-failed",
+                 util::Json::object({
+                     {"error", error},
+                     {"total_s", run.timing.total_s()},
+                 }));
+    telemetry_->flight.close(id, engine_->now());
   }
   logger().warn("%s failed: %s", id.c_str(), error.c_str());
   if (run.finished_cb) run.finished_cb(id, run.info);
@@ -833,6 +917,28 @@ void FlowService::finish_run(const RunId& id) {
         .histogram("flow_run_overhead_seconds",
                    "Total orchestration overhead per succeeded run")
         .observe(run.timing.overhead_s());
+    if (slow_run_threshold_s_ > 0 &&
+        run.timing.total_s() > slow_run_threshold_s_) {
+      telemetry_->metrics
+          .counter("flow_runs_slow_total",
+                   "Succeeded runs slower than the SLO completion-latency "
+                   "objective")
+          .inc();
+      flight_event(id, util::LogLevel::Warn, "slo-slow",
+                   util::Json::object({
+                       {"total_s", run.timing.total_s()},
+                       {"objective_s", slow_run_threshold_s_},
+                   }));
+    }
+    telemetry_->metrics
+        .gauge("flow_active_runs", "Flow runs submitted but not yet settled")
+        .add(-1.0);
+    flight_event(id, util::LogLevel::Info, "run-succeeded",
+                 util::Json::object({
+                     {"total_s", run.timing.total_s()},
+                     {"overhead_s", run.timing.overhead_s()},
+                 }));
+    telemetry_->flight.close(id, engine_->now());
   } else if (trace_) {
     trace_->add(sim::Span{"flow", "run", id, run.timing.submitted,
                           run.timing.finished,

@@ -281,6 +281,13 @@ class FlowService {
   void set_notification_loss_prob(double prob);
   double notification_loss_prob() const { return notification_loss_prob_; }
 
+  /// SLO hook: succeeded runs slower than this count into
+  /// flow_runs_slow_total, the numerator the health plane's latency
+  /// burn-rate evaluation reads from snapshots. 0 (default) disables.
+  void set_slow_run_threshold(double seconds) {
+    slow_run_threshold_s_ = seconds;
+  }
+
   /// Resolve "$." references in params against input + step outputs
   /// (exposed for tests).
   static util::Json resolve_params(const util::Json& params,
@@ -359,6 +366,9 @@ class FlowService {
   void on_breaker_transition(const std::string& provider,
                              CircuitBreaker::State from,
                              CircuitBreaker::State to, sim::SimTime at);
+  /// Append a structured event to the run's flight ring (no-op untelemetered).
+  void flight_event(const RunId& id, util::LogLevel level, std::string name,
+                    util::Json attrs = {});
 
   sim::Engine* engine_;
   auth::AuthService* auth_;
@@ -369,8 +379,11 @@ class FlowService {
   telemetry::Telemetry* telemetry_ = nullptr;
   /// Step span of the run currently being advanced on this stack; breaker
   /// transition observers attach their events here. Valid because the sim
-  /// engine is single-threaded.
+  /// engine is single-threaded. active_run_ is the matching flight-ring
+  /// subject.
   uint64_t active_step_span_ = 0;
+  RunId active_run_;
+  double slow_run_threshold_s_ = 0;
   std::map<std::string, ActionProvider*> providers_;
   std::map<std::string, CircuitBreaker> breakers_;
   std::map<RunId, Run> runs_;

@@ -1,0 +1,109 @@
+#include "portal/health_page.hpp"
+
+#include "portal/portal.hpp"
+#include "util/strings.hpp"
+
+namespace pico::portal {
+namespace {
+
+using util::format;
+using util::html_escape;
+
+/// Score cell shaded by health: green >= 90, amber >= 50, red below.
+std::string score_cell(double score) {
+  const char* color =
+      score >= 90 ? "#1e8449" : (score >= 50 ? "#b9770e" : "#922b21");
+  return format("<td style='color:%s;font-weight:bold'>%.0f</td>", color,
+                score);
+}
+
+}  // namespace
+
+std::string render_health_html(const telemetry::health::HealthReport& report,
+                               const std::string& title) {
+  std::string out = "<!doctype html><html><head><meta charset='utf-8'><title>";
+  out += html_escape(title);
+  out += "</title>";
+  out += portal_style();
+  out += "</head><body>";
+  out += "<p><a href='index.html'>&larr; back to portal</a></p>";
+  out += "<h1>" + html_escape(title) + "</h1>";
+  out += format(
+      "<p>As of t=%.1fs &mdash; %zu open flows (%zu stalled), "
+      "%zu flight rings holding %llu events (%llu dump-worthy).</p>",
+      report.at.seconds(), report.open_flows, report.stalled_flows,
+      report.flight_rings,
+      static_cast<unsigned long long>(report.flight_events),
+      static_cast<unsigned long long>(report.flight_dump_worthy));
+
+  out += "<h2>Provider health</h2>";
+  if (report.providers.empty()) {
+    out += "<p>No providers scored yet.</p>";
+  } else {
+    out += "<table><tr><th>Provider</th><th>Score</th><th>Breaker</th>"
+           "<th>Retries/min</th><th>Timeouts/min</th>"
+           "<th>Deferrals/min</th></tr>";
+    for (const auto& p : report.providers) {
+      const char* breaker = p.breaker_open >= 1.0
+                                ? "open"
+                                : (p.breaker_open > 0 ? "half-open" : "closed");
+      out += "<tr><td>" + html_escape(p.provider) + "</td>";
+      out += score_cell(p.score);
+      out += format("<td>%s</td><td>%.2f</td><td>%.2f</td><td>%.2f</td></tr>",
+                    breaker, p.retries_per_min, p.timeouts_per_min,
+                    p.deferrals_per_min);
+    }
+    out += "</table>";
+  }
+
+  out += "<h2>Link health</h2>";
+  if (report.links.empty()) {
+    out += "<p>No link probe installed.</p>";
+  } else {
+    out += "<table><tr><th>Link</th><th>Score</th><th>State</th>"
+           "<th>Avg utilization</th></tr>";
+    for (const auto& l : report.links) {
+      out += "<tr><td>" + html_escape(l.link) + "</td>";
+      out += score_cell(l.score);
+      out += format("<td>%s</td><td>%.1f%%</td></tr>", l.up ? "up" : "down",
+                    100.0 * l.utilization);
+    }
+    out += "</table>";
+  }
+
+  out += "<h2>SLO burn rates</h2>";
+  if (report.slos.empty()) {
+    out += "<p>No SLO evaluations yet.</p>";
+  } else {
+    out += "<table><tr><th>Objective</th><th>Fast-window burn</th>"
+           "<th>Slow-window burn</th><th>State</th></tr>";
+    for (const auto& s : report.slos) {
+      out += "<tr><td>" + html_escape(s.objective) + "</td>";
+      out += format("<td>%.2f</td><td>%.2f</td>", s.fast_burn, s.slow_burn);
+      out += s.alerting ? "<td style='color:#922b21;font-weight:bold'>"
+                          "burning</td></tr>"
+                        : "<td>ok</td></tr>";
+    }
+    out += "</table>";
+  }
+
+  out += "<h2>Alert history</h2>";
+  if (report.alerts.empty()) {
+    out += "<p>No alerts fired.</p>";
+  } else {
+    out += "<table><tr><th>t (s)</th><th>Kind</th><th>Severity</th>"
+           "<th>Subject</th><th>Detail</th></tr>";
+    for (const auto& a : report.alerts) {
+      out += format("<tr><td>%.1f</td>", a.at.seconds());
+      out += "<td>" + html_escape(a.kind) + "</td><td>" +
+             html_escape(a.severity) + "</td><td>" + html_escape(a.subject) +
+             "</td><td>" + html_escape(a.detail) + "</td></tr>";
+    }
+    out += "</table>";
+  }
+
+  out += "</body></html>";
+  return out;
+}
+
+}  // namespace pico::portal

@@ -1,0 +1,16 @@
+#pragma once
+// Portal health page: renders a health::HealthReport (built by the
+// HealthMonitor's periodic tick over the metrics registry and flight
+// recorder) as a static HTML page — per-provider/per-link health scores, SLO
+// burn rates, the alert history, and flight-recorder occupancy. Examples
+// write it next to the generated portal site alongside the telemetry page.
+#include <string>
+
+#include "telemetry/health/monitor.hpp"
+
+namespace pico::portal {
+
+std::string render_health_html(const telemetry::health::HealthReport& report,
+                               const std::string& title = "Facility health");
+
+}  // namespace pico::portal

@@ -1,5 +1,7 @@
 #include "sim/trace.hpp"
 
+#include <algorithm>
+
 namespace pico::sim {
 
 std::vector<const Span*> Trace::select(const std::string& component,
@@ -33,9 +35,38 @@ std::vector<const Span*> Trace::children_of(uint64_t parent_id) const {
   return out;
 }
 
+std::vector<const Span*> Trace::sorted_spans() const {
+  std::vector<const Span*> out;
+  out.reserve(spans_.size());
+  for (const auto& s : spans_) out.push_back(&s);
+  std::sort(out.begin(), out.end(), [](const Span* a, const Span* b) {
+    if (a->start.ns != b->start.ns) return a->start.ns < b->start.ns;
+    if (a->span_id != b->span_id) return a->span_id < b->span_id;
+    return a->seq < b->seq;
+  });
+  return out;
+}
+
+namespace {
+
+/// Events sorted by timestamp; stable keeps append order for equal stamps.
+std::vector<const SpanEvent*> sorted_events(const Span& s) {
+  std::vector<const SpanEvent*> out;
+  out.reserve(s.events.size());
+  for (const auto& e : s.events) out.push_back(&e);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanEvent* a, const SpanEvent* b) {
+                     return a->at.ns < b->at.ns;
+                   });
+  return out;
+}
+
+}  // namespace
+
 std::string Trace::to_jsonl() const {
   std::string out;
-  for (const auto& s : spans_) {
+  for (const Span* sp : sorted_spans()) {
+    const Span& s = *sp;
     util::Json j = util::Json::object({
         {"component", s.component},
         {"category", s.category},
@@ -51,11 +82,11 @@ std::string Trace::to_jsonl() const {
     }
     if (!s.events.empty()) {
       util::Json events = util::Json::array();
-      for (const auto& e : s.events) {
+      for (const SpanEvent* e : sorted_events(s)) {
         events.push_back(util::Json::object({
-            {"name", e.name},
-            {"at_s", e.at.seconds()},
-            {"attrs", e.attrs},
+            {"name", e->name},
+            {"at_s", e->at.seconds()},
+            {"attrs", e->attrs},
         }));
       }
       j["events"] = std::move(events);

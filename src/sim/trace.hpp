@@ -36,6 +36,12 @@ struct Span {
   uint64_t span_id = 0;   ///< unique within the trace (0 = unassigned)
   uint64_t parent_id = 0; ///< causal parent span (0 = root)
   std::vector<SpanEvent> events;
+  /// Recording order, assigned by Trace::add under its mutex. Exporters use
+  /// it as the final sort-key tie-break (timestamp, span_id, seq) so spans
+  /// closed at the same integer nanosecond — common with parallel data-plane
+  /// workers — serialize in a stable order. Kept last so positional
+  /// aggregate initializers written before it existed stay valid.
+  uint64_t seq = 0;
 
   double duration_seconds() const { return (end - start).seconds(); }
 };
@@ -50,6 +56,7 @@ class Trace {
  public:
   void add(Span span) {
     std::lock_guard lock(mu_);
+    span.seq = next_seq_++;
     spans_.push_back(std::move(span));
   }
   void clear() {
@@ -70,12 +77,19 @@ class Trace {
   /// Completed children of `parent_id`, in recording order.
   std::vector<const Span*> children_of(uint64_t parent_id) const;
 
-  /// Serialize to JSON lines for offline inspection.
+  /// Serialize to JSON lines for offline inspection. Lines are ordered by
+  /// (start time, span_id, seq) and a span's events by (time, append order),
+  /// so two runs of the same simulation produce byte-identical output.
   std::string to_jsonl() const;
+
+  /// Spans sorted by the exporters' deterministic key: start.ns, then
+  /// span_id, then recording seq.
+  std::vector<const Span*> sorted_spans() const;
 
  private:
   mutable std::mutex mu_;
   std::vector<Span> spans_;
+  uint64_t next_seq_ = 0;
 };
 
 }  // namespace pico::sim

@@ -54,6 +54,12 @@ size_t Scrubber::scan_once() {
                                 {"store", store_->name()},
                                 {"path", path}}));
       }
+      // Scrub hits share one watchdog-exempt ring: at-rest corruption has no
+      // owning flow run, but a postmortem still wants the hit timeline.
+      telemetry_->flight.record(
+          "scrubber", util::LogLevel::Warn, "scrubber", "scrub-hit",
+          engine_->now(),
+          util::Json::object({{"store", store_->name()}, {"path", path}}));
     }
     if (repair_) {
       ++stats_.repairs_requested;

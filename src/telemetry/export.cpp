@@ -12,11 +12,15 @@ double to_us(sim::SimTime t) { return static_cast<double>(t.ns) / 1000.0; }
 }  // namespace
 
 std::string to_chrome_trace(const sim::Trace& trace) {
+  // Deterministic emission order: (start time, span_id, recording seq), so
+  // spans closed at the same instant by parallel workers serialize stably.
+  std::vector<const sim::Span*> ordered = trace.sorted_spans();
+
   // Stable virtual-thread assignment: one tid per component, in order of
   // first appearance so related spans stay on one row in the viewer.
   std::map<std::string, int> tids;
-  for (const auto& s : trace.spans()) {
-    tids.emplace(s.component, static_cast<int>(tids.size()) + 1);
+  for (const sim::Span* s : ordered) {
+    tids.emplace(s->component, static_cast<int>(tids.size()) + 1);
   }
 
   util::Json events = util::Json::array();
@@ -36,7 +40,8 @@ std::string to_chrome_trace(const sim::Trace& trace) {
     }));
   }
 
-  for (const auto& s : trace.spans()) {
+  for (const sim::Span* sp : ordered) {
+    const sim::Span& s = *sp;
     int tid = tids[s.component];
     util::Json args = util::Json::object({
         {"trace_id", s.trace_id},
@@ -54,17 +59,26 @@ std::string to_chrome_trace(const sim::Trace& trace) {
         {"dur", to_us(s.end) - to_us(s.start)},
         {"args", std::move(args)},
     }));
-    for (const auto& e : s.events) {
+    // Instant events sorted by timestamp; stable so same-stamp events keep
+    // their append order.
+    std::vector<const sim::SpanEvent*> evs;
+    evs.reserve(s.events.size());
+    for (const auto& e : s.events) evs.push_back(&e);
+    std::stable_sort(evs.begin(), evs.end(),
+                     [](const sim::SpanEvent* a, const sim::SpanEvent* b) {
+                       return a->at.ns < b->at.ns;
+                     });
+    for (const sim::SpanEvent* e : evs) {
       events.push_back(util::Json::object({
           {"ph", "i"},
           {"pid", 1},
           {"tid", tid},
           {"s", "t"},
           {"cat", s.component + ".event"},
-          {"name", e.name},
-          {"ts", to_us(e.at)},
+          {"name", e->name},
+          {"ts", to_us(e->at)},
           {"args", util::Json::object({{"span_id", s.span_id},
-                                       {"attrs", e.attrs}})},
+                                       {"attrs", e->attrs}})},
       }));
     }
   }

@@ -1,0 +1,76 @@
+#include "telemetry/health/anomaly.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pico::telemetry::health {
+
+AnomalyDetector::AnomalyDetector(AnomalyConfig config)
+    : config_(std::move(config)) {
+  for (const auto& family : config_.families) watched_[family] = true;
+}
+
+std::vector<HealthAlert> AnomalyDetector::observe(
+    sim::SimTime at, const std::vector<MetricSample>& snapshot) {
+  std::vector<HealthAlert> alerts;
+  for (const auto& sample : snapshot) {
+    // Histograms participate through their cumulative sum (e.g.
+    // stream_degraded_seconds); gauges are point-in-time and skipped.
+    if (sample.kind == MetricKind::Gauge) continue;
+    if (!watched_.empty() && !watched_.count(sample.name)) continue;
+
+    std::string key = sample.name;
+    for (const auto& [k, v] : sample.labels) key += "," + k + "=" + v;
+
+    SeriesState& s = state_[key];
+    if (!s.seen) {
+      s.seen = true;
+      s.last = sample.value;
+      if (config_.alert_on_birth && global_ticks_ >=
+              static_cast<uint64_t>(config_.warmup_ticks) &&
+          sample.value >= config_.min_delta) {
+        // A watched series born after warmup means the bad thing just
+        // started happening; series present from tick zero only seed state.
+        char detail[96];
+        std::snprintf(detail, sizeof(detail), "series appeared, value=%.1f",
+                      sample.value);
+        alerts.push_back({at, "anomaly", "warn", key, detail});
+        ++alerts_fired_;
+        s.hot = true;
+      }
+      continue;
+    }
+    const double delta = sample.value - s.last;
+    s.last = sample.value;
+
+    const double sigma = std::sqrt(s.var);
+    const bool warm = s.ticks >= config_.warmup_ticks;
+    if (warm && delta >= config_.min_delta) {
+      const double z = (delta - s.mean) / (sigma > 1e-9 ? sigma : 1e-9);
+      if (z >= config_.z_threshold) {
+        if (!s.hot) {
+          char detail[160];
+          std::snprintf(detail, sizeof(detail),
+                        "delta=%.1f ewma=%.2f sigma=%.2f z=%.1f", delta,
+                        s.mean, sigma, z);
+          alerts.push_back({at, "anomaly", "warn", key, detail});
+          ++alerts_fired_;
+        }
+        s.hot = true;
+        // Do not fold the spike into the baseline: a sustained incident keeps
+        // alerting state hot instead of teaching the detector it's normal.
+        ++s.ticks;
+        continue;
+      }
+    }
+    s.hot = false;
+    const double dev = delta - s.mean;
+    s.mean += config_.alpha * dev;
+    s.var = (1.0 - config_.alpha) * (s.var + config_.alpha * dev * dev);
+    ++s.ticks;
+  }
+  ++global_ticks_;
+  return alerts;
+}
+
+}  // namespace pico::telemetry::health

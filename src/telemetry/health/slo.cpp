@@ -1,0 +1,116 @@
+#include "telemetry/health/slo.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pico::telemetry::health {
+
+namespace {
+
+uint64_t bad_errors(const SloInput& s) { return s.failed; }
+uint64_t bad_slow(const SloInput& s) { return s.slow; }
+uint64_t total_runs(const SloInput& s) { return s.succeeded + s.failed; }
+uint64_t total_completed(const SloInput& s) { return s.succeeded; }
+
+std::string format_burn(double fast, double slow) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "fast_burn=%.2f slow_burn=%.2f", fast, slow);
+  return buf;
+}
+
+}  // namespace
+
+const SloInput& SloEngine::baseline_for(const SloInput& now,
+                                        double window_s) const {
+  const sim::SimTime cutoff{now.at.ns -
+                            static_cast<int64_t>(window_s * 1e9)};
+  // history_ is time-ordered; take the newest sample at or before the cutoff
+  // so the delta spans at least the full window, else the oldest we have.
+  const SloInput* base = &history_.front();
+  for (const auto& s : history_) {
+    if (s.at > cutoff) break;
+    base = &s;
+  }
+  return *base;
+}
+
+double SloEngine::burn_over(const SloInput& now, double window_s, Extract bad,
+                            Extract total, double budget) const {
+  if (history_.empty() || budget <= 0.0) return 0.0;
+  const SloInput& base = baseline_for(now, window_s);
+  const uint64_t total_delta = total(now) - total(base);
+  if (total_delta == 0) return 0.0;
+  const uint64_t bad_delta = bad(now) - bad(base);
+  const double rate =
+      static_cast<double>(bad_delta) / static_cast<double>(total_delta);
+  return rate / budget;
+}
+
+std::vector<HealthAlert> SloEngine::feed(const SloInput& input) {
+  std::vector<HealthAlert> alerts;
+
+  const double fast_w = config_.fast.seconds;
+  const double slow_w = config_.slow.seconds;
+
+  const double err_fast =
+      burn_over(input, fast_w, bad_errors, total_runs, config_.spec.error_budget);
+  const double err_slow =
+      burn_over(input, slow_w, bad_errors, total_runs, config_.spec.error_budget);
+  const double lat_fast = burn_over(input, fast_w, bad_slow, total_completed,
+                                    config_.spec.latency_budget);
+  const double lat_slow = burn_over(input, slow_w, bad_slow, total_completed,
+                                    config_.spec.latency_budget);
+
+  const bool err_hot = err_fast >= config_.fast.threshold &&
+                       err_slow >= config_.slow.threshold;
+  const bool lat_hot = lat_fast >= config_.fast.threshold &&
+                       lat_slow >= config_.slow.threshold;
+
+  if (err_hot && !error_active_) {
+    alerts.push_back({input.at, "slo-burn", "critical", "error_rate",
+                      config_.spec.flow_type + " error-budget burn: " +
+                          format_burn(err_fast, err_slow)});
+  }
+  error_active_ = err_hot;
+
+  if (lat_hot && !latency_active_) {
+    alerts.push_back({input.at, "slo-burn", "critical", "latency",
+                      config_.spec.flow_type + " latency-budget burn (>" +
+                          std::to_string(config_.spec.completion_latency_s) +
+                          "s): " + format_burn(lat_fast, lat_slow)});
+  }
+  latency_active_ = lat_hot;
+
+  // Time-to-first-result: fires at most once, only when flows have actually
+  // started (an idle facility is not in violation).
+  const bool ttfr_late = input.started > 0 && input.succeeded == 0 &&
+                         input.at.seconds() >
+                             config_.spec.time_to_first_result_s;
+  if (ttfr_late && !ttfr_fired_) {
+    ttfr_fired_ = true;
+    alerts.push_back({input.at, "slo-ttfr", "warn", "ttfr",
+                      "no first result after " +
+                          std::to_string(input.at.seconds()) + "s (objective " +
+                          std::to_string(config_.spec.time_to_first_result_s) +
+                          "s)"});
+  }
+
+  status_ = {
+      {"error_rate", err_fast, err_slow, err_hot},
+      {"latency", lat_fast, lat_slow, lat_hot},
+      {"ttfr", 0.0, 0.0, ttfr_late},
+  };
+
+  history_.push_back(input);
+  // Keep a little more than the slow window of history.
+  const sim::SimTime keep_after{
+      input.at.ns - static_cast<int64_t>((slow_w + 2.0 * fast_w) * 1e9)};
+  while (history_.size() > 2 && history_[1].at <= keep_after) {
+    history_.pop_front();
+  }
+
+  alerts_fired_ += alerts.size();
+  return alerts;
+}
+
+}  // namespace pico::telemetry::health

@@ -1,0 +1,106 @@
+#pragma once
+// Declarative service-level objectives per flow type, evaluated as
+// multi-window error-budget burn rates over periodic metric snapshots.
+//
+// Burn rate is the SRE textbook quantity: (observed bad fraction over a
+// window) / (budgeted bad fraction). A burn of 1.0 spends the budget exactly
+// at the sustainable pace; an alert fires when BOTH the fast and slow windows
+// burn above their thresholds — the fast window catches the cliff, the slow
+// window keeps one unlucky run from paging anyone.
+//
+// The engine consumes plain extracted counts (the HealthMonitor pulls them
+// out of MetricsRegistry snapshots) so it is trivially unit-testable.
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pico::telemetry::health {
+
+/// Objectives for one flow type.
+struct SloSpec {
+  std::string flow_type = "campaign";  ///< informational label on alerts
+  /// A run is "slow" when its total latency exceeds this objective.
+  double completion_latency_s = 600.0;
+  /// Fraction of runs allowed to fail (error budget).
+  double error_budget = 0.05;
+  /// Fraction of runs allowed to exceed completion_latency_s.
+  double latency_budget = 0.10;
+  /// Some result must land within this of campaign start.
+  double time_to_first_result_s = 300.0;
+};
+
+struct BurnWindow {
+  double seconds = 300.0;
+  double threshold = 6.0;  ///< alert when burn rate >= threshold
+};
+
+struct SloConfig {
+  SloSpec spec;
+  BurnWindow fast{300.0, 6.0};
+  BurnWindow slow{1800.0, 2.0};
+};
+
+/// Cumulative counts extracted from one metrics snapshot.
+struct SloInput {
+  sim::SimTime at;
+  uint64_t succeeded = 0;  ///< flow_runs_total{state="succeeded"}
+  uint64_t failed = 0;     ///< flow_runs_total{state="failed"}
+  uint64_t slow = 0;       ///< completed runs slower than the objective
+  uint64_t started = 0;    ///< flows that have begun (flight rings opened)
+};
+
+/// Point-in-time status of one objective.
+struct SloStatus {
+  std::string objective;  ///< "error_rate" | "latency" | "ttfr"
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  bool alerting = false;
+};
+
+/// An alert raised by the health plane (SLO burn, watchdog, anomaly).
+struct HealthAlert {
+  sim::SimTime at;
+  std::string kind;      ///< e.g. "slo-burn", "watchdog-stall", "anomaly"
+  std::string severity;  ///< "warn" | "critical"
+  std::string subject;   ///< objective, flow run id, or metric series
+  std::string detail;
+};
+
+/// Multi-window burn-rate evaluator. feed() one SloInput per snapshot tick;
+/// alerts fire on the rising edge of a violation episode and re-arm once the
+/// burn drops back below threshold.
+class SloEngine {
+ public:
+  explicit SloEngine(SloConfig config = {}) : config_(config) {}
+
+  const SloConfig& config() const { return config_; }
+
+  /// Ingest one snapshot and return any newly fired alerts.
+  std::vector<HealthAlert> feed(const SloInput& input);
+
+  /// Latest burn status per objective (error_rate, latency, ttfr).
+  const std::vector<SloStatus>& status() const { return status_; }
+
+  uint64_t alerts_fired() const { return alerts_fired_; }
+
+ private:
+  using Extract = uint64_t (*)(const SloInput&);
+  /// Burn rate for bad/total deltas over one trailing window. When less than
+  /// a full window of history exists the oldest sample is the baseline.
+  double burn_over(const SloInput& now, double window_s, Extract bad,
+                   Extract total, double budget) const;
+  const SloInput& baseline_for(const SloInput& now, double window_s) const;
+
+  SloConfig config_;
+  std::deque<SloInput> history_;
+  std::vector<SloStatus> status_;
+  bool error_active_ = false;
+  bool latency_active_ = false;
+  bool ttfr_fired_ = false;
+  uint64_t alerts_fired_ = 0;
+};
+
+}  // namespace pico::telemetry::health

@@ -62,7 +62,11 @@ uint64_t FixedHistogram::cumulative(size_t i) const {
 
 double FixedHistogram::quantile(double q) const {
   uint64_t n = count();
+  // Empty histogram: no sample to estimate from. 0 keeps summary tables and
+  // JSON stable instead of propagating NaN into reports.
   if (n == 0) return 0.0;
+  // A NaN rank would make the ceil/cast below undefined; treat it as p100.
+  if (std::isnan(q)) q = 1.0;
   q = std::clamp(q, 0.0, 1.0);
   uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
   if (rank == 0) rank = 1;
@@ -204,6 +208,36 @@ std::string prom_value(double v) {
   return format("%.10g", v);
 }
 
+/// Label-value escaping per the Prometheus text exposition spec: backslash,
+/// double quote, and line feed must be escaped inside quoted label values.
+std::string prom_escape_label(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// HELP text escaping: only backslash and line feed (quotes stay literal).
+std::string prom_escape_help(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
 std::string prom_labels(const Labels& labels) {
   if (labels.empty()) return "";
   std::string out = "{";
@@ -211,7 +245,7 @@ std::string prom_labels(const Labels& labels) {
   for (const auto& [k, v] : labels) {
     if (!first) out.push_back(',');
     first = false;
-    out += k + "=\"" + v + "\"";
+    out += k + "=\"" + prom_escape_label(v) + "\"";
   }
   out.push_back('}');
   return out;
@@ -232,7 +266,7 @@ std::string MetricsRegistry::to_prometheus() const {
   std::string last_family;
   for (const MetricSample& s : samples) {
     if (s.name != last_family) {
-      out += "# HELP " + s.name + " " + s.help + "\n";
+      out += "# HELP " + s.name + " " + prom_escape_help(s.help) + "\n";
       out += "# TYPE " + s.name + " " + metric_kind_name(s.kind) + "\n";
       last_family = s.name;
     }

@@ -5,6 +5,7 @@
 // Telemetry pointer disables instrumentation at the call site, so unit tests
 // that build services directly need no setup.
 #include "telemetry/export.hpp"
+#include "telemetry/health/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/tracer.hpp"
 
@@ -15,6 +16,7 @@ struct Telemetry {
 
   Tracer tracer;
   MetricsRegistry metrics;
+  health::FlightRecorder flight;
 
   TelemetrySummary summarize(const sim::Trace& trace) const {
     return telemetry::summarize(trace, metrics);

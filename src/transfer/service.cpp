@@ -127,6 +127,11 @@ util::Result<TaskId> TransferService::submit(const TransferRequest& request,
         .counter("transfer_tasks_total", "Transfer tasks by terminal state",
                  {{"state", "submitted"}})
         .inc();
+    task.flight_subject = telemetry_->flight.current();
+    flight(task, util::LogLevel::Info, "transfer-open",
+           util::Json::object({{"task", id},
+                               {"bytes", total},
+                               {"files", task.info.files_total}}));
   }
   tasks_[id] = std::move(task);
 
@@ -320,6 +325,16 @@ void TransferService::note_corruption(ActiveTask& task, const char* where,
   telemetry_->tracer.event(
       task.span, "corruption-detected", engine_->now(),
       util::Json::object({{"where", where}, {"file", spec.src_path}}));
+  flight(task, util::LogLevel::Warn, "corruption-detected",
+         util::Json::object({{"where", where}, {"file", spec.src_path}}));
+}
+
+void TransferService::flight(const ActiveTask& task, util::LogLevel level,
+                             std::string name, util::Json attrs) {
+  if (!telemetry_ || task.flight_subject.empty()) return;
+  telemetry_->flight.record(task.flight_subject, level, "transfer",
+                            std::move(name), engine_->now(),
+                            std::move(attrs));
 }
 
 void TransferService::begin_next_file(const TaskId& id) {
@@ -335,6 +350,8 @@ void TransferService::begin_next_file(const TaskId& id) {
                    "Tasks parked by a control-plane outage")
           .inc();
       telemetry_->tracer.event(task.span, "stalled", engine_->now());
+      flight(task, util::LogLevel::Warn, "transfer-stalled",
+             util::Json::object({{"task", id}}));
     }
     logger().debug("%s stalled: service unavailable", id.c_str());
     return;
@@ -693,6 +710,10 @@ bool TransferService::retry_file(const TaskId& id, const FileSpec& spec,
                                  {"backoff_s", backoff},
                                  {"reason", reason},
                              }));
+    flight(task, util::LogLevel::Warn, "transfer-retry",
+           util::Json::object({{"file", spec.src_path},
+                               {"attempt", task.attempts_this_file},
+                               {"reason", reason}}));
   }
   logger().debug("%s: %s on %s (attempt %d), retrying in %.1fs", id.c_str(),
                  reason.c_str(), spec.src_path.c_str(),
@@ -724,6 +745,8 @@ void TransferService::fail_task(const TaskId& id, const std::string& error) {
                              it->second.info.submitted, engine_->now(),
                              util::Json::object({{"error", error}}));
     it->second.span = 0;
+    flight(it->second, util::LogLevel::Error, "transfer-failed",
+           util::Json::object({{"task", id}, {"error", error}}));
     telemetry_->metrics
         .counter("transfer_tasks_total", "Transfer tasks by terminal state",
                  {{"state", "failed"}})

@@ -242,6 +242,9 @@ class TransferService {
     std::function<void(int64_t)> progress_cb;
     std::function<void(const TaskInfo&)> settled_cb;
     uint64_t span = 0;  ///< open telemetry span (0 = none)
+    /// Flight-recorder subject (the owning flow run) captured at submit(), so
+    /// retries and corruption hits land in that run's ring.
+    std::string flight_subject;
   };
   /// How a delivered destination object was produced — enough to resubmit an
   /// equivalent single-file transfer when the scrubber quarantines the copy.
@@ -283,6 +286,9 @@ class TransferService {
                        sim::SimTime source_created);
   void note_corruption(ActiveTask& task, const char* where,
                        const FileSpec& spec);
+  /// Append to the owning run's flight ring (no-op without a subject).
+  void flight(const ActiveTask& task, util::LogLevel level, std::string name,
+              util::Json attrs = {});
 
   sim::Engine* engine_;
   net::Network* network_;

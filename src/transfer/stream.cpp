@@ -47,6 +47,13 @@ telemetry::Counter* StreamService::counter(const std::string& name,
   return &telemetry_->metrics.counter(name, help, labels);
 }
 
+void StreamService::flight(const Session& s, util::LogLevel level,
+                           std::string name, util::Json attrs) {
+  if (!telemetry_ || s.flight_subject.empty()) return;
+  telemetry_->flight.record(s.flight_subject, level, "stream", std::move(name),
+                            engine_->now(), std::move(attrs));
+}
+
 util::Result<SessionId> StreamService::submit(const StreamRequest& request,
                                               const auth::Token& token) {
   using R = util::Result<SessionId>;
@@ -72,10 +79,17 @@ util::Result<SessionId> StreamService::submit(const StreamRequest& request,
   s.info.submitted = engine_->now();
   if (telemetry_) {
     s.span = telemetry_->tracer.open("stream", id);
+    s.flight_subject = telemetry_->flight.current();
     telemetry_->metrics
         .counter("stream_sessions_total", "Streaming sessions by state",
                  {{"state", "submitted"}})
         .inc();
+    flight(s, util::LogLevel::Info, "stream-open",
+           util::Json::object({
+               {"session", id},
+               {"bytes", s.info.bytes_total},
+               {"frames", s.info.frames_total},
+           }));
   }
   sessions_[id] = std::move(s);
 
@@ -223,6 +237,8 @@ void StreamService::send_frame(const SessionId& id, const net::Frame& f,
           s.span, "retransmit", engine_->now(),
           util::Json::object({{"seq", f.seq}}));
     }
+    flight(s, util::LogLevel::Warn, "frame-retransmit",
+           util::Json::object({{"seq", f.seq}}));
   } else {
     ++s.info.frames_sent;
     if (auto* c = counter("stream_frames_sent_total",
@@ -253,6 +269,8 @@ void StreamService::arrival(const SessionId& id, const net::Frame& f) {
     if (auto* c = counter("frames_dropped_total",
                           "Frames lost on the direct streaming path"))
       c->inc();
+    flight(s, util::LogLevel::Warn, "frame-drop",
+           util::Json::object({{"seq", f.seq}}));
     logger().debug("%s: frame %lld dropped", id.c_str(),
                    static_cast<long long>(f.seq));
     return;  // the gap watchdog will NACK and retransmit
@@ -358,6 +376,8 @@ void StreamService::watchdog_tick(const SessionId& id) {
     return;
   }
   mark_degraded(s);
+  flight(s, util::LogLevel::Warn, "frame-nack",
+         util::Json::object({{"seq", cursor}, {"attempt", attempts}}));
   s.channel->take_credit(s.sub, cursor);  // rides the original credit
   send_frame(id, *f, /*retransmit=*/true);
 }
@@ -436,6 +456,9 @@ void StreamService::flush_spill(const SessionId& id) {
         util::Json::object({{"first", first}, {"last", last},
                             {"bytes", bytes}}));
   }
+  flight(s, util::LogLevel::Warn, "spill",
+         util::Json::object(
+             {{"first", first}, {"last", last}, {"bytes", bytes}}));
   logger().info("%s: spilling frames [%lld, %lld] (%lld bytes) via %s",
                 id.c_str(), static_cast<long long>(first),
                 static_cast<long long>(last), static_cast<long long>(bytes),
@@ -491,6 +514,8 @@ void StreamService::set_consumer_stall(bool stalled) {
       if (telemetry_ && s.span) {
         telemetry_->tracer.event(s.span, "consumer-stall", engine_->now());
       }
+      flight(s, util::LogLevel::Warn, "consumer-stall",
+             util::Json::object({{"budget_s", config_.stall_fallback_s}}));
       SessionId sid = id;
       engine_->schedule_after(
           sim::Duration::from_seconds(config_.stall_fallback_s),
@@ -545,6 +570,10 @@ void StreamService::trigger_fallback(const SessionId& id,
     telemetry_->tracer.event(s.span, "fallback", engine_->now(),
                              util::Json::object({{"reason", reason}}));
   }
+  // Error level marks the owning run's ring dump-worthy: a fallback is the
+  // ladder's last rung and exactly what a postmortem wants to replay.
+  flight(s, util::LogLevel::Error, "stream-fallback",
+         util::Json::object({{"session", id}, {"reason", reason}}));
   logger().warn("%s: falling back to store-mediated transfer (%s)",
                 id.c_str(), reason.c_str());
 
@@ -633,6 +662,17 @@ void StreamService::finish(const SessionId& id, SessionState state) {
                               {"mode", s.info.mode}}));
       s.span = 0;
     }
+    flight(s,
+           state == SessionState::Succeeded ? util::LogLevel::Info
+                                            : util::LogLevel::Error,
+           "stream-settled",
+           util::Json::object({
+               {"session", id},
+               {"state", session_state_name(state)},
+               {"mode", s.info.mode},
+               {"retransmits", s.info.retransmits},
+               {"spills", s.info.spills},
+           }));
   }
   logger().debug("%s settled %s (mode %s, %lld retransmits, %lld spills)",
                  id.c_str(), session_state_name(state).c_str(),

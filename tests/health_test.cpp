@@ -1,0 +1,437 @@
+// Health-plane tests: flight-recorder ring semantics (bounded eviction, dump
+// marking, context-stack attribution, sink delivery), SLO multi-window burn
+// math and episode edge-triggering, EWMA/z-score anomaly detection, and the
+// HealthMonitor's watchdogs + provider/link scoring driven by a sim engine.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "telemetry/health/anomaly.hpp"
+#include "telemetry/health/flight_recorder.hpp"
+#include "telemetry/health/monitor.hpp"
+#include "telemetry/health/slo.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace pico::telemetry::health {
+namespace {
+
+using util::Json;
+using util::LogLevel;
+
+sim::SimTime t(double s) { return sim::SimTime::from_seconds(s); }
+
+// ------------------------------------------------------ flight recorder ----
+
+TEST(FlightRecord, RingEvictsOldestAndKeepsHonestTotals) {
+  FlightRecord ring("run-1", /*capacity=*/4, t(0));
+  for (int i = 0; i < 10; ++i) {
+    FlightEvent e;
+    e.at = t(i);
+    e.name = "e" + std::to_string(i);
+    ring.record(std::move(e));
+  }
+  EXPECT_EQ(ring.events().size(), 4u);
+  EXPECT_EQ(ring.total(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  // Oldest surviving event is #6 and seq numbers survive eviction.
+  EXPECT_EQ(ring.events().front().name, "e6");
+  EXPECT_EQ(ring.events().front().seq, 6u);
+  EXPECT_EQ(ring.events().back().seq, 9u);
+  EXPECT_EQ(ring.last_event(), t(9));
+
+  Json doc = ring.to_json();
+  EXPECT_EQ(doc.at("events_total").as_int(), 10);
+  EXPECT_EQ(doc.at("events_dropped").as_int(), 6);
+  EXPECT_EQ(doc.at("events").as_array().size(), 4u);
+}
+
+TEST(FlightRecorder, ErrorLevelEventMarksRingDumpWorthy) {
+  FlightRecorder rec;
+  rec.record("run-1", LogLevel::Info, "flow", "submitted", t(0));
+  rec.record("run-2", LogLevel::Info, "flow", "submitted", t(0));
+  rec.record("run-2", LogLevel::Error, "flow", "run-failed", t(5));
+  EXPECT_EQ(rec.ring_count(), 2u);
+  EXPECT_EQ(rec.dump_worthy_count(), 1u);
+  // Warn stays below the default dump level.
+  rec.record("run-1", LogLevel::Warn, "flow", "retry", t(6));
+  EXPECT_EQ(rec.dump_worthy_count(), 1u);
+}
+
+TEST(FlightRecorder, CloseDeliversDumpExactlyOnceForDumpWorthyRings) {
+  FlightRecorder rec;
+  std::vector<std::string> delivered;
+  rec.set_dump_sink(
+      [&](const std::string& subject, const Json&) {
+        delivered.push_back(subject);
+      });
+  rec.record("ok-run", LogLevel::Info, "flow", "submitted", t(0));
+  rec.record("bad-run", LogLevel::Error, "flow", "run-failed", t(1));
+  rec.close("ok-run", t(2));
+  rec.close("bad-run", t(2));
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], "bad-run");
+  // flush_dumps still returns the record but never re-fires the sink.
+  auto dumps = rec.flush_dumps();
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_EQ(dumps[0].first, "bad-run");
+  EXPECT_EQ(delivered.size(), 1u);
+}
+
+TEST(FlightRecorder, FlushDumpsFiresSinkForStillOpenRings) {
+  FlightRecorder rec;
+  std::vector<std::string> delivered;
+  rec.set_dump_sink(
+      [&](const std::string& subject, const Json&) {
+        delivered.push_back(subject);
+      });
+  rec.record("stuck-run", LogLevel::Info, "flow", "submitted", t(0));
+  rec.request_dump("stuck-run", "watchdog-stall", t(100));
+  auto dumps = rec.flush_dumps();
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_EQ(dumps[0].second.at("dump_reason").as_string(), "watchdog-stall");
+  EXPECT_EQ(delivered, std::vector<std::string>{"stuck-run"});
+}
+
+TEST(FlightRecorder, ContextStackAttributesAsyncWork) {
+  FlightRecorder rec;
+  EXPECT_EQ(rec.current(), "");
+  {
+    FlightRecorder::Scope outer(rec, "run-1");
+    EXPECT_EQ(rec.current(), "run-1");
+    {
+      FlightRecorder::Scope inner(rec, "run-2");
+      EXPECT_EQ(rec.current(), "run-2");
+    }
+    EXPECT_EQ(rec.current(), "run-1");
+  }
+  EXPECT_EQ(rec.current(), "");
+}
+
+TEST(FlightRecorder, EmptySubjectAndDisabledAreNoOps) {
+  FlightRecorder rec;
+  rec.record("", LogLevel::Error, "flow", "orphan", t(0));
+  EXPECT_EQ(rec.ring_count(), 0u);
+  EXPECT_TRUE(rec.dump("missing").is_null());
+
+  FlightRecorderConfig off;
+  off.enabled = false;
+  FlightRecorder disabled(off);
+  disabled.record("run-1", LogLevel::Error, "flow", "failed", t(0));
+  EXPECT_EQ(disabled.ring_count(), 0u);
+}
+
+TEST(FlightRecorder, ClosedRingReopensOnNewActivity) {
+  FlightRecorder rec;
+  rec.record("run-1", LogLevel::Info, "flow", "submitted", t(0));
+  rec.close("run-1", t(10));
+  EXPECT_TRUE(rec.open_flows().empty());
+  // Dead-letter resubmission touches the old subject again.
+  rec.record("run-1", LogLevel::Info, "flow", "resubmitted", t(20));
+  ASSERT_EQ(rec.open_flows().size(), 1u);
+  Json doc = rec.dump("run-1");
+  const auto& events = doc.at("events").as_array();
+  ASSERT_EQ(events.size(), 3u);  // submitted, reopened, resubmitted
+  EXPECT_EQ(events[1].at("name").as_string(), "reopened");
+}
+
+// ------------------------------------------------------------ SLO engine ----
+
+SloConfig tight_slo() {
+  SloConfig cfg;
+  cfg.spec.error_budget = 0.05;
+  cfg.spec.latency_budget = 0.10;
+  cfg.spec.completion_latency_s = 60;
+  cfg.spec.time_to_first_result_s = 300;
+  cfg.fast = {60.0, 6.0};
+  cfg.slow = {300.0, 2.0};
+  return cfg;
+}
+
+SloInput in(double at_s, uint64_t ok, uint64_t bad, uint64_t slow = 0) {
+  SloInput i;
+  i.at = t(at_s);
+  i.succeeded = ok;
+  i.failed = bad;
+  i.slow = slow;
+  i.started = ok + bad;
+  return i;
+}
+
+TEST(SloEngine, ErrorBurnFiresWhenBothWindowsExceedThresholds) {
+  SloEngine slo(tight_slo());
+  EXPECT_TRUE(slo.feed(in(0, 0, 0)).empty());  // no history yet
+  // Half of 20 runs failed over 400s: rate 0.5 / budget 0.05 = burn 10 on
+  // both windows (the only baseline is the t=0 sample).
+  auto alerts = slo.feed(in(400, 10, 10));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, "slo-burn");
+  EXPECT_EQ(alerts[0].subject, "error_rate");
+  EXPECT_EQ(alerts[0].severity, "critical");
+  ASSERT_EQ(slo.status().size(), 3u);
+  EXPECT_DOUBLE_EQ(slo.status()[0].fast_burn, 10.0);
+  EXPECT_TRUE(slo.status()[0].alerting);
+
+  // Still burning: the episode is edge-triggered, no duplicate alert.
+  EXPECT_TRUE(slo.feed(in(410, 10, 10)).empty());
+
+  // Quiet stretch: deltas go to zero, burn resets, episode re-arms...
+  EXPECT_TRUE(slo.feed(in(900, 10, 10)).empty());
+  EXPECT_TRUE(slo.feed(in(1300, 10, 10)).empty());
+  EXPECT_FALSE(slo.status()[0].alerting);
+  // ...so a second failure wave fires a second alert.
+  auto again = slo.feed(in(1360, 10, 20));
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].subject, "error_rate");
+}
+
+TEST(SloEngine, LatencyBurnUsesSlowRunCounter) {
+  SloEngine slo(tight_slo());
+  slo.feed(in(0, 0, 0));
+  // 6 of 12 completed runs blew the latency objective: rate 0.5 / 0.10 = 5.0
+  // burn — above the slow threshold (2) but below the fast one (6): silent.
+  EXPECT_TRUE(slo.feed(in(400, 12, 0, 6)).empty());
+  ASSERT_EQ(slo.status().size(), 3u);
+  EXPECT_DOUBLE_EQ(slo.status()[1].fast_burn, 5.0);
+  EXPECT_FALSE(slo.status()[1].alerting);
+
+  SloEngine hot(tight_slo());
+  hot.feed(in(0, 0, 0));
+  // 8 of 10: rate 0.8 / 0.10 = burn 8 >= both thresholds.
+  auto alerts = hot.feed(in(400, 10, 0, 8));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].subject, "latency");
+}
+
+TEST(SloEngine, TimeToFirstResultFiresOnceAndOnlyWhenStarted) {
+  SloEngine slo(tight_slo());
+  // Idle facility past the objective: not a violation.
+  SloInput idle = in(400, 0, 0);
+  idle.started = 0;
+  EXPECT_TRUE(slo.feed(idle).empty());
+  // Started flows but nothing succeeded past 300s: warn once.
+  SloInput late = in(500, 0, 0);
+  late.started = 3;
+  auto alerts = slo.feed(late);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, "slo-ttfr");
+  EXPECT_EQ(alerts[0].severity, "warn");
+  late.at = t(600);
+  EXPECT_TRUE(slo.feed(late).empty());
+}
+
+// ------------------------------------------------------ anomaly detector ----
+
+MetricSample counter_sample(const std::string& name, double value) {
+  MetricSample s;
+  s.name = name;
+  s.kind = MetricKind::Counter;
+  s.value = value;
+  return s;
+}
+
+AnomalyConfig tight_anomaly() {
+  AnomalyConfig cfg;
+  cfg.warmup_ticks = 3;
+  cfg.min_delta = 2.0;
+  cfg.z_threshold = 4.0;
+  cfg.families = {"frames_dropped_total", "stream_spills_total"};
+  return cfg;
+}
+
+TEST(Anomaly, SpikeAfterWarmupAlertsOncePerEpisode) {
+  AnomalyDetector det(tight_anomaly());
+  double cum = 0;
+  // Steady trickle of 1/tick through warmup.
+  for (int i = 0; i < 6; ++i) {
+    cum += 1;
+    auto alerts = det.observe(
+        t(i * 15.0), {counter_sample("frames_dropped_total", cum)});
+    EXPECT_TRUE(alerts.empty()) << "tick " << i;
+  }
+  // 80-frame spike: far above the learned ~1/tick baseline.
+  cum += 80;
+  auto alerts =
+      det.observe(t(90), {counter_sample("frames_dropped_total", cum)});
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, "anomaly");
+  EXPECT_EQ(alerts[0].subject, "frames_dropped_total");
+  // Sustained spike: the hot flag dedups the episode.
+  cum += 80;
+  EXPECT_TRUE(
+      det.observe(t(105), {counter_sample("frames_dropped_total", cum)})
+          .empty());
+  // Back to the trickle, then a fresh spike re-alerts.
+  for (int i = 0; i < 4; ++i) {
+    cum += 1;
+    det.observe(t(120 + i * 15.0),
+                {counter_sample("frames_dropped_total", cum)});
+  }
+  cum += 400;
+  EXPECT_EQ(
+      det.observe(t(200), {counter_sample("frames_dropped_total", cum)}).size(),
+      1u);
+  EXPECT_EQ(det.alerts_fired(), 2u);
+}
+
+TEST(Anomaly, SeriesBornAfterQuietWarmupIsItselfAnomalous) {
+  AnomalyDetector det(tight_anomaly());
+  // The facility ticks quietly with no watched series at all.
+  for (int i = 0; i < 5; ++i) det.observe(t(i * 15.0), {});
+  // First spill counter ever — born mid-campaign, clearly chaos.
+  auto alerts = det.observe(t(90), {counter_sample("stream_spills_total", 5)});
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].subject, "stream_spills_total");
+}
+
+TEST(Anomaly, SeriesPresentFromStartSeedsBaselineSilently) {
+  AnomalyDetector det(tight_anomaly());
+  auto alerts =
+      det.observe(t(0), {counter_sample("frames_dropped_total", 100)});
+  EXPECT_TRUE(alerts.empty());
+}
+
+TEST(Anomaly, UnwatchedFamiliesAndGaugesAreIgnored) {
+  AnomalyDetector det(tight_anomaly());
+  MetricSample gauge;
+  gauge.name = "frames_dropped_total";  // watched name but gauge kind
+  gauge.kind = MetricKind::Gauge;
+  gauge.value = 1000;
+  for (int i = 0; i < 8; ++i) {
+    auto alerts = det.observe(
+        t(i * 15.0),
+        {gauge, counter_sample("flow_polls_total", i * 1000.0)});
+    EXPECT_TRUE(alerts.empty());
+  }
+  EXPECT_EQ(det.series_tracked(), 0u);
+}
+
+// --------------------------------------------------------- health monitor ----
+
+struct MonitorHarness {
+  sim::Engine engine;
+  sim::Trace trace;
+  Telemetry telemetry{&trace};
+
+  HealthMonitor make(HealthConfig cfg) {
+    return HealthMonitor(engine, telemetry, cfg);
+  }
+};
+
+TEST(HealthMonitor, WatchdogsFlagStalledAndOverdueFlows) {
+  MonitorHarness h;
+  HealthConfig cfg;
+  cfg.snapshot_interval_s = 10;
+  cfg.stall_after_s = 30;
+  cfg.flow_deadline_s = 100;
+  HealthMonitor monitor(h.engine, h.telemetry, cfg);
+
+  // One run goes silent immediately; chaos/scrubber rings are exempt.
+  h.telemetry.flight.record("run-1", LogLevel::Info, "flow", "submitted",
+                            t(0));
+  h.telemetry.flight.record("chaos", LogLevel::Info, "fault", "fault-begin",
+                            t(0));
+  monitor.start(/*horizon_s=*/200);
+  h.engine.run();
+
+  // Stall fired once (edge) and the deadline fired once.
+  EXPECT_EQ(monitor.watchdog_flags(), 2u);
+  bool saw_stall = false, saw_deadline = false;
+  for (const auto& a : monitor.alerts()) {
+    if (a.kind == "watchdog-stall") {
+      saw_stall = true;
+      EXPECT_EQ(a.subject, "run-1");
+    }
+    if (a.kind == "watchdog-deadline") {
+      saw_deadline = true;
+      EXPECT_EQ(a.subject, "run-1");
+    }
+  }
+  EXPECT_TRUE(saw_stall);
+  EXPECT_TRUE(saw_deadline);
+
+  // Both watchdogs requested a dump of the stuck flow.
+  Json dump = h.telemetry.flight.dump("run-1");
+  ASSERT_FALSE(dump.is_null());
+  EXPECT_FALSE(dump.at("dump_reason").as_string().empty());
+
+  HealthReport report = monitor.report();
+  EXPECT_EQ(report.open_flows, 1u);  // chaos ring not counted
+  EXPECT_EQ(report.stalled_flows, 1u);
+  EXPECT_GT(monitor.ticks(), 0u);
+}
+
+TEST(HealthMonitor, ProviderScoresDegradeWithBreakerAndRetries) {
+  MonitorHarness h;
+  HealthConfig cfg;
+  cfg.snapshot_interval_s = 15;
+  HealthMonitor monitor(h.engine, h.telemetry, cfg);
+
+  auto& metrics = h.telemetry.metrics;
+  metrics.counter("flow_polls_total", "p", {{"provider", "compute"}}).inc();
+  metrics.counter("flow_polls_total", "p", {{"provider", "transfer"}}).inc();
+  monitor.tick();  // baseline
+
+  metrics.gauge("flow_breaker_open", "b", {{"provider", "transfer"}}).set(1);
+  metrics.counter("flow_retries_total", "r", {{"provider", "transfer"}})
+      .inc(2);
+  monitor.tick();
+
+  HealthReport report = monitor.report();
+  ASSERT_EQ(report.providers.size(), 2u);
+  const ProviderScore* compute = nullptr;
+  const ProviderScore* transfer = nullptr;
+  for (const auto& p : report.providers) {
+    if (p.provider == "compute") compute = &p;
+    if (p.provider == "transfer") transfer = &p;
+  }
+  ASSERT_TRUE(compute && transfer);
+  EXPECT_DOUBLE_EQ(compute->score, 100.0);
+  // Breaker open alone costs 50; retry rate pushes it further down.
+  EXPECT_LE(transfer->score, 50.0);
+  EXPECT_DOUBLE_EQ(transfer->breaker_open, 1.0);
+  EXPECT_GT(transfer->retries_per_min, 0.0);
+
+  // Scores are republished as gauges for the Prometheus exposition.
+  std::string prom = metrics.to_prometheus();
+  EXPECT_NE(prom.find("health_provider_score{provider=\"transfer\"}"),
+            std::string::npos);
+}
+
+TEST(HealthMonitor, LinkProbeScoresUtilizationAndPartitions) {
+  MonitorHarness h;
+  HealthMonitor monitor(h.engine, h.telemetry, HealthConfig{});
+  monitor.set_link_probe([] {
+    return std::vector<LinkProbe>{
+        {"user-switch", true, 0.5},
+        {"backbone-eagle", false, 0.0},
+    };
+  });
+  monitor.tick();
+  HealthReport report = monitor.report();
+  ASSERT_EQ(report.links.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.links[0].score, 85.0);  // 100 - 30 * 0.5
+  EXPECT_DOUBLE_EQ(report.links[1].score, 0.0);   // down link
+}
+
+TEST(HealthMonitor, ReportSerializesToJson) {
+  MonitorHarness h;
+  HealthMonitor monitor(h.engine, h.telemetry, HealthConfig{});
+  h.telemetry.flight.record("run-1", LogLevel::Error, "flow", "run-failed",
+                            t(1));
+  monitor.tick();
+  Json doc = monitor.report().to_json();
+  EXPECT_TRUE(doc.at("providers").is_array());
+  EXPECT_TRUE(doc.at("slos").is_array());
+  EXPECT_TRUE(doc.at("alerts").is_array());
+  EXPECT_EQ(doc.at_path("flight.rings").as_int(), 1);
+  EXPECT_EQ(doc.at_path("flight.dump_worthy").as_int(), 1);
+  // The tick itself is visible in the registry.
+  std::string prom = h.telemetry.metrics.to_prometheus();
+  EXPECT_NE(prom.find("health_ticks_total 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pico::telemetry::health

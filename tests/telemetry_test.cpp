@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <set>
 
@@ -98,6 +99,62 @@ TEST(Metrics, PrometheusExposition) {
   EXPECT_EQ(text, reg.to_prometheus());
 }
 
+TEST(Metrics, PrometheusEscapesHostileLabelValuesAndHelp) {
+  MetricsRegistry reg;
+  // Every character class the exposition-format spec requires escaping in
+  // quoted label values: backslash, double quote, line feed.
+  reg.counter("hostile_total", "first line\nsecond \\ line",
+              {{"path", "C:\\tmp\\\"quoted\"\nnext"}})
+      .inc();
+  std::string text = reg.to_prometheus();
+
+  // Label value: \ -> \\, " -> \", newline -> \n.
+  EXPECT_NE(
+      text.find(
+          "hostile_total{path=\"C:\\\\tmp\\\\\\\"quoted\\\"\\nnext\"} 1\n"),
+      std::string::npos);
+  // HELP text: \ -> \\ and newline -> \n (quotes stay literal).
+  EXPECT_NE(text.find("# HELP hostile_total first line\\nsecond \\\\ line\n"),
+            std::string::npos);
+  // No raw newline may survive inside any exposition line.
+  for (size_t pos = text.find('{'); pos != std::string::npos;
+       pos = text.find('{', pos + 1)) {
+    size_t close = text.find('}', pos);
+    ASSERT_NE(close, std::string::npos);
+    EXPECT_EQ(text.substr(pos, close - pos).find('\n'), std::string::npos);
+  }
+}
+
+TEST(Metrics, HistogramQuantileEmptyAndOverflowEdgeCases) {
+  FixedHistogram empty({1.0, 2.0});
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+  util::Quantiles q = empty.quantiles();
+  EXPECT_DOUBLE_EQ(q.p50, 0.0);
+  EXPECT_DOUBLE_EQ(q.p99, 0.0);
+
+  // Every observation above the last bound: estimates clamp to the tracked
+  // max instead of inventing an infinite bucket midpoint.
+  FixedHistogram overflow({1.0, 2.0});
+  overflow.observe(50.0);
+  overflow.observe(75.0);
+  overflow.observe(100.0);
+  EXPECT_DOUBLE_EQ(overflow.quantile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(overflow.quantile(0.99), 100.0);
+  EXPECT_DOUBLE_EQ(overflow.max(), 100.0);
+
+  // Out-of-range and NaN quantile requests stay finite and clamped.
+  FixedHistogram h({1.0, 2.0});
+  h.observe(1.5);
+  EXPECT_DOUBLE_EQ(h.quantile(-3.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(7.0), h.quantile(1.0));
+  double nan_q = h.quantile(std::nan(""));
+  EXPECT_FALSE(std::isnan(nan_q));
+  EXPECT_DOUBLE_EQ(nan_q, h.quantile(1.0));
+}
+
 // -------------------------------------------------------------- tracer ----
 
 TEST(Tracer, ContextStackParentsSpans) {
@@ -176,6 +233,74 @@ TEST(Export, ChromeTraceIsWellFormedAndCausal) {
   const sim::Span* p = trace.find("flow", "run", "run-1");
   ASSERT_NE(p, nullptr);
   EXPECT_EQ(parent_of_child, p->span_id);
+}
+
+TEST(Export, IdenticalTimestampsSerializeInStableOrder) {
+  // Two traces holding the same spans recorded in opposite orders — as
+  // parallel data-plane workers racing Trace::add would produce. All spans
+  // share one integer-ns start; the sort key (start, span_id, seq) must make
+  // both serializations identical.
+  auto build = [](bool reversed) {
+    auto trace = std::make_unique<sim::Trace>();
+    std::vector<sim::Span> spans;
+    for (uint64_t id = 1; id <= 4; ++id) {
+      sim::Span s;
+      s.component = "compute";
+      s.category = "active";
+      s.label = "worker-" + std::to_string(id);
+      s.start = t(1);
+      s.end = t(2);
+      s.trace_id = 7;
+      s.span_id = id;
+      spans.push_back(std::move(s));
+    }
+    if (reversed) std::reverse(spans.begin(), spans.end());
+    for (auto& s : spans) trace->add(std::move(s));
+    return trace;
+  };
+  auto forward = build(false);
+  auto reverse = build(true);
+  EXPECT_EQ(forward->to_jsonl(), reverse->to_jsonl());
+  EXPECT_EQ(to_chrome_trace(*forward), to_chrome_trace(*reverse));
+
+  // Untraced spans (span_id 0) with equal stamps fall back to recording seq:
+  // output preserves add() order and stays byte-stable across renders.
+  sim::Trace ties;
+  for (const char* label : {"first", "second"}) {
+    sim::Span s;
+    s.component = "flow";
+    s.category = "overhead";
+    s.label = label;
+    s.start = t(3);
+    s.end = t(4);
+    ties.add(std::move(s));
+  }
+  std::string jsonl = ties.to_jsonl();
+  EXPECT_LT(jsonl.find("first"), jsonl.find("second"));
+  EXPECT_EQ(jsonl, ties.to_jsonl());
+}
+
+TEST(Export, SameStampSpanEventsKeepAppendOrder) {
+  sim::Trace trace;
+  Tracer tracer(&trace);
+  uint64_t span = tracer.open("flow", "run-1");
+  tracer.event(span, "breaker-open", t(5));
+  tracer.event(span, "retry", t(5));      // same integer-ns stamp
+  tracer.event(span, "earlier", t(2));    // out-of-order arrival
+  tracer.close(span, "run", t(0), t(6), {});
+
+  std::string jsonl = trace.to_jsonl();
+  size_t early = jsonl.find("earlier");
+  size_t breaker = jsonl.find("breaker-open");
+  size_t retry = jsonl.find("retry");
+  ASSERT_NE(early, std::string::npos);
+  // Events sort by timestamp; the t(5) tie keeps append order.
+  EXPECT_LT(early, breaker);
+  EXPECT_LT(breaker, retry);
+
+  std::string chrome = to_chrome_trace(trace);
+  EXPECT_LT(chrome.find("earlier"), chrome.find("breaker-open"));
+  EXPECT_LT(chrome.find("breaker-open"), chrome.find("\"retry\""));
 }
 
 TEST(Export, SummaryDecomposesStepsAndProviders) {

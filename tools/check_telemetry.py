@@ -40,6 +40,13 @@ Validates, with no third-party dependencies:
   >= 1 whole-flow fallback) while publishing a search index byte-identical
   to the fault-free direct run.
 
+* Health-plane baselines (``--observability``, ``BENCH_observability.json``):
+  schema, the always-on flight recorder + snapshot loop under the recorded
+  (<= 2%) wall-clock overhead limit on both Table-1 campaigns, the frame-chaos
+  campaign raising >= 1 SLO burn alert, >= 1 watchdog flag and >= 1 anomaly
+  alert with a non-empty flight dump per degraded flow, and the identical
+  fault-free campaign completely silent.
+
 * End-to-end integrity baselines (``--integrity``, ``BENCH_integrity.json``):
   schema, the 50%-progress resume acceptance pair (resumed retry < 60% of
   file bytes, whole-file restart >= 150%), and the chaos campaign's
@@ -63,11 +70,42 @@ import math
 import re
 import sys
 
+# Label values are quoted strings with backslash escapes, so `,` / `}` / `"`
+# may appear *inside* a value: the sample body and the per-label scanner both
+# have to consume quoted runs atomically rather than split on delimiters.
 SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+    r'(?:\{(?P<labels>(?:[^"}]|"(?:[^"\\]|\\.)*")*)\})?\s+(?P<value>\S+)$'
 )
-LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"$')
+LABEL_ITEM_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+    r"\s*(?:,|$)"
+)
+LABEL_ESCAPE_RE = re.compile(r'\\(.)')
+
+
+def unescape_label(value):
+    """Decode the exposition-format escapes (\\\\, \\", \\n). Any other
+    escaped character is invalid; the caller pre-validates with
+    LABEL_ITEM_RE so only well-formed pairs reach here."""
+    return LABEL_ESCAPE_RE.sub(
+        lambda m: "\n" if m.group(1) == "n" else m.group(1), value)
+
+
+def parse_labels(labels_text):
+    """Split a label body into a dict, or return None if malformed."""
+    labels = {}
+    pos = 0
+    while pos < len(labels_text):
+        m = LABEL_ITEM_RE.match(labels_text, pos)
+        if not m:
+            return None
+        for esc in re.finditer(r'\\(.)', m.group("value")):
+            if esc.group(1) not in ('\\', '"', 'n'):
+                return None
+        labels[m.group("key")] = unescape_label(m.group("value"))
+        pos = m.end()
+    return labels
 
 
 def fail(path, message):
@@ -118,13 +156,9 @@ def check_prom(path, min_families):
         family = base_family(name, families)
         if family is None:
             return fail(path, f"line {lineno}: sample {name!r} has no TYPE")
-        labels = {}
-        if labels_text:
-            for item in labels_text.split(","):
-                if not LABEL_RE.match(item):
-                    return fail(path, f"line {lineno}: bad label {item!r}")
-                k, v = item.split("=", 1)
-                labels[k] = v.strip('"')
+        labels = parse_labels(labels_text) if labels_text else {}
+        if labels is None:
+            return fail(path, f"line {lineno}: bad labels {labels_text!r}")
         try:
             numeric = float(value)
         except ValueError:
@@ -576,6 +610,96 @@ def check_streaming(path):
     return True
 
 
+OBSERVABILITY_RUNS = ("chaos", "fault_free")
+
+
+def check_observability(path):
+    try:
+        doc = json.load(open(path, encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unparseable: {e}")
+    if doc.get("schema") != "pico.bench.observability.v1":
+        return fail(path, f"bad schema {doc.get('schema')!r}")
+    if doc.get("pass") is not True:
+        return fail(path, "the bench itself recorded a failed assertion")
+
+    # Overhead: health plane on vs off on both Table-1 campaigns. The limit
+    # is recorded in the file but must not have been quietly loosened.
+    limit = doc.get("overhead_limit_pct")
+    if not isinstance(limit, (int, float)) or limit > 2.0:
+        return fail(path, f"overhead_limit_pct {limit!r} looser than 2%")
+    overhead = {o.get("campaign"): o for o in doc.get("overhead", [])}
+    if set(overhead) != {"hyperspectral", "spatiotemporal"}:
+        return fail(path, f"overhead campaigns {sorted(overhead)} != both "
+                          f"Table-1 use cases")
+    for name, o in overhead.items():
+        for key in ("off_wall_s", "on_wall_s"):
+            if not isinstance(o.get(key), (int, float)) or o[key] <= 0:
+                return fail(path, f"{name}: bad {key} {o.get(key)!r}")
+        pct = o.get("overhead_pct")
+        if not isinstance(pct, (int, float)) or pct >= limit:
+            return fail(path, f"{name}: health-plane overhead {pct!r}% is "
+                              f"not under {limit}%")
+
+    # Efficacy: chaos lights the plane up, the identical fault-free campaign
+    # stays dark.
+    runs = {r.get("run"): r for r in doc.get("runs", [])}
+    if set(runs) != set(OBSERVABILITY_RUNS):
+        return fail(path, f"runs {sorted(runs)} != "
+                          f"{sorted(OBSERVABILITY_RUNS)}")
+    for name, r in runs.items():
+        if r.get("settled", 0) <= 0:
+            return fail(path, f"{name}: no settled flows")
+        if r.get("failed", 1) != 0:
+            return fail(path, f"{name}: {r.get('failed')!r} flows failed")
+        if r.get("health_ticks", 0) <= 0:
+            return fail(path, f"{name}: health monitor never ticked")
+
+    chaos = runs["chaos"]
+    if chaos.get("fallbacks", 0) < 1:
+        return fail(path, "chaos run degraded no flows — the fault schedule "
+                          "did not exercise the plane")
+    if chaos.get("slo_alerts", 0) < 1:
+        return fail(path, "chaos run raised no SLO burn alert")
+    if chaos.get("watchdog_flags", 0) < 1:
+        return fail(path, "chaos run flagged no flow via the watchdogs")
+    if chaos.get("anomaly_alerts", 0) < 1:
+        return fail(path, "chaos run raised no anomaly alert")
+    if chaos.get("degraded_flow_dumps", 0) < chaos.get("fallbacks", 0):
+        return fail(path, f"only {chaos.get('degraded_flow_dumps')!r} flight "
+                          f"dumps cover the {chaos.get('fallbacks')!r} "
+                          f"degraded flows")
+    if chaos.get("empty_dumps", 1) != 0:
+        return fail(path, f"{chaos.get('empty_dumps')!r} flight dumps were "
+                          f"empty — the recorder missed the flow's events")
+    alerts = chaos.get("alerts")
+    if not isinstance(alerts, list) or not alerts:
+        return fail(path, "chaos run recorded no alert details")
+    for i, a in enumerate(alerts):
+        if not isinstance(a.get("kind"), str) or not a.get("kind"):
+            return fail(path, f"alert {i}: missing kind")
+        if not isinstance(a.get("subject"), str):
+            return fail(path, f"alert {i}: missing subject")
+        if not isinstance(a.get("at_s"), (int, float)) or a["at_s"] < 0:
+            return fail(path, f"alert {i}: bad at_s {a.get('at_s')!r}")
+
+    quiet = runs["fault_free"]
+    for key in ("slo_alerts", "watchdog_flags", "anomaly_alerts",
+                "flight_dumps"):
+        if quiet.get(key, 1) != 0:
+            return fail(path, f"fault_free run is not silent: {key} = "
+                              f"{quiet.get(key)!r}")
+
+    print(f"{path}: ok (overhead "
+          f"{overhead['hyperspectral']['overhead_pct']:+.2f}% / "
+          f"{overhead['spatiotemporal']['overhead_pct']:+.2f}% under "
+          f"{limit}%; chaos raised {chaos['slo_alerts']:.0f} SLO + "
+          f"{chaos['watchdog_flags']:.0f} watchdog + "
+          f"{chaos['anomaly_alerts']:.0f} anomaly alerts, "
+          f"{chaos['flight_dumps']:.0f} flight dumps; fault-free silent)")
+    return True
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--prom", action="append", default=[],
@@ -599,12 +723,16 @@ def main():
     parser.add_argument("--streaming", action="append", default=[],
                         help="BENCH_streaming.json baseline to validate "
                              "(repeatable)")
+    parser.add_argument("--observability", action="append", default=[],
+                        help="BENCH_observability.json baseline to validate "
+                             "(repeatable)")
     args = parser.parse_args()
     if not args.prom and not args.trace and not args.dataplane \
             and not args.overhead and not args.integrity \
-            and not args.streaming:
+            and not args.streaming and not args.observability:
         parser.error("nothing to check: pass --prom, --trace, --dataplane, "
-                     "--overhead, --integrity and/or --streaming")
+                     "--overhead, --integrity, --streaming and/or "
+                     "--observability")
 
     ok = True
     for path in args.prom:
@@ -619,6 +747,8 @@ def main():
         ok = check_integrity(path) and ok
     for path in args.streaming:
         ok = check_streaming(path) and ok
+    for path in args.observability:
+        ok = check_observability(path) and ok
     return 0 if ok else 1
 
 
