@@ -479,6 +479,7 @@ CampaignResult run_campaign(Facility& facility, const CampaignConfig& config) {
   // provider attempt.
   telemetry::Tracer& tracer = facility.telemetry().tracer;
   sim::SimTime campaign_start = facility.engine().now();
+  uint64_t cancelled_at_start = facility.engine().cancelled_total();
   uint64_t campaign_span =
       tracer.open("campaign", config.label_prefix, /*parent=*/0);
   {
@@ -530,6 +531,18 @@ CampaignResult run_campaign(Facility& facility, const CampaignConfig& config) {
       .gauge("campaign_duration_seconds",
              "Virtual length of the most recent campaign window")
       .set(config.duration_s);
+  // Scheduler health: timeout timers that settled before firing feed the
+  // wheel's lazy-compaction pressure; a nonzero residual depth after run()
+  // drained would mean leaked (never-fired, never-cancelled) events.
+  metrics
+      .counter("sim_events_cancelled_total",
+               "Scheduler events cancelled before firing during the campaign")
+      .inc(static_cast<double>(facility.engine().cancelled_total() -
+                               cancelled_at_start));
+  metrics
+      .gauge("sim_queue_depth",
+             "Events still queued at campaign end (cancelled included)")
+      .set(static_cast<double>(facility.engine().queue_depth()));
 
   // One closing health pass over the drained queue: the final snapshot sees
   // every terminal counter, so end-of-window SLO burn and scores are exact.

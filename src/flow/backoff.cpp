@@ -31,7 +31,11 @@ double BackoffPolicy::base_s(int attempt) const {
       break;
     case Kind::Exponential:
     case Kind::JitteredExponential:
-      base = initial_s * std::pow(factor, attempt);
+      // The default policy doubles; 2^n is exact in binary floating point,
+      // so ldexp gives the same bits as pow at a fraction of the cost on
+      // the per-poll path.
+      base = factor == 2.0 ? std::ldexp(initial_s, attempt)
+                           : initial_s * std::pow(factor, attempt);
       break;
     default:
       base = initial_s;

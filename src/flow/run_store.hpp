@@ -1,0 +1,216 @@
+#pragma once
+// Sharded run-state storage for the flow orchestrator, built for the
+// million-flow control plane: run records live behind N lock-striped shards
+// (hash of the run id picks the stripe), each record is heap-pinned by a
+// unique_ptr so the engine-thread hot path can hold raw Run* across events
+// without ever re-hashing, and every record embeds a seqlock-published
+// RunStatusCell that portal pollers on other threads read lock-free.
+//
+// Threading contract: all *mutations* (emplace, field writes, cell publishes)
+// happen on the sim engine thread. find()/ids_in_order()/size() are safe from
+// any thread (shard mutex, briefly). RunStatusCell reads are wait-free for
+// readers and never block the writer; a poller resolves the cell pointer once
+// via find() and then polls with no locks at all.
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace pico::flow {
+
+/// Seqlock-published status snapshot of one run: a packed state/step word for
+/// the single-load fast path plus the hot timing fields. All fields are
+/// individual atomics (no torn reads even mid-write); the sequence counter
+/// only guards cross-field consistency of the wider snapshot.
+class RunStatusCell {
+ public:
+  struct Snapshot {
+    uint8_t state = 0;       ///< RunState as its underlying integer
+    uint32_t current_step = 0;
+    int64_t submitted_ns = 0;
+    int64_t finished_ns = 0;
+  };
+
+  /// Writer side (engine thread only). Publishes a consistent snapshot.
+  void publish(uint8_t state, uint32_t current_step, int64_t submitted_ns,
+               int64_t finished_ns) {
+    uint32_t s = seq_.load(std::memory_order_relaxed);
+    seq_.store(s + 1, std::memory_order_relaxed);  // odd: write in progress
+    std::atomic_thread_fence(std::memory_order_release);
+    submitted_ns_.store(submitted_ns, std::memory_order_relaxed);
+    finished_ns_.store(finished_ns, std::memory_order_relaxed);
+    word_.store(pack(state, current_step), std::memory_order_relaxed);
+    seq_.store(s + 2, std::memory_order_release);
+  }
+
+  /// Single-load fast path: state + current step only, always coherent
+  /// (they live in one 64-bit word).
+  uint64_t word() const { return word_.load(std::memory_order_acquire); }
+  static uint8_t state_of(uint64_t word) {
+    return static_cast<uint8_t>(word & 0xFF);
+  }
+  static uint32_t step_of(uint64_t word) {
+    return static_cast<uint32_t>(word >> 8);
+  }
+
+  /// Full snapshot via seqlock retry loop. Wait-free in practice: the writer
+  /// publishes a handful of times over a run's whole lifetime.
+  Snapshot read() const {
+    for (;;) {
+      uint32_t s1 = seq_.load(std::memory_order_acquire);
+      Snapshot out;
+      uint64_t w = word_.load(std::memory_order_relaxed);
+      out.submitted_ns = submitted_ns_.load(std::memory_order_relaxed);
+      out.finished_ns = finished_ns_.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      uint32_t s2 = seq_.load(std::memory_order_relaxed);
+      if (s1 == s2 && (s1 & 1u) == 0) {
+        out.state = state_of(w);
+        out.current_step = step_of(w);
+        return out;
+      }
+    }
+  }
+
+ private:
+  static uint64_t pack(uint8_t state, uint32_t step) {
+    return (static_cast<uint64_t>(step) << 8) | state;
+  }
+  std::atomic<uint32_t> seq_{0};
+  std::atomic<uint64_t> word_{0};
+  std::atomic<int64_t> submitted_ns_{0};
+  std::atomic<int64_t> finished_ns_{0};
+};
+
+/// Lock-striped map of run id -> slab-pinned RunT. RunT must expose a
+/// std::string `id` member (used by ids_in_order()). Records are never
+/// erased: a settled run's record stays addressable for the service's
+/// lifetime, which is what lets scheduled events capture raw Run* safely.
+///
+/// Records are placement-new'd into 2 MiB slab chunks (advised toward
+/// transparent huge pages on Linux) instead of individual heap allocations:
+/// at 10^5-10^6 runs the dominant per-event cost is the cold dereference of
+/// the fired event's run record, and per-record allocation makes every one
+/// of those a TLB miss on top of the cache miss. One huge page covers
+/// ~2 MiB of contiguous records.
+///
+/// ids_in_order() returns insertion order. Run ids are "run-%06llu", so this
+/// matches the lexicographic order the previous std::map-backed store
+/// produced for the format's natural range (up to 999999 runs per service).
+template <class RunT>
+class ShardedRunStore {
+ public:
+  static constexpr size_t kShards = 64;
+
+  ShardedRunStore() = default;
+  ShardedRunStore(const ShardedRunStore&) = delete;
+  ShardedRunStore& operator=(const ShardedRunStore&) = delete;
+
+  ~ShardedRunStore() {
+    for (Chunk& c : chunks_) {
+      RunT* base = reinterpret_cast<RunT*>(c.mem);
+      for (size_t i = 0; i < c.used; ++i) base[i].~RunT();
+      std::free(c.mem);
+    }
+  }
+
+  /// Create the record for `id`. Returns the pinned pointer (stable until
+  /// the store dies). Pre-existing ids are a caller bug (ids are minted from
+  /// a monotonic counter); the existing record is returned in that case.
+  RunT* emplace(const std::string& id) {
+    Shard& shard = shards_[shard_of(id)];
+    RunT* out;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto [it, inserted] = shard.runs.try_emplace(id);
+      if (!inserted) return it->second;
+      it->second = allocate();
+      out = it->second;
+    }
+    {
+      std::lock_guard<std::mutex> lock(order_mu_);
+      order_.push_back(out);
+    }
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return out;
+  }
+
+  RunT* find(const std::string& id) {
+    Shard& shard = shards_[shard_of(id)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.runs.find(id);
+    return it == shard.runs.end() ? nullptr : it->second;
+  }
+  const RunT* find(const std::string& id) const {
+    return const_cast<ShardedRunStore*>(this)->find(id);
+  }
+
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  std::vector<std::string> ids_in_order() const {
+    std::lock_guard<std::mutex> lock(order_mu_);
+    std::vector<std::string> out;
+    out.reserve(order_.size());
+    for (const RunT* r : order_) out.push_back(r->id);
+    return out;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, RunT*> runs;  ///< non-owning; slab owns
+  };
+  struct Chunk {
+    void* mem = nullptr;
+    size_t used = 0;  ///< records constructed in this chunk
+  };
+
+  static constexpr size_t kChunkBytes = size_t{2} << 20;  // one huge page
+  static constexpr size_t per_chunk() {
+    return kChunkBytes / sizeof(RunT) ? kChunkBytes / sizeof(RunT) : 1;
+  }
+
+  /// Engine-thread only (same contract as emplace). Called under a shard
+  /// lock; slab_mu_ orders allocation against the destructor sweep.
+  RunT* allocate() {
+    std::lock_guard<std::mutex> lock(slab_mu_);
+    if (chunks_.empty() || chunks_.back().used == per_chunk()) {
+      void* mem = nullptr;
+      size_t bytes = std::max(kChunkBytes, sizeof(RunT));
+      if (posix_memalign(&mem, kChunkBytes, bytes) != 0) {
+        throw std::bad_alloc();
+      }
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+      madvise(mem, bytes, MADV_HUGEPAGE);
+#endif
+      chunks_.push_back(Chunk{mem, 0});
+    }
+    Chunk& c = chunks_.back();
+    RunT* r = new (reinterpret_cast<RunT*>(c.mem) + c.used) RunT();
+    ++c.used;
+    return r;
+  }
+
+  static size_t shard_of(const std::string& id) {
+    return std::hash<std::string>{}(id) & (kShards - 1);
+  }
+
+  std::array<Shard, kShards> shards_;
+  mutable std::mutex order_mu_;
+  std::vector<RunT*> order_;  ///< insertion order, for ids_in_order()
+  std::mutex slab_mu_;
+  std::vector<Chunk> chunks_;
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace pico::flow

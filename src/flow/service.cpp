@@ -72,7 +72,17 @@ FlowService::FlowService(sim::Engine* engine, auth::AuthService* auth,
       trace_(trace) {}
 
 void FlowService::register_provider(ActionProvider* provider) {
-  providers_[provider->name()] = provider;
+  std::string name = provider->name();
+  auto it = provider_ids_.find(name);
+  if (it != provider_ids_.end()) {
+    providers_[it->second] = provider;
+    return;
+  }
+  uint16_t pid = static_cast<uint16_t>(providers_.size());
+  provider_ids_.emplace(std::move(name), pid);
+  providers_.push_back(provider);
+  provider_names_.push_back(provider->name());
+  breakers_.push_back(nullptr);
 }
 
 void FlowService::set_telemetry(telemetry::Telemetry* telemetry) {
@@ -138,41 +148,78 @@ double FlowService::jittered(double base) {
   return std::max(0.05, base * rng_.uniform(1.0 - f, 1.0 + f));
 }
 
+void FlowService::publish_status(Run& run) {
+  run.cell.publish(static_cast<uint8_t>(run.info.state),
+                   static_cast<uint32_t>(run.info.current_step),
+                   run.timing.submitted.ns, run.timing.finished.ns);
+}
+
 util::Result<RunId> FlowService::start(const FlowDefinition& definition,
                                        util::Json input,
                                        const auth::Token& token,
                                        const std::string& label) {
+  return start(std::make_shared<const FlowDefinition>(definition),
+               std::move(input), token, label);
+}
+
+util::Result<RunId> FlowService::start(
+    std::shared_ptr<const FlowDefinition> definition_ptr, util::Json input,
+    const auth::Token& token, const std::string& label) {
   using R = util::Result<RunId>;
+  const FlowDefinition& definition = *definition_ptr;
   auto who = auth_->validate(token, "flows");
   if (!who) return R::err(who.error());
   if (definition.steps.empty()) return R::err("flow has no steps", "invalid");
   for (const auto& step : definition.steps) {
-    if (!providers_.count(step.provider)) {
+    if (!provider_ids_.count(step.provider)) {
       return R::err("unknown provider: " + step.provider, "not_found");
     }
   }
 
-  RunId id = util::format("run-%06llu", static_cast<unsigned long long>(next_run_++));
-  Run run;
-  run.definition = definition;
-  run.info.label = label.empty() ? id : label;
-  run.info.input = std::move(input);
-  run.timing.submitted = engine_->now();
-  run.token = token;
-  run.backoff_salt = util::crc64(id) ^ seed_;
+  // Equivalent to util::format("run-%06llu", n) without the varargs
+  // vsnprintf round trip; ids mint once per start on the campaign hot path.
+  uint64_t seq = next_run_++;
+  char idbuf[28] = "run-";
+  size_t idlen = 4;
+  {
+    char digits[20];
+    size_t nd = 0;
+    uint64_t v = seq;
+    do {
+      digits[nd++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v);
+    for (size_t pad = nd; pad < 6; ++pad) idbuf[idlen++] = '0';
+    while (nd) idbuf[idlen++] = digits[--nd];
+  }
+  RunId id(idbuf, idlen);
+  Run* run = runs_.emplace(id);
+  run->id = id;
+  run->svc = this;
+  run->def = std::move(definition_ptr);
+  run->step_pids.reserve(definition.steps.size());
+  for (const auto& step : definition.steps) {
+    run->step_pids.push_back(provider_ids_.find(step.provider)->second);
+  }
+  run->info.label = label.empty() ? id : label;
+  run->info.input = std::move(input);
+  run->timing.steps.reserve(definition.steps.size());
+  run->timing.submitted = engine_->now();
+  run->token = token;
+  run->backoff_salt = util::crc64(id) ^ seed_;
   if (telemetry_) {
     // Parent comes from the tracer context: the campaign scope when driven by
     // a campaign, else root.
-    run.run_span = telemetry_->tracer.open("flow", id);
+    run->run_span = telemetry_->tracer.open("flow", id);
   }
-  const std::string run_label = run.info.label;
-  runs_[id] = std::move(run);
+  publish_status(*run);
+  active_count_.fetch_add(1, std::memory_order_relaxed);
   if (telemetry_) {
     telemetry_->flight.open(id, engine_->now());
     flight_event(id, util::LogLevel::Info, "submitted",
                  util::Json::object({
                      {"flow", definition.name},
-                     {"label", run_label},
+                     {"label", run->info.label},
                      {"steps", definition.steps.size()},
                  }));
     telemetry_->metrics
@@ -180,15 +227,15 @@ util::Result<RunId> FlowService::start(const FlowDefinition& definition,
         .add(1.0);
   }
 
-  engine_->schedule_after(
-      sim::Duration::from_seconds(jittered(config_.start_latency_s)),
-      [this, id] {
-        auto it = runs_.find(id);
-        if (it == runs_.end() || it->second.info.state != RunState::Pending) {
+  Run* r = run;
+  engine_->post_after(
+      sim::Duration::from_seconds(jittered(config_.start_latency_s)), [r] {
+        if (r->info.state != RunState::Pending) {
           return;  // cancelled before the service picked it up
         }
-        it->second.info.state = RunState::Active;
-        dispatch_step(id);
+        r->info.state = RunState::Active;
+        r->svc->publish_status(*r);
+        r->svc->dispatch_step(*r);
       });
   logger().debug("%s started (%s, %zu steps)", id.c_str(),
                  definition.name.c_str(), definition.steps.size());
@@ -236,17 +283,16 @@ util::Json FlowService::resolve_params(
   }
 }
 
-void FlowService::dispatch_step(const RunId& id) {
-  auto it = runs_.find(id);
-  if (it == runs_.end()) return;
-  Run& run = it->second;
+void FlowService::dispatch_step(Run& run) {
   if (run.info.state != RunState::Active) return;  // cancelled/settled
-  if (run.info.current_step >= run.definition.steps.size()) {
-    finish_run(id);
+  if (run.info.current_step >= run.definition().steps.size()) {
+    finish_run(run);
     return;
   }
-  const ActionState& step = run.definition.steps[run.info.current_step];
-  ActionProvider* provider = providers_.at(step.provider);
+  const ActionState& step = run.definition().steps[run.info.current_step];
+  uint16_t pid = run.step_pids[run.info.current_step];
+  run.cur_pid = pid;  // hot mirror: polls skip the step_pids heap array
+  ActionProvider* provider = providers_[pid];
 
   util::Json resolved =
       resolve_params(step.params, run.info.input, run.info.step_outputs);
@@ -266,21 +312,25 @@ void FlowService::dispatch_step(const RunId& id) {
   }
   if (telemetry_ && run.step_span == 0) {
     run.step_span =
-        telemetry_->tracer.open("flow", id + "/" + step.name, run.run_span);
+        telemetry_->tracer.open("flow", run.id + "/" + step.name, run.run_span);
   }
-  active_step_span_ = run.step_span;
-  active_run_ = id;
-  flight_event(id, util::LogLevel::Info, "dispatch",
-               util::Json::object({
-                   {"step", step.name},
-                   {"provider", step.provider},
-                   {"retry", run.retries_this_step},
-               }));
+  if (telemetry_) {
+    // Breaker-transition / flight context; only telemetry consumes it, so
+    // the per-dispatch string copy is gated out of the bare hot path.
+    active_step_span_ = run.step_span;
+    active_run_ = run.id;
+    flight_event(run.id, util::LogLevel::Info, "dispatch",
+                 util::Json::object({
+                     {"step", step.name},
+                     {"provider", step.provider},
+                     {"retry", run.retries_this_step},
+                 }));
+  }
 
   // Circuit-breaker gate: while the provider's breaker is open, fail fast —
   // the wait consumes one retry and the re-dispatch lands when the breaker
   // half-opens, so a down service sees probes instead of a retry storm.
-  CircuitBreaker& breaker = breaker_for(step.provider);
+  CircuitBreaker& breaker = breaker_for(pid);
   double open_wait = breaker.retry_after_s(engine_->now());
   if (open_wait > 0) {
     uint64_t epoch = ++run.epoch;
@@ -301,29 +351,25 @@ void FlowService::dispatch_step(const RunId& id) {
                                      {"wait_s", open_wait},
                                      {"retry", run.retries_this_step},
                                  }));
-        flight_event(id, util::LogLevel::Warn, "breaker-deferred",
+        flight_event(run.id, util::LogLevel::Warn, "breaker-deferred",
                      util::Json::object({
                          {"provider", step.provider},
                          {"wait_s", open_wait},
                      }));
       }
       logger().debug("%s: breaker open for %s, retry %d deferred %.1fs",
-                     id.c_str(), step.provider.c_str(), run.retries_this_step,
-                     open_wait);
-      engine_->schedule_after(
+                     run.id.c_str(), step.provider.c_str(),
+                     run.retries_this_step, open_wait);
+      Run* r = &run;
+      engine_->post_after(
           sim::Duration::from_seconds(open_wait + jittered(0.5)),
-          [this, id, epoch] {
-            auto it2 = runs_.find(id);
-            if (it2 == runs_.end() ||
-                it2->second.info.state != RunState::Active ||
-                it2->second.epoch != epoch) {
-              return;
-            }
-            dispatch_step(id);
+          [r, epoch] {
+            if (r->info.state != RunState::Active || r->epoch != epoch) return;
+            r->svc->dispatch_step(*r);
           });
     } else {
-      fail_run(id, "step " + step.name + ": circuit open for provider " +
-                       step.provider);
+      fail_run(run, "step " + step.name + ": circuit open for provider " +
+                        step.provider);
     }
     return;
   }
@@ -331,7 +377,7 @@ void FlowService::dispatch_step(const RunId& id) {
   if (telemetry_) {
     run.attempt_span = telemetry_->tracer.open(
         "flow",
-        id + "/" + step.name + "#" +
+        run.id + "/" + step.name + "#" +
             std::to_string(run.retries_this_step),
         run.step_span);
     run.attempt_started = engine_->now();
@@ -343,12 +389,12 @@ void FlowService::dispatch_step(const RunId& id) {
     // chunk retries) reach this run's ring.
     if (!telemetry_) return provider->start(resolved, run.token);
     telemetry::Tracer::Scope scope(telemetry_->tracer, run.attempt_span);
-    telemetry::health::FlightRecorder::Scope fscope(telemetry_->flight, id);
+    telemetry::health::FlightRecorder::Scope fscope(telemetry_->flight, run.id);
     return provider->start(resolved, run.token);
   }();
   if (!handle) {
     breaker.record_failure(engine_->now());
-    step_attempt_failed(id,
+    step_attempt_failed(run,
                         "step " + step.name + " failed to start: " +
                             handle.error().message,
                         jittered(config_.inter_step_latency_s));
@@ -359,50 +405,51 @@ void FlowService::dispatch_step(const RunId& id) {
   run.last_progress_token.clear();
   run.subscribed = false;
   uint64_t epoch = ++run.epoch;
+  Run* r = &run;
 
   if (config_.completion_mode == CompletionMode::Events) {
     run.subscribed = provider->subscribe(
-        run.current_handle, [this, id, epoch] { on_notification(id, epoch); });
+        run.current_handle, [r, epoch] { r->svc->on_notification(*r, epoch); });
   }
   // Cut-through: when the *next* step opted into streaming and its provider
   // can hold a started action, watch this step's byte progress and
   // pre-dispatch on the first chunk landing.
   size_t next_idx = run.info.current_step + 1;
-  if (next_idx < run.definition.steps.size() &&
-      run.definition.steps[next_idx].streaming &&
-      providers_.at(run.definition.steps[next_idx].provider)
-          ->supports_held_start()) {
+  if (next_idx < run.definition().steps.size() &&
+      run.definition().steps[next_idx].streaming &&
+      providers_[run.step_pids[next_idx]]->supports_held_start()) {
     provider->subscribe_progress(
         run.current_handle,
-        [this, id, epoch](int64_t) { on_stream_progress(id, epoch); });
+        [r, epoch](int64_t) { r->svc->on_stream_progress(*r, epoch); });
   }
 
   // First poll after the initial interval of the policy in force (the sparse
   // reconcile net when subscribed; the configured backoff otherwise).
   double wait =
       active_poll_policy().interval_s(0, run.backoff_salt ^ run.epoch);
-  engine_->schedule_after(sim::Duration::from_seconds(wait),
-                          [this, id, epoch] { poll_step(id, epoch); });
+  engine_->post_after(sim::Duration::from_seconds(wait),
+                      [r, epoch] { r->svc->poll_step(*r, epoch); });
   if (step.timeout_s > 0) {
-    engine_->schedule_after(sim::Duration::from_seconds(step.timeout_s),
-                            [this, id, epoch] { timeout_step(id, epoch); });
+    // Cancellable handle, not fire-and-forget: long step timeouts (hours of
+    // virtual time) would otherwise outlive the run and dominate the queue.
+    run.timeout_handle = engine_->schedule_after(
+        sim::Duration::from_seconds(step.timeout_s),
+        [r, epoch] { r->svc->timeout_step(*r, epoch); });
   }
 }
 
-void FlowService::poll_step(const RunId& id, uint64_t epoch) {
-  auto it = runs_.find(id);
-  if (it == runs_.end()) return;
-  Run& run = it->second;
+void FlowService::poll_step(Run& run, uint64_t epoch) {
   if (run.info.state != RunState::Active) return;
   if (run.epoch != epoch) return;  // attempt superseded (timeout/retry)
 
-  const ActionState& step = run.definition.steps[run.info.current_step];
-  ActionProvider* provider = providers_.at(step.provider);
-  StepTiming& timing = run.timing.steps[run.info.current_step];
-  ++timing.polls;
-  active_step_span_ = run.step_span;
-  active_run_ = id;
+  ActionProvider* provider = providers_[run.cur_pid];
+  ++run.cur_polls;
   if (telemetry_) {
+    // Span/flight context and the poll counter matter only with telemetry
+    // attached; the bare hot path skips the step-metadata load entirely.
+    active_step_span_ = run.step_span;
+    active_run_ = run.id;
+    const ActionState& step = run.definition().steps[run.info.current_step];
     telemetry_->metrics
         .counter("flow_polls_total", "Completion polls issued by the flow "
                                      "orchestrator, by provider",
@@ -425,35 +472,39 @@ void FlowService::poll_step(const RunId& id, uint64_t epoch) {
       }
       double wait = active_poll_policy().interval_s(
           run.poll_attempt, run.backoff_salt ^ run.epoch);
-      engine_->schedule_after(sim::Duration::from_seconds(wait),
-                              [this, id, epoch] { poll_step(id, epoch); });
+      Run* r = &run;
+      engine_->post_after(sim::Duration::from_seconds(wait),
+                          [r, epoch] { r->svc->poll_step(*r, epoch); });
       return;
     }
     case ActionStatus::Failed: {
-      breaker_for(step.provider).record_failure(engine_->now());
-      step_attempt_failed(id, "step " + step.name + " failed: " + poll.error,
+      const ActionState& step = run.definition().steps[run.info.current_step];
+      active_step_span_ = run.step_span;
+      active_run_ = run.id;  // breaker-transition context
+      breaker_for(run.cur_pid).record_failure(engine_->now());
+      step_attempt_failed(run, "step " + step.name + " failed: " + poll.error,
                           0);
       return;
     }
     case ActionStatus::Succeeded: {
-      complete_step(id, poll);
+      complete_step(run, std::move(poll));
       return;
     }
   }
 }
 
-void FlowService::timeout_step(const RunId& id, uint64_t epoch) {
-  auto it = runs_.find(id);
-  if (it == runs_.end()) return;
-  Run& run = it->second;
+void FlowService::timeout_step(Run& run, uint64_t epoch) {
   if (run.info.state != RunState::Active) return;
   if (run.epoch != epoch) return;  // attempt already settled or superseded
 
-  const ActionState& step = run.definition.steps[run.info.current_step];
+  const ActionState& step = run.definition().steps[run.info.current_step];
+  run.flush_polls();
   run.timing.steps[run.info.current_step].timeouts += 1;
   ++total_timeouts_;
-  active_step_span_ = run.step_span;
-  active_run_ = id;
+  if (telemetry_) {
+    active_step_span_ = run.step_span;
+    active_run_ = run.id;
+  }
   if (telemetry_) {
     telemetry_->metrics
         .counter("flow_timeouts_total",
@@ -465,29 +516,27 @@ void FlowService::timeout_step(const RunId& id, uint64_t epoch) {
                                  {"provider", step.provider},
                                  {"timeout_s", step.timeout_s},
                              }));
-    flight_event(id, util::LogLevel::Warn, "timeout",
+    flight_event(run.id, util::LogLevel::Warn, "timeout",
                  util::Json::object({
                      {"step", step.name},
                      {"provider", step.provider},
                      {"timeout_s", step.timeout_s},
                  }));
   }
-  breaker_for(step.provider).record_failure(engine_->now());
+  breaker_for(run.step_pids[run.info.current_step])
+      .record_failure(engine_->now());
   logger().warn("%s: step %s timed out after %.1fs (attempt abandoned)",
-                id.c_str(), step.name.c_str(), step.timeout_s);
+                run.id.c_str(), step.name.c_str(), step.timeout_s);
   step_attempt_failed(
-      id,
+      run,
       "step " + step.name + " timed out after " +
           util::format("%.1f", step.timeout_s) + "s",
       0);
 }
 
-void FlowService::on_notification(const RunId& id, uint64_t epoch) {
-  auto it = runs_.find(id);
-  if (it == runs_.end()) return;
-  Run& run = it->second;
+void FlowService::on_notification(Run& run, uint64_t epoch) {
   if (run.info.state != RunState::Active || run.epoch != epoch) return;
-  const ActionState& step = run.definition.steps[run.info.current_step];
+  const ActionState& step = run.definition().steps[run.info.current_step];
   if (telemetry_) {
     telemetry_->metrics
         .counter("flow_notifications_total",
@@ -510,24 +559,23 @@ void FlowService::on_notification(const RunId& id, uint64_t epoch) {
                                  util::Json::object({
                                      {"provider", step.provider},
                                  }));
-        flight_event(id, util::LogLevel::Warn, "notification-lost",
+        flight_event(run.id, util::LogLevel::Warn, "notification-lost",
                      util::Json::object({{"provider", step.provider}}));
       }
     }
-    logger().debug("%s: completion notification lost (step %s)", id.c_str(),
-                   step.name.c_str());
+    logger().debug("%s: completion notification lost (step %s)",
+                   run.id.c_str(), step.name.c_str());
     return;
   }
   double delay = jittered(config_.notification_latency_s);
-  engine_->schedule_after(
-      sim::Duration::from_seconds(delay), [this, id, epoch, delay] {
-        auto it2 = runs_.find(id);
-        if (it2 == runs_.end()) return;
-        Run& r = it2->second;
-        if (r.info.state != RunState::Active || r.epoch != epoch) return;
-        ++r.timing.steps[r.info.current_step].notifications;
-        if (telemetry_) {
-          telemetry_->metrics
+  Run* r = &run;
+  engine_->post_after(
+      sim::Duration::from_seconds(delay), [r, epoch, delay] {
+        if (r->info.state != RunState::Active || r->epoch != epoch) return;
+        ++r->timing.steps[r->info.current_step].notifications;
+        FlowService* svc = r->svc;
+        if (svc->telemetry_) {
+          svc->telemetry_->metrics
               .histogram("flow_notification_latency_seconds",
                          "Delivery latency of consumed completion "
                          "notifications")
@@ -535,20 +583,17 @@ void FlowService::on_notification(const RunId& id, uint64_t epoch) {
         }
         // The delivered notification carries no verdict: poll once to learn
         // the outcome (this also counts toward provider poll load).
-        poll_step(id, epoch);
+        svc->poll_step(*r, epoch);
       });
 }
 
-void FlowService::on_stream_progress(const RunId& id, uint64_t epoch) {
-  auto it = runs_.find(id);
-  if (it == runs_.end()) return;
-  Run& run = it->second;
+void FlowService::on_stream_progress(Run& run, uint64_t epoch) {
   if (run.info.state != RunState::Active || run.epoch != epoch) return;
   if (!run.pre_handle.empty()) return;  // already pre-dispatched
   size_t next_idx = run.info.current_step + 1;
-  if (next_idx >= run.definition.steps.size()) return;
-  const ActionState& next = run.definition.steps[next_idx];
-  ActionProvider* provider = providers_.at(next.provider);
+  if (next_idx >= run.definition().steps.size()) return;
+  const ActionState& next = run.definition().steps[next_idx];
+  ActionProvider* provider = providers_[run.step_pids[next_idx]];
   if (!provider->supports_held_start()) return;
 
   // NOTE: "$.steps.<current>.*" references resolve to null here — the
@@ -560,15 +605,16 @@ void FlowService::on_stream_progress(const RunId& id, uint64_t epoch) {
   sim::SimTime t0 = engine_->now();
   uint64_t step_span = 0, attempt_span = 0;
   if (telemetry_) {
-    step_span =
-        telemetry_->tracer.open("flow", id + "/" + next.name, run.run_span);
-    attempt_span = telemetry_->tracer.open("flow", id + "/" + next.name + "#0",
-                                           step_span);
+    step_span = telemetry_->tracer.open("flow", run.id + "/" + next.name,
+                                        run.run_span);
+    attempt_span = telemetry_->tracer.open(
+        "flow", run.id + "/" + next.name + "#0", step_span);
   }
   util::Result<ActionHandle> handle = [&] {
     if (!telemetry_) return provider->start_held(resolved, run.token);
     telemetry::Tracer::Scope scope(telemetry_->tracer, attempt_span);
-    telemetry::health::FlightRecorder::Scope fscope(telemetry_->flight, id);
+    telemetry::health::FlightRecorder::Scope fscope(telemetry_->flight,
+                                                    run.id);
     return provider->start_held(resolved, run.token);
   }();
   if (!handle) {
@@ -584,7 +630,7 @@ void FlowService::on_stream_progress(const RunId& id, uint64_t epoch) {
       telemetry_->tracer.close(step_span, "step-abandoned", t0, engine_->now(),
                                util::Json::object({{"step", next.name}}));
     }
-    logger().debug("%s: held pre-dispatch of %s refused (%s)", id.c_str(),
+    logger().debug("%s: held pre-dispatch of %s refused (%s)", run.id.c_str(),
                    next.name.c_str(), handle.error().message.c_str());
     return;
   }
@@ -606,20 +652,17 @@ void FlowService::on_stream_progress(const RunId& id, uint64_t epoch) {
     }
   }
   logger().debug("%s: pre-dispatched %s (held) on first-chunk progress",
-                 id.c_str(), next.name.c_str());
+                 run.id.c_str(), next.name.c_str());
 }
 
-void FlowService::activate_prestarted(const RunId& id) {
-  auto it = runs_.find(id);
-  if (it == runs_.end()) return;
-  Run& run = it->second;
+void FlowService::activate_prestarted(Run& run) {
   if (run.info.state != RunState::Active) return;
   if (run.pre_handle.empty() || run.pre_step != run.info.current_step) {
-    dispatch_step(id);  // pre-dispatch evaporated: serialized fallback
+    dispatch_step(run);  // pre-dispatch evaporated: serialized fallback
     return;
   }
-  const ActionState& step = run.definition.steps[run.info.current_step];
-  ActionProvider* provider = providers_.at(step.provider);
+  const ActionState& step = run.definition().steps[run.info.current_step];
+  ActionProvider* provider = providers_[run.step_pids[run.info.current_step]];
 
   StepTiming timing;
   timing.name = step.name;
@@ -641,6 +684,7 @@ void FlowService::activate_prestarted(const RunId& id) {
   run.last_progress_token.clear();
   run.subscribed = false;
   uint64_t epoch = ++run.epoch;
+  Run* r = &run;
 
   // Release the held action (it starts charging residual cost now, crediting
   // the overlap already elapsed), then wire up completion signaling exactly
@@ -649,7 +693,7 @@ void FlowService::activate_prestarted(const RunId& id) {
   provider->release(run.current_handle);
   if (config_.completion_mode == CompletionMode::Events) {
     run.subscribed = provider->subscribe(
-        run.current_handle, [this, id, epoch] { on_notification(id, epoch); });
+        run.current_handle, [r, epoch] { r->svc->on_notification(*r, epoch); });
   }
   if (telemetry_) {
     telemetry_->metrics
@@ -660,20 +704,23 @@ void FlowService::activate_prestarted(const RunId& id) {
   }
   double wait =
       active_poll_policy().interval_s(0, run.backoff_salt ^ run.epoch);
-  engine_->schedule_after(sim::Duration::from_seconds(wait),
-                          [this, id, epoch] { poll_step(id, epoch); });
+  engine_->post_after(sim::Duration::from_seconds(wait),
+                      [r, epoch] { r->svc->poll_step(*r, epoch); });
   if (step.timeout_s > 0) {
-    engine_->schedule_after(sim::Duration::from_seconds(step.timeout_s),
-                            [this, id, epoch] { timeout_step(id, epoch); });
+    // Cancellable handle, not fire-and-forget: long step timeouts (hours of
+    // virtual time) would otherwise outlive the run and dominate the queue.
+    run.timeout_handle = engine_->schedule_after(
+        sim::Duration::from_seconds(step.timeout_s),
+        [r, epoch] { r->svc->timeout_step(*r, epoch); });
   }
 }
 
 void FlowService::abandon_prestart(Run& run) {
   if (run.pre_handle.empty()) return;
-  const ActionState& step = run.definition.steps[run.pre_step];
+  const ActionState& step = run.definition().steps[run.pre_step];
   // Let the held service work run to completion unobserved, like any
   // abandoned action — release frees the held resources.
-  providers_.at(step.provider)->release(run.pre_handle);
+  providers_[run.step_pids[run.pre_step]]->release(run.pre_handle);
   if (telemetry_) {
     if (run.pre_attempt_span != 0) {
       telemetry_->tracer.close(run.pre_attempt_span, "attempt",
@@ -694,17 +741,18 @@ void FlowService::abandon_prestart(Run& run) {
   run.pre_attempt_span = 0;
 }
 
-void FlowService::step_attempt_failed(const RunId& id, const std::string& error,
+void FlowService::step_attempt_failed(Run& run, const std::string& error,
                                       double retry_delay_s) {
-  auto it = runs_.find(id);
-  if (it == runs_.end()) return;
-  Run& run = it->second;
   if (run.info.state != RunState::Active) return;
-  const ActionState& step = run.definition.steps[run.info.current_step];
+  const ActionState& step = run.definition().steps[run.info.current_step];
+  run.flush_polls();
   uint64_t epoch = ++run.epoch;  // abandon the failed attempt's events
+  run.timeout_handle.cancel();
 
-  active_step_span_ = run.step_span;
-  active_run_ = id;
+  if (telemetry_) {
+    active_step_span_ = run.step_span;
+    active_run_ = run.id;
+  }
   if (telemetry_ && run.attempt_span != 0) {
     telemetry_->tracer.close(run.attempt_span, "attempt", run.attempt_started,
                              engine_->now(),
@@ -717,7 +765,7 @@ void FlowService::step_attempt_failed(const RunId& id, const std::string& error,
   }
 
   if (run.retries_this_step >= step.max_retries) {
-    fail_run(id, error);
+    fail_run(run, error);
     return;
   }
   ++run.retries_this_step;
@@ -732,44 +780,42 @@ void FlowService::step_attempt_failed(const RunId& id, const std::string& error,
                                  {"retry", run.retries_this_step},
                                  {"error", error},
                              }));
-    flight_event(id, util::LogLevel::Warn, "retry",
+    flight_event(run.id, util::LogLevel::Warn, "retry",
                  util::Json::object({
                      {"step", step.name},
                      {"retry", run.retries_this_step},
                      {"error", error},
                  }));
   }
-  logger().debug("%s: step %s attempt failed (%s), retry %d", id.c_str(),
+  logger().debug("%s: step %s attempt failed (%s), retry %d", run.id.c_str(),
                  step.name.c_str(), error.c_str(), run.retries_this_step);
   if (retry_delay_s <= 0) {
-    dispatch_step(id);
+    dispatch_step(run);
     return;
   }
-  engine_->schedule_after(
-      sim::Duration::from_seconds(retry_delay_s), [this, id, epoch] {
-        auto it2 = runs_.find(id);
-        if (it2 == runs_.end() || it2->second.info.state != RunState::Active ||
-            it2->second.epoch != epoch) {
-          return;
-        }
-        dispatch_step(id);
+  Run* r = &run;
+  engine_->post_after(
+      sim::Duration::from_seconds(retry_delay_s), [r, epoch] {
+        if (r->info.state != RunState::Active || r->epoch != epoch) return;
+        r->svc->dispatch_step(*r);
       });
 }
 
-void FlowService::complete_step(const RunId& id, const ActionPollResult& poll) {
-  auto it = runs_.find(id);
-  if (it == runs_.end()) return;
-  Run& run = it->second;
-  const ActionState& step = run.definition.steps[run.info.current_step];
+void FlowService::complete_step(Run& run, ActionPollResult poll) {
+  const ActionState& step = run.definition().steps[run.info.current_step];
+  run.flush_polls();
   ++run.epoch;  // invalidate any pending timeout for this attempt
-  active_step_span_ = run.step_span;
-  active_run_ = id;
-  breaker_for(step.provider).record_success(engine_->now());
+  run.timeout_handle.cancel();
+  if (telemetry_) {
+    active_step_span_ = run.step_span;
+    active_run_ = run.id;
+  }
+  breaker_for(run.cur_pid).record_success(engine_->now());
   StepTiming& timing = run.timing.steps[run.info.current_step];
   timing.service_started = poll.service_started;
   timing.service_completed = poll.service_completed;
   timing.discovered = engine_->now();
-  run.info.step_outputs[step.name] = poll.output;
+  run.info.step_outputs[step.name] = std::move(poll.output);
   if (telemetry_) {
     if (run.attempt_span != 0) {
       telemetry_->tracer.close(run.attempt_span, "attempt",
@@ -799,14 +845,14 @@ void FlowService::complete_step(const RunId& id, const ActionPollResult& poll) {
                    "Poll-discovery lag between service completion and the "
                    "orchestrator observing it")
         .observe(timing.discovery_lag_s());
-    flight_event(id, util::LogLevel::Info, "step-complete",
+    flight_event(run.id, util::LogLevel::Info, "step-complete",
                  util::Json::object({
                      {"step", step.name},
                      {"active_s", timing.active_s()},
                      {"polls", timing.polls},
                  }));
   } else if (trace_) {
-    trace_->add(sim::Span{"flow", "step", id + "/" + step.name,
+    trace_->add(sim::Span{"flow", "step", run.id + "/" + step.name,
                           timing.dispatched, timing.discovered,
                           util::Json::object({
                               {"active_s", timing.active_s()},
@@ -817,8 +863,9 @@ void FlowService::complete_step(const RunId& id, const ActionPollResult& poll) {
 
   run.info.current_step += 1;
   run.retries_this_step = 0;
-  if (run.info.current_step >= run.definition.steps.size()) {
-    finish_run(id);
+  publish_status(run);
+  if (run.info.current_step >= run.definition().steps.size()) {
+    finish_run(run);
   } else {
     // Events mode advances inside the notification callback instead of
     // waiting for the next scheduler tick, so the inter-step hop shrinks.
@@ -827,38 +874,40 @@ void FlowService::complete_step(const RunId& id, const ActionPollResult& poll) {
                      : config_.inter_step_latency_s;
     bool streamed_next =
         !run.pre_handle.empty() && run.pre_step == run.info.current_step;
-    engine_->schedule_after(sim::Duration::from_seconds(jittered(hop)),
-                            [this, id, streamed_next] {
-                              if (streamed_next) {
-                                activate_prestarted(id);
-                              } else {
-                                dispatch_step(id);
-                              }
-                            });
+    Run* r = &run;
+    engine_->post_after(sim::Duration::from_seconds(jittered(hop)),
+                        [r, streamed_next] {
+                          if (streamed_next) {
+                            r->svc->activate_prestarted(*r);
+                          } else {
+                            r->svc->dispatch_step(*r);
+                          }
+                        });
   }
 }
 
 util::Status FlowService::cancel(const RunId& id) {
-  auto it = runs_.find(id);
-  if (it == runs_.end()) return util::Status::err("unknown run " + id, "not_found");
-  RunState state = it->second.info.state;
+  Run* run = runs_.find(id);
+  if (!run) return util::Status::err("unknown run " + id, "not_found");
+  RunState state = run->info.state;
   if (state == RunState::Succeeded || state == RunState::Failed) {
     return util::Status::err("run " + id + " already settled", "state");
   }
   // Poll/dispatch callbacks check info.state and bail once it leaves Active,
   // so flipping the state here is sufficient to quiesce the run.
-  fail_run(id, "cancelled by user");
+  fail_run(*run, "cancelled by user");
   return util::Status::ok();
 }
 
-void FlowService::fail_run(const RunId& id, const std::string& error) {
-  auto it = runs_.find(id);
-  if (it == runs_.end()) return;
-  Run& run = it->second;
+void FlowService::fail_run(Run& run, const std::string& error) {
+  run.flush_polls();
   ++run.epoch;  // abandon any scheduled poll/timeout events
+  run.timeout_handle.cancel();
   run.info.state = RunState::Failed;
   run.info.error = error;
   run.timing.finished = engine_->now();
+  publish_status(run);
+  active_count_.fetch_sub(1, std::memory_order_relaxed);
   abandon_prestart(run);
   // Close spans before the finished callback: campaign drivers rebuild the
   // run's timing from the span tree inside that callback.
@@ -883,25 +932,24 @@ void FlowService::fail_run(const RunId& id, const std::string& error) {
         .add(-1.0);
     // Error-level event marks the ring dump-worthy; close() delivers the
     // JSON dump to the recorder's sink.
-    flight_event(id, util::LogLevel::Error, "run-failed",
+    flight_event(run.id, util::LogLevel::Error, "run-failed",
                  util::Json::object({
                      {"error", error},
                      {"total_s", run.timing.total_s()},
                  }));
-    telemetry_->flight.close(id, engine_->now());
+    telemetry_->flight.close(run.id, engine_->now());
   }
-  logger().warn("%s failed: %s", id.c_str(), error.c_str());
-  if (run.finished_cb) run.finished_cb(id, run.info);
+  logger().warn("%s failed: %s", run.id.c_str(), error.c_str());
+  if (run.finished_cb) run.finished_cb(run.id, run.info);
 }
 
-void FlowService::finish_run(const RunId& id) {
-  auto it = runs_.find(id);
-  if (it == runs_.end()) return;
-  Run& run = it->second;
+void FlowService::finish_run(Run& run) {
   run.info.state = RunState::Succeeded;
   run.timing.finished = engine_->now();
+  publish_status(run);
+  active_count_.fetch_sub(1, std::memory_order_relaxed);
   logger().debug("%s succeeded: total %.1fs active %.1fs overhead %.1fs",
-                 id.c_str(), run.timing.total_s(), run.timing.active_s(),
+                 run.id.c_str(), run.timing.total_s(), run.timing.active_s(),
                  run.timing.overhead_s());
   if (telemetry_) {
     close_run_span(run, "run");
@@ -924,7 +972,7 @@ void FlowService::finish_run(const RunId& id) {
                    "Succeeded runs slower than the SLO completion-latency "
                    "objective")
           .inc();
-      flight_event(id, util::LogLevel::Warn, "slo-slow",
+      flight_event(run.id, util::LogLevel::Warn, "slo-slow",
                    util::Json::object({
                        {"total_s", run.timing.total_s()},
                        {"objective_s", slow_run_threshold_s_},
@@ -933,14 +981,14 @@ void FlowService::finish_run(const RunId& id) {
     telemetry_->metrics
         .gauge("flow_active_runs", "Flow runs submitted but not yet settled")
         .add(-1.0);
-    flight_event(id, util::LogLevel::Info, "run-succeeded",
+    flight_event(run.id, util::LogLevel::Info, "run-succeeded",
                  util::Json::object({
                      {"total_s", run.timing.total_s()},
                      {"overhead_s", run.timing.overhead_s()},
                  }));
-    telemetry_->flight.close(id, engine_->now());
+    telemetry_->flight.close(run.id, engine_->now());
   } else if (trace_) {
-    trace_->add(sim::Span{"flow", "run", id, run.timing.submitted,
+    trace_->add(sim::Span{"flow", "run", run.id, run.timing.submitted,
                           run.timing.finished,
                           util::Json::object({
                               {"active_s", run.timing.active_s()},
@@ -948,7 +996,7 @@ void FlowService::finish_run(const RunId& id) {
                               {"label", run.info.label},
                           })});
   }
-  if (run.finished_cb) run.finished_cb(id, run.info);
+  if (run.finished_cb) run.finished_cb(run.id, run.info);
 }
 
 void FlowService::close_step_span(Run& run, const std::string& category) {
@@ -1001,14 +1049,35 @@ const RunInfo& FlowService::info(const RunId& id) const {
     r.error = "unknown run";
     return r;
   }();
-  auto it = runs_.find(id);
-  return it == runs_.end() ? kMissing : it->second.info;
+  const Run* run = runs_.find(id);
+  return run ? run->info : kMissing;
 }
 
 const RunTiming& FlowService::timing(const RunId& id) const {
   static const RunTiming kMissing;
-  auto it = runs_.find(id);
-  return it == runs_.end() ? kMissing : it->second.timing;
+  const Run* run = runs_.find(id);
+  if (!run) return kMissing;
+  // Fold the hot-block poll counter in so a mid-run snapshot is exact.
+  const_cast<Run*>(run)->flush_polls();
+  return run->timing;
+}
+
+RunStatus FlowService::status(const RunId& id) const {
+  RunStatus out;
+  const Run* run = runs_.find(id);
+  if (!run) return out;
+  RunStatusCell::Snapshot snap = run->cell.read();
+  out.known = true;
+  out.state = static_cast<RunState>(snap.state);
+  out.current_step = snap.current_step;
+  out.submitted = sim::SimTime{snap.submitted_ns};
+  out.finished = sim::SimTime{snap.finished_ns};
+  return out;
+}
+
+const RunStatusCell* FlowService::status_cell(const RunId& id) const {
+  const Run* run = runs_.find(id);
+  return run ? &run->cell : nullptr;
 }
 
 bool timing_from_spans(const sim::Trace& trace, const RunId& id,
@@ -1047,67 +1116,64 @@ bool timing_from_spans(const sim::Trace& trace, const RunId& id,
 
 void FlowService::on_finished(
     const RunId& id, std::function<void(const RunId&, const RunInfo&)> cb) {
-  auto it = runs_.find(id);
-  if (it == runs_.end()) return;
-  if (it->second.info.state == RunState::Succeeded ||
-      it->second.info.state == RunState::Failed) {
-    cb(id, it->second.info);
+  Run* run = runs_.find(id);
+  if (!run) return;
+  if (run->info.state == RunState::Succeeded ||
+      run->info.state == RunState::Failed) {
+    cb(id, run->info);
   } else {
-    it->second.finished_cb = std::move(cb);
+    run->finished_cb = std::move(cb);
   }
 }
 
 size_t FlowService::active_runs() const {
-  size_t n = 0;
-  for (const auto& [id, run] : runs_) {
-    if (run.info.state == RunState::Pending ||
-        run.info.state == RunState::Active) {
-      ++n;
-    }
-  }
-  return n;
+  return active_count_.load(std::memory_order_relaxed);
 }
 
 std::vector<RunId> FlowService::all_runs() const {
-  std::vector<RunId> out;
-  out.reserve(runs_.size());
-  for (const auto& [id, run] : runs_) out.push_back(id);
-  return out;
+  return runs_.ids_in_order();
 }
 
-CircuitBreaker& FlowService::breaker_for(const std::string& provider) {
-  auto it = breakers_.find(provider);
-  if (it == breakers_.end()) {
-    it = breakers_.emplace(provider, CircuitBreaker(config_.breaker)).first;
+CircuitBreaker& FlowService::breaker_for(uint16_t pid) {
+  std::unique_ptr<CircuitBreaker>& slot = breakers_[pid];
+  if (!slot) {
+    slot = std::make_unique<CircuitBreaker>(config_.breaker);
     // Observer installed unconditionally; the handler no-ops when telemetry
     // is absent, so install order vs set_telemetry() does not matter.
-    it->second.set_observer([this, provider](CircuitBreaker::State from,
-                                             CircuitBreaker::State to,
-                                             sim::SimTime at) {
-      on_breaker_transition(provider, from, to, at);
+    slot->set_observer([this, pid](CircuitBreaker::State from,
+                                   CircuitBreaker::State to, sim::SimTime at) {
+      on_breaker_transition(provider_names_[pid], from, to, at);
     });
   }
-  return it->second;
+  return *slot;
 }
 
 std::vector<BreakerSnapshot> FlowService::breaker_snapshots() const {
   std::vector<BreakerSnapshot> out;
   out.reserve(breakers_.size());
-  for (const auto& [provider, breaker] : breakers_) {
+  for (size_t pid = 0; pid < breakers_.size(); ++pid) {
+    if (!breakers_[pid]) continue;
     BreakerSnapshot snap;
-    snap.provider = provider;
-    snap.trips = breaker.trips();
-    snap.consecutive_failures = breaker.consecutive_failures();
-    snap.state = CircuitBreaker::state_name(breaker.state(engine_->now()));
+    snap.provider = provider_names_[pid];
+    snap.trips = breakers_[pid]->trips();
+    snap.consecutive_failures = breakers_[pid]->consecutive_failures();
+    snap.state =
+        CircuitBreaker::state_name(breakers_[pid]->state(engine_->now()));
     out.push_back(std::move(snap));
   }
+  // Registration order is arbitrary; reports expect the old map's
+  // name-sorted order.
+  std::sort(out.begin(), out.end(),
+            [](const BreakerSnapshot& a, const BreakerSnapshot& b) {
+              return a.provider < b.provider;
+            });
   return out;
 }
 
 double FlowService::breaker_retry_after_s(const std::string& provider) const {
-  auto it = breakers_.find(provider);
-  if (it == breakers_.end()) return 0.0;
-  return it->second.peek_retry_after_s(engine_->now());
+  auto it = provider_ids_.find(provider);
+  if (it == provider_ids_.end() || !breakers_[it->second]) return 0.0;
+  return breakers_[it->second]->peek_retry_after_s(engine_->now());
 }
 
 }  // namespace pico::flow

@@ -10,15 +10,19 @@
 // Parameter templating mirrors Globus Flows' state references: string values
 // of the form "$.input.<path>" and "$.steps.<StepName>.<path>" are resolved
 // against the flow input and prior step outputs at dispatch time.
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "auth/auth.hpp"
 #include "flow/backoff.hpp"
 #include "flow/breaker.hpp"
+#include "flow/run_store.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 #include "telemetry/telemetry.hpp"
@@ -168,10 +172,14 @@ struct RunTiming {
 };
 
 struct RunInfo {
+  // `state` and `current_step` lead deliberately: every scheduled poll event
+  // checks them, and the orchestrator embeds RunInfo right after the run
+  // record's hot block so both land in its first cache lines. The strings
+  // and JSON below are only touched on dispatch/settle.
   RunState state = RunState::Pending;
+  size_t current_step = 0;
   std::string label;       ///< caller-supplied tag (e.g. source file)
   std::string error;
-  size_t current_step = 0;
   util::Json input;
   std::map<std::string, util::Json> step_outputs;
 };
@@ -218,6 +226,17 @@ struct FlowServiceConfig {
   BreakerConfig breaker;
 };
 
+/// Lock-free status view of one run (see FlowService::status). `known` is
+/// false for ids the service has never seen; the other fields are then
+/// default. `finished` is zero until the run settles.
+struct RunStatus {
+  bool known = false;
+  RunState state = RunState::Pending;
+  uint32_t current_step = 0;
+  sim::SimTime submitted;
+  sim::SimTime finished;
+};
+
 /// Diagnostic view of one provider's circuit breaker.
 struct BreakerSnapshot {
   std::string provider;
@@ -248,8 +267,26 @@ class FlowService {
                             const auth::Token& token,
                             const std::string& label = "");
 
+  /// Shared-definition overload: campaign drivers launching many runs of the
+  /// same flow pass one immutable definition and every run shares it instead
+  /// of copying ~1.5 KB of step metadata per run. The const& overload above
+  /// delegates here with a one-off copy.
+  util::Result<RunId> start(std::shared_ptr<const FlowDefinition> definition,
+                            util::Json input, const auth::Token& token,
+                            const std::string& label = "");
+
   const RunInfo& info(const RunId& id) const;
   const RunTiming& timing(const RunId& id) const;
+
+  /// Point-in-time run status, readable from any thread without blocking the
+  /// engine: one shard-striped lookup plus a seqlock snapshot of the run's
+  /// status cell. This is the portal-polling fast path — info()/timing()
+  /// return references only the engine thread may safely dereference.
+  RunStatus status(const RunId& id) const;
+  /// The run's status cell itself (stable for the service's lifetime), so a
+  /// poller can resolve the id once and then read with no locks at all.
+  /// Null for unknown ids.
+  const RunStatusCell* status_cell(const RunId& id) const;
 
   /// Cancel an active run: no further steps dispatch, pending polls are
   /// abandoned, and the run settles as Failed with a "cancelled" error.
@@ -296,14 +333,18 @@ class FlowService {
 
  private:
   struct Run {
-    FlowDefinition definition;
-    RunInfo info;
-    RunTiming timing;
-    auth::Token token;
-    ActionHandle current_handle;
-    int poll_attempt = 0;
-    int retries_this_step = 0;
-    std::string last_progress_token;
+    // ---- Hot block -----------------------------------------------------
+    // At 10^5+ concurrent flows every run record is a DRAM miss when its
+    // event fires, so the fields a completion poll touches — the dominant
+    // event class, ~12 of a typical flow's ~17 events — are packed into the
+    // record's first two cache lines, together with `info.state` and
+    // `info.current_step` (which RunInfo deliberately leads with). Strings,
+    // JSON, timing, and spans follow: they are only touched on
+    // dispatch/settle, 3x per flow instead of per poll.
+    /// Backpointer for scheduled events: hot-path lambdas capture just
+    /// {Run*, epoch} (16 bytes — inside libstdc++'s std::function small-buffer
+    /// optimization, so polls/retries/timeouts allocate nothing).
+    FlowService* svc = nullptr;
     /// Attempt generation: bumped whenever the current attempt is superseded
     /// (new dispatch, completion, timeout, failure). Scheduled poll/timeout
     /// events capture the epoch and no-op if it moved on.
@@ -313,9 +354,46 @@ class FlowService {
     /// of its identity and attempt history — concurrent flows never perturb
     /// each other's jitter.
     uint64_t backoff_salt = 0;
+    int poll_attempt = 0;
+    /// Interned provider id of the dispatched step (mirror of
+    /// step_pids[current_step], kept hot so polls skip the heap array).
+    uint16_t cur_pid = 0;
     /// Current attempt has a live completion subscription: polling is only
     /// the sparse reconcile safety net, never reset on token change.
     bool subscribed = false;
+    /// Polls issued for the in-flight step, folded into
+    /// timing.steps[current_step].polls when the attempt settles (or lazily
+    /// by timing()); keeps the poll path off the StepTiming heap array.
+    uint32_t cur_polls = 0;
+    void flush_polls() {
+      if (cur_polls == 0) return;
+      if (info.current_step < timing.steps.size())
+        timing.steps[info.current_step].polls += static_cast<int>(cur_polls);
+      cur_polls = 0;
+    }
+    RunInfo info;
+    ActionHandle current_handle;
+    std::string last_progress_token;
+    // ---- Dispatch/settle-path state (cold relative to polls) -----------
+    RunId id;
+    /// Seqlock-published status for lock-free portal polling.
+    RunStatusCell cell;
+    /// Interned provider id per step (indexes FlowService::providers_), so
+    /// dispatch/poll never do a string map lookup.
+    std::vector<uint16_t> step_pids;
+    /// Immutable, shared with every run started from the same definition
+    /// object: at 10^5-10^6 concurrent runs the per-run copy was both the
+    /// dominant memory cost (~1.5 KB each) and a guaranteed cache miss per
+    /// dispatch; one shared copy keeps step metadata hot.
+    std::shared_ptr<const FlowDefinition> def;
+    const FlowDefinition& definition() const { return *def; }
+    /// Pending step-timeout event; cancelled when the attempt settles so dead
+    /// timers are reclaimed by compaction instead of firing as no-ops hours
+    /// of virtual time after the run finished.
+    sim::EventHandle timeout_handle;
+    RunTiming timing;
+    auth::Token token;
+    int retries_this_step = 0;
     /// Cut-through pre-dispatch of the *next* step (held at its provider
     /// until the current step settles). Empty handle = none outstanding.
     ActionHandle pre_handle;
@@ -332,33 +410,37 @@ class FlowService {
     sim::SimTime attempt_started;
   };
 
-  void dispatch_step(const RunId& id);
-  void poll_step(const RunId& id, uint64_t epoch);
-  void timeout_step(const RunId& id, uint64_t epoch);
+  void dispatch_step(Run& run);
+  void poll_step(Run& run, uint64_t epoch);
+  void timeout_step(Run& run, uint64_t epoch);
   /// A provider completion notification fired for the current attempt.
   /// Applies notification-loss chaos, then (after jittered
   /// notification_latency_s) folds into poll_step.
-  void on_notification(const RunId& id, uint64_t epoch);
+  void on_notification(Run& run, uint64_t epoch);
   /// First byte-progress event from a streaming-capable step: pre-dispatch
   /// the next step held, if it opted into `streaming`.
-  void on_stream_progress(const RunId& id, uint64_t epoch);
+  void on_stream_progress(Run& run, uint64_t epoch);
   /// The current step completed with a held pre-dispatch waiting: adopt the
   /// pre-started action as the new current attempt and release it.
-  void activate_prestarted(const RunId& id);
+  void activate_prestarted(Run& run);
   /// Drop an outstanding pre-dispatch (run failed/cancelled before the
   /// streamed step could activate). The held service work completes
   /// unobserved, like any abandoned action.
   void abandon_prestart(Run& run);
-  void step_attempt_failed(const RunId& id, const std::string& error,
+  void step_attempt_failed(Run& run, const std::string& error,
                            double retry_delay_s);
-  void complete_step(const RunId& id, const ActionPollResult& poll);
-  void fail_run(const RunId& id, const std::string& error);
-  void finish_run(const RunId& id);
+  void complete_step(Run& run, ActionPollResult poll);
+  void fail_run(Run& run, const std::string& error);
+  void finish_run(Run& run);
+  /// Re-publish the run's seqlock status cell from its authoritative state.
+  void publish_status(Run& run);
   double jittered(double base);
   /// Poll policy in force: the sparse reconcile net in Events mode, the
   /// configured backoff otherwise.
   const BackoffPolicy& active_poll_policy() const;
-  CircuitBreaker& breaker_for(const std::string& provider);
+  /// Breaker for an interned provider id, created lazily on first dispatch
+  /// (snapshots only cover providers that have dispatched).
+  CircuitBreaker& breaker_for(uint16_t pid);
   /// Close the step span (if open) carrying the full StepTiming as integer-ns
   /// attributes, so reports can be rebuilt from the span tree alone.
   void close_step_span(Run& run, const std::string& category);
@@ -384,9 +466,21 @@ class FlowService {
   uint64_t active_step_span_ = 0;
   RunId active_run_;
   double slow_run_threshold_s_ = 0;
-  std::map<std::string, ActionProvider*> providers_;
-  std::map<std::string, CircuitBreaker> breakers_;
-  std::map<RunId, Run> runs_;
+  /// Providers interned to dense u16 ids: `providers_[pid]` is the adapter,
+  /// `provider_names_[pid]` its name, `breakers_[pid]` its lazily-created
+  /// circuit breaker (null until first dispatch). Re-registering a name
+  /// swaps the adapter but keeps the id (and breaker history), matching the
+  /// previous map-assign semantics.
+  std::vector<ActionProvider*> providers_;
+  std::vector<std::string> provider_names_;
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
+  std::unordered_map<std::string, uint16_t> provider_ids_;
+  /// Run records, sharded by id hash; records are heap-pinned so scheduled
+  /// events hold raw Run* (see Run::svc).
+  ShardedRunStore<Run> runs_;
+  /// Runs submitted but not yet settled, maintained incrementally so
+  /// active_runs() is O(1) instead of a full-store scan.
+  std::atomic<size_t> active_count_{0};
   uint64_t next_run_ = 1;
   uint64_t total_timeouts_ = 0;
   double notification_loss_prob_ = 0;

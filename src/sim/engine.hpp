@@ -3,13 +3,28 @@
 // scheduler, transfer/compute/search services, flow orchestrator) are actors
 // that schedule callbacks here. Event order is (time, sequence), so identical
 // seeds yield byte-identical campaign reports.
+//
+// Two interchangeable queue backends honour that contract bit-for-bit:
+//
+//   wheel (default)  - hierarchical bucketed timer wheel (sim/wheel.hpp):
+//                      O(1) schedule and cancel, occupancy-bitmap advance.
+//                      This is what lets 10^5-10^6 concurrent flows schedule
+//                      and cancel events without a global O(log n) heap.
+//   heap             - the original global std::priority_queue, kept as a
+//                      reference twin for differential tests and A13 benches.
+//
+// Select with PICO_SCHED=heap|wheel (or the explicit constructor). Cancelled
+// events are reclaimed lazily: each backend compacts once cancelled entries
+// outnumber live ones, instead of letting them ride the queue to their
+// timestamps.
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "sim/wheel.hpp"
 
 namespace pico::sim {
 
@@ -17,22 +32,32 @@ namespace pico::sim {
 class EventHandle {
  public:
   EventHandle() = default;
-  /// Cancel the event if it has not fired yet. Safe to call repeatedly.
+  /// Cancel the event if it has not fired yet. Safe to call repeatedly and
+  /// after the engine is gone. O(1): the queued entry is reclaimed lazily.
   void cancel();
   bool valid() const { return state_ != nullptr; }
 
  private:
   friend class Engine;
-  struct State {
-    bool cancelled = false;
+  /// Cancel bookkeeping shared by the engine and every outstanding handle;
+  /// shared ownership so a handle outliving the engine stays safe.
+  struct Counters {
+    uint64_t cancelled_total = 0;
+    size_t cancelled_pending = 0;
   };
-  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
-  std::shared_ptr<State> state_;
+  EventHandle(std::shared_ptr<EventState> s, std::shared_ptr<Counters> c)
+      : state_(std::move(s)), counters_(std::move(c)) {}
+  std::shared_ptr<EventState> state_;
+  std::shared_ptr<Counters> counters_;
 };
 
 class Engine {
  public:
-  Engine() = default;
+  enum class Backend { Heap, Wheel };
+
+  /// Backend from PICO_SCHED ("heap" / "wheel"); wheel when unset or empty.
+  Engine();
+  explicit Engine(Backend backend);
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -44,6 +69,12 @@ class Engine {
   /// Schedule `fn` to run `delay` from now.
   EventHandle schedule_after(Duration delay, std::function<void()> fn);
 
+  /// Fire-and-forget twins: no cancellation handle, so no per-event control
+  /// block. The flow orchestrator's hot paths (polls, retries, hops) use
+  /// these — at 10^5 concurrent runs the saved allocation is material.
+  void post_at(SimTime at, std::function<void()> fn);
+  void post_after(Duration delay, std::function<void()> fn);
+
   /// Run until the event queue drains or `until` is reached (events scheduled
   /// beyond `until` stay queued; now() advances to at most `until`).
   void run_until(SimTime until);
@@ -51,30 +82,55 @@ class Engine {
   /// Run until the queue is empty.
   void run();
 
-  /// True if no events remain.
-  bool idle() const { return queue_.empty(); }
+  /// True if no events remain (cancelled-but-unreclaimed entries count).
+  bool idle() const { return queue_depth() == 0; }
 
   /// Number of events processed so far (diagnostics/tests).
   uint64_t events_processed() const { return events_processed_; }
 
+  /// Entries currently queued, including cancelled ones awaiting reclaim
+  /// (exported as the sim_queue_depth gauge).
+  size_t queue_depth() const {
+    return backend_ == Backend::Heap ? heap_.size() : wheel_.size();
+  }
+  /// Cancellations observed over the engine's lifetime (exported as the
+  /// sim_events_cancelled_total counter).
+  uint64_t cancelled_total() const { return counters_->cancelled_total; }
+  /// Cancelled entries not yet reclaimed from the queue.
+  size_t cancelled_pending() const { return counters_->cancelled_pending; }
+  /// Lazy compaction sweeps performed (diagnostics/tests).
+  uint64_t compactions() const { return compactions_; }
+
+  const char* backend_name() const {
+    return backend_ == Backend::Heap ? "heap" : "wheel";
+  }
+
  private:
-  struct Entry {
-    SimTime at;
-    uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<EventHandle::State> state;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
+  struct HeapLater {
+    bool operator()(const SchedEntry& a, const SchedEntry& b) const {
+      if (a.at_ns != b.at_ns) return a.at_ns > b.at_ns;
       return a.seq > b.seq;
     }
   };
 
+  void enqueue(SimTime at, std::function<void()> fn,
+               std::shared_ptr<EventState> state);
+  bool pop_next(int64_t limit_ns, SchedEntry* out);
+  /// Fire `entry` unless cancelled; returns true if it ran.
+  bool fire(SchedEntry& entry);
+  /// Reclaim cancelled entries once they outnumber live ones.
+  void maybe_compact();
+  /// Prefetch the likely-next entry's functor target and cancel state.
+  void prefetch_next() const;
+
+  Backend backend_;
   SimTime now_ = SimTime::zero();
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  uint64_t compactions_ = 0;
+  std::shared_ptr<EventHandle::Counters> counters_;
+  std::vector<SchedEntry> heap_;  ///< Backend::Heap: binary heap (HeapLater)
+  TimerWheel wheel_;              ///< Backend::Wheel
 };
 
 }  // namespace pico::sim

@@ -1,0 +1,89 @@
+#pragma once
+// Hierarchical bucketed timer wheel: the O(1) event queue behind sim::Engine.
+//
+// 4 levels x 256 slots at ~1 ms granularity (2^20 ns per tick; byte k of the
+// tick indexes level k), an overflow list for events beyond the ~52-day
+// horizon, and a small (at, seq) min-heap of "due" entries holding everything
+// at or before the wheel's current tick. The heap keeps the engine's
+// documented FIFO contract exact: events fire in (time, sequence) order even
+// when several distinct timestamps share one wheel tick.
+//
+// Placement rule: an entry lands at the level of the highest tick byte in
+// which it differs from the current tick (Varghese-Lauer style). That makes
+// slot -> time resolution unambiguous — an occupied slot at level k is always
+// ahead of the current tick's byte k — so advancing never scans empty time:
+// per-level 256-bit occupancy bitmaps give the next candidate in O(1), and
+// each entry cascades at most once per level on its way down.
+//
+// Cancellation is O(1) (a flag on the entry's shared state); dead entries are
+// reclaimed either when their slot drains or by compact(), which the engine
+// invokes lazily once cancelled entries outnumber live ones.
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace pico::sim {
+
+/// Shared cancellation state between an EventHandle and the queued entry.
+struct EventState {
+  bool cancelled = false;
+  bool fired = false;  ///< set when the entry fires or is compacted away
+};
+
+/// A queued event. `state` is null for fire-and-forget posts (no handle).
+struct SchedEntry {
+  int64_t at_ns = 0;
+  uint64_t seq = 0;
+  std::function<void()> fn;
+  std::shared_ptr<EventState> state;
+};
+
+class TimerWheel {
+ public:
+  static constexpr int kTickShiftNs = 20;  ///< 2^20 ns ~= 1.05 ms per tick
+  static constexpr int kLevels = 4;
+  static constexpr int kSlotsPerLevel = 256;
+
+  /// Queue an entry. `at_ns` may be in the past relative to the wheel's
+  /// current position (it goes straight to the due heap, exact order kept).
+  void insert(SchedEntry entry);
+
+  /// Pop the earliest entry with at_ns <= limit_ns, advancing the wheel's
+  /// internal position (cascading levels) as needed. Returns false when no
+  /// such entry remains; the wheel position is left untouched in that case.
+  bool pop_next(int64_t limit_ns, SchedEntry* out);
+
+  /// Remove every cancelled entry; returns how many were dropped. O(size).
+  size_t compact();
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// The entry most likely to pop next (the due-heap front; null when the
+  /// current tick is drained). The engine uses it to prefetch the next
+  /// event's captured state while the current event runs — at 10^5+
+  /// concurrent flows the captured run record is a guaranteed DRAM miss,
+  /// and this overlaps it with useful work.
+  const SchedEntry* peek_due() const {
+    return due_.empty() ? nullptr : due_.data();
+  }
+
+ private:
+  void push_due(SchedEntry entry);
+  SchedEntry pop_due();
+  /// Tick of the earliest level candidate (slot lower bound), or INT64_MAX.
+  /// Sets *level to the candidate's level.
+  int64_t next_candidate(int* level) const;
+  void redistribute(int level, int slot);
+
+  int64_t cur_tick_ = 0;
+  size_t size_ = 0;
+  /// Min-heap by (at_ns, seq): everything at or before cur_tick_.
+  std::vector<SchedEntry> due_;
+  std::vector<SchedEntry> slots_[kLevels][kSlotsPerLevel];
+  uint64_t bitmap_[kLevels][kSlotsPerLevel / 64] = {};
+  std::vector<SchedEntry> overflow_;
+};
+
+}  // namespace pico::sim

@@ -283,5 +283,65 @@ TEST(Integration, PortalRegeneratedFromIndexSnapshot) {
   EXPECT_EQ(original_html, restored_html);
 }
 
+// The two scheduler backends (PICO_SCHED=heap reference twin vs the timer
+// wheel) must be observationally identical end-to-end: a chaos campaign run
+// under each publishes the same search-index fingerprint, settles the same
+// flows, and processes the same number of events at the same virtual times.
+TEST(Integration, ChaosCampaignFingerprintParityAcrossSchedulers) {
+  struct Outcome {
+    uint64_t fingerprint = 0;
+    size_t index_size = 0;
+    size_t in_window = 0;
+    size_t late = 0;
+    size_t failed = 0;
+    uint64_t events = 0;
+    int64_t end_ns = 0;
+  };
+  auto run_with = [&](const char* sched) {
+    setenv("PICO_SCHED", sched, 1);
+    FacilityConfig fc = fast_config(std::string("schedparity_") + sched, 4242);
+    fc.transfer_max_retries = 8;
+    Facility facility(fc);
+    CampaignConfig cfg;
+    cfg.use_case = UseCase::Hyperspectral;
+    cfg.start_period_s = 45;
+    cfg.duration_s = 900;
+    cfg.file_bytes = 50'000'000;
+    cfg.label_prefix = "sp";
+    cfg.chaos.name = "sched-parity";
+    cfg.chaos.add(
+        fault::FaultEvent{fault::FaultKind::TransferOutage, 120, 90, "", 0});
+    cfg.chaos.add(
+        fault::FaultEvent{fault::FaultKind::WireBitFlip, 0, 900, "", 0.1});
+    CampaignResult result = run_campaign(facility, cfg);
+    Outcome out;
+    out.fingerprint = facility.index().fingerprint();
+    out.index_size = facility.index().size();
+    out.in_window = result.in_window.size();
+    out.late = result.late.size();
+    out.failed = result.failed;
+    out.events = facility.engine().events_processed();
+    out.end_ns = facility.engine().now().ns;
+    return out;
+  };
+  const char* prev = getenv("PICO_SCHED");
+  std::string saved = prev ? prev : "";
+  Outcome heap = run_with("heap");
+  Outcome wheel = run_with("wheel");
+  if (prev) {
+    setenv("PICO_SCHED", saved.c_str(), 1);
+  } else {
+    unsetenv("PICO_SCHED");
+  }
+  ASSERT_GT(heap.in_window, 0u);
+  EXPECT_EQ(heap.fingerprint, wheel.fingerprint);
+  EXPECT_EQ(heap.index_size, wheel.index_size);
+  EXPECT_EQ(heap.in_window, wheel.in_window);
+  EXPECT_EQ(heap.late, wheel.late);
+  EXPECT_EQ(heap.failed, wheel.failed);
+  EXPECT_EQ(heap.events, wheel.events);
+  EXPECT_EQ(heap.end_ns, wheel.end_ns);
+}
+
 }  // namespace
 }  // namespace pico::core

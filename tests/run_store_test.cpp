@@ -1,0 +1,175 @@
+// Tests for the sharded, slab-backed run store and the seqlock status cell:
+// pointer stability across slab chunk boundaries, insertion-order iteration,
+// destructor accounting, and cross-thread coherence of the lock-free status
+// reads that portal pollers rely on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/run_store.hpp"
+
+namespace pico::flow {
+namespace {
+
+struct Rec {
+  static std::atomic<int> live;
+  Rec() { live.fetch_add(1, std::memory_order_relaxed); }
+  ~Rec() { live.fetch_sub(1, std::memory_order_relaxed); }
+  std::string id;
+  RunStatusCell cell;
+  uint64_t payload[4] = {};
+};
+std::atomic<int> Rec::live{0};
+
+TEST(ShardedRunStore, EmplaceFindAndInsertionOrder) {
+  ShardedRunStore<Rec> store;
+  for (int i = 0; i < 100; ++i) {
+    std::string id = "run-" + std::to_string(i);
+    Rec* r = store.emplace(id);
+    ASSERT_NE(r, nullptr);
+    r->id = id;
+  }
+  EXPECT_EQ(store.size(), 100u);
+  EXPECT_EQ(store.find("run-42")->id, "run-42");
+  EXPECT_EQ(store.find("run-nope"), nullptr);
+  std::vector<std::string> ids = store.ids_in_order();
+  ASSERT_EQ(ids.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ids[i], "run-" + std::to_string(i));
+}
+
+TEST(ShardedRunStore, DuplicateEmplaceReturnsExistingRecord) {
+  ShardedRunStore<Rec> store;
+  Rec* first = store.emplace("run-0");
+  first->payload[0] = 99;
+  Rec* again = store.emplace("run-0");
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(again->payload[0], 99u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ShardedRunStore, PointersStableAcrossSlabChunks) {
+  // Enough records to span several 2 MiB slab chunks; every pointer taken
+  // at emplace time must stay valid (the contract that lets scheduled
+  // events capture raw Run*).
+  constexpr size_t kN = (size_t{2} << 20) / sizeof(Rec) * 3 + 17;
+  ShardedRunStore<Rec> store;
+  std::vector<Rec*> ptrs;
+  ptrs.reserve(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    Rec* r = store.emplace(std::to_string(i));
+    r->id = std::to_string(i);
+    r->payload[0] = i;
+    ptrs.push_back(r);
+  }
+  EXPECT_EQ(store.size(), kN);
+  for (size_t i = 0; i < kN; i += 997) {
+    EXPECT_EQ(ptrs[i], store.find(std::to_string(i)));
+    EXPECT_EQ(ptrs[i]->payload[0], i);
+  }
+  EXPECT_EQ(ptrs.front()->payload[0], 0u);
+  EXPECT_EQ(ptrs.back()->payload[0], kN - 1);
+}
+
+TEST(ShardedRunStore, DestructorDestroysEveryRecord) {
+  int before = Rec::live.load();
+  {
+    ShardedRunStore<Rec> store;
+    for (int i = 0; i < 5000; ++i) store.emplace(std::to_string(i));
+    EXPECT_EQ(Rec::live.load(), before + 5000);
+  }
+  EXPECT_EQ(Rec::live.load(), before);
+}
+
+TEST(ShardedRunStore, ConcurrentReadersDuringEmplace) {
+  // Writer thread emplaces (the engine-thread role) while reader threads
+  // hammer find()/ids_in_order()/size() — the documented cross-thread API.
+  ShardedRunStore<Rec> store;
+  constexpr int kN = 20000;
+  std::atomic<int> published{0};
+  std::atomic<bool> fail{false};
+  std::thread writer([&] {
+    for (int i = 0; i < kN; ++i) {
+      std::string id = std::to_string(i);
+      Rec* r = store.emplace(id);
+      r->id = id;
+      r->payload[0] = static_cast<uint64_t>(i);
+      published.store(i + 1, std::memory_order_release);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (published.load(std::memory_order_acquire) < kN) {
+        int upto = published.load(std::memory_order_acquire);
+        if (upto == 0) continue;
+        int probe = upto - 1;
+        Rec* r = store.find(std::to_string(probe));
+        if (!r || r->payload[0] != static_cast<uint64_t>(probe)) {
+          fail.store(true);
+          return;
+        }
+        if (store.size() < static_cast<size_t>(upto)) {
+          fail.store(true);
+          return;
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& th : readers) th.join();
+  EXPECT_FALSE(fail.load());
+  EXPECT_EQ(store.size(), static_cast<size_t>(kN));
+  EXPECT_EQ(store.ids_in_order().size(), static_cast<size_t>(kN));
+}
+
+TEST(RunStatusCell, PackAndFastPathWord) {
+  RunStatusCell cell;
+  cell.publish(/*state=*/3, /*current_step=*/7, /*submitted_ns=*/100,
+               /*finished_ns=*/0);
+  uint64_t w = cell.word();
+  EXPECT_EQ(RunStatusCell::state_of(w), 3);
+  EXPECT_EQ(RunStatusCell::step_of(w), 7u);
+  RunStatusCell::Snapshot snap = cell.read();
+  EXPECT_EQ(snap.state, 3);
+  EXPECT_EQ(snap.current_step, 7u);
+  EXPECT_EQ(snap.submitted_ns, 100);
+  EXPECT_EQ(snap.finished_ns, 0);
+}
+
+TEST(RunStatusCell, SeqlockSnapshotsAreAlwaysConsistent) {
+  // Writer publishes tuples with an invariant (finished == submitted + step);
+  // concurrent readers must never observe a snapshot that breaks it.
+  RunStatusCell cell;
+  cell.publish(0, 0, 0, 0);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        RunStatusCell::Snapshot s = cell.read();
+        if (s.finished_ns != s.submitted_ns + s.current_step) {
+          torn.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (uint32_t i = 1; i <= 200000; ++i) {
+    int64_t submitted = static_cast<int64_t>(i) * 1000;
+    cell.publish(static_cast<uint8_t>(i & 0x7), i, submitted,
+                 submitted + i);
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_FALSE(torn.load());
+  RunStatusCell::Snapshot last = cell.read();
+  EXPECT_EQ(last.current_step, 200000u);
+}
+
+}  // namespace
+}  // namespace pico::flow

@@ -47,6 +47,15 @@ Validates, with no third-party dependencies:
   alert with a non-empty flight dump per degraded flow, and the identical
   fault-free campaign completely silent.
 
+* Control-plane scale baselines (``--controlplane``,
+  ``BENCH_controlplane.json``): schema, the bench's own pass flag, all three
+  flow tiers (10^3/10^4/10^5) present with sane event counts, the 10^5-flow
+  tier at or above the recorded speedup gate (>= 2.5x the pre-rewrite
+  baseline) with the gate itself not quietly loosened, search p99 under
+  10 ms at 10^6 documents with a non-degenerate query count, scheduler
+  micro-costs for both backends, and the heap-vs-wheel campaign parity
+  fingerprints bit-identical.
+
 * End-to-end integrity baselines (``--integrity``, ``BENCH_integrity.json``):
   schema, the 50%-progress resume acceptance pair (resumed retry < 60% of
   file bytes, whole-file restart >= 150%), and the chaos campaign's
@@ -700,6 +709,91 @@ def check_observability(path):
     return True
 
 
+def check_controlplane(path):
+    try:
+        doc = json.load(open(path, encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unparseable: {e}")
+    if doc.get("schema") != "pico.bench.controlplane.v1":
+        return fail(path, f"bad schema {doc.get('schema')!r}")
+    if doc.get("pass") is not True:
+        return fail(path, "the bench itself recorded a failed assertion")
+    smoke = bool(doc.get("smoke"))
+
+    sched = doc.get("sched", {})
+    backends = {b.get("name"): b for b in sched.get("backends", [])}
+    if set(backends) != {"heap", "wheel"}:
+        return fail(path, f"scheduler backends {sorted(backends)} != "
+                          f"heap + wheel")
+    for name, b in backends.items():
+        for key in ("schedule_ns", "cancel_ns", "drain_ns"):
+            v = b.get(key)
+            if not isinstance(v, (int, float)) or v <= 0:
+                return fail(path, f"{name}: bad {key} {v!r}")
+
+    flows = doc.get("flows", {})
+    tiers = {t.get("flows"): t for t in flows.get("tiers", [])}
+    want_tiers = {1000, 10000} if smoke else {1000, 10000, 100000}
+    if set(tiers) != want_tiers:
+        return fail(path, f"flow tiers {sorted(tiers)} != "
+                          f"{sorted(want_tiers)}")
+    for n, t in tiers.items():
+        if not isinstance(t.get("flows_per_s"), (int, float)) \
+                or t["flows_per_s"] <= 0:
+            return fail(path, f"tier {n}: bad flows_per_s "
+                              f"{t.get('flows_per_s')!r}")
+        epf = t.get("events_per_flow")
+        if not isinstance(epf, (int, float)) or not 5 <= epf <= 100:
+            return fail(path, f"tier {n}: events_per_flow {epf!r} is not a "
+                              f"plausible orchestration workload")
+
+    parity = doc.get("parity", {})
+    if parity.get("match") is not True:
+        return fail(path, "heap vs wheel campaign parity broken")
+    fp_heap = parity.get("fingerprint_heap")
+    fp_wheel = parity.get("fingerprint_wheel")
+    if not fp_heap or fp_heap != fp_wheel:
+        return fail(path, f"parity fingerprints differ: {fp_heap!r} vs "
+                          f"{fp_wheel!r}")
+
+    if smoke:
+        print(f"{path}: ok (smoke: schema, backends, tiers, parity)")
+        return True
+
+    # Full-mode throughput gates. The gate factor is recorded in the file but
+    # must not have been quietly loosened.
+    gate = flows.get("speedup_gate_100k")
+    if not isinstance(gate, (int, float)) or gate < 2.5:
+        return fail(path, f"speedup_gate_100k {gate!r} looser than 2.5x")
+    baseline = flows.get("baseline_flows_per_s_100k")
+    if not isinstance(baseline, (int, float)) or baseline <= 0:
+        return fail(path, f"bad baseline_flows_per_s_100k {baseline!r}")
+    top = tiers[100000]["flows_per_s"]
+    speedup = top / baseline
+    if speedup < gate:
+        return fail(path, f"10^5-flow tier {top:.0f} flows/s is "
+                          f"{speedup:.2f}x baseline, under the {gate}x gate")
+
+    search = doc.get("search", {})
+    if search.get("docs") != 1000000:
+        return fail(path, f"search tier {search.get('docs')!r} != 10^6 docs")
+    if not isinstance(search.get("queries"), (int, float)) \
+            or search["queries"] < 100:
+        return fail(path, f"degenerate query count {search.get('queries')!r}")
+    p99 = search.get("p99_ms")
+    if not isinstance(p99, (int, float)) or p99 >= 10.0:
+        return fail(path, f"search p99 {p99!r} ms is not under 10 ms")
+    for key in ("ingest_docs_per_s", "remove_docs_per_s"):
+        v = search.get(key)
+        if not isinstance(v, (int, float)) or v <= 0:
+            return fail(path, f"bad {key} {v!r}")
+
+    print(f"{path}: ok (10^5 tier {top:.0f} flows/s = {speedup:.2f}x "
+          f"baseline >= {gate}x; search p99 {p99:.3f} ms at 10^6 docs; "
+          f"heap/wheel parity {fp_heap})")
+    return True
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--prom", action="append", default=[],
@@ -726,13 +820,17 @@ def main():
     parser.add_argument("--observability", action="append", default=[],
                         help="BENCH_observability.json baseline to validate "
                              "(repeatable)")
+    parser.add_argument("--controlplane", action="append", default=[],
+                        help="BENCH_controlplane.json baseline to validate "
+                             "(repeatable)")
     args = parser.parse_args()
     if not args.prom and not args.trace and not args.dataplane \
             and not args.overhead and not args.integrity \
-            and not args.streaming and not args.observability:
+            and not args.streaming and not args.observability \
+            and not args.controlplane:
         parser.error("nothing to check: pass --prom, --trace, --dataplane, "
-                     "--overhead, --integrity, --streaming and/or "
-                     "--observability")
+                     "--overhead, --integrity, --streaming, --observability "
+                     "and/or --controlplane")
 
     ok = True
     for path in args.prom:
@@ -749,6 +847,8 @@ def main():
         ok = check_streaming(path) and ok
     for path in args.observability:
         ok = check_observability(path) and ok
+    for path in args.controlplane:
+        ok = check_controlplane(path) and ok
     return 0 if ok else 1
 
 
