@@ -425,10 +425,15 @@ CampaignResult run_campaign(Facility& facility, const CampaignConfig& config) {
                                      : spatiotemporal_flow(facility));
   driver->result = &result;
 
-  // Per-step timeout overrides (chaos campaigns abandon stuck actions).
+  // Per-step timeout overrides (chaos campaigns abandon stuck actions) and
+  // best-effort flags (what a federation broker may shed under brownout).
   for (auto& step : driver->definition.steps) {
     auto it = config.step_timeouts.find(step.name);
     if (it != config.step_timeouts.end()) step.timeout_s = it->second;
+    if (std::find(config.optional_steps.begin(), config.optional_steps.end(),
+                  step.name) != config.optional_steps.end()) {
+      step.optional = true;
+    }
   }
 
   // Cut-through streaming: flag the requested steps, and give the Transfer

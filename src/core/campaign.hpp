@@ -58,6 +58,10 @@ struct CampaignConfig {
   /// cut-through once the preceding step's first chunk lands. Requires the
   /// flow service to run in Events completion mode to have any effect.
   std::vector<std::string> streaming_steps;
+  /// Steps (by name) marked `optional` on the definition — what a federation
+  /// broker sheds under brownout before rejecting admissions. The facility's
+  /// own orchestrator always runs them; only a broker strips them.
+  std::vector<std::string> optional_steps;
   /// Chunk size injected into a Transfer step's params when the step after it
   /// streams (progress granularity of the cut-through pipeline).
   int64_t streaming_chunk_bytes = 8 * 1000 * 1000;

@@ -21,14 +21,19 @@ namespace pico::core {
 using util::Json;
 
 Facility::Facility(FacilityConfig config)
+    : Facility(std::move(config), nullptr) {}
+
+Facility::Facility(FacilityConfig config, sim::Engine* shared_engine)
     : config_(std::move(config)),
+      owned_engine_(shared_engine ? nullptr : std::make_unique<sim::Engine>()),
+      engine_(shared_engine ? shared_engine : owned_engine_.get()),
       user_store_("picoprobe-staging", config_.user_store_capacity),
       eagle_("eagle", config_.eagle_capacity),
       node_memory_("polaris-nodemem", config_.node_memory_capacity),
       index_("picoprobe-experiments"),
       cost_rng_(config_.seed ^ 0xC057ull) {
   build_topology();
-  network_ = std::make_unique<net::Network>(&engine_, &topo_);
+  network_ = std::make_unique<net::Network>(engine_, &topo_);
 
   transfer::TransferConfig tcfg;
   tcfg.setup_mean_s = config_.cost.transfer_setup_mean_s;
@@ -38,7 +43,7 @@ Facility::Facility(FacilityConfig config)
   tcfg.max_retries = config_.transfer_max_retries;
   tcfg.per_flow_rate_cap_bps = config_.cost.per_flow_rate_cap_bps;
   transfer_ = std::make_unique<transfer::TransferService>(
-      &engine_, network_.get(), &auth_, tcfg, config_.seed ^ 0x7F1, &trace_);
+      engine_, network_.get(), &auth_, tcfg, config_.seed ^ 0x7F1, &trace_);
   transfer_->register_endpoint(kUserEndpoint, user_node_, &user_store_);
   transfer_->register_endpoint(kEagleEndpoint, eagle_node_, &eagle_);
 
@@ -54,7 +59,7 @@ Facility::Facility(FacilityConfig config)
   wiring.src_endpoint = kUserEndpoint;
   wiring.store_endpoint = kEagleEndpoint;
   stream_ = std::make_unique<transfer::StreamService>(
-      &engine_, network_.get(), &auth_, transfer_.get(), config_.stream,
+      engine_, network_.get(), &auth_, transfer_.get(), config_.stream,
       wiring, config_.seed ^ 0x57A3);
 
   hpcsim::ClusterConfig ccfg;
@@ -62,11 +67,11 @@ Facility::Facility(FacilityConfig config)
   ccfg.node_count = config_.polaris_nodes;
   ccfg.provision_delay_s = config_.cost.provision_delay_s;
   ccfg.provision_jitter_s = config_.cost.provision_jitter_s;
-  pbs_ = std::make_unique<hpcsim::PbsScheduler>(&engine_, ccfg,
+  pbs_ = std::make_unique<hpcsim::PbsScheduler>(engine_, ccfg,
                                                 config_.seed ^ 0x9B5);
 
   compute_ = std::make_unique<compute::ComputeService>(
-      &engine_, &auth_, config_.seed ^ 0xC03, &trace_);
+      engine_, &auth_, config_.seed ^ 0xC03, &trace_);
   compute::EndpointConfig ecfg;
   ecfg.name = "polaris";
   ecfg.scheduler = pbs_.get();
@@ -78,12 +83,12 @@ Facility::Facility(FacilityConfig config)
   polaris_ep_ = compute_->register_endpoint(ecfg);
 
   flows_ = std::make_unique<flow::FlowService>(
-      &engine_, &auth_, config_.flow, config_.seed ^ 0xF70, &trace_);
+      engine_, &auth_, config_.flow, config_.seed ^ 0xF70, &trace_);
   transfer_provider_ = std::make_unique<TransferProvider>(transfer_.get());
   stream_provider_ = std::make_unique<StreamProvider>(stream_.get());
   compute_provider_ = std::make_unique<ComputeProvider>(compute_.get());
   search_provider_ = std::make_unique<SearchIngestProvider>(
-      &engine_, &auth_, &index_, config_.cost.publication_s,
+      engine_, &auth_, &index_, config_.cost.publication_s,
       config_.cost.publication_jitter_s, config_.seed ^ 0x5E4);
   flows_->register_provider(transfer_provider_.get());
   flows_->register_provider(stream_provider_.get());
@@ -97,6 +102,7 @@ Facility::Facility(FacilityConfig config)
   compute_->set_telemetry(&telemetry_);
   flows_->set_telemetry(&telemetry_);
   search_provider_->set_telemetry(&telemetry_);
+  flows_->set_site(config_.site_name);
 
   // Health plane: flight-ring sizing comes from the config; the periodic
   // monitor is armed here but only ticks once someone calls
@@ -104,7 +110,8 @@ Facility::Facility(FacilityConfig config)
   // and network — the telemetry library itself cannot depend on net/.
   telemetry_.flight.configure(config_.health.flight);
   health_ = std::make_unique<telemetry::health::HealthMonitor>(
-      engine_, telemetry_, config_.health);
+      *engine_, telemetry_, config_.health);
+  health_->set_site(config_.site_name);
   health_->set_link_probe([this] {
     std::vector<telemetry::health::LinkProbe> probes;
     for (net::LinkId lid = 0;
@@ -169,7 +176,7 @@ util::Result<fault::FaultInjector*> Facility::install_faults(
     const fault::FaultSchedule& schedule) {
   using R = util::Result<fault::FaultInjector*>;
   fault::FaultInjector::Services services;
-  services.engine = &engine_;
+  services.engine = engine_;
   services.topology = &topo_;
   services.network = network_.get();
   services.transfer = transfer_.get();
@@ -185,6 +192,10 @@ util::Result<fault::FaultInjector*> Facility::install_faults(
   services.stores[node_memory_.name()] = &node_memory_;
   services.default_store = eagle_.name();
   services.storage_seed = config_.seed ^ 0x5C0FFull;
+  services.site_hook = [this](fault::FaultKind kind, const std::string& site,
+                              double severity, bool begin) {
+    on_site_fault(kind, site, severity, begin);
+  };
   injector_ = std::make_unique<fault::FaultInjector>(std::move(services));
   injector_->set_telemetry(&telemetry_);
   auto installed = injector_->install(schedule);
@@ -195,10 +206,29 @@ util::Result<fault::FaultInjector*> Facility::install_faults(
   return R::ok(injector_.get());
 }
 
+void Facility::on_site_fault(fault::FaultKind kind, const std::string& site,
+                             double severity, bool begin) {
+  // An event targeting another named site is not ours; an empty target means
+  // the injector's default facility, i.e. this one.
+  if (!site.empty() && site != config_.site_name) return;
+  if (kind == fault::FaultKind::SiteOutage) {
+    // The whole facility goes dark: the transfer and compute control planes
+    // reject, and PBS stops launching jobs — in-flight local runs fail fast
+    // so the broker's failover (not a slow retry crawl) owns recovery.
+    transfer_->set_available(!begin);
+    compute_->set_available(!begin);
+    pbs_->set_drain(begin);
+  }
+  // SitePartition / SiteBrownout change nothing locally: a partitioned site
+  // keeps executing (the broker just cannot see or reach it until heal), and
+  // brownout is a routing/shedding decision made broker-side.
+  if (site_fault_handler_) site_fault_handler_(kind, severity, begin);
+}
+
 storage::Scrubber& Facility::start_scrubber(
     const storage::ScrubberConfig& config) {
   scrubber_ =
-      std::make_unique<storage::Scrubber>(&engine_, &eagle_, config,
+      std::make_unique<storage::Scrubber>(engine_, &eagle_, config,
                                           &telemetry_);
   scrubber_->set_repair([this](const std::string& path) {
     auto task =
@@ -218,12 +248,12 @@ util::Status Facility::stage_virtual_file(const std::string& path,
   // Synthetic checksum: derived from the path so transfer verification has a
   // stable value to compare.
   uint64_t crc = util::crc64(path);
-  return user_store_.put_virtual(path, bytes, crc, engine_.now());
+  return user_store_.put_virtual(path, bytes, crc, engine_->now());
 }
 
 util::Status Facility::stage_real_file(const std::string& path,
                                        std::vector<uint8_t> bytes) {
-  return user_store_.put(path, std::move(bytes), engine_.now());
+  return user_store_.put(path, std::move(bytes), engine_->now());
 }
 
 util::Result<const storage::Object*> Facility::data_object(

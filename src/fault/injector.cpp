@@ -83,6 +83,14 @@ util::Status FaultInjector::install(const FaultSchedule& schedule) {
                         "invalid");
         }
         break;
+      case FaultKind::SiteOutage:
+      case FaultKind::SitePartition:
+      case FaultKind::SiteBrownout:
+        if (!s_.site_hook) {
+          return S::err(fault_kind_name(e.kind) + " needs a site_hook",
+                        "invalid");
+        }
+        break;
       case FaultKind::OrchestratorCrash:
         break;  // campaign-driver concern; the injector only carries it
     }
@@ -235,6 +243,13 @@ void FaultInjector::begin_event(const FaultEvent& event) {
     case FaultKind::ConsumerStall:
       if (depth == 1) s_.stream->set_consumer_stall(true);
       break;
+    case FaultKind::SiteOutage:
+    case FaultKind::SitePartition:
+    case FaultKind::SiteBrownout:
+      if (depth == 1) {
+        s_.site_hook(event.kind, event.target, event.severity, true);
+      }
+      break;
     case FaultKind::TokenExpiry:
     case FaultKind::OrchestratorCrash:
     case FaultKind::StorageCorrupt:
@@ -338,6 +353,11 @@ void FaultInjector::end_event(const FaultEvent& event) {
       break;
     case FaultKind::ConsumerStall:
       s_.stream->set_consumer_stall(false);
+      break;
+    case FaultKind::SiteOutage:
+    case FaultKind::SitePartition:
+    case FaultKind::SiteBrownout:
+      s_.site_hook(event.kind, event.target, event.severity, false);
       break;
     case FaultKind::TokenExpiry:
     case FaultKind::OrchestratorCrash:

@@ -58,6 +58,16 @@ class FaultInjector {
     std::string default_store;
     /// Seed for the per-object corruption coins of StorageCorrupt events.
     uint64_t storage_seed = 0x5C0FFull;
+    /// Site-level faults (SiteOutage / SitePartition / SiteBrownout) are
+    /// delivered through this hook instead of a service pointer: the fault
+    /// layer stays ignorant of the federation broker that interprets them.
+    /// `site` is the event target (empty = the hook's default site),
+    /// `severity` only matters for SiteBrownout. Overlapping windows of the
+    /// same (kind, site) are ref-counted; the hook fires on the first begin
+    /// and the last end.
+    std::function<void(FaultKind kind, const std::string& site,
+                       double severity, bool begin)>
+        site_hook;
   };
 
   explicit FaultInjector(Services services) : s_(std::move(services)) {}

@@ -25,6 +25,9 @@ std::string fault_kind_name(FaultKind kind) {
     case FaultKind::FrameReorder: return "frame_reorder";
     case FaultKind::FrameDuplicate: return "frame_duplicate";
     case FaultKind::ConsumerStall: return "consumer_stall";
+    case FaultKind::SiteOutage: return "site_outage";
+    case FaultKind::SitePartition: return "site_partition";
+    case FaultKind::SiteBrownout: return "site_brownout";
   }
   return "?";
 }
@@ -49,6 +52,9 @@ util::Result<FaultKind> fault_kind_from_name(const std::string& name) {
       {"frame_reorder", FaultKind::FrameReorder},
       {"frame_duplicate", FaultKind::FrameDuplicate},
       {"consumer_stall", FaultKind::ConsumerStall},
+      {"site_outage", FaultKind::SiteOutage},
+      {"site_partition", FaultKind::SitePartition},
+      {"site_brownout", FaultKind::SiteBrownout},
   };
   for (const auto& [n, k] : kKinds) {
     if (name == n) return R::ok(k);
@@ -137,6 +143,10 @@ util::Result<FaultSchedule> FaultSchedule::from_json(const Json& doc) {
         (e.severity <= 0 || e.severity > 1)) {
       return R::err(fault_kind_name(e.kind) + " severity must be in (0, 1]",
                     "schema");
+    }
+    if (e.kind == FaultKind::SiteBrownout &&
+        (e.severity <= 0 || e.severity > 1)) {
+      return R::err("site_brownout severity must be in (0, 1]", "schema");
     }
     schedule.events.push_back(std::move(e));
   }

@@ -38,6 +38,9 @@ enum class FaultKind {
   FrameReorder,       ///< direct-stream frame reorder probability = severity
   FrameDuplicate,     ///< direct-stream frame duplication prob. = severity
   ConsumerStall,      ///< direct-stream consumer stops taking frames
+  SiteOutage,         ///< whole facility dark: broker fails flows over
+  SitePartition,      ///< facility unreachable but alive; reconciled at heal
+  SiteBrownout,       ///< facility derated by severity; optional steps drop
 };
 
 std::string fault_kind_name(FaultKind kind);

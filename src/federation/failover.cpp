@@ -1,0 +1,28 @@
+#include "federation/failover.hpp"
+
+namespace pico::federation {
+
+util::Result<flow::RunCheckpoint> capture_checkpoint(const Site& from,
+                                                     const flow::RunId& run) {
+  if (!from.flows)
+    return util::Result<flow::RunCheckpoint>::err("site has no flow service",
+                                                  "unavailable");
+  return from.flows->checkpoint(run);
+}
+
+size_t mirror_manifests(const Site& from, const Site& to) {
+  if (!from.transfer || !to.transfer || from.transfer == to.transfer) return 0;
+  return to.transfer->import_manifests(from.transfer->export_manifests());
+}
+
+util::Result<flow::RunId> resume_at(
+    const Site& to, std::shared_ptr<const flow::FlowDefinition> def,
+    flow::RunCheckpoint checkpoint, const std::string& label) {
+  if (!to.flows)
+    return util::Result<flow::RunId>::err("site has no flow service",
+                                          "unavailable");
+  return to.flows->resume(std::move(def), std::move(checkpoint), to.token,
+                          label);
+}
+
+}  // namespace pico::federation

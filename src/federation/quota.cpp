@@ -1,0 +1,111 @@
+#include "federation/quota.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace pico::federation {
+
+double jain_index(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0, sum_sq = 0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+FairShareQuotas::UserState& FairShareQuotas::state(const std::string& user) {
+  auto it = users_.find(user);
+  if (it == users_.end()) {
+    it = users_.emplace(user, UserState{config_.default_weight, 0, 0, 0, 0})
+             .first;
+    total_weight_ += config_.default_weight;
+  }
+  return it->second;
+}
+
+void FairShareQuotas::set_weight(const std::string& user, double weight) {
+  UserState& u = state(user);
+  total_weight_ += weight - u.weight;
+  u.weight = weight;
+}
+
+size_t FairShareQuotas::user_share(const std::string& user) {
+  if (config_.max_inflight_total == 0) return static_cast<size_t>(-1);
+  const UserState& u = state(user);
+  double frac = total_weight_ > 0 ? u.weight / total_weight_ : 1.0;
+  size_t share = static_cast<size_t>(
+      static_cast<double>(config_.max_inflight_total) * frac);
+  return std::max(share, config_.min_user_inflight);
+}
+
+bool FairShareQuotas::admit(const std::string& user) {
+  const UserState& u = state(user);
+  if (config_.max_inflight_total != 0 &&
+      inflight_total_ >= config_.max_inflight_total)
+    return false;
+  return u.inflight < user_share(user);
+}
+
+void FairShareQuotas::on_admitted(const std::string& user) {
+  state(user).inflight++;
+  inflight_total_++;
+}
+
+void FairShareQuotas::on_rejected(const std::string& user) {
+  state(user).rejected++;
+  rejected_total_++;
+}
+
+void FairShareQuotas::on_released(const std::string& user, bool success) {
+  UserState& u = state(user);
+  if (u.inflight > 0) u.inflight--;
+  if (inflight_total_ > 0) inflight_total_--;
+  if (success)
+    u.completed++;
+  else
+    u.failed++;
+}
+
+size_t FairShareQuotas::inflight(const std::string& user) const {
+  auto it = users_.find(user);
+  return it == users_.end() ? 0 : it->second.inflight;
+}
+
+uint64_t FairShareQuotas::completed(const std::string& user) const {
+  auto it = users_.find(user);
+  return it == users_.end() ? 0 : it->second.completed;
+}
+
+double FairShareQuotas::load_frac() const {
+  if (config_.max_inflight_total == 0) return 0.0;
+  return static_cast<double>(inflight_total_) /
+         static_cast<double>(config_.max_inflight_total);
+}
+
+std::vector<double> FairShareQuotas::completions() const {
+  std::vector<double> out;
+  out.reserve(users_.size());
+  for (const auto& [name, u] : users_) {
+    (void)name;
+    out.push_back(static_cast<double>(u.completed));
+  }
+  return out;
+}
+
+util::Json FairShareQuotas::to_json() const {
+  util::Json doc = util::Json::object();
+  doc["max_inflight_total"] =
+      static_cast<int64_t>(config_.max_inflight_total);
+  doc["min_user_inflight"] = static_cast<int64_t>(config_.min_user_inflight);
+  doc["users"] = static_cast<int64_t>(users_.size());
+  doc["inflight_total"] = static_cast<int64_t>(inflight_total_);
+  doc["rejected_total"] = static_cast<int64_t>(rejected_total_);
+  doc["load_frac"] = load_frac();
+  doc["jain_fairness"] = fairness();
+  return doc;
+}
+
+}  // namespace pico::federation

@@ -1,0 +1,95 @@
+#pragma once
+// Admission control for the federation broker: weighted fair-share in-flight
+// quotas per user/project. The broker admits a flow only while the federation
+// has global headroom AND the submitting user is under their share; everyone
+// else gets a reject-with-retry-after instead of a queue that collapses under
+// thousands of users (graceful shedding, the paper's "don't melt the control
+// plane" requirement for beam-line bursts).
+//
+// Shares are weighted max-min in spirit but deliberately simple in mechanism:
+//   share(u) = max(min_user_inflight,
+//                  max_inflight_total * weight(u) / total_weight)
+// Unused share is NOT redistributed mid-flight — the floor plus the global
+// cap already lets light users burst while heavy users are throttled first,
+// and the static formula keeps every admission decision O(log users) and
+// deterministic.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace pico::federation {
+
+struct QuotaConfig {
+  /// Global in-flight ceiling across all sites (0 = unbounded: quotas then
+  /// only bound per-user floors, never reject).
+  size_t max_inflight_total = 0;
+  /// Every user may always hold at least this many in-flight flows, however
+  /// small their weighted share — keeps 1-flow interactive users admissible
+  /// next to 10^4-flow campaign accounts.
+  size_t min_user_inflight = 4;
+  /// Weight assigned to users the broker has never seen set_weight for.
+  double default_weight = 1.0;
+};
+
+/// Jain's fairness index over per-user allocations: (sum x)^2 / (n * sum x^2),
+/// 1.0 = perfectly fair, 1/n = one user got everything. Empty input => 1.0.
+double jain_index(const std::vector<double>& xs);
+
+class FairShareQuotas {
+ public:
+  explicit FairShareQuotas(QuotaConfig config) : config_(config) {}
+
+  const QuotaConfig& config() const { return config_; }
+
+  /// Register or update a user's weight (registers with default_weight on
+  /// first admit otherwise).
+  void set_weight(const std::string& user, double weight);
+
+  /// Would one more in-flight flow for `user` fit? Registers unseen users.
+  /// Does not reserve — pair with on_admitted when the broker launches.
+  bool admit(const std::string& user);
+
+  /// The user's current in-flight ceiling (SIZE_MAX when unbounded).
+  size_t user_share(const std::string& user);
+
+  void on_admitted(const std::string& user);
+  void on_rejected(const std::string& user);
+  void on_released(const std::string& user, bool success);
+
+  size_t inflight_total() const { return inflight_total_; }
+  size_t inflight(const std::string& user) const;
+  uint64_t completed(const std::string& user) const;
+  uint64_t rejected_total() const { return rejected_total_; }
+  size_t users() const { return users_.size(); }
+
+  /// Global load fraction (0 when unbounded): the broker's brownout input.
+  double load_frac() const;
+
+  /// Per-registered-user successful-completion counts, user-name order —
+  /// the allocation vector the Jain fairness gate scores.
+  std::vector<double> completions() const;
+  double fairness() const { return jain_index(completions()); }
+
+  util::Json to_json() const;
+
+ private:
+  struct UserState {
+    double weight = 1.0;
+    size_t inflight = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    uint64_t rejected = 0;
+  };
+  UserState& state(const std::string& user);
+
+  QuotaConfig config_;
+  std::map<std::string, UserState> users_;
+  double total_weight_ = 0;
+  size_t inflight_total_ = 0;
+  uint64_t rejected_total_ = 0;
+};
+
+}  // namespace pico::federation

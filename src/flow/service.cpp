@@ -106,6 +106,13 @@ const BackoffPolicy& FlowService::active_poll_policy() const {
              : config_.backoff;
 }
 
+telemetry::Labels FlowService::provider_labels(
+    const std::string& provider) const {
+  telemetry::Labels labels{{"provider", provider}};
+  if (!site_.empty()) labels["site"] = site_;
+  return labels;
+}
+
 void FlowService::on_breaker_transition(const std::string& provider,
                                         CircuitBreaker::State from,
                                         CircuitBreaker::State to,
@@ -114,16 +121,20 @@ void FlowService::on_breaker_transition(const std::string& provider,
   std::string to_name = to == CircuitBreaker::State::Open        ? "open"
                         : to == CircuitBreaker::State::HalfOpen ? "half_open"
                                                                 : "closed";
+  telemetry::Labels to_labels = provider_labels(provider);
+  to_labels["to"] = to_name;
   telemetry_->metrics
       .counter("flow_breaker_transitions_total",
                "Circuit breaker state transitions by provider and new state",
-               {{"provider", provider}, {"to", to_name}})
+               to_labels)
       .inc();
-  // Live breaker position for the health plane's provider score.
+  // Live breaker position for the health plane's provider score. Site-
+  // qualified when federated so one facility's open breaker never shadows a
+  // healthy peer's provider of the same name.
   telemetry_->metrics
       .gauge("flow_breaker_open",
              "Breaker position by provider: 0 closed, 0.5 half-open, 1 open",
-             {{"provider", provider}})
+             provider_labels(provider))
       .set(to == CircuitBreaker::State::Open       ? 1.0
            : to == CircuitBreaker::State::HalfOpen ? 0.5
                                                    : 0.0);
@@ -165,6 +176,45 @@ util::Result<RunId> FlowService::start(const FlowDefinition& definition,
 util::Result<RunId> FlowService::start(
     std::shared_ptr<const FlowDefinition> definition_ptr, util::Json input,
     const auth::Token& token, const std::string& label) {
+  return start_internal(std::move(definition_ptr), std::move(input), token,
+                        label, nullptr);
+}
+
+util::Result<RunId> FlowService::resume(
+    std::shared_ptr<const FlowDefinition> definition_ptr,
+    RunCheckpoint checkpoint, const auth::Token& token,
+    const std::string& label) {
+  using R = util::Result<RunId>;
+  if (!definition_ptr) return R::err("resume needs a definition", "invalid");
+  if (!checkpoint.flow.empty() && checkpoint.flow != definition_ptr->name) {
+    return R::err("checkpoint is for flow '" + checkpoint.flow +
+                      "', not '" + definition_ptr->name + "'",
+                  "invalid");
+  }
+  if (checkpoint.start_step > definition_ptr->steps.size()) {
+    return R::err("checkpoint start_step beyond definition", "invalid");
+  }
+  util::Json input = std::move(checkpoint.input);
+  return start_internal(std::move(definition_ptr), std::move(input), token,
+                        label, &checkpoint);
+}
+
+util::Result<RunCheckpoint> FlowService::checkpoint(const RunId& id) const {
+  using R = util::Result<RunCheckpoint>;
+  const Run* run = runs_.find(id);
+  if (!run) return R::err("unknown run " + id, "not_found");
+  RunCheckpoint cp;
+  cp.flow = run->def ? run->def->name : "";
+  cp.start_step = run->info.current_step;
+  cp.input = run->info.input;
+  cp.step_outputs = run->info.step_outputs;
+  return R::ok(std::move(cp));
+}
+
+util::Result<RunId> FlowService::start_internal(
+    std::shared_ptr<const FlowDefinition> definition_ptr, util::Json input,
+    const auth::Token& token, const std::string& label,
+    const RunCheckpoint* resume_from) {
   using R = util::Result<RunId>;
   const FlowDefinition& definition = *definition_ptr;
   auto who = auth_->validate(token, "flows");
@@ -207,6 +257,19 @@ util::Result<RunId> FlowService::start(
   run->timing.submitted = engine_->now();
   run->token = token;
   run->backoff_salt = util::crc64(id) ^ seed_;
+  if (resume_from) {
+    // Continue a peer's checkpoint: completed steps become resolved outputs
+    // and zero-duration timing placeholders (dispatch indexes timing.steps by
+    // current_step), dispatch starts at start_step. Epoch, salt, retry
+    // counters, and breakers above are already this site's fresh state.
+    run->info.current_step = resume_from->start_step;
+    run->info.step_outputs = resume_from->step_outputs;
+    for (size_t i = 0; i < resume_from->start_step; ++i) {
+      StepTiming skipped;
+      skipped.name = definition.steps[i].name;
+      run->timing.steps.push_back(std::move(skipped));
+    }
+  }
   if (telemetry_) {
     // Parent comes from the tracer context: the campaign scope when driven by
     // a campaign, else root.
@@ -225,6 +288,17 @@ util::Result<RunId> FlowService::start(
     telemetry_->metrics
         .gauge("flow_active_runs", "Flow runs submitted but not yet settled")
         .add(1.0);
+    if (resume_from) {
+      flight_event(id, util::LogLevel::Info, "resumed-from-checkpoint",
+                   util::Json::object({
+                       {"start_step", resume_from->start_step},
+                       {"steps_skipped", resume_from->start_step},
+                   }));
+      telemetry_->metrics
+          .counter("flow_runs_resumed_total",
+                   "Runs launched from a peer facility's checkpoint")
+          .inc();
+    }
   }
 
   Run* r = run;
@@ -342,7 +416,7 @@ void FlowService::dispatch_step(Run& run) {
             .counter("flow_breaker_deferrals_total",
                      "Step dispatches deferred because the provider breaker "
                      "was open",
-                     {{"provider", step.provider}})
+                     provider_labels(step.provider))
             .inc();
         telemetry_->tracer.event(run.step_span, "breaker-deferred",
                                  engine_->now(),
@@ -453,7 +527,7 @@ void FlowService::poll_step(Run& run, uint64_t epoch) {
     telemetry_->metrics
         .counter("flow_polls_total", "Completion polls issued by the flow "
                                      "orchestrator, by provider",
-                 {{"provider", step.provider}})
+                 provider_labels(step.provider))
         .inc();
   }
 
@@ -509,7 +583,7 @@ void FlowService::timeout_step(Run& run, uint64_t epoch) {
     telemetry_->metrics
         .counter("flow_timeouts_total",
                  "Step attempts abandoned via per-step timeout, by provider",
-                 {{"provider", step.provider}})
+                 provider_labels(step.provider))
         .inc();
     telemetry_->tracer.event(run.step_span, "timeout", engine_->now(),
                              util::Json::object({
@@ -541,7 +615,7 @@ void FlowService::on_notification(Run& run, uint64_t epoch) {
     telemetry_->metrics
         .counter("flow_notifications_total",
                  "Completion notifications emitted by providers, by provider",
-                 {{"provider", step.provider}})
+                 provider_labels(step.provider))
         .inc();
   }
   if (notification_loss_prob_ > 0 && rng_.chance(notification_loss_prob_)) {
@@ -551,7 +625,7 @@ void FlowService::on_notification(Run& run, uint64_t epoch) {
           .counter("flow_notifications_lost_total",
                    "Completion notifications dropped before delivery, "
                    "by provider",
-                   {{"provider", step.provider}})
+                   provider_labels(step.provider))
           .inc();
       if (run.step_span != 0) {
         telemetry_->tracer.event(run.step_span, "notification-lost",
@@ -773,7 +847,7 @@ void FlowService::step_attempt_failed(Run& run, const std::string& error,
     telemetry_->metrics
         .counter("flow_retries_total",
                  "Step attempt re-dispatches after failure, by provider",
-                 {{"provider", step.provider}})
+                 provider_labels(step.provider))
         .inc();
     telemetry_->tracer.event(run.step_span, "retry", engine_->now(),
                              util::Json::object({
@@ -1154,6 +1228,7 @@ std::vector<BreakerSnapshot> FlowService::breaker_snapshots() const {
   for (size_t pid = 0; pid < breakers_.size(); ++pid) {
     if (!breakers_[pid]) continue;
     BreakerSnapshot snap;
+    snap.site = site_;
     snap.provider = provider_names_[pid];
     snap.trips = breakers_[pid]->trips();
     snap.consecutive_failures = breakers_[pid]->consecutive_failures();

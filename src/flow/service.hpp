@@ -118,6 +118,10 @@ struct ActionState {
   /// provider to support held starts; silently falls back to serialized
   /// dispatch otherwise. Meaningless on the first step.
   bool streaming = false;
+  /// Best-effort step: the federation broker strips optional steps from a
+  /// definition under brownout (load-shedding ladder rung 1) before it starts
+  /// rejecting admissions. The orchestrator itself never skips them.
+  bool optional = false;
 };
 
 struct FlowDefinition {
@@ -237,12 +241,30 @@ struct RunStatus {
   sim::SimTime finished;
 };
 
-/// Diagnostic view of one provider's circuit breaker.
+/// Diagnostic view of one provider's circuit breaker. Breakers live per
+/// FlowService, so `site` qualifies the key: "eagle/transfer" and
+/// "peer/transfer" are independent breakers even though the provider name is
+/// the same — one facility's open breaker never suppresses a healthy peer's.
 struct BreakerSnapshot {
+  std::string site;  ///< owning FlowService's site name ("" = unfederated)
   std::string provider;
   int trips = 0;
   int consecutive_failures = 0;
   std::string state;  ///< "closed" / "open" / "half-open"
+};
+
+/// Portable inter-step state of a run: everything a peer facility needs to
+/// continue the flow from where it stopped. Completed steps are carried as
+/// their outputs (the orchestrator's only inter-step state — "$.steps.X.*"
+/// references resolve against them), so the resumed run starts at
+/// `start_step` without re-running anything before it. Deliberately excludes
+/// attempt epochs, backoff salts, retry counters, and breaker state: a
+/// failover must NOT inherit the failed site's backoff/breaker history.
+struct RunCheckpoint {
+  std::string flow;  ///< definition name, for sanity-checking at the peer
+  size_t start_step = 0;
+  util::Json input;
+  std::map<std::string, util::Json> step_outputs;
 };
 
 class FlowService {
@@ -274,6 +296,28 @@ class FlowService {
   util::Result<RunId> start(std::shared_ptr<const FlowDefinition> definition,
                             util::Json input, const auth::Token& token,
                             const std::string& label = "");
+
+  /// Cross-facility failover entry point: launch a run that continues from a
+  /// peer's RunCheckpoint instead of from step 0. Completed steps are seeded
+  /// into step_outputs (so "$.steps.X.*" references resolve) and dispatch
+  /// begins at checkpoint.start_step. The new run gets a fresh id, epoch,
+  /// backoff salt, and this service's own breakers — none of the failed
+  /// site's retry/backoff state crosses the boundary.
+  util::Result<RunId> resume(std::shared_ptr<const FlowDefinition> definition,
+                             RunCheckpoint checkpoint,
+                             const auth::Token& token,
+                             const std::string& label = "");
+
+  /// Export the portable inter-step state of a run (any state — an active
+  /// run checkpoints at its current step, a failed one at the step that
+  /// failed). The checkpoint is safe to replay at a peer FlowService.
+  util::Result<RunCheckpoint> checkpoint(const RunId& id) const;
+
+  /// Federation identity of this orchestrator; stamps breaker snapshots and
+  /// telemetry label sets so per-site series stay distinct. Empty (default)
+  /// keeps the unfederated single-facility behaviour and label sets.
+  void set_site(std::string site) { site_ = std::move(site); }
+  const std::string& site() const { return site_; }
 
   const RunInfo& info(const RunId& id) const;
   const RunTiming& timing(const RunId& id) const;
@@ -452,9 +496,20 @@ class FlowService {
   void flight_event(const RunId& id, util::LogLevel level, std::string name,
                     util::Json attrs = {});
 
+  /// Shared start/resume body: `resume_from` (when non-null) pre-seeds the
+  /// completed steps and start offset before the first dispatch schedules.
+  util::Result<RunId> start_internal(
+      std::shared_ptr<const FlowDefinition> definition_ptr, util::Json input,
+      const auth::Token& token, const std::string& label,
+      const RunCheckpoint* resume_from);
+  /// {{"provider", p}} plus {"site", site_} when federated — breaker metric
+  /// series from co-scheduled facilities must not collapse into one key.
+  telemetry::Labels provider_labels(const std::string& provider) const;
+
   sim::Engine* engine_;
   auth::AuthService* auth_;
   FlowServiceConfig config_;
+  std::string site_;
   util::Rng rng_;
   uint64_t seed_;  ///< mixed into each run's deterministic backoff salt
   sim::Trace* trace_;

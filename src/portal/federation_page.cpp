@@ -1,0 +1,90 @@
+#include "portal/federation_page.hpp"
+
+#include "portal/portal.hpp"
+#include "util/strings.hpp"
+
+namespace pico::portal {
+namespace {
+
+using util::format;
+using util::html_escape;
+
+std::string count_row(const char* label, const util::Json& doc,
+                      const char* key) {
+  return format("<tr><td>%s</td><td>%lld</td></tr>", label,
+                static_cast<long long>(doc.at(key).as_int(0)));
+}
+
+}  // namespace
+
+std::string render_federation_html(const util::Json& broker_report,
+                                   const std::string& title) {
+  const util::Json& r = broker_report;
+  std::string out = "<!doctype html><html><head><meta charset='utf-8'><title>";
+  out += html_escape(title);
+  out += "</title>";
+  out += portal_style();
+  out += "</head><body>";
+  out += "<p><a href='index.html'>&larr; back to portal</a></p>";
+  out += "<h1>" + html_escape(title) + "</h1>";
+
+  out += "<h2>Sites</h2>";
+  const auto& sites = r.at("sites").as_array();
+  if (sites.empty()) {
+    out += "<p>No sites registered.</p>";
+  } else {
+    out += "<table><tr><th>Site</th><th>State</th><th>Brownout</th>"
+           "<th>Capacity</th><th>Active runs</th><th>Launches</th>"
+           "<th>Faults seen</th></tr>";
+    for (const auto& s : sites) {
+      const char* state = s.at("outage").as_bool()        ? "outage"
+                          : s.at("partitioned").as_bool() ? "partitioned"
+                                                          : "up";
+      const char* color = s.at("outage").as_bool()        ? "#922b21"
+                          : s.at("partitioned").as_bool() ? "#b9770e"
+                                                          : "#1e8449";
+      out += "<tr><td>" + html_escape(s.at("name").as_string()) + "</td>";
+      out += format("<td style='color:%s;font-weight:bold'>%s</td>", color,
+                    state);
+      out += format(
+          "<td>%.2f</td><td>%.1f</td><td>%lld</td><td>%lld</td>"
+          "<td>%lld</td></tr>",
+          s.at("brownout").as_double(), s.at("capacity").as_double(),
+          static_cast<long long>(s.at("active_runs").as_int()),
+          static_cast<long long>(s.at("launches").as_int()),
+          static_cast<long long>(s.at("faults_seen").as_int()));
+    }
+    out += "</table>";
+  }
+
+  out += "<h2>Admission control</h2>";
+  const util::Json& q = r.at("quotas");
+  out += format(
+      "<p>%lld users, %lld/%lld in flight (load %.0f%%), "
+      "%lld rejected, Jain fairness %.4f.</p>",
+      static_cast<long long>(q.at("users").as_int()),
+      static_cast<long long>(q.at("inflight_total").as_int()),
+      static_cast<long long>(q.at("max_inflight_total").as_int()),
+      100.0 * q.at("load_frac").as_double(),
+      static_cast<long long>(q.at("rejected_total").as_int()),
+      q.at("jain_fairness").as_double(1.0));
+
+  out += "<h2>Flow ledger</h2><table><tr><th>Counter</th><th>Count</th></tr>";
+  out += count_row("Submitted", r, "submitted");
+  out += count_row("Completed", r, "completed");
+  out += count_row("Failed", r, "failed");
+  out += count_row("Rejected (retry-after)", r, "rejected");
+  out += count_row("Failovers", r, "failovers");
+  out += count_row("Resumed past completed steps", r, "resumed");
+  out += count_row("Reconciled at partition heal", r, "reconciled");
+  out += count_row("Optional steps shed", r, "optional_steps_dropped");
+  out += count_row("Parked for heal", r, "parked");
+  out += "</table>";
+
+  out += format("<p>Worst outage recovery: %.1f s of virtual time.</p>",
+                r.at("recovery_s").as_double());
+  out += "</body></html>\n";
+  return out;
+}
+
+}  // namespace pico::portal

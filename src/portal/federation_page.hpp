@@ -1,0 +1,21 @@
+#pragma once
+// Portal federation page: renders a federation Broker::report() document —
+// per-site routing state (outage/partition/brownout, queue depths, launch
+// counts), admission-control quota occupancy, and the failover ledger — as a
+// static HTML page next to the health and telemetry pages.
+//
+// Takes the report as plain JSON rather than federation types: the portal
+// renders what a broker publishes over the wire, and pico_portal stays free
+// of a pico_federation dependency (federation sits above portal in the
+// module graph).
+#include <string>
+
+#include "util/json.hpp"
+
+namespace pico::portal {
+
+std::string render_federation_html(
+    const util::Json& broker_report,
+    const std::string& title = "Federation broker");
+
+}  // namespace pico::portal

@@ -71,6 +71,10 @@ struct LinkScore {
 
 struct HealthReport {
   sim::SimTime at;
+  /// Owning facility's federation site name ("" = unfederated). Stamped so a
+  /// broker aggregating N facility reports keys every score by (site,
+  /// provider) — never by provider name alone.
+  std::string site;
   std::vector<ProviderScore> providers;
   std::vector<LinkScore> links;
   std::vector<SloStatus> slos;
@@ -95,6 +99,11 @@ class HealthMonitor {
   /// library cannot depend on net/).
   void set_link_probe(std::function<std::vector<LinkProbe>()> probe);
 
+  /// Federation identity stamped on reports and the health_* gauge label
+  /// sets. Empty (default) keeps the classic unlabelled series.
+  void set_site(std::string site) { site_ = std::move(site); }
+  const std::string& site() const { return site_; }
+
   /// Schedule periodic ticks while tick time <= horizon (campaign duration),
   /// so the engine's queue still drains.
   void start(double horizon_s);
@@ -103,6 +112,15 @@ class HealthMonitor {
   void tick();
 
   HealthReport report() const;
+
+  /// Last computed broker-facing scores (refreshed each tick()). Cheap
+  /// references — a federation broker consults them on every submit, where
+  /// copying the full report (bounded alert history included) would dominate
+  /// the routing cost.
+  const std::vector<ProviderScore>& provider_scores() const {
+    return provider_scores_;
+  }
+  const std::vector<LinkScore>& link_scores() const { return link_scores_; }
 
   const std::vector<HealthAlert>& alerts() const { return alerts_; }
   uint64_t slo_alerts() const { return slo_alerts_; }
@@ -123,6 +141,7 @@ class HealthMonitor {
   sim::Engine* engine_;
   Telemetry* telemetry_;
   HealthConfig config_;
+  std::string site_;
   SloEngine slo_;
   AnomalyDetector anomaly_;
   std::function<std::vector<LinkProbe>()> link_probe_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 
 #include "util/crc64.hpp"
 #include "util/log.hpp"
@@ -236,6 +237,67 @@ const TransferService::ChunkManifest* TransferService::manifest(
   auto it = manifests_.find(
       manifest_key_for(request, spec, obj.value()->crc64, wire.value()));
   return it == manifests_.end() ? nullptr : &it->second;
+}
+
+util::Json TransferService::export_manifests() const {
+  util::Json out = util::Json::object();
+  for (const auto& [key, m] : manifests_) {
+    util::Json row = util::Json::object();
+    row["wire_bytes"] = m.wire_bytes;
+    row["chunk_bytes"] = m.chunk_bytes;
+    // CRC-64 values ride as fixed-width hex: Json integers are signed, and a
+    // high-bit CRC must round-trip bit-exactly.
+    row["content_crc"] = util::format(
+        "%016llx", static_cast<unsigned long long>(m.content_crc));
+    row["source_created_ns"] = m.source_created.ns;
+    util::Json crcs = util::Json::array();
+    for (uint64_t c : m.chunk_crc) {
+      crcs.push_back(
+          util::format("%016llx", static_cast<unsigned long long>(c)));
+    }
+    row["chunk_crc"] = std::move(crcs);
+    util::Json verified = util::Json::array();
+    for (size_t i = 0; i < m.verified.size(); ++i) {
+      verified.push_back(m.verified[i] ? 1 : 0);
+    }
+    row["verified"] = std::move(verified);
+    out[key] = std::move(row);
+  }
+  return out;
+}
+
+size_t TransferService::import_manifests(const util::Json& doc) {
+  if (!doc.is_object()) return 0;
+  size_t added = 0;
+  for (const auto& [key, row] : doc.as_object()) {
+    if (manifests_.count(key)) continue;  // local knowledge wins
+    if (!row.is_object()) continue;
+    ChunkManifest m;
+    m.wire_bytes = row.at("wire_bytes").as_int(0);
+    m.chunk_bytes = row.at("chunk_bytes").as_int(0);
+    m.content_crc = std::strtoull(
+        row.at("content_crc").as_string("0").c_str(), nullptr, 16);
+    m.source_created = sim::SimTime{row.at("source_created_ns").as_int(0)};
+    for (const auto& c : row.at("chunk_crc").as_array()) {
+      m.chunk_crc.push_back(
+          std::strtoull(c.as_string("0").c_str(), nullptr, 16));
+    }
+    const auto& verified = row.at("verified").as_array();
+    if (verified.size() != m.chunk_crc.size()) continue;  // malformed row
+    for (const auto& v : verified) m.verified.push_back(v.as_int(0) != 0);
+    // Claimed bits deliberately start clear: the exporter's in-flight flows
+    // died with its site, so every unverified chunk is up for re-claim here.
+    m.claimed.assign(m.verified.size(), false);
+    manifests_.emplace(key, std::move(m));
+    ++added;
+  }
+  if (added > 0 && telemetry_) {
+    telemetry_->metrics
+        .counter("transfer_manifests_imported_total",
+                 "Chunk manifests adopted from a peer facility's export")
+        .inc(static_cast<double>(added));
+  }
+  return added;
 }
 
 void TransferService::attach_manifest(ActiveTask& task, const FileSpec& spec,

@@ -215,6 +215,19 @@ class TransferService {
                                 const FileSpec& spec) const;
   size_t manifest_count() const { return manifests_.size(); }
 
+  /// Federation manifest mirror: serialize every chunk manifest (keyed by the
+  /// full transfer identity — endpoints, paths, content CRC, wire size, chunk
+  /// size) so a peer facility can import them and resume a failed-over
+  /// transfer from the verified chunks instead of restarting. Endpoint names
+  /// are facility constants, so identities match across replicated sites.
+  util::Json export_manifests() const;
+  /// Merge a peer's exported manifests. `claimed` bits are dropped (the
+  /// peer's in-flight network flows did not move with the checkpoint);
+  /// `verified` chunks are trusted — they were CRC-checked at landing, and a
+  /// mismatched source re-acquisition still invalidates via source_created.
+  /// Existing local manifests win over imports. Returns manifests added.
+  size_t import_manifests(const util::Json& doc);
+
  private:
   struct Endpoint {
     net::NodeId node;

@@ -64,6 +64,18 @@ Validates, with no third-party dependencies:
   (with nonzero suppressed duplicates proving the idempotency keys were
   exercised), and positive retry bytes saved by verified resume.
 
+* Federation baselines (``--federation``, ``BENCH_federation.json``):
+  schema, the bench's own pass flag, the gates not quietly loosened
+  (completion >= 99%, recovery ceiling <= 900 s, fairness floor >= 0.97),
+  the fault-free run fully complete, the site-kill chaos run at or above the
+  completion floor with nonzero failovers and checkpoint-resumes, recovery
+  within the ceiling, Jain fairness at or above the floor on both runs, and
+  the chaos publish-index fingerprint byte-identical to the fault-free run.
+
+All JSON baselines are loaded through one guard: a missing file, truncated
+JSON, or a non-object top level is a one-line actionable failure (regenerate
+with the matching bench binary), never a raw traceback.
+
 Exit status is non-zero on the first file that fails, so CI can gate on it:
 
     python3 tools/check_telemetry.py --prom BENCH_dataplane.prom
@@ -120,6 +132,32 @@ def parse_labels(labels_text):
 def fail(path, message):
     print(f"{path}: FAIL: {message}", file=sys.stderr)
     return False
+
+
+def load_bench_doc(path):
+    """Load a JSON baseline and require a top-level object.
+
+    A missing file, truncated/invalid JSON, or a document whose top level is
+    not an object (e.g. a partial write that parses as ``null``) each used to
+    escape the checkers as a raw traceback; all three are now a one-line
+    actionable failure. Returns the parsed dict, or None after reporting.
+    """
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(path, f"unreadable: {e} — regenerate the baseline with the "
+                   f"matching bench binary under build/bench/")
+        return None
+    except json.JSONDecodeError as e:
+        fail(path, f"invalid or truncated JSON ({e}) — regenerate the "
+                   f"baseline with the matching bench binary")
+        return None
+    if not isinstance(doc, dict):
+        fail(path, f"top-level JSON is {type(doc).__name__}, expected an "
+                   f"object — the baseline is corrupt; regenerate it")
+        return None
+    return doc
 
 
 def base_family(name, families):
@@ -209,12 +247,10 @@ def check_prom(path, min_families):
 
 
 def check_trace(path, require_depth):
-    try:
-        doc = json.load(open(path, encoding="utf-8"))
-    except (OSError, json.JSONDecodeError) as e:
-        return fail(path, f"unparseable: {e}")
-    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"),
-                                                   list):
+    doc = load_bench_doc(path)
+    if doc is None:
+        return False
+    if not isinstance(doc.get("traceEvents"), list):
         return fail(path, "missing traceEvents array")
 
     spans = {}  # span_id -> (ts, dur, parent_id, name)
@@ -306,10 +342,9 @@ SEQ_GBPS_FLOOR = {
 
 
 def check_dataplane(path):
-    try:
-        doc = json.load(open(path, encoding="utf-8"))
-    except (OSError, json.JSONDecodeError) as e:
-        return fail(path, f"unparseable: {e}")
+    doc = load_bench_doc(path)
+    if doc is None:
+        return False
     if doc.get("schema") != "pico.bench.dataplane.v2":
         return fail(path, f"bad schema {doc.get('schema')!r}")
     if doc.get("parity_all") is not True:
@@ -399,10 +434,9 @@ OVERHEAD_MODES = ("paper_polling", "adaptive_polling", "event_driven",
 
 
 def check_overhead(path):
-    try:
-        doc = json.load(open(path, encoding="utf-8"))
-    except (OSError, json.JSONDecodeError) as e:
-        return fail(path, f"unparseable: {e}")
+    doc = load_bench_doc(path)
+    if doc is None:
+        return False
     if doc.get("schema") != "pico.bench.overhead.v1":
         return fail(path, f"bad schema {doc.get('schema')!r}")
     if doc.get("span_parity_all") is not True:
@@ -477,10 +511,9 @@ INTEGRITY_RUNS = ("baseline", "chaos_resume", "chaos_restart")
 
 
 def check_integrity(path):
-    try:
-        doc = json.load(open(path, encoding="utf-8"))
-    except (OSError, json.JSONDecodeError) as e:
-        return fail(path, f"unparseable: {e}")
+    doc = load_bench_doc(path)
+    if doc is None:
+        return False
     if doc.get("schema") != "pico.bench.integrity.v1":
         return fail(path, f"bad schema {doc.get('schema')!r}")
     if doc.get("pass") is not True:
@@ -558,10 +591,9 @@ STREAMING_RUNS = ("cutthrough", "direct", "direct_chaos")
 
 
 def check_streaming(path):
-    try:
-        doc = json.load(open(path, encoding="utf-8"))
-    except (OSError, json.JSONDecodeError) as e:
-        return fail(path, f"unparseable: {e}")
+    doc = load_bench_doc(path)
+    if doc is None:
+        return False
     if doc.get("schema") != "pico.bench.streaming.v1":
         return fail(path, f"bad schema {doc.get('schema')!r}")
     if doc.get("pass") is not True:
@@ -623,10 +655,9 @@ OBSERVABILITY_RUNS = ("chaos", "fault_free")
 
 
 def check_observability(path):
-    try:
-        doc = json.load(open(path, encoding="utf-8"))
-    except (OSError, json.JSONDecodeError) as e:
-        return fail(path, f"unparseable: {e}")
+    doc = load_bench_doc(path)
+    if doc is None:
+        return False
     if doc.get("schema") != "pico.bench.observability.v1":
         return fail(path, f"bad schema {doc.get('schema')!r}")
     if doc.get("pass") is not True:
@@ -710,10 +741,9 @@ def check_observability(path):
 
 
 def check_controlplane(path):
-    try:
-        doc = json.load(open(path, encoding="utf-8"))
-    except (OSError, json.JSONDecodeError) as e:
-        return fail(path, f"unparseable: {e}")
+    doc = load_bench_doc(path)
+    if doc is None:
+        return False
     if doc.get("schema") != "pico.bench.controlplane.v1":
         return fail(path, f"bad schema {doc.get('schema')!r}")
     if doc.get("pass") is not True:
@@ -794,6 +824,86 @@ def check_controlplane(path):
     return True
 
 
+FEDERATION_RUNS = ("clean", "chaos")
+
+
+def check_federation(path):
+    doc = load_bench_doc(path)
+    if doc is None:
+        return False
+    if doc.get("schema") != "pico.bench.federation.v1":
+        return fail(path, f"bad schema {doc.get('schema')!r}")
+    if doc.get("pass") is not True:
+        return fail(path, "the bench itself recorded a failed assertion")
+
+    # The gates are recorded in the file but must not be quietly loosened.
+    gates = doc.get("gates")
+    if not isinstance(gates, dict):
+        return fail(path, "missing gates")
+    completion_min = gates.get("completion_min")
+    if not isinstance(completion_min, (int, float)) or completion_min < 0.99:
+        return fail(path, f"completion_min {completion_min!r} looser than "
+                          f"the required 99%")
+    ceiling = gates.get("recovery_ceiling_s")
+    if not isinstance(ceiling, (int, float)) or ceiling > 900:
+        return fail(path, f"recovery_ceiling_s {ceiling!r} looser than 900 s")
+    fairness_min = gates.get("fairness_min")
+    if not isinstance(fairness_min, (int, float)) or fairness_min < 0.97:
+        return fail(path, f"fairness_min {fairness_min!r} looser than 0.97")
+
+    runs = {}
+    for name in FEDERATION_RUNS:
+        r = doc.get(name)
+        if not isinstance(r, dict):
+            return fail(path, f"missing {name} campaign")
+        if not isinstance(r.get("flows"), (int, float)) or r["flows"] <= 0:
+            return fail(path, f"{name}: bad flows {r.get('flows')!r}")
+        for key in ("completion_frac", "p50_s", "p99_s", "jain_fairness"):
+            v = r.get(key)
+            if not isinstance(v, (int, float)) or v < 0:
+                return fail(path, f"{name}: bad {key} {v!r}")
+        if r["jain_fairness"] < fairness_min:
+            return fail(path, f"{name}: Jain fairness "
+                              f"{r['jain_fairness']:.4f} under the "
+                              f"{fairness_min} floor")
+        runs[name] = r
+    clean, chaos = runs["clean"], runs["chaos"]
+
+    if clean["completion_frac"] < 1.0:
+        return fail(path, f"fault-free run left flows unfinished "
+                          f"({100 * clean['completion_frac']:.2f}%)")
+    if chaos["completion_frac"] < completion_min:
+        return fail(path, f"chaos completion "
+                          f"{100 * chaos['completion_frac']:.2f}% under the "
+                          f"{100 * completion_min:.0f}% floor — failover did "
+                          f"not absorb the site kill")
+    if chaos.get("failovers", 0) <= 0:
+        return fail(path, "chaos run recorded no failovers — the site kill "
+                          "never exercised the broker")
+    if chaos.get("resumed", 0) <= 0:
+        return fail(path, "no flow resumed past completed steps at a peer — "
+                          "checkpoint-resume was never exercised")
+    recovery = chaos.get("recovery_s")
+    if not isinstance(recovery, (int, float)) or not 0 < recovery <= ceiling:
+        return fail(path, f"failover recovery {recovery!r} s outside "
+                          f"(0, {ceiling}] s")
+    if gates.get("fingerprint_match") is not True or \
+            not clean.get("fingerprint") or \
+            chaos.get("fingerprint") != clean.get("fingerprint"):
+        return fail(path, "chaos publish index diverged from the fault-free "
+                          "run — failover changed or lost science")
+
+    print(f"{path}: ok ({chaos['flows']:.0f} flows x {doc.get('sites')} "
+          f"sites: chaos completion "
+          f"{100 * chaos['completion_frac']:.2f}%, "
+          f"{chaos['failovers']:.0f} failovers recovered in "
+          f"{recovery:.1f}s <= {ceiling:.0f}s, Jain "
+          f"{chaos['jain_fairness']:.4f} >= {fairness_min}, p99 "
+          f"{chaos['p99_s']:.1f}s vs clean {clean['p99_s']:.1f}s, "
+          f"index intact)")
+    return True
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--prom", action="append", default=[],
@@ -823,14 +933,17 @@ def main():
     parser.add_argument("--controlplane", action="append", default=[],
                         help="BENCH_controlplane.json baseline to validate "
                              "(repeatable)")
+    parser.add_argument("--federation", action="append", default=[],
+                        help="BENCH_federation.json baseline to validate "
+                             "(repeatable)")
     args = parser.parse_args()
     if not args.prom and not args.trace and not args.dataplane \
             and not args.overhead and not args.integrity \
             and not args.streaming and not args.observability \
-            and not args.controlplane:
+            and not args.controlplane and not args.federation:
         parser.error("nothing to check: pass --prom, --trace, --dataplane, "
-                     "--overhead, --integrity, --streaming, --observability "
-                     "and/or --controlplane")
+                     "--overhead, --integrity, --streaming, --observability, "
+                     "--controlplane and/or --federation")
 
     ok = True
     for path in args.prom:
@@ -849,6 +962,8 @@ def main():
         ok = check_observability(path) and ok
     for path in args.controlplane:
         ok = check_controlplane(path) and ok
+    for path in args.federation:
+        ok = check_federation(path) and ok
     return 0 if ok else 1
 
 
